@@ -1,0 +1,63 @@
+// Future-work study: impact of cross-type availability correlation on the
+// robustness of the initial mapping. phi_1 is estimated by Monte Carlo over
+// one-factor Gaussian copula draws; rho = 0 cross-checks the analytic
+// product-form values (26% naive, 74.5% robust).
+#include <cstdio>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/correlation.hpp"
+#include "ra/robustness.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("phi_1 vs cross-type availability correlation (Gaussian copula).");
+  cli.add_int("replications", 40000, "Monte-Carlo draws per (allocation, rho)");
+  cli.add_int("seed", 23, "master seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::PaperExample example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  const auto replications = static_cast<std::size_t>(cli.get_int("replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::vector<double> rhos = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  struct Row {
+    const char* label;
+    ra::Allocation allocation;
+    double analytic;
+  };
+  const Row rows[2] = {
+      {"naive IM", core::paper_naive_allocation(),
+       evaluator.joint_probability(core::paper_naive_allocation())},
+      {"robust IM", core::paper_robust_allocation(),
+       evaluator.joint_probability(core::paper_robust_allocation())},
+  };
+
+  util::Table table;
+  std::vector<std::string> headers = {"allocation", "analytic (rho=0)"};
+  for (double rho : rhos) headers.push_back("rho=" + util::format_fixed(rho, 1));
+  table.set_headers(headers);
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("phi_1 = Pr(all applications meet the deadline) vs availability correlation");
+
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = {row.label, util::format_percent(row.analytic, 1)};
+    for (double rho : rhos) {
+      const ra::CorrelatedPhiEstimate estimate =
+          ra::correlated_phi1(example.batch, row.allocation, example.cases.front(), rho,
+                              example.deadline, replications, seed);
+      cells.push_back(util::format_percent(estimate.probability, 1));
+    }
+    table.add_row(cells);
+  }
+  std::puts(table.render().c_str());
+  std::puts("Reading guide: rho = 0 reproduces the paper's product-form 26% / 74.5%.");
+  std::puts("Positive correlation aligns the applications' bad periods: failure events");
+  std::puts("overlap instead of compounding, so the JOINT survival probability rises —");
+  std::puts("ignoring correlation makes Stage I's robustness estimate conservative here,");
+  std::puts("but the per-application marginal risk is unchanged.");
+  return 0;
+}

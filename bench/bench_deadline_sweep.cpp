@@ -1,0 +1,44 @@
+// Ablation: phi_1 as a function of the deadline — the full CDF of the
+// system makespan Psi for both Table IV allocations. Shows WHERE the robust
+// mapping's advantage lives: the paper's single Delta = 3250 is one point
+// on these curves; the crossover structure explains why the naive mapping
+// looks acceptable under loose deadlines and collapses under tight ones.
+#include <cstdio>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/robustness.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cdsf;
+  const core::PaperExample example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+
+  const pmf::Pmf naive = evaluator.system_makespan_pmf(core::paper_naive_allocation());
+  const pmf::Pmf robust = evaluator.system_makespan_pmf(core::paper_robust_allocation());
+
+  util::Table table({"deadline", "phi_1 naive IM", "phi_1 robust IM", "advantage"});
+  table.set_title(
+      "phi_1 = Pr(Psi <= deadline) under Â, from the analytic system-makespan PMFs");
+  for (double deadline : {1500.0, 2000.0, 2500.0, 2800.0, 3000.0, 3250.0, 3500.0, 4000.0,
+                          4600.0, 5500.0, 8000.0, 12000.0}) {
+    const double p_naive = naive.cdf(deadline);
+    const double p_robust = robust.cdf(deadline);
+    std::string marker = deadline == example.deadline ? "  <- paper's Delta" : "";
+    table.add_row({util::format_fixed(deadline, 0), util::format_percent(p_naive, 1),
+                   util::format_percent(p_robust, 1),
+                   util::format_fixed((p_robust - p_naive) * 100.0, 1) + " pp" + marker});
+  }
+  std::puts(table.render().c_str());
+
+  std::printf("E[Psi]  naive: %.1f   robust: %.1f\n", naive.expectation(),
+              robust.expectation());
+  std::printf("90%% quantile of Psi  naive: %.1f   robust: %.1f\n", naive.quantile(0.9),
+              robust.quantile(0.9));
+  std::puts("\nReading guide: below ~2700 neither allocation can win (app3 needs 2700 in");
+  std::puts("expectation even on 8 processors); the robust mapping's advantage peaks in");
+  std::puts("the [2800, 4600] band containing the paper's deadline, and vanishes again");
+  std::puts("once the deadline is loose enough for the naive mapping's slow tail.");
+  return 0;
+}

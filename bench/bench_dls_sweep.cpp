@@ -1,0 +1,57 @@
+// Full DLS sweep: every technique the library ships (13) on the paper's
+// application 3 group, across all four availability cases — median
+// makespan, chunk count, and load-imbalance (c.o.v. of worker finish
+// times). Extends the paper's 4-technique robust set to the whole family.
+#include <cstdio>
+
+#include "cdsf/paper_example.hpp"
+#include "sim/loop_executor.hpp"
+#include "stats/summary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("All-technique DLS sweep on the paper's app3 group (8 x type2).");
+  cli.add_int("replications", 101, "replications per cell");
+  cli.add_int("seed", 11, "master seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::PaperExample example = core::make_paper_example();
+  const workload::Application& app = example.batch.at(2);
+  const auto replications = static_cast<std::size_t>(cli.get_int("replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  util::Table table({"technique", "case1 med", "case2 med", "case3 med", "case4 med",
+                     "chunks", "imbalance cov"});
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("DLS sweep — app3 on 8 x type2, median makespan per availability case "
+                  "(deadline 3250; * = meets)");
+  const sim::SimConfig config;
+  for (dls::TechniqueId id : dls::all_techniques()) {
+    std::vector<std::string> row = {dls::technique_name(id)};
+    stats::OnlineSummary chunks;
+    stats::OnlineSummary imbalance;
+    for (std::size_t k = 0; k < example.cases.size(); ++k) {
+      const sim::ReplicationSummary summary =
+          sim::simulate_replicated(app, 1, 8, example.cases[k], id, config,
+                                   seed + 100 * k, replications, example.deadline);
+      std::string cell = util::format_fixed(summary.median_makespan, 0);
+      cell += summary.median_makespan <= example.deadline ? " *" : "  ";
+      row.push_back(cell);
+      // chunk/imbalance stats from a single representative run per case
+      const sim::RunResult run =
+          sim::simulate_loop(app, 1, 8, example.cases[k], id, config, seed + 100 * k + 7);
+      chunks.add(static_cast<double>(run.total_chunks));
+      imbalance.add(run.finish_time_cov());
+    }
+    row.push_back(util::format_fixed(chunks.mean(), 0));
+    row.push_back(util::format_fixed(imbalance.mean(), 3));
+    table.add_row(row);
+  }
+  std::puts(table.render().c_str());
+  std::puts("Reading guide: STATIC pays the full imbalance; SS pays maximal overhead;");
+  std::puts("factoring-family techniques trade the two; the adaptive variants track the");
+  std::puts("availability drift. The paper's robust set is {FAC, WF, AWF-B, AF}.");
+  return 0;
+}

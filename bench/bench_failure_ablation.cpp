@@ -1,0 +1,66 @@
+// Ablation: processor failure during execution. Sweeps the failure time of
+// one worker (degrading to 2% residual availability) and reports the median
+// makespan per DLS technique — quantifying the "blast radius" of the
+// non-preemptive chunk in flight and STATIC's stranded share.
+#include <cstdio>
+
+#include "sim/loop_executor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/application.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("DLS behaviour under an injected processor failure.");
+  cli.add_int("replications", 51, "replications per cell");
+  cli.add_double("residual", 0.02, "availability of the failed worker");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // 8000 uniform iterations on 8 dedicated workers; worker 2 fails.
+  const workload::Application app(
+      "steady", 0, 8000, {workload::TimeLaw{workload::TimeLawKind::kNormal, 8000.0, 0.1}});
+  const sysmodel::AvailabilitySpec full("dedicated", {pmf::Pmf::delta(1.0)});
+  const auto replications = static_cast<std::size_t>(cli.get_int("replications"));
+  const double residual = cli.get_double("residual");
+
+  const std::vector<double> failure_times = {100.0, 300.0, 600.0, 900.0};
+  const std::vector<dls::TechniqueId> techniques = {
+      dls::TechniqueId::kStatic, dls::TechniqueId::kSS,  dls::TechniqueId::kGSS,
+      dls::TechniqueId::kTSS,    dls::TechniqueId::kFAC, dls::TechniqueId::kAWF_B,
+      dls::TechniqueId::kAF};
+
+  util::Table table;
+  std::vector<std::string> headers = {"technique", "no failure"};
+  for (double t : failure_times) headers.push_back("fail@" + util::format_fixed(t, 0));
+  table.set_headers(headers);
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("Median makespan, worker 2 degrading to " +
+                  util::format_percent(residual, 0) +
+                  " availability at the given time (healthy ideal ~1000)");
+
+  for (dls::TechniqueId id : techniques) {
+    std::vector<std::string> row = {dls::technique_name(id)};
+    sim::SimConfig healthy;
+    healthy.iteration_cov = 0.1;
+    healthy.availability_mode = sim::AvailabilityMode::kConstantMean;
+    row.push_back(util::format_fixed(
+        sim::simulate_replicated(app, 0, 8, full, id, healthy, 3, replications, 1e18)
+            .median_makespan,
+        0));
+    for (double t : failure_times) {
+      sim::SimConfig config = healthy;
+      config.failures.push_back({2, t, residual});
+      row.push_back(util::format_fixed(
+          sim::simulate_replicated(app, 0, 8, full, id, config, 3, replications, 1e18)
+              .median_makespan,
+          0));
+    }
+    table.add_row(row);
+  }
+  std::puts(table.render().c_str());
+  std::puts("Reading guide: STATIC strands the dead worker's whole remaining share (worst");
+  std::puts("for early failures); dynamic techniques lose only the chunk in flight, so the");
+  std::puts("penalty tracks the CURRENT chunk size — small for SS, large for GSS's first");
+  std::puts("chunk, shrinking over time for the factoring family.");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Figure 6 — scenario 4: robust IM (exhaustive optimal) +
+// robust RAS ({FAC, WF, AWF-B, AF}) — the scenario that demonstrates the
+// usefulness of the combined dual-stage framework.
+#include <cstdio>
+
+#include "scenario_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  bool help = false;
+  const bench::ScenarioBenchOptions options = bench::parse_scenario_options(
+      argc, argv, "Figure 6 — scenario 4: robust IM + robust DLS.", &help);
+  if (help) return 0;
+
+  const core::PaperExample example = core::make_paper_example();
+  const core::Framework framework(example.batch, example.platform, example.cases.front(),
+                                  example.deadline);
+  core::StageTwoConfig config;
+  config.replications = options.replications;
+  config.seed = options.seed;
+  config.threads = util::default_thread_count();
+
+  const auto techniques = dls::paper_robust_set();
+  const core::ScenarioResult scenario = framework.run_scenario(
+      "robust IM + robust DLS", ra::ExhaustiveOptimal(), techniques, example.cases, config);
+  bench::print_scenario(example, framework, scenario, techniques);
+  if (!options.csv_path.empty()) {
+    bench::write_scenario_csv(options.csv_path, example, scenario, techniques);
+  }
+  std::puts("Paper verdict: deadline met for all applications through a 30.77% weighted");
+  std::puts("availability decrease (case 3); violated in case 4 (app 2 under every DLS).");
+  std::puts("System robustness (rho_1, rho_2) = (74.5%, 30.77%); ours uses the rounded");
+  std::puts("Table I inputs, giving rho_2 = 30.89%.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: intrinsic (algorithmic) imbalance in isolation. All processors
+// are fully dedicated (no availability perturbation), so any load imbalance
+// comes purely from the iteration-index cost profile — the paper's "input
+// data / algorithmic" source of uncertainty, separated from the systemic
+// one the other benches exercise.
+#include <cstdio>
+
+#include "sim/loop_executor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/application.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("Intrinsic-imbalance ablation: DLS techniques vs iteration cost profiles.");
+  cli.add_int("replications", 31, "replications per cell");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sysmodel::AvailabilitySpec full("dedicated", {pmf::Pmf::delta(1.0)});
+  const auto replications = static_cast<std::size_t>(cli.get_int("replications"));
+  sim::SimConfig config;
+  config.iteration_cov = 0.2;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+
+  const workload::IterationProfile profiles[] = {
+      workload::IterationProfile::kFlat, workload::IterationProfile::kIncreasing,
+      workload::IterationProfile::kDecreasing, workload::IterationProfile::kParabolic};
+  const std::vector<dls::TechniqueId> techniques = {
+      dls::TechniqueId::kStatic, dls::TechniqueId::kSS,    dls::TechniqueId::kGSS,
+      dls::TechniqueId::kTSS,    dls::TechniqueId::kFAC,   dls::TechniqueId::kTFSS,
+      dls::TechniqueId::kAWF_B,  dls::TechniqueId::kAWF_C, dls::TechniqueId::kAF};
+
+  util::Table table;
+  std::vector<std::string> headers = {"technique"};
+  for (auto profile : profiles) headers.push_back(to_string(profile));
+  table.set_headers(headers);
+  table.set_alignment({util::Align::kLeft});
+  table.set_title(
+      "Median makespan, 8000 iterations on 8 dedicated workers (ideal = 1000) by cost "
+      "profile");
+
+  for (dls::TechniqueId id : techniques) {
+    std::vector<std::string> row = {dls::technique_name(id)};
+    for (auto profile : profiles) {
+      const workload::Application app(
+          "p", 0, 8000, {workload::TimeLaw{workload::TimeLawKind::kNormal, 8000.0, 0.1}},
+          profile);
+      const sim::ReplicationSummary summary =
+          sim::simulate_replicated(app, 0, 8, full, id, config, 17, replications, 1e18);
+      row.push_back(util::format_fixed(summary.median_makespan, 0));
+    }
+    table.add_row(row);
+  }
+  std::puts(table.render().c_str());
+  std::puts("Reading guide: STATIC pays the full profile skew (increasing: the last share");
+  std::puts("holds ~21% of the work on 8 workers); GSS is hostage to its giant first chunk");
+  std::puts("exactly when the loop is front-loaded (decreasing); the factoring family and");
+  std::puts("the adaptive techniques absorb every profile at a few percent over ideal.");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: master saturation in the message-passing master-worker model.
+// Sweeps the worker count for several DLS techniques and reports makespan
+// plus master utilization — regenerating the classic scaling argument for
+// chunked self-scheduling: SS's one-request-per-iteration floods the
+// master, factoring-family techniques stay off the critical path.
+#include <cstdio>
+
+#include "sim/master_worker.hpp"
+#include "sysmodel/cases.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/application.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("Master-bottleneck scaling study (message-passing model).");
+  cli.add_double("latency", 0.05, "one-way message latency");
+  cli.add_double("service", 0.05, "master service time per request");
+  cli.add_int("seed", 6, "simulation seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // A fine-grained loop: 32768 iterations of mean cost 0.25.
+  const workload::Application app(
+      "finegrain", 0, 32768,
+      {workload::TimeLaw{workload::TimeLawKind::kNormal, 8192.0, 0.1}});
+  const sysmodel::AvailabilitySpec full("dedicated", {pmf::Pmf::delta(1.0)});
+  const sim::MessageModel messages{cli.get_double("latency"), cli.get_double("service")};
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  sim::SimConfig config;
+  config.iteration_cov = 0.2;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  config.scheduling_overhead = 0.0;
+
+  const std::vector<dls::TechniqueId> techniques = {
+      dls::TechniqueId::kSS, dls::TechniqueId::kFSC, dls::TechniqueId::kGSS,
+      dls::TechniqueId::kTSS, dls::TechniqueId::kFAC, dls::TechniqueId::kAF};
+  const std::vector<std::size_t> worker_counts = {4, 8, 16, 32, 64};
+
+  util::Table table;
+  std::vector<std::string> headers = {"technique"};
+  for (std::size_t p : worker_counts) headers.push_back("P=" + std::to_string(p));
+  headers.push_back("master util (P=64)");
+  table.set_headers(headers);
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("Makespan vs worker count (latency " +
+                  util::format_fixed(messages.latency, 2) + ", master service " +
+                  util::format_fixed(messages.master_service_time, 2) + ")");
+
+  for (dls::TechniqueId id : techniques) {
+    std::vector<std::string> row = {dls::technique_name(id)};
+    double last_utilization = 0.0;
+    for (std::size_t p : worker_counts) {
+      const sim::MpiRunResult result =
+          sim::simulate_loop_mpi(app, 0, p, full, id, config, messages, seed);
+      row.push_back(util::format_fixed(result.run.makespan, 0));
+      last_utilization = result.master.busy_time / result.run.makespan;
+    }
+    row.push_back(util::format_percent(last_utilization, 0));
+    table.add_row(row);
+  }
+  std::puts(table.render().c_str());
+  std::puts("Expected shape: ideal scaling halves the makespan per doubling; SS stops");
+  std::puts("scaling once the master saturates (utilization -> 100%), while the batch");
+  std::puts("techniques keep near-ideal speedup with single-digit master utilization.");
+  return 0;
+}

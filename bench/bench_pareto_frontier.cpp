@@ -1,0 +1,57 @@
+// The robustness/performance Pareto frontier of the paper's instance: all
+// 153 feasible allocations collapse to a handful of non-dominated
+// (phi_1, E[Psi]) points. Shows where the paper's robust mapping sits on
+// the trade-off and what a stream-aware manager with a makespan budget
+// would pick instead.
+#include <cstdio>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/pareto.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cdsf;
+  const core::PaperExample example = core::make_paper_example();
+  const ra::Allocation robust = core::paper_robust_allocation();
+  const ra::Allocation naive = core::paper_naive_allocation();
+
+  for (double deadline : {example.deadline, 2200.0}) {
+    const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(), deadline);
+    const std::vector<ra::ParetoPoint> frontier =
+        ra::pareto_frontier(evaluator, example.platform, ra::CountRule::kPowerOfTwo);
+
+    util::Table table({"allocation", "phi_1", "E[Psi]", "note"});
+    table.set_alignment({util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                         util::Align::kLeft});
+    table.set_title("(phi_1, E[Psi]) Pareto frontier over all " +
+                    std::to_string(ra::count_feasible(3, example.platform,
+                                                      ra::CountRule::kPowerOfTwo)) +
+                    " feasible allocations (deadline " + util::format_fixed(deadline, 0) +
+                    ", availability Â)");
+    for (const ra::ParetoPoint& point : frontier) {
+      std::string note;
+      if (point.allocation == robust) note = "<- paper's robust IM";
+      if (point.allocation == naive) note = "<- paper's naive IM";
+      table.add_row({point.allocation.to_string(example.platform),
+                     util::format_percent(point.phi1, 1),
+                     util::format_fixed(point.expected_makespan, 0), note});
+    }
+    std::puts(table.render().c_str());
+  }
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+
+  const pmf::Pmf naive_psi = evaluator.system_makespan_pmf(naive);
+  std::printf("for reference, the naive IM scores (%s, %.0f) — dominated by the frontier.\n",
+              util::format_percent(naive_psi.cdf(example.deadline), 1).c_str(),
+              naive_psi.expectation());
+  std::puts("\nFinding: on the paper's instance the frontier is a SINGLE point — the robust");
+  std::puts("mapping dominates all 152 alternatives in both objectives simultaneously, at");
+  std::puts("the paper's deadline and at tighter ones. Richer instances (more applications");
+  std::puts("per processor) produce genuine multi-point frontiers.");
+  std::puts("\nReading guide: the frontier quantifies the robustness/performance trade-off");
+  std::puts("that a single phi_1 number hides; under an arrival stream (bench_multi_batch)");
+  std::puts("a manager would pick the highest-phi_1 point within its makespan budget");
+  std::puts("(ra::best_within_makespan_budget).");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// RA heuristic comparison on random instances small enough to solve
+// exhaustively: solution quality (phi_1 relative to the optimum) and
+// wall-clock cost of each heuristic.
+#include <chrono>
+#include <cstdio>
+
+#include "ra/heuristics.hpp"
+#include "stats/summary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("RA heuristic quality/runtime comparison against the exhaustive optimum.");
+  cli.add_int("instances", 12, "number of random instances");
+  cli.add_int("apps", 4, "applications per instance");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sysmodel::Platform platform({{"a", 4}, {"b", 8}});
+  const sysmodel::AvailabilitySpec availability(
+      "mixed", {pmf::Pmf::from_pulses({{0.6, 0.5}, {1.0, 0.5}}),
+                pmf::Pmf::from_pulses({{0.3, 0.25}, {0.6, 0.25}, {1.0, 0.5}})});
+
+  const auto instances = static_cast<std::size_t>(cli.get_int("instances"));
+  workload::BatchSpec spec;
+  spec.applications = static_cast<std::size_t>(cli.get_int("apps"));
+  spec.processor_types = 2;
+  spec.min_mean_time = 2000.0;
+  spec.max_mean_time = 12000.0;
+
+  struct Accumulated {
+    stats::OnlineSummary relative_quality;  // phi_1 / phi_1(optimal)
+    stats::OnlineSummary micros;
+    std::size_t optimal_hits = 0;
+  };
+  auto heuristics = ra::all_heuristics(false);
+  heuristics.push_back(std::make_unique<ra::BranchAndBoundOptimal>());
+  std::vector<Accumulated> accumulated(heuristics.size());
+
+  for (std::size_t i = 0; i < instances; ++i) {
+    const workload::Batch batch = workload::generate_batch(spec, 1000 + i);
+    const ra::RobustnessEvaluator evaluator(batch, availability, 9000.0);
+    const double optimal = evaluator.joint_probability(
+        ra::ExhaustiveOptimal().allocate(evaluator, platform, ra::CountRule::kPowerOfTwo));
+    for (std::size_t h = 0; h < heuristics.size(); ++h) {
+      const auto start = std::chrono::steady_clock::now();
+      const ra::Allocation allocation =
+          heuristics[h]->allocate(evaluator, platform, ra::CountRule::kPowerOfTwo);
+      const auto stop = std::chrono::steady_clock::now();
+      const double joint = evaluator.joint_probability(allocation);
+      const double relative = optimal > 0.0 ? joint / optimal : 1.0;
+      accumulated[h].relative_quality.add(relative);
+      accumulated[h].micros.add(
+          std::chrono::duration_cast<std::chrono::microseconds>(stop - start).count());
+      if (relative > 1.0 - 1e-9) ++accumulated[h].optimal_hits;
+    }
+  }
+
+  util::Table table({"heuristic", "mean phi_1 / optimal", "worst", "found optimum", "mean us"});
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("RA heuristics vs exhaustive optimum (" + std::to_string(instances) +
+                  " random instances, " + std::to_string(spec.applications) + " apps each)");
+  for (std::size_t h = 0; h < heuristics.size(); ++h) {
+    table.add_row({heuristics[h]->name(),
+                   util::format_percent(accumulated[h].relative_quality.mean(), 1),
+                   util::format_percent(accumulated[h].relative_quality.min(), 1),
+                   std::to_string(accumulated[h].optimal_hits) + "/" + std::to_string(instances),
+                   util::format_fixed(accumulated[h].micros.mean(), 0)});
+  }
+  std::puts(table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table I: processor availabilities by type and weighted system
+// availabilities for the four cases, with the paper's published values
+// alongside.
+#include <cstdio>
+
+#include "cdsf/paper_example.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cdsf;
+  const core::PaperExample example = core::make_paper_example();
+
+  // Paper's published per-case values (expected availability per type in %,
+  // weighted system availability in %, bracketed decrease in %).
+  struct PaperRow {
+    double type1;
+    double type2;
+    double weighted;
+    double decrease;  // NaN-ish sentinel -1 for the reference case
+  };
+  const PaperRow paper[4] = {{87.50, 68.75, 75.00, -1.0},
+                             {52.50, 54.55, 53.87, 28.17},
+                             {60.58, 47.60, 51.92, 30.77},
+                             {41.25, 55.00, 50.42, 32.77}};
+
+  util::Table table({"case", "quantity", "measured", "paper"});
+  table.set_alignment({util::Align::kLeft, util::Align::kLeft});
+  table.set_title("Table I — processor availabilities by type and weighted system availability");
+  const auto& reference = example.cases.front();
+  for (int k = 0; k < 4; ++k) {
+    const auto& spec = example.cases[static_cast<std::size_t>(k)];
+    const std::string case_name = "case " + std::to_string(k + 1);
+    table.add_row({case_name, "E[avail] type 1",
+                   util::format_percent(spec.expected(0), 2),
+                   util::format_fixed(paper[k].type1, 2) + "%"});
+    table.add_row({case_name, "E[avail] type 2",
+                   util::format_percent(spec.expected(1), 2),
+                   util::format_fixed(paper[k].type2, 2) + "%"});
+    table.add_row({case_name, "weighted system availability",
+                   util::format_percent(spec.weighted_system_availability(example.platform), 2),
+                   util::format_fixed(paper[k].weighted, 2) + "%"});
+    if (paper[k].decrease >= 0.0) {
+      table.add_row(
+          {case_name, "decrease vs reference",
+           util::format_percent(
+               sysmodel::availability_decrease(reference, spec, example.platform), 2),
+           util::format_fixed(paper[k].decrease, 2) + "%"});
+    }
+    if (k < 3) table.add_separator();
+  }
+  std::puts(table.render().c_str());
+  std::puts("Note: the paper's case-3 row was computed from unrounded availability inputs;");
+  std::puts("with the printed (rounded) Table I inputs the weighted availability is 51.83%.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table VI: the DLS technique providing the best application
+// performance while meeting the system deadline, per application and
+// availability case, in scenario 4 (robust IM + robust RAS).
+#include <cstdio>
+
+#include "scenario_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  bool help = false;
+  const bench::ScenarioBenchOptions options = bench::parse_scenario_options(
+      argc, argv, "Table VI — best DLS technique per application and availability case.",
+      &help);
+  if (help) return 0;
+
+  const core::PaperExample example = core::make_paper_example();
+  const core::Framework framework(example.batch, example.platform, example.cases.front(),
+                                  example.deadline);
+  core::StageTwoConfig config;
+  config.replications = options.replications;
+  config.seed = options.seed;
+  config.threads = util::default_thread_count();
+
+  const auto techniques = dls::paper_robust_set();
+  const core::ScenarioResult scenario = framework.run_scenario(
+      "robust IM + robust RAS", ra::ExhaustiveOptimal(), techniques, example.cases, config);
+
+  const char* paper[3][4] = {{"WF", "AF", "AF", "AF"},
+                             {"WF", "WF", "AF", "-"},
+                             {"AF", "AF", "AF", "AF"}};
+
+  util::Table table({"application", "case 1", "case 2", "case 3", "case 4"});
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("Table VI — best deadline-meeting DLS technique (measured / paper)");
+  for (std::size_t app = 0; app < 3; ++app) {
+    std::vector<std::string> row = {std::to_string(app + 1)};
+    for (std::size_t k = 0; k < 4; ++k) {
+      const int best = scenario.per_case[k].best_technique[app];
+      std::string measured =
+          best >= 0 ? dls::technique_name(techniques[static_cast<std::size_t>(best)]) : "-";
+      row.push_back(measured + " / " + paper[app][k]);
+    }
+    table.add_row(row);
+  }
+  std::puts(table.render().c_str());
+
+  // Significance check on the headline cell: is AF's case-3 app-3 win over
+  // FAC statistically real? Paired comparison on common random numbers.
+  {
+    const ra::GroupAssignment group = scenario.stage_one.allocation.at(2);
+    const sim::TechniqueComparison cmp = sim::compare_techniques(
+        example.batch.at(2), group.processor_type, group.processors, example.cases[2],
+        dls::TechniqueId::kFAC, dls::TechniqueId::kAF, config.sim, options.seed,
+        options.replications);
+    std::printf(
+        "case 3 / app 3, FAC - AF paired median difference: %+.0f time units "
+        "(95%% CI [%+.0f, %+.0f], %s)\n",
+        cmp.makespan_difference.median_difference, cmp.makespan_difference.ci.lower,
+        cmp.makespan_difference.ci.upper,
+        cmp.makespan_difference.significant ? "significant" : "not significant");
+  }
+
+  const core::RobustnessReport report = framework.robustness_report(scenario, example.cases);
+  std::printf("rho_2 (largest tolerable availability decrease with deadline met): ");
+  std::printf("measured %s, paper 30.77%%\n",
+              report.rho2 >= 0.0 ? util::format_percent(report.rho2, 2).c_str() : "n/a");
+  std::puts("\nKnown divergences vs the paper (documented in EXPERIMENTS.md):");
+  std::puts(" * case 2 / app 2 is borderline (median path cost ~3253 vs deadline 3250);");
+  std::puts(" * case 4 / app 3 sits within noise of the deadline for FAC/AWF-B/AF, so the");
+  std::puts("   winner there is seed-dependent; the system-level verdicts (cases 1 and 3");
+  std::puts("   robust, case 4 not — through app 2) are unchanged and stable.");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Scheduling a random batch of scientific applications on a larger
+// heterogeneous cluster — the workflow a resource-manager integrator would
+// follow with this library:
+//
+//   1. describe the platform and its historical availability (Â),
+//   2. describe (or generate) the batch,
+//   3. pick a Stage I heuristic fitting the instance size,
+//   4. run Stage II to select a DLS technique per application,
+//   5. read off the robustness report.
+//
+//   ./large_cluster [--apps N] [--procs-per-type N] [--deadline D] ...
+#include <cstdio>
+
+#include "cdsf/framework.hpp"
+#include "ra/heuristics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("CDSF on a larger heterogeneous cluster with a generated batch.");
+  cli.add_int("apps", 8, "number of applications in the batch");
+  cli.add_int("procs-per-type", 16, "processors for each of the three types");
+  cli.add_double("deadline", 12000.0, "common deadline (time units)");
+  cli.add_int("seed", 2026, "workload + simulation seed");
+  cli.add_int("replications", 51, "stage II replications");
+  cli.add_string("heuristic", "GreedyRobustness",
+                 "stage I heuristic (NaiveLoadBalance | GreedyRobustness | MinMinExpected | "
+                 "MaxMinExpected | SufferageRobust | SimulatedAnnealing)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // 1. Platform: three processor generations with distinct availability.
+  const auto per_type = static_cast<std::size_t>(cli.get_int("procs-per-type"));
+  const sysmodel::Platform platform(
+      {{"gen3", per_type}, {"gen2", per_type}, {"gen1", per_type}});
+  const sysmodel::AvailabilitySpec reference(
+      "historical", {pmf::Pmf::from_pulses({{0.80, 0.2}, {1.00, 0.8}}),
+                     pmf::Pmf::from_pulses({{0.50, 0.3}, {0.80, 0.4}, {1.00, 0.3}}),
+                     pmf::Pmf::from_pulses({{0.20, 0.3}, {0.50, 0.4}, {0.80, 0.3}})});
+
+  // 2. Batch: generated; a real integration would load measured PMFs here.
+  workload::BatchSpec spec;
+  spec.applications = static_cast<std::size_t>(cli.get_int("apps"));
+  spec.processor_types = 3;
+  spec.min_total_iterations = 2000;
+  spec.max_total_iterations = 20000;
+  spec.min_mean_time = 3000.0;
+  spec.max_mean_time = 30000.0;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const workload::Batch batch = workload::generate_batch(spec, seed);
+
+  const core::Framework framework(batch, platform, reference, cli.get_double("deadline"));
+
+  // 3. Stage I.
+  const std::string wanted = cli.get_string("heuristic");
+  std::unique_ptr<ra::Heuristic> heuristic;
+  for (auto& candidate : ra::all_heuristics(false)) {
+    if (candidate->name() == wanted) heuristic = std::move(candidate);
+  }
+  if (heuristic == nullptr) {
+    std::fprintf(stderr, "unknown heuristic '%s'\n", wanted.c_str());
+    return 1;
+  }
+  const core::StageOneResult stage1 = framework.run_stage_one(*heuristic);
+  std::printf("Stage I via %s: phi_1 = %s\n", stage1.heuristic_name.c_str(),
+              util::format_percent(stage1.phi1, 1).c_str());
+
+  // 4. Stage II against the reference availability.
+  core::StageTwoConfig config;
+  config.replications = static_cast<std::size_t>(cli.get_int("replications"));
+  config.seed = seed + 1;
+  const auto techniques = dls::paper_robust_set();
+  const core::StageTwoResult stage2 =
+      framework.run_stage_two(stage1.allocation, reference, techniques, config);
+
+  util::Table table({"application", "group", "E[T] stage I", "best DLS", "median makespan",
+                     "meets deadline"});
+  table.set_alignment({util::Align::kLeft, util::Align::kLeft});
+  table.set_title("Per-application plan (deadline " +
+                  util::format_fixed(framework.deadline(), 0) + ")");
+  for (std::size_t app = 0; app < batch.size(); ++app) {
+    const ra::GroupAssignment group = stage1.allocation.at(app);
+    const int best = stage2.best_technique[app];
+    std::string best_name = "-";
+    std::string makespan = "-";
+    if (best >= 0) {
+      const auto& outcome = stage2.outcomes[app][static_cast<std::size_t>(best)];
+      best_name = dls::technique_name(outcome.technique);
+      makespan = util::format_fixed(outcome.summary.median_makespan, 0);
+    }
+    table.add_row({batch.at(app).name(),
+                   std::to_string(group.processors) + " x " +
+                       platform.type(group.processor_type).name,
+                   util::format_fixed(stage1.expected_times[app], 0), best_name, makespan,
+                   best >= 0 ? "yes" : "NO"});
+  }
+  std::puts(table.render().c_str());
+
+  // 5. Robustness against degradation: sweep scaled-down availability.
+  std::puts("Robustness sweep: availability scaled by f, all applications' verdicts:");
+  for (double f : {1.0, 0.9, 0.8, 0.7, 0.6}) {
+    std::vector<pmf::Pmf> scaled;
+    for (std::size_t j = 0; j < 3; ++j) {
+      scaled.push_back(reference.of_type(j).map([f](double a) { return std::max(a * f, 0.01); }));
+    }
+    const sysmodel::AvailabilitySpec degraded("scaled", std::move(scaled));
+    const core::StageTwoResult result =
+        framework.run_stage_two(stage1.allocation, degraded, techniques, config);
+    std::printf("  f = %.1f (weighted avail %s): %s\n", f,
+                util::format_percent(degraded.weighted_system_availability(platform), 1).c_str(),
+                result.all_meet_deadline ? "all meet the deadline" : "deadline violated");
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The DLS techniques scheduling a REAL computation on REAL threads: a
+// Mandelbrot-style row sweep whose per-row cost is wildly irregular — the
+// classic intrinsically imbalanced loop of the DLS literature. Compares
+// wall-clock time and compute imbalance across techniques.
+//
+//   ./real_loop [--rows N] [--threads P] [--max-iter M]
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "dls/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Escape-time iterations summed over one image row (cost varies strongly
+/// with the row's position relative to the Mandelbrot set).
+std::int64_t mandelbrot_row(std::int64_t row, std::int64_t rows, std::int64_t max_iter) {
+  const std::int64_t width = 256;
+  const double ci = -1.2 + 2.4 * static_cast<double>(row) / static_cast<double>(rows);
+  std::int64_t total = 0;
+  for (std::int64_t px = 0; px < width; ++px) {
+    const double cr = -2.2 + 3.0 * static_cast<double>(px) / static_cast<double>(width);
+    double zr = 0.0;
+    double zi = 0.0;
+    std::int64_t it = 0;
+    while (zr * zr + zi * zi <= 4.0 && it < max_iter) {
+      const double next_zr = zr * zr - zi * zi + cr;
+      zi = 2.0 * zr * zi + ci;
+      zr = next_zr;
+      ++it;
+    }
+    total += it;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli("Real-thread DLS runtime on an irregular Mandelbrot row sweep.");
+  cli.add_int("rows", 2000, "image rows (loop iterations)");
+  cli.add_int("threads", 0, "worker threads (0 = hardware)");
+  cli.add_int("max-iter", 2000, "escape-time iteration cap");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto rows = cli.get_int("rows");
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const auto max_iter = cli.get_int("max-iter");
+
+  std::vector<std::int64_t> row_sums(static_cast<std::size_t>(rows), 0);
+  auto body = [&](std::int64_t row) {
+    row_sums[static_cast<std::size_t>(row)] = mandelbrot_row(row, rows, max_iter);
+  };
+
+  util::Table table({"technique", "wall s", "chunks", "imbalance", "checksum"});
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("Mandelbrot sweep: " + std::to_string(rows) + " rows, " +
+                  std::to_string(threads == 0 ? util::default_thread_count() : threads) +
+                  " threads");
+  for (dls::TechniqueId id :
+       {dls::TechniqueId::kStatic, dls::TechniqueId::kSS, dls::TechniqueId::kGSS,
+        dls::TechniqueId::kFAC, dls::TechniqueId::kAWF_C, dls::TechniqueId::kAF}) {
+    std::fill(row_sums.begin(), row_sums.end(), 0);
+    const dls::RuntimeResult result = dls::run_parallel_loop(rows, id, body, threads);
+    std::int64_t checksum = 0;
+    for (std::int64_t s : row_sums) checksum += s;
+    table.add_row({dls::technique_name(id), util::format_fixed(result.elapsed_seconds, 3),
+                   std::to_string(result.total_chunks),
+                   util::format_fixed(result.imbalance(), 2), std::to_string(checksum)});
+  }
+  std::puts(table.render().c_str());
+  std::puts("Identical checksums confirm every technique computed the same image; the");
+  std::puts("imbalance column (busiest worker / mean) shows who absorbed the irregular");
+  std::puts("row costs — STATIC's contiguous shares straddle the expensive band.");
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "cdsf/dynamic_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "pmf/ops.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::core {
+
+namespace {
+
+/// Pr(application completes within `budget`) on `count` processors of
+/// `type` — the single-application stochastic robustness metric.
+double success_probability(const workload::Application& app, std::size_t type,
+                           std::size_t count, const sysmodel::AvailabilitySpec& reference,
+                           double budget) {
+  if (budget <= 0.0) return 0.0;
+  const pmf::Pmf completion =
+      pmf::apply_availability(app.parallel_pmf(type, count, 64), reference.of_type(type));
+  return completion.cdf(budget);
+}
+
+/// Best (type, count) among the free processors: maximize the probability,
+/// tie-break toward fewer processors (leave room for the queue), then
+/// toward the smaller expected completion.
+struct Choice {
+  ra::GroupAssignment group;
+  double probability = -1.0;
+  bool found = false;
+};
+
+Choice choose_group(const workload::Application& app,
+                    const std::vector<std::size_t>& free_processors,
+                    const sysmodel::AvailabilitySpec& reference, double budget,
+                    ra::CountRule rule) {
+  Choice best;
+  for (std::size_t type = 0; type < free_processors.size(); ++type) {
+    for (std::size_t count : ra::candidate_counts(free_processors[type], rule)) {
+      const double p = success_probability(app, type, count, reference, budget);
+      const bool better =
+          p > best.probability + 1e-12 ||
+          (p > best.probability - 1e-12 && best.found && count < best.group.processors);
+      if (!best.found || better) {
+        best.group = ra::GroupAssignment{type, count};
+        best.probability = p;
+        best.found = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
+                                     const sysmodel::AvailabilitySpec& reference,
+                                     const sysmodel::AvailabilitySpec& runtime,
+                                     const DynamicConfig& config, std::uint64_t seed) {
+  if (config.applications == 0) {
+    throw std::invalid_argument("run_dynamic_manager: applications must be >= 1");
+  }
+  if (!(config.mean_interarrival > 0.0)) {
+    throw std::invalid_argument("run_dynamic_manager: mean_interarrival must be > 0");
+  }
+  if (!(config.deadline_slack > 0.0)) {
+    throw std::invalid_argument("run_dynamic_manager: deadline_slack must be > 0");
+  }
+
+  const util::SeedSequence seeds(seed);
+  util::RngStream arrival_rng = seeds.stream(0);
+
+  // Generate the arrival stream up front (deterministic).
+  workload::BatchSpec spec = config.application_spec;
+  spec.applications = config.applications;
+  const workload::Batch apps = workload::generate_batch(spec, seeds.child(1));
+  std::vector<double> arrivals(config.applications);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < config.applications; ++i) {
+    clock += -config.mean_interarrival *
+             std::log(std::max(1e-12, 1.0 - arrival_rng.uniform01()));
+    arrivals[i] = clock;
+  }
+
+  // Event-driven manager: arrivals and completions interleave; completions
+  // free processors and trigger queued allocations (FIFO).
+  std::vector<std::size_t> free_processors(platform.type_count());
+  for (std::size_t j = 0; j < platform.type_count(); ++j) {
+    free_processors[j] = platform.processors_of_type(j);
+  }
+
+  struct Completion {
+    double time;
+    std::size_t app;
+    ra::GroupAssignment group;
+    bool operator>(const Completion& other) const { return time > other.time; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+  std::deque<std::size_t> waiting;
+
+  DynamicRunResult result;
+  result.outcomes.assign(config.applications, DynamicOutcome{});
+  std::size_t next_arrival = 0;
+  double busy_processor_time = 0.0;
+
+  auto try_allocate = [&](std::size_t app_index, double now) -> bool {
+    const workload::Application& app = apps.at(app_index);
+    DynamicOutcome& outcome = result.outcomes[app_index];
+    const double budget = outcome.arrival_time + config.deadline_slack - now;
+    const Choice choice =
+        choose_group(app, free_processors, reference, std::max(budget, 1.0), config.rule);
+    if (!choice.found) return false;  // nothing free at all
+
+    free_processors[choice.group.processor_type] -= choice.group.processors;
+    outcome.start_time = now;
+    outcome.group = choice.group;
+    outcome.probability = choice.probability;
+
+    const sim::RunResult run = sim::simulate_loop(
+        app, choice.group.processor_type, choice.group.processors, runtime, config.technique,
+        config.sim, seeds.child(1000 + app_index));
+    outcome.completion_time = now + run.makespan;
+    outcome.met_deadline =
+        outcome.completion_time <= outcome.arrival_time + config.deadline_slack;
+    busy_processor_time += static_cast<double>(choice.group.processors) * run.makespan;
+    completions.push(Completion{outcome.completion_time, app_index, choice.group});
+    return true;
+  };
+
+  while (next_arrival < config.applications || !completions.empty() || !waiting.empty()) {
+    const double next_arrival_time =
+        next_arrival < config.applications ? arrivals[next_arrival] : 1e300;
+    const double next_completion_time = completions.empty() ? 1e300 : completions.top().time;
+
+    if (next_arrival_time <= next_completion_time) {
+      const std::size_t app_index = next_arrival++;
+      result.outcomes[app_index].arrival_time = arrivals[app_index];
+      if (!waiting.empty() || !try_allocate(app_index, arrivals[app_index])) {
+        waiting.push_back(app_index);  // preserve FIFO order
+      }
+    } else {
+      const Completion done = completions.top();
+      completions.pop();
+      free_processors[done.group.processor_type] += done.group.processors;
+      result.horizon = std::max(result.horizon, done.time);
+      // Drain the FIFO queue as far as the freed resources allow.
+      while (!waiting.empty() && try_allocate(waiting.front(), done.time)) {
+        waiting.pop_front();
+      }
+    }
+  }
+
+  std::size_t hits = 0;
+  double delay = 0.0;
+  for (const DynamicOutcome& outcome : result.outcomes) {
+    if (outcome.met_deadline) ++hits;
+    delay += outcome.start_time - outcome.arrival_time;
+  }
+  result.deadline_hit_rate =
+      static_cast<double>(hits) / static_cast<double>(config.applications);
+  result.mean_queueing_delay = delay / static_cast<double>(config.applications);
+  result.utilization =
+      result.horizon > 0.0
+          ? busy_processor_time /
+                (static_cast<double>(platform.total_processors()) * result.horizon)
+          : 0.0;
+  return result;
+}
+
+}  // namespace cdsf::core

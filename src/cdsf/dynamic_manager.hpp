@@ -1,0 +1,66 @@
+// Dynamic per-application resource allocation — the "dynamic [19]
+// stochastic resource allocation heuristics" the paper names as a Stage I
+// extension (Smith, Chong, Maciejewski & Siegel, ICPP 2009 lineage).
+//
+// Unlike the batch mode (every application of a batch mapped at once,
+// cdsf/multi_batch.hpp), applications here arrive ONE AT A TIME and are
+// allocated immediately from whatever processors are currently free,
+// maximizing their own probability of meeting their arrival-relative
+// deadline; finished applications release their group. Arrivals finding
+// no satisfactory processors wait in a FIFO queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdsf/framework.hpp"
+#include "workload/generator.hpp"
+
+namespace cdsf::core {
+
+/// Arrival process and per-application deadline policy.
+struct DynamicConfig {
+  std::size_t applications = 20;
+  double mean_interarrival = 800.0;
+  /// Deadline of each application = its arrival time + this slack.
+  double deadline_slack = 8000.0;
+  /// Shape of the generated applications (one draw per arrival).
+  workload::BatchSpec application_spec;
+  /// Stage II technique every application executes with.
+  dls::TechniqueId technique = dls::TechniqueId::kAF;
+  /// Simulation settings for the executions.
+  sim::SimConfig sim;
+  ra::CountRule rule = ra::CountRule::kPowerOfTwo;
+};
+
+/// One application's journey through the manager.
+struct DynamicOutcome {
+  double arrival_time = 0.0;
+  double start_time = 0.0;       // allocation time (>= arrival when queued)
+  double completion_time = 0.0;
+  ra::GroupAssignment group;     // what it got
+  double probability = 0.0;      // Pr(meets remaining slack) at allocation
+  bool met_deadline = false;
+};
+
+/// Aggregates over one run.
+struct DynamicRunResult {
+  std::vector<DynamicOutcome> outcomes;
+  double deadline_hit_rate = 0.0;
+  double mean_queueing_delay = 0.0;
+  /// Fraction of processor-time used: sum over apps of
+  /// processors x (completion - start) / (total processors x horizon).
+  double utilization = 0.0;
+  double horizon = 0.0;  // completion of the last application
+};
+
+/// Runs the dynamic manager. Applications are generated deterministically
+/// from `seed`; every stochastic component fans out from it. Throws
+/// std::invalid_argument on degenerate config.
+[[nodiscard]] DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
+                                                   const sysmodel::AvailabilitySpec& reference,
+                                                   const sysmodel::AvailabilitySpec& runtime,
+                                                   const DynamicConfig& config,
+                                                   std::uint64_t seed);
+
+}  // namespace cdsf::core

@@ -1,0 +1,84 @@
+#include "cdsf/multi_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/batch_executor.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::core {
+
+MultiBatchResult run_multi_batch(const sysmodel::Platform& platform,
+                                 const sysmodel::AvailabilitySpec& reference,
+                                 const sysmodel::AvailabilitySpec& runtime,
+                                 const ra::Heuristic& heuristic, const MultiBatchConfig& config,
+                                 std::uint64_t seed) {
+  if (config.batches == 0) {
+    throw std::invalid_argument("run_multi_batch: batches must be >= 1");
+  }
+  if (!(config.mean_interarrival > 0.0)) {
+    throw std::invalid_argument("run_multi_batch: mean_interarrival must be > 0");
+  }
+  if (!(config.deadline_slack > 0.0)) {
+    throw std::invalid_argument("run_multi_batch: deadline_slack must be > 0");
+  }
+
+  const util::SeedSequence seeds(seed);
+  util::RngStream arrival_rng = seeds.stream(0);
+
+  MultiBatchResult result;
+  result.outcomes.reserve(config.batches);
+  double clock = 0.0;           // arrival process time
+  double resources_free = 0.0;  // when the platform becomes available again
+  std::size_t hits = 0;
+  double delay_sum = 0.0;
+
+  for (std::size_t b = 0; b < config.batches; ++b) {
+    BatchOutcome outcome;
+    clock += -config.mean_interarrival *
+             std::log(std::max(1e-12, 1.0 - arrival_rng.uniform01()));
+    outcome.arrival_time = clock;
+    outcome.start_time = std::max(clock, resources_free);
+    const double deadline_absolute = outcome.arrival_time + config.deadline_slack;
+
+    // Stage I on the reference availability. The batch's Stage I deadline
+    // is its REMAINING slack at start time — queueing delay already spent.
+    const workload::Batch batch = workload::generate_batch(config.batch_spec, seeds.child(b));
+    const double remaining_slack = std::max(deadline_absolute - outcome.start_time, 1.0);
+    const Framework framework(batch, platform, reference, remaining_slack);
+    const StageOneResult stage1 = framework.run_stage_one(heuristic, config.rule);
+    outcome.phi1 = stage1.phi1;
+
+    // Stage II: per-application best technique of the robust set, then one
+    // simulated execution of the whole batch with those winners.
+    const StageTwoResult stage2 = framework.run_stage_two(
+        stage1.allocation, runtime, dls::paper_robust_set(), config.stage_two);
+    std::vector<dls::TechniqueId> winners;
+    winners.reserve(batch.size());
+    for (std::size_t app = 0; app < batch.size(); ++app) {
+      const int best = stage2.best_technique[app];
+      winners.push_back(best >= 0 ? dls::paper_robust_set()[static_cast<std::size_t>(best)]
+                                  : dls::TechniqueId::kAF);
+    }
+    const sim::BatchRunResult run = sim::simulate_batch(
+        batch, stage1.allocation, runtime, winners, config.stage_two.sim,
+        seeds.child(1000 + b));
+    outcome.psi = run.system_makespan;
+    outcome.completion_time = outcome.start_time + run.system_makespan;
+    outcome.met_deadline = outcome.completion_time <= deadline_absolute;
+
+    resources_free = outcome.completion_time;
+    if (outcome.met_deadline) ++hits;
+    delay_sum += outcome.start_time - outcome.arrival_time;
+    result.outcomes.push_back(outcome);
+  }
+
+  result.total_time = resources_free;
+  result.deadline_hit_rate =
+      static_cast<double>(hits) / static_cast<double>(config.batches);
+  result.mean_queueing_delay = delay_sum / static_cast<double>(config.batches);
+  return result;
+}
+
+}  // namespace cdsf::core

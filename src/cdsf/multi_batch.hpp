@@ -1,0 +1,70 @@
+// Multi-batch operation — the paper's future work "a larger scale problem
+// ... more applications, i.e., in a larger batch or in multiple batches".
+//
+// Applications arrive at random intervals in the resource manager's queue
+// (Section III-B) and are assigned in batches. Following the paper's
+// definition, the system makespan Psi of a batch "represents the time when
+// the next batch of applications will require resources": batches execute
+// one after another on the full platform, each re-running Stage I (on the
+// reference availability) and Stage II (simulated against the runtime
+// availability). Per-batch deadlines are relative to ARRIVAL, so queueing
+// delay consumes slack and robustness couples across batches — the effect
+// a single-batch study cannot show.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cdsf/framework.hpp"
+#include "workload/generator.hpp"
+
+namespace cdsf::core {
+
+/// Arrival process and per-batch deadline policy.
+struct MultiBatchConfig {
+  /// Number of batches to process.
+  std::size_t batches = 8;
+  /// Mean inter-arrival time between batches (exponential).
+  double mean_interarrival = 2000.0;
+  /// Deadline of a batch = its arrival time + this slack.
+  double deadline_slack = 8000.0;
+  /// Workload shape of every batch.
+  workload::BatchSpec batch_spec;
+  /// Stage II simulation settings.
+  StageTwoConfig stage_two;
+  /// Count rule for Stage I.
+  ra::CountRule rule = ra::CountRule::kPowerOfTwo;
+};
+
+/// Outcome of one batch.
+struct BatchOutcome {
+  double arrival_time = 0.0;
+  double start_time = 0.0;       // max(arrival, previous batch completion)
+  double completion_time = 0.0;  // start + simulated Psi
+  double phi1 = 0.0;             // Stage I robustness at allocation time
+  double psi = 0.0;              // simulated system makespan of the batch
+  bool met_deadline = false;     // completion <= arrival + slack
+};
+
+/// Aggregate over a whole run.
+struct MultiBatchResult {
+  std::vector<BatchOutcome> outcomes;
+  double total_time = 0.0;        // completion of the last batch
+  double deadline_hit_rate = 0.0; // fraction of batches meeting their deadline
+  double mean_queueing_delay = 0.0;
+};
+
+/// Processes `config.batches` randomly generated batches through the CDSF
+/// on `platform`: Stage I against `reference`, Stage II simulated against
+/// `runtime` with the per-application best technique of the robust set.
+/// Deterministic given `seed`. Throws std::invalid_argument on degenerate
+/// config (zero batches, non-positive inter-arrival or slack).
+[[nodiscard]] MultiBatchResult run_multi_batch(const sysmodel::Platform& platform,
+                                               const sysmodel::AvailabilitySpec& reference,
+                                               const sysmodel::AvailabilitySpec& runtime,
+                                               const ra::Heuristic& heuristic,
+                                               const MultiBatchConfig& config,
+                                               std::uint64_t seed);
+
+}  // namespace cdsf::core

@@ -1,0 +1,37 @@
+// The canonical data of the paper's Section IV example:
+//   Table I   — availability cases (via sysmodel::paper_cases),
+//   Table II  — the batch of three applications,
+//   Table III — mean single-processor execution times,
+//   Table IV  — the two reference allocations (naive and robust IM),
+//   deadline Delta = 3250 time units.
+#pragma once
+
+#include <vector>
+
+#include "ra/allocation.hpp"
+#include "sysmodel/cases.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::core {
+
+/// Everything the Section IV example needs, bundled.
+struct PaperExample {
+  workload::Batch batch;
+  sysmodel::Platform platform;
+  std::vector<sysmodel::AvailabilitySpec> cases;  // [0] == case 1 == Â
+  double deadline = 3250.0;
+};
+
+/// Builds the example. Applications use Normal laws with cov = 0.1 exactly
+/// as Section IV prescribes.
+[[nodiscard]] PaperExample make_paper_example();
+
+/// Table IV "naive IM": app1 -> 4 x type2, app2 -> 4 x type1,
+/// app3 -> 4 x type2.
+[[nodiscard]] ra::Allocation paper_naive_allocation();
+
+/// Table IV "robust IM": app1 -> 2 x type1, app2 -> 2 x type1,
+/// app3 -> 8 x type2.
+[[nodiscard]] ra::Allocation paper_robust_allocation();
+
+}  // namespace cdsf::core

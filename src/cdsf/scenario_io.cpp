@@ -1,0 +1,321 @@
+#include "cdsf/scenario_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "cdsf/paper_example.hpp"
+
+namespace cdsf::core {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  throw std::runtime_error("scenario parse error (line " + std::to_string(line) + "): " +
+                           message);
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_whitespace(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) out.push_back(token);
+  return out;
+}
+
+double parse_double(const std::string& text, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) parse_error(line, "trailing characters in number '" + text + "'");
+    return value;
+  } catch (const std::invalid_argument&) {
+    parse_error(line, "expected a number, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    parse_error(line, "number out of range: '" + text + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& text, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(text, &pos);
+    if (pos != text.size()) parse_error(line, "trailing characters in integer '" + text + "'");
+    return value;
+  } catch (const std::invalid_argument&) {
+    parse_error(line, "expected an integer, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    parse_error(line, "integer out of range: '" + text + "'");
+  }
+}
+
+workload::IterationProfile parse_profile(const std::string& text, std::size_t line) {
+  if (text == "flat") return workload::IterationProfile::kFlat;
+  if (text == "increasing") return workload::IterationProfile::kIncreasing;
+  if (text == "decreasing") return workload::IterationProfile::kDecreasing;
+  if (text == "parabolic") return workload::IterationProfile::kParabolic;
+  parse_error(line, "unknown iteration profile '" + text + "'");
+}
+
+workload::TimeLawKind parse_law(const std::string& text, std::size_t line) {
+  if (text == "normal") return workload::TimeLawKind::kNormal;
+  if (text == "lognormal") return workload::TimeLawKind::kLogNormal;
+  if (text == "gamma") return workload::TimeLawKind::kGamma;
+  if (text == "uniform") return workload::TimeLawKind::kUniform;
+  if (text == "exponential") return workload::TimeLawKind::kExponential;
+  parse_error(line, "unknown time law '" + text + "'");
+}
+
+std::string law_name(workload::TimeLawKind kind) {
+  switch (kind) {
+    case workload::TimeLawKind::kNormal: return "normal";
+    case workload::TimeLawKind::kLogNormal: return "lognormal";
+    case workload::TimeLawKind::kGamma: return "gamma";
+    case workload::TimeLawKind::kUniform: return "uniform";
+    case workload::TimeLawKind::kExponential: return "exponential";
+  }
+  return "normal";
+}
+
+/// "value:probability" pulse.
+pmf::Pulse parse_pulse(const std::string& token, std::size_t line) {
+  const auto colon = token.find(':');
+  if (colon == std::string::npos) {
+    parse_error(line, "pulse must be 'availability:probability', got '" + token + "'");
+  }
+  return pmf::Pulse{parse_double(token.substr(0, colon), line),
+                    parse_double(token.substr(colon + 1), line)};
+}
+
+// Raw, order-preserving view of the file before semantic resolution.
+struct RawApplication {
+  std::string name;
+  std::int64_t serial = -1;
+  std::int64_t parallel = -1;
+  std::vector<double> means;
+  double cov = 0.1;
+  workload::TimeLawKind law = workload::TimeLawKind::kNormal;
+  workload::IterationProfile profile = workload::IterationProfile::kFlat;
+  std::size_t line = 0;
+};
+struct RawCase {
+  std::string name;
+  std::vector<std::pair<std::string, std::vector<pmf::Pulse>>> per_type;
+  std::size_t line = 0;
+};
+
+}  // namespace
+
+Scenario parse_scenario(std::istream& in) {
+  std::vector<sysmodel::ProcessorType> types;
+  std::vector<RawCase> raw_cases;
+  std::vector<RawApplication> raw_apps;
+  double deadline = -1.0;
+
+  enum class Section { kNone, kPlatform, kAvailability, kApplication, kDeadline };
+  Section section = Section::kNone;
+  RawCase* current_case = nullptr;
+  RawApplication* current_app = nullptr;
+
+  std::string line_text;
+  std::size_t line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    std::string text = line_text;
+    if (const auto hash = text.find('#'); hash != std::string::npos) text = text.substr(0, hash);
+    text = trim(text);
+    if (text.empty()) continue;
+
+    if (text.front() == '[') {
+      if (text.back() != ']') parse_error(line, "unterminated section header");
+      const std::vector<std::string> header = split_whitespace(text.substr(1, text.size() - 2));
+      if (header.empty()) parse_error(line, "empty section header");
+      if (header[0] == "platform") {
+        section = Section::kPlatform;
+      } else if (header[0] == "availability") {
+        if (header.size() != 2) parse_error(line, "[availability <name>] expected");
+        section = Section::kAvailability;
+        raw_cases.push_back(RawCase{header[1], {}, line});
+        current_case = &raw_cases.back();
+      } else if (header[0] == "application") {
+        if (header.size() != 2) parse_error(line, "[application <name>] expected");
+        section = Section::kApplication;
+        raw_apps.push_back(RawApplication{});
+        current_app = &raw_apps.back();
+        current_app->name = header[1];
+        current_app->line = line;
+      } else if (header[0] == "deadline") {
+        section = Section::kDeadline;
+      } else {
+        parse_error(line, "unknown section '" + header[0] + "'");
+      }
+      continue;
+    }
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) parse_error(line, "expected 'key = value'");
+    const std::string key = trim(text.substr(0, eq));
+    const std::string value = trim(text.substr(eq + 1));
+
+    switch (section) {
+      case Section::kNone:
+        parse_error(line, "key outside of any section");
+      case Section::kPlatform: {
+        if (key != "type") parse_error(line, "only 'type = name count' allowed in [platform]");
+        const std::vector<std::string> parts = split_whitespace(value);
+        if (parts.size() != 2) parse_error(line, "'type = name count' expected");
+        const std::int64_t count = parse_int(parts[1], line);
+        if (count <= 0) parse_error(line, "processor count must be positive");
+        types.push_back({parts[0], static_cast<std::size_t>(count)});
+        break;
+      }
+      case Section::kAvailability: {
+        std::vector<pmf::Pulse> pulses;
+        for (const std::string& token : split_whitespace(value)) {
+          pulses.push_back(parse_pulse(token, line));
+        }
+        if (pulses.empty()) parse_error(line, "at least one pulse required");
+        current_case->per_type.emplace_back(key, std::move(pulses));
+        break;
+      }
+      case Section::kApplication: {
+        if (key == "serial") {
+          current_app->serial = parse_int(value, line);
+        } else if (key == "parallel") {
+          current_app->parallel = parse_int(value, line);
+        } else if (key == "mean") {
+          for (const std::string& token : split_whitespace(value)) {
+            current_app->means.push_back(parse_double(token, line));
+          }
+        } else if (key == "cov") {
+          current_app->cov = parse_double(value, line);
+        } else if (key == "law") {
+          current_app->law = parse_law(value, line);
+        } else if (key == "profile") {
+          current_app->profile = parse_profile(value, line);
+        } else {
+          parse_error(line, "unknown application key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kDeadline: {
+        if (key != "value") parse_error(line, "only 'value = <number>' allowed in [deadline]");
+        deadline = parse_double(value, line);
+        break;
+      }
+    }
+  }
+
+  // ---- semantic resolution ------------------------------------------------
+  if (types.empty()) throw std::invalid_argument("scenario: [platform] defines no types");
+  sysmodel::Platform platform(types);
+  auto type_index = [&](const std::string& name, std::size_t at_line) {
+    for (std::size_t j = 0; j < platform.type_count(); ++j) {
+      if (platform.type(j).name == name) return j;
+    }
+    parse_error(at_line, "unknown processor type '" + name + "'");
+  };
+
+  if (raw_cases.empty()) {
+    throw std::invalid_argument("scenario: at least one [availability <name>] case required");
+  }
+  std::vector<sysmodel::AvailabilitySpec> cases;
+  for (const RawCase& raw : raw_cases) {
+    std::vector<pmf::Pmf> per_type(platform.type_count(), pmf::Pmf::delta(1.0));
+    std::vector<bool> seen(platform.type_count(), false);
+    for (const auto& [name, pulses] : raw.per_type) {
+      const std::size_t j = type_index(name, raw.line);
+      per_type[j] = pmf::Pmf::from_pulses(pulses);
+      seen[j] = true;
+    }
+    for (std::size_t j = 0; j < platform.type_count(); ++j) {
+      if (!seen[j]) {
+        throw std::invalid_argument("scenario: availability case '" + raw.name +
+                                    "' missing type '" + platform.type(j).name + "'");
+      }
+    }
+    cases.emplace_back(raw.name, std::move(per_type));
+  }
+
+  if (raw_apps.empty()) throw std::invalid_argument("scenario: no applications defined");
+  workload::Batch batch;
+  for (const RawApplication& raw : raw_apps) {
+    if (raw.serial < 0 || raw.parallel < 0) {
+      throw std::invalid_argument("scenario: application '" + raw.name +
+                                  "' needs 'serial' and 'parallel'");
+    }
+    if (raw.means.size() != platform.type_count()) {
+      throw std::invalid_argument("scenario: application '" + raw.name + "' needs " +
+                                  std::to_string(platform.type_count()) + " mean values");
+    }
+    std::vector<workload::TimeLaw> laws;
+    laws.reserve(raw.means.size());
+    for (double mean : raw.means) laws.push_back({raw.law, mean, raw.cov});
+    batch.add(workload::Application(raw.name, raw.serial, raw.parallel, std::move(laws),
+                                    raw.profile));
+  }
+
+  if (!(deadline > 0.0)) {
+    throw std::invalid_argument("scenario: [deadline] with a positive 'value' required");
+  }
+
+  return Scenario{std::move(platform), std::move(cases), std::move(batch), deadline};
+}
+
+Scenario parse_scenario_text(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_scenario(stream);
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("scenario: cannot open '" + path + "'");
+  return parse_scenario(file);
+}
+
+std::string scenario_to_text(const Scenario& scenario) {
+  std::ostringstream out;
+  out << "[platform]\n";
+  for (const auto& type : scenario.platform.types()) {
+    out << "type = " << type.name << " " << type.count << "\n";
+  }
+  for (const auto& spec : scenario.cases) {
+    out << "\n[availability " << spec.name() << "]\n";
+    for (std::size_t j = 0; j < scenario.platform.type_count(); ++j) {
+      out << scenario.platform.type(j).name << " =";
+      for (const pmf::Pulse& pulse : spec.of_type(j).pulses()) {
+        out << " " << pulse.value << ":" << pulse.probability;
+      }
+      out << "\n";
+    }
+  }
+  for (const auto& app : scenario.batch) {
+    out << "\n[application " << app.name() << "]\n";
+    out << "serial = " << app.serial_iterations() << "\n";
+    out << "parallel = " << app.parallel_iterations() << "\n";
+    out << "mean =";
+    for (std::size_t j = 0; j < app.type_count(); ++j) out << " " << app.mean_time(j);
+    out << "\n";
+    out << "cov = " << app.time_law(0).cov << "\n";
+    out << "law = " << law_name(app.time_law(0).kind) << "\n";
+    out << "profile = " << workload::to_string(app.profile()) << "\n";
+  }
+  out << "\n[deadline]\nvalue = " << scenario.deadline << "\n";
+  return out.str();
+}
+
+std::string paper_scenario_text() {
+  const PaperExample example = make_paper_example();
+  return scenario_to_text(
+      Scenario{example.platform, example.cases, example.batch, example.deadline});
+}
+
+}  // namespace cdsf::core

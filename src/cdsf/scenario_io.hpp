@@ -1,0 +1,68 @@
+// Plain-text scenario files: describe a platform, its availability cases,
+// a batch of applications and a deadline in a small INI-like format, so
+// experiments can be configured without recompiling.
+//
+//   # comments start with '#'
+//   [platform]
+//   type = type1 4            # name count
+//   type = type2 8
+//
+//   [availability case1]      # one section per case; first case = Â
+//   type1 = 0.75:0.5 1.0:0.5  # availability:probability pulses
+//   type2 = 0.25:0.25 0.5:0.25 1.0:0.5
+//
+//   [application app1]
+//   serial = 439
+//   parallel = 1024
+//   mean = 1800 4000          # per processor type, in [platform] order
+//   cov = 0.1                 # optional, default 0.1
+//   law = normal              # optional: normal|lognormal|gamma|uniform|exponential
+//
+//   [deadline]
+//   value = 3250
+//
+// Sections may appear in any order; [platform] must precede availability
+// and application sections only logically (the parser resolves names after
+// reading the whole file).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sysmodel/availability.hpp"
+#include "sysmodel/platform.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::core {
+
+/// Everything a scenario file defines.
+struct Scenario {
+  sysmodel::Platform platform{{{"default", 1}}};
+  std::vector<sysmodel::AvailabilitySpec> cases;  // [0] is the reference
+  workload::Batch batch;
+  double deadline = 0.0;
+};
+
+/// Parses a scenario from a stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input, and std::invalid_argument when
+/// the parsed pieces are inconsistent (unknown type names, no applications,
+/// missing deadline, ...).
+[[nodiscard]] Scenario parse_scenario(std::istream& in);
+
+/// Convenience: parse from a string.
+[[nodiscard]] Scenario parse_scenario_text(const std::string& text);
+
+/// Loads and parses a scenario file. Throws std::runtime_error if the file
+/// cannot be opened.
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+
+/// Serializes a scenario back to the file format (round-trips through
+/// parse_scenario_text).
+[[nodiscard]] std::string scenario_to_text(const Scenario& scenario);
+
+/// The paper's Section IV example as a scenario-file string (used by the
+/// round-trip tests and as a template for users).
+[[nodiscard]] std::string paper_scenario_text();
+
+}  // namespace cdsf::core

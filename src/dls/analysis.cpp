@@ -1,0 +1,86 @@
+#include "dls/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace cdsf::dls {
+
+ScheduleAnalysis analyze_schedule(Technique& technique, std::int64_t total_iterations,
+                                  std::size_t workers) {
+  if (workers == 0) throw std::invalid_argument("analyze_schedule: workers must be >= 1");
+  if (total_iterations < 1) {
+    throw std::invalid_argument("analyze_schedule: total_iterations must be >= 1");
+  }
+  technique.reset();
+
+  ScheduleAnalysis analysis;
+  analysis.total_iterations = total_iterations;
+  analysis.smallest_chunk = std::numeric_limits<std::int64_t>::max();
+
+  std::int64_t remaining = total_iterations;
+  std::vector<bool> retired(workers, false);
+  std::vector<std::uint64_t> per_worker(workers, 0);
+  std::size_t retired_count = 0;
+  std::size_t worker = 0;
+  std::uint64_t guard = 0;
+  const auto guard_limit =
+      static_cast<std::uint64_t>(total_iterations) * workers + 1000 * workers;
+
+  while (remaining > 0 && retired_count < workers) {
+    if (++guard > guard_limit) {
+      throw std::runtime_error("analyze_schedule: technique failed to drain the pool");
+    }
+    if (!retired[worker]) {
+      const std::int64_t chunk =
+          technique.next_chunk(SchedulingContext{remaining, worker, 0.0});
+      if (chunk <= 0) {
+        retired[worker] = true;
+        ++retired_count;
+      } else {
+        const std::int64_t size = std::min(chunk, remaining);
+        analysis.chunks.push_back({worker, size, remaining});
+        remaining -= size;
+        per_worker[worker] += 1;
+        // Uniform feedback: one time unit per iteration.
+        technique.record(ChunkResult{worker, size, static_cast<double>(size),
+                                     static_cast<double>(size)});
+      }
+    }
+    worker = (worker + 1) % workers;
+  }
+  if (remaining > 0) {
+    throw std::runtime_error("analyze_schedule: every worker retired with work remaining");
+  }
+
+  std::set<std::int64_t> sizes;
+  std::int64_t sum = 0;
+  for (const ScheduledChunk& chunk : analysis.chunks) {
+    analysis.largest_chunk = std::max(analysis.largest_chunk, chunk.size);
+    analysis.smallest_chunk = std::min(analysis.smallest_chunk, chunk.size);
+    sizes.insert(chunk.size);
+    sum += chunk.size;
+  }
+  analysis.chunk_count = analysis.chunks.size();
+  analysis.mean_chunk =
+      analysis.chunk_count > 0
+          ? static_cast<double>(sum) / static_cast<double>(analysis.chunk_count)
+          : 0.0;
+  analysis.distinct_sizes = sizes.size();
+  const auto [min_it, max_it] = std::minmax_element(per_worker.begin(), per_worker.end());
+  analysis.worker_chunk_imbalance = *max_it - *min_it;
+  if (analysis.chunk_count == 0) analysis.smallest_chunk = 0;
+  return analysis;
+}
+
+ScheduleAnalysis analyze_schedule(TechniqueId id, std::int64_t total_iterations,
+                                  std::size_t workers) {
+  TechniqueParams params;
+  params.workers = workers;
+  params.total_iterations = total_iterations;
+  const auto technique = make_technique(id, params);
+  return analyze_schedule(*technique, total_iterations, workers);
+}
+
+}  // namespace cdsf::dls

@@ -1,0 +1,56 @@
+// Offline chunk-schedule analysis: replay a technique against a
+// deterministic request pattern (no simulator, no randomness) to obtain
+// the exact chunk sequence it would produce, plus summary statistics.
+//
+// Useful for: understanding a technique before running it ("schedule
+// preview"), regression-testing chunk rules against their published
+// closed forms, and estimating scheduling overhead (chunk count) without
+// a simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dls/registry.hpp"
+#include "dls/technique.hpp"
+
+namespace cdsf::dls {
+
+/// One dispatched chunk of the replay.
+struct ScheduledChunk {
+  std::size_t worker = 0;
+  std::int64_t size = 0;
+  std::int64_t remaining_before = 0;
+};
+
+/// Summary of a replayed schedule.
+struct ScheduleAnalysis {
+  std::vector<ScheduledChunk> chunks;
+  std::int64_t total_iterations = 0;
+  std::size_t chunk_count = 0;
+  std::int64_t largest_chunk = 0;
+  std::int64_t smallest_chunk = 0;
+  double mean_chunk = 0.0;
+  /// Number of distinct chunk SIZES (a proxy for batch structure: FAC on a
+  /// power-of-two loop shows ~log2(N/P) sizes, SS shows 1).
+  std::size_t distinct_sizes = 0;
+  /// Chunks per worker (max - min): dispatch fairness of the replay.
+  std::uint64_t worker_chunk_imbalance = 0;
+};
+
+/// Replays `technique` with `workers` requesting round-robin until the pool
+/// of `total_iterations` drains (or every worker is retired). Feedback is
+/// synthesized as if every iteration took exactly one time unit, so
+/// adaptive techniques see perfectly uniform workers. Throws
+/// std::invalid_argument on a zero worker count or iteration count, and
+/// std::runtime_error if the technique fails to drain the pool.
+[[nodiscard]] ScheduleAnalysis analyze_schedule(Technique& technique,
+                                                std::int64_t total_iterations,
+                                                std::size_t workers);
+
+/// Convenience: build the technique from the registry with uniform
+/// single-speed workers and replay it.
+[[nodiscard]] ScheduleAnalysis analyze_schedule(TechniqueId id, std::int64_t total_iterations,
+                                                std::size_t workers);
+
+}  // namespace cdsf::dls

@@ -1,0 +1,91 @@
+#include "dls/extended.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdsf::dls {
+
+// ------------------------------------------------------------------ TFSS --
+
+TrapezoidFactoring::TrapezoidFactoring(const TechniqueParams& params)
+    : workers_(params.workers) {
+  validate_params(params);
+  const auto n = static_cast<double>(params.total_iterations);
+  const auto p = static_cast<double>(params.workers);
+  tss_first_ = std::max(1.0, std::ceil(n / (2.0 * p)));
+  constexpr double last = 1.0;
+  const double steps = std::max(2.0, std::ceil(2.0 * n / (tss_first_ + last)));
+  tss_decrement_ = (tss_first_ - last) / (steps - 1.0);
+  tss_current_ = tss_first_;
+}
+
+std::int64_t TrapezoidFactoring::next_chunk(const SchedulingContext& ctx) {
+  if (batch_remaining_ <= 0) {
+    // Average the next P TSS chunks into one batch plateau.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < workers_; ++i) {
+      sum += tss_current_;
+      tss_current_ = std::max(1.0, tss_current_ - tss_decrement_);
+    }
+    batch_chunk_ = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(sum / static_cast<double>(workers_))));
+    batch_remaining_ = batch_chunk_ * static_cast<std::int64_t>(workers_);
+  }
+  const std::int64_t chunk = std::min(batch_chunk_, batch_remaining_);
+  batch_remaining_ -= chunk;
+  return clamp_chunk(chunk, ctx.remaining_iterations);
+}
+
+void TrapezoidFactoring::reset() {
+  tss_current_ = tss_first_;
+  batch_remaining_ = 0;
+  batch_chunk_ = 0;
+}
+
+// ------------------------------------------------------------------- RND --
+
+RandomChunking::RandomChunking(const TechniqueParams& params)
+    : seed_(params.seed), rng_(params.seed) {
+  validate_params(params);
+  const auto n = static_cast<double>(params.total_iterations);
+  const auto p = static_cast<double>(params.workers);
+  lo_ = std::max<std::int64_t>(1, static_cast<std::int64_t>(std::floor(n / (100.0 * p))));
+  hi_ = std::max<std::int64_t>(lo_, static_cast<std::int64_t>(std::ceil(n / (2.0 * p))));
+}
+
+std::int64_t RandomChunking::next_chunk(const SchedulingContext& ctx) {
+  const std::int64_t chunk = rng_.uniform_int(lo_, hi_);
+  return clamp_chunk(chunk, ctx.remaining_iterations);
+}
+
+void RandomChunking::reset() { rng_ = util::RngStream(seed_); }
+
+// ------------------------------------------------------------------- PLS --
+
+PerformanceLoopScheduling::PerformanceLoopScheduling(const TechniqueParams& params)
+    : workers_(params.workers), static_served_(params.workers, false) {
+  validate_params(params);
+  if (!(params.static_workload_ratio >= 0.0 && params.static_workload_ratio <= 1.0)) {
+    throw std::invalid_argument("PLS: static_workload_ratio must be in [0, 1]");
+  }
+  const double share = params.static_workload_ratio *
+                       static_cast<double>(params.total_iterations) /
+                       static_cast<double>(params.workers);
+  static_chunk_ = static_cast<std::int64_t>(std::floor(share));
+}
+
+std::int64_t PerformanceLoopScheduling::next_chunk(const SchedulingContext& ctx) {
+  if (ctx.worker >= workers_) throw std::out_of_range("PLS: bad worker index");
+  if (!static_served_[ctx.worker]) {
+    static_served_[ctx.worker] = true;
+    if (static_chunk_ >= 1) return clamp_chunk(static_chunk_, ctx.remaining_iterations);
+    // SWR too small for a static share: fall through to the dynamic rule.
+  }
+  const auto p = static_cast<std::int64_t>(workers_);
+  return clamp_chunk((ctx.remaining_iterations + p - 1) / p, ctx.remaining_iterations);
+}
+
+void PerformanceLoopScheduling::reset() { static_served_.assign(workers_, false); }
+
+}  // namespace cdsf::dls

@@ -1,0 +1,76 @@
+// Additional DLS techniques from the authors' broader scheduling suite
+// (the DLS4LB / LB4MPI lineage maintained by the same research groups):
+//
+//   TFSS — trapezoid factoring self scheduling: batches as in factoring,
+//          but within a batch every chunk equals the AVERAGE of the next P
+//          TSS chunks — TSS's linear decrease smoothed into FAC-style
+//          batch plateaus.
+//   RND  — random: each chunk drawn uniformly from
+//          [N / (100 P), N / (2 P)] (clamped to >= 1). A control technique:
+//          any "intelligent" rule should beat it.
+//   PLS  — performance-based loop scheduling: a static fraction (the
+//          static workload ratio, SWR) is dealt out in one equal chunk per
+//          worker up front; the remainder is self-scheduled with the GSS
+//          rule. SWR = 0 degrades to GSS, SWR = 1 to STATIC.
+#pragma once
+
+#include "dls/technique.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::dls {
+
+/// TFSS — factoring batches of averaged TSS chunks.
+class TrapezoidFactoring final : public Technique {
+ public:
+  explicit TrapezoidFactoring(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "TFSS"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+ private:
+  std::size_t workers_;
+  double tss_first_;
+  double tss_decrement_;
+  double tss_current_ = 0.0;
+  std::int64_t batch_remaining_ = 0;
+  std::int64_t batch_chunk_ = 0;
+};
+
+/// RND — uniformly random chunk sizes (control technique).
+class RandomChunking final : public Technique {
+ public:
+  explicit RandomChunking(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "RND"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+  [[nodiscard]] std::int64_t lower_bound() const noexcept { return lo_; }
+  [[nodiscard]] std::int64_t upper_bound() const noexcept { return hi_; }
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::uint64_t seed_;
+  util::RngStream rng_;
+};
+
+/// PLS — static prefix (SWR share per worker once) + GSS remainder.
+class PerformanceLoopScheduling final : public Technique {
+ public:
+  explicit PerformanceLoopScheduling(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "PLS"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+  [[nodiscard]] std::int64_t static_chunk() const noexcept { return static_chunk_; }
+
+ private:
+  std::size_t workers_;
+  std::int64_t static_chunk_;
+  std::vector<bool> static_served_;
+};
+
+}  // namespace cdsf::dls

@@ -1,0 +1,82 @@
+#include "dls/factoring.hpp"
+
+#include <cmath>
+
+namespace cdsf::dls {
+
+namespace {
+
+/// Probabilistic batch fraction of original factoring: the batch is R/x
+/// with x = 1 + b^2 + b sqrt(b^2 + 2), b = P sigma / (2 sqrt(R) mu).
+/// Evaluated at R = N for a single representative fraction (the original
+/// algorithm re-evaluates per batch; the dominant behaviour is captured by
+/// the first batch and the fraction is monotone toward 1/2 as b -> 0).
+double probabilistic_fraction(double n, double p, double mu, double sigma) {
+  const double b = p * sigma / (2.0 * std::sqrt(n) * mu);
+  const double x = 1.0 + b * b + b * std::sqrt(b * b + 2.0);
+  return 1.0 / x;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- FAC --
+
+Factoring::Factoring(const TechniqueParams& params) : workers_(params.workers) {
+  validate_params(params);
+  if (params.probabilistic_factoring && params.mean_iteration_time > 0.0 &&
+      params.stddev_iteration_time > 0.0) {
+    batch_fraction_ = probabilistic_fraction(static_cast<double>(params.total_iterations),
+                                             static_cast<double>(params.workers),
+                                             params.mean_iteration_time,
+                                             params.stddev_iteration_time);
+  } else {
+    batch_fraction_ = 0.5;  // FAC2
+  }
+}
+
+std::int64_t Factoring::next_chunk(const SchedulingContext& ctx) {
+  if (batch_remaining_ <= 0) {
+    const double batch = std::ceil(static_cast<double>(ctx.remaining_iterations) * batch_fraction_);
+    batch_remaining_ = std::max<std::int64_t>(1, static_cast<std::int64_t>(batch));
+    batch_chunk_ = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::ceil(batch / static_cast<double>(workers_))));
+  }
+  const std::int64_t chunk = std::min(batch_chunk_, batch_remaining_);
+  batch_remaining_ -= chunk;
+  return clamp_chunk(chunk, ctx.remaining_iterations);
+}
+
+void Factoring::reset() {
+  batch_remaining_ = 0;
+  batch_chunk_ = 0;
+}
+
+// -------------------------------------------------------------------- WF --
+
+WeightedFactoring::WeightedFactoring(const TechniqueParams& params)
+    : workers_(params.workers), weights_(normalized_weights(params)) {
+  validate_params(params);
+}
+
+std::int64_t WeightedFactoring::next_chunk(const SchedulingContext& ctx) {
+  if (batch_remaining_ <= 0) {
+    batch_size_ = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(static_cast<double>(ctx.remaining_iterations) * 0.5)));
+    batch_remaining_ = batch_size_;
+  }
+  // Worker w's chunk within a batch: its weighted share of the batch.
+  const double share = static_cast<double>(batch_size_) * weights_.at(ctx.worker) /
+                       static_cast<double>(workers_);
+  auto chunk = static_cast<std::int64_t>(std::llround(share));
+  chunk = std::max<std::int64_t>(1, std::min(chunk, batch_remaining_));
+  batch_remaining_ -= chunk;
+  return clamp_chunk(chunk, ctx.remaining_iterations);
+}
+
+void WeightedFactoring::reset() {
+  batch_remaining_ = 0;
+  batch_size_ = 0;
+}
+
+}  // namespace cdsf::dls

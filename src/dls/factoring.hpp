@@ -1,0 +1,60 @@
+// Factoring-family techniques (batched, non-adaptive):
+//
+//   FAC — factoring (Hummel, Schonberg & Flynn 1992). Iterations are
+//         scheduled in batches; within a batch every chunk has the same
+//         size batch/P. With a-priori iteration statistics (mu, sigma) the
+//         batch fraction comes from the probabilistic rule of the original
+//         paper; without them the practical factor-2 rule (each batch is
+//         half the remaining work, "FAC2") is used — that is the variant
+//         the authors' experimental studies run, and what the CDSF paper's
+//         Figures label "FAC".
+//
+//   WF  — weighted factoring (Hummel et al. 1996 / Banicescu & Cariño
+//         2005). Batch sizes follow factoring, but each worker's chunk is
+//         scaled by a fixed relative weight (its measured relative power —
+//         here: the initial availability of the processor). Weights never
+//         change during execution; the adaptive AWF* variants lift that.
+#pragma once
+
+#include "dls/technique.hpp"
+
+namespace cdsf::dls {
+
+/// FAC — equal chunks within a batch.
+class Factoring final : public Technique {
+ public:
+  explicit Factoring(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "FAC"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+  /// Batch fraction 1/x currently in force (0.5 for FAC2).
+  [[nodiscard]] double batch_fraction() const noexcept { return batch_fraction_; }
+
+ private:
+  std::size_t workers_;
+  double batch_fraction_;
+  std::int64_t batch_remaining_ = 0;
+  std::int64_t batch_chunk_ = 0;
+};
+
+/// WF — factor-2 batches, fixed per-worker weighted chunks.
+class WeightedFactoring final : public Technique {
+ public:
+  explicit WeightedFactoring(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "WF"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::size_t workers_;
+  std::vector<double> weights_;  // normalized to mean 1
+  std::int64_t batch_remaining_ = 0;
+  std::int64_t batch_size_ = 0;
+};
+
+}  // namespace cdsf::dls

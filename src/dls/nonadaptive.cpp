@@ -1,0 +1,94 @@
+#include "dls/nonadaptive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdsf::dls {
+
+// ---------------------------------------------------------------- STATIC --
+
+StaticScheduling::StaticScheduling(const TechniqueParams& params)
+    : workers_(params.workers), total_(params.total_iterations), issued_(params.workers, false) {
+  validate_params(params);
+}
+
+std::int64_t StaticScheduling::next_chunk(const SchedulingContext& ctx) {
+  if (ctx.worker >= workers_) throw std::out_of_range("StaticScheduling: bad worker index");
+  if (issued_[ctx.worker]) return 0;
+  issued_[ctx.worker] = true;
+  // Equal shares; the first (total % workers) workers absorb the remainder.
+  const auto workers = static_cast<std::int64_t>(workers_);
+  std::int64_t share = total_ / workers;
+  if (static_cast<std::int64_t>(ctx.worker) < total_ % workers) ++share;
+  if (share == 0) return 0;
+  return std::min(share, ctx.remaining_iterations);
+}
+
+void StaticScheduling::reset() { issued_.assign(workers_, false); }
+
+// -------------------------------------------------------------------- SS --
+
+SelfScheduling::SelfScheduling(const TechniqueParams& params) { validate_params(params); }
+
+std::int64_t SelfScheduling::next_chunk(const SchedulingContext& ctx) {
+  return clamp_chunk(1, ctx.remaining_iterations);
+}
+
+// ------------------------------------------------------------------- FSC --
+
+FixedSizeChunking::FixedSizeChunking(const TechniqueParams& params) {
+  validate_params(params);
+  const auto n = static_cast<double>(params.total_iterations);
+  const auto p = static_cast<double>(params.workers);
+  const double sigma = params.stddev_iteration_time;
+  const double h = params.scheduling_overhead;
+  if (sigma > 0.0 && h > 0.0 && params.workers > 1) {
+    // Kruskal & Weiss: K_opt = (sqrt(2) N h / (sigma P sqrt(log P)))^(2/3).
+    const double k = std::pow(std::sqrt(2.0) * n * h / (sigma * p * std::sqrt(std::log(p))),
+                              2.0 / 3.0);
+    chunk_ = std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(k)));
+  } else {
+    // No usable hints: fall back to the factoring first-batch chunk.
+    chunk_ = std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(n / (2.0 * p))));
+  }
+}
+
+std::int64_t FixedSizeChunking::next_chunk(const SchedulingContext& ctx) {
+  return clamp_chunk(chunk_, ctx.remaining_iterations);
+}
+
+// ------------------------------------------------------------------- GSS --
+
+GuidedSelfScheduling::GuidedSelfScheduling(const TechniqueParams& params)
+    : workers_(params.workers) {
+  validate_params(params);
+}
+
+std::int64_t GuidedSelfScheduling::next_chunk(const SchedulingContext& ctx) {
+  const auto p = static_cast<std::int64_t>(workers_);
+  const std::int64_t chunk = (ctx.remaining_iterations + p - 1) / p;
+  return clamp_chunk(chunk, ctx.remaining_iterations);
+}
+
+// ------------------------------------------------------------------- TSS --
+
+TrapezoidSelfScheduling::TrapezoidSelfScheduling(const TechniqueParams& params) {
+  validate_params(params);
+  const auto n = static_cast<double>(params.total_iterations);
+  const auto p = static_cast<double>(params.workers);
+  first_ = std::max(1.0, std::ceil(n / (2.0 * p)));
+  constexpr double last = 1.0;
+  const double steps = std::max(2.0, std::ceil(2.0 * n / (first_ + last)));
+  decrement_ = (first_ - last) / (steps - 1.0);
+  current_ = first_;
+}
+
+std::int64_t TrapezoidSelfScheduling::next_chunk(const SchedulingContext& ctx) {
+  const auto chunk = static_cast<std::int64_t>(std::llround(current_));
+  current_ = std::max(1.0, current_ - decrement_);
+  return clamp_chunk(chunk, ctx.remaining_iterations);
+}
+
+void TrapezoidSelfScheduling::reset() { current_ = first_; }
+
+}  // namespace cdsf::dls

@@ -1,0 +1,90 @@
+// Non-adaptive DLS techniques: chunk sizes are a function of the iteration
+// pool only (plus a-priori statistics), never of runtime measurements.
+//
+//   STATIC  — straightforward parallelization: one equal share per worker,
+//             assigned in a single step (the paper's naive RAS).
+//   SS      — pure self scheduling: one iteration per request.
+//   FSC     — fixed size chunking (Kruskal & Weiss 1985): the fixed chunk
+//             that optimally trades scheduling overhead against imbalance.
+//   GSS     — guided self scheduling (Polychronopoulos & Kuck 1987):
+//             chunk = ceil(remaining / workers).
+//   TSS     — trapezoid self scheduling (Tzen & Ni 1993): chunk sizes
+//             decrease linearly from N/(2P) to 1.
+#pragma once
+
+#include "dls/technique.hpp"
+
+namespace cdsf::dls {
+
+/// STATIC: worker w receives ceil-ish equal share exactly once.
+class StaticScheduling final : public Technique {
+ public:
+  explicit StaticScheduling(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "STATIC"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+ private:
+  std::size_t workers_;
+  std::int64_t total_;
+  std::vector<bool> issued_;
+};
+
+/// SS: chunk size 1.
+class SelfScheduling final : public Technique {
+ public:
+  explicit SelfScheduling(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "SS"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override {}
+};
+
+/// FSC: fixed chunk K = (sqrt(2) N h / (sigma P sqrt(log P)))^(2/3).
+/// Falls back to N/(2P) when sigma or h hints are missing (0), matching the
+/// common practice of seeding FSC with the factoring first-batch size.
+class FixedSizeChunking final : public Technique {
+ public:
+  explicit FixedSizeChunking(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "FSC"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override {}
+
+  [[nodiscard]] std::int64_t chunk_size() const noexcept { return chunk_; }
+
+ private:
+  std::int64_t chunk_;
+};
+
+/// GSS: chunk = ceil(remaining / workers).
+class GuidedSelfScheduling final : public Technique {
+ public:
+  explicit GuidedSelfScheduling(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "GSS"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override {}
+
+ private:
+  std::size_t workers_;
+};
+
+/// TSS: linearly decreasing chunks from f = ceil(N / (2P)) to l = 1 over
+/// S = ceil(2N / (f + l)) dispatches.
+class TrapezoidSelfScheduling final : public Technique {
+ public:
+  explicit TrapezoidSelfScheduling(const TechniqueParams& params);
+
+  [[nodiscard]] std::string name() const override { return "TSS"; }
+  [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
+  void reset() override;
+
+ private:
+  double first_;
+  double decrement_;
+  double current_;
+};
+
+}  // namespace cdsf::dls

@@ -1,0 +1,102 @@
+#include "dls/registry.hpp"
+
+#include <stdexcept>
+
+#include "dls/adaptive.hpp"
+#include "dls/extended.hpp"
+#include "dls/factoring.hpp"
+#include "dls/nonadaptive.hpp"
+
+namespace cdsf::dls {
+
+std::string technique_name(TechniqueId id) {
+  switch (id) {
+    case TechniqueId::kStatic: return "STATIC";
+    case TechniqueId::kSS: return "SS";
+    case TechniqueId::kFSC: return "FSC";
+    case TechniqueId::kGSS: return "GSS";
+    case TechniqueId::kTSS: return "TSS";
+    case TechniqueId::kFAC: return "FAC";
+    case TechniqueId::kWF: return "WF";
+    case TechniqueId::kAWF: return "AWF";
+    case TechniqueId::kAWF_B: return "AWF-B";
+    case TechniqueId::kAWF_C: return "AWF-C";
+    case TechniqueId::kAWF_D: return "AWF-D";
+    case TechniqueId::kAWF_E: return "AWF-E";
+    case TechniqueId::kAF: return "AF";
+    case TechniqueId::kTFSS: return "TFSS";
+    case TechniqueId::kRND: return "RND";
+    case TechniqueId::kPLS: return "PLS";
+  }
+  throw std::logic_error("technique_name: unknown id");
+}
+
+TechniqueId technique_from_name(const std::string& name) {
+  for (TechniqueId id : all_techniques()) {
+    if (technique_name(id) == name) return id;
+  }
+  throw std::invalid_argument("technique_from_name: unknown technique '" + name + "'");
+}
+
+const std::vector<TechniqueId>& all_techniques() {
+  static const std::vector<TechniqueId> kAll = {
+      TechniqueId::kStatic, TechniqueId::kSS,    TechniqueId::kFSC,   TechniqueId::kGSS,
+      TechniqueId::kTSS,    TechniqueId::kFAC,   TechniqueId::kWF,    TechniqueId::kAWF,
+      TechniqueId::kAWF_B,  TechniqueId::kAWF_C, TechniqueId::kAWF_D, TechniqueId::kAWF_E,
+      TechniqueId::kAF,     TechniqueId::kTFSS,  TechniqueId::kRND,   TechniqueId::kPLS,
+  };
+  return kAll;
+}
+
+const std::vector<TechniqueId>& paper_robust_set() {
+  static const std::vector<TechniqueId> kSet = {
+      TechniqueId::kFAC,
+      TechniqueId::kWF,
+      TechniqueId::kAWF_B,
+      TechniqueId::kAF,
+  };
+  return kSet;
+}
+
+bool is_adaptive(TechniqueId id) {
+  switch (id) {
+    case TechniqueId::kAWF:
+    case TechniqueId::kAWF_B:
+    case TechniqueId::kAWF_C:
+    case TechniqueId::kAWF_D:
+    case TechniqueId::kAWF_E:
+    case TechniqueId::kAF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::unique_ptr<Technique> make_technique(TechniqueId id, const TechniqueParams& params) {
+  switch (id) {
+    case TechniqueId::kStatic: return std::make_unique<StaticScheduling>(params);
+    case TechniqueId::kSS: return std::make_unique<SelfScheduling>(params);
+    case TechniqueId::kFSC: return std::make_unique<FixedSizeChunking>(params);
+    case TechniqueId::kGSS: return std::make_unique<GuidedSelfScheduling>(params);
+    case TechniqueId::kTSS: return std::make_unique<TrapezoidSelfScheduling>(params);
+    case TechniqueId::kFAC: return std::make_unique<Factoring>(params);
+    case TechniqueId::kWF: return std::make_unique<WeightedFactoring>(params);
+    case TechniqueId::kAWF:
+      return std::make_unique<AdaptiveWeightedFactoring>(params, AwfVariant::kTimestep);
+    case TechniqueId::kAWF_B:
+      return std::make_unique<AdaptiveWeightedFactoring>(params, AwfVariant::kBatch);
+    case TechniqueId::kAWF_C:
+      return std::make_unique<AdaptiveWeightedFactoring>(params, AwfVariant::kChunk);
+    case TechniqueId::kAWF_D:
+      return std::make_unique<AdaptiveWeightedFactoring>(params, AwfVariant::kBatchTotal);
+    case TechniqueId::kAWF_E:
+      return std::make_unique<AdaptiveWeightedFactoring>(params, AwfVariant::kChunkTotal);
+    case TechniqueId::kAF: return std::make_unique<AdaptiveFactoring>(params);
+    case TechniqueId::kTFSS: return std::make_unique<TrapezoidFactoring>(params);
+    case TechniqueId::kRND: return std::make_unique<RandomChunking>(params);
+    case TechniqueId::kPLS: return std::make_unique<PerformanceLoopScheduling>(params);
+  }
+  throw std::logic_error("make_technique: unknown id");
+}
+
+}  // namespace cdsf::dls

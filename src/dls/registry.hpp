@@ -1,0 +1,52 @@
+// Name-indexed factory over all DLS techniques.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dls/technique.hpp"
+
+namespace cdsf::dls {
+
+/// Every technique the library ships.
+enum class TechniqueId {
+  kStatic,
+  kSS,
+  kFSC,
+  kGSS,
+  kTSS,
+  kFAC,
+  kWF,
+  kAWF,
+  kAWF_B,
+  kAWF_C,
+  kAWF_D,
+  kAWF_E,
+  kAF,
+  kTFSS,
+  kRND,
+  kPLS,
+};
+
+/// Display name ("AWF-B").
+[[nodiscard]] std::string technique_name(TechniqueId id);
+
+/// Inverse of technique_name (case-sensitive). Throws std::invalid_argument
+/// for unknown names.
+[[nodiscard]] TechniqueId technique_from_name(const std::string& name);
+
+/// All ids in declaration order.
+[[nodiscard]] const std::vector<TechniqueId>& all_techniques();
+
+/// The paper's Stage II robust set {FAC, WF, AWF-B, AF}.
+[[nodiscard]] const std::vector<TechniqueId>& paper_robust_set();
+
+/// True for techniques that adapt to runtime measurements.
+[[nodiscard]] bool is_adaptive(TechniqueId id);
+
+/// Instantiates a fresh technique. Throws on invalid params.
+[[nodiscard]] std::unique_ptr<Technique> make_technique(TechniqueId id,
+                                                        const TechniqueParams& params);
+
+}  // namespace cdsf::dls

@@ -1,0 +1,110 @@
+#include "dls/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/parallel.hpp"
+
+namespace cdsf::dls {
+
+double RuntimeResult::imbalance() const {
+  double busiest = 0.0;
+  double total = 0.0;
+  for (const RuntimeWorkerStats& w : workers) {
+    busiest = std::max(busiest, w.busy_seconds);
+    total += w.busy_seconds;
+  }
+  if (workers.empty() || total <= 0.0) return 1.0;
+  return busiest / (total / static_cast<double>(workers.size()));
+}
+
+RuntimeResult run_parallel_loop(std::int64_t total_iterations, Technique& technique,
+                                const std::function<void(std::int64_t)>& body,
+                                std::size_t threads) {
+  if (total_iterations < 1) {
+    throw std::invalid_argument("run_parallel_loop: total_iterations must be >= 1");
+  }
+  threads = std::max<std::size_t>(1, threads);
+  technique.reset();
+
+  RuntimeResult result;
+  result.workers.assign(threads, RuntimeWorkerStats{});
+
+  // Scheduler state shared across workers; the mutex is the "master".
+  std::mutex scheduler_mutex;
+  std::int64_t remaining = total_iterations;
+  std::int64_t next_index = 0;
+  std::vector<std::exception_ptr> errors(threads);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point run_start = Clock::now();
+
+  auto worker_loop = [&](std::size_t w) {
+    try {
+      while (true) {
+        std::int64_t first = 0;
+        std::int64_t count = 0;
+        {
+          const std::lock_guard<std::mutex> lock(scheduler_mutex);
+          if (remaining <= 0) break;
+          const SchedulingContext ctx{
+              remaining, w,
+              std::chrono::duration<double>(Clock::now() - run_start).count()};
+          std::int64_t chunk = technique.next_chunk(ctx);
+          if (chunk <= 0) break;  // technique retired this worker
+          chunk = std::min(chunk, remaining);
+          first = next_index;
+          count = chunk;
+          next_index += chunk;
+          remaining -= chunk;
+        }
+        const Clock::time_point chunk_start = Clock::now();
+        for (std::int64_t i = first; i < first + count; ++i) body(i);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - chunk_start).count();
+        {
+          const std::lock_guard<std::mutex> lock(scheduler_mutex);
+          technique.record(ChunkResult{w, count, seconds, seconds});
+          result.workers[w].chunks += 1;
+          result.workers[w].iterations += count;
+          result.workers[w].busy_seconds += seconds;
+          result.total_chunks += 1;
+        }
+      }
+    } catch (...) {
+      errors[w] = std::current_exception();
+      // Poison the pool so other workers stop promptly.
+      const std::lock_guard<std::mutex> lock(scheduler_mutex);
+      remaining = 0;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) pool.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (std::thread& thread : pool) thread.join();
+  result.elapsed_seconds = std::chrono::duration<double>(Clock::now() - run_start).count();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return result;
+}
+
+RuntimeResult run_parallel_loop(std::int64_t total_iterations, TechniqueId technique,
+                                const std::function<void(std::int64_t)>& body,
+                                std::size_t threads) {
+  if (threads == 0) threads = util::default_thread_count();
+  TechniqueParams params;
+  params.workers = threads;
+  params.total_iterations = std::max<std::int64_t>(1, total_iterations);
+  const auto instance = make_technique(technique, params);
+  return run_parallel_loop(total_iterations, *instance, body, threads);
+}
+
+}  // namespace cdsf::dls

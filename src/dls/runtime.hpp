@@ -1,0 +1,61 @@
+// A real shared-memory DLS runtime: schedule an actual C++ loop body over
+// std::threads with any of the library's sixteen techniques — OpenMP's
+// schedule(dynamic)/schedule(guided) generalized to the full DLS family,
+// including the adaptive ones (the technique receives real measured chunk
+// times and adapts live).
+//
+//   dls::RuntimeResult r = dls::run_parallel_loop(
+//       n, dls::TechniqueId::kAF, [&](std::int64_t i) { out[i] = f(i); });
+//
+// The loop body is invoked exactly once per index in [0, total_iterations),
+// concurrently across workers but with disjoint index ranges per chunk.
+// The scheduler (technique state, remaining counter) is mutex-protected —
+// exactly the master serialization the message-passing simulator models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dls/registry.hpp"
+#include "dls/technique.hpp"
+
+namespace cdsf::dls {
+
+/// Per-worker accounting of a real run.
+struct RuntimeWorkerStats {
+  std::uint64_t chunks = 0;
+  std::int64_t iterations = 0;
+  double busy_seconds = 0.0;
+};
+
+/// Outcome of a real run.
+struct RuntimeResult {
+  double elapsed_seconds = 0.0;
+  std::uint64_t total_chunks = 0;
+  std::vector<RuntimeWorkerStats> workers;
+
+  /// Ratio of the busiest worker's compute time to the mean — 1.0 is
+  /// perfect balance.
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Runs `body(i)` for every i in [0, total_iterations) on `threads` workers
+/// with chunk sizes from `technique`. `threads` == 0 uses the hardware
+/// concurrency. The body must be safe to call concurrently for distinct
+/// indices. Throws std::invalid_argument if total_iterations < 1;
+/// exceptions from the body propagate (the first one) after all workers
+/// stop.
+[[nodiscard]] RuntimeResult run_parallel_loop(std::int64_t total_iterations,
+                                              TechniqueId technique,
+                                              const std::function<void(std::int64_t)>& body,
+                                              std::size_t threads = 0);
+
+/// Variant with explicit params (weights, overrides) and a caller-built
+/// technique; the technique is reset() first and fed real measurements.
+[[nodiscard]] RuntimeResult run_parallel_loop(std::int64_t total_iterations,
+                                              Technique& technique,
+                                              const std::function<void(std::int64_t)>& body,
+                                              std::size_t threads);
+
+}  // namespace cdsf::dls

@@ -1,0 +1,41 @@
+#include "dls/technique.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdsf::dls {
+
+void Technique::record(const ChunkResult&) {}
+
+std::int64_t clamp_chunk(std::int64_t proposed, std::int64_t remaining) noexcept {
+  return std::clamp<std::int64_t>(proposed, 1, remaining);
+}
+
+void validate_params(const TechniqueParams& params) {
+  if (params.workers == 0) throw std::invalid_argument("TechniqueParams: workers must be >= 1");
+  if (params.total_iterations < 1) {
+    throw std::invalid_argument("TechniqueParams: total_iterations must be >= 1");
+  }
+  if (params.mean_iteration_time < 0.0 || params.stddev_iteration_time < 0.0 ||
+      params.scheduling_overhead < 0.0) {
+    throw std::invalid_argument("TechniqueParams: time hints must be >= 0");
+  }
+  if (!params.weights.empty() && params.weights.size() != params.workers) {
+    throw std::invalid_argument("TechniqueParams: weights size must equal workers");
+  }
+}
+
+std::vector<double> normalized_weights(const TechniqueParams& params) {
+  std::vector<double> weights = params.weights;
+  if (weights.empty()) return std::vector<double>(params.workers, 1.0);
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w > 0.0)) throw std::invalid_argument("normalized_weights: weights must be > 0");
+    total += w;
+  }
+  const double scale = static_cast<double>(params.workers) / total;
+  for (double& w : weights) w *= scale;
+  return weights;
+}
+
+}  // namespace cdsf::dls

@@ -1,0 +1,109 @@
+// Dynamic loop scheduling (DLS) techniques as pure chunk-size policies.
+//
+// A Technique owns no clock and no iterations: the loop executor
+// (src/sim/loop_executor.hpp) tracks remaining work, asks the technique how
+// many iterations to hand the requesting worker, and feeds completed-chunk
+// measurements back. This separation keeps every technique unit-testable
+// in isolation and lets the same policy drive both the discrete-event
+// simulator and the analytic executors used in property tests.
+//
+// Implemented techniques (src/dls/*.cpp):
+//   non-adaptive: STATIC, SS, FSC, GSS, TSS, FAC (probabilistic and
+//                 factor-2 practical variant), WF
+//   adaptive:     AWF, AWF-B, AWF-C, AWF-D, AWF-E, AF
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cdsf::dls {
+
+/// Static problem facts every technique is constructed with.
+struct TechniqueParams {
+  /// Number of workers (processors in the allocated group). Must be >= 1.
+  std::size_t workers = 1;
+  /// Total parallel iterations of the loop. Must be >= 1.
+  std::int64_t total_iterations = 1;
+  /// A-priori mean of one iteration's dedicated execution time; 0 if
+  /// unknown. Used by FSC and probabilistic FAC; adaptive techniques
+  /// measure their own.
+  double mean_iteration_time = 0.0;
+  /// A-priori stddev of one iteration's time; 0 if unknown.
+  double stddev_iteration_time = 0.0;
+  /// Per-dispatch scheduling overhead h (same time units); used by FSC.
+  double scheduling_overhead = 0.0;
+  /// Initial relative worker weights for WF / AWF (empty => uniform).
+  /// Values must be positive; they are normalized internally. The loop
+  /// executor fills these with each worker's availability observed at
+  /// dispatch time 0 — the measurable "relative power" WF weights encode.
+  std::vector<double> weights;
+  /// When true AND mean/stddev hints are present, FAC uses the original
+  /// probabilistic batch rule of Hummel et al.; otherwise FAC uses the
+  /// practical factor-2 rule (the variant the CDSF paper's figures run).
+  bool probabilistic_factoring = false;
+  /// Seed for techniques with internal randomness (RND). Deterministic
+  /// default so identical params give identical schedules.
+  std::uint64_t seed = 0xD15;
+  /// PLS only: fraction of the loop scheduled statically up front (the
+  /// "static workload ratio"); the remainder is self-scheduled.
+  double static_workload_ratio = 0.5;
+};
+
+/// Per-request context supplied by the executor.
+struct SchedulingContext {
+  /// Iterations not yet dispatched (remaining in the scheduler's pool).
+  std::int64_t remaining_iterations = 0;
+  /// Index of the requesting worker in [0, workers).
+  std::size_t worker = 0;
+  /// Current simulation time (informational; no technique may use it to
+  /// peek at availability).
+  double now = 0.0;
+};
+
+/// Feedback after a worker finishes a chunk.
+struct ChunkResult {
+  std::size_t worker = 0;
+  std::int64_t iterations = 0;
+  /// Wall-clock time spent executing the chunk (excluding overhead).
+  double execution_time = 0.0;
+  /// Wall-clock time spent executing the chunk including overhead.
+  double total_time = 0.0;
+};
+
+/// Abstract chunk-size policy.
+class Technique {
+ public:
+  virtual ~Technique() = default;
+
+  /// Display name, e.g. "AWF-B".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Size of the next chunk for ctx.worker. The executor guarantees
+  /// ctx.remaining_iterations >= 1. Returns a value in
+  /// [0, ctx.remaining_iterations]; 0 means "nothing for this worker ever
+  /// again" (only STATIC uses it — each worker has exactly one share).
+  [[nodiscard]] virtual std::int64_t next_chunk(const SchedulingContext& ctx) = 0;
+
+  /// Measurement feedback; default ignores it (non-adaptive techniques).
+  virtual void record(const ChunkResult& result);
+
+  /// Clears all run state so the instance can schedule a fresh loop
+  /// execution (adaptive weights persist across timesteps only through
+  /// AWF's explicit advance_timestep()).
+  virtual void reset() = 0;
+};
+
+/// Clamps a proposed chunk to [1, remaining].
+[[nodiscard]] std::int64_t clamp_chunk(std::int64_t proposed, std::int64_t remaining) noexcept;
+
+/// Validates common params; throws std::invalid_argument on violation.
+void validate_params(const TechniqueParams& params);
+
+/// Normalizes weights to mean 1 (so Sum w = workers); empty input yields
+/// uniform weights. Throws std::invalid_argument on non-positive weights or
+/// size mismatch with params.workers.
+[[nodiscard]] std::vector<double> normalized_weights(const TechniqueParams& params);
+
+}  // namespace cdsf::dls

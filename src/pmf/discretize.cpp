@@ -1,0 +1,37 @@
+#include "pmf/discretize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cdsf::pmf {
+
+Pmf discretize_quantile(const stats::Distribution& dist, std::size_t pulses) {
+  if (pulses == 0) throw std::invalid_argument("discretize_quantile: pulses must be > 0");
+  std::vector<Pulse> out;
+  out.reserve(pulses);
+  const double p = 1.0 / static_cast<double>(pulses);
+  for (std::size_t i = 0; i < pulses; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) * p;
+    out.push_back({dist.quantile(q), p});
+  }
+  return Pmf::from_pulses(std::move(out));
+}
+
+Pmf discretize_sampling(const stats::Distribution& dist, std::size_t samples,
+                        std::size_t pulses, util::RngStream& rng) {
+  if (samples == 0) throw std::invalid_argument("discretize_sampling: samples must be > 0");
+  if (pulses == 0) throw std::invalid_argument("discretize_sampling: pulses must be > 0");
+  std::vector<Pulse> out;
+  out.reserve(samples);
+  const double p = 1.0 / static_cast<double>(samples);
+  for (std::size_t i = 0; i < samples; ++i) out.push_back({dist.sample(rng), p});
+  return Pmf::from_pulses(std::move(out)).compacted(pulses);
+}
+
+Pmf discretize_quantile_truncated(const stats::Distribution& dist, std::size_t pulses,
+                                  double lo) {
+  return discretize_quantile(dist, pulses).map([lo](double v) { return std::max(v, lo); });
+}
+
+}  // namespace cdsf::pmf

@@ -1,0 +1,37 @@
+// Constructing PMFs from continuous distributions.
+//
+// The paper builds its execution-time PMFs "by sampling a normal
+// distribution" (Section IV). Two discretizers are provided:
+//  * quantile-grid — deterministic, n equal-probability pulses placed at
+//    the conditional means of the quantile strata (preserves the mean to
+//    first order and converges to the law as n grows);
+//  * Monte-Carlo — the paper-literal approach: sample, then bin.
+#pragma once
+
+#include <cstddef>
+
+#include "pmf/pmf.hpp"
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::pmf {
+
+/// Deterministic discretization into `pulses` equal-probability pulses.
+/// Pulse i is placed at quantile((i + 0.5) / pulses) — the midpoint rule on
+/// the probability axis. Throws std::invalid_argument if pulses == 0.
+[[nodiscard]] Pmf discretize_quantile(const stats::Distribution& dist, std::size_t pulses);
+
+/// Monte-Carlo discretization: draw `samples` values, then compact the
+/// empirical PMF to at most `pulses` pulses. Deterministic given the seed.
+/// Throws std::invalid_argument if samples == 0 or pulses == 0.
+[[nodiscard]] Pmf discretize_sampling(const stats::Distribution& dist, std::size_t samples,
+                                      std::size_t pulses, util::RngStream& rng);
+
+/// Truncates the distribution's support to [lo, inf) before quantile
+/// discretization — used for execution times, which must stay positive even
+/// when the normal's left tail dips below zero. Implemented by clamping
+/// quantile outputs at lo.
+[[nodiscard]] Pmf discretize_quantile_truncated(const stats::Distribution& dist,
+                                                std::size_t pulses, double lo);
+
+}  // namespace cdsf::pmf

@@ -1,0 +1,48 @@
+// Binary operations on independent PMFs.
+//
+// All operations assume independence of the operands — the paper's model
+// makes the same assumption (independent application execution times,
+// availability independent of workload).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "pmf/pmf.hpp"
+
+namespace cdsf::pmf {
+
+/// Default pulse budget applied by the combining operations; product
+/// measures grow multiplicatively, so results are compacted to this size
+/// unless the caller asks for more.
+inline constexpr std::size_t kDefaultMaxPulses = 512;
+
+/// PMF of X + Y (sum-convolution).
+[[nodiscard]] Pmf convolve_sum(const Pmf& x, const Pmf& y,
+                               std::size_t max_pulses = kDefaultMaxPulses);
+
+/// PMF of max(X, Y) for independent X, Y — the completion time of two
+/// parallel independent activities. Computed via joint CDF factorization.
+[[nodiscard]] Pmf independent_max(const Pmf& x, const Pmf& y);
+
+/// PMF of min(X, Y) for independent X, Y.
+[[nodiscard]] Pmf independent_min(const Pmf& x, const Pmf& y);
+
+/// Generic product-measure combine: PMF of f(X, Y).
+[[nodiscard]] Pmf combine(const Pmf& x, const Pmf& y,
+                          const std::function<double(double, double)>& f,
+                          std::size_t max_pulses = kDefaultMaxPulses);
+
+/// The paper's "convolution with availability": the PMF of T / A, where T
+/// is a completion-time PMF on fully dedicated processors and A an
+/// availability PMF in (0, 1]. A processor at availability a delivers an
+/// a-fraction of its compute rate, so wall-clock time scales by 1/a.
+/// Throws std::invalid_argument if any availability pulse is <= 0.
+[[nodiscard]] Pmf apply_availability(const Pmf& time, const Pmf& availability,
+                                     std::size_t max_pulses = kDefaultMaxPulses);
+
+/// Mixture: with probability w takes a draw of X, else of Y.
+/// Requires w in [0, 1].
+[[nodiscard]] Pmf mixture(const Pmf& x, double w, const Pmf& y);
+
+}  // namespace cdsf::pmf

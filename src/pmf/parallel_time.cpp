@@ -1,0 +1,40 @@
+#include "pmf/parallel_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdsf::pmf {
+
+namespace {
+void validate(WorkSplit split, std::size_t processors) {
+  if (processors == 0) throw std::invalid_argument("parallel_time: processors must be > 0");
+  if (split.serial_fraction < 0.0 || split.parallel_fraction < 0.0) {
+    throw std::invalid_argument("parallel_time: fractions must be >= 0");
+  }
+  if (std::fabs(split.serial_fraction + split.parallel_fraction - 1.0) > 1e-9) {
+    throw std::invalid_argument("parallel_time: fractions must sum to 1");
+  }
+}
+}  // namespace
+
+double parallel_time_scalar(double single_processor_time, WorkSplit split,
+                            std::size_t processors) {
+  validate(split, processors);
+  return split.serial_fraction * single_processor_time +
+         split.parallel_fraction * single_processor_time / static_cast<double>(processors);
+}
+
+Pmf parallel_time(const Pmf& single_processor_time, WorkSplit split, std::size_t processors) {
+  validate(split, processors);
+  const double factor =
+      split.serial_fraction + split.parallel_fraction / static_cast<double>(processors);
+  return single_processor_time.scaled(factor);
+}
+
+double amdahl_speedup(WorkSplit split, std::size_t processors) {
+  validate(split, processors);
+  return 1.0 / (split.serial_fraction +
+                split.parallel_fraction / static_cast<double>(processors));
+}
+
+}  // namespace cdsf::pmf

@@ -1,0 +1,36 @@
+// Equation (2) of the paper: the parallel execution-time PMF of an
+// application on n processors of one type, derived pulse-by-pulse from the
+// single-processor PMF:
+//
+//     T_ijxn = s_ij * T_ijx + (p_ij * T_ijx) / n_ij
+//
+// Each pulse's time changes; its probability does not.
+#pragma once
+
+#include <cstddef>
+
+#include "pmf/pmf.hpp"
+
+namespace cdsf::pmf {
+
+/// Serial/parallel split of an application's work. Fractions must be
+/// nonnegative and sum to 1 (within 1e-9).
+struct WorkSplit {
+  double serial_fraction = 0.0;
+  double parallel_fraction = 1.0;
+};
+
+/// Applies Eq. (2) to every pulse of `single_processor_time`.
+/// Throws std::invalid_argument if processors == 0 or the split is invalid.
+[[nodiscard]] Pmf parallel_time(const Pmf& single_processor_time, WorkSplit split,
+                                std::size_t processors);
+
+/// Deterministic form of Eq. (2) for scalar times (used by the simulator's
+/// sanity cross-checks and by tests): s*t + p*t/n.
+[[nodiscard]] double parallel_time_scalar(double single_processor_time, WorkSplit split,
+                                          std::size_t processors);
+
+/// Amdahl speedup implied by Eq. (2): t / parallel_time_scalar(t, ...).
+[[nodiscard]] double amdahl_speedup(WorkSplit split, std::size_t processors);
+
+}  // namespace cdsf::pmf

@@ -1,0 +1,222 @@
+#include "pmf/pmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::pmf {
+
+namespace {
+
+// Pulses whose values differ by less than this relative tolerance merge
+// during canonicalization (guards against floating-point near-duplicates
+// produced by product-measure combines).
+constexpr double kValueMergeRelTol = 1e-12;
+
+bool nearly_equal(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= kValueMergeRelTol * scale;
+}
+
+std::vector<Pulse> canonicalize(std::vector<Pulse> pulses) {
+  for (const Pulse& pulse : pulses) {
+    if (!std::isfinite(pulse.value) || !std::isfinite(pulse.probability)) {
+      throw std::invalid_argument("Pmf: pulse value/probability must be finite");
+    }
+    if (pulse.probability < 0.0) {
+      throw std::invalid_argument("Pmf: pulse probability must be >= 0");
+    }
+  }
+  std::erase_if(pulses, [](const Pulse& pulse) { return pulse.probability == 0.0; });
+  if (pulses.empty()) {
+    throw std::invalid_argument("Pmf: at least one positive-probability pulse required");
+  }
+  std::sort(pulses.begin(), pulses.end(),
+            [](const Pulse& a, const Pulse& b) { return a.value < b.value; });
+
+  std::vector<Pulse> merged;
+  merged.reserve(pulses.size());
+  for (const Pulse& pulse : pulses) {
+    if (!merged.empty() && nearly_equal(merged.back().value, pulse.value)) {
+      merged.back().probability += pulse.probability;
+    } else {
+      merged.push_back(pulse);
+    }
+  }
+
+  double total = 0.0;
+  for (const Pulse& pulse : merged) total += pulse.probability;
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("Pmf: total probability mass must be > 0");
+  }
+  for (Pulse& pulse : merged) pulse.probability /= total;
+  return merged;
+}
+
+}  // namespace
+
+Pmf Pmf::from_pulses(std::vector<Pulse> pulses) { return Pmf(canonicalize(std::move(pulses))); }
+
+Pmf Pmf::delta(double value) { return from_pulses({{value, 1.0}}); }
+
+Pmf Pmf::uniform_over(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("Pmf::uniform_over: empty value list");
+  std::vector<Pulse> pulses;
+  pulses.reserve(values.size());
+  const double p = 1.0 / static_cast<double>(values.size());
+  for (double v : values) pulses.push_back({v, p});
+  return from_pulses(std::move(pulses));
+}
+
+double Pmf::expectation() const noexcept {
+  double sum = 0.0;
+  for (const Pulse& pulse : pulses_) sum += pulse.value * pulse.probability;
+  return sum;
+}
+
+double Pmf::variance() const noexcept {
+  const double mu = expectation();
+  double sum = 0.0;
+  for (const Pulse& pulse : pulses_) {
+    const double d = pulse.value - mu;
+    sum += d * d * pulse.probability;
+  }
+  return sum;
+}
+
+double Pmf::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Pmf::cdf(double x) const noexcept {
+  double sum = 0.0;
+  for (const Pulse& pulse : pulses_) {
+    if (pulse.value > x) break;
+    sum += pulse.probability;
+  }
+  return std::min(sum, 1.0);
+}
+
+double Pmf::tail(double x) const noexcept {
+  double sum = 0.0;
+  for (auto it = pulses_.rbegin(); it != pulses_.rend(); ++it) {
+    if (it->value <= x) break;
+    sum += it->probability;
+  }
+  return std::min(sum, 1.0);
+}
+
+double Pmf::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("Pmf::quantile: p must be in [0, 1]");
+  if (p == 0.0) return min();
+  double cumulative = 0.0;
+  for (const Pulse& pulse : pulses_) {
+    cumulative += pulse.probability;
+    if (cumulative >= p - 1e-15) return pulse.value;
+  }
+  return max();
+}
+
+double Pmf::expect(const std::function<double(double)>& f) const {
+  double sum = 0.0;
+  for (const Pulse& pulse : pulses_) sum += f(pulse.value) * pulse.probability;
+  return sum;
+}
+
+double Pmf::conditional_value_at_risk(double alpha) const {
+  if (!(alpha >= 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("conditional_value_at_risk: alpha must be in [0, 1)");
+  }
+  const double tail_mass = 1.0 - alpha;
+  // Walk from the top until `tail_mass` probability is accumulated; the
+  // pulse straddling the boundary contributes only its in-tail fraction.
+  double remaining = tail_mass;
+  double weighted = 0.0;
+  for (auto it = pulses_.rbegin(); it != pulses_.rend() && remaining > 1e-15; ++it) {
+    const double take = std::min(it->probability, remaining);
+    weighted += it->value * take;
+    remaining -= take;
+  }
+  return weighted / tail_mass;
+}
+
+double Pmf::expected_tardiness(double deadline) const noexcept {
+  double sum = 0.0;
+  for (auto it = pulses_.rbegin(); it != pulses_.rend(); ++it) {
+    if (it->value <= deadline) break;
+    sum += (it->value - deadline) * it->probability;
+  }
+  return sum;
+}
+
+Pmf Pmf::map(const std::function<double(double)>& f) const {
+  std::vector<Pulse> out;
+  out.reserve(pulses_.size());
+  for (const Pulse& pulse : pulses_) out.push_back({f(pulse.value), pulse.probability});
+  return from_pulses(std::move(out));
+}
+
+Pmf Pmf::scaled(double factor) const {
+  return map([factor](double v) { return v * factor; });
+}
+
+Pmf Pmf::shifted(double offset) const {
+  return map([offset](double v) { return v + offset; });
+}
+
+Pmf Pmf::compacted(std::size_t max_pulses) const {
+  if (max_pulses == 0) throw std::invalid_argument("Pmf::compacted: max_pulses must be > 0");
+  if (pulses_.size() <= max_pulses) return *this;
+
+  // Greedy nearest-pair merging on the sorted pulse list. Cost of merging
+  // adjacent pulses (v1,p1),(v2,p2): the mass-weighted squared spread they
+  // would collapse — exactly the variance the merge removes.
+  std::vector<Pulse> work = pulses_;
+  auto merge_cost = [](const Pulse& a, const Pulse& b) {
+    const double mass = a.probability + b.probability;
+    const double d = b.value - a.value;
+    return (a.probability * b.probability / mass) * d * d;
+  };
+
+  while (work.size() > max_pulses) {
+    std::size_t best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < work.size(); ++i) {
+      const double cost = merge_cost(work[i], work[i + 1]);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    const double mass = work[best].probability + work[best + 1].probability;
+    const double value = (work[best].value * work[best].probability +
+                          work[best + 1].value * work[best + 1].probability) /
+                         mass;
+    work[best] = Pulse{value, mass};
+    work.erase(work.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+  return from_pulses(std::move(work));
+}
+
+double Pmf::sample_with(double u) const {
+  if (!(u >= 0.0 && u < 1.0)) throw std::invalid_argument("Pmf::sample_with: u must be in [0, 1)");
+  double cumulative = 0.0;
+  for (const Pulse& pulse : pulses_) {
+    cumulative += pulse.probability;
+    if (u < cumulative) return pulse.value;
+  }
+  return max();
+}
+
+std::string Pmf::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < pulses_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "(" << pulses_[i].value << ", " << pulses_[i].probability << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace cdsf::pmf

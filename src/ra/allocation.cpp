@@ -1,0 +1,123 @@
+#include "ra/allocation.hpp"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::ra {
+
+bool Allocation::fits(const sysmodel::Platform& platform) const noexcept {
+  std::vector<std::size_t> used(platform.type_count(), 0);
+  for (const GroupAssignment& group : groups_) {
+    if (group.processors == 0) return false;
+    if (group.processor_type >= platform.type_count()) return false;
+    used[group.processor_type] += group.processors;
+  }
+  for (std::size_t j = 0; j < platform.type_count(); ++j) {
+    if (used[j] > platform.processors_of_type(j)) return false;
+  }
+  return true;
+}
+
+std::size_t Allocation::used_of_type(std::size_t type) const noexcept {
+  std::size_t used = 0;
+  for (const GroupAssignment& group : groups_) {
+    if (group.processor_type == type) used += group.processors;
+  }
+  return used;
+}
+
+std::size_t Allocation::total_processors() const noexcept {
+  std::size_t total = 0;
+  for (const GroupAssignment& group : groups_) total += group.processors;
+  return total;
+}
+
+std::string Allocation::to_string(const sysmodel::Platform& platform) const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "app" << (i + 1) << " -> " << groups_[i].processors << " x ";
+    out << (groups_[i].processor_type < platform.type_count()
+                ? platform.type(groups_[i].processor_type).name
+                : "?");
+  }
+  return out.str();
+}
+
+std::vector<std::size_t> candidate_counts(std::size_t capacity, CountRule rule) {
+  std::vector<std::size_t> counts;
+  if (rule == CountRule::kPowerOfTwo) {
+    for (std::size_t c = 1; c <= capacity; c *= 2) counts.push_back(c);
+  } else {
+    counts.reserve(capacity);
+    for (std::size_t c = 1; c <= capacity; ++c) counts.push_back(c);
+  }
+  return counts;
+}
+
+namespace {
+
+/// Depth-first enumeration over applications; `sink` receives each complete
+/// feasible allocation. Returns the number of allocations produced.
+std::size_t enumerate_recursive(std::size_t app, std::size_t applications,
+                                const sysmodel::Platform& platform, CountRule rule,
+                                std::vector<std::size_t>& remaining,
+                                std::vector<GroupAssignment>& current,
+                                const std::function<void(const std::vector<GroupAssignment>&)>& sink) {
+  if (app == applications) {
+    if (sink) sink(current);
+    return 1;
+  }
+  std::size_t produced = 0;
+  for (std::size_t type = 0; type < platform.type_count(); ++type) {
+    for (std::size_t count : candidate_counts(remaining[type], rule)) {
+      remaining[type] -= count;
+      current.push_back(GroupAssignment{type, count});
+      produced += enumerate_recursive(app + 1, applications, platform, rule, remaining,
+                                      current, sink);
+      current.pop_back();
+      remaining[type] += count;
+    }
+  }
+  return produced;
+}
+
+std::vector<std::size_t> initial_capacity(const sysmodel::Platform& platform) {
+  std::vector<std::size_t> remaining(platform.type_count());
+  for (std::size_t j = 0; j < platform.type_count(); ++j) {
+    remaining[j] = platform.processors_of_type(j);
+  }
+  return remaining;
+}
+
+}  // namespace
+
+std::vector<Allocation> enumerate_feasible(std::size_t applications,
+                                           const sysmodel::Platform& platform, CountRule rule) {
+  if (applications == 0) {
+    throw std::invalid_argument("enumerate_feasible: applications must be >= 1");
+  }
+  std::vector<Allocation> result;
+  std::vector<std::size_t> remaining = initial_capacity(platform);
+  std::vector<GroupAssignment> current;
+  current.reserve(applications);
+  enumerate_recursive(0, applications, platform, rule, remaining, current,
+                      [&result](const std::vector<GroupAssignment>& groups) {
+                        result.emplace_back(groups);
+                      });
+  return result;
+}
+
+std::size_t count_feasible(std::size_t applications, const sysmodel::Platform& platform,
+                           CountRule rule) {
+  if (applications == 0) {
+    throw std::invalid_argument("count_feasible: applications must be >= 1");
+  }
+  std::vector<std::size_t> remaining = initial_capacity(platform);
+  std::vector<GroupAssignment> current;
+  current.reserve(applications);
+  return enumerate_recursive(0, applications, platform, rule, remaining, current, nullptr);
+}
+
+}  // namespace cdsf::ra

@@ -1,0 +1,70 @@
+#include "ra/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pmf/pmf.hpp"
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::ra {
+
+CorrelatedPhiEstimate correlated_phi1(const workload::Batch& batch,
+                                      const Allocation& allocation,
+                                      const sysmodel::AvailabilitySpec& availability,
+                                      double rho, double deadline, std::size_t replications,
+                                      std::uint64_t seed, std::size_t pulses) {
+  if (allocation.size() != batch.size()) {
+    throw std::invalid_argument("correlated_phi1: allocation size != batch size");
+  }
+  if (replications == 0) {
+    throw std::invalid_argument("correlated_phi1: replications must be >= 1");
+  }
+  if (pulses == 0) throw std::invalid_argument("correlated_phi1: pulses must be >= 1");
+
+  // Pre-discretize the parallel execution-time PMFs once.
+  std::vector<pmf::Pmf> times;
+  times.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const GroupAssignment group = allocation.at(i);
+    times.push_back(batch.at(i).parallel_pmf(group.processor_type, group.processors, pulses));
+  }
+
+  if (!(rho >= 0.0 && rho <= 1.0)) {
+    throw std::invalid_argument("correlated_phi1: rho must be in [0, 1]");
+  }
+  // One availability draw per APPLICATION (each group's processors are
+  // disjoint), coupled through a system-wide common load factor. rho = 0
+  // makes the draws independent — the paper's product-form assumption.
+  const double load_common = std::sqrt(rho);
+  const double load_own = std::sqrt(1.0 - rho);
+  util::RngStream rng(seed);
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < replications; ++r) {
+    const double common = rng.normal();
+    bool all_meet = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double z = load_common * common + load_own * rng.normal();
+      const double u = std::min(stats::standard_normal_cdf(z), 1.0 - 1e-15);
+      const double a =
+          availability.of_type(allocation.at(i).processor_type).sample_with(u);
+      const double t = times[i].sample_with(rng.uniform01());
+      if (t / a > deadline) {
+        all_meet = false;
+        break;
+      }
+    }
+    if (all_meet) ++hits;
+  }
+
+  CorrelatedPhiEstimate estimate;
+  estimate.replications = replications;
+  estimate.probability = static_cast<double>(hits) / static_cast<double>(replications);
+  estimate.standard_error = std::sqrt(
+      std::max(estimate.probability * (1.0 - estimate.probability), 1e-12) /
+      static_cast<double>(replications));
+  return estimate;
+}
+
+}  // namespace cdsf::ra

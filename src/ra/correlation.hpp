@@ -1,0 +1,36 @@
+// Robustness under correlated cross-type availability (the paper's named
+// future work). The product form of phi_1 relies on independence across
+// applications; correlated availability breaks it, so Pr(Psi <= Delta) is
+// estimated by Monte Carlo over Gaussian-copula joint draws
+// (sysmodel::CorrelatedAvailabilitySampler).
+#pragma once
+
+#include <cstdint>
+
+#include "ra/allocation.hpp"
+#include "sysmodel/correlation.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::ra {
+
+/// Monte-Carlo estimate of phi_1 under a one-factor copula with loading rho.
+struct CorrelatedPhiEstimate {
+  double probability = 0.0;
+  double standard_error = 0.0;
+  std::size_t replications = 0;
+};
+
+/// Each replication draws one joint availability vector, one execution time
+/// per application from its discretized parallel-time PMF, and checks
+/// max_i(T_i / a_{type(i)}) <= deadline. With rho = 0 this converges to the
+/// analytic product-form phi_1 of ra::RobustnessEvaluator.
+/// Throws std::invalid_argument on size mismatches, replications == 0, or
+/// pulses == 0.
+[[nodiscard]] CorrelatedPhiEstimate correlated_phi1(const workload::Batch& batch,
+                                                    const Allocation& allocation,
+                                                    const sysmodel::AvailabilitySpec& availability,
+                                                    double rho, double deadline,
+                                                    std::size_t replications, std::uint64_t seed,
+                                                    std::size_t pulses = 64);
+
+}  // namespace cdsf::ra

@@ -1,0 +1,52 @@
+#include "ra/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdsf::ra {
+
+std::vector<ParetoPoint> pareto_frontier(const RobustnessEvaluator& evaluator,
+                                         const sysmodel::Platform& platform, CountRule rule) {
+  const std::vector<Allocation> all =
+      enumerate_feasible(evaluator.batch().size(), platform, rule);
+  if (all.empty()) throw std::runtime_error("pareto_frontier: no feasible allocation");
+
+  std::vector<ParetoPoint> points;
+  points.reserve(all.size());
+  for (const Allocation& allocation : all) {
+    const pmf::Pmf psi = evaluator.system_makespan_pmf(allocation);
+    points.push_back({allocation, psi.cdf(evaluator.deadline()), psi.expectation()});
+  }
+
+  // Sort by ascending makespan; a point survives if its phi_1 strictly
+  // exceeds the best phi_1 seen so far (ties keep the cheaper point only).
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.expected_makespan != b.expected_makespan) {
+      return a.expected_makespan < b.expected_makespan;
+    }
+    return a.phi1 > b.phi1;
+  });
+  std::vector<ParetoPoint> frontier;
+  double best_phi1 = -1.0;
+  for (ParetoPoint& point : points) {
+    if (point.phi1 > best_phi1 + 1e-12) {
+      best_phi1 = point.phi1;
+      frontier.push_back(std::move(point));
+    }
+  }
+  return frontier;
+}
+
+ParetoPoint best_within_makespan_budget(const std::vector<ParetoPoint>& frontier,
+                                        double makespan_budget) {
+  const ParetoPoint* best = nullptr;
+  for (const ParetoPoint& point : frontier) {
+    if (point.expected_makespan <= makespan_budget) best = &point;  // frontier is sorted
+  }
+  if (best == nullptr) {
+    throw std::runtime_error("best_within_makespan_budget: no frontier point fits the budget");
+  }
+  return *best;
+}
+
+}  // namespace cdsf::ra

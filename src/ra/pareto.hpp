@@ -1,0 +1,41 @@
+// The robustness/performance Pareto frontier over feasible allocations.
+//
+// phi_1 alone is a myopic objective: two allocations with equal deadline
+// probability can differ widely in expected makespan, and the makespan is
+// what the NEXT batch queues behind (see bench_multi_batch). This module
+// materializes the trade-off: all feasible allocations scored in the two
+// objectives (maximize phi_1, minimize E[Psi]) reduced to their
+// non-dominated frontier.
+#pragma once
+
+#include <vector>
+
+#include "ra/allocation.hpp"
+#include "ra/robustness.hpp"
+
+namespace cdsf::ra {
+
+/// One frontier point.
+struct ParetoPoint {
+  Allocation allocation;
+  double phi1 = 0.0;
+  double expected_makespan = 0.0;  // E[Psi] from the system-makespan PMF
+};
+
+/// Enumerates every feasible allocation, scores (phi_1, E[Psi]), and
+/// returns the non-dominated set sorted by ascending expected makespan
+/// (equivalently ascending phi_1 along the frontier). Exhaustive — use at
+/// enumerable scales only. Throws std::runtime_error when the instance has
+/// no feasible allocation.
+[[nodiscard]] std::vector<ParetoPoint> pareto_frontier(const RobustnessEvaluator& evaluator,
+                                                       const sysmodel::Platform& platform,
+                                                       CountRule rule);
+
+/// The frontier point with the highest phi_1 whose expected makespan does
+/// not exceed `makespan_budget` — the constrained selection a stream-aware
+/// resource manager wants. Throws std::runtime_error if the frontier is
+/// empty or no point fits the budget.
+[[nodiscard]] ParetoPoint best_within_makespan_budget(const std::vector<ParetoPoint>& frontier,
+                                                      double makespan_budget);
+
+}  // namespace cdsf::ra

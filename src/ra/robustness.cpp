@@ -1,0 +1,101 @@
+#include "ra/robustness.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "pmf/ops.hpp"
+#include "pmf/parallel_time.hpp"
+
+namespace cdsf::ra {
+
+RobustnessEvaluator::RobustnessEvaluator(const workload::Batch& batch,
+                                         const sysmodel::AvailabilitySpec& availability,
+                                         double deadline, RobustnessConfig config)
+    : batch_(&batch), availability_(&availability), deadline_(deadline), config_(config) {
+  if (batch.empty()) throw std::invalid_argument("RobustnessEvaluator: empty batch");
+  if (batch.type_count() != availability.type_count()) {
+    throw std::invalid_argument("RobustnessEvaluator: batch/availability type count mismatch");
+  }
+  if (!(deadline > 0.0)) throw std::invalid_argument("RobustnessEvaluator: deadline must be > 0");
+  if (config_.discretization_pulses == 0 || config_.max_pulses == 0) {
+    throw std::invalid_argument("RobustnessEvaluator: pulse budgets must be > 0");
+  }
+}
+
+const pmf::Pmf& RobustnessEvaluator::completion_pmf(std::size_t app, GroupAssignment group) const {
+  if (app >= batch_->size()) throw std::out_of_range("completion_pmf: bad application index");
+  if (group.processor_type >= availability_->type_count()) {
+    throw std::invalid_argument("completion_pmf: unknown processor type");
+  }
+  if (group.processors == 0) {
+    throw std::invalid_argument("completion_pmf: processors must be >= 1");
+  }
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(app) << 40) |
+                            (static_cast<std::uint64_t>(group.processor_type) << 20) |
+                            static_cast<std::uint64_t>(group.processors);
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const workload::Application& application = batch_->at(app);
+  const pmf::Pmf parallel = application.parallel_pmf(group.processor_type, group.processors,
+                                                     config_.discretization_pulses);
+  pmf::Pmf completion = pmf::apply_availability(
+      parallel, availability_->of_type(group.processor_type), config_.max_pulses);
+  return cache_.emplace(key, std::move(completion)).first->second;
+}
+
+double RobustnessEvaluator::application_probability(std::size_t app, GroupAssignment group) const {
+  return completion_pmf(app, group).cdf(deadline_);
+}
+
+double RobustnessEvaluator::expected_completion(std::size_t app, GroupAssignment group) const {
+  return completion_pmf(app, group).expectation();
+}
+
+pmf::Pmf RobustnessEvaluator::system_makespan_pmf(const Allocation& allocation) const {
+  if (allocation.size() != batch_->size()) {
+    throw std::invalid_argument("system_makespan_pmf: allocation size != batch size");
+  }
+  pmf::Pmf system = completion_pmf(0, allocation.at(0));
+  for (std::size_t i = 1; i < allocation.size(); ++i) {
+    system = pmf::independent_max(system, completion_pmf(i, allocation.at(i)));
+  }
+  return system;
+}
+
+std::vector<double> RobustnessEvaluator::fepia_slacks(const Allocation& allocation) const {
+  if (allocation.size() != batch_->size()) {
+    throw std::invalid_argument("fepia_slacks: allocation size != batch size");
+  }
+  std::vector<double> slacks;
+  slacks.reserve(allocation.size());
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    const GroupAssignment group = allocation.at(i);
+    const double dedicated =
+        batch_->at(i).expected_parallel_time(group.processor_type, group.processors);
+    slacks.push_back(availability_->expected(group.processor_type) - dedicated / deadline_);
+  }
+  return slacks;
+}
+
+double RobustnessEvaluator::fepia_robustness_radius(const Allocation& allocation) const {
+  const std::vector<double> slacks = fepia_slacks(allocation);
+  double radius = std::numeric_limits<double>::infinity();
+  for (double slack : slacks) radius = std::min(radius, slack);
+  return radius;
+}
+
+double RobustnessEvaluator::joint_probability(const Allocation& allocation) const {
+  if (allocation.size() != batch_->size()) {
+    throw std::invalid_argument("joint_probability: allocation size != batch size");
+  }
+  double joint = 1.0;
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    joint *= application_probability(i, allocation.at(i));
+    if (joint == 0.0) break;
+  }
+  return joint;
+}
+
+}  // namespace cdsf::ra

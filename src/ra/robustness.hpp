@@ -1,0 +1,97 @@
+// The stochastic robustness metric of Stage I (Shestak, Smith, Maciejewski
+// & Siegel 2008, as used by the CDSF paper).
+//
+// For application i assigned n processors of type j:
+//   1. discretize its single-processor execution-time law into a PMF,
+//   2. apply Eq. (2) per pulse -> parallel execution-time PMF,
+//   3. combine with the availability PMF of type j (each time pulse t and
+//      availability pulse a yield pulse t / a) -> completion-time PMF,
+//   4. Pr(app meets deadline) = CDF of that PMF at the deadline.
+// Applications are independent, so the allocation's robustness phi_1 is the
+// product of the per-application probabilities.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "pmf/pmf.hpp"
+#include "ra/allocation.hpp"
+#include "sysmodel/availability.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::ra {
+
+/// Discretization / compaction budgets for the PMF pipeline.
+struct RobustnessConfig {
+  /// Pulses used to discretize each single-processor time law.
+  std::size_t discretization_pulses = 64;
+  /// Pulse budget after the availability combine.
+  std::size_t max_pulses = 2048;
+};
+
+/// Evaluates completion PMFs and deadline probabilities for one batch under
+/// one availability spec and one deadline. Memoizes per (application, type,
+/// count) so exhaustive searches stay cheap.
+///
+/// NOT thread-safe: the memoization cache mutates on const queries. Give
+/// each thread its own evaluator (construction is cheap; the cache warms in
+/// microseconds) rather than sharing one across util::parallel_for_index.
+class RobustnessEvaluator {
+ public:
+  /// The batch, spec and platform must outlive the evaluator.
+  /// Throws std::invalid_argument if the batch is empty, type counts
+  /// disagree, or deadline <= 0.
+  RobustnessEvaluator(const workload::Batch& batch, const sysmodel::AvailabilitySpec& availability,
+                      double deadline, RobustnessConfig config = {});
+
+  /// Completion-time PMF of application `app` under `group` (steps 1-3).
+  [[nodiscard]] const pmf::Pmf& completion_pmf(std::size_t app, GroupAssignment group) const;
+
+  /// Pr(application completes <= deadline) under `group`.
+  [[nodiscard]] double application_probability(std::size_t app, GroupAssignment group) const;
+
+  /// Expected completion time of `app` under `group` (Table V values).
+  [[nodiscard]] double expected_completion(std::size_t app, GroupAssignment group) const;
+
+  /// phi_1 of a full allocation: product of application probabilities.
+  /// Throws std::invalid_argument if allocation size != batch size.
+  [[nodiscard]] double joint_probability(const Allocation& allocation) const;
+
+  /// The full distribution of the system makespan Psi = max_i T_i under an
+  /// allocation (independent applications => pmf::independent_max). Its CDF
+  /// at the deadline equals joint_probability; its expectation and
+  /// quantiles characterize the allocation beyond the single phi_1 number.
+  /// Throws std::invalid_argument if allocation size != batch size.
+  [[nodiscard]] pmf::Pmf system_makespan_pmf(const Allocation& allocation) const;
+
+  /// The deterministic FePIA robustness radius of reference [3]
+  /// (Ali, Maciejewski, Siegel & Kim, TPDS 2004) applied to this system:
+  /// for each application, the largest drop in its group's availability
+  /// (from the expected value) before its MEAN execution time violates the
+  /// deadline,
+  ///     r_i = E[a_type(i)] - E[T_par,i] / deadline,
+  /// and the radius is min_i r_i (infinity-norm FePIA). Negative values
+  /// mean the application misses the deadline already at the expected
+  /// availability. Complements the stochastic phi_1: the radius asks "how
+  /// far can availability fall", phi_1 asks "how likely is failure now".
+  /// Throws std::invalid_argument if allocation size != batch size.
+  [[nodiscard]] double fepia_robustness_radius(const Allocation& allocation) const;
+
+  /// Per-application FePIA slacks r_i (same convention as above).
+  [[nodiscard]] std::vector<double> fepia_slacks(const Allocation& allocation) const;
+
+  [[nodiscard]] double deadline() const noexcept { return deadline_; }
+  [[nodiscard]] const workload::Batch& batch() const noexcept { return *batch_; }
+  [[nodiscard]] const sysmodel::AvailabilitySpec& availability() const noexcept {
+    return *availability_;
+  }
+
+ private:
+  const workload::Batch* batch_;
+  const sysmodel::AvailabilitySpec* availability_;
+  double deadline_;
+  RobustnessConfig config_;
+  mutable std::unordered_map<std::uint64_t, pmf::Pmf> cache_;
+};
+
+}  // namespace cdsf::ra

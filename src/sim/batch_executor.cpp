@@ -1,0 +1,77 @@
+#include "sim/batch_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdsf::sim {
+
+BatchRunResult simulate_batch(const workload::Batch& batch, const ra::Allocation& allocation,
+                              const sysmodel::AvailabilitySpec& availability,
+                              const std::vector<dls::TechniqueId>& techniques,
+                              const SimConfig& config, std::uint64_t seed) {
+  if (allocation.size() != batch.size()) {
+    throw std::invalid_argument("simulate_batch: allocation size != batch size");
+  }
+  if (techniques.size() != batch.size()) {
+    throw std::invalid_argument("simulate_batch: techniques size != batch size");
+  }
+  const util::SeedSequence seeds(seed);
+  BatchRunResult result;
+  result.app_makespans.reserve(batch.size());
+  for (std::size_t app = 0; app < batch.size(); ++app) {
+    const ra::GroupAssignment group = allocation.at(app);
+    const RunResult run =
+        simulate_loop(batch.at(app), group.processor_type, group.processors, availability,
+                      techniques[app], config, seeds.child(app));
+    result.app_makespans.push_back(run.makespan);
+    result.system_makespan = std::max(result.system_makespan, run.makespan);
+  }
+  return result;
+}
+
+BatchRunResult simulate_batch(const workload::Batch& batch, const ra::Allocation& allocation,
+                              const sysmodel::AvailabilitySpec& availability,
+                              dls::TechniqueId technique, const SimConfig& config,
+                              std::uint64_t seed) {
+  return simulate_batch(batch, allocation, availability,
+                        std::vector<dls::TechniqueId>(batch.size(), technique), config, seed);
+}
+
+MonteCarloPhi estimate_phi1(const workload::Batch& batch, const ra::Allocation& allocation,
+                            const sysmodel::AvailabilitySpec& availability,
+                            dls::TechniqueId technique, const SimConfig& config,
+                            std::uint64_t seed, std::size_t replications, double deadline) {
+  if (replications == 0) throw std::invalid_argument("estimate_phi1: replications must be >= 1");
+  const util::SeedSequence seeds(seed);
+  std::size_t hits = 0;
+  double makespan_sum = 0.0;
+  for (std::size_t r = 0; r < replications; ++r) {
+    const BatchRunResult run =
+        simulate_batch(batch, allocation, availability, technique, config, seeds.child(r));
+    if (run.system_makespan <= deadline) ++hits;
+    makespan_sum += run.system_makespan;
+  }
+  MonteCarloPhi estimate;
+  estimate.replications = replications;
+  estimate.probability = static_cast<double>(hits) / static_cast<double>(replications);
+  estimate.standard_error = std::sqrt(
+      std::max(estimate.probability * (1.0 - estimate.probability), 1e-12) /
+      static_cast<double>(replications));
+  estimate.mean_system_makespan = makespan_sum / static_cast<double>(replications);
+  return estimate;
+}
+
+SimConfig stage_one_mirror_config() {
+  SimConfig config;
+  config.availability_mode = AvailabilityMode::kSampleOnce;
+  config.shared_group_availability = true;
+  config.iteration_cov = 0.0;
+  config.input_factor_cov = 0.1;  // the paper's sigma = mu/10
+  config.scheduling_overhead = 0.0;
+  return config;
+}
+
+}  // namespace cdsf::sim

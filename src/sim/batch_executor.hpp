@@ -1,0 +1,73 @@
+// Whole-batch simulation: execute every application of an allocation in
+// the same (simulated) system and measure the system makespan
+// Psi = max over applications of their completion times.
+//
+// Because the paper's model has no inter-application interference (groups
+// are disjoint and applications independent), a batch run is the
+// composition of independent per-application loop executions with
+// independent seeds — but measuring them *jointly* enables the estimator
+// the paper never had: a Monte-Carlo Pr(Psi <= Delta) that cross-validates
+// Stage I's analytic PMF arithmetic against the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dls/registry.hpp"
+#include "ra/allocation.hpp"
+#include "sim/loop_executor.hpp"
+#include "sysmodel/availability.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::sim {
+
+/// One simulated execution of a whole batch.
+struct BatchRunResult {
+  std::vector<double> app_makespans;  // completion time per application
+  double system_makespan = 0.0;       // Psi = max of the above
+};
+
+/// Simulates every application of `batch` on its group from `allocation`
+/// under `availability`, all with technique `technique`, independent seeds.
+/// Throws std::invalid_argument on size mismatches (delegating group
+/// validation to simulate_loop).
+[[nodiscard]] BatchRunResult simulate_batch(const workload::Batch& batch,
+                                            const ra::Allocation& allocation,
+                                            const sysmodel::AvailabilitySpec& availability,
+                                            dls::TechniqueId technique, const SimConfig& config,
+                                            std::uint64_t seed);
+
+/// Per-application technique choice variant (e.g. Stage II's winners).
+[[nodiscard]] BatchRunResult simulate_batch(const workload::Batch& batch,
+                                            const ra::Allocation& allocation,
+                                            const sysmodel::AvailabilitySpec& availability,
+                                            const std::vector<dls::TechniqueId>& techniques,
+                                            const SimConfig& config, std::uint64_t seed);
+
+/// Monte-Carlo estimate of phi_1 = Pr(Psi <= deadline).
+struct MonteCarloPhi {
+  double probability = 0.0;       // hit fraction
+  double standard_error = 0.0;    // binomial SE of the estimate
+  double mean_system_makespan = 0.0;
+  std::size_t replications = 0;
+};
+
+/// Estimates Pr(Psi <= deadline) over `replications` independent batch
+/// executions. To reproduce the Stage I arithmetic exactly, pass a config
+/// with availability_mode = kSampleOnce, shared_group_availability = true,
+/// iteration_cov = 0 and input_factor_cov = 0.1 (the paper's sigma = mu/10
+/// input-data uncertainty): a STATIC execution then costs exactly
+/// (s + p/n) * T / a per application, the model behind Table V.
+/// Throws std::invalid_argument if replications == 0.
+[[nodiscard]] MonteCarloPhi estimate_phi1(const workload::Batch& batch,
+                                          const ra::Allocation& allocation,
+                                          const sysmodel::AvailabilitySpec& availability,
+                                          dls::TechniqueId technique, const SimConfig& config,
+                                          std::uint64_t seed, std::size_t replications,
+                                          double deadline);
+
+/// The config that makes estimate_phi1 mirror Stage I's assumptions (see
+/// above).
+[[nodiscard]] SimConfig stage_one_mirror_config();
+
+}  // namespace cdsf::sim

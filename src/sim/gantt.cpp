@@ -1,0 +1,59 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::sim {
+
+std::string render_gantt(const RunResult& result, const GanttOptions& options) {
+  if (result.trace.empty()) {
+    throw std::invalid_argument("render_gantt: empty trace (enable SimConfig::collect_trace)");
+  }
+  if (options.width < 10) throw std::invalid_argument("render_gantt: width must be >= 10");
+
+  const double horizon = std::max(result.makespan, 1e-9);
+  const double scale = static_cast<double>(options.width) / horizon;
+  auto column = [&](double t) {
+    return std::min(options.width - 1,
+                    static_cast<std::size_t>(std::max(t, 0.0) * scale));
+  };
+
+  std::vector<std::string> rows(result.workers.size(), std::string(options.width, ' '));
+  for (const ChunkTraceEntry& chunk : result.trace) {
+    std::string& row = rows.at(chunk.worker);
+    for (std::size_t c = column(chunk.dispatch_time); c < column(chunk.start_time); ++c) {
+      row[c] = '.';
+    }
+    const std::size_t start = column(chunk.start_time);
+    const std::size_t end = std::max(column(chunk.end_time), start + 1);
+    for (std::size_t c = start; c < end && c < options.width; ++c) row[c] = '=';
+    // Chunk boundary marker so adjacent chunks remain distinguishable.
+    if (start < options.width) row[start] = '[';
+  }
+
+  std::ostringstream out;
+  if (result.serial_end > 0.0) {
+    std::string serial_row(options.width, ' ');
+    for (std::size_t c = 0; c < column(result.serial_end); ++c) serial_row[c] = 's';
+    out << "  serial | " << serial_row << "\n";
+  }
+  for (std::size_t w = 0; w < rows.size(); ++w) {
+    if (options.deadline > 0.0 && options.deadline <= horizon) {
+      rows[w][column(options.deadline)] = '|';
+    }
+    out << "worker " << w << " | " << rows[w];
+    if (options.show_stats) {
+      out << "  (" << result.workers[w].chunks << " chunks, " << result.workers[w].iterations
+          << " iters)";
+    }
+    out << "\n";
+  }
+  out << "time 0 .. " << result.makespan;
+  if (options.deadline > 0.0) out << "   ('|' = deadline " << options.deadline << ")";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace cdsf::sim

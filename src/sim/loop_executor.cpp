@@ -1,0 +1,395 @@
+#include "sim/loop_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/sim_common.hpp"
+#include "stats/summary.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::sim {
+
+namespace {
+
+/// Delegates every call to a caller-owned technique (for the Technique&
+/// overload of simulate_loop).
+class ForwardingTechnique final : public dls::Technique {
+ public:
+  explicit ForwardingTechnique(dls::Technique& inner) : inner_(&inner) {}
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] std::int64_t next_chunk(const dls::SchedulingContext& ctx) override {
+    return inner_->next_chunk(ctx);
+  }
+  void record(const dls::ChunkResult& result) override { inner_->record(result); }
+  void reset() override { inner_->reset(); }
+
+ private:
+  dls::Technique* inner_;
+};
+
+}  // namespace
+
+double RunResult::finish_time_cov() const {
+  stats::OnlineSummary summary;
+  for (const WorkerStats& w : workers) summary.add(w.finish_time);
+  return summary.cov();
+}
+
+RunResult simulate_loop(const workload::Application& application, std::size_t processor_type,
+                        std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+                        const TechniqueFactory& factory, const SimConfig& config,
+                        std::uint64_t seed) {
+  detail::PreparedRun prepared =
+      detail::prepare_run(application, processor_type, processors, availability, config, seed);
+
+  const std::unique_ptr<dls::Technique> technique = factory(prepared.params);
+  if (technique == nullptr) throw std::invalid_argument("simulate_loop: factory returned null");
+  technique->reset();
+
+  RunResult result;
+  result.workers.assign(processors, WorkerStats{});
+
+  // Serial iterations on the master (worker 0).
+  double serial_end = 0.0;
+  if (application.serial_iterations() > 0) {
+    const double serial_work =
+        prepared.input_factor * detail::sample_work(application.serial_iterations(),
+                                                    prepared.mean_iter, prepared.stddev_iter,
+                                                    prepared.run_rng);
+    serial_end = prepared.workers[0].availability->finish_time(0.0, serial_work);
+  }
+  result.serial_end = serial_end;
+  result.makespan = serial_end;
+
+  Engine engine;
+  std::int64_t remaining = application.parallel_iterations();
+
+  // Self-scheduling protocol: an idle worker requests a chunk; the chunk
+  // completion event records feedback and triggers the next request.
+  std::function<void(std::size_t)> request = [&](std::size_t w) {
+    WorkerStats& stats = result.workers[w];
+    if (remaining <= 0) {
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    const dls::SchedulingContext ctx{remaining, w, engine.now()};
+    std::int64_t chunk = technique->next_chunk(ctx);
+    if (chunk <= 0) {
+      // Technique has nothing (ever) for this worker (STATIC share spent).
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    chunk = std::min(chunk, remaining);
+    // Chunks cover contiguous index ranges from the front of the loop (the
+    // iteration profile makes index position meaningful).
+    const std::int64_t first_index = application.parallel_iterations() - remaining;
+    remaining -= chunk;
+
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + config.scheduling_overhead;
+    const double work = prepared.input_factor *
+                        detail::chunk_work(application, processor_type, prepared.mean_iter,
+                                           prepared.stddev_iter, config.iteration_cov,
+                                           first_index, chunk, *prepared.workers[w].rng);
+    const double end_time = prepared.workers[w].availability->finish_time(start_time, work);
+
+    stats.chunks += 1;
+    stats.iterations += chunk;
+    stats.busy_time += end_time - start_time;
+    stats.overhead_time += config.scheduling_overhead;
+    result.total_chunks += 1;
+    if (config.collect_trace) {
+      result.trace.push_back({w, chunk, dispatch_time, start_time, end_time});
+    }
+    CDSF_LOG_TRACE << "worker " << w << " chunk " << chunk << " [" << dispatch_time << ", "
+                   << end_time << "]";
+
+    engine.schedule_at(end_time, [&, w, chunk, start_time, dispatch_time, end_time] {
+      technique->record(dls::ChunkResult{w, chunk, end_time - start_time,
+                                         end_time - dispatch_time});
+      result.workers[w].finish_time = end_time;
+      result.makespan = std::max(result.makespan, end_time);
+      request(w);
+    });
+  };
+
+  if (application.parallel_iterations() > 0) {
+    // All workers become available for parallel work once the serial
+    // portion completes on the master.
+    engine.schedule_at(serial_end, [&] {
+      for (std::size_t w = 0; w < processors; ++w) request(w);
+    });
+    engine.run();
+  }
+
+  for (WorkerStats& w : result.workers) {
+    if (w.finish_time == 0.0) w.finish_time = serial_end;
+  }
+  return result;
+}
+
+RunResult simulate_loop(const workload::Application& application, std::size_t processor_type,
+                        std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+                        dls::TechniqueId technique, const SimConfig& config, std::uint64_t seed) {
+  return simulate_loop(
+      application, processor_type, processors, availability,
+      [technique](const dls::TechniqueParams& params) {
+        return dls::make_technique(technique, params);
+      },
+      config, seed);
+}
+
+RunResult simulate_loop(const workload::Application& application, std::size_t processor_type,
+                        std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+                        dls::Technique& technique, const SimConfig& config, std::uint64_t seed) {
+  return simulate_loop(
+      application, processor_type, processors, availability,
+      [&technique](const dls::TechniqueParams&) {
+        return std::make_unique<ForwardingTechnique>(technique);
+      },
+      config, seed);
+}
+
+ReplicationSummary simulate_replicated(const workload::Application& application,
+                                       std::size_t processor_type, std::size_t processors,
+                                       const sysmodel::AvailabilitySpec& availability,
+                                       dls::TechniqueId technique, const SimConfig& config,
+                                       std::uint64_t seed, std::size_t replications,
+                                       double deadline, std::size_t threads) {
+  if (replications == 0) {
+    throw std::invalid_argument("simulate_replicated: replications must be >= 1");
+  }
+  const util::SeedSequence seeds(seed);
+  // Replications are embarrassingly parallel: each derives all randomness
+  // from its own child seed, so the aggregation below is bit-identical for
+  // any thread count.
+  std::vector<double> samples(replications);
+  util::parallel_for_index(replications, threads, [&](std::size_t r) {
+    samples[r] = simulate_loop(application, processor_type, processors, availability,
+                               technique, config, seeds.child(r))
+                     .makespan;
+  });
+  stats::OnlineSummary makespans;
+  std::size_t hits = 0;
+  for (double makespan : samples) {
+    makespans.add(makespan);
+    if (makespan <= deadline) ++hits;
+  }
+  ReplicationSummary summary;
+  summary.replications = replications;
+  summary.mean_makespan = makespans.mean();
+  summary.median_makespan = stats::percentile(std::move(samples), 0.5);
+  summary.stddev_makespan = makespans.stddev();
+  summary.min_makespan = makespans.min();
+  summary.max_makespan = makespans.max();
+  summary.deadline_hit_rate = static_cast<double>(hits) / static_cast<double>(replications);
+  summary.mean_ci =
+      stats::mean_interval(summary.mean_makespan, summary.stddev_makespan, replications);
+  summary.hit_rate_ci = stats::wilson_interval(hits, replications);
+  return summary;
+}
+
+RunResult simulate_loop_mixed(const workload::Application& application,
+                              const std::vector<std::size_t>& worker_types,
+                              const sysmodel::AvailabilitySpec& availability,
+                              dls::TechniqueId technique, const SimConfig& config,
+                              std::uint64_t seed) {
+  if (worker_types.empty()) {
+    throw std::invalid_argument("simulate_loop_mixed: at least one worker required");
+  }
+  for (std::size_t type : worker_types) {
+    if (type >= availability.type_count() || type >= application.type_count()) {
+      throw std::invalid_argument("simulate_loop_mixed: unknown processor type");
+    }
+  }
+  detail::validate_config(config);
+
+  const std::size_t processors = worker_types.size();
+  const util::SeedSequence seeds(seed);
+  util::RngStream run_rng = seeds.stream(0);
+  double input_factor = 1.0;
+  if (config.input_factor_cov > 0.0) {
+    input_factor = std::max(run_rng.normal(1.0, config.input_factor_cov), 0.1);
+  }
+
+  // Per-worker iteration statistics and availability processes, each from
+  // ITS OWN type. (prepare_run assumes a homogeneous group; this path
+  // builds the heterogeneous equivalent directly.)
+  struct MixedWorker {
+    double mean_iter = 0.0;
+    double stddev_iter = 0.0;
+    std::unique_ptr<sysmodel::AvailabilityProcess> availability;
+    std::unique_ptr<util::RngStream> rng;
+  };
+  std::vector<MixedWorker> group(processors);
+  for (std::size_t w = 0; w < processors; ++w) {
+    const std::size_t type = worker_types[w];
+    group[w].mean_iter = application.mean_iteration_time(type);
+    group[w].stddev_iter = group[w].mean_iter * config.iteration_cov;
+    group[w].rng = std::make_unique<util::RngStream>(seeds.child(100 + 2 * w));
+    const pmf::Pmf& law = availability.of_type(type);
+    switch (config.availability_mode) {
+      case AvailabilityMode::kIidEpoch:
+        group[w].availability = std::make_unique<sysmodel::IidEpochAvailability>(
+            law, config.epoch_length, seeds.child(101 + 2 * w));
+        break;
+      case AvailabilityMode::kMarkovEpoch:
+        group[w].availability = std::make_unique<sysmodel::MarkovEpochAvailability>(
+            law, config.epoch_length, config.markov_persistence, seeds.child(101 + 2 * w));
+        break;
+      case AvailabilityMode::kConstantMean:
+        group[w].availability =
+            std::make_unique<sysmodel::ConstantAvailability>(law.expectation());
+        break;
+      case AvailabilityMode::kSampleOnce:
+        group[w].availability = std::make_unique<sysmodel::ConstantAvailability>(
+            law.sample_with(run_rng.uniform01()));
+        break;
+      case AvailabilityMode::kDiurnal: {
+        const double mean = law.expectation();
+        const double amplitude =
+            std::min({config.diurnal_amplitude, mean - 1e-6, 1.0 - mean});
+        const double phase = static_cast<double>(w) /
+                             static_cast<double>(processors) * config.diurnal_period;
+        group[w].availability = std::make_unique<sysmodel::DiurnalAvailability>(
+            mean, std::max(amplitude, 0.0), config.diurnal_period, phase);
+        break;
+      }
+    }
+  }
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.worker >= processors) {
+      throw std::invalid_argument("simulate_loop_mixed: failure targets an unknown worker");
+    }
+    group[failure.worker].availability = std::make_unique<sysmodel::FailingAvailability>(
+        std::move(group[failure.worker].availability), failure.time,
+        failure.residual_availability);
+  }
+
+  // The technique sees combined speed x availability weights: the rate of
+  // worker w relative to the group (1/mean_iter scaled by observed
+  // availability at t = 0).
+  dls::TechniqueParams params;
+  params.workers = processors;
+  params.total_iterations = std::max<std::int64_t>(1, application.parallel_iterations());
+  double mean_iter_sum = 0.0;
+  for (const MixedWorker& w : group) mean_iter_sum += w.mean_iter;
+  params.mean_iteration_time = mean_iter_sum / static_cast<double>(processors);
+  params.stddev_iteration_time = params.mean_iteration_time * config.iteration_cov;
+  params.scheduling_overhead = config.scheduling_overhead;
+  params.weights.reserve(processors);
+  for (std::size_t w = 0; w < processors; ++w) {
+    params.weights.push_back(group[w].availability->availability_at(0.0) /
+                             group[w].mean_iter * params.mean_iteration_time);
+  }
+  const std::unique_ptr<dls::Technique> tech = dls::make_technique(technique, params);
+  tech->reset();
+
+  RunResult result;
+  result.workers.assign(processors, WorkerStats{});
+
+  double serial_end = 0.0;
+  if (application.serial_iterations() > 0) {
+    const double serial_work =
+        input_factor * detail::sample_work(application.serial_iterations(),
+                                           group[0].mean_iter, group[0].stddev_iter, run_rng);
+    serial_end = group[0].availability->finish_time(0.0, serial_work);
+  }
+  result.serial_end = serial_end;
+  result.makespan = serial_end;
+
+  Engine engine;
+  std::int64_t remaining = application.parallel_iterations();
+  std::function<void(std::size_t)> request = [&](std::size_t w) {
+    WorkerStats& stats = result.workers[w];
+    if (remaining <= 0) {
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    std::int64_t chunk = tech->next_chunk(dls::SchedulingContext{remaining, w, engine.now()});
+    if (chunk <= 0) {
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    chunk = std::min(chunk, remaining);
+    const std::int64_t first_index = application.parallel_iterations() - remaining;
+    remaining -= chunk;
+
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + config.scheduling_overhead;
+    // Worker-local cost: the application's profile-weighted range cost on
+    // THIS worker's type (chunk_work handles flat/profiled paths).
+    const double work = input_factor *
+                        detail::chunk_work(application, worker_types[w], group[w].mean_iter,
+                                           group[w].stddev_iter, config.iteration_cov,
+                                           first_index, chunk, *group[w].rng);
+    const double end_time = group[w].availability->finish_time(start_time, work);
+
+    stats.chunks += 1;
+    stats.iterations += chunk;
+    stats.busy_time += end_time - start_time;
+    stats.overhead_time += config.scheduling_overhead;
+    result.total_chunks += 1;
+    if (config.collect_trace) {
+      result.trace.push_back({w, chunk, dispatch_time, start_time, end_time});
+    }
+    engine.schedule_at(end_time, [&, w, chunk, start_time, dispatch_time, end_time] {
+      tech->record(dls::ChunkResult{w, chunk, end_time - start_time,
+                                    end_time - dispatch_time});
+      result.workers[w].finish_time = end_time;
+      result.makespan = std::max(result.makespan, end_time);
+      request(w);
+    });
+  };
+
+  if (application.parallel_iterations() > 0) {
+    engine.schedule_at(serial_end, [&] {
+      for (std::size_t w = 0; w < processors; ++w) request(w);
+    });
+    engine.run();
+  }
+  for (WorkerStats& w : result.workers) {
+    if (w.finish_time == 0.0) w.finish_time = serial_end;
+  }
+  return result;
+}
+
+TechniqueComparison compare_techniques(const workload::Application& application,
+                                       std::size_t processor_type, std::size_t processors,
+                                       const sysmodel::AvailabilitySpec& availability,
+                                       dls::TechniqueId technique_a,
+                                       dls::TechniqueId technique_b, const SimConfig& config,
+                                       std::uint64_t seed, std::size_t replications,
+                                       double level) {
+  if (replications == 0) {
+    throw std::invalid_argument("compare_techniques: replications must be >= 1");
+  }
+  const util::SeedSequence seeds(seed);
+  std::vector<double> a(replications);
+  std::vector<double> b(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    // Common random numbers: the SAME child seed drives both techniques, so
+    // they face identical availability paths and iteration noise.
+    const std::uint64_t child = seeds.child(r);
+    a[r] = simulate_loop(application, processor_type, processors, availability, technique_a,
+                         config, child)
+               .makespan;
+    b[r] = simulate_loop(application, processor_type, processors, availability, technique_b,
+                         config, child)
+               .makespan;
+  }
+  TechniqueComparison comparison;
+  comparison.technique_a = technique_a;
+  comparison.technique_b = technique_b;
+  comparison.makespan_difference =
+      stats::paired_median_comparison(a, b, level, 2000, seeds.child(1 << 20));
+  comparison.median_a = stats::percentile(a, 0.5);
+  comparison.median_b = stats::percentile(b, 0.5);
+  return comparison;
+}
+
+}  // namespace cdsf::sim

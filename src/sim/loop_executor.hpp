@@ -1,0 +1,238 @@
+// Master–worker simulation of one application execution under a DLS
+// technique (Stage II of the CDSF).
+//
+// Execution model (matches the paper's assumptions, Section III/IV):
+//  * The application runs alone on its allocated group of `processors`
+//    workers, all of one processor type.
+//  * Serial iterations execute first, on the master (worker 0); parallel
+//    iterations are then dispatched in chunks sized by the DLS technique —
+//    the classic self-scheduling protocol: an idle worker requests, the
+//    technique answers with a chunk size, the worker computes.
+//  * Iteration cost: one iteration's dedicated-processor time is drawn iid
+//    from a law with mean = application mean time / total iterations and
+//    configurable coefficient of variation. A per-run input-data factor
+//    (the paper's uncertain input data) can scale a whole run.
+//  * Availability: each worker owns an independent availability process
+//    whose marginal law is the case PMF for the group's processor type
+//    (Table I). An availability of a delivers an a-fraction of compute
+//    rate, so a chunk of W dedicated time units started at t finishes at
+//    the solution of the work integral (AvailabilityProcess::finish_time).
+//  * Each chunk dispatch costs a fixed wall-clock overhead h before
+//    computation starts.
+//
+// Techniques are built through a factory: the executor fills
+// dls::TechniqueParams with the problem facts only it knows (worker count,
+// iteration statistics, overhead h, and each worker's availability observed
+// at time 0, which seeds WF/AWF weights) and then instantiates the policy.
+// Everything is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dls/registry.hpp"
+#include "dls/technique.hpp"
+#include "stats/summary.hpp"
+#include "sysmodel/availability.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::sim {
+
+/// How worker availability evolves during the run.
+enum class AvailabilityMode {
+  /// Redrawn from the case PMF every epoch, independently.
+  kIidEpoch,
+  /// Epoch model with persistence (MarkovEpochAvailability).
+  kMarkovEpoch,
+  /// Every worker constant at the PMF's expected value.
+  kConstantMean,
+  /// Each worker draws once at t = 0 and keeps that value for the whole
+  /// run (default). This is the paper's Stage II model: the load on a
+  /// machine persists over one application execution, which is precisely
+  /// why STATIC degrades and DLS pays off. It also reproduces the Stage I
+  /// arithmetic E[T / a] in expectation.
+  kSampleOnce,
+  /// Deterministic day/night load cycle around the PMF's expected value
+  /// (sysmodel::DiurnalAvailability); per-worker phases are spread evenly
+  /// so the group's load rotates. Predictable drift — the regime where
+  /// frozen WF weights go stale fastest. Knobs: diurnal_amplitude and
+  /// diurnal_period below.
+  kDiurnal,
+};
+
+/// Simulation knobs. Defaults reproduce the paper-scale experiments.
+struct SimConfig {
+  /// Wall-clock scheduling overhead h per chunk dispatch.
+  double scheduling_overhead = 0.5;
+  /// Coefficient of variation of a single iteration's dedicated time.
+  double iteration_cov = 0.3;
+  /// Per-run input-data factor ~ Normal(1, input_factor_cov), truncated to
+  /// [0.1, inf); 0 disables it.
+  double input_factor_cov = 0.0;
+  /// Availability epoch length for the epoch-based modes.
+  double epoch_length = 300.0;
+  /// Markov persistence (probability an epoch repeats the previous value).
+  /// The default correlation time epoch / (1 - persistence) = 1200 time
+  /// units is long against chunk times (load persists — STATIC suffers,
+  /// initial observations are meaningful) but short against a full
+  /// execution (load drifts — WF's frozen weights go stale and the
+  /// adaptive techniques earn their keep), matching the paper's A = 1 - Λ
+  /// runtime-fluctuation model.
+  double markov_persistence = 0.75;
+  AvailabilityMode availability_mode = AvailabilityMode::kMarkovEpoch;
+  /// kDiurnal only: oscillation amplitude around E[a] (clamped so the cycle
+  /// stays within (0, 1]) and cycle period.
+  double diurnal_amplitude = 0.2;
+  double diurnal_period = 2000.0;
+  /// When true, every worker of the group shares ONE availability process
+  /// realization instead of drawing independently. With kSampleOnce this
+  /// reproduces Stage I's arithmetic exactly: the whole group scales by a
+  /// single availability draw, so a STATIC execution costs
+  /// (s + p/n) * T / a (the model behind Table V and phi_1).
+  bool shared_group_availability = false;
+  /// Record per-chunk trace entries (costs memory; off by default).
+  bool collect_trace = false;
+  /// Injected processor failures: the listed workers degrade to
+  /// `residual_availability` at `time` (sysmodel::FailingAvailability).
+  struct Failure {
+    std::size_t worker = 0;
+    double time = 0.0;
+    double residual_availability = 1e-3;
+  };
+  std::vector<Failure> failures;
+};
+
+/// Per-worker accounting.
+struct WorkerStats {
+  std::uint64_t chunks = 0;
+  std::int64_t iterations = 0;
+  double busy_time = 0.0;      // wall-clock computing
+  double overhead_time = 0.0;  // wall-clock in dispatch overhead
+  double finish_time = 0.0;    // when the worker went permanently idle
+};
+
+/// One dispatched chunk (trace mode).
+struct ChunkTraceEntry {
+  std::size_t worker = 0;
+  std::int64_t iterations = 0;
+  double dispatch_time = 0.0;  // request granted (overhead starts)
+  double start_time = 0.0;     // computation starts
+  double end_time = 0.0;       // computation ends
+};
+
+/// Outcome of one simulated application execution.
+struct RunResult {
+  double makespan = 0.0;    // end of the last chunk (>= serial_end)
+  double serial_end = 0.0;  // completion of the serial iterations
+  std::uint64_t total_chunks = 0;
+  std::vector<WorkerStats> workers;
+  std::vector<ChunkTraceEntry> trace;
+
+  /// Coefficient of variation of per-worker finish times — the classic
+  /// load-imbalance metric (0 = perfectly balanced).
+  [[nodiscard]] double finish_time_cov() const;
+};
+
+/// Builds a technique from executor-populated params.
+using TechniqueFactory =
+    std::function<std::unique_ptr<dls::Technique>(const dls::TechniqueParams&)>;
+
+/// Simulates `application` on `processors` workers of `processor_type`,
+/// availability drawn from `availability` (one independent process per
+/// worker), chunks sized by the technique the factory builds.
+/// Throws std::invalid_argument for zero processors, an unknown processor
+/// type, or invalid config values.
+[[nodiscard]] RunResult simulate_loop(const workload::Application& application,
+                                      std::size_t processor_type, std::size_t processors,
+                                      const sysmodel::AvailabilitySpec& availability,
+                                      const TechniqueFactory& factory, const SimConfig& config,
+                                      std::uint64_t seed);
+
+/// Convenience: technique by registry id.
+[[nodiscard]] RunResult simulate_loop(const workload::Application& application,
+                                      std::size_t processor_type, std::size_t processors,
+                                      const sysmodel::AvailabilitySpec& availability,
+                                      dls::TechniqueId technique, const SimConfig& config,
+                                      std::uint64_t seed);
+
+/// Convenience: caller-owned technique instance (reset() before use);
+/// executor-known hints and weights are NOT applied.
+[[nodiscard]] RunResult simulate_loop(const workload::Application& application,
+                                      std::size_t processor_type, std::size_t processors,
+                                      const sysmodel::AvailabilitySpec& availability,
+                                      dls::Technique& technique, const SimConfig& config,
+                                      std::uint64_t seed);
+
+/// Aggregate over independent replications. Each replication redraws
+/// availability processes, iteration noise, and (via the factory) technique
+/// weights.
+struct ReplicationSummary {
+  std::size_t replications = 0;
+  double mean_makespan = 0.0;
+  /// Median makespan — the representative-execution statistic used for
+  /// deadline decisions (the mean is dominated by the rare runs whose
+  /// master drew the lowest availability pulse for the serial phase).
+  double median_makespan = 0.0;
+  double stddev_makespan = 0.0;
+  double min_makespan = 0.0;
+  double max_makespan = 0.0;
+  /// Fraction of replications with makespan <= deadline.
+  double deadline_hit_rate = 0.0;
+  /// 95% confidence interval for the mean makespan.
+  stats::ConfidenceInterval mean_ci;
+  /// 95% Wilson interval for the deadline hit rate.
+  stats::ConfidenceInterval hit_rate_ci;
+};
+
+/// Mixed-type group execution: the paper restricts every group to ONE
+/// processor type; this relaxation (a natural extension for clusters whose
+/// free processors span generations) gives each worker its own type, so
+/// iteration costs AND availability laws differ per worker — the speed
+/// heterogeneity WF/AWF were originally designed for, on top of the
+/// availability heterogeneity the other executors model.
+/// `worker_types[w]` is the processor type of worker w; the serial phase
+/// runs on worker 0. Iteration-index profiles use the group's mean cost
+/// scaled per worker by its type's relative speed.
+/// Throws std::invalid_argument on empty worker list, unknown types, or
+/// invalid config.
+[[nodiscard]] RunResult simulate_loop_mixed(const workload::Application& application,
+                                            const std::vector<std::size_t>& worker_types,
+                                            const sysmodel::AvailabilitySpec& availability,
+                                            dls::TechniqueId technique, const SimConfig& config,
+                                            std::uint64_t seed);
+
+/// Statistically sound technique comparison using common random numbers:
+/// both techniques run on the SAME per-replication environments (identical
+/// availability processes and iteration noise), and the per-replication
+/// makespan differences (a - b) are summarized by a paired bootstrap CI.
+/// `significant` means the CI excludes zero — the basis for Table VI-style
+/// "best technique" claims.
+struct TechniqueComparison {
+  dls::TechniqueId technique_a = dls::TechniqueId::kStatic;
+  dls::TechniqueId technique_b = dls::TechniqueId::kStatic;
+  stats::PairedComparison makespan_difference;  // a - b, time units
+  double median_a = 0.0;
+  double median_b = 0.0;
+};
+
+/// Throws std::invalid_argument if replications == 0.
+[[nodiscard]] TechniqueComparison compare_techniques(
+    const workload::Application& application, std::size_t processor_type,
+    std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+    dls::TechniqueId technique_a, dls::TechniqueId technique_b, const SimConfig& config,
+    std::uint64_t seed, std::size_t replications, double level = 0.95);
+
+/// Runs `replications` independent simulations and summarizes makespans
+/// against `deadline`. With `threads` > 1 the replications run on that many
+/// threads; every replication derives its randomness from its own child
+/// seed, so the summary is bit-identical for ANY thread count.
+/// Throws std::invalid_argument if replications == 0.
+[[nodiscard]] ReplicationSummary simulate_replicated(
+    const workload::Application& application, std::size_t processor_type,
+    std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+    dls::TechniqueId technique, const SimConfig& config, std::uint64_t seed,
+    std::size_t replications, double deadline, std::size_t threads = 1);
+
+}  // namespace cdsf::sim

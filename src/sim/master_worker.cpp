@@ -1,0 +1,143 @@
+#include "sim/master_worker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/sim_common.hpp"
+#include "util/log.hpp"
+
+namespace cdsf::sim {
+
+MpiRunResult simulate_loop_mpi(const workload::Application& application,
+                               std::size_t processor_type, std::size_t processors,
+                               const sysmodel::AvailabilitySpec& availability,
+                               const TechniqueFactory& factory, const SimConfig& config,
+                               const MessageModel& messages, std::uint64_t seed) {
+  if (messages.latency < 0.0 || messages.master_service_time < 0.0) {
+    throw std::invalid_argument("simulate_loop_mpi: message costs must be >= 0");
+  }
+  detail::PreparedRun prepared =
+      detail::prepare_run(application, processor_type, processors, availability, config, seed);
+
+  const std::unique_ptr<dls::Technique> technique = factory(prepared.params);
+  if (technique == nullptr) {
+    throw std::invalid_argument("simulate_loop_mpi: factory returned null");
+  }
+  technique->reset();
+
+  MpiRunResult result;
+  result.run.workers.assign(processors, WorkerStats{});
+
+  // Serial iterations on worker 0 before the parallel loop opens.
+  double serial_end = 0.0;
+  if (application.serial_iterations() > 0) {
+    const double serial_work =
+        prepared.input_factor * detail::sample_work(application.serial_iterations(),
+                                                    prepared.mean_iter, prepared.stddev_iter,
+                                                    prepared.run_rng);
+    serial_end = prepared.workers[0].availability->finish_time(0.0, serial_work);
+  }
+  result.run.serial_end = serial_end;
+  result.run.makespan = serial_end;
+
+  Engine engine;
+  std::int64_t remaining = application.parallel_iterations();
+  double master_free_at = 0.0;
+
+  // The master serializes request handling; each handled request either
+  // assigns a chunk (reply travels back with one latency) or retires the
+  // worker. Completion reports carry the technique feedback.
+  std::function<void(std::size_t)> master_receive_request = [&](std::size_t w) {
+    const double arrival = engine.now();
+    const double service_start = std::max(arrival, master_free_at);
+    const double wait = service_start - arrival;
+    result.master.queue_wait_time += wait;
+    result.master.max_queue_wait = std::max(result.master.max_queue_wait, wait);
+    master_free_at = service_start + messages.master_service_time;
+    result.master.requests_handled += 1;
+    result.master.busy_time += messages.master_service_time;
+
+    engine.schedule_at(master_free_at, [&, w] {
+      WorkerStats& stats = result.run.workers[w];
+      if (remaining <= 0) {
+        stats.finish_time = std::max(stats.finish_time, engine.now());
+        return;
+      }
+      const dls::SchedulingContext ctx{remaining, w, engine.now()};
+      std::int64_t chunk = technique->next_chunk(ctx);
+      if (chunk <= 0) {
+        stats.finish_time = std::max(stats.finish_time, engine.now());
+        return;
+      }
+      chunk = std::min(chunk, remaining);
+      const std::int64_t first_index = application.parallel_iterations() - remaining;
+      remaining -= chunk;
+
+      // Assignment message travels to the worker; computation starts on
+      // arrival (the scheduling_overhead of the abstract model is the
+      // message round trip here, so it is NOT charged again).
+      const double dispatch_time = engine.now();
+      const double start_time = dispatch_time + messages.latency;
+      const double work = prepared.input_factor *
+                          detail::chunk_work(application, processor_type, prepared.mean_iter,
+                                             prepared.stddev_iter, config.iteration_cov,
+                                             first_index, chunk, *prepared.workers[w].rng);
+      const double end_time = prepared.workers[w].availability->finish_time(start_time, work);
+
+      stats.chunks += 1;
+      stats.iterations += chunk;
+      stats.busy_time += end_time - start_time;
+      stats.overhead_time += start_time - dispatch_time;
+      result.run.total_chunks += 1;
+      if (config.collect_trace) {
+        result.run.trace.push_back({w, chunk, dispatch_time, start_time, end_time});
+      }
+      CDSF_LOG_TRACE << "mpi worker " << w << " chunk " << chunk << " [" << dispatch_time
+                     << ", " << end_time << "]";
+
+      engine.schedule_at(end_time, [&, w, chunk, start_time, dispatch_time, end_time] {
+        result.run.workers[w].finish_time = end_time;
+        result.run.makespan = std::max(result.run.makespan, end_time);
+        // Completion report + next request reach the master one latency
+        // later; the feedback is recorded when the master RECEIVES it.
+        engine.schedule_after(messages.latency, [&, w, chunk, start_time, dispatch_time,
+                                                 end_time] {
+          technique->record(dls::ChunkResult{w, chunk, end_time - start_time,
+                                             end_time - dispatch_time});
+          master_receive_request(w);
+        });
+      });
+    });
+  };
+
+  if (application.parallel_iterations() > 0) {
+    engine.schedule_at(serial_end, [&] {
+      // Every worker's initial request reaches the master one latency in.
+      for (std::size_t w = 0; w < processors; ++w) {
+        engine.schedule_after(messages.latency, [&, w] { master_receive_request(w); });
+      }
+    });
+    engine.run();
+  }
+
+  for (WorkerStats& w : result.run.workers) {
+    if (w.finish_time == 0.0) w.finish_time = serial_end;
+  }
+  return result;
+}
+
+MpiRunResult simulate_loop_mpi(const workload::Application& application,
+                               std::size_t processor_type, std::size_t processors,
+                               const sysmodel::AvailabilitySpec& availability,
+                               dls::TechniqueId technique, const SimConfig& config,
+                               const MessageModel& messages, std::uint64_t seed) {
+  return simulate_loop_mpi(
+      application, processor_type, processors, availability,
+      [technique](const dls::TechniqueParams& params) {
+        return dls::make_technique(technique, params);
+      },
+      config, messages, seed);
+}
+
+}  // namespace cdsf::sim

@@ -1,0 +1,71 @@
+// Message-passing master–worker execution model.
+//
+// The DLS implementations behind the paper (and its cited studies) are MPI
+// master–worker codes: an idle worker SENDs a work request, the master
+// computes the chunk size and REPLYs with an assignment, and completion
+// timings travel back with the next request. loop_executor.hpp abstracts
+// that protocol into a fixed per-chunk overhead; this model makes it
+// explicit:
+//
+//   * every message costs a one-way latency,
+//   * the master handles one request at a time (service time per request),
+//     so fine-grained techniques (SS) can SATURATE the master at scale —
+//     the classic effect that motivated chunking in the first place,
+//   * the technique's feedback (record) fires when the master RECEIVES the
+//     completion report, not when the chunk finishes.
+//
+// With zero latency and zero service time this model reduces exactly to
+// simulate_loop (validated by tests).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/loop_executor.hpp"
+
+namespace cdsf::sim {
+
+/// Communication cost model.
+struct MessageModel {
+  /// One-way message latency (request, assignment, and report alike).
+  double latency = 0.25;
+  /// Master CPU time to handle one request (dequeue, compute chunk, reply).
+  double master_service_time = 0.05;
+};
+
+/// Master-side accounting.
+struct MasterStats {
+  std::uint64_t requests_handled = 0;
+  double busy_time = 0.0;
+  /// Total time requests spent waiting in the master's queue.
+  double queue_wait_time = 0.0;
+  /// Longest single queue wait.
+  double max_queue_wait = 0.0;
+};
+
+/// RunResult plus the master's accounting.
+struct MpiRunResult {
+  RunResult run;
+  MasterStats master;
+};
+
+/// Simulates one application execution under the message-passing protocol.
+/// The master is a dedicated coordinator (it does not compute iterations);
+/// serial iterations still execute on worker 0 before the parallel loop.
+/// Throws like simulate_loop, plus std::invalid_argument for negative
+/// message costs.
+[[nodiscard]] MpiRunResult simulate_loop_mpi(const workload::Application& application,
+                                             std::size_t processor_type, std::size_t processors,
+                                             const sysmodel::AvailabilitySpec& availability,
+                                             dls::TechniqueId technique,
+                                             const SimConfig& config,
+                                             const MessageModel& messages, std::uint64_t seed);
+
+/// Factory variant (custom techniques).
+[[nodiscard]] MpiRunResult simulate_loop_mpi(const workload::Application& application,
+                                             std::size_t processor_type, std::size_t processors,
+                                             const sysmodel::AvailabilitySpec& availability,
+                                             const TechniqueFactory& factory,
+                                             const SimConfig& config,
+                                             const MessageModel& messages, std::uint64_t seed);
+
+}  // namespace cdsf::sim

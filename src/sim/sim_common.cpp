@@ -1,0 +1,155 @@
+#include "sim/sim_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdsf::sim::detail {
+
+void validate_config(const SimConfig& config) {
+  if (config.scheduling_overhead < 0.0) {
+    throw std::invalid_argument("SimConfig: scheduling_overhead must be >= 0");
+  }
+  if (config.iteration_cov < 0.0) {
+    throw std::invalid_argument("SimConfig: iteration_cov must be >= 0");
+  }
+  if (config.input_factor_cov < 0.0) {
+    throw std::invalid_argument("SimConfig: input_factor_cov must be >= 0");
+  }
+  if (!(config.epoch_length > 0.0)) {
+    throw std::invalid_argument("SimConfig: epoch_length must be > 0");
+  }
+  if (!(config.markov_persistence >= 0.0 && config.markov_persistence < 1.0)) {
+    throw std::invalid_argument("SimConfig: markov_persistence must be in [0, 1)");
+  }
+  if (config.diurnal_amplitude < 0.0 || !(config.diurnal_period > 0.0)) {
+    throw std::invalid_argument("SimConfig: diurnal knobs out of domain");
+  }
+}
+
+double sample_work(std::int64_t count, double mean, double stddev, util::RngStream& rng) {
+  constexpr std::int64_t kExactThreshold = 32;
+  const double floor = 1e-6 * mean * static_cast<double>(count);
+  if (stddev == 0.0) return mean * static_cast<double>(count);
+  if (count <= kExactThreshold) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      sum += std::max(rng.normal(mean, stddev), 0.0);
+    }
+    return std::max(sum, floor);
+  }
+  const double n = static_cast<double>(count);
+  return std::max(rng.normal(n * mean, std::sqrt(n) * stddev), floor);
+}
+
+double chunk_work(const workload::Application& application, std::size_t processor_type,
+                  double mean_iter, double stddev_iter, double iteration_cov,
+                  std::int64_t first_index, std::int64_t count, util::RngStream& rng) {
+  if (application.profile() == workload::IterationProfile::kFlat) {
+    return sample_work(count, mean_iter, stddev_iter, rng);
+  }
+  double work = application.parallel_work_in_range(processor_type, first_index, count);
+  if (iteration_cov > 0.0 && count > 0) {
+    const double cov = iteration_cov / std::sqrt(static_cast<double>(count));
+    work *= std::max(rng.normal(1.0, cov), 1e-6);
+  }
+  return std::max(work, 1e-9 * mean_iter);
+}
+
+namespace {
+
+std::unique_ptr<sysmodel::AvailabilityProcess> make_process(const pmf::Pmf& law,
+                                                            const SimConfig& config,
+                                                            util::RngStream& run_rng,
+                                                            std::uint64_t seed) {
+  switch (config.availability_mode) {
+    case AvailabilityMode::kIidEpoch:
+      return std::make_unique<sysmodel::IidEpochAvailability>(law, config.epoch_length, seed);
+    case AvailabilityMode::kMarkovEpoch:
+      return std::make_unique<sysmodel::MarkovEpochAvailability>(
+          law, config.epoch_length, config.markov_persistence, seed);
+    case AvailabilityMode::kConstantMean:
+      return std::make_unique<sysmodel::ConstantAvailability>(law.expectation());
+    case AvailabilityMode::kSampleOnce:
+      return std::make_unique<sysmodel::ConstantAvailability>(
+          law.sample_with(run_rng.uniform01()));
+    case AvailabilityMode::kDiurnal: {
+      const double mean = law.expectation();
+      // Clamp the amplitude so the cycle stays strictly inside (0, 1].
+      const double amplitude =
+          std::min({config.diurnal_amplitude, mean - 1e-6, 1.0 - mean});
+      // Per-worker phase from the seed: spreads the group around the cycle.
+      const double phase =
+          static_cast<double>(seed % 1024) / 1024.0 * config.diurnal_period;
+      return std::make_unique<sysmodel::DiurnalAvailability>(
+          mean, std::max(amplitude, 0.0), config.diurnal_period, phase);
+    }
+  }
+  throw std::logic_error("make_process: unknown availability mode");
+}
+
+}  // namespace
+
+PreparedRun prepare_run(const workload::Application& application, std::size_t processor_type,
+                        std::size_t processors,
+                        const sysmodel::AvailabilitySpec& availability, const SimConfig& config,
+                        std::uint64_t seed) {
+  if (processors == 0) throw std::invalid_argument("simulate_loop: processors must be >= 1");
+  if (processor_type >= availability.type_count() ||
+      processor_type >= application.type_count()) {
+    throw std::invalid_argument("simulate_loop: unknown processor type");
+  }
+  validate_config(config);
+
+  const util::SeedSequence seeds(seed);
+  PreparedRun run;
+  run.run_rng = seeds.stream(0);
+
+  // Per-run input-data factor (uncertainty in input data, Section III).
+  if (config.input_factor_cov > 0.0) {
+    run.input_factor = std::max(run.run_rng.normal(1.0, config.input_factor_cov), 0.1);
+  }
+
+  run.mean_iter = application.mean_iteration_time(processor_type);
+  run.stddev_iter = run.mean_iter * config.iteration_cov;
+  const pmf::Pmf& law = availability.of_type(processor_type);
+
+  run.workers.resize(processors);
+  for (std::size_t w = 0; w < processors; ++w) {
+    run.workers[w].rng = std::make_unique<util::RngStream>(seeds.child(100 + 2 * w));
+    // Shared-group mode reuses worker 0's seed (and, for kSampleOnce, a
+    // single run_rng draw) so every worker sees the same availability path.
+    const std::uint64_t avail_seed =
+        config.shared_group_availability ? seeds.child(101) : seeds.child(101 + 2 * w);
+    if (config.shared_group_availability && w > 0 &&
+        config.availability_mode == AvailabilityMode::kSampleOnce) {
+      run.workers[w].availability = std::make_unique<sysmodel::ConstantAvailability>(
+          run.workers[0].availability->availability_at(0.0));
+    } else {
+      run.workers[w].availability = make_process(law, config, run.run_rng, avail_seed);
+    }
+  }
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.worker >= processors) {
+      throw std::invalid_argument("simulate_loop: failure targets an unknown worker");
+    }
+    run.workers[failure.worker].availability = std::make_unique<sysmodel::FailingAvailability>(
+        std::move(run.workers[failure.worker].availability), failure.time,
+        failure.residual_availability);
+  }
+
+  // Problem facts for the technique, including observed t=0 availabilities
+  // as WF/AWF weight seeds.
+  run.params.workers = processors;
+  run.params.total_iterations = std::max<std::int64_t>(1, application.parallel_iterations());
+  run.params.mean_iteration_time = run.mean_iter;
+  run.params.stddev_iteration_time = run.stddev_iter;
+  run.params.scheduling_overhead = config.scheduling_overhead;
+  run.params.weights.reserve(processors);
+  for (std::size_t w = 0; w < processors; ++w) {
+    run.params.weights.push_back(run.workers[w].availability->availability_at(0.0));
+  }
+  return run;
+}
+
+}  // namespace cdsf::sim::detail

@@ -1,0 +1,63 @@
+// Internal helpers shared by the loop executors (the idealized one in
+// loop_executor.cpp and the message-passing one in master_worker.cpp).
+// Not part of the public API.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dls/technique.hpp"
+#include "sim/loop_executor.hpp"
+#include "sysmodel/availability.hpp"
+#include "util/rng.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::sim::detail {
+
+/// Throws std::invalid_argument on out-of-domain config values.
+void validate_config(const SimConfig& config);
+
+/// Sum of `count` iid iteration times (exact draws for small chunks, CLT
+/// normal approximation for large ones); always > 0.
+[[nodiscard]] double sample_work(std::int64_t count, double mean, double stddev,
+                                 util::RngStream& rng);
+
+/// Dedicated-processor work of the chunk covering parallel iterations
+/// [first_index, first_index + count). For flat profiles this is the iid
+/// draw of sample_work (bit-identical to the historical behavior); for
+/// index-dependent profiles the profile-weighted mean over the range is
+/// taken with one multiplicative noise draw of c.o.v. iteration_cov /
+/// sqrt(count).
+[[nodiscard]] double chunk_work(const workload::Application& application,
+                                std::size_t processor_type, double mean_iter,
+                                double stddev_iter, double iteration_cov,
+                                std::int64_t first_index, std::int64_t count,
+                                util::RngStream& rng);
+
+/// One worker's simulation state.
+struct Worker {
+  std::unique_ptr<sysmodel::AvailabilityProcess> availability;
+  std::unique_ptr<util::RngStream> rng;
+};
+
+/// Everything both executors need set up identically: validated inputs,
+/// per-run input factor, per-worker availability processes and noise
+/// streams (failure decorators applied), and executor-populated
+/// TechniqueParams (weights = availabilities observed at t = 0).
+struct PreparedRun {
+  double input_factor = 1.0;
+  double mean_iter = 0.0;
+  double stddev_iter = 0.0;
+  std::vector<Worker> workers;
+  dls::TechniqueParams params;
+  util::RngStream run_rng{0};
+};
+
+/// Builds the shared state. Throws std::invalid_argument for zero
+/// processors, unknown processor types, or invalid config.
+[[nodiscard]] PreparedRun prepare_run(const workload::Application& application,
+                                      std::size_t processor_type, std::size_t processors,
+                                      const sysmodel::AvailabilitySpec& availability,
+                                      const SimConfig& config, std::uint64_t seed);
+
+}  // namespace cdsf::sim::detail

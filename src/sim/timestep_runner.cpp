@@ -1,0 +1,75 @@
+#include "sim/timestep_runner.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdsf::sim {
+
+namespace {
+
+void validate(const TimestepConfig& config) {
+  if (config.timesteps == 0) {
+    throw std::invalid_argument("timestep runner: timesteps must be >= 1");
+  }
+}
+
+std::uint64_t sweep_seed(const util::SeedSequence& seeds, const TimestepConfig& config,
+                         std::size_t step) {
+  // Re-drawing availability each sweep means a fresh child seed per sweep;
+  // a persistent environment reuses the first sweep's seed (identical
+  // availability realization; iteration noise also repeats, which is the
+  // controlled-comparison point of the study).
+  return config.redraw_availability_each_step ? seeds.child(step) : seeds.child(0);
+}
+
+}  // namespace
+
+TimestepRunResult run_timesteps_awf(const workload::Application& application,
+                                    std::size_t processor_type, std::size_t processors,
+                                    const sysmodel::AvailabilitySpec& availability,
+                                    const TimestepConfig& config, std::uint64_t seed) {
+  validate(config);
+  const util::SeedSequence seeds(seed);
+
+  dls::TechniqueParams params;
+  params.workers = processors;
+  params.total_iterations = std::max<std::int64_t>(1, application.parallel_iterations());
+  params.mean_iteration_time = application.mean_iteration_time(processor_type);
+  params.stddev_iteration_time =
+      params.mean_iteration_time * config.sim.iteration_cov;
+  params.scheduling_overhead = config.sim.scheduling_overhead;
+  dls::AdaptiveWeightedFactoring awf(params, dls::AwfVariant::kTimestep);
+
+  TimestepRunResult result;
+  result.sweep_makespans.reserve(config.timesteps);
+  for (std::size_t step = 0; step < config.timesteps; ++step) {
+    const RunResult run = simulate_loop(application, processor_type, processors, availability,
+                                        awf, config.sim, sweep_seed(seeds, config, step));
+    result.sweep_makespans.push_back(run.makespan);
+    result.total_time += run.makespan;
+    awf.advance_timestep();
+  }
+  return result;
+}
+
+TimestepRunResult run_timesteps_baseline(const workload::Application& application,
+                                         std::size_t processor_type, std::size_t processors,
+                                         const sysmodel::AvailabilitySpec& availability,
+                                         dls::TechniqueId technique,
+                                         const TimestepConfig& config, std::uint64_t seed) {
+  validate(config);
+  const util::SeedSequence seeds(seed);
+  TimestepRunResult result;
+  result.sweep_makespans.reserve(config.timesteps);
+  for (std::size_t step = 0; step < config.timesteps; ++step) {
+    const RunResult run =
+        simulate_loop(application, processor_type, processors, availability, technique,
+                      config.sim, sweep_seed(seeds, config, step));
+    result.sweep_makespans.push_back(run.makespan);
+    result.total_time += run.makespan;
+  }
+  return result;
+}
+
+}  // namespace cdsf::sim

@@ -1,0 +1,57 @@
+// Time-stepping application support.
+//
+// Many of the scientific codes the DLS literature targets (N-body, CFD,
+// wave propagation) execute the same parallel loop once per *timestep*.
+// The plain AWF technique is designed exactly for them: it freezes its
+// weights during one sweep and refreshes them between sweeps from the
+// measurements of the previous one. This runner executes T consecutive
+// sweeps of one application, carrying adaptive state across them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dls/adaptive.hpp"
+#include "sim/loop_executor.hpp"
+#include "sysmodel/availability.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::sim {
+
+/// Result of one multi-timestep execution.
+struct TimestepRunResult {
+  /// Makespan of each sweep, in order.
+  std::vector<double> sweep_makespans;
+  /// Sum of sweep makespans (sweeps are dependent: t+1 starts after t).
+  double total_time = 0.0;
+};
+
+/// Configuration for the timestep study.
+struct TimestepConfig {
+  std::size_t timesteps = 10;
+  SimConfig sim;
+  /// When true, every sweep re-draws availability (fresh perturbations per
+  /// timestep); when false, one availability realization persists across
+  /// sweeps (e.g. a co-scheduled job outliving several timesteps), which is
+  /// where cross-timestep weight learning pays off most.
+  bool redraw_availability_each_step = true;
+};
+
+/// Runs `config.timesteps` sweeps of `application`'s parallel loop with the
+/// plain AWF technique, calling advance_timestep() between sweeps.
+/// Throws std::invalid_argument if timesteps == 0.
+[[nodiscard]] TimestepRunResult run_timesteps_awf(const workload::Application& application,
+                                                  std::size_t processor_type,
+                                                  std::size_t processors,
+                                                  const sysmodel::AvailabilitySpec& availability,
+                                                  const TimestepConfig& config,
+                                                  std::uint64_t seed);
+
+/// Baseline: the same sweeps with a non-adaptive technique built fresh per
+/// sweep (no cross-timestep learning).
+[[nodiscard]] TimestepRunResult run_timesteps_baseline(
+    const workload::Application& application, std::size_t processor_type,
+    std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+    dls::TechniqueId technique, const TimestepConfig& config, std::uint64_t seed);
+
+}  // namespace cdsf::sim

@@ -1,0 +1,346 @@
+#include "stats/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::stats {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+void require_probability(double p) {
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("quantile: p must be in [0, 1]");
+}
+
+std::string param_string(const char* name, double a, double b) {
+  std::ostringstream out;
+  out << name << "(" << a << ", " << b << ")";
+  return out.str();
+}
+
+/// Generic bracketed bisection quantile for distributions without a closed
+/// form inverse. `cdf` must be nondecreasing.
+template <typename Cdf>
+double bisect_quantile(Cdf cdf, double p, double lo, double hi) {
+  // Expand the bracket until it contains the quantile.
+  for (int i = 0; i < 128 && cdf(hi) < p; ++i) hi = lo + (hi - lo) * 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double standard_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double standard_normal_quantile(double p) {
+  require_probability(p);
+  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step against the true CDF.
+  const double e = standard_normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * kPi) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double regularized_gamma_p(double a, double x) {
+  require(a > 0.0, "regularized_gamma_p: a must be > 0");
+  if (x <= 0.0) return 0.0;
+  constexpr int kMaxIterations = 500;
+  constexpr double kEpsilon = 1e-15;
+  const double log_gamma_a = std::lgamma(a);
+
+  if (x < a + 1.0) {
+    // Series representation.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < kMaxIterations; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a, x) = 1 - P(a, x) (modified Lentz).
+  constexpr double kFloor = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFloor;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFloor) d = kFloor;
+    c = b + an / c;
+    if (std::fabs(c) < kFloor) c = kFloor;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+// ---------------------------------------------------------------- Normal --
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  require(stddev > 0.0, "Normal: stddev must be > 0");
+}
+
+double Normal::pdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  return std::exp(-0.5 * z * z) / (stddev_ * std::sqrt(2.0 * kPi));
+}
+
+double Normal::cdf(double x) const { return standard_normal_cdf((x - mean_) / stddev_); }
+
+double Normal::quantile(double p) const {
+  return mean_ + stddev_ * standard_normal_quantile(p);
+}
+
+double Normal::sample(util::RngStream& rng) const { return rng.normal(mean_, stddev_); }
+
+std::string Normal::name() const { return param_string("Normal", mean_, stddev_); }
+
+std::unique_ptr<Distribution> Normal::clone() const { return std::make_unique<Normal>(*this); }
+
+// ------------------------------------------------------------- LogNormal --
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "LogNormal: sigma must be > 0");
+}
+
+LogNormal LogNormal::from_mean_stddev(double mean, double stddev) {
+  require(mean > 0.0, "LogNormal::from_mean_stddev: mean must be > 0");
+  require(stddev > 0.0, "LogNormal::from_mean_stddev: stddev must be > 0");
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log1p(cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormal(mu, std::sqrt(sigma2));
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * kPi));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return standard_normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  require_probability(p);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  return std::exp(mu_ + sigma_ * standard_normal_quantile(p));
+}
+
+double LogNormal::sample(util::RngStream& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormal::name() const { return param_string("LogNormal", mu_, sigma_); }
+
+std::unique_ptr<Distribution> LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+// ----------------------------------------------------------------- Gamma --
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0.0, "Gamma: shape must be > 0");
+  require(scale > 0.0, "Gamma: scale must be > 0");
+}
+
+Gamma Gamma::from_mean_stddev(double mean, double stddev) {
+  require(mean > 0.0, "Gamma::from_mean_stddev: mean must be > 0");
+  require(stddev > 0.0, "Gamma::from_mean_stddev: stddev must be > 0");
+  const double shape = (mean / stddev) * (mean / stddev);
+  return Gamma(shape, mean / shape);
+}
+
+double Gamma::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return std::exp((shape_ - 1.0) * std::log(x) - x / scale_ - std::lgamma(shape_) -
+                  shape_ * std::log(scale_));
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, x / scale_);
+}
+
+double Gamma::quantile(double p) const {
+  require_probability(p);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  return bisect_quantile([this](double x) { return cdf(x); }, p, 0.0,
+                         mean() + 10.0 * std::sqrt(variance()));
+}
+
+double Gamma::sample(util::RngStream& rng) const {
+  return std::gamma_distribution<double>(shape_, scale_)(rng.engine());
+}
+
+std::string Gamma::name() const { return param_string("Gamma", shape_, scale_); }
+
+std::unique_ptr<Distribution> Gamma::clone() const { return std::make_unique<Gamma>(*this); }
+
+// ----------------------------------------------------------- Exponential --
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  require(rate > 0.0, "Exponential: rate must be > 0");
+}
+
+double Exponential::pdf(double x) const { return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x); }
+
+double Exponential::cdf(double x) const { return x < 0.0 ? 0.0 : -std::expm1(-rate_ * x); }
+
+double Exponential::quantile(double p) const {
+  require_probability(p);
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(util::RngStream& rng) const {
+  return std::exponential_distribution<double>(rate_)(rng.engine());
+}
+
+std::string Exponential::name() const {
+  std::ostringstream out;
+  out << "Exponential(" << rate_ << ")";
+  return out.str();
+}
+
+std::unique_ptr<Distribution> Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+// --------------------------------------------------------------- Uniform --
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  require(hi > lo, "Uniform: hi must be > lo");
+}
+
+double Uniform::pdf(double x) const {
+  return (x < lo_ || x > hi_) ? 0.0 : 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x < lo_) return 0.0;
+  if (x > hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  require_probability(p);
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::sample(util::RngStream& rng) const { return rng.uniform(lo_, hi_); }
+
+std::string Uniform::name() const { return param_string("Uniform", lo_, hi_); }
+
+std::unique_ptr<Distribution> Uniform::clone() const { return std::make_unique<Uniform>(*this); }
+
+// --------------------------------------------------------------- Weibull --
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0.0, "Weibull: shape must be > 0");
+  require(scale > 0.0, "Weibull: scale must be > 0");
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return shape_ < 1.0 ? std::numeric_limits<double>::infinity()
+                                    : (shape_ == 1.0 ? 1.0 / scale_ : 0.0);
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) * std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  require_probability(p);
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::sample(util::RngStream& rng) const {
+  return std::weibull_distribution<double>(shape_, scale_)(rng.engine());
+}
+
+double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string Weibull::name() const { return param_string("Weibull", shape_, scale_); }
+
+std::unique_ptr<Distribution> Weibull::clone() const { return std::make_unique<Weibull>(*this); }
+
+}  // namespace cdsf::stats

@@ -1,0 +1,171 @@
+// Continuous probability distributions with density, CDF, quantile and
+// sampling, behind one polymorphic interface.
+//
+// Stage I discretizes these into PMFs (src/pmf/discretize.hpp); Stage II's
+// simulator samples per-iteration execution times from them directly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cdsf::stats {
+
+/// Abstract continuous distribution over the reals.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density at x.
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+  /// P(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+  /// Inverse CDF: smallest x with cdf(x) >= p. Requires p in [0, 1].
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+  /// One random draw.
+  [[nodiscard]] virtual double sample(util::RngStream& rng) const = 0;
+
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual double variance() const = 0;
+  /// Human-readable name including parameters, e.g. "Normal(1800, 180)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (distributions are immutable, but callers may need owning
+  /// copies with independent lifetime).
+  [[nodiscard]] virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/// Gaussian N(mean, stddev^2).
+class Normal final : public Distribution {
+ public:
+  /// Throws std::invalid_argument if stddev <= 0.
+  Normal(double mean, double stddev);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(util::RngStream& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return stddev_ * stddev_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// log X ~ N(mu, sigma^2); support (0, inf).
+class LogNormal final : public Distribution {
+ public:
+  /// Parameters are of the underlying normal. Throws if sigma <= 0.
+  LogNormal(double mu, double sigma);
+  /// Builds the LogNormal whose *own* mean and stddev match the arguments.
+  static LogNormal from_mean_stddev(double mean, double stddev);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(util::RngStream& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Gamma(shape k, scale theta); support (0, inf).
+class Gamma final : public Distribution {
+ public:
+  /// Throws if shape <= 0 or scale <= 0.
+  Gamma(double shape, double scale);
+  /// Builds the Gamma whose mean and stddev match the arguments.
+  static Gamma from_mean_stddev(double mean, double stddev);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(util::RngStream& rng) const override;
+  [[nodiscard]] double mean() const override { return shape_ * scale_; }
+  [[nodiscard]] double variance() const override { return shape_ * scale_ * scale_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Exponential with given rate lambda; support [0, inf).
+class Exponential final : public Distribution {
+ public:
+  /// Throws if rate <= 0.
+  explicit Exponential(double rate);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(util::RngStream& rng) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const override { return 1.0 / (rate_ * rate_); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double rate_;
+};
+
+/// Uniform on [lo, hi].
+class Uniform final : public Distribution {
+ public:
+  /// Throws if hi <= lo.
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(util::RngStream& rng) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double variance() const override { return (hi_ - lo_) * (hi_ - lo_) / 12.0; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Weibull(shape k, scale lambda); support [0, inf).
+class Weibull final : public Distribution {
+ public:
+  /// Throws if shape <= 0 or scale <= 0.
+  Weibull(double shape, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(util::RngStream& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Standard normal CDF Phi(x) (exposed for reuse by tests and the PMF layer).
+[[nodiscard]] double standard_normal_cdf(double x);
+/// Standard normal quantile Phi^{-1}(p): Acklam's rational approximation
+/// refined with one Halley step; |error| < 1e-12 over (0, 1).
+[[nodiscard]] double standard_normal_quantile(double p);
+/// Regularized lower incomplete gamma P(a, x), via series / continued fraction.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+}  // namespace cdsf::stats

@@ -1,0 +1,47 @@
+// Fixed-width histogram plus empirical-CDF utilities (KS distance).
+//
+// Used by tests to validate that (a) samples from a Distribution follow its
+// CDF and (b) PMF discretizations track the continuous law they came from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cdsf::stats {
+
+/// Equal-width histogram over [lo, hi) with an explicit bin count.
+/// Out-of-range observations are counted in underflow/overflow.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument if bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Center value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Fraction of all observations (including under/overflow) in a bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Kolmogorov–Smirnov distance between a sample and a reference CDF:
+/// sup_x |F_n(x) - F(x)|. Throws std::invalid_argument on empty sample.
+[[nodiscard]] double ks_distance(std::vector<double> sample,
+                                 const std::function<double(double)>& cdf);
+
+}  // namespace cdsf::stats

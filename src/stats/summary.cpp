@@ -1,0 +1,161 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdsf::stats {
+
+void OnlineSummary::add(double x) noexcept { add(x, 1.0); }
+
+void OnlineSummary::add(double x, double weight) noexcept {
+  if (weight <= 0.0) return;
+  if (weight_ <= 0.0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  weight_ += weight;
+  const double delta = x - mean_;
+  mean_ += delta * (weight / weight_);
+  m2_ += weight * delta * (x - mean_);
+}
+
+void OnlineSummary::merge(const OnlineSummary& other) noexcept {
+  if (other.weight_ <= 0.0) return;
+  if (weight_ <= 0.0) {
+    *this = other;
+    return;
+  }
+  const double total = weight_ + other.weight_;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * weight_ * other.weight_ / total;
+  mean_ += delta * (other.weight_ / total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  weight_ = total;
+}
+
+double OnlineSummary::variance() const noexcept {
+  return weight_ > 0.0 ? m2_ / weight_ : 0.0;
+}
+
+double OnlineSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineSummary::cov() const noexcept {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("percentile: p must be in [0, 1]");
+  std::sort(sample.begin(), sample.end());
+  const double rank = p * (static_cast<double>(sample.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sample.size()) return sample.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+double mean_of(const std::vector<double>& sample) {
+  if (sample.empty()) throw std::invalid_argument("mean_of: empty sample");
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+double stddev_of(const std::vector<double>& sample) {
+  if (sample.empty()) throw std::invalid_argument("stddev_of: empty sample");
+  if (sample.size() < 2) return 0.0;
+  const double m = mean_of(sample);
+  double sum_sq = 0.0;
+  for (double x : sample) sum_sq += (x - m) * (x - m);
+  return std::sqrt(sum_sq / (static_cast<double>(sample.size()) - 1.0));
+}
+
+namespace {
+double z_for_level(double level) {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("confidence level must be in (0, 1)");
+  }
+  // Inverse normal CDF of (1 + level) / 2 via the distribution module would
+  // add a dependency cycle; the usual levels are tabulated and the rest
+  // fall back to a rational approximation good to ~1e-4 (ample for CIs).
+  if (level == 0.90) return 1.6448536269514722;
+  if (level == 0.95) return 1.959963984540054;
+  if (level == 0.99) return 2.5758293035489004;
+  const double p = (1.0 + level) / 2.0;
+  const double t = std::sqrt(-2.0 * std::log(1.0 - p));
+  return t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t);
+}
+}  // namespace
+
+ConfidenceInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                   double level) {
+  if (trials == 0) throw std::invalid_argument("wilson_interval: trials must be > 0");
+  if (successes > trials) {
+    throw std::invalid_argument("wilson_interval: successes exceed trials");
+  }
+  const double z = z_for_level(level);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  // At the boundaries center == margin analytically; clamp the residual
+  // floating-point noise so the interval always contains p.
+  const double lower = successes == 0 ? 0.0 : std::max(0.0, center - margin);
+  const double upper = successes == trials ? 1.0 : std::min(1.0, center + margin);
+  return {lower, upper};
+}
+
+ConfidenceInterval mean_interval(double mean, double stddev, std::uint64_t n, double level) {
+  if (n == 0) throw std::invalid_argument("mean_interval: n must be > 0");
+  if (stddev < 0.0) throw std::invalid_argument("mean_interval: stddev must be >= 0");
+  const double margin = z_for_level(level) * stddev / std::sqrt(static_cast<double>(n));
+  return {mean - margin, mean + margin};
+}
+
+ConfidenceInterval bootstrap_median_interval(const std::vector<double>& sample, double level,
+                                             std::size_t resamples, std::uint64_t seed) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap_median_interval: empty sample");
+  if (resamples == 0) {
+    throw std::invalid_argument("bootstrap_median_interval: resamples must be > 0");
+  }
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("bootstrap_median_interval: level must be in (0, 1)");
+  }
+  util::RngStream rng(seed);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  std::vector<double> medians;
+  medians.reserve(resamples);
+  std::vector<double> draw(sample.size());
+  for (std::size_t b = 0; b < resamples; ++b) {
+    for (double& x : draw) x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    medians.push_back(percentile(draw, 0.5));
+  }
+  const double tail = (1.0 - level) / 2.0;
+  return {percentile(medians, tail), percentile(medians, 1.0 - tail)};
+}
+
+PairedComparison paired_median_comparison(const std::vector<double>& a,
+                                          const std::vector<double>& b, double level,
+                                          std::size_t resamples, std::uint64_t seed) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_median_comparison: size mismatch");
+  }
+  if (a.empty()) throw std::invalid_argument("paired_median_comparison: empty samples");
+  std::vector<double> differences(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) differences[i] = a[i] - b[i];
+  PairedComparison result;
+  result.median_difference = percentile(differences, 0.5);
+  result.ci = bootstrap_median_interval(differences, level, resamples, seed);
+  result.significant = result.ci.lower > 0.0 || result.ci.upper < 0.0;
+  return result;
+}
+
+}  // namespace cdsf::stats

@@ -1,0 +1,212 @@
+// System availability modeling.
+//
+// Stage I consumes availability as a PMF per processor type (Â in the
+// paper). Stage II's simulator consumes availability as a *process* — a
+// piecewise-constant function of time per processor, whose marginal law is
+// that PMF. Both views live here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmf/pmf.hpp"
+#include "sysmodel/platform.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::sysmodel {
+
+/// Availability PMFs for every processor type of a platform (one case of
+/// Table I). Pulse values are fractions in (0, 1].
+class AvailabilitySpec {
+ public:
+  /// Throws std::invalid_argument if `per_type` is empty or any pulse lies
+  /// outside (0, 1].
+  AvailabilitySpec(std::string name, std::vector<pmf::Pmf> per_type);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t type_count() const noexcept { return per_type_.size(); }
+  [[nodiscard]] const pmf::Pmf& of_type(std::size_t j) const { return per_type_.at(j); }
+
+  /// E[a_j] — expected availability of processor type j.
+  [[nodiscard]] double expected(std::size_t j) const { return per_type_.at(j).expectation(); }
+
+  /// Eq. (1): weighted system availability
+  ///     sum_j count_j * E[a_j] / total_processors.
+  /// Throws std::invalid_argument if the platform's type count disagrees.
+  [[nodiscard]] double weighted_system_availability(const Platform& platform) const;
+
+  friend bool operator==(const AvailabilitySpec&, const AvailabilitySpec&) = default;
+
+ private:
+  std::string name_;
+  std::vector<pmf::Pmf> per_type_;
+};
+
+/// Percentage decrease in weighted availability of `actual` relative to
+/// `reference` (the bracketed values of Table I):
+///     1 - E[A_actual] / E[A_reference].
+[[nodiscard]] double availability_decrease(const AvailabilitySpec& reference,
+                                           const AvailabilitySpec& actual,
+                                           const Platform& platform);
+
+// ---------------------------------------------------------------------------
+// Availability processes (Stage II runtime view)
+// ---------------------------------------------------------------------------
+
+/// A piecewise-constant availability-vs-time function for ONE processor.
+/// Implementations must guarantee availability_at(t) in (0, 1] and strictly
+/// increasing change points.
+class AvailabilityProcess {
+ public:
+  virtual ~AvailabilityProcess() = default;
+
+  /// Availability at time t (t >= 0).
+  [[nodiscard]] virtual double availability_at(double t) = 0;
+
+  /// Time of the next change point strictly after t; +infinity if the
+  /// process is constant from t on.
+  [[nodiscard]] virtual double next_change_after(double t) = 0;
+
+  /// Wall-clock completion time of `work` dedicated-processor time units
+  /// started at `start`: the t solving the work integral
+  ///     integral_start^t availability(tau) dtau = work.
+  /// Exact for the piecewise-constant processes here.
+  [[nodiscard]] double finish_time(double start, double work);
+
+  /// Dedicated-processor work delivered in [start, end].
+  [[nodiscard]] double work_delivered(double start, double end);
+};
+
+/// Always-constant availability.
+class ConstantAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument unless availability in (0, 1].
+  explicit ConstantAvailability(double availability);
+
+  [[nodiscard]] double availability_at(double) override { return availability_; }
+  [[nodiscard]] double next_change_after(double) override;
+
+ private:
+  double availability_;
+};
+
+/// IID epoch model (paper-faithful default): availability is redrawn from
+/// the case PMF every `epoch_length` time units, independently per epoch.
+/// Deterministic given the seed; epochs are generated lazily and cached so
+/// queries may move forward and backward in time.
+class IidEpochAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument if epoch_length <= 0 or the PMF has a
+  /// pulse outside (0, 1].
+  IidEpochAvailability(pmf::Pmf law, double epoch_length, std::uint64_t seed);
+
+  [[nodiscard]] double availability_at(double t) override;
+  [[nodiscard]] double next_change_after(double t) override;
+
+ private:
+  double value_for_epoch(std::size_t epoch);
+
+  pmf::Pmf law_;
+  double epoch_length_;
+  util::RngStream rng_;
+  std::vector<double> cache_;
+};
+
+/// Two-parameter Markov epoch model: with probability `persistence` the
+/// availability of the previous epoch carries over; otherwise it is redrawn
+/// from the PMF. persistence = 0 reduces to the IID model. Captures the
+/// temporal correlation of real machine load.
+class MarkovEpochAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument if epoch_length <= 0, persistence not in
+  /// [0, 1), or the PMF has a pulse outside (0, 1].
+  MarkovEpochAvailability(pmf::Pmf law, double epoch_length, double persistence,
+                          std::uint64_t seed);
+
+  [[nodiscard]] double availability_at(double t) override;
+  [[nodiscard]] double next_change_after(double t) override;
+
+ private:
+  void extend_cache(std::size_t epoch);
+
+  pmf::Pmf law_;
+  double epoch_length_;
+  double persistence_;
+  util::RngStream rng_;
+  std::vector<double> cache_;
+};
+
+/// Explicit trace: availability steps at given times. Step i holds from
+/// time_points[i] (inclusive) to time_points[i+1]; the last value holds
+/// forever. time_points[0] must be 0 and times strictly increasing.
+class TraceAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument on malformed traces or values outside (0, 1].
+  TraceAvailability(std::vector<double> time_points, std::vector<double> values);
+
+  [[nodiscard]] double availability_at(double t) override;
+  [[nodiscard]] double next_change_after(double t) override;
+
+ private:
+  std::vector<double> time_points_;
+  std::vector<double> values_;
+};
+
+/// Diurnal availability: a deterministic load cycle
+///     a(t) = mean - amplitude * sin(2 pi (t + phase) / period),
+/// quantized into `steps_per_period` piecewise-constant steps (so the work
+/// integral stays exact) and clamped into (0, 1]. Models the day/night load
+/// pattern of shared clusters: the drift is PREDICTABLE but WF's frozen
+/// t = 0 weights still go stale against it — the adaptive techniques'
+/// showcase regime.
+class DiurnalAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument unless period > 0, steps_per_period >= 2,
+  /// amplitude >= 0, and the clamped range stays within (0, 1] (i.e.
+  /// mean - amplitude > 0 and mean + amplitude <= 1 + 1e-9).
+  DiurnalAvailability(double mean, double amplitude, double period, double phase = 0.0,
+                      std::size_t steps_per_period = 32);
+
+  [[nodiscard]] double availability_at(double t) override;
+  [[nodiscard]] double next_change_after(double t) override;
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double period() const noexcept { return period_; }
+
+ private:
+  double mean_;
+  double amplitude_;
+  double period_;
+  double phase_;
+  std::size_t steps_;
+};
+
+/// Decorator that injects a (partial) processor failure: the inner process
+/// applies until `failure_time`, after which availability drops to
+/// `residual` forever. A residual of ~1e-3 models a machine that is
+/// effectively lost but whose already-dispatched chunk still (very slowly)
+/// completes — the paper's non-preemptive execution model has no chunk
+/// reassignment, so a zero residual would deadlock any schedule, exactly
+/// the hazard the failure-injection tests probe.
+class FailingAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument if inner is null, failure_time < 0, or
+  /// residual outside (0, 1].
+  FailingAvailability(std::unique_ptr<AvailabilityProcess> inner, double failure_time,
+                      double residual);
+
+  [[nodiscard]] double availability_at(double t) override;
+  [[nodiscard]] double next_change_after(double t) override;
+
+ private:
+  std::unique_ptr<AvailabilityProcess> inner_;
+  double failure_time_;
+  double residual_;
+};
+
+/// Validates that every pulse of an availability PMF lies in (0, 1].
+void validate_availability_pmf(const pmf::Pmf& law);
+
+}  // namespace cdsf::sysmodel

@@ -1,0 +1,40 @@
+#include "sysmodel/cases.hpp"
+
+#include <stdexcept>
+
+namespace cdsf::sysmodel {
+
+Platform paper_platform() {
+  return Platform({ProcessorType{"type1", 4}, ProcessorType{"type2", 8}});
+}
+
+AvailabilitySpec paper_case(int k) {
+  using pmf::Pmf;
+  switch (k) {
+    case 1:
+      // Â — the historical reference availability.
+      return AvailabilitySpec(
+          "case1", {Pmf::from_pulses({{0.75, 0.50}, {1.00, 0.50}}),
+                    Pmf::from_pulses({{0.25, 0.25}, {0.50, 0.25}, {1.00, 0.50}})});
+    case 2:
+      return AvailabilitySpec(
+          "case2", {Pmf::from_pulses({{0.50, 0.90}, {0.75, 0.10}}),
+                    Pmf::from_pulses({{0.33, 0.45}, {0.66, 0.45}, {1.00, 0.10}})});
+    case 3:
+      return AvailabilitySpec(
+          "case3", {Pmf::from_pulses({{0.52, 0.50}, {0.69, 0.50}}),
+                    Pmf::from_pulses({{0.17, 0.25}, {0.35, 0.25}, {0.69, 0.50}})});
+    case 4:
+      return AvailabilitySpec(
+          "case4", {Pmf::from_pulses({{0.33, 0.75}, {0.66, 0.25}}),
+                    Pmf::from_pulses({{0.20, 0.50}, {0.80, 0.25}, {1.00, 0.25}})});
+    default:
+      throw std::invalid_argument("paper_case: k must be in [1, 4]");
+  }
+}
+
+std::vector<AvailabilitySpec> paper_cases() {
+  return {paper_case(1), paper_case(2), paper_case(3), paper_case(4)};
+}
+
+}  // namespace cdsf::sysmodel

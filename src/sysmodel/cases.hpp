@@ -1,0 +1,23 @@
+// Table I of the paper: the reference availability case Â (case 1) and the
+// three degraded runtime cases A_2..A_4, plus the twelve-processor
+// two-type platform of Section IV.
+#pragma once
+
+#include <vector>
+
+#include "sysmodel/availability.hpp"
+#include "sysmodel/platform.hpp"
+
+namespace cdsf::sysmodel {
+
+/// The paper's system: 4 processors of type 1 and 8 of type 2.
+[[nodiscard]] Platform paper_platform();
+
+/// Availability case k of Table I (1-based, k in [1, 4]). Case 1 is Â.
+/// Throws std::invalid_argument for k outside [1, 4].
+[[nodiscard]] AvailabilitySpec paper_case(int k);
+
+/// All four cases in order (index 0 == case 1 == Â).
+[[nodiscard]] std::vector<AvailabilitySpec> paper_cases();
+
+}  // namespace cdsf::sysmodel

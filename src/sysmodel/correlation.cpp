@@ -1,0 +1,35 @@
+#include "sysmodel/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distribution.hpp"
+
+namespace cdsf::sysmodel {
+
+CorrelatedAvailabilitySampler::CorrelatedAvailabilitySampler(const AvailabilitySpec& spec,
+                                                             double rho)
+    : spec_(&spec), rho_(rho) {
+  if (!(rho >= 0.0 && rho <= 1.0)) {
+    throw std::invalid_argument("CorrelatedAvailabilitySampler: rho must be in [0, 1]");
+  }
+}
+
+std::vector<double> CorrelatedAvailabilitySampler::sample(util::RngStream& rng) const {
+  const double common = rng.normal();
+  const double load_common = std::sqrt(rho_);
+  const double load_own = std::sqrt(1.0 - rho_);
+  std::vector<double> out;
+  out.reserve(spec_->type_count());
+  for (std::size_t j = 0; j < spec_->type_count(); ++j) {
+    const double z = load_common * common + load_own * rng.normal();
+    // Map through the copula to the marginal PMF's quantile. Clamp u away
+    // from 1 so sample_with's [0, 1) contract holds.
+    const double u = std::min(stats::standard_normal_cdf(z), 1.0 - 1e-15);
+    out.push_back(spec_->of_type(j).sample_with(u));
+  }
+  return out;
+}
+
+}  // namespace cdsf::sysmodel

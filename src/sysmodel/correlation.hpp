@@ -1,0 +1,43 @@
+// Correlated cross-type availability — the paper's named future work
+// ("exploring the possible correlation between the availabilities for
+// different processor types on the overall robustness of the system").
+//
+// The marginal law of each processor type stays its Table-I-style PMF; the
+// JOINT law couples the types through a Gaussian one-factor copula:
+//
+//     z_j = sqrt(rho) * z_common + sqrt(1 - rho) * e_j,   z_common, e_j ~ N(0,1)
+//     u_j = Phi(z_j),   a_j = marginal quantile of u_j.
+//
+// rho = 0 recovers independent types; rho -> 1 makes every type draw the
+// same quantile of its own marginal (a system-wide load spike hits all
+// processor generations at once — the realistic failure mode for a shared
+// cluster). The robustness metric under correlation lives in
+// src/ra/correlation.hpp (it needs allocations).
+#pragma once
+
+#include <vector>
+
+#include "sysmodel/availability.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::sysmodel {
+
+/// Joint availability sampler with one-factor Gaussian copula coupling.
+class CorrelatedAvailabilitySampler {
+ public:
+  /// `rho` is the common-factor loading in [0, 1]. Throws
+  /// std::invalid_argument outside that range.
+  CorrelatedAvailabilitySampler(const AvailabilitySpec& spec, double rho);
+
+  /// One joint draw: availability per processor type.
+  [[nodiscard]] std::vector<double> sample(util::RngStream& rng) const;
+
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+  [[nodiscard]] std::size_t type_count() const noexcept { return spec_->type_count(); }
+
+ private:
+  const AvailabilitySpec* spec_;
+  double rho_;
+};
+
+}  // namespace cdsf::sysmodel

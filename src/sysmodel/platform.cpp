@@ -1,0 +1,23 @@
+#include "sysmodel/platform.hpp"
+
+#include <stdexcept>
+
+namespace cdsf::sysmodel {
+
+Platform::Platform(std::vector<ProcessorType> types) : types_(std::move(types)) {
+  if (types_.empty()) throw std::invalid_argument("Platform: at least one processor type required");
+  for (const ProcessorType& type : types_) {
+    if (type.count == 0) {
+      throw std::invalid_argument("Platform: processor type '" + type.name +
+                                  "' must have at least one processor");
+    }
+  }
+}
+
+std::size_t Platform::total_processors() const noexcept {
+  std::size_t total = 0;
+  for (const ProcessorType& type : types_) total += type.count;
+  return total;
+}
+
+}  // namespace cdsf::sysmodel

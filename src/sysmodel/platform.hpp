@@ -1,0 +1,42 @@
+// The heterogeneous computing system of the paper: a fixed inventory of
+// processors partitioned into types. Processors of one type are identical;
+// types differ in computational capacity (captured by the per-type
+// execution-time laws in workload::Application) and in availability
+// (captured by sysmodel::AvailabilitySpec).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdsf::sysmodel {
+
+/// One processor type: a display name and how many processors exist of it.
+struct ProcessorType {
+  std::string name;
+  std::size_t count = 0;
+
+  friend bool operator==(const ProcessorType&, const ProcessorType&) = default;
+};
+
+/// Immutable description of the machine inventory.
+class Platform {
+ public:
+  /// Throws std::invalid_argument if there are no types or any type has
+  /// zero processors.
+  explicit Platform(std::vector<ProcessorType> types);
+
+  [[nodiscard]] std::size_t type_count() const noexcept { return types_.size(); }
+  [[nodiscard]] const ProcessorType& type(std::size_t j) const { return types_.at(j); }
+  [[nodiscard]] std::size_t processors_of_type(std::size_t j) const { return types_.at(j).count; }
+  [[nodiscard]] std::size_t total_processors() const noexcept;
+
+  [[nodiscard]] const std::vector<ProcessorType>& types() const noexcept { return types_; }
+
+  friend bool operator==(const Platform&, const Platform&) = default;
+
+ private:
+  std::vector<ProcessorType> types_;
+};
+
+}  // namespace cdsf::sysmodel

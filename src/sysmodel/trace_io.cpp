@@ -1,0 +1,125 @@
+#include "sysmodel/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::sysmodel {
+
+std::unique_ptr<TraceAvailability> ParsedTrace::make_process() const {
+  return std::make_unique<TraceAvailability>(time_points, values);
+}
+
+pmf::Pmf ParsedTrace::to_pmf(double horizon) const {
+  if (time_points.empty()) throw std::invalid_argument("ParsedTrace::to_pmf: empty trace");
+  if (!(horizon > time_points.back())) {
+    throw std::invalid_argument("ParsedTrace::to_pmf: horizon must exceed the last time point");
+  }
+  std::vector<pmf::Pulse> pulses;
+  pulses.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double end = i + 1 < time_points.size() ? time_points[i + 1] : horizon;
+    pulses.push_back({values[i], end - time_points[i]});
+  }
+  return pmf::Pmf::from_pulses(std::move(pulses));
+}
+
+ParsedTrace parse_trace(std::istream& in) {
+  ParsedTrace trace;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) line = line.substr(0, hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("trace parse error (line " + std::to_string(line_number) +
+                               "): expected 'time,availability'");
+    }
+    const std::string time_text = line.substr(0, comma);
+    const std::string value_text = line.substr(comma + 1);
+    double time = 0.0;
+    double value = 0.0;
+    try {
+      time = std::stod(time_text);
+      value = std::stod(value_text);
+    } catch (const std::exception&) {
+      // A single non-numeric header line ("time,availability") is allowed.
+      if (trace.time_points.empty() && line_number <= 2) continue;
+      throw std::runtime_error("trace parse error (line " + std::to_string(line_number) +
+                               "): non-numeric fields");
+    }
+    if (value > 1.0) value /= 100.0;  // percentage form
+    trace.time_points.push_back(time);
+    trace.values.push_back(value);
+  }
+
+  if (trace.time_points.empty()) {
+    throw std::invalid_argument("trace: no samples");
+  }
+  if (trace.time_points.front() != 0.0) {
+    throw std::invalid_argument("trace: must start at time 0");
+  }
+  for (std::size_t i = 1; i < trace.time_points.size(); ++i) {
+    if (!(trace.time_points[i] > trace.time_points[i - 1])) {
+      throw std::invalid_argument("trace: times must be strictly increasing");
+    }
+  }
+  for (double value : trace.values) {
+    if (!(value > 0.0 && value <= 1.0)) {
+      throw std::invalid_argument("trace: availability values must be in (0, 1] (or (0, 100])");
+    }
+  }
+  return trace;
+}
+
+ParsedTrace parse_trace_text(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_trace(stream);
+}
+
+ParsedTrace load_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("trace: cannot open '" + path + "'");
+  return parse_trace(file);
+}
+
+FittedMarkov fit_markov_model(const ParsedTrace& trace, double epoch_length, double horizon) {
+  if (!(epoch_length > 0.0)) {
+    throw std::invalid_argument("fit_markov_model: epoch_length must be > 0");
+  }
+  const auto epochs = static_cast<std::size_t>(horizon / epoch_length);
+  if (epochs < 2) {
+    throw std::invalid_argument("fit_markov_model: horizon must cover at least two epochs");
+  }
+
+  FittedMarkov fitted{trace.to_pmf(horizon), 0.0, epoch_length};
+
+  // Sample the trace at epoch midpoints; clamp queries past the trace end
+  // (the last step holds forever in TraceAvailability semantics).
+  const auto process = trace.make_process();
+  auto value_at = [&](std::size_t epoch) {
+    const double t = (static_cast<double>(epoch) + 0.5) * epoch_length;
+    return process->availability_at(t);
+  };
+
+  std::size_t repeats = 0;
+  double previous = value_at(0);
+  for (std::size_t e = 1; e < epochs; ++e) {
+    const double value = value_at(e);
+    if (std::fabs(value - previous) < 1e-12) ++repeats;
+    previous = value;
+  }
+  fitted.persistence = static_cast<double>(repeats) / static_cast<double>(epochs - 1);
+  // MarkovEpochAvailability requires persistence < 1; a constant trace fits
+  // as "nearly always persists".
+  fitted.persistence = std::min(fitted.persistence, 0.999);
+  return fitted;
+}
+
+}  // namespace cdsf::sysmodel

@@ -1,0 +1,68 @@
+// Loading availability data from files.
+//
+// The paper's Â is "generated using historical usage data of the
+// heterogeneous computing system". This module ingests such data:
+//
+//  * a trace file (CSV: "time,availability" per line, header optional)
+//    becomes a TraceAvailability process for the simulator, and
+//  * the same samples, time-weighted, become the availability PMF that
+//    Stage I consumes — closing the loop from measured history to Â.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "pmf/pmf.hpp"
+#include "sysmodel/availability.hpp"
+
+namespace cdsf::sysmodel {
+
+/// A parsed trace: strictly increasing times starting at 0, values in (0, 1].
+struct ParsedTrace {
+  std::vector<double> time_points;
+  std::vector<double> values;
+
+  /// Materializes the simulator process.
+  [[nodiscard]] std::unique_ptr<TraceAvailability> make_process() const;
+
+  /// Time-weighted availability PMF over [0, horizon]; the last step is
+  /// weighted up to `horizon` (must be > the last time point). Pulses with
+  /// equal values merge. This is the "historical PMF" of the paper.
+  /// Throws std::invalid_argument if horizon <= the last time point.
+  [[nodiscard]] pmf::Pmf to_pmf(double horizon) const;
+};
+
+/// Parses "time,availability" CSV from a stream. Lines starting with '#'
+/// and a leading "time,availability"-style header are skipped. Values may
+/// be fractions (0.75) or percentages (75 — anything > 1 is divided by
+/// 100). Throws std::runtime_error with a line number on malformed input
+/// and std::invalid_argument on semantic violations (empty, unsorted,
+/// out-of-range).
+[[nodiscard]] ParsedTrace parse_trace(std::istream& in);
+
+/// Convenience wrappers.
+[[nodiscard]] ParsedTrace parse_trace_text(const std::string& text);
+[[nodiscard]] ParsedTrace load_trace(const std::string& path);
+
+/// Markov-epoch model parameters fitted from a trace — closes the loop
+/// from measured history to the simulator's default availability process:
+///   * `law`: the time-weighted availability PMF over [0, horizon],
+///   * `persistence`: the fraction of epoch boundaries at which the
+///     (epoch-averaged, PMF-quantized) availability repeats — exactly the
+///     parameter MarkovEpochAvailability consumes.
+struct FittedMarkov {
+  pmf::Pmf law;
+  double persistence = 0.0;
+  double epoch_length = 0.0;
+};
+
+/// Fits the Markov-epoch model at the given epoch length. The trace is
+/// sampled at epoch midpoints over [0, horizon]; values are quantized to
+/// the PMF support before the repeat statistic. Throws
+/// std::invalid_argument if epoch_length <= 0 or horizon does not cover at
+/// least two epochs past the trace start.
+[[nodiscard]] FittedMarkov fit_markov_model(const ParsedTrace& trace, double epoch_length,
+                                            double horizon);
+
+}  // namespace cdsf::sysmodel

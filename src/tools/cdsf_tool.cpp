@@ -1,0 +1,225 @@
+// The `cdsf` command-line tool: one binary exposing the library's main
+// entry points without writing any C++.
+//
+//   cdsf tables                          # reproduce the paper's tables
+//   cdsf scenario --file sys.ini         # run the CDSF on a scenario file
+//   cdsf template --out sys.ini          # emit the paper example as a file
+//   cdsf preview --technique AF --iterations 1000 --workers 4
+//                                        # chunk schedule of a technique
+//   cdsf gantt --technique FAC --case 3  # chunk Gantt on the paper example
+//   cdsf phi1 --deadline 3250            # phi_1 for both Table IV mappings
+//
+// Every subcommand supports --help.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cdsf/framework.hpp"
+#include "cdsf/paper_example.hpp"
+#include "cdsf/scenario_io.hpp"
+#include "dls/analysis.hpp"
+#include "sim/gantt.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cdsf;
+
+int cmd_tables(int, char**) {
+  const core::PaperExample example = core::make_paper_example();
+  const core::Framework framework(example.batch, example.platform, example.cases.front(),
+                                  example.deadline);
+  const core::StageOneResult naive = framework.run_stage_one(ra::NaiveLoadBalance());
+  const core::StageOneResult robust = framework.run_stage_one(ra::ExhaustiveOptimal());
+
+  util::Table table({"quantity", "naive IM", "robust IM", "paper"});
+  table.set_alignment({util::Align::kLeft});
+  table.set_title("Paper reproduction summary (Tables IV & V; run build/bench/* for all)");
+  table.add_row({"allocation", naive.allocation.to_string(example.platform),
+                 robust.allocation.to_string(example.platform), "Table IV"});
+  table.add_row({"phi_1", util::format_percent(naive.phi1, 1),
+                 util::format_percent(robust.phi1, 1), "26% / 74.5%"});
+  for (std::size_t app = 0; app < 3; ++app) {
+    table.add_row({"E[T] app" + std::to_string(app + 1),
+                   util::format_fixed(naive.expected_times[app], 1),
+                   util::format_fixed(robust.expected_times[app], 1), "Table V"});
+  }
+  std::puts(table.render().c_str());
+  return 0;
+}
+
+int cmd_template(int argc, char** argv) {
+  util::Cli cli("Write the paper example as a scenario-file template.");
+  cli.add_string("out", "paper_scenario.ini", "output path");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string path = cli.get_string("out");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cdsf: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << core::paper_scenario_text();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_scenario(int argc, char** argv) {
+  util::Cli cli("Run the CDSF on a scenario file (Stage I + Stage II).");
+  cli.add_string("file", "", "scenario file (empty = built-in paper example)");
+  cli.add_int("replications", 51, "stage II replications");
+  cli.add_int("seed", 1, "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string file = cli.get_string("file");
+  const core::Scenario scenario = file.empty()
+                                      ? core::parse_scenario_text(core::paper_scenario_text())
+                                      : core::load_scenario(file);
+  const core::Framework framework(scenario.batch, scenario.platform, scenario.cases.front(),
+                                  scenario.deadline);
+  const std::size_t space = ra::count_feasible(scenario.batch.size(), scenario.platform,
+                                               ra::CountRule::kPowerOfTwo);
+  const ra::ExhaustiveOptimal exhaustive;
+  const ra::BestOfPortfolio portfolio;
+  const ra::Heuristic& heuristic =
+      space <= 200000 ? static_cast<const ra::Heuristic&>(exhaustive)
+                      : static_cast<const ra::Heuristic&>(portfolio);
+
+  core::StageTwoConfig config;
+  config.replications = static_cast<std::size_t>(cli.get_int("replications"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const core::ScenarioResult result = framework.run_scenario(
+      "cdsf", heuristic, dls::paper_robust_set(), scenario.cases, config);
+
+  std::printf("Stage I (%s): %s\nphi_1 = %s\n\n", result.stage_one.heuristic_name.c_str(),
+              result.stage_one.allocation.to_string(scenario.platform).c_str(),
+              util::format_percent(result.stage_one.phi1, 1).c_str());
+  for (std::size_t k = 0; k < result.per_case.size(); ++k) {
+    const core::StageTwoResult& per_case = result.per_case[k];
+    std::printf("%-12s : %s\n", per_case.case_name.c_str(),
+                per_case.all_meet_deadline ? "all applications meet the deadline"
+                                           : "deadline VIOLATED");
+  }
+  const core::RobustnessReport report = framework.robustness_report(result, scenario.cases);
+  std::printf("\n(rho_1, rho_2) = (%s, %s)\n", util::format_percent(report.rho1, 1).c_str(),
+              report.rho2 >= 0.0 ? util::format_percent(report.rho2, 2).c_str() : "n/a");
+  std::printf("\nExecution plan (reference case):\n%s\n",
+              framework.describe_plan(framework.make_plan(result, 0)).c_str());
+  return 0;
+}
+
+int cmd_preview(int argc, char** argv) {
+  util::Cli cli("Preview a technique's chunk schedule (no simulation).");
+  cli.add_string("technique", "FAC", "technique name (see docs/dls_techniques.md)");
+  cli.add_int("iterations", 1000, "loop iterations");
+  cli.add_int("workers", 4, "workers");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const dls::TechniqueId id = dls::technique_from_name(cli.get_string("technique"));
+  const dls::ScheduleAnalysis analysis =
+      dls::analyze_schedule(id, cli.get_int("iterations"),
+                            static_cast<std::size_t>(cli.get_int("workers")));
+  std::printf("%s on %lld iterations / %lld workers: %zu chunks, sizes %lld..%lld "
+              "(mean %.1f, %zu distinct)\n",
+              dls::technique_name(id).c_str(), static_cast<long long>(cli.get_int("iterations")),
+              static_cast<long long>(cli.get_int("workers")), analysis.chunk_count,
+              static_cast<long long>(analysis.largest_chunk),
+              static_cast<long long>(analysis.smallest_chunk), analysis.mean_chunk,
+              analysis.distinct_sizes);
+  std::printf("sequence:");
+  for (const dls::ScheduledChunk& chunk : analysis.chunks) {
+    std::printf(" %lld", static_cast<long long>(chunk.size));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_gantt(int argc, char** argv) {
+  util::Cli cli("Chunk Gantt chart on the paper's app3 group.");
+  cli.add_string("technique", "AF", "technique name");
+  cli.add_int("case", 1, "availability case (1-4)");
+  cli.add_int("seed", 12, "seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::PaperExample example = core::make_paper_example();
+  sim::SimConfig config;
+  config.collect_trace = true;
+  const sim::RunResult run = sim::simulate_loop(
+      example.batch.at(2), 1, 8, sysmodel::paper_case(static_cast<int>(cli.get_int("case"))),
+      dls::technique_from_name(cli.get_string("technique")), config,
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  sim::GanttOptions options;
+  options.deadline = example.deadline;
+  std::printf("makespan %.0f (deadline %.0f)\n", run.makespan, example.deadline);
+  std::fputs(sim::render_gantt(run, options).c_str(), stdout);
+  return 0;
+}
+
+int cmd_phi1(int argc, char** argv) {
+  util::Cli cli("phi_1 and makespan statistics for both Table IV mappings.");
+  cli.add_double("deadline", 3250.0, "deadline Delta");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::PaperExample example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          cli.get_double("deadline"));
+  util::Table table({"mapping", "phi_1", "E[Psi]", "90% quantile", "CVaR(0.9)",
+                     "E[tardiness]", "FePIA radius"});
+  table.set_alignment({util::Align::kLeft});
+  for (auto [name, allocation] : {std::pair{"naive IM", core::paper_naive_allocation()},
+                                  std::pair{"robust IM", core::paper_robust_allocation()}}) {
+    const pmf::Pmf psi = evaluator.system_makespan_pmf(allocation);
+    table.add_row({name, util::format_percent(psi.cdf(cli.get_double("deadline")), 1),
+                   util::format_fixed(psi.expectation(), 0),
+                   util::format_fixed(psi.quantile(0.9), 0),
+                   util::format_fixed(psi.conditional_value_at_risk(0.9), 0),
+                   util::format_fixed(psi.expected_tardiness(cli.get_double("deadline")), 0),
+                   util::format_fixed(evaluator.fepia_robustness_radius(allocation), 3)});
+  }
+  std::puts(table.render().c_str());
+  std::puts("FePIA radius (reference [3]): the availability drop each mapping tolerates");
+  std::puts("before its weakest application's MEAN time violates the deadline.");
+  return 0;
+}
+
+void usage() {
+  std::puts("cdsf <command> [flags]   (each command supports --help)");
+  std::puts("  tables    reproduce the paper's Table IV/V summary");
+  std::puts("  scenario  run the CDSF on a scenario file");
+  std::puts("  template  write the paper example as a scenario file");
+  std::puts("  preview   print a technique's chunk schedule");
+  std::puts("  gantt     ASCII chunk Gantt chart");
+  std::puts("  phi1      makespan-distribution statistics per mapping");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand's Cli sees its own flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  try {
+    if (command == "tables") return cmd_tables(sub_argc, sub_argv);
+    if (command == "scenario") return cmd_scenario(sub_argc, sub_argv);
+    if (command == "template") return cmd_template(sub_argc, sub_argv);
+    if (command == "preview") return cmd_preview(sub_argc, sub_argv);
+    if (command == "gantt") return cmd_gantt(sub_argc, sub_argv);
+    if (command == "phi1") return cmd_phi1(sub_argc, sub_argv);
+    if (command == "--help" || command == "-h" || command == "help") {
+      usage();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cdsf %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "cdsf: unknown command '%s'\n", command.c_str());
+  usage();
+  return 1;
+}

@@ -1,0 +1,110 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::util {
+
+Cli::Cli(std::string program_description) : description_(std::move(program_description)) {}
+
+void Cli::add_string(const std::string& name, std::string default_value, std::string help) {
+  order_.push_back(name);
+  entries_[name] = Entry{Kind::kString, default_value, std::move(default_value), std::move(help)};
+}
+
+void Cli::add_int(const std::string& name, std::int64_t default_value, std::string help) {
+  order_.push_back(name);
+  const std::string str = std::to_string(default_value);
+  entries_[name] = Entry{Kind::kInt, str, str, std::move(help)};
+}
+
+void Cli::add_double(const std::string& name, double default_value, std::string help) {
+  order_.push_back(name);
+  std::ostringstream str;
+  str << default_value;
+  entries_[name] = Entry{Kind::kDouble, str.str(), str.str(), std::move(help)};
+}
+
+void Cli::add_flag(const std::string& name, std::string help) {
+  order_.push_back(name);
+  entries_[name] = Entry{Kind::kBool, "0", "0", std::move(help)};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: positional arguments are not supported: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) throw std::invalid_argument("Cli: unknown flag --" + name);
+    if (it->second.kind == Kind::kBool) {
+      it->second.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw std::invalid_argument("Cli: missing value for --" + name);
+      value = argv[++i];
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Entry& Cli::lookup(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw std::logic_error("Cli: flag was never registered: " + name);
+  if (it->second.kind != kind) throw std::logic_error("Cli: flag accessed with wrong type: " + name);
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const auto& entry = lookup(name, Kind::kInt);
+  std::size_t pos = 0;
+  const std::int64_t parsed = std::stoll(entry.value, &pos);
+  if (pos != entry.value.size()) throw std::invalid_argument("Cli: bad integer for --" + name);
+  return parsed;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const auto& entry = lookup(name, Kind::kDouble);
+  std::size_t pos = 0;
+  const double parsed = std::stod(entry.value, &pos);
+  if (pos != entry.value.size()) throw std::invalid_argument("Cli: bad double for --" + name);
+  return parsed;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  return lookup(name, Kind::kBool).value == "1";
+}
+
+std::string Cli::help_text() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Entry& entry = entries_.at(name);
+    out << "  --" << name;
+    if (entry.kind != Kind::kBool) out << " <value>";
+    out << "  (default: " << entry.fallback << ")\n      " << entry.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cdsf::util

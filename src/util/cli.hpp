@@ -1,0 +1,56 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+// Unknown flags raise an error so typos in experiment sweeps are caught.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cdsf::util {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Registers a string-valued flag with a default.
+  void add_string(const std::string& name, std::string default_value, std::string help);
+  /// Registers an integer flag with a default.
+  void add_int(const std::string& name, std::int64_t default_value, std::string help);
+  /// Registers a floating-point flag with a default.
+  void add_double(const std::string& name, double default_value, std::string help);
+  /// Registers a boolean switch (present => true).
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parses argv. Returns false (after printing help) when --help was given.
+  /// Throws std::invalid_argument for unknown flags or unparsable values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Usage text for --help.
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Entry {
+    Kind kind;
+    std::string value;    // canonical string form
+    std::string fallback; // default, for help text
+    std::string help;
+  };
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace cdsf::util

@@ -1,0 +1,28 @@
+// Minimal CSV writer used by benches to dump series data (e.g. the points
+// behind each reproduced figure) alongside the ASCII rendering.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdsf::util {
+
+/// Streams rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines; doubles embedded quotes).
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row. Cells are written in order, separated by commas.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell per CSV quoting rules.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace cdsf::util

@@ -1,0 +1,56 @@
+// Leveled logging with a process-global threshold.
+//
+// The simulator emits kTrace events (chunk dispatches, availability epoch
+// changes) that are invaluable when validating DLS behaviour but far too
+// verbose for benches; the threshold defaults to kInfo.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cdsf::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the process-global minimum level that is actually emitted.
+void set_log_level(LogLevel level) noexcept;
+/// Current process-global threshold.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold. Thread-safe
+/// (line-at-a-time atomicity via a single formatted write).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style log statement builder; emits on destruction.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cdsf::util
+
+#define CDSF_LOG(level)                                         \
+  if (static_cast<int>(level) < static_cast<int>(::cdsf::util::log_level())) { \
+  } else                                                        \
+    ::cdsf::util::detail::LogStatement(level)
+
+#define CDSF_LOG_TRACE CDSF_LOG(::cdsf::util::LogLevel::kTrace)
+#define CDSF_LOG_DEBUG CDSF_LOG(::cdsf::util::LogLevel::kDebug)
+#define CDSF_LOG_INFO CDSF_LOG(::cdsf::util::LogLevel::kInfo)
+#define CDSF_LOG_WARN CDSF_LOG(::cdsf::util::LogLevel::kWarn)
+#define CDSF_LOG_ERROR CDSF_LOG(::cdsf::util::LogLevel::kError)

@@ -1,0 +1,48 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace cdsf::util {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hardware == 0 ? 1 : hardware, 1, 64);
+}
+
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  threads = std::min(std::max<std::size_t>(threads, 1), count);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(threads);
+  auto run_block = [&](std::size_t t) {
+    // Contiguous block partition: thread t handles [begin, end).
+    const std::size_t base = count / threads;
+    const std::size_t extra = count % threads;
+    const std::size_t begin = t * base + std::min(t, extra);
+    const std::size_t end = begin + base + (t < extra ? 1 : 0);
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(run_block, t);
+  run_block(0);
+  for (std::thread& thread : pool) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace cdsf::util

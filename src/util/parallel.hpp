@@ -1,0 +1,28 @@
+// Deterministic fork-join parallelism for embarrassingly parallel index
+// spaces (simulation replications, Monte-Carlo draws, allocation scoring).
+//
+// parallel_for_index partitions [0, count) into contiguous blocks, one per
+// thread; every index is processed exactly once and results keyed by index
+// are independent of the thread count — determinism is preserved because
+// all randomness in this library derives from per-index seeds, never from
+// thread identity or scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cdsf::util {
+
+/// Hardware concurrency clamped to [1, 64] (0 from the runtime maps to 1).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Invokes body(i) for every i in [0, count), distributing contiguous index
+/// blocks over `threads` std::threads (the calling thread works too).
+/// `threads` == 0 or 1, or count < 2, runs inline. The body must be safe to
+/// call concurrently for DISTINCT indices (typically: it writes only to
+/// result[i]). Exceptions thrown by the body are rethrown (the first one,
+/// after all threads join).
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace cdsf::util

@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::util {
+
+Table::Table(std::vector<std::string> headers) { set_headers(std::move(headers)); }
+
+void Table::set_headers(std::vector<std::string> headers) {
+  if (!rows_.empty() && headers.size() != headers_.size()) {
+    throw std::invalid_argument("Table::set_headers: cannot change column count after rows were added");
+  }
+  headers_ = std::move(headers);
+}
+
+void Table::set_alignment(std::vector<Align> alignment) { alignment_ = std::move(alignment); }
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: row has " + std::to_string(row.size()) +
+                                " cells, expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto align_of = [&](std::size_t c) {
+    return c < alignment_.size() ? alignment_[c] : Align::kRight;
+  };
+  auto pad = [&](const std::string& cell, std::size_t c) {
+    std::string out(widths[c], ' ');
+    if (align_of(c) == Align::kLeft) {
+      out.replace(0, cell.size(), cell);
+    } else {
+      out.replace(widths[c] - cell.size(), cell.size(), cell);
+    }
+    return out;
+  };
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      line += " " + pad(c < cells.size() ? cells[c] : std::string(), c) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << rule() << emit_row(headers_) << rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << rule();
+    } else {
+      out << emit_row(row);
+    }
+  }
+  out << rule();
+  return out.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace cdsf::util

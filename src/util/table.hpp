@@ -1,0 +1,58 @@
+// ASCII table rendering for bench/report output.
+//
+// All paper-table reproductions print through this class so that bench
+// output is uniform and diffable run-to-run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdsf::util {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows of strings, render.
+/// Cells are stored as strings; numeric formatting is the caller's job
+/// (see format_fixed / format_percent below).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> headers);
+
+  /// Replaces the header row. Column count is fixed by the header.
+  void set_headers(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; missing entries default to kRight.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row. Throws std::invalid_argument if the size does not
+  /// match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title);
+
+  /// Renders the table as a multi-line string (trailing newline included).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Fixed-point formatting: format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Percentage formatting: format_percent(0.745, 1) == "74.5%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals);
+
+}  // namespace cdsf::util

@@ -1,0 +1,58 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cdsf::workload {
+
+namespace {
+void validate(const BatchSpec& spec) {
+  if (spec.applications == 0) throw std::invalid_argument("BatchSpec: applications must be > 0");
+  if (spec.processor_types == 0) {
+    throw std::invalid_argument("BatchSpec: processor_types must be > 0");
+  }
+  if (spec.min_total_iterations < 1 || spec.max_total_iterations < spec.min_total_iterations) {
+    throw std::invalid_argument("BatchSpec: bad iteration range");
+  }
+  if (spec.min_serial_fraction < 0.0 || spec.max_serial_fraction > 1.0 ||
+      spec.max_serial_fraction < spec.min_serial_fraction) {
+    throw std::invalid_argument("BatchSpec: bad serial-fraction range");
+  }
+  if (!(spec.min_mean_time > 0.0) || spec.max_mean_time < spec.min_mean_time) {
+    throw std::invalid_argument("BatchSpec: bad mean-time range");
+  }
+  if (!(spec.cov > 0.0)) throw std::invalid_argument("BatchSpec: cov must be > 0");
+}
+}  // namespace
+
+Batch generate_batch(const BatchSpec& spec, std::uint64_t seed) {
+  validate(spec);
+  const util::SeedSequence seeds(seed);
+  Batch batch;
+  for (std::size_t i = 0; i < spec.applications; ++i) {
+    util::RngStream rng = seeds.stream(i);
+
+    const std::int64_t total =
+        rng.uniform_int(spec.min_total_iterations, spec.max_total_iterations);
+    const double serial_fraction =
+        rng.uniform(spec.min_serial_fraction, spec.max_serial_fraction);
+    auto serial = static_cast<std::int64_t>(std::llround(serial_fraction * static_cast<double>(total)));
+    serial = std::min(serial, total - 1);  // keep at least one parallel iteration
+
+    std::vector<TimeLaw> laws;
+    laws.reserve(spec.processor_types);
+    const double log_lo = std::log(spec.min_mean_time);
+    const double log_hi = std::log(spec.max_mean_time);
+    for (std::size_t t = 0; t < spec.processor_types; ++t) {
+      const double mean = std::exp(rng.uniform(log_lo, log_hi));
+      laws.push_back(TimeLaw{spec.law, mean, spec.cov});
+    }
+    batch.add(Application("app" + std::to_string(i + 1), serial, total - serial,
+                          std::move(laws), spec.profile));
+  }
+  return batch;
+}
+
+}  // namespace cdsf::workload

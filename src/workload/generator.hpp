@@ -1,0 +1,40 @@
+// Random batch generation for the paper's future-work large-scale studies
+// (more applications, more processor types) and for property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/application.hpp"
+
+namespace cdsf::workload {
+
+/// Parameter ranges for random application batches. All ranges are closed.
+struct BatchSpec {
+  std::size_t applications = 8;
+  std::size_t processor_types = 2;
+
+  std::int64_t min_total_iterations = 500;
+  std::int64_t max_total_iterations = 8000;
+
+  /// Serial fraction drawn uniformly from [min, max].
+  double min_serial_fraction = 0.02;
+  double max_serial_fraction = 0.30;
+
+  /// Mean single-processor execution time per type drawn log-uniformly
+  /// from [min, max] (log-uniform keeps heterogeneity ratios realistic).
+  double min_mean_time = 1000.0;
+  double max_mean_time = 16000.0;
+
+  /// Coefficient of variation of the time law (paper: 0.1).
+  double cov = 0.1;
+  TimeLawKind law = TimeLawKind::kNormal;
+  /// Iteration-index cost profile of every generated application.
+  IterationProfile profile = IterationProfile::kFlat;
+};
+
+/// Generates a deterministic random batch from the spec and seed.
+/// Throws std::invalid_argument for degenerate specs (zero applications or
+/// types, inverted ranges, non-positive times).
+[[nodiscard]] Batch generate_batch(const BatchSpec& spec, std::uint64_t seed);
+
+}  // namespace cdsf::workload

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/correlation.hpp"
+#include "ra/robustness.hpp"
+#include "stats/summary.hpp"
+#include "sysmodel/correlation.hpp"
+
+namespace cdsf {
+namespace {
+
+// ----------------------------------------------------- sampler marginals --
+
+TEST(CorrelatedSampler, MarginalsPreservedAtAnyRho) {
+  const auto spec = sysmodel::paper_case(1);
+  for (double rho : {0.0, 0.5, 0.99}) {
+    const sysmodel::CorrelatedAvailabilitySampler sampler(spec, rho);
+    util::RngStream rng(7);
+    stats::OnlineSummary type1;
+    stats::OnlineSummary type2;
+    for (int i = 0; i < 20000; ++i) {
+      const std::vector<double> draw = sampler.sample(rng);
+      type1.add(draw[0]);
+      type2.add(draw[1]);
+    }
+    EXPECT_NEAR(type1.mean(), spec.expected(0), 0.01) << "rho=" << rho;
+    EXPECT_NEAR(type2.mean(), spec.expected(1), 0.01) << "rho=" << rho;
+  }
+}
+
+TEST(CorrelatedSampler, RhoOneCouplesQuantiles) {
+  // At rho = 1 both types draw the same copula quantile: whenever type 1
+  // takes its LOW pulse (u < 0.5), type 2 must be in its lower half too.
+  const auto spec = sysmodel::paper_case(1);  // t1 {.75:.5, 1:.5}, t2 {.25:.25,.5:.25,1:.5}
+  const sysmodel::CorrelatedAvailabilitySampler sampler(spec, 1.0);
+  util::RngStream rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const std::vector<double> draw = sampler.sample(rng);
+    if (draw[0] < 0.8) {
+      EXPECT_LT(draw[1], 0.9) << "type1 low but type2 at its top pulse";
+    } else {
+      EXPECT_GT(draw[1], 0.9);
+    }
+  }
+}
+
+TEST(CorrelatedSampler, RhoZeroIsIndependent) {
+  const auto spec = sysmodel::paper_case(1);
+  const sysmodel::CorrelatedAvailabilitySampler sampler(spec, 0.0);
+  util::RngStream rng(11);
+  // Empirical correlation of the two types' draws should be ~0.
+  stats::OnlineSummary a;
+  stats::OnlineSummary b;
+  double cross = 0.0;
+  constexpr int kDraws = 20000;
+  std::vector<std::pair<double, double>> draws;
+  draws.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::vector<double> draw = sampler.sample(rng);
+    a.add(draw[0]);
+    b.add(draw[1]);
+    draws.emplace_back(draw[0], draw[1]);
+  }
+  for (const auto& [x, y] : draws) cross += (x - a.mean()) * (y - b.mean());
+  const double corr = cross / (kDraws * a.stddev() * b.stddev());
+  EXPECT_NEAR(corr, 0.0, 0.03);
+}
+
+TEST(CorrelatedSampler, Validation) {
+  const auto spec = sysmodel::paper_case(1);
+  EXPECT_THROW(sysmodel::CorrelatedAvailabilitySampler(spec, -0.1), std::invalid_argument);
+  EXPECT_THROW(sysmodel::CorrelatedAvailabilitySampler(spec, 1.1), std::invalid_argument);
+}
+
+// ------------------------------------------------------ correlated phi_1 --
+
+class CorrelatedPhiTest : public ::testing::Test {
+ protected:
+  CorrelatedPhiTest()
+      : example_(core::make_paper_example()),
+        evaluator_(example_.batch, example_.cases.front(), example_.deadline) {}
+
+  core::PaperExample example_;
+  ra::RobustnessEvaluator evaluator_;
+};
+
+TEST_F(CorrelatedPhiTest, RhoZeroMatchesAnalyticProductForm) {
+  const ra::Allocation robust = core::paper_robust_allocation();
+  const double analytic = evaluator_.joint_probability(robust);
+  const ra::CorrelatedPhiEstimate estimate = ra::correlated_phi1(
+      example_.batch, robust, example_.cases.front(), 0.0, example_.deadline, 20000, 5);
+  EXPECT_NEAR(estimate.probability, analytic, 4.0 * estimate.standard_error + 0.005);
+}
+
+TEST_F(CorrelatedPhiTest, RhoZeroMatchesAnalyticForNaiveToo) {
+  const ra::Allocation naive = core::paper_naive_allocation();
+  const double analytic = evaluator_.joint_probability(naive);
+  const ra::CorrelatedPhiEstimate estimate = ra::correlated_phi1(
+      example_.batch, naive, example_.cases.front(), 0.0, example_.deadline, 20000, 6);
+  EXPECT_NEAR(estimate.probability, analytic, 4.0 * estimate.standard_error + 0.005);
+}
+
+TEST_F(CorrelatedPhiTest, PositiveCorrelationRaisesJointSurvivalHere) {
+  // For the robust allocation the failure risk is concentrated in app 3
+  // (the 25% type-2 availability pulse). Positive correlation aligns the
+  // apps' good and bad periods, so the probability that ALL meet the
+  // deadline cannot drop — the failure events overlap instead of adding.
+  const ra::Allocation robust = core::paper_robust_allocation();
+  const double independent =
+      ra::correlated_phi1(example_.batch, robust, example_.cases.front(), 0.0,
+                          example_.deadline, 30000, 7)
+          .probability;
+  const double coupled =
+      ra::correlated_phi1(example_.batch, robust, example_.cases.front(), 0.9,
+                          example_.deadline, 30000, 7)
+          .probability;
+  EXPECT_GE(coupled, independent - 0.01);
+}
+
+TEST_F(CorrelatedPhiTest, MonotoneScanIsWellBehaved) {
+  const ra::Allocation robust = core::paper_robust_allocation();
+  for (double rho : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const ra::CorrelatedPhiEstimate estimate = ra::correlated_phi1(
+        example_.batch, robust, example_.cases.front(), rho, example_.deadline, 4000, 9);
+    EXPECT_GE(estimate.probability, 0.0);
+    EXPECT_LE(estimate.probability, 1.0);
+    EXPECT_GT(estimate.standard_error, 0.0);
+  }
+}
+
+TEST_F(CorrelatedPhiTest, Validation) {
+  const ra::Allocation robust = core::paper_robust_allocation();
+  EXPECT_THROW(ra::correlated_phi1(example_.batch, ra::Allocation({{0, 1}}),
+                                   example_.cases.front(), 0.5, example_.deadline, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ra::correlated_phi1(example_.batch, robust, example_.cases.front(), 1.5,
+                                   example_.deadline, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ra::correlated_phi1(example_.batch, robust, example_.cases.front(), 0.5,
+                                   example_.deadline, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ra::correlated_phi1(example_.batch, robust, example_.cases.front(), 0.5,
+                                   example_.deadline, 10, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf

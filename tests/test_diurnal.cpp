@@ -1,0 +1,144 @@
+// Tests for the diurnal availability process and its scheduling
+// consequences (predictable drift defeats frozen weights).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sysmodel/availability.hpp"
+#include "sysmodel/cases.hpp"
+
+namespace cdsf::sysmodel {
+namespace {
+
+TEST(Diurnal, OscillatesAroundTheMean) {
+  DiurnalAvailability process(0.6, 0.3, 1000.0);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  constexpr int kSamples = 1000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double a = process.availability_at(i * 1.0);
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+    sum += a;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.6, 0.02);  // zero-mean sine over one period
+  EXPECT_LT(lo, 0.35);
+  EXPECT_GT(hi, 0.85);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(Diurnal, PeriodicAcrossPeriods) {
+  DiurnalAvailability process(0.5, 0.2, 400.0);
+  for (double t : {13.0, 120.0, 333.0}) {
+    EXPECT_NEAR(process.availability_at(t), process.availability_at(t + 400.0), 1e-12);
+    EXPECT_NEAR(process.availability_at(t), process.availability_at(t + 4000.0), 1e-12);
+  }
+}
+
+TEST(Diurnal, PhaseShiftsTheCycle) {
+  DiurnalAvailability base(0.5, 0.2, 400.0, 0.0);
+  DiurnalAvailability shifted(0.5, 0.2, 400.0, 100.0);
+  EXPECT_NEAR(base.availability_at(150.0), shifted.availability_at(50.0), 1e-12);
+}
+
+TEST(Diurnal, PiecewiseConstantSteps) {
+  DiurnalAvailability process(0.5, 0.2, 320.0, 0.0, 32);  // 10-unit steps
+  const double a = process.availability_at(5.0);
+  EXPECT_DOUBLE_EQ(process.availability_at(9.9), a);
+  EXPECT_DOUBLE_EQ(process.next_change_after(5.0), 10.0);
+  EXPECT_NE(process.availability_at(15.0), a);
+}
+
+TEST(Diurnal, WorkIntegralOverOnePeriodMatchesTheMean) {
+  DiurnalAvailability process(0.55, 0.25, 500.0);
+  EXPECT_NEAR(process.work_delivered(0.0, 500.0), 0.55 * 500.0, 0.5);
+}
+
+TEST(Diurnal, Validation) {
+  EXPECT_THROW(DiurnalAvailability(0.5, 0.2, 0.0), std::invalid_argument);
+  EXPECT_THROW(DiurnalAvailability(0.5, 0.2, 100.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiurnalAvailability(0.5, -0.1, 100.0), std::invalid_argument);
+  EXPECT_THROW(DiurnalAvailability(0.2, 0.3, 100.0), std::invalid_argument);  // dips <= 0
+  EXPECT_THROW(DiurnalAvailability(0.9, 0.3, 100.0), std::invalid_argument);  // exceeds 1
+  EXPECT_NO_THROW(DiurnalAvailability(0.5, 0.5 - 1e-6, 100.0));
+}
+
+TEST(Diurnal, FinishTimeTracksTheCycle) {
+  // Starting at the trough vs the crest of the cycle changes the finish
+  // time of the same work.
+  DiurnalAvailability process(0.5, 0.4, 1000.0);
+  const double from_crest = process.finish_time(700.0, 50.0) - 700.0;   // high availability
+  const double from_trough = process.finish_time(200.0, 50.0) - 200.0;  // low availability
+  EXPECT_LT(from_crest, from_trough);
+}
+
+}  // namespace
+}  // namespace cdsf::sysmodel
+
+#include "sim/loop_executor.hpp"
+#include "test_support.hpp"
+
+namespace cdsf::sim {
+namespace {
+
+SimConfig diurnal_config() {
+  SimConfig config;
+  config.availability_mode = AvailabilityMode::kDiurnal;
+  config.diurnal_amplitude = 0.35;
+  config.diurnal_period = 1500.0;
+  config.iteration_cov = 0.1;
+  return config;
+}
+
+TEST(DiurnalSim, RunsToCompletionAndConserves) {
+  const auto app = test::simple_app("d", 50, 1950, {2000.0});
+  const RunResult run = simulate_loop(app, 0, 4, sysmodel::paper_case(1),
+                                      dls::TechniqueId::kFAC, diurnal_config(), 3);
+  std::int64_t total = 0;
+  for (const WorkerStats& w : run.workers) total += w.iterations;
+  EXPECT_EQ(total, 1950);
+  EXPECT_GT(run.makespan, 0.0);
+}
+
+TEST(DiurnalSim, AdaptiveTracksTheCycleBetterThanFrozenWeights) {
+  // Workers' phases are spread around the cycle: who is fast ROTATES during
+  // the run. WF freezes the t = 0 snapshot; the chunk-adaptive techniques
+  // re-estimate continuously and must win on average.
+  const auto app = test::simple_app("d", 0, 8000, {8000.0});
+  const SimConfig config = diurnal_config();
+  const sysmodel::AvailabilitySpec half("half", {pmf::Pmf::delta(0.55)});
+  double wf = 0.0;
+  double awf_c = 0.0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    wf += simulate_loop(app, 0, 8, half, dls::TechniqueId::kWF, config, 100 + seed).makespan;
+    awf_c += simulate_loop(app, 0, 8, half, dls::TechniqueId::kAWF_C, config, 100 + seed)
+                 .makespan;
+  }
+  EXPECT_LT(awf_c, wf);
+}
+
+TEST(DiurnalSim, DeterministicGivenSeed) {
+  const auto app = test::simple_app("d", 0, 1000, {1000.0});
+  const RunResult a = simulate_loop(app, 0, 4, sysmodel::paper_case(1),
+                                    dls::TechniqueId::kAF, diurnal_config(), 9);
+  const RunResult b = simulate_loop(app, 0, 4, sysmodel::paper_case(1),
+                                    dls::TechniqueId::kAF, diurnal_config(), 9);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(DiurnalSim, ConfigValidation) {
+  const auto app = test::simple_app("d", 0, 10, {10.0});
+  SimConfig bad = diurnal_config();
+  bad.diurnal_period = 0.0;
+  EXPECT_THROW(simulate_loop(app, 0, 2, sysmodel::paper_case(1), dls::TechniqueId::kSS, bad, 1),
+               std::invalid_argument);
+  bad = diurnal_config();
+  bad.diurnal_amplitude = -0.1;
+  EXPECT_THROW(simulate_loop(app, 0, 2, sysmodel::paper_case(1), dls::TechniqueId::kSS, bad, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::sim

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dls/adaptive.hpp"
+
+namespace cdsf::dls {
+namespace {
+
+TechniqueParams params(std::size_t workers, std::int64_t total) {
+  TechniqueParams p;
+  p.workers = workers;
+  p.total_iterations = total;
+  return p;
+}
+
+SchedulingContext ctx(std::int64_t remaining, std::size_t worker) {
+  return SchedulingContext{remaining, worker, 0.0};
+}
+
+ChunkResult chunk_result(std::size_t worker, std::int64_t iterations, double per_iter_time,
+                         double overhead = 0.0) {
+  const double exec = per_iter_time * static_cast<double>(iterations);
+  return ChunkResult{worker, iterations, exec, exec + overhead};
+}
+
+// ---------------------------------------------------------------- names --
+
+TEST(AwfVariants, Names) {
+  EXPECT_EQ(awf_variant_name(AwfVariant::kTimestep), "AWF");
+  EXPECT_EQ(awf_variant_name(AwfVariant::kBatch), "AWF-B");
+  EXPECT_EQ(awf_variant_name(AwfVariant::kChunk), "AWF-C");
+  EXPECT_EQ(awf_variant_name(AwfVariant::kBatchTotal), "AWF-D");
+  EXPECT_EQ(awf_variant_name(AwfVariant::kChunkTotal), "AWF-E");
+}
+
+// ---------------------------------------------------------------- AWF-B --
+
+TEST(AwfB, StartsLikeFactoring) {
+  AdaptiveWeightedFactoring technique(params(4, 1000), AwfVariant::kBatch);
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 125);
+}
+
+TEST(AwfB, AdaptsWeightsAtBatchBoundary) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kBatch);
+  // Batch 1: both workers take 250.
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 250);
+  EXPECT_EQ(technique.next_chunk(ctx(750, 1)), 250);
+  // Worker 0 is 4x faster (per-iteration time 1 vs 4).
+  technique.record(chunk_result(0, 250, 1.0));
+  technique.record(chunk_result(1, 250, 4.0));
+  // Batch 2 (remaining 500, batch 250): weights 1.6 / 0.4.
+  const std::int64_t fast = technique.next_chunk(ctx(500, 0));
+  EXPECT_EQ(fast, 200);  // 250 * 1.6 / 2
+  const std::int64_t slow = technique.next_chunk(ctx(500 - fast, 1));
+  EXPECT_EQ(slow, 50);   // 250 * 0.4 / 2
+}
+
+TEST(AwfB, WeightsFrozenWithinBatch) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kBatch);
+  const std::int64_t first = technique.next_chunk(ctx(1000, 0));
+  // Feedback arrives mid-batch; the second chunk of the same batch must
+  // still use the old (uniform) weights.
+  technique.record(chunk_result(0, first, 0.1));
+  EXPECT_EQ(technique.next_chunk(ctx(1000 - first, 1)), first);
+}
+
+TEST(AwfB, CurrentWeightsNormalizedMeanOne) {
+  AdaptiveWeightedFactoring technique(params(3, 900), AwfVariant::kBatch);
+  technique.next_chunk(ctx(900, 0));
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(1, 100, 2.0));
+  technique.record(chunk_result(2, 100, 4.0));
+  // Force weight refresh by draining the batch.
+  technique.next_chunk(ctx(800, 1));
+  technique.next_chunk(ctx(650, 2));
+  technique.next_chunk(ctx(500, 0));
+  const std::vector<double> weights = technique.current_weights();
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  EXPECT_NEAR(sum, 3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- AWF-C --
+
+TEST(AwfC, RefreshesEveryRequest) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kChunk);
+  // No data: uniform weights, chunk = (1000/2) * 1 / 2 = 250.
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 250);
+  technique.record(chunk_result(0, 250, 1.0));
+  technique.record(chunk_result(1, 10, 5.0));
+  // Worker 0 rate 1, worker 1 rate 0.2 -> weights 5/3 and 1/3.
+  // Chunk for worker 0 at remaining 740: (370) * (5/3) / 2 ~ 308.
+  const std::int64_t chunk = technique.next_chunk(ctx(740, 0));
+  EXPECT_NEAR(static_cast<double>(chunk), 308.0, 2.0);
+}
+
+TEST(AwfC, SlowWorkerGetsSmallerChunksImmediately) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kChunk);
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(1, 100, 9.0));
+  const std::int64_t fast = technique.next_chunk(ctx(1000, 0));
+  const std::int64_t slow = technique.next_chunk(ctx(1000, 1));
+  EXPECT_GT(fast, 5 * slow);
+}
+
+// ------------------------------------------------------------- AWF-D/E ---
+
+TEST(AwfD, UsesTotalTimeIncludingOverhead) {
+  AdaptiveWeightedFactoring by_exec(params(2, 1000), AwfVariant::kBatch);
+  AdaptiveWeightedFactoring by_total(params(2, 1000), AwfVariant::kBatchTotal);
+  // Same execution time, but worker 1 pays huge overhead.
+  for (auto* technique : {&by_exec, &by_total}) {
+    technique->next_chunk(ctx(1000, 0));
+    technique->next_chunk(ctx(750, 1));
+    technique->record(chunk_result(0, 250, 1.0, 0.0));
+    technique->record(chunk_result(1, 250, 1.0, 500.0));
+    technique->next_chunk(ctx(500, 0));  // start batch 2 -> refresh weights
+  }
+  // Execution-time variant sees equal workers; total-time variant penalizes
+  // worker 1.
+  EXPECT_NEAR(by_exec.current_weights()[1], 1.0, 1e-9);
+  EXPECT_LT(by_total.current_weights()[1], 1.0);
+}
+
+TEST(AwfE, ChunkVariantUsesTotalTime) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kChunkTotal);
+  technique.record(chunk_result(0, 100, 1.0, 0.0));
+  technique.record(chunk_result(1, 100, 1.0, 300.0));
+  const std::int64_t fast = technique.next_chunk(ctx(1000, 0));
+  const std::int64_t slow = technique.next_chunk(ctx(1000, 1));
+  EXPECT_GT(fast, slow);
+}
+
+// ------------------------------------------------------------------ AWF --
+
+TEST(AwfTimestep, WeightsOnlyChangeAcrossTimesteps) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kTimestep);
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(1, 100, 3.0));
+  // Within the timestep, weights stay uniform.
+  EXPECT_DOUBLE_EQ(technique.current_weights()[0], 1.0);
+  technique.advance_timestep();
+  EXPECT_GT(technique.current_weights()[0], 1.0);
+  EXPECT_LT(technique.current_weights()[1], 1.0);
+}
+
+TEST(AwfTimestep, ResetKeepsLearnedWeights) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kTimestep);
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(1, 100, 3.0));
+  technique.advance_timestep();
+  const std::vector<double> learned = technique.current_weights();
+  technique.reset();  // new execution of the same timestep-based app
+  EXPECT_EQ(technique.current_weights(), learned);
+}
+
+TEST(AwfB, ResetClearsMeasurements) {
+  AdaptiveWeightedFactoring technique(params(2, 1000), AwfVariant::kBatch);
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(1, 100, 9.0));
+  technique.reset();
+  EXPECT_DOUBLE_EQ(technique.current_weights()[0], 1.0);
+  EXPECT_DOUBLE_EQ(technique.current_weights()[1], 1.0);
+}
+
+TEST(Awf, RecordValidation) {
+  AdaptiveWeightedFactoring technique(params(2, 100), AwfVariant::kBatch);
+  EXPECT_THROW(technique.record(chunk_result(5, 10, 1.0)), std::out_of_range);
+  // Zero iterations / non-positive time ignored, not fatal.
+  EXPECT_NO_THROW(technique.record(ChunkResult{0, 0, 1.0, 1.0}));
+  EXPECT_NO_THROW(technique.record(ChunkResult{0, 10, 0.0, 0.0}));
+}
+
+// ------------------------------------------------------------------- AF --
+
+TEST(Af, ChunkForTargetSolvesQuadratic) {
+  // K * mu + sigma * sqrt(K) = T must hold at the returned K.
+  for (double mu : {0.5, 1.0, 2.0}) {
+    for (double sigma : {0.0, 0.1, 1.0}) {
+      for (double target : {10.0, 100.0, 5000.0}) {
+        const double k = AdaptiveFactoring::chunk_for_target(mu, sigma, target);
+        EXPECT_NEAR(k * mu + sigma * std::sqrt(k), target, 1e-6 * target)
+            << "mu=" << mu << " sigma=" << sigma << " T=" << target;
+      }
+    }
+  }
+}
+
+TEST(Af, ZeroVarianceReducesToDeterministicShare) {
+  EXPECT_NEAR(AdaptiveFactoring::chunk_for_target(2.0, 0.0, 100.0), 50.0, 1e-9);
+}
+
+TEST(Af, HigherVarianceShrinksChunk) {
+  const double low = AdaptiveFactoring::chunk_for_target(1.0, 0.1, 100.0);
+  const double high = AdaptiveFactoring::chunk_for_target(1.0, 5.0, 100.0);
+  EXPECT_LT(high, low);
+}
+
+TEST(Af, ChunkForTargetValidation) {
+  EXPECT_THROW(AdaptiveFactoring::chunk_for_target(0.0, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveFactoring::chunk_for_target(1.0, -1.0, 10.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(AdaptiveFactoring::chunk_for_target(1.0, 1.0, 0.0), 0.0);
+}
+
+TEST(Af, BootstrapIsFactoringShare) {
+  AdaptiveFactoring technique(params(4, 1000));
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 125);  // R / (2P)
+}
+
+TEST(Af, EqualWorkersGetFactoringLikeChunks) {
+  AdaptiveFactoring technique(params(2, 1000));
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(0, 100, 1.0));
+  technique.record(chunk_result(1, 100, 1.0));
+  technique.record(chunk_result(1, 100, 1.0));
+  // Both workers identical, zero observed variance: chunk ~ R/2 / 2 = 250.
+  EXPECT_NEAR(static_cast<double>(technique.next_chunk(ctx(1000, 0))), 250.0, 3.0);
+}
+
+TEST(Af, SlowWorkerGetsSmallerChunk) {
+  AdaptiveFactoring technique(params(2, 2000));
+  for (int i = 0; i < 3; ++i) {
+    technique.record(chunk_result(0, 100, 1.0));
+    technique.record(chunk_result(1, 100, 5.0));
+  }
+  const std::int64_t fast = technique.next_chunk(ctx(2000, 0));
+  const std::int64_t slow = technique.next_chunk(ctx(2000, 1));
+  EXPECT_GT(fast, 3 * slow);
+}
+
+TEST(Af, NoisyWorkerGetsSmallerChunkThanSteadyOne) {
+  AdaptiveFactoring technique(params(2, 2000));
+  // Same mean rate, very different variability.
+  for (int i = 0; i < 6; ++i) {
+    technique.record(chunk_result(0, 100, 1.0));
+    technique.record(chunk_result(1, 100, (i % 2 == 0) ? 0.2 : 1.8));
+  }
+  const std::int64_t steady = technique.next_chunk(ctx(2000, 0));
+  const std::int64_t noisy = technique.next_chunk(ctx(2000, 1));
+  EXPECT_LT(noisy, steady);
+}
+
+TEST(Af, ResetClearsEstimates) {
+  AdaptiveFactoring technique(params(2, 1000));
+  technique.record(chunk_result(0, 100, 9.0));
+  technique.reset();
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 250);  // bootstrap again
+}
+
+TEST(Af, NeverExceedsRemaining) {
+  AdaptiveFactoring technique(params(2, 100));
+  technique.record(chunk_result(0, 10, 0.001));  // extremely fast worker
+  const std::int64_t chunk = technique.next_chunk(ctx(7, 0));
+  EXPECT_GE(chunk, 1);
+  EXPECT_LE(chunk, 7);
+}
+
+}  // namespace
+}  // namespace cdsf::dls

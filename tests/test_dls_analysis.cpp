@@ -1,0 +1,145 @@
+// Tests for the offline chunk-schedule analyzer and the new confidence
+// interval statistics.
+#include <gtest/gtest.h>
+
+#include "dls/analysis.hpp"
+#include "stats/summary.hpp"
+
+namespace cdsf {
+namespace {
+
+// --------------------------------------------------------- schedule maps --
+
+TEST(ScheduleAnalysis, StaticIsOneChunkPerWorker) {
+  const dls::ScheduleAnalysis analysis =
+      dls::analyze_schedule(dls::TechniqueId::kStatic, 1000, 4);
+  EXPECT_EQ(analysis.chunk_count, 4u);
+  EXPECT_EQ(analysis.largest_chunk, 250);
+  EXPECT_EQ(analysis.smallest_chunk, 250);
+  EXPECT_EQ(analysis.distinct_sizes, 1u);
+  EXPECT_EQ(analysis.worker_chunk_imbalance, 0u);
+}
+
+TEST(ScheduleAnalysis, SsIsOneIterationPerChunk) {
+  const dls::ScheduleAnalysis analysis = dls::analyze_schedule(dls::TechniqueId::kSS, 500, 4);
+  EXPECT_EQ(analysis.chunk_count, 500u);
+  EXPECT_EQ(analysis.largest_chunk, 1);
+  EXPECT_EQ(analysis.distinct_sizes, 1u);
+}
+
+TEST(ScheduleAnalysis, FacShowsLogBatchStructure) {
+  // FAC2 on 1024 iterations / 4 workers: chunk sizes 128, 64, 32, ..., 1 —
+  // about log2(N / P) + 1 distinct sizes.
+  const dls::ScheduleAnalysis analysis = dls::analyze_schedule(dls::TechniqueId::kFAC, 1024, 4);
+  EXPECT_EQ(analysis.largest_chunk, 128);
+  EXPECT_GE(analysis.distinct_sizes, 7u);
+  EXPECT_LE(analysis.distinct_sizes, 9u);
+}
+
+TEST(ScheduleAnalysis, GssChunksAreRemainingOverWorkers) {
+  const dls::ScheduleAnalysis analysis = dls::analyze_schedule(dls::TechniqueId::kGSS, 1000, 4);
+  ASSERT_FALSE(analysis.chunks.empty());
+  EXPECT_EQ(analysis.chunks.front().size, 250);
+  for (const dls::ScheduledChunk& chunk : analysis.chunks) {
+    EXPECT_EQ(chunk.size, (chunk.remaining_before + 3) / 4);
+  }
+}
+
+TEST(ScheduleAnalysis, EveryTechniqueConservesIterations) {
+  for (dls::TechniqueId id : dls::all_techniques()) {
+    for (std::int64_t n : {13, 256, 4097}) {
+      const dls::ScheduleAnalysis analysis = dls::analyze_schedule(id, n, 8);
+      std::int64_t sum = 0;
+      for (const dls::ScheduledChunk& chunk : analysis.chunks) sum += chunk.size;
+      EXPECT_EQ(sum, n) << dls::technique_name(id) << " n=" << n;
+      EXPECT_GE(analysis.smallest_chunk, 1) << dls::technique_name(id);
+    }
+  }
+}
+
+TEST(ScheduleAnalysis, ChunkCountOrderingMatchesOverheadIntuition) {
+  // SS dispatches most, STATIC least; factoring sits in between.
+  const auto ss = dls::analyze_schedule(dls::TechniqueId::kSS, 2048, 8);
+  const auto fac = dls::analyze_schedule(dls::TechniqueId::kFAC, 2048, 8);
+  const auto stat = dls::analyze_schedule(dls::TechniqueId::kStatic, 2048, 8);
+  EXPECT_GT(ss.chunk_count, 10 * fac.chunk_count);
+  EXPECT_GT(fac.chunk_count, stat.chunk_count);
+}
+
+TEST(ScheduleAnalysis, UniformFeedbackKeepsAdaptiveWeightsUniform) {
+  // With perfectly uniform synthetic feedback, AWF-B must behave like FAC.
+  const auto awfb = dls::analyze_schedule(dls::TechniqueId::kAWF_B, 4096, 8);
+  const auto fac = dls::analyze_schedule(dls::TechniqueId::kFAC, 4096, 8);
+  EXPECT_EQ(awfb.chunk_count, fac.chunk_count);
+  EXPECT_EQ(awfb.largest_chunk, fac.largest_chunk);
+}
+
+TEST(ScheduleAnalysis, MeanChunkTimesCountIsTotal) {
+  const auto analysis = dls::analyze_schedule(dls::TechniqueId::kTSS, 3000, 6);
+  EXPECT_NEAR(analysis.mean_chunk * static_cast<double>(analysis.chunk_count), 3000.0, 1e-6);
+}
+
+TEST(ScheduleAnalysis, Validation) {
+  EXPECT_THROW(dls::analyze_schedule(dls::TechniqueId::kSS, 0, 4), std::invalid_argument);
+  EXPECT_THROW(dls::analyze_schedule(dls::TechniqueId::kSS, 100, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------- confidence intervals --
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::uint64_t successes : {0ull, 10ull, 50ull, 100ull}) {
+    const auto ci = stats::wilson_interval(successes, 100);
+    const double p = static_cast<double>(successes) / 100.0;
+    EXPECT_TRUE(ci.contains(p)) << "p=" << p;
+    EXPECT_GE(ci.lower, 0.0);
+    EXPECT_LE(ci.upper, 1.0);
+  }
+}
+
+TEST(WilsonInterval, KnownValue) {
+  // 50/100 at 95%: Wilson gives roughly [0.404, 0.596].
+  const auto ci = stats::wilson_interval(50, 100, 0.95);
+  EXPECT_NEAR(ci.lower, 0.404, 0.002);
+  EXPECT_NEAR(ci.upper, 0.596, 0.002);
+}
+
+TEST(WilsonInterval, ZeroSuccessesHasPositiveUpperBound) {
+  const auto ci = stats::wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_LT(ci.upper, 0.15);
+}
+
+TEST(WilsonInterval, ShrinksWithSampleSize) {
+  const auto small = stats::wilson_interval(5, 10);
+  const auto large = stats::wilson_interval(500, 1000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(WilsonInterval, Validation) {
+  EXPECT_THROW(stats::wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW(stats::wilson_interval(5, 4), std::invalid_argument);
+  EXPECT_THROW(stats::wilson_interval(1, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(stats::wilson_interval(1, 10, 1.0), std::invalid_argument);
+}
+
+TEST(MeanInterval, SymmetricAroundMean) {
+  const auto ci = stats::mean_interval(100.0, 10.0, 25);
+  EXPECT_NEAR((ci.lower + ci.upper) / 2.0, 100.0, 1e-12);
+  // margin = 1.96 * 10 / 5 = 3.92.
+  EXPECT_NEAR(ci.upper - 100.0, 3.92, 0.01);
+}
+
+TEST(MeanInterval, HigherConfidenceIsWider) {
+  const auto ci90 = stats::mean_interval(0.0, 1.0, 100, 0.90);
+  const auto ci99 = stats::mean_interval(0.0, 1.0, 100, 0.99);
+  EXPECT_GT(ci99.width(), ci90.width());
+}
+
+TEST(MeanInterval, Validation) {
+  EXPECT_THROW(stats::mean_interval(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(stats::mean_interval(0.0, -1.0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dls/analysis.hpp"
+#include "dls/extended.hpp"
+#include "dls/nonadaptive.hpp"
+
+namespace cdsf::dls {
+namespace {
+
+TechniqueParams params(std::size_t workers, std::int64_t total) {
+  TechniqueParams p;
+  p.workers = workers;
+  p.total_iterations = total;
+  return p;
+}
+
+SchedulingContext ctx(std::int64_t remaining, std::size_t worker) {
+  return SchedulingContext{remaining, worker, 0.0};
+}
+
+// ------------------------------------------------------------------ TFSS --
+
+TEST(Tfss, FirstBatchChunkIsAverageOfFirstPTssChunks) {
+  // N = 1000, P = 4: TSS starts at 125 and decreases by ~1 per step; the
+  // first TFSS plateau is the mean of the first 4 TSS chunks.
+  TrapezoidSelfScheduling tss(params(4, 1000));
+  double expected = 0.0;
+  std::int64_t remaining = 1000;
+  for (int i = 0; i < 4; ++i) {
+    const std::int64_t chunk = tss.next_chunk(ctx(remaining, 0));
+    expected += static_cast<double>(chunk);
+    remaining -= chunk;
+  }
+  TrapezoidFactoring tfss(params(4, 1000));
+  EXPECT_NEAR(static_cast<double>(tfss.next_chunk(ctx(1000, 0))), expected / 4.0, 1.0);
+}
+
+TEST(Tfss, BatchPlateausDecrease) {
+  TrapezoidFactoring technique(params(4, 2000));
+  std::int64_t remaining = 2000;
+  std::vector<std::int64_t> plateau_sizes;
+  std::int64_t previous = 1 << 30;
+  while (remaining > 0) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, 0));
+    if (chunk != previous) {
+      plateau_sizes.push_back(chunk);
+      previous = chunk;
+    }
+    remaining -= chunk;
+  }
+  EXPECT_GE(plateau_sizes.size(), 3u);
+  for (std::size_t i = 1; i < plateau_sizes.size(); ++i) {
+    EXPECT_LE(plateau_sizes[i], plateau_sizes[i - 1]);
+  }
+}
+
+TEST(Tfss, DrainsExactly) {
+  const ScheduleAnalysis analysis = analyze_schedule(TechniqueId::kTFSS, 3333, 5);
+  std::int64_t sum = 0;
+  for (const ScheduledChunk& chunk : analysis.chunks) sum += chunk.size;
+  EXPECT_EQ(sum, 3333);
+}
+
+TEST(Tfss, ResetRestartsSchedule) {
+  TrapezoidFactoring technique(params(4, 1000));
+  const std::int64_t first = technique.next_chunk(ctx(1000, 0));
+  technique.next_chunk(ctx(800, 1));
+  technique.reset();
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), first);
+}
+
+// ------------------------------------------------------------------- RND --
+
+TEST(Rnd, ChunksStayWithinPublishedBounds) {
+  RandomChunking technique(params(4, 10000));
+  EXPECT_EQ(technique.lower_bound(), 25);    // N / (100 P)
+  EXPECT_EQ(technique.upper_bound(), 1250);  // N / (2 P)
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t chunk = technique.next_chunk(ctx(10000, 0));
+    EXPECT_GE(chunk, 25);
+    EXPECT_LE(chunk, 1250);
+  }
+}
+
+TEST(Rnd, DeterministicGivenSeedAndResettable) {
+  TechniqueParams p = params(4, 10000);
+  p.seed = 99;
+  RandomChunking a(p);
+  RandomChunking b(p);
+  std::vector<std::int64_t> first;
+  for (int i = 0; i < 20; ++i) {
+    const std::int64_t chunk = a.next_chunk(ctx(10000, 0));
+    EXPECT_EQ(chunk, b.next_chunk(ctx(10000, 0)));
+    first.push_back(chunk);
+  }
+  a.reset();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_chunk(ctx(10000, 0)), first[i]);
+}
+
+TEST(Rnd, TinyLoopBoundsClampSanely) {
+  RandomChunking technique(params(8, 10));
+  EXPECT_EQ(technique.lower_bound(), 1);
+  EXPECT_GE(technique.upper_bound(), 1);
+  const std::int64_t chunk = technique.next_chunk(ctx(3, 0));
+  EXPECT_GE(chunk, 1);
+  EXPECT_LE(chunk, 3);
+}
+
+// ------------------------------------------------------------------- PLS --
+
+TEST(Pls, StaticPrefixThenGuidedRemainder) {
+  TechniqueParams p = params(4, 1000);
+  p.static_workload_ratio = 0.5;
+  PerformanceLoopScheduling technique(p);
+  EXPECT_EQ(technique.static_chunk(), 125);  // 0.5 * 1000 / 4
+  std::int64_t remaining = 1000;
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(technique.next_chunk(ctx(remaining, w)), 125) << "w=" << w;
+    remaining -= 125;
+  }
+  // Remainder is GSS: ceil(500 / 4) = 125 for the first dynamic request.
+  EXPECT_EQ(technique.next_chunk(ctx(remaining, 0)), 125);
+  EXPECT_EQ(technique.next_chunk(ctx(300, 1)), 75);
+}
+
+TEST(Pls, SwrZeroDegradesToGss) {
+  TechniqueParams p = params(4, 1000);
+  p.static_workload_ratio = 0.0;
+  PerformanceLoopScheduling pls(p);
+  GuidedSelfScheduling gss(params(4, 1000));
+  std::int64_t remaining = 1000;
+  for (int i = 0; i < 10 && remaining > 0; ++i) {
+    const std::size_t w = static_cast<std::size_t>(i) % 4;
+    const std::int64_t a = pls.next_chunk(ctx(remaining, w));
+    const std::int64_t b = gss.next_chunk(ctx(remaining, w));
+    EXPECT_EQ(a, b);
+    remaining -= a;
+  }
+}
+
+TEST(Pls, SwrOneMatchesStaticShares) {
+  TechniqueParams p = params(4, 1000);
+  p.static_workload_ratio = 1.0;
+  PerformanceLoopScheduling technique(p);
+  std::int64_t remaining = 1000;
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(technique.next_chunk(ctx(remaining, w)), 250);
+    remaining -= 250;
+  }
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST(Pls, Validation) {
+  TechniqueParams p = params(4, 1000);
+  p.static_workload_ratio = 1.5;
+  EXPECT_THROW(PerformanceLoopScheduling{p}, std::invalid_argument);
+  PerformanceLoopScheduling ok(params(4, 1000));
+  EXPECT_THROW(ok.next_chunk(ctx(10, 9)), std::out_of_range);
+}
+
+TEST(Pls, ResetRestoresStaticShares) {
+  PerformanceLoopScheduling technique(params(2, 100));
+  const std::int64_t first = technique.next_chunk(ctx(100, 0));
+  technique.next_chunk(ctx(100 - first, 0));  // dynamic now
+  technique.reset();
+  EXPECT_EQ(technique.next_chunk(ctx(100, 0)), first);
+}
+
+}  // namespace
+}  // namespace cdsf::dls

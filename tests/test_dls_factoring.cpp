@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dls/factoring.hpp"
+
+namespace cdsf::dls {
+namespace {
+
+TechniqueParams params(std::size_t workers, std::int64_t total) {
+  TechniqueParams p;
+  p.workers = workers;
+  p.total_iterations = total;
+  return p;
+}
+
+SchedulingContext ctx(std::int64_t remaining, std::size_t worker) {
+  return SchedulingContext{remaining, worker, 0.0};
+}
+
+// ------------------------------------------------------------------- FAC --
+
+TEST(Fac, DefaultIsFactorTwo) {
+  Factoring technique(params(4, 1000));
+  EXPECT_DOUBLE_EQ(technique.batch_fraction(), 0.5);
+}
+
+TEST(Fac, FirstBatchChunksAreHalfShare) {
+  Factoring technique(params(4, 1000));
+  // First batch: 500 iterations -> 4 chunks of 125.
+  std::int64_t remaining = 1000;
+  for (std::size_t w = 0; w < 4; ++w) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, w));
+    EXPECT_EQ(chunk, 125);
+    remaining -= chunk;
+  }
+  // Second batch: 250 -> chunks of 63 (ceil).
+  EXPECT_EQ(technique.next_chunk(ctx(remaining, 0)), 63);
+}
+
+TEST(Fac, BatchSizesHalve) {
+  Factoring technique(params(2, 1024));
+  std::int64_t remaining = 1024;
+  std::vector<std::int64_t> firsts;
+  while (remaining > 0) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, 0));
+    firsts.push_back(chunk);
+    remaining -= chunk;
+  }
+  // First chunk of each batch halves: 256, 256, 128, 128, 64, ...
+  EXPECT_EQ(firsts[0], 256);
+  EXPECT_EQ(firsts[1], 256);
+  EXPECT_EQ(firsts[2], 128);
+  EXPECT_EQ(firsts[3], 128);
+  const std::int64_t scheduled = std::accumulate(firsts.begin(), firsts.end(), std::int64_t{0});
+  EXPECT_EQ(scheduled, 1024);
+}
+
+TEST(Fac, ProbabilisticFractionRequiresOptIn) {
+  TechniqueParams p = params(8, 7600);
+  p.mean_iteration_time = 1.0;
+  p.stddev_iteration_time = 0.3;
+  Factoring fac2(p);
+  EXPECT_DOUBLE_EQ(fac2.batch_fraction(), 0.5);
+
+  p.probabilistic_factoring = true;
+  Factoring fac_p(p);
+  // Low iteration variance => fraction approaches 1 (near-static batches).
+  EXPECT_GT(fac_p.batch_fraction(), 0.9);
+  EXPECT_LE(fac_p.batch_fraction(), 1.0);
+}
+
+TEST(Fac, ProbabilisticFractionShrinksWithVariance) {
+  TechniqueParams p = params(8, 7600);
+  p.probabilistic_factoring = true;
+  p.mean_iteration_time = 1.0;
+  p.stddev_iteration_time = 0.3;
+  const double low_var = Factoring(p).batch_fraction();
+  p.stddev_iteration_time = 10.0;
+  const double high_var = Factoring(p).batch_fraction();
+  EXPECT_LT(high_var, low_var);
+}
+
+TEST(Fac, ResetStartsNewSchedule) {
+  Factoring technique(params(4, 1000));
+  technique.next_chunk(ctx(1000, 0));
+  technique.reset();
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 125);
+}
+
+TEST(Fac, NeverExceedsRemaining) {
+  Factoring technique(params(4, 10));
+  std::int64_t remaining = 10;
+  while (remaining > 0) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, 0));
+    EXPECT_GE(chunk, 1);
+    EXPECT_LE(chunk, remaining);
+    remaining -= chunk;
+  }
+}
+
+// -------------------------------------------------------------------- WF --
+
+TEST(Wf, UniformWeightsMatchFactoring) {
+  WeightedFactoring wf(params(4, 1000));
+  Factoring fac(params(4, 1000));
+  std::int64_t remaining = 1000;
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(wf.next_chunk(ctx(remaining, w)), fac.next_chunk(ctx(remaining, w)));
+    remaining -= 125;
+  }
+}
+
+TEST(Wf, WeightsScaleChunks) {
+  TechniqueParams p = params(2, 1000);
+  p.weights = {3.0, 1.0};  // worker 0 is 3x as capable
+  WeightedFactoring technique(p);
+  // Batch = 500; worker 0 share = 500 * (1.5/2) = 375, worker 1 = 125.
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 375);
+  EXPECT_EQ(technique.next_chunk(ctx(625, 1)), 125);
+}
+
+TEST(Wf, WeightsExposedNormalizedToMeanOne) {
+  TechniqueParams p = params(2, 100);
+  p.weights = {2.0, 6.0};
+  WeightedFactoring technique(p);
+  ASSERT_EQ(technique.weights().size(), 2u);
+  EXPECT_DOUBLE_EQ(technique.weights()[0], 0.5);
+  EXPECT_DOUBLE_EQ(technique.weights()[1], 1.5);
+}
+
+TEST(Wf, SlowWorkerStillGetsAtLeastOne) {
+  TechniqueParams p = params(2, 100);
+  p.weights = {1000.0, 0.001};
+  WeightedFactoring technique(p);
+  EXPECT_GE(technique.next_chunk(ctx(100, 1)), 1);
+}
+
+TEST(Wf, BatchBookkeepingDrainsExactly) {
+  TechniqueParams p = params(3, 777);
+  p.weights = {1.0, 2.0, 3.0};
+  WeightedFactoring technique(p);
+  std::int64_t remaining = 777;
+  std::size_t w = 0;
+  while (remaining > 0) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, w));
+    ASSERT_GE(chunk, 1);
+    ASSERT_LE(chunk, remaining);
+    remaining -= chunk;
+    w = (w + 1) % 3;
+  }
+  SUCCEED();
+}
+
+TEST(Wf, InvalidWeightsThrow) {
+  TechniqueParams p = params(2, 100);
+  p.weights = {1.0, -1.0};
+  EXPECT_THROW(WeightedFactoring{p}, std::invalid_argument);
+  p.weights = {1.0, 2.0, 3.0};  // wrong size
+  EXPECT_THROW(WeightedFactoring{p}, std::invalid_argument);
+}
+
+// ------------------------------------------------------- params guards --
+
+TEST(Params, ValidationCatchesDegenerates) {
+  EXPECT_THROW(Factoring(params(0, 100)), std::invalid_argument);
+  EXPECT_THROW(Factoring(params(4, 0)), std::invalid_argument);
+  TechniqueParams p = params(2, 100);
+  p.mean_iteration_time = -1.0;
+  EXPECT_THROW(Factoring{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::dls

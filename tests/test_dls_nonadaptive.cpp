@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "dls/nonadaptive.hpp"
+
+namespace cdsf::dls {
+namespace {
+
+TechniqueParams params(std::size_t workers, std::int64_t total) {
+  TechniqueParams p;
+  p.workers = workers;
+  p.total_iterations = total;
+  return p;
+}
+
+SchedulingContext ctx(std::int64_t remaining, std::size_t worker) {
+  return SchedulingContext{remaining, worker, 0.0};
+}
+
+/// Drains the technique round-robin and returns per-dispatch chunk sizes.
+std::vector<std::int64_t> drain(Technique& technique, std::int64_t total, std::size_t workers) {
+  std::vector<std::int64_t> chunks;
+  std::int64_t remaining = total;
+  std::size_t worker = 0;
+  std::vector<bool> done(workers, false);
+  std::size_t done_count = 0;
+  while (remaining > 0 && done_count < workers) {
+    if (!done[worker]) {
+      const std::int64_t chunk = technique.next_chunk(ctx(remaining, worker));
+      if (chunk <= 0) {
+        done[worker] = true;
+        ++done_count;
+      } else {
+        EXPECT_LE(chunk, remaining);
+        chunks.push_back(chunk);
+        remaining -= chunk;
+      }
+    }
+    worker = (worker + 1) % workers;
+  }
+  EXPECT_EQ(remaining, 0) << "technique failed to schedule all iterations";
+  return chunks;
+}
+
+// ---------------------------------------------------------------- STATIC --
+
+TEST(Static, EqualSharesExactlyOnce) {
+  StaticScheduling technique(params(4, 100));
+  std::int64_t remaining = 100;
+  for (std::size_t w = 0; w < 4; ++w) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, w));
+    EXPECT_EQ(chunk, 25);
+    remaining -= chunk;
+  }
+  EXPECT_EQ(remaining, 0);
+  // Second request from any worker yields nothing.
+  EXPECT_EQ(technique.next_chunk(ctx(10, 0)), 0);
+}
+
+TEST(Static, RemainderGoesToFirstWorkers) {
+  StaticScheduling technique(params(4, 10));
+  std::int64_t remaining = 10;
+  std::vector<std::int64_t> shares;
+  for (std::size_t w = 0; w < 4; ++w) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, w));
+    shares.push_back(chunk);
+    remaining -= chunk;
+  }
+  EXPECT_EQ(shares, (std::vector<std::int64_t>{3, 3, 2, 2}));
+}
+
+TEST(Static, MoreWorkersThanIterations) {
+  StaticScheduling technique(params(8, 3));
+  std::int64_t remaining = 3;
+  int nonzero = 0;
+  for (std::size_t w = 0; w < 8 && remaining > 0; ++w) {
+    const std::int64_t chunk = technique.next_chunk(ctx(remaining, w));
+    if (chunk > 0) {
+      ++nonzero;
+      remaining -= chunk;
+    }
+  }
+  EXPECT_EQ(nonzero, 3);
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST(Static, ResetRestoresShares) {
+  StaticScheduling technique(params(2, 10));
+  EXPECT_EQ(technique.next_chunk(ctx(10, 0)), 5);
+  technique.reset();
+  EXPECT_EQ(technique.next_chunk(ctx(10, 0)), 5);
+}
+
+TEST(Static, BadWorkerIndexThrows) {
+  StaticScheduling technique(params(2, 10));
+  EXPECT_THROW(technique.next_chunk(ctx(10, 5)), std::out_of_range);
+}
+
+// -------------------------------------------------------------------- SS --
+
+TEST(SelfScheduling, AlwaysOne) {
+  SelfScheduling technique(params(4, 100));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(technique.next_chunk(ctx(100 - i, 0)), 1);
+}
+
+TEST(SelfScheduling, DrainsEverything) {
+  SelfScheduling technique(params(3, 17));
+  const auto chunks = drain(technique, 17, 3);
+  EXPECT_EQ(chunks.size(), 17u);
+}
+
+// ------------------------------------------------------------------- FSC --
+
+TEST(Fsc, KruskalWeissFormula) {
+  TechniqueParams p = params(8, 10000);
+  p.mean_iteration_time = 1.0;
+  p.stddev_iteration_time = 0.5;
+  p.scheduling_overhead = 2.0;
+  FixedSizeChunking technique(p);
+  // K = (sqrt(2) * 10000 * 2 / (0.5 * 8 * sqrt(ln 8)))^(2/3) ~ 289.
+  EXPECT_NEAR(static_cast<double>(technique.chunk_size()), 289.0, 2.0);
+}
+
+TEST(Fsc, FallbackWithoutHints) {
+  FixedSizeChunking technique(params(4, 1000));
+  EXPECT_EQ(technique.chunk_size(), 125);  // N / (2P)
+}
+
+TEST(Fsc, ConstantChunksDrainAll) {
+  TechniqueParams p = params(4, 1000);
+  p.mean_iteration_time = 1.0;
+  p.stddev_iteration_time = 0.3;
+  p.scheduling_overhead = 0.5;
+  FixedSizeChunking technique(p);
+  const auto chunks = drain(technique, 1000, 4);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i], technique.chunk_size());
+  }
+  EXPECT_LE(chunks.back(), technique.chunk_size());
+}
+
+// ------------------------------------------------------------------- GSS --
+
+TEST(Gss, CeilRemainingOverWorkers) {
+  GuidedSelfScheduling technique(params(4, 100));
+  EXPECT_EQ(technique.next_chunk(ctx(100, 0)), 25);
+  EXPECT_EQ(technique.next_chunk(ctx(75, 1)), 19);  // ceil(75/4)
+  EXPECT_EQ(technique.next_chunk(ctx(3, 2)), 1);
+  EXPECT_EQ(technique.next_chunk(ctx(1, 3)), 1);
+}
+
+TEST(Gss, ChunksDecreaseMonotonically) {
+  GuidedSelfScheduling technique(params(8, 4096));
+  const auto chunks = drain(technique, 4096, 8);
+  for (std::size_t i = 1; i < chunks.size(); ++i) EXPECT_LE(chunks[i], chunks[i - 1]);
+}
+
+TEST(Gss, SingleWorkerTakesAll) {
+  GuidedSelfScheduling technique(params(1, 50));
+  EXPECT_EQ(technique.next_chunk(ctx(50, 0)), 50);
+}
+
+// ------------------------------------------------------------------- TSS --
+
+TEST(Tss, FirstChunkIsHalfShare) {
+  TrapezoidSelfScheduling technique(params(4, 1000));
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), 125);  // N / (2P)
+}
+
+TEST(Tss, LinearDecrease) {
+  TrapezoidSelfScheduling technique(params(4, 1000));
+  const auto chunks = drain(technique, 1000, 4);
+  for (std::size_t i = 1; i + 1 < chunks.size(); ++i) {
+    EXPECT_LE(chunks[i], chunks[i - 1]);
+    // Decrement is constant between full-size steps.
+    if (i + 2 < chunks.size()) {
+      EXPECT_NEAR(static_cast<double>(chunks[i - 1] - chunks[i]),
+                  static_cast<double>(chunks[i] - chunks[i + 1]), 1.5);
+    }
+  }
+}
+
+TEST(Tss, ResetRestartsSchedule) {
+  TrapezoidSelfScheduling technique(params(4, 1000));
+  const std::int64_t first = technique.next_chunk(ctx(1000, 0));
+  technique.next_chunk(ctx(875, 1));
+  technique.reset();
+  EXPECT_EQ(technique.next_chunk(ctx(1000, 0)), first);
+}
+
+TEST(Tss, TinyLoopStillWorks) {
+  TrapezoidSelfScheduling technique(params(4, 4));
+  const auto chunks = drain(technique, 4, 4);
+  EXPECT_GE(chunks.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cdsf::dls

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "dls/registry.hpp"
+
+namespace cdsf::dls {
+namespace {
+
+TechniqueParams params() {
+  TechniqueParams p;
+  p.workers = 4;
+  p.total_iterations = 1000;
+  return p;
+}
+
+TEST(Registry, AllTechniquesConstructAndReportTheirName) {
+  for (TechniqueId id : all_techniques()) {
+    const auto technique = make_technique(id, params());
+    ASSERT_NE(technique, nullptr);
+    EXPECT_EQ(technique->name(), technique_name(id));
+  }
+}
+
+TEST(Registry, SixteenTechniques) { EXPECT_EQ(all_techniques().size(), 16u); }
+
+TEST(Registry, NameRoundTrip) {
+  for (TechniqueId id : all_techniques()) {
+    EXPECT_EQ(technique_from_name(technique_name(id)), id);
+  }
+  EXPECT_THROW(technique_from_name("NOPE"), std::invalid_argument);
+  EXPECT_THROW(technique_from_name("fac"), std::invalid_argument);  // case-sensitive
+}
+
+TEST(Registry, PaperRobustSetMatchesSectionFour) {
+  const auto& set = paper_robust_set();
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0], TechniqueId::kFAC);
+  EXPECT_EQ(set[1], TechniqueId::kWF);
+  EXPECT_EQ(set[2], TechniqueId::kAWF_B);
+  EXPECT_EQ(set[3], TechniqueId::kAF);
+}
+
+TEST(Registry, AdaptiveClassification) {
+  EXPECT_FALSE(is_adaptive(TechniqueId::kStatic));
+  EXPECT_FALSE(is_adaptive(TechniqueId::kFAC));
+  EXPECT_FALSE(is_adaptive(TechniqueId::kWF));
+  EXPECT_TRUE(is_adaptive(TechniqueId::kAWF_B));
+  EXPECT_TRUE(is_adaptive(TechniqueId::kAF));
+}
+
+TEST(Registry, EveryTechniqueSchedulesAllIterations) {
+  for (TechniqueId id : all_techniques()) {
+    const auto technique = make_technique(id, params());
+    std::int64_t remaining = 1000;
+    std::size_t worker = 0;
+    std::vector<bool> done(4, false);
+    std::size_t done_count = 0;
+    int guard = 0;
+    while (remaining > 0 && done_count < 4 && ++guard < 100000) {
+      if (!done[worker]) {
+        const std::int64_t chunk =
+            technique->next_chunk(SchedulingContext{remaining, worker, 0.0});
+        if (chunk <= 0) {
+          done[worker] = true;
+          ++done_count;
+        } else {
+          ASSERT_LE(chunk, remaining) << technique_name(id);
+          remaining -= chunk;
+          technique->record(ChunkResult{worker, chunk, static_cast<double>(chunk),
+                                        static_cast<double>(chunk) + 0.5});
+        }
+      }
+      worker = (worker + 1) % 4;
+    }
+    EXPECT_EQ(remaining, 0) << technique_name(id);
+  }
+}
+
+TEST(Registry, ResetAllowsRescheduling) {
+  for (TechniqueId id : all_techniques()) {
+    const auto technique = make_technique(id, params());
+    const std::int64_t first = technique->next_chunk(SchedulingContext{1000, 0, 0.0});
+    technique->reset();
+    EXPECT_EQ(technique->next_chunk(SchedulingContext{1000, 0, 0.0}), first)
+        << technique_name(id);
+  }
+}
+
+}  // namespace
+}  // namespace cdsf::dls

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "cdsf/dynamic_manager.hpp"
+#include "sysmodel/cases.hpp"
+
+namespace cdsf::core {
+namespace {
+
+DynamicConfig small_config() {
+  DynamicConfig config;
+  config.applications = 12;
+  config.mean_interarrival = 1000.0;
+  config.deadline_slack = 8000.0;
+  config.application_spec.processor_types = 2;
+  config.application_spec.min_total_iterations = 500;
+  config.application_spec.max_total_iterations = 2000;
+  config.application_spec.min_mean_time = 1500.0;
+  config.application_spec.max_mean_time = 6000.0;
+  return config;
+}
+
+class DynamicManagerTest : public ::testing::Test {
+ protected:
+  DynamicManagerTest()
+      : platform_(sysmodel::paper_platform()),
+        reference_(sysmodel::paper_case(1)),
+        degraded_(sysmodel::paper_case(4)) {}
+
+  sysmodel::Platform platform_;
+  sysmodel::AvailabilitySpec reference_;
+  sysmodel::AvailabilitySpec degraded_;
+};
+
+TEST_F(DynamicManagerTest, EveryApplicationIsServedExactlyOnce) {
+  const DynamicRunResult result =
+      run_dynamic_manager(platform_, reference_, reference_, small_config(), 3);
+  ASSERT_EQ(result.outcomes.size(), 12u);
+  for (const DynamicOutcome& outcome : result.outcomes) {
+    EXPECT_GE(outcome.start_time, outcome.arrival_time);
+    EXPECT_GT(outcome.completion_time, outcome.start_time);
+    EXPECT_GE(outcome.group.processors, 1u);
+    EXPECT_GE(outcome.probability, 0.0);
+    EXPECT_LE(outcome.probability, 1.0);
+  }
+}
+
+TEST_F(DynamicManagerTest, CapacityNeverExceeded) {
+  // Replay the outcome intervals and check the concurrent processor usage
+  // per type at every start event.
+  const DynamicRunResult result =
+      run_dynamic_manager(platform_, reference_, reference_, small_config(), 7);
+  for (const DynamicOutcome& probe : result.outcomes) {
+    std::vector<std::size_t> used(platform_.type_count(), 0);
+    for (const DynamicOutcome& other : result.outcomes) {
+      if (other.start_time <= probe.start_time && other.completion_time > probe.start_time) {
+        used[other.group.processor_type] += other.group.processors;
+      }
+    }
+    for (std::size_t j = 0; j < platform_.type_count(); ++j) {
+      EXPECT_LE(used[j], platform_.processors_of_type(j)) << "type " << j;
+    }
+  }
+}
+
+TEST_F(DynamicManagerTest, DeterministicGivenSeed) {
+  const DynamicRunResult a =
+      run_dynamic_manager(platform_, reference_, reference_, small_config(), 11);
+  const DynamicRunResult b =
+      run_dynamic_manager(platform_, reference_, reference_, small_config(), 11);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].completion_time, b.outcomes[i].completion_time);
+    EXPECT_EQ(a.outcomes[i].group, b.outcomes[i].group);
+  }
+}
+
+TEST_F(DynamicManagerTest, SparseArrivalsStartImmediately) {
+  DynamicConfig config = small_config();
+  config.mean_interarrival = 100000.0;  // system always empty on arrival
+  const DynamicRunResult result =
+      run_dynamic_manager(platform_, reference_, reference_, config, 5);
+  EXPECT_NEAR(result.mean_queueing_delay, 0.0, 1e-9);
+  for (const DynamicOutcome& outcome : result.outcomes) {
+    EXPECT_DOUBLE_EQ(outcome.start_time, outcome.arrival_time);
+  }
+}
+
+TEST_F(DynamicManagerTest, SaturationBuildsQueueAndRaisesUtilization) {
+  DynamicConfig sparse = small_config();
+  sparse.mean_interarrival = 100000.0;
+  DynamicConfig dense = small_config();
+  dense.mean_interarrival = 50.0;
+  const DynamicRunResult idle =
+      run_dynamic_manager(platform_, reference_, reference_, sparse, 9);
+  const DynamicRunResult congested =
+      run_dynamic_manager(platform_, reference_, reference_, dense, 9);
+  EXPECT_GT(congested.mean_queueing_delay, idle.mean_queueing_delay);
+  EXPECT_GT(congested.utilization, idle.utilization);
+}
+
+TEST_F(DynamicManagerTest, DegradedRuntimeHurtsHitRate) {
+  DynamicConfig config = small_config();
+  config.deadline_slack = 5000.0;
+  const double good =
+      run_dynamic_manager(platform_, reference_, reference_, config, 13).deadline_hit_rate;
+  const double bad =
+      run_dynamic_manager(platform_, reference_, degraded_, config, 13).deadline_hit_rate;
+  EXPECT_LE(bad, good);
+}
+
+TEST_F(DynamicManagerTest, Validation) {
+  DynamicConfig config = small_config();
+  config.applications = 0;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+  config = small_config();
+  config.mean_interarrival = 0.0;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+  config = small_config();
+  config.deadline_slack = 0.0;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- PMF risk metrics --
+
+TEST(RiskMetrics, CvarKnownValues) {
+  const pmf::Pmf p = pmf::Pmf::from_pulses({{1.0, 0.5}, {3.0, 0.25}, {11.0, 0.25}});
+  EXPECT_NEAR(p.conditional_value_at_risk(0.0), p.expectation(), 1e-12);
+  EXPECT_NEAR(p.conditional_value_at_risk(0.75), 11.0, 1e-12);   // worst quarter
+  EXPECT_NEAR(p.conditional_value_at_risk(0.5), 7.0, 1e-12);     // (3 + 11) / 2
+  // Straddling boundary: worst 40% = 11 (25%) + 3 (15%) -> (11*.25+3*.15)/.4
+  EXPECT_NEAR(p.conditional_value_at_risk(0.6), (11.0 * 0.25 + 3.0 * 0.15) / 0.4, 1e-12);
+  EXPECT_THROW(p.conditional_value_at_risk(1.0), std::invalid_argument);
+  EXPECT_THROW(p.conditional_value_at_risk(-0.1), std::invalid_argument);
+}
+
+TEST(RiskMetrics, CvarMonotoneInAlpha) {
+  const pmf::Pmf p = pmf::Pmf::uniform_over({1, 2, 3, 4, 5, 6, 7, 8});
+  double prev = p.expectation();
+  for (double alpha = 0.1; alpha < 0.95; alpha += 0.1) {
+    const double cvar = p.conditional_value_at_risk(alpha);
+    EXPECT_GE(cvar, prev - 1e-12);
+    prev = cvar;
+  }
+}
+
+TEST(RiskMetrics, ExpectedTardiness) {
+  const pmf::Pmf p = pmf::Pmf::from_pulses({{100.0, 0.5}, {300.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.expected_tardiness(300.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.expected_tardiness(200.0), 50.0);
+  EXPECT_DOUBLE_EQ(p.expected_tardiness(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(p.expected_tardiness(1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cdsf::core

@@ -1,0 +1,181 @@
+// Systematic edge-case coverage across modules: degenerate sizes, boundary
+// values, and pathological-but-legal inputs.
+#include <gtest/gtest.h>
+
+#include "cdsf/framework.hpp"
+#include "cdsf/paper_example.hpp"
+#include "pmf/ops.hpp"
+#include "sim/loop_executor.hpp"
+#include "sysmodel/cases.hpp"
+#include "test_support.hpp"
+
+namespace cdsf {
+namespace {
+
+// --------------------------------------------------------- 1-sized worlds --
+
+TEST(EdgeCases, OneIterationOneWorkerEveryTechnique) {
+  const auto app = test::simple_app("tiny", 0, 1, {1.0});
+  for (dls::TechniqueId id : dls::all_techniques()) {
+    sim::SimConfig config;
+    config.iteration_cov = 0.0;
+    config.availability_mode = sim::AvailabilityMode::kConstantMean;
+    const sim::RunResult run =
+        sim::simulate_loop(app, 0, 1, test::full_availability(1), id, config, 1);
+    EXPECT_NEAR(run.makespan, 1.0 + config.scheduling_overhead, 1e-9)
+        << dls::technique_name(id);
+    EXPECT_EQ(run.total_chunks, 1u) << dls::technique_name(id);
+  }
+}
+
+TEST(EdgeCases, OneApplicationBatchThroughTheFramework) {
+  workload::Batch batch;
+  batch.add(test::simple_app("solo", 100, 900, {1000.0, 2000.0}));
+  const core::Framework framework(batch, sysmodel::paper_platform(), sysmodel::paper_case(1),
+                                  5000.0);
+  const core::StageOneResult stage1 = framework.run_stage_one(ra::ExhaustiveOptimal());
+  EXPECT_EQ(stage1.allocation.size(), 1u);
+  EXPECT_GT(stage1.phi1, 0.0);
+  core::StageTwoConfig config;
+  config.replications = 5;
+  const core::StageTwoResult stage2 = framework.run_stage_two(
+      stage1.allocation, sysmodel::paper_case(1), {dls::TechniqueId::kAF}, config);
+  EXPECT_EQ(stage2.outcomes.size(), 1u);
+}
+
+TEST(EdgeCases, SingleProcessorPlatform) {
+  workload::Batch batch;
+  batch.add(test::simple_app("solo", 10, 90, {100.0}));
+  const sysmodel::Platform platform({{"only", 1}});
+  const sysmodel::AvailabilitySpec avail("a", {pmf::Pmf::delta(1.0)});
+  const ra::RobustnessEvaluator evaluator(batch, avail, 200.0);
+  const ra::Allocation allocation =
+      ra::ExhaustiveOptimal().allocate(evaluator, platform, ra::CountRule::kAny);
+  EXPECT_EQ(allocation.at(0), (ra::GroupAssignment{0, 1}));
+  EXPECT_NEAR(evaluator.joint_probability(allocation), 1.0, 1e-9);
+}
+
+// -------------------------------------------------------- boundary values --
+
+TEST(EdgeCases, PmfSinglePulseEverything) {
+  const pmf::Pmf p = pmf::Pmf::delta(5.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(p.conditional_value_at_risk(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(p.expected_tardiness(5.0), 0.0);
+  EXPECT_EQ(p.compacted(1), p);
+  EXPECT_EQ(pmf::independent_max(p, p).size(), 1u);
+  EXPECT_EQ(pmf::convolve_sum(p, p).value(0), 10.0);
+}
+
+TEST(EdgeCases, PmfExtremeValueMagnitudes) {
+  const pmf::Pmf p = pmf::Pmf::from_pulses({{1e-9, 0.5}, {1e9, 0.5}});
+  EXPECT_NEAR(p.expectation(), 5e8, 1.0);
+  EXPECT_DOUBLE_EQ(p.cdf(1.0), 0.5);
+  const pmf::Pmf c = p.compacted(1);
+  EXPECT_NEAR(c.value(0), 5e8, 1.0);
+}
+
+TEST(EdgeCases, AvailabilityPulseAtExactlyOne) {
+  EXPECT_NO_THROW(sysmodel::AvailabilitySpec("edge", {pmf::Pmf::delta(1.0)}));
+  EXPECT_NO_THROW(sysmodel::ConstantAvailability(1.0));
+}
+
+TEST(EdgeCases, DeadlineExactlyAtAPulse) {
+  // CDF at a pulse includes it: a deadline exactly on a completion value
+  // counts as meeting it (<=, per the paper's Pr(Psi <= Delta)).
+  const pmf::Pmf p = pmf::Pmf::from_pulses({{100.0, 0.5}, {200.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.cdf(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.cdf(200.0), 1.0);
+}
+
+// ------------------------------------------------------ framework corners --
+
+TEST(EdgeCases, ZeroSerialIterationsThroughEverything) {
+  workload::Batch batch;
+  batch.add(workload::Application(
+      "nos", 0, 1000, {workload::TimeLaw{workload::TimeLawKind::kNormal, 1000.0, 0.1},
+                       workload::TimeLaw{workload::TimeLawKind::kNormal, 2000.0, 0.1}}));
+  const core::Framework framework(batch, sysmodel::paper_platform(), sysmodel::paper_case(1),
+                                  3000.0);
+  const core::StageOneResult stage1 = framework.run_stage_one(ra::GreedyRobustness());
+  EXPECT_DOUBLE_EQ(batch.at(0).split().serial_fraction, 0.0);
+  EXPECT_GT(stage1.phi1, 0.0);
+}
+
+TEST(EdgeCases, HugeDeadlineSaturatesEverything) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(), 1e15);
+  for (const auto& heuristic : ra::all_heuristics(true)) {
+    const ra::Allocation allocation =
+        heuristic->allocate(evaluator, example.platform, ra::CountRule::kPowerOfTwo);
+    EXPECT_NEAR(evaluator.joint_probability(allocation), 1.0, 1e-9) << heuristic->name();
+  }
+}
+
+TEST(EdgeCases, ImpossibleDeadlineGivesZeroEverywhere) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(), 1.0);
+  const std::vector<ra::Allocation> all =
+      ra::enumerate_feasible(3, example.platform, ra::CountRule::kPowerOfTwo);
+  for (const ra::Allocation& allocation : all) {
+    EXPECT_DOUBLE_EQ(evaluator.joint_probability(allocation), 0.0);
+  }
+  // Heuristics still return SOME feasible allocation (all are equally bad).
+  const ra::Allocation chosen = ra::GreedyRobustness().allocate(
+      evaluator, example.platform, ra::CountRule::kPowerOfTwo);
+  EXPECT_TRUE(chosen.fits(example.platform));
+}
+
+TEST(EdgeCases, RobustnessReportWithEmptyCaseList) {
+  const auto example = core::make_paper_example();
+  const core::Framework framework(example.batch, example.platform, example.cases.front(),
+                                  example.deadline);
+  core::ScenarioResult scenario;
+  scenario.stage_one = framework.describe_allocation(core::paper_robust_allocation(), "x");
+  const core::RobustnessReport report = framework.robustness_report(scenario, {});
+  EXPECT_EQ(report.rho2_case, -1);
+  EXPECT_LT(report.rho2, 0.0);
+}
+
+// ---------------------------------------------------- simulator boundary --
+
+TEST(EdgeCases, OverheadDominatedRegime) {
+  // Overhead 100x an iteration: SS makespan is essentially chunks * h.
+  const auto app = test::simple_app("o", 0, 100, {100.0});
+  sim::SimConfig config;
+  config.iteration_cov = 0.0;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  config.scheduling_overhead = 100.0;
+  const sim::RunResult run =
+      sim::simulate_loop(app, 0, 4, test::full_availability(1), dls::TechniqueId::kSS,
+                         config, 1);
+  // 25 chunks per worker, each costing ~101.
+  EXPECT_NEAR(run.makespan, 25.0 * 101.0, 5.0);
+}
+
+TEST(EdgeCases, EpochBoundaryExactlyAtChunkEnd) {
+  // A chunk whose work exactly fills one epoch must finish at the boundary.
+  sysmodel::TraceAvailability trace({0.0, 100.0}, {0.5, 1.0});
+  EXPECT_DOUBLE_EQ(trace.finish_time(0.0, 50.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.finish_time(0.0, 50.0 + 1.0), 101.0);
+}
+
+TEST(EdgeCases, WorkerCountEqualsIterationCount) {
+  const auto app = test::simple_app("eq", 0, 8, {8.0});
+  for (dls::TechniqueId id : {dls::TechniqueId::kStatic, dls::TechniqueId::kFAC,
+                              dls::TechniqueId::kAF, dls::TechniqueId::kTSS}) {
+    sim::SimConfig config;
+    config.iteration_cov = 0.0;
+    config.availability_mode = sim::AvailabilityMode::kConstantMean;
+    config.scheduling_overhead = 0.0;
+    const sim::RunResult run =
+        sim::simulate_loop(app, 0, 8, test::full_availability(1), id, config, 2);
+    std::int64_t total = 0;
+    for (const auto& w : run.workers) total += w.iterations;
+    EXPECT_EQ(total, 8) << dls::technique_name(id);
+  }
+}
+
+}  // namespace
+}  // namespace cdsf

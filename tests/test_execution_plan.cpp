@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "cdsf/framework.hpp"
+#include "cdsf/paper_example.hpp"
+
+namespace cdsf::core {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest()
+      : example_(make_paper_example()),
+        framework_(example_.batch, example_.platform, example_.cases.front(),
+                   example_.deadline) {
+    StageTwoConfig config;
+    config.replications = 21;
+    config.seed = 7;
+    scenario_ = framework_.run_scenario("plan-test", ra::ExhaustiveOptimal(),
+                                        dls::paper_robust_set(), example_.cases, config);
+  }
+
+  PaperExample example_;
+  Framework framework_;
+  ScenarioResult scenario_;
+};
+
+TEST_F(PlanTest, PlanCarriesAllocationAndWinners) {
+  const Framework::ExecutionPlan plan = framework_.make_plan(scenario_, 0);
+  EXPECT_EQ(plan.allocation, paper_robust_allocation());
+  ASSERT_EQ(plan.techniques.size(), 3u);
+  EXPECT_NEAR(plan.phi1, 0.745, 0.01);
+  // At the reference case every application has a deadline-meeting winner,
+  // so every planned technique is from the robust set.
+  for (dls::TechniqueId id : plan.techniques) {
+    const auto& set = dls::paper_robust_set();
+    EXPECT_NE(std::find(set.begin(), set.end(), id), set.end());
+  }
+}
+
+TEST_F(PlanTest, FallbackUsedWhereNoTechniqueMeets) {
+  // Case 4: app 2 has no deadline-meeting technique; the plan falls back.
+  const Framework::ExecutionPlan plan =
+      framework_.make_plan(scenario_, 3, dls::TechniqueId::kAWF_C);
+  EXPECT_EQ(plan.techniques[1], dls::TechniqueId::kAWF_C);
+}
+
+TEST_F(PlanTest, ExecutePlanRunsTheWholeBatch) {
+  const Framework::ExecutionPlan plan = framework_.make_plan(scenario_, 0);
+  const sim::BatchRunResult run =
+      framework_.execute_plan(plan, example_.cases.front(), sim::SimConfig{}, 11);
+  ASSERT_EQ(run.app_makespans.size(), 3u);
+  EXPECT_GT(run.system_makespan, 0.0);
+  // Deterministic given the seed.
+  const sim::BatchRunResult again =
+      framework_.execute_plan(plan, example_.cases.front(), sim::SimConfig{}, 11);
+  EXPECT_EQ(run.app_makespans, again.app_makespans);
+}
+
+TEST_F(PlanTest, DescribePlanNamesEverything) {
+  const Framework::ExecutionPlan plan = framework_.make_plan(scenario_, 0);
+  const std::string text = framework_.describe_plan(plan);
+  EXPECT_NE(text.find("app1"), std::string::npos);
+  EXPECT_NE(text.find("type2"), std::string::npos);
+  EXPECT_NE(text.find("phi_1"), std::string::npos);
+}
+
+TEST_F(PlanTest, BadCaseIndexThrows) {
+  EXPECT_THROW(framework_.make_plan(scenario_, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cdsf::core

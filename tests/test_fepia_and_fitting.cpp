@@ -1,0 +1,107 @@
+// Tests for the FePIA robustness radius (reference [3] of the paper) and
+// the Markov-model fitting from availability traces.
+#include <gtest/gtest.h>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/robustness.hpp"
+#include "sysmodel/trace_io.hpp"
+
+namespace cdsf {
+namespace {
+
+// ----------------------------------------------------------- FePIA radius --
+
+class FepiaTest : public ::testing::Test {
+ protected:
+  FepiaTest()
+      : example_(core::make_paper_example()),
+        evaluator_(example_.batch, example_.cases.front(), example_.deadline) {}
+
+  core::PaperExample example_;
+  ra::RobustnessEvaluator evaluator_;
+};
+
+TEST_F(FepiaTest, SlacksMatchHandComputation) {
+  // Robust allocation, case 1: r_i = E[a_type] - T_par,i / 3250.
+  const std::vector<double> slacks =
+      evaluator_.fepia_slacks(core::paper_robust_allocation());
+  ASSERT_EQ(slacks.size(), 3u);
+  EXPECT_NEAR(slacks[0], 0.875 - 1170.0 / 3250.0, 1e-3);   // app1: 2 x type1
+  EXPECT_NEAR(slacks[1], 0.875 - 1680.0 / 3250.0, 1e-3);   // app2: 2 x type1
+  EXPECT_NEAR(slacks[2], 0.6875 - 1350.0 / 3250.0, 1e-3);  // app3: 8 x type2
+}
+
+TEST_F(FepiaTest, RadiusIsTheMinimumSlack) {
+  const ra::Allocation robust = core::paper_robust_allocation();
+  const std::vector<double> slacks = evaluator_.fepia_slacks(robust);
+  const double radius = evaluator_.fepia_robustness_radius(robust);
+  EXPECT_DOUBLE_EQ(radius, *std::min_element(slacks.begin(), slacks.end()));
+  EXPECT_GT(radius, 0.0);  // robust mapping has positive headroom
+}
+
+TEST_F(FepiaTest, RobustMappingHasLargerRadiusThanNaive) {
+  EXPECT_GT(evaluator_.fepia_robustness_radius(core::paper_robust_allocation()),
+            evaluator_.fepia_robustness_radius(core::paper_naive_allocation()));
+}
+
+TEST_F(FepiaTest, NaiveMappingRadiusIsNegative) {
+  // Naive IM: app3 on 4 x type2 needs 2300/3250 = 0.708 availability but
+  // type 2 offers only 0.6875 in expectation — negative slack.
+  EXPECT_LT(evaluator_.fepia_robustness_radius(core::paper_naive_allocation()), 0.0);
+}
+
+TEST_F(FepiaTest, Validation) {
+  EXPECT_THROW(evaluator_.fepia_slacks(ra::Allocation({{0, 1}})), std::invalid_argument);
+}
+
+// --------------------------------------------------------- Markov fitting --
+
+TEST(MarkovFitting, PersistentTraceFitsHighPersistence) {
+  // Availability holds for 10 epochs at a time.
+  std::string text = "0,1.0\n";
+  for (int block = 1; block < 10; ++block) {
+    text += std::to_string(block * 1000) + "," + (block % 2 ? "0.5" : "1.0") + "\n";
+  }
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text(text);
+  const sysmodel::FittedMarkov fitted = sysmodel::fit_markov_model(trace, 100.0, 10000.0);
+  EXPECT_GT(fitted.persistence, 0.85);
+  EXPECT_NEAR(fitted.law.expectation(), 0.75, 0.01);
+  EXPECT_DOUBLE_EQ(fitted.epoch_length, 100.0);
+}
+
+TEST(MarkovFitting, FastFlippingTraceFitsLowPersistence) {
+  // Availability alternates every epoch.
+  std::string text = "0,1.0\n";
+  for (int e = 1; e < 100; ++e) {
+    text += std::to_string(e * 100) + "," + (e % 2 ? "0.5" : "1.0") + "\n";
+  }
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text(text);
+  const sysmodel::FittedMarkov fitted = sysmodel::fit_markov_model(trace, 100.0, 10000.0);
+  EXPECT_LT(fitted.persistence, 0.15);
+}
+
+TEST(MarkovFitting, ConstantTraceClampsPersistence) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text("0,0.8\n");
+  const sysmodel::FittedMarkov fitted = sysmodel::fit_markov_model(trace, 50.0, 1000.0);
+  EXPECT_NEAR(fitted.persistence, 0.999, 1e-9);  // clamped below 1
+  EXPECT_DOUBLE_EQ(fitted.law.expectation(), 0.8);
+}
+
+TEST(MarkovFitting, FittedModelDrivesTheSimulatorProcess) {
+  const sysmodel::ParsedTrace trace =
+      sysmodel::parse_trace_text("0,1.0\n500,0.5\n1500,1.0\n2500,0.25\n");
+  const sysmodel::FittedMarkov fitted = sysmodel::fit_markov_model(trace, 250.0, 3000.0);
+  // The fitted pieces must be directly consumable.
+  sysmodel::MarkovEpochAvailability process(fitted.law, fitted.epoch_length,
+                                            fitted.persistence, 42);
+  EXPECT_GT(process.availability_at(100.0), 0.0);
+}
+
+TEST(MarkovFitting, Validation) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text("0,0.5\n10,1.0\n");
+  EXPECT_THROW(sysmodel::fit_markov_model(trace, 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(sysmodel::fit_markov_model(trace, 100.0, 150.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf

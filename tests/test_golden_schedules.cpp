@@ -1,0 +1,95 @@
+// Golden chunk-sequence regression tests: the exact dispatch sequences of
+// the closed-form techniques on canonical inputs. Any change to a chunk
+// rule — intended or not — shows up here first.
+#include <gtest/gtest.h>
+
+#include "dls/analysis.hpp"
+
+namespace cdsf::dls {
+namespace {
+
+std::vector<std::int64_t> sizes(TechniqueId id, std::int64_t n, std::size_t p) {
+  std::vector<std::int64_t> out;
+  for (const ScheduledChunk& chunk : analyze_schedule(id, n, p).chunks) {
+    out.push_back(chunk.size);
+  }
+  return out;
+}
+
+TEST(GoldenSchedules, Gss1000x4) {
+  // ceil(R/4) cascade.
+  const std::vector<std::int64_t> expected = {250, 188, 141, 106, 79, 59, 45, 33, 25, 19,
+                                              14,  11,  8,   6,   4,  3,  3,  2,  1,  1,
+                                              1,   1};
+  EXPECT_EQ(sizes(TechniqueId::kGSS, 1000, 4), expected);
+}
+
+TEST(GoldenSchedules, Fac1024x4) {
+  // FAC2: batches of half the remaining, four equal chunks per batch; the
+  // final eight iterations drain as two all-ones batches.
+  const std::vector<std::int64_t> expected = {128, 128, 128, 128, 64, 64, 64, 64, 32, 32,
+                                              32,  32,  16,  16,  16, 16, 8,  8,  8,  8,
+                                              4,   4,   4,   4,   2,  2,  2,  2,  1,  1,
+                                              1,   1,   1,   1,   1,  1};
+  EXPECT_EQ(sizes(TechniqueId::kFAC, 1024, 4), expected);
+}
+
+TEST(GoldenSchedules, Tss1000x4FirstAndLast) {
+  const std::vector<std::int64_t> chunks = sizes(TechniqueId::kTSS, 1000, 4);
+  EXPECT_EQ(chunks.front(), 125);  // N / 2P
+  EXPECT_LE(chunks.back(), 8);     // decayed to near the minimum
+  // Linear decrease: first differences are constant to within rounding
+  // (the final clamped chunk excluded).
+  for (std::size_t i = 2; i + 2 < chunks.size(); ++i) {
+    const std::int64_t d1 = chunks[i - 1] - chunks[i];
+    const std::int64_t d2 = chunks[i] - chunks[i + 1];
+    EXPECT_NEAR(static_cast<double>(d1), static_cast<double>(d2), 1.5) << "i=" << i;
+  }
+}
+
+TEST(GoldenSchedules, Static1000x4) {
+  EXPECT_EQ(sizes(TechniqueId::kStatic, 1000, 4),
+            (std::vector<std::int64_t>{250, 250, 250, 250}));
+}
+
+TEST(GoldenSchedules, Fsc1000x4Fallback) {
+  // Without sigma/h hints FSC uses N / 2P = 125 fixed.
+  const std::vector<std::int64_t> chunks = sizes(TechniqueId::kFSC, 1000, 4);
+  ASSERT_EQ(chunks.size(), 8u);
+  for (const std::int64_t chunk : chunks) EXPECT_EQ(chunk, 125);
+}
+
+TEST(GoldenSchedules, UniformFeedbackAwfBEqualsFac) {
+  EXPECT_EQ(sizes(TechniqueId::kAWF_B, 1024, 4), sizes(TechniqueId::kFAC, 1024, 4));
+}
+
+TEST(GoldenSchedules, UniformFeedbackAfDecaysSmoothly) {
+  // AF re-solves its batch target at EVERY request, so with uniform
+  // feedback the sequence decays geometrically per request (128, 112, 98,
+  // ...) rather than in FAC's four-chunk plateaus.
+  const std::vector<std::int64_t> af = sizes(TechniqueId::kAF, 1024, 4);
+  EXPECT_EQ(af.front(), 128);  // bootstrap = R / 2P
+  for (std::size_t i = 1; i < af.size(); ++i) {
+    EXPECT_LE(af[i], af[i - 1]) << "i=" << i;
+  }
+}
+
+TEST(GoldenSchedules, Pls1000x4) {
+  const std::vector<std::int64_t> chunks = sizes(TechniqueId::kPLS, 1000, 4);
+  // 4 static shares of 125 (SWR = 0.5), then GSS on the remaining 500.
+  ASSERT_GE(chunks.size(), 5u);
+  EXPECT_EQ(chunks[0], 125);
+  EXPECT_EQ(chunks[1], 125);
+  EXPECT_EQ(chunks[2], 125);
+  EXPECT_EQ(chunks[3], 125);
+  EXPECT_EQ(chunks[4], 125);  // ceil(500 / 4)
+}
+
+TEST(GoldenSchedules, StableAcrossRuns) {
+  for (TechniqueId id : all_techniques()) {
+    EXPECT_EQ(sizes(id, 777, 3), sizes(id, 777, 3)) << technique_name(id);
+  }
+}
+
+}  // namespace
+}  // namespace cdsf::dls

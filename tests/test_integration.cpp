@@ -1,0 +1,142 @@
+// Cross-module integration tests beyond the paper example: random batches
+// through the full Stage I -> Stage II pipeline on larger platforms.
+#include <gtest/gtest.h>
+
+#include "cdsf/framework.hpp"
+#include "dls/adaptive.hpp"
+#include "ra/heuristics.hpp"
+#include "sysmodel/cases.hpp"
+#include "workload/generator.hpp"
+
+namespace cdsf {
+namespace {
+
+/// A 3-type, 28-processor platform for scale-up tests.
+sysmodel::Platform large_platform() {
+  return sysmodel::Platform({{"fast", 4}, {"mid", 8}, {"slow", 16}});
+}
+
+sysmodel::AvailabilitySpec mixed_availability(const std::string& name, double shift) {
+  auto law = [&](double lo, double hi) {
+    return pmf::Pmf::from_pulses({{std::max(0.05, lo - shift), 0.5},
+                                  {std::min(1.0, hi - shift), 0.5}});
+  };
+  return sysmodel::AvailabilitySpec(name, {law(0.7, 1.0), law(0.5, 0.9), law(0.3, 0.8)});
+}
+
+workload::Batch large_batch(std::uint64_t seed) {
+  workload::BatchSpec spec;
+  spec.applications = 6;
+  spec.processor_types = 3;
+  spec.min_total_iterations = 400;
+  spec.max_total_iterations = 2000;
+  spec.min_mean_time = 2000.0;
+  spec.max_mean_time = 10000.0;
+  return workload::generate_batch(spec, seed);
+}
+
+TEST(Integration, FullPipelineOnRandomLargeInstance) {
+  const workload::Batch batch = large_batch(31);
+  const auto reference = mixed_availability("ref", 0.0);
+  const core::Framework framework(batch, large_platform(), reference, 25000.0);
+
+  const auto stage1 = framework.run_stage_one(ra::GreedyRobustness());
+  EXPECT_TRUE(stage1.allocation.fits(large_platform()));
+  EXPECT_GT(stage1.phi1, 0.0);
+
+  core::StageTwoConfig config;
+  config.replications = 3;
+  const auto stage2 = framework.run_stage_two(
+      stage1.allocation, mixed_availability("degraded", 0.15), dls::paper_robust_set(), config);
+  ASSERT_EQ(stage2.outcomes.size(), batch.size());
+  for (const auto& per_app : stage2.outcomes) {
+    for (const auto& outcome : per_app) EXPECT_GT(outcome.summary.mean_makespan, 0.0);
+  }
+}
+
+TEST(Integration, GreedyTracksExhaustiveOnSmallRandomInstances) {
+  // On instances small enough to enumerate, greedy must come close to the
+  // optimum (within 10% relative phi_1 across several seeds).
+  const sysmodel::Platform platform({{"a", 4}, {"b", 4}});
+  workload::BatchSpec spec;
+  spec.applications = 3;
+  spec.processor_types = 2;
+  spec.min_mean_time = 2000.0;
+  spec.max_mean_time = 9000.0;
+  for (std::uint64_t seed : {5ull, 6ull, 7ull, 8ull}) {
+    const workload::Batch batch = workload::generate_batch(spec, seed);
+    const sysmodel::AvailabilitySpec avail(
+        "two-type", {pmf::Pmf::from_pulses({{0.6, 0.5}, {1.0, 0.5}}),
+                     pmf::Pmf::from_pulses({{0.4, 0.5}, {0.9, 0.5}})});
+    const ra::RobustnessEvaluator evaluator(batch, avail, 12000.0);
+    const double optimal = evaluator.joint_probability(
+        ra::ExhaustiveOptimal().allocate(evaluator, platform, ra::CountRule::kPowerOfTwo));
+    const double greedy = evaluator.joint_probability(
+        ra::GreedyRobustness().allocate(evaluator, platform, ra::CountRule::kPowerOfTwo));
+    EXPECT_GE(greedy, 0.9 * optimal) << "seed=" << seed;
+  }
+}
+
+TEST(Integration, StageTwoBestTechniqueIsActuallyFastestAmongMeeting) {
+  const workload::Batch batch = large_batch(77);
+  const auto reference = mixed_availability("ref", 0.0);
+  const core::Framework framework(batch, large_platform(), reference, 30000.0);
+  const auto stage1 = framework.run_stage_one(ra::MinMinExpected());
+  core::StageTwoConfig config;
+  config.replications = 3;
+  const auto stage2 =
+      framework.run_stage_two(stage1.allocation, reference, dls::paper_robust_set(), config);
+  for (std::size_t app = 0; app < batch.size(); ++app) {
+    const int best = stage2.best_technique[app];
+    if (best < 0) continue;
+    const double best_time =
+        stage2.outcomes[app][static_cast<std::size_t>(best)].summary.median_makespan;
+    for (const auto& outcome : stage2.outcomes[app]) {
+      if (outcome.meets_deadline) {
+        EXPECT_LE(best_time, outcome.summary.median_makespan + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Integration, TimestepApplicationWithAwf) {
+  // AWF's cross-timestep adaptation: run the same loop twice; the second
+  // execution (with learned weights) on a persistently heterogeneous group
+  // must not be slower on average than the first.
+  const auto app = workload::Application(
+      "ts", 0, 4000, {workload::TimeLaw{workload::TimeLawKind::kNormal, 8000.0, 0.1}});
+  sim::SimConfig config;
+  config.iteration_cov = 0.2;
+
+  double first_sum = 0.0;
+  double second_sum = 0.0;
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
+    dls::TechniqueParams params;
+    params.workers = 8;
+    params.total_iterations = 4000;
+    dls::AdaptiveWeightedFactoring awf(params, dls::AwfVariant::kTimestep);
+    // Same seed for both timesteps => identical availability draws, so the
+    // learned weights are exactly right for the second run.
+    const auto seed = 9000 + rep;
+    first_sum +=
+        sim::simulate_loop(app, 0, 8, sysmodel::paper_case(4), awf, config, seed).makespan;
+    awf.advance_timestep();
+    second_sum +=
+        sim::simulate_loop(app, 0, 8, sysmodel::paper_case(4), awf, config, seed).makespan;
+  }
+  EXPECT_LE(second_sum, first_sum * 1.02);
+}
+
+TEST(Integration, CountRuleAnyExpandsChoicesAtScale) {
+  const workload::Batch batch = large_batch(41);
+  const auto reference = mixed_availability("ref", 0.0);
+  const ra::RobustnessEvaluator evaluator(batch, reference, 25000.0);
+  const double pow2 = evaluator.joint_probability(
+      ra::GreedyRobustness().allocate(evaluator, large_platform(), ra::CountRule::kPowerOfTwo));
+  const double any = evaluator.joint_probability(
+      ra::GreedyRobustness().allocate(evaluator, large_platform(), ra::CountRule::kAny));
+  EXPECT_GE(any, pow2 - 1e-9);
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -1,0 +1,200 @@
+// Intrinsic (algorithmic) imbalance: iteration costs varying with the
+// iteration index — the other half of the paper's imbalance taxonomy
+// (Section I distinguishes intrinsic from extrinsic/availability-driven
+// imbalance). These tests run on FULLY DEDICATED processors so any
+// imbalance observed is purely algorithmic.
+#include <gtest/gtest.h>
+
+#include "sim/loop_executor.hpp"
+#include "sysmodel/cases.hpp"
+#include "test_support.hpp"
+#include "workload/application.hpp"
+#include "workload/generator.hpp"
+
+namespace cdsf {
+namespace {
+
+using test::full_availability;
+using workload::Application;
+using workload::IterationProfile;
+using workload::TimeLaw;
+using workload::TimeLawKind;
+
+Application profiled_app(IterationProfile profile, std::int64_t parallel = 1000,
+                         double mean = 1000.0) {
+  return Application("p", 0, parallel, {TimeLaw{TimeLawKind::kNormal, mean, 0.1}}, profile);
+}
+
+sim::SimConfig dedicated() {
+  sim::SimConfig config;
+  config.scheduling_overhead = 0.0;
+  config.iteration_cov = 0.0;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  return config;
+}
+
+// ------------------------------------------------------ profile functions --
+
+TEST(Profile, WorkFractionsAreCdfs) {
+  for (IterationProfile profile :
+       {IterationProfile::kFlat, IterationProfile::kIncreasing, IterationProfile::kDecreasing,
+        IterationProfile::kParabolic}) {
+    EXPECT_DOUBLE_EQ(workload::profile_work_fraction(profile, 0.0), 0.0)
+        << to_string(profile);
+    EXPECT_DOUBLE_EQ(workload::profile_work_fraction(profile, 1.0), 1.0)
+        << to_string(profile);
+    double prev = 0.0;
+    for (double x = 0.05; x <= 1.0; x += 0.05) {
+      const double f = workload::profile_work_fraction(profile, x);
+      EXPECT_GE(f, prev - 1e-12) << to_string(profile) << " x=" << x;
+      prev = f;
+    }
+  }
+}
+
+TEST(Profile, KnownValues) {
+  EXPECT_DOUBLE_EQ(workload::profile_work_fraction(IterationProfile::kFlat, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(workload::profile_work_fraction(IterationProfile::kIncreasing, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(workload::profile_work_fraction(IterationProfile::kDecreasing, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(workload::profile_work_fraction(IterationProfile::kParabolic, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(workload::profile_work_fraction(IterationProfile::kFlat, 2.0), 1.0);  // clamp
+}
+
+TEST(Profile, Names) {
+  EXPECT_EQ(to_string(IterationProfile::kFlat), "flat");
+  EXPECT_EQ(to_string(IterationProfile::kIncreasing), "increasing");
+}
+
+// ------------------------------------------------- work-in-range queries --
+
+TEST(Profile, WorkInRangeSumsToParallelTotal) {
+  const Application app = profiled_app(IterationProfile::kIncreasing);
+  double total = 0.0;
+  for (std::int64_t first = 0; first < 1000; first += 100) {
+    total += app.parallel_work_in_range(0, first, 100);
+  }
+  EXPECT_NEAR(total, 1000.0, 1e-9);  // serial fraction 0 => all work parallel
+}
+
+TEST(Profile, IncreasingBackLoadedFrontCheap) {
+  const Application app = profiled_app(IterationProfile::kIncreasing);
+  const double front = app.parallel_work_in_range(0, 0, 250);
+  const double back = app.parallel_work_in_range(0, 750, 250);
+  EXPECT_LT(front, back);
+  EXPECT_NEAR(front, 1000.0 * 0.0625, 1e-9);  // F(0.25) = 0.0625
+  EXPECT_NEAR(back, 1000.0 * (1.0 - 0.5625), 1e-9);
+}
+
+TEST(Profile, RangeValidation) {
+  const Application app = profiled_app(IterationProfile::kFlat);
+  EXPECT_THROW(app.parallel_work_in_range(0, -1, 10), std::invalid_argument);
+  EXPECT_THROW(app.parallel_work_in_range(0, 995, 10), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(app.parallel_work_in_range(0, 0, 0), 0.0);
+}
+
+// -------------------------------------------------- simulated consequences --
+
+TEST(IntrinsicImbalance, StaticSuffersOnIncreasingLoop) {
+  // STATIC gives worker 3 the last quarter of an increasing loop:
+  // F(1) - F(0.75) = 0.4375 of the work => makespan = 437.5 on 4 dedicated
+  // workers (flat would be 250).
+  const Application app = profiled_app(IterationProfile::kIncreasing);
+  const sim::RunResult run = sim::simulate_loop(app, 0, 4, full_availability(1),
+                                                dls::TechniqueId::kStatic, dedicated(), 1);
+  EXPECT_NEAR(run.makespan, 437.5, 1e-6);
+}
+
+TEST(IntrinsicImbalance, FlatProfileUnchangedByTheFeature) {
+  // kFlat must reproduce the historical behavior bit-for-bit.
+  const Application flat("p", 300, 700, {TimeLaw{TimeLawKind::kNormal, 1000.0, 0.1}});
+  sim::SimConfig config;  // stochastic defaults
+  const double a =
+      sim::simulate_loop(flat, 0, 4, sysmodel::paper_case(1), dls::TechniqueId::kFAC, config, 5)
+          .makespan;
+  const Application same("p", 300, 700, {TimeLaw{TimeLawKind::kNormal, 1000.0, 0.1}},
+                         IterationProfile::kFlat);
+  const double b =
+      sim::simulate_loop(same, 0, 4, sysmodel::paper_case(1), dls::TechniqueId::kFAC, config, 5)
+          .makespan;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(IntrinsicImbalance, DynamicTechniquesAbsorbTheProfile) {
+  // On dedicated processors, self-scheduling redistributes the expensive
+  // tail: every dynamic technique must beat STATIC on the increasing loop.
+  const Application app = profiled_app(IterationProfile::kIncreasing, 4000, 4000.0);
+  const double static_time = sim::simulate_loop(app, 0, 4, full_availability(1),
+                                                dls::TechniqueId::kStatic, dedicated(), 3)
+                                 .makespan;
+  for (dls::TechniqueId id : {dls::TechniqueId::kSS, dls::TechniqueId::kGSS,
+                              dls::TechniqueId::kTSS, dls::TechniqueId::kFAC,
+                              dls::TechniqueId::kAF}) {
+    const double dynamic_time =
+        sim::simulate_loop(app, 0, 4, full_availability(1), id, dedicated(), 3).makespan;
+    EXPECT_LT(dynamic_time, static_time) << dls::technique_name(id);
+  }
+}
+
+TEST(IntrinsicImbalance, FirstChunkSizeDecidesTheDecreasingLoop) {
+  // On a decreasing-cost loop the FRONT of the index space is expensive:
+  // GSS's giant first chunk (N/P = 250 iterations = 43.75% of the work on
+  // one worker) is a self-inflicted bottleneck, while TSS/FAC's first
+  // chunks (N/2P) stay below it and SS balances almost perfectly.
+  const Application app = profiled_app(IterationProfile::kDecreasing);
+  const double gss = sim::simulate_loop(app, 0, 4, full_availability(1),
+                                        dls::TechniqueId::kGSS, dedicated(), 3)
+                         .makespan;
+  EXPECT_NEAR(gss, 437.5, 10.0);  // hostage to its first chunk
+  for (dls::TechniqueId id :
+       {dls::TechniqueId::kSS, dls::TechniqueId::kTSS, dls::TechniqueId::kFAC}) {
+    const double makespan =
+        sim::simulate_loop(app, 0, 4, full_availability(1), id, dedicated(), 3).makespan;
+    EXPECT_LT(makespan, gss * 0.75) << dls::technique_name(id);
+  }
+}
+
+TEST(IntrinsicImbalance, IterationsConservedUnderEveryProfile) {
+  for (IterationProfile profile :
+       {IterationProfile::kIncreasing, IterationProfile::kDecreasing,
+        IterationProfile::kParabolic}) {
+    const Application app = profiled_app(profile, 997);
+    for (dls::TechniqueId id : {dls::TechniqueId::kFAC, dls::TechniqueId::kAF}) {
+      sim::SimConfig config;
+      config.iteration_cov = 0.2;
+      const sim::RunResult run =
+          sim::simulate_loop(app, 0, 4, sysmodel::paper_case(1), id, config, 7);
+      std::int64_t total = 0;
+      for (const sim::WorkerStats& w : run.workers) total += w.iterations;
+      EXPECT_EQ(total, 997) << to_string(profile) << " " << dls::technique_name(id);
+    }
+  }
+}
+
+TEST(IntrinsicImbalance, TotalWorkIndependentOfProfile) {
+  // Same loop, same technique, dedicated processors, zero noise: the SUM of
+  // busy time across workers equals the loop's total work (1000) for every
+  // profile — the profile moves work around, never creates or destroys it.
+  for (IterationProfile profile :
+       {IterationProfile::kFlat, IterationProfile::kIncreasing,
+        IterationProfile::kDecreasing, IterationProfile::kParabolic}) {
+    const Application app = profiled_app(profile);
+    const sim::RunResult run = sim::simulate_loop(app, 0, 4, full_availability(1),
+                                                  dls::TechniqueId::kFAC, dedicated(), 2);
+    double busy = 0.0;
+    for (const sim::WorkerStats& w : run.workers) busy += w.busy_time;
+    EXPECT_NEAR(busy, 1000.0, 1e-6) << to_string(profile);
+  }
+}
+
+TEST(IntrinsicImbalance, GeneratorPropagatesProfile) {
+  workload::BatchSpec spec;
+  spec.applications = 3;
+  spec.profile = IterationProfile::kParabolic;
+  const workload::Batch batch = workload::generate_batch(spec, 1);
+  for (const Application& app : batch) {
+    EXPECT_EQ(app.profile(), IterationProfile::kParabolic);
+  }
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cdsf/multi_batch.hpp"
+#include "sysmodel/cases.hpp"
+
+namespace cdsf::core {
+namespace {
+
+MultiBatchConfig small_config() {
+  MultiBatchConfig config;
+  config.batches = 4;
+  config.mean_interarrival = 3000.0;
+  config.deadline_slack = 9000.0;
+  config.batch_spec.applications = 3;
+  config.batch_spec.processor_types = 2;
+  config.batch_spec.min_total_iterations = 500;
+  config.batch_spec.max_total_iterations = 2000;
+  config.batch_spec.min_mean_time = 2000.0;
+  config.batch_spec.max_mean_time = 8000.0;
+  config.stage_two.replications = 5;
+  return config;
+}
+
+class MultiBatchTest : public ::testing::Test {
+ protected:
+  MultiBatchTest()
+      : platform_(sysmodel::paper_platform()),
+        reference_(sysmodel::paper_case(1)),
+        degraded_(sysmodel::paper_case(3)) {}
+
+  sysmodel::Platform platform_;
+  sysmodel::AvailabilitySpec reference_;
+  sysmodel::AvailabilitySpec degraded_;
+};
+
+TEST_F(MultiBatchTest, ProcessesEveryBatchInOrder) {
+  const MultiBatchResult result = run_multi_batch(platform_, reference_, reference_,
+                                                  ra::GreedyRobustness(), small_config(), 1);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  double previous_completion = 0.0;
+  double previous_arrival = 0.0;
+  for (const BatchOutcome& outcome : result.outcomes) {
+    EXPECT_GT(outcome.arrival_time, previous_arrival);
+    EXPECT_GE(outcome.start_time, outcome.arrival_time);
+    EXPECT_GE(outcome.start_time, previous_completion);
+    EXPECT_GT(outcome.completion_time, outcome.start_time);
+    EXPECT_GE(outcome.phi1, 0.0);
+    EXPECT_LE(outcome.phi1, 1.0);
+    previous_completion = outcome.completion_time;
+    previous_arrival = outcome.arrival_time;
+  }
+  EXPECT_DOUBLE_EQ(result.total_time, result.outcomes.back().completion_time);
+}
+
+TEST_F(MultiBatchTest, DeterministicGivenSeed) {
+  const MultiBatchResult a = run_multi_batch(platform_, reference_, reference_,
+                                             ra::GreedyRobustness(), small_config(), 9);
+  const MultiBatchResult b = run_multi_batch(platform_, reference_, reference_,
+                                             ra::GreedyRobustness(), small_config(), 9);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].completion_time, b.outcomes[i].completion_time);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].phi1, b.outcomes[i].phi1);
+  }
+}
+
+TEST_F(MultiBatchTest, HitRateAndDelayAreConsistent) {
+  const MultiBatchResult result = run_multi_batch(platform_, reference_, reference_,
+                                                  ra::GreedyRobustness(), small_config(), 3);
+  std::size_t hits = 0;
+  double delay = 0.0;
+  for (const BatchOutcome& outcome : result.outcomes) {
+    if (outcome.met_deadline) ++hits;
+    delay += outcome.start_time - outcome.arrival_time;
+  }
+  EXPECT_DOUBLE_EQ(result.deadline_hit_rate,
+                   static_cast<double>(hits) / static_cast<double>(result.outcomes.size()));
+  EXPECT_NEAR(result.mean_queueing_delay,
+              delay / static_cast<double>(result.outcomes.size()), 1e-9);
+}
+
+TEST_F(MultiBatchTest, DegradedRuntimeLowersHitRate) {
+  MultiBatchConfig config = small_config();
+  config.batches = 6;
+  config.deadline_slack = 6500.0;
+  const double good = run_multi_batch(platform_, reference_, reference_,
+                                      ra::GreedyRobustness(), config, 21)
+                          .deadline_hit_rate;
+  const double bad = run_multi_batch(platform_, reference_, degraded_,
+                                     ra::GreedyRobustness(), config, 21)
+                         .deadline_hit_rate;
+  EXPECT_LE(bad, good);
+}
+
+TEST_F(MultiBatchTest, SaturatedArrivalsBuildQueueingDelay) {
+  MultiBatchConfig fast = small_config();
+  fast.batches = 6;
+  fast.mean_interarrival = 100.0;  // arrivals far faster than service
+  const MultiBatchResult congested =
+      run_multi_batch(platform_, reference_, reference_, ra::GreedyRobustness(), fast, 5);
+  MultiBatchConfig slow = small_config();
+  slow.batches = 6;
+  slow.mean_interarrival = 50000.0;  // arrivals far slower than service
+  const MultiBatchResult idle =
+      run_multi_batch(platform_, reference_, reference_, ra::GreedyRobustness(), slow, 5);
+  EXPECT_GT(congested.mean_queueing_delay, idle.mean_queueing_delay);
+  EXPECT_NEAR(idle.mean_queueing_delay, 0.0, 1e-9);
+}
+
+TEST_F(MultiBatchTest, Validation) {
+  MultiBatchConfig config = small_config();
+  config.batches = 0;
+  EXPECT_THROW(run_multi_batch(platform_, reference_, reference_, ra::GreedyRobustness(),
+                               config, 1),
+               std::invalid_argument);
+  config = small_config();
+  config.mean_interarrival = 0.0;
+  EXPECT_THROW(run_multi_batch(platform_, reference_, reference_, ra::GreedyRobustness(),
+                               config, 1),
+               std::invalid_argument);
+  config = small_config();
+  config.deadline_slack = -1.0;
+  EXPECT_THROW(run_multi_batch(platform_, reference_, reference_, ra::GreedyRobustness(),
+                               config, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::core

@@ -1,0 +1,199 @@
+// End-to-end reproduction assertions: every headline number of the paper's
+// Section IV, checked in one place. These are the "did we build the right
+// system" tests; the per-module suites check "did we build the system
+// right".
+#include <gtest/gtest.h>
+
+#include "cdsf/framework.hpp"
+#include "cdsf/paper_example.hpp"
+#include "sysmodel/cases.hpp"
+
+namespace cdsf {
+namespace {
+
+using core::Framework;
+using core::make_paper_example;
+using core::PaperExample;
+
+class PaperNumbers : public ::testing::Test {
+ protected:
+  PaperNumbers()
+      : example_(make_paper_example()),
+        framework_(example_.batch, example_.platform, example_.cases.front(),
+                   example_.deadline) {}
+
+  PaperExample example_;
+  Framework framework_;
+};
+
+// Table I: expected availabilities and weighted system availability.
+TEST_F(PaperNumbers, TableOne) {
+  const struct {
+    double type1;
+    double type2;
+    double weighted;
+  } expected[] = {
+      {87.50, 68.75, 75.00},
+      {52.50, 54.55, 53.87},
+      {60.50, 47.50, 51.83},  // paper prints 60.58 / 47.60 / 51.92 from unrounded inputs
+      {41.25, 55.00, 50.42},
+  };
+  for (int k = 0; k < 4; ++k) {
+    const auto& spec = example_.cases[static_cast<std::size_t>(k)];
+    EXPECT_NEAR(spec.expected(0) * 100.0, expected[k].type1, 0.01) << "case " << k + 1;
+    EXPECT_NEAR(spec.expected(1) * 100.0, expected[k].type2, 0.01) << "case " << k + 1;
+    EXPECT_NEAR(spec.weighted_system_availability(example_.platform) * 100.0,
+                expected[k].weighted, 0.01)
+        << "case " << k + 1;
+  }
+}
+
+// Table II: batch characteristics.
+TEST_F(PaperNumbers, TableTwo) {
+  EXPECT_EQ(example_.batch.at(0).serial_iterations(), 439);
+  EXPECT_EQ(example_.batch.at(0).parallel_iterations(), 1024);
+  EXPECT_NEAR(example_.batch.at(0).split().serial_fraction, 0.30, 0.005);
+  EXPECT_EQ(example_.batch.at(1).serial_iterations(), 512);
+  EXPECT_EQ(example_.batch.at(1).parallel_iterations(), 2048);
+  EXPECT_NEAR(example_.batch.at(1).split().serial_fraction, 0.20, 0.005);
+  EXPECT_NEAR(example_.batch.at(2).split().serial_fraction, 0.05, 0.005);
+  EXPECT_NEAR(example_.batch.at(2).split().parallel_fraction, 0.95, 0.005);
+}
+
+// Table III: mean single-processor execution times.
+TEST_F(PaperNumbers, TableThree) {
+  const double expected[3][2] = {{1800, 4000}, {2800, 6000}, {12000, 8000}};
+  for (std::size_t app = 0; app < 3; ++app) {
+    for (std::size_t type = 0; type < 2; ++type) {
+      EXPECT_DOUBLE_EQ(example_.batch.at(app).mean_time(type), expected[app][type]);
+    }
+  }
+}
+
+// Table IV: both initial mappings.
+TEST_F(PaperNumbers, TableFour) {
+  const auto naive = framework_.run_stage_one(ra::NaiveLoadBalance());
+  EXPECT_EQ(naive.allocation, core::paper_naive_allocation());
+  const auto robust = framework_.run_stage_one(ra::ExhaustiveOptimal());
+  EXPECT_EQ(robust.allocation, core::paper_robust_allocation());
+}
+
+// Table V: expected parallel completion times + the two phi_1 values.
+TEST_F(PaperNumbers, TableFive) {
+  const auto naive = framework_.describe_allocation(core::paper_naive_allocation(), "naive");
+  EXPECT_NEAR(naive.expected_times[0], 3800.02, 15.0);
+  EXPECT_NEAR(naive.expected_times[1], 1306.39, 10.0);
+  EXPECT_NEAR(naive.expected_times[2], 4599.76, 15.0);
+  EXPECT_NEAR(naive.phi1, 0.26, 0.01);
+
+  const auto robust = framework_.describe_allocation(core::paper_robust_allocation(), "robust");
+  EXPECT_NEAR(robust.expected_times[0], 1365.46, 10.0);
+  EXPECT_NEAR(robust.expected_times[1], 1959.59, 10.0);
+  EXPECT_NEAR(robust.expected_times[2], 2699.86, 10.0);
+  EXPECT_NEAR(robust.phi1, 0.745, 0.01);
+}
+
+// Figures 3 and 4: STATIC violates the deadline in every scenario-1 and
+// scenario-2 case ("phi_2 > Delta for all four system availability cases").
+TEST_F(PaperNumbers, FiguresThreeAndFourStaticViolations) {
+  // Scenario 1 (naive IM): analytically, apps 1 and 3 exceed 3250 already
+  // at case 1 (Figure 3's T1 = 3800.02 and T3 = 4599.76).
+  const ra::Allocation naive = core::paper_naive_allocation();
+  EXPECT_GT(framework_.analytic_static_time(0, naive.at(0), example_.cases[0]),
+            example_.deadline);
+  EXPECT_GT(framework_.analytic_static_time(2, naive.at(2), example_.cases[0]),
+            example_.deadline);
+  // Scenario 2 (robust IM + STATIC): the Table V expectations are below the
+  // deadline at case 1 ...
+  const ra::Allocation robust = core::paper_robust_allocation();
+  for (std::size_t app = 0; app < 3; ++app) {
+    EXPECT_LT(framework_.analytic_static_time(app, robust.at(app), example_.cases[0]),
+              example_.deadline);
+  }
+  // ... yet the realized per-processor availability makes STATIC violate
+  // the deadline in every case, exactly as Figure 4 reports.
+  core::StageTwoConfig config;
+  config.replications = 31;
+  config.seed = 5;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const core::StageTwoResult result = framework_.run_stage_two(
+        robust, example_.cases[k], {dls::TechniqueId::kStatic}, config);
+    EXPECT_FALSE(result.all_meet_deadline) << "case " << k + 1;
+  }
+}
+
+// Scenario 4 + Table VI: deadline met through case 3; case 4 fails on app 2
+// under every technique; AF survives for app 3; rho = (74.5%, ~30.8%).
+TEST_F(PaperNumbers, ScenarioFourAndTableSix) {
+  core::StageTwoConfig config;
+  config.replications = 101;
+  config.seed = 42;
+  const auto techniques = dls::paper_robust_set();  // {FAC, WF, AWF-B, AF}
+
+  const core::ScenarioResult scenario = framework_.run_scenario(
+      "robust-robust", ra::ExhaustiveOptimal(), techniques, example_.cases, config);
+
+  // Deadline met at the reference case and at case 3 (which defines rho_2);
+  // violated in case 4. Case 2's app 2 is borderline in our simulator (its
+  // median availability path alone costs ~3253 > Delta = 3250; the paper's
+  // simulator lands it just under) — apps 1 and 3 meet, app 2 stays within
+  // 5% of the deadline. Documented in EXPERIMENTS.md.
+  EXPECT_TRUE(scenario.per_case[0].all_meet_deadline);
+  EXPECT_GE(scenario.per_case[1].best_technique[0], 0);
+  EXPECT_GE(scenario.per_case[1].best_technique[2], 0);
+  double case2_app2_best = 1e18;
+  for (const auto& outcome : scenario.per_case[1].outcomes[1]) {
+    case2_app2_best = std::min(case2_app2_best, outcome.summary.median_makespan);
+  }
+  EXPECT_LT(case2_app2_best, 1.05 * example_.deadline);
+  EXPECT_TRUE(scenario.per_case[2].all_meet_deadline);
+  EXPECT_FALSE(scenario.per_case[3].all_meet_deadline);
+
+  // Case 4, app 2: violated under every DLS technique (2 type-1 processors
+  // at E[a] = 41.25% cannot deliver 1680 dedicated time units by 3250).
+  for (const auto& outcome : scenario.per_case[3].outcomes[1]) {
+    EXPECT_FALSE(outcome.meets_deadline) << dls::technique_name(outcome.technique);
+  }
+  // Table VI, column "Case 3" (the rho_2-defining case): AF is the most
+  // robust technique for app 3 — it meets the deadline and is the fastest
+  // deadline-meeting technique.
+  EXPECT_TRUE(scenario.per_case[2].outcomes[2][3].meets_deadline);  // AF
+  EXPECT_EQ(scenario.per_case[2].best_technique[2], 3);
+  // Table VI, column "Case 1": AF wins for app 3 at the reference case too.
+  EXPECT_EQ(scenario.per_case[0].best_technique[2], 3);
+
+  const core::RobustnessReport report = framework_.robustness_report(scenario, example_.cases);
+  EXPECT_NEAR(report.rho1, 0.745, 0.01);
+  EXPECT_NEAR(report.rho2, 0.3089, 0.005);  // paper: 30.77% from unrounded Table I inputs
+  EXPECT_EQ(report.rho2_case, 2);
+}
+
+// The framework hypothesis: scenario 4 tolerates strictly more perturbation
+// than scenarios 1-3.
+TEST_F(PaperNumbers, DualStageHypothesis) {
+  core::StageTwoConfig config;
+  config.replications = 10;
+  config.seed = 21;
+  const auto robust_set = dls::paper_robust_set();
+  const std::vector<dls::TechniqueId> static_only = {dls::TechniqueId::kStatic};
+
+  const auto s1 = framework_.run_scenario("s1", ra::NaiveLoadBalance(), static_only,
+                                          example_.cases, config);
+  const auto s2 = framework_.run_scenario("s2", ra::ExhaustiveOptimal(), static_only,
+                                          example_.cases, config);
+  const auto s3 = framework_.run_scenario("s3", ra::NaiveLoadBalance(), robust_set,
+                                          example_.cases, config);
+  const auto s4 = framework_.run_scenario("s4", ra::ExhaustiveOptimal(), robust_set,
+                                          example_.cases, config);
+
+  const double r1 = framework_.robustness_report(s1, example_.cases).rho2;
+  const double r2 = framework_.robustness_report(s2, example_.cases).rho2;
+  const double r3 = framework_.robustness_report(s3, example_.cases).rho2;
+  const double r4 = framework_.robustness_report(s4, example_.cases).rho2;
+  EXPECT_GT(r4, r1);
+  EXPECT_GT(r4, r2);
+  EXPECT_GT(r4, r3);
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/robustness.hpp"
+#include "sim/loop_executor.hpp"
+#include "util/parallel.hpp"
+
+namespace cdsf {
+namespace {
+
+// ----------------------------------------------------- parallel_for_index --
+
+TEST(ParallelFor, EveryIndexVisitedExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> visits(100);
+    util::parallel_for_index(100, threads, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto compute = [](std::size_t threads) {
+    std::vector<double> out(500);
+    util::parallel_for_index(500, threads, [&](std::size_t i) {
+      out[i] = std::sin(static_cast<double>(i)) * static_cast<double>(i);
+    });
+    return out;
+  };
+  const std::vector<double> serial = compute(1);
+  EXPECT_EQ(compute(3), serial);
+  EXPECT_EQ(compute(16), serial);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::vector<int> out(3, 0);
+  util::parallel_for_index(3, 64, [&](std::size_t i) { out[i] = static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  util::parallel_for_index(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ExceptionsPropagate) {
+  EXPECT_THROW(util::parallel_for_index(
+                   10, 4,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, DefaultThreadCountIsSane) {
+  const std::size_t n = util::default_thread_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 64u);
+}
+
+// ------------------------------------- replication thread-count invariance --
+
+TEST(ParallelReplication, SummaryBitIdenticalAcrossThreadCounts) {
+  const auto example = core::make_paper_example();
+  const workload::Application& app = example.batch.at(2);
+  const sim::SimConfig config;
+  const auto serial = sim::simulate_replicated(app, 1, 8, example.cases[2],
+                                               dls::TechniqueId::kAF, config, 77, 40,
+                                               example.deadline, 1);
+  for (std::size_t threads : {2u, 5u, 16u}) {
+    const auto parallel = sim::simulate_replicated(app, 1, 8, example.cases[2],
+                                                   dls::TechniqueId::kAF, config, 77, 40,
+                                                   example.deadline, threads);
+    EXPECT_DOUBLE_EQ(parallel.mean_makespan, serial.mean_makespan) << threads;
+    EXPECT_DOUBLE_EQ(parallel.median_makespan, serial.median_makespan) << threads;
+    EXPECT_DOUBLE_EQ(parallel.deadline_hit_rate, serial.deadline_hit_rate) << threads;
+  }
+}
+
+// --------------------------------------------------- system makespan PMF --
+
+TEST(SystemMakespanPmf, CdfAtDeadlineEqualsJointProbability) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  for (const ra::Allocation& allocation :
+       {core::paper_naive_allocation(), core::paper_robust_allocation()}) {
+    const pmf::Pmf psi = evaluator.system_makespan_pmf(allocation);
+    EXPECT_NEAR(psi.cdf(example.deadline), evaluator.joint_probability(allocation), 1e-9);
+  }
+}
+
+TEST(SystemMakespanPmf, DominatesEveryApplication) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  const ra::Allocation robust = core::paper_robust_allocation();
+  const pmf::Pmf psi = evaluator.system_makespan_pmf(robust);
+  for (std::size_t app = 0; app < 3; ++app) {
+    EXPECT_GE(psi.expectation() + 1e-9,
+              evaluator.completion_pmf(app, robust.at(app)).expectation());
+  }
+}
+
+TEST(SystemMakespanPmf, RobustAllocationHasSmallerTailThanNaive) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  const pmf::Pmf robust = evaluator.system_makespan_pmf(core::paper_robust_allocation());
+  const pmf::Pmf naive = evaluator.system_makespan_pmf(core::paper_naive_allocation());
+  EXPECT_LT(robust.quantile(0.9), naive.quantile(0.9));
+  EXPECT_LT(robust.expectation(), naive.expectation());
+}
+
+TEST(SystemMakespanPmf, Validation) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  EXPECT_THROW(evaluator.system_makespan_pmf(ra::Allocation({{0, 1}})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/heuristics.hpp"
+#include "ra/pareto.hpp"
+
+namespace cdsf::ra {
+namespace {
+
+class ParetoTest : public ::testing::Test {
+ protected:
+  ParetoTest()
+      : example_(core::make_paper_example()),
+        evaluator_(example_.batch, example_.cases.front(), example_.deadline),
+        frontier_(pareto_frontier(evaluator_, example_.platform, CountRule::kPowerOfTwo)) {}
+
+  core::PaperExample example_;
+  RobustnessEvaluator evaluator_;
+  std::vector<ParetoPoint> frontier_;
+};
+
+TEST_F(ParetoTest, FrontierIsMonotone) {
+  ASSERT_FALSE(frontier_.empty());
+  for (std::size_t i = 1; i < frontier_.size(); ++i) {
+    EXPECT_GE(frontier_[i].expected_makespan, frontier_[i - 1].expected_makespan);
+    EXPECT_GT(frontier_[i].phi1, frontier_[i - 1].phi1);
+  }
+}
+
+TEST_F(ParetoTest, NoFeasibleAllocationDominatesAFrontierPoint) {
+  const std::vector<Allocation> all =
+      enumerate_feasible(3, example_.platform, CountRule::kPowerOfTwo);
+  for (const ParetoPoint& point : frontier_) {
+    for (const Allocation& other : all) {
+      const pmf::Pmf psi = evaluator_.system_makespan_pmf(other);
+      const double phi1 = psi.cdf(example_.deadline);
+      const double makespan = psi.expectation();
+      const bool dominates = phi1 > point.phi1 + 1e-9 &&
+                             makespan < point.expected_makespan - 1e-9;
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST_F(ParetoTest, OptimalPhi1IsTheLastFrontierPoint) {
+  const double optimal = evaluator_.joint_probability(ExhaustiveOptimal().allocate(
+      evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  EXPECT_NEAR(frontier_.back().phi1, optimal, 1e-9);
+}
+
+TEST_F(ParetoTest, FrontierContainsThePaperRobustMappingRegion) {
+  // The paper's robust mapping scores (74.6%, ~3013); SOME frontier point
+  // must match or dominate it.
+  bool matched = false;
+  for (const ParetoPoint& point : frontier_) {
+    if (point.phi1 >= 0.745 - 1e-6 && point.expected_makespan <= 3013.5) matched = true;
+  }
+  EXPECT_TRUE(matched);
+}
+
+TEST_F(ParetoTest, BudgetSelectionPicksHighestAffordablePhi1) {
+  const ParetoPoint loose = best_within_makespan_budget(frontier_, 1e9);
+  EXPECT_NEAR(loose.phi1, frontier_.back().phi1, 1e-12);
+  const ParetoPoint tight =
+      best_within_makespan_budget(frontier_, frontier_.front().expected_makespan + 1e-9);
+  EXPECT_NEAR(tight.phi1, frontier_.front().phi1, 1e-12);
+  EXPECT_THROW(best_within_makespan_budget(frontier_, 0.0), std::runtime_error);
+  EXPECT_THROW(best_within_makespan_budget({}, 1.0), std::runtime_error);
+}
+
+TEST_F(ParetoTest, FrontierIsSmallRelativeToTheSearchSpace) {
+  // 153 feasible allocations collapse to very few non-dominated ones — at
+  // the paper's deadline, to exactly ONE: the robust mapping is
+  // simultaneously phi_1-optimal and E[Psi]-minimal.
+  EXPECT_LT(frontier_.size(), 20u);
+  EXPECT_GE(frontier_.size(), 1u);
+  EXPECT_EQ(frontier_.back().allocation, core::paper_robust_allocation());
+}
+
+TEST_F(ParetoTest, TighterDeadlineExposesTradeOffs) {
+  // At a much tighter deadline the probability and makespan objectives
+  // need not agree; the frontier logic must handle multi-point frontiers
+  // (monotonicity is asserted by FrontierIsMonotone on whatever appears).
+  const RobustnessEvaluator tight(example_.batch, example_.cases.front(), 2200.0);
+  const std::vector<ParetoPoint> frontier =
+      pareto_frontier(tight, example_.platform, CountRule::kPowerOfTwo);
+  ASSERT_FALSE(frontier.empty());
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].expected_makespan, frontier[i - 1].expected_makespan);
+    EXPECT_GT(frontier[i].phi1, frontier[i - 1].phi1);
+  }
+}
+
+}  // namespace
+}  // namespace cdsf::ra

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmf/pmf.hpp"
+
+namespace cdsf::pmf {
+namespace {
+
+// --------------------------------------------------------- construction --
+
+TEST(Pmf, NormalizesMass) {
+  const Pmf p = Pmf::from_pulses({{1.0, 2.0}, {2.0, 6.0}});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(p.probability(1), 0.75);
+}
+
+TEST(Pmf, SortsAndMergesDuplicates) {
+  const Pmf p = Pmf::from_pulses({{3.0, 0.2}, {1.0, 0.3}, {3.0, 0.5}});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.value(1), 3.0);
+  EXPECT_DOUBLE_EQ(p.probability(1), 0.7);
+}
+
+TEST(Pmf, DropsZeroProbabilityPulses) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.0}, {2.0, 1.0}});
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.value(0), 2.0);
+}
+
+TEST(Pmf, RejectsDegenerateInput) {
+  EXPECT_THROW(Pmf::from_pulses({}), std::invalid_argument);
+  EXPECT_THROW(Pmf::from_pulses({{1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Pmf::from_pulses({{1.0, -0.5}, {2.0, 1.5}}), std::invalid_argument);
+  EXPECT_THROW(Pmf::from_pulses({{std::nan(""), 1.0}}), std::invalid_argument);
+}
+
+TEST(Pmf, DeltaIsSinglePulse) {
+  const Pmf p = Pmf::delta(5.0);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.expectation(), 5.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 0.0);
+}
+
+TEST(Pmf, UniformOverAccumulatesDuplicates) {
+  const Pmf p = Pmf::uniform_over({1.0, 2.0, 2.0, 3.0});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.probability(1), 0.5);
+  EXPECT_THROW(Pmf::uniform_over({}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- moments --
+
+TEST(Pmf, ExpectationVarianceStddev) {
+  const Pmf p = Pmf::from_pulses({{0.0, 0.5}, {10.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.expectation(), 5.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 25.0);
+  EXPECT_DOUBLE_EQ(p.stddev(), 5.0);
+}
+
+TEST(Pmf, MinMax) {
+  const Pmf p = Pmf::from_pulses({{4.0, 0.1}, {-2.0, 0.2}, {9.0, 0.7}});
+  EXPECT_DOUBLE_EQ(p.min(), -2.0);
+  EXPECT_DOUBLE_EQ(p.max(), 9.0);
+}
+
+TEST(Pmf, ExpectOfFunction) {
+  const Pmf p = Pmf::from_pulses({{2.0, 0.5}, {4.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.expect([](double v) { return v * v; }), 10.0);
+}
+
+// --------------------------------------------------------- cdf/quantile --
+
+TEST(Pmf, CdfStepsThroughPulses) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.2}, {2.0, 0.3}, {3.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(1.0), 0.2);  // inclusive
+  EXPECT_DOUBLE_EQ(p.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(p.cdf(3.0), 1.0);
+}
+
+TEST(Pmf, TailComplementsCdf) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.25}, {2.0, 0.25}, {4.0, 0.5}});
+  for (double x : {0.0, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0}) {
+    EXPECT_NEAR(p.cdf(x) + p.tail(x), 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Pmf, QuantileReturnsSmallestValueReachingMass) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.2}, {2.0, 0.3}, {3.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.21), 2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 3.0);
+  EXPECT_THROW(p.quantile(1.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ transforms --
+
+TEST(Pmf, MapTransformsValuesKeepsMass) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.5}, {2.0, 0.5}});
+  const Pmf q = p.map([](double v) { return 10.0 * v; });
+  EXPECT_DOUBLE_EQ(q.expectation(), 15.0);
+}
+
+TEST(Pmf, MapMergesCollidingImages) {
+  const Pmf p = Pmf::from_pulses({{-1.0, 0.5}, {1.0, 0.5}});
+  const Pmf q = p.map([](double v) { return v * v; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.value(0), 1.0);
+}
+
+TEST(Pmf, ScaledAndShifted) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.5}, {3.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.scaled(2.0).expectation(), 4.0);
+  EXPECT_DOUBLE_EQ(p.shifted(1.0).expectation(), 3.0);
+  EXPECT_DOUBLE_EQ(p.scaled(2.0).variance(), 4.0 * p.variance());
+  EXPECT_DOUBLE_EQ(p.shifted(5.0).variance(), p.variance());
+}
+
+// ------------------------------------------------------------ compaction --
+
+TEST(Pmf, CompactedPreservesMeanExactly) {
+  std::vector<Pulse> pulses;
+  for (int i = 0; i < 100; ++i) pulses.push_back({static_cast<double>(i), 1.0});
+  const Pmf p = Pmf::from_pulses(std::move(pulses));
+  const Pmf q = p.compacted(10);
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_NEAR(q.expectation(), p.expectation(), 1e-9);
+}
+
+TEST(Pmf, CompactedNeverIncreasesVariance) {
+  std::vector<Pulse> pulses;
+  for (int i = 0; i < 64; ++i) pulses.push_back({std::pow(1.1, i), 1.0});
+  const Pmf p = Pmf::from_pulses(std::move(pulses));
+  const Pmf q = p.compacted(8);
+  EXPECT_LE(q.variance(), p.variance() + 1e-9);
+  EXPECT_GE(q.variance(), 0.9 * p.variance());  // and not collapsed either
+}
+
+TEST(Pmf, CompactedNoopWhenSmallEnough) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.5}, {2.0, 0.5}});
+  EXPECT_EQ(p.compacted(10), p);
+}
+
+TEST(Pmf, CompactedToOnePulseIsMean) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.25}, {2.0, 0.5}, {5.0, 0.25}});
+  const Pmf q = p.compacted(1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_NEAR(q.value(0), p.expectation(), 1e-12);
+  EXPECT_THROW(p.compacted(0), std::invalid_argument);
+}
+
+TEST(Pmf, CompactedKeepsSupportBounds) {
+  std::vector<Pulse> pulses;
+  for (int i = 0; i <= 50; ++i) pulses.push_back({static_cast<double>(i), 1.0});
+  const Pmf p = Pmf::from_pulses(std::move(pulses));
+  const Pmf q = p.compacted(5);
+  EXPECT_GE(q.min(), p.min());
+  EXPECT_LE(q.max(), p.max());
+}
+
+// -------------------------------------------------------------- sampling --
+
+TEST(Pmf, SampleWithMapsUniformToPulses) {
+  const Pmf p = Pmf::from_pulses({{1.0, 0.25}, {2.0, 0.25}, {3.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.sample_with(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.sample_with(0.24), 1.0);
+  EXPECT_DOUBLE_EQ(p.sample_with(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(p.sample_with(0.49), 2.0);
+  EXPECT_DOUBLE_EQ(p.sample_with(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(p.sample_with(0.999), 3.0);
+  EXPECT_THROW(p.sample_with(1.0), std::invalid_argument);
+  EXPECT_THROW(p.sample_with(-0.01), std::invalid_argument);
+}
+
+TEST(Pmf, ToStringContainsPulses) {
+  const Pmf p = Pmf::from_pulses({{1.5, 1.0}});
+  EXPECT_NE(p.to_string().find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdsf::pmf

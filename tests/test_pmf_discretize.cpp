@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmf/discretize.hpp"
+#include "pmf/parallel_time.hpp"
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::pmf {
+namespace {
+
+// ---------------------------------------------------- quantile gridding --
+
+TEST(DiscretizeQuantile, PulseCountAndEqualMass) {
+  const stats::Normal dist(100.0, 10.0);
+  const Pmf p = discretize_quantile(dist, 16);
+  ASSERT_EQ(p.size(), 16u);
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_NEAR(p.probability(i), 1.0 / 16.0, 1e-12);
+}
+
+TEST(DiscretizeQuantile, MeanConvergesToDistributionMean) {
+  const stats::Normal dist(1800.0, 180.0);
+  EXPECT_NEAR(discretize_quantile(dist, 64).expectation(), 1800.0, 1.0);
+  EXPECT_NEAR(discretize_quantile(dist, 512).expectation(), 1800.0, 0.1);
+}
+
+TEST(DiscretizeQuantile, VarianceApproachesFromBelow) {
+  const stats::Normal dist(0.0, 1.0);
+  const double v64 = discretize_quantile(dist, 64).variance();
+  const double v512 = discretize_quantile(dist, 512).variance();
+  EXPECT_LT(v64, 1.0);
+  EXPECT_LT(v512, 1.0);
+  EXPECT_GT(v512, v64);  // finer grid captures more spread
+  EXPECT_NEAR(v512, 1.0, 0.05);
+}
+
+TEST(DiscretizeQuantile, CdfTracksContinuousCdf) {
+  const stats::Gamma dist(3.0, 2.0);
+  const Pmf p = discretize_quantile(dist, 256);
+  for (double x : {2.0, 4.0, 6.0, 10.0}) {
+    EXPECT_NEAR(p.cdf(x), dist.cdf(x), 0.01) << "x=" << x;
+  }
+}
+
+TEST(DiscretizeQuantile, SinglePulseIsMedian) {
+  const stats::Normal dist(7.0, 2.0);
+  const Pmf p = discretize_quantile(dist, 1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p.value(0), 7.0, 1e-9);  // median of a symmetric law
+  EXPECT_THROW(discretize_quantile(dist, 0), std::invalid_argument);
+}
+
+TEST(DiscretizeQuantileTruncated, ClampsLeftTail) {
+  // Normal with heavy sub-zero tail: mean 1, sd 2.
+  const stats::Normal dist(1.0, 2.0);
+  const Pmf p = discretize_quantile_truncated(dist, 64, 0.0);
+  EXPECT_GE(p.min(), 0.0);
+  EXPECT_GT(p.expectation(), 1.0);  // clamping raises the mean
+}
+
+// -------------------------------------------------------- MC sampling --
+
+TEST(DiscretizeSampling, DeterministicGivenSeed) {
+  const stats::Normal dist(10.0, 1.0);
+  util::RngStream rng_a(5);
+  util::RngStream rng_b(5);
+  EXPECT_EQ(discretize_sampling(dist, 1000, 32, rng_a),
+            discretize_sampling(dist, 1000, 32, rng_b));
+}
+
+TEST(DiscretizeSampling, MeanNearDistributionMean) {
+  const stats::Normal dist(50.0, 5.0);
+  util::RngStream rng(7);
+  const Pmf p = discretize_sampling(dist, 20000, 64, rng);
+  EXPECT_LE(p.size(), 64u);
+  EXPECT_NEAR(p.expectation(), 50.0, 0.25);
+}
+
+TEST(DiscretizeSampling, Validation) {
+  const stats::Normal dist(0.0, 1.0);
+  util::RngStream rng(1);
+  EXPECT_THROW(discretize_sampling(dist, 0, 8, rng), std::invalid_argument);
+  EXPECT_THROW(discretize_sampling(dist, 8, 0, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------- parallel time --
+
+TEST(ParallelTime, ScalarMatchesEquationTwo) {
+  // Paper cross-check: app3 on 8 procs of type 2:
+  // 0.05 * 8000 + 0.95 * 8000 / 8 = 1350.
+  EXPECT_DOUBLE_EQ(parallel_time_scalar(8000.0, {0.05, 0.95}, 8), 1350.0);
+  // app1 on 2 procs of type 1: 0.3 * 1800 + 0.7 * 1800 / 2 = 1170.
+  EXPECT_DOUBLE_EQ(parallel_time_scalar(1800.0, {0.3, 0.7}, 2), 1170.0);
+}
+
+TEST(ParallelTime, OneProcessorIsIdentity) {
+  EXPECT_DOUBLE_EQ(parallel_time_scalar(123.0, {0.2, 0.8}, 1), 123.0);
+}
+
+TEST(ParallelTime, PmfTransformsEveryPulse) {
+  const Pmf single = Pmf::from_pulses({{100.0, 0.5}, {200.0, 0.5}});
+  const Pmf par = parallel_time(single, {0.5, 0.5}, 2);
+  ASSERT_EQ(par.size(), 2u);
+  EXPECT_DOUBLE_EQ(par.value(0), 75.0);
+  EXPECT_DOUBLE_EQ(par.value(1), 150.0);
+  EXPECT_DOUBLE_EQ(par.probability(0), 0.5);  // probabilities unchanged
+}
+
+TEST(ParallelTime, FullyParallelScalesLinearly) {
+  const Pmf single = Pmf::delta(100.0);
+  EXPECT_DOUBLE_EQ(parallel_time(single, {0.0, 1.0}, 4).expectation(), 25.0);
+}
+
+TEST(ParallelTime, FullySerialIgnoresProcessors) {
+  const Pmf single = Pmf::delta(100.0);
+  EXPECT_DOUBLE_EQ(parallel_time(single, {1.0, 0.0}, 64).expectation(), 100.0);
+}
+
+TEST(ParallelTime, Validation) {
+  const Pmf single = Pmf::delta(1.0);
+  EXPECT_THROW(parallel_time(single, {0.5, 0.5}, 0), std::invalid_argument);
+  EXPECT_THROW(parallel_time(single, {0.7, 0.7}, 2), std::invalid_argument);
+  EXPECT_THROW(parallel_time(single, {-0.1, 1.1}, 2), std::invalid_argument);
+}
+
+TEST(AmdahlSpeedup, KnownValues) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup({0.0, 1.0}, 8), 8.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup({1.0, 0.0}, 8), 1.0);
+  EXPECT_NEAR(amdahl_speedup({0.05, 0.95}, 8), 8000.0 / 1350.0, 1e-12);
+}
+
+TEST(AmdahlSpeedup, MonotoneInProcessors) {
+  double prev = 0.0;
+  for (std::size_t n = 1; n <= 64; n *= 2) {
+    const double s = amdahl_speedup({0.1, 0.9}, n);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_LT(prev, 10.0);  // bounded by 1 / serial fraction
+}
+
+}  // namespace
+}  // namespace cdsf::pmf

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmf/ops.hpp"
+#include "pmf/pmf.hpp"
+
+namespace cdsf::pmf {
+namespace {
+
+const Pmf kCoin = Pmf::from_pulses({{0.0, 0.5}, {1.0, 0.5}});
+const Pmf kDie = Pmf::uniform_over({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+
+// ------------------------------------------------------------- convolve --
+
+TEST(ConvolveSum, TwoCoins) {
+  const Pmf sum = convolve_sum(kCoin, kCoin);
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum.probability(0), 0.25);  // 0
+  EXPECT_DOUBLE_EQ(sum.probability(1), 0.50);  // 1
+  EXPECT_DOUBLE_EQ(sum.probability(2), 0.25);  // 2
+}
+
+TEST(ConvolveSum, MeanAndVarianceAdd) {
+  const Pmf sum = convolve_sum(kDie, kDie);
+  EXPECT_NEAR(sum.expectation(), 2.0 * kDie.expectation(), 1e-12);
+  EXPECT_NEAR(sum.variance(), 2.0 * kDie.variance(), 1e-12);
+}
+
+TEST(ConvolveSum, DeltaIsIdentity) {
+  const Pmf shifted = convolve_sum(kDie, Pmf::delta(10.0));
+  EXPECT_EQ(shifted.size(), kDie.size());
+  EXPECT_DOUBLE_EQ(shifted.min(), 11.0);
+  EXPECT_DOUBLE_EQ(shifted.max(), 16.0);
+}
+
+TEST(ConvolveSum, CompactsToBudget) {
+  std::vector<Pulse> pulses;
+  for (int i = 0; i < 100; ++i) pulses.push_back({static_cast<double>(i) * 1.01, 1.0});
+  const Pmf big = Pmf::from_pulses(std::move(pulses));
+  const Pmf sum = convolve_sum(big, big, 64);
+  EXPECT_LE(sum.size(), 64u);
+  EXPECT_NEAR(sum.expectation(), 2.0 * big.expectation(), 1e-6);
+}
+
+// ------------------------------------------------------------- max/min --
+
+TEST(IndependentMax, TwoCoins) {
+  const Pmf m = independent_max(kCoin, kCoin);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.probability(0), 0.25);  // both 0
+  EXPECT_DOUBLE_EQ(m.probability(1), 0.75);
+}
+
+TEST(IndependentMin, TwoCoins) {
+  const Pmf m = independent_min(kCoin, kCoin);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(m.probability(1), 0.25);
+}
+
+TEST(IndependentMaxMin, CdfFactorization) {
+  const Pmf max_pmf = independent_max(kDie, kCoin);
+  for (double x : {0.0, 0.5, 1.0, 3.0, 6.0}) {
+    EXPECT_NEAR(max_pmf.cdf(x), kDie.cdf(x) * kCoin.cdf(x), 1e-12) << "x=" << x;
+  }
+  const Pmf min_pmf = independent_min(kDie, kCoin);
+  for (double x : {0.0, 0.5, 1.0, 3.0, 6.0}) {
+    EXPECT_NEAR(min_pmf.tail(x), kDie.tail(x) * kCoin.tail(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IndependentMaxMin, MinLeqMaxInExpectation) {
+  const Pmf max_pmf = independent_max(kDie, kDie);
+  const Pmf min_pmf = independent_min(kDie, kDie);
+  EXPECT_LE(min_pmf.expectation(), kDie.expectation());
+  EXPECT_GE(max_pmf.expectation(), kDie.expectation());
+  // E[min] + E[max] == 2 E[X] for iid pairs.
+  EXPECT_NEAR(min_pmf.expectation() + max_pmf.expectation(), 2.0 * kDie.expectation(), 1e-12);
+}
+
+TEST(IndependentMax, WithDeltaClampsBelow) {
+  const Pmf m = independent_max(kDie, Pmf::delta(4.0));
+  EXPECT_DOUBLE_EQ(m.min(), 4.0);
+  EXPECT_NEAR(m.cdf(4.0), kDie.cdf(4.0), 1e-12);
+}
+
+// -------------------------------------------------------------- combine --
+
+TEST(Combine, ProductOfIndependents) {
+  const Pmf prod = combine(kCoin.shifted(1.0), kDie, [](double a, double b) { return a * b; });
+  EXPECT_NEAR(prod.expectation(), kCoin.shifted(1.0).expectation() * kDie.expectation(), 1e-12);
+}
+
+// --------------------------------------------------- apply_availability --
+
+TEST(ApplyAvailability, DividesTimeByAvailability) {
+  const Pmf time = Pmf::delta(100.0);
+  const Pmf avail = Pmf::from_pulses({{0.25, 0.25}, {0.5, 0.25}, {1.0, 0.5}});
+  const Pmf completion = apply_availability(time, avail);
+  ASSERT_EQ(completion.size(), 3u);
+  EXPECT_DOUBLE_EQ(completion.value(0), 100.0);
+  EXPECT_DOUBLE_EQ(completion.value(1), 200.0);
+  EXPECT_DOUBLE_EQ(completion.value(2), 400.0);
+  // E[T/a] = 100 * E[1/a] = 100 * (0.25/0.25 + 0.25/0.5 + 0.5/1) = 200.
+  EXPECT_DOUBLE_EQ(completion.expectation(), 200.0);
+}
+
+TEST(ApplyAvailability, PaperType1Case1) {
+  // 1170 time units on type-1 availability {75%: .5, 100%: .5} -> E = 1365.
+  const Pmf avail = Pmf::from_pulses({{0.75, 0.5}, {1.0, 0.5}});
+  const Pmf completion = apply_availability(Pmf::delta(1170.0), avail);
+  EXPECT_NEAR(completion.expectation(), 1365.0, 1e-9);
+}
+
+TEST(ApplyAvailability, RejectsNonPositiveAvailability) {
+  const Pmf bad = Pmf::from_pulses({{0.0, 0.5}, {1.0, 0.5}});
+  EXPECT_THROW(apply_availability(Pmf::delta(1.0), bad), std::invalid_argument);
+}
+
+TEST(ApplyAvailability, FullAvailabilityIsIdentity) {
+  const Pmf completion = apply_availability(kDie, Pmf::delta(1.0));
+  ASSERT_EQ(completion.size(), kDie.size());
+  for (std::size_t i = 0; i < kDie.size(); ++i) {
+    EXPECT_DOUBLE_EQ(completion.value(i), kDie.value(i));
+    EXPECT_NEAR(completion.probability(i), kDie.probability(i), 1e-15);
+  }
+}
+
+// -------------------------------------------------------------- mixture --
+
+TEST(Mixture, WeightsMassCorrectly) {
+  const Pmf mix = mixture(Pmf::delta(0.0), 0.3, Pmf::delta(10.0));
+  ASSERT_EQ(mix.size(), 2u);
+  EXPECT_DOUBLE_EQ(mix.probability(0), 0.3);
+  EXPECT_DOUBLE_EQ(mix.expectation(), 7.0);
+}
+
+TEST(Mixture, DegenerateWeights) {
+  EXPECT_NEAR(mixture(kDie, 1.0, Pmf::delta(99.0)).expectation(), kDie.expectation(), 1e-12);
+  EXPECT_EQ(mixture(kDie, 1.0, Pmf::delta(99.0)).size(), kDie.size());
+  EXPECT_NEAR(mixture(Pmf::delta(99.0), 0.0, kDie).expectation(), kDie.expectation(), 1e-12);
+  EXPECT_THROW(mixture(kDie, 1.5, kDie), std::invalid_argument);
+}
+
+TEST(Mixture, LawOfTotalExpectation) {
+  const Pmf mix = mixture(kDie, 0.25, kCoin);
+  EXPECT_NEAR(mix.expectation(), 0.25 * kDie.expectation() + 0.75 * kCoin.expectation(), 1e-12);
+}
+
+}  // namespace
+}  // namespace cdsf::pmf

@@ -1,0 +1,340 @@
+// Parameterized property sweeps: invariants that must hold for EVERY DLS
+// technique across a grid of loop sizes, worker counts, and availability
+// regimes, and for the PMF engine across random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dls/registry.hpp"
+#include "pmf/ops.hpp"
+#include "pmf/pmf.hpp"
+#include "sim/loop_executor.hpp"
+#include "sim/master_worker.hpp"
+#include "sysmodel/cases.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf {
+namespace {
+
+// ------------------------------------------------ DLS scheduling sweeps --
+
+using DlsSweepParam = std::tuple<dls::TechniqueId, std::int64_t /*iterations*/,
+                                 std::size_t /*workers*/>;
+
+class DlsScheduleSweep : public ::testing::TestWithParam<DlsSweepParam> {};
+
+/// Core conservation property: under any technique, every parallel
+/// iteration executes exactly once, no chunk exceeds the pool, and the
+/// simulation terminates.
+TEST_P(DlsScheduleSweep, ConservationAndTermination) {
+  const auto [id, iterations, workers] = GetParam();
+  const auto app = test::simple_app("sweep", 17, iterations, {static_cast<double>(iterations)});
+  sim::SimConfig config;
+  config.iteration_cov = 0.2;
+  const sim::RunResult run = sim::simulate_loop(app, 0, workers, sysmodel::paper_case(1), id,
+                                                config, 0xBEEF ^ iterations ^ workers);
+  std::int64_t executed = 0;
+  for (const sim::WorkerStats& w : run.workers) {
+    executed += w.iterations;
+    EXPECT_GE(w.iterations, 0);
+    EXPECT_LE(w.finish_time, run.makespan + 1e-9);
+  }
+  EXPECT_EQ(executed, iterations);
+  EXPECT_GE(run.makespan, run.serial_end);
+  EXPECT_GT(run.total_chunks, 0u);
+}
+
+/// Chunk accounting: the technique's chunk stream, replayed against a
+/// deterministic pool, never overshoots and always drains.
+TEST_P(DlsScheduleSweep, ChunkStreamDrainsPool) {
+  const auto [id, iterations, workers] = GetParam();
+  dls::TechniqueParams params;
+  params.workers = workers;
+  params.total_iterations = iterations;
+  params.mean_iteration_time = 1.0;
+  params.stddev_iteration_time = 0.2;
+  params.scheduling_overhead = 0.1;
+  const auto technique = dls::make_technique(id, params);
+
+  std::int64_t remaining = iterations;
+  std::size_t worker = 0;
+  std::vector<bool> done(workers, false);
+  std::size_t done_count = 0;
+  std::uint64_t guard = 0;
+  const std::uint64_t guard_limit = static_cast<std::uint64_t>(iterations) * workers + 1000;
+  while (remaining > 0 && done_count < workers) {
+    ASSERT_LT(guard++, guard_limit) << dls::technique_name(id) << " did not terminate";
+    if (!done[worker]) {
+      const std::int64_t chunk =
+          technique->next_chunk(dls::SchedulingContext{remaining, worker, 0.0});
+      ASSERT_LE(chunk, remaining) << dls::technique_name(id);
+      if (chunk <= 0) {
+        done[worker] = true;
+        ++done_count;
+      } else {
+        remaining -= chunk;
+        technique->record(dls::ChunkResult{worker, chunk, static_cast<double>(chunk),
+                                           static_cast<double>(chunk) + 0.1});
+      }
+    }
+    worker = (worker + 1) % workers;
+  }
+  EXPECT_EQ(remaining, 0) << dls::technique_name(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, DlsScheduleSweep,
+    ::testing::Combine(::testing::ValuesIn(dls::all_techniques()),
+                       ::testing::Values<std::int64_t>(7, 128, 1024, 5000),
+                       ::testing::Values<std::size_t>(1, 2, 8)),
+    [](const ::testing::TestParamInfo<DlsSweepParam>& info) {
+      std::string name = dls::technique_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ----------------------------------------- availability-regime ordering --
+
+class DlsAvailabilitySweep : public ::testing::TestWithParam<dls::TechniqueId> {};
+
+/// Decreasing weighted availability must not decrease the mean makespan
+/// (modulo simulation noise; we allow 5% slack and 20 replications).
+TEST_P(DlsAvailabilitySweep, MakespanGrowsAsAvailabilityDrops) {
+  const dls::TechniqueId id = GetParam();
+  const auto app = test::simple_app("a", 50, 2000, {4000.0});
+  sim::SimConfig config;
+  const double full = sim::simulate_replicated(app, 0, 4, test::full_availability(1), id,
+                                               config, 5, 20, 1e12)
+                          .mean_makespan;
+  const double degraded = sim::simulate_replicated(app, 0, 4, sysmodel::paper_case(4), id,
+                                                   config, 5, 20, 1e12)
+                              .mean_makespan;
+  EXPECT_GT(degraded, full * 1.05) << dls::technique_name(id);
+}
+
+/// Robustness ordering on a persistent heterogeneous group: each adaptive
+/// technique must beat STATIC's mean makespan.
+TEST_P(DlsAvailabilitySweep, BeatsStaticUnderPersistentHeterogeneity) {
+  const dls::TechniqueId id = GetParam();
+  if (id == dls::TechniqueId::kStatic) GTEST_SKIP();
+  const auto app = test::simple_app("a", 0, 4000, {8000.0, 8000.0});
+  sim::SimConfig config;
+  config.iteration_cov = 0.2;
+  const double technique_time =
+      sim::simulate_replicated(app, 1, 8, sysmodel::paper_case(4), id, config, 9, 20, 1e12)
+          .mean_makespan;
+  const double static_time =
+      sim::simulate_replicated(app, 1, 8, sysmodel::paper_case(4),
+                               dls::TechniqueId::kStatic, config, 9, 20, 1e12)
+          .mean_makespan;
+  EXPECT_LT(technique_time, static_time) << dls::technique_name(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(RobustSetPlusStatic, DlsAvailabilitySweep,
+                         ::testing::Values(dls::TechniqueId::kStatic, dls::TechniqueId::kFAC,
+                                           dls::TechniqueId::kWF, dls::TechniqueId::kAWF_B,
+                                           dls::TechniqueId::kAWF_C, dls::TechniqueId::kAF,
+                                           dls::TechniqueId::kGSS, dls::TechniqueId::kTSS),
+                         [](const ::testing::TestParamInfo<dls::TechniqueId>& info) {
+                           std::string name = dls::technique_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ------------------------------------------- MPI message-cost invariance --
+
+using MpiSweepParam = std::tuple<dls::TechniqueId, double /*latency*/>;
+
+class MpiCostSweep : public ::testing::TestWithParam<MpiSweepParam> {};
+
+/// Conservation and monotonicity: the message-passing executor completes
+/// every iteration exactly once at any latency, and more latency never
+/// makes the run faster.
+TEST_P(MpiCostSweep, ConservationAndLatencyMonotonicity) {
+  const auto [id, latency] = GetParam();
+  const auto app = test::simple_app("mpi", 0, 2000, {2000.0});
+  sim::SimConfig config;
+  config.iteration_cov = 0.0;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  const sim::MpiRunResult zero = sim::simulate_loop_mpi(
+      app, 0, 4, test::full_availability(1), id, config, {0.0, 0.0}, 3);
+  const sim::MpiRunResult priced = sim::simulate_loop_mpi(
+      app, 0, 4, test::full_availability(1), id, config, {latency, 0.05}, 3);
+  std::int64_t executed = 0;
+  for (const sim::WorkerStats& w : priced.run.workers) executed += w.iterations;
+  EXPECT_EQ(executed, 2000);
+  EXPECT_GE(priced.run.makespan, zero.run.makespan - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LatencyGrid, MpiCostSweep,
+    ::testing::Combine(::testing::Values(dls::TechniqueId::kSS, dls::TechniqueId::kGSS,
+                                         dls::TechniqueId::kFAC, dls::TechniqueId::kAF),
+                       ::testing::Values(0.01, 0.5, 5.0)),
+    [](const ::testing::TestParamInfo<MpiSweepParam>& info) {
+      std::string name = dls::technique_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      const int millis = static_cast<int>(std::get<1>(info.param) * 100);
+      return name + "_L" + std::to_string(millis);
+    });
+
+// ---------------------------------------- iteration-profile invariants ---
+
+using ProfileSweepParam = std::tuple<dls::TechniqueId, workload::IterationProfile>;
+
+class ProfileSweep : public ::testing::TestWithParam<ProfileSweepParam> {};
+
+/// Under any profile and technique, total busy time equals the loop's work
+/// (profiles redistribute cost, never create it) and all iterations run.
+TEST_P(ProfileSweep, WorkConservation) {
+  const auto [id, profile] = GetParam();
+  const workload::Application app(
+      "p", 0, 1500, {workload::TimeLaw{workload::TimeLawKind::kNormal, 1500.0, 0.1}}, profile);
+  sim::SimConfig config;
+  config.iteration_cov = 0.0;
+  config.scheduling_overhead = 0.0;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  const sim::RunResult run =
+      sim::simulate_loop(app, 0, 4, test::full_availability(1), id, config, 9);
+  double busy = 0.0;
+  std::int64_t iterations = 0;
+  for (const sim::WorkerStats& w : run.workers) {
+    busy += w.busy_time;
+    iterations += w.iterations;
+  }
+  EXPECT_EQ(iterations, 1500);
+  EXPECT_NEAR(busy, 1500.0, 1e-6);
+  // Lower bound: nobody can beat perfect balance.
+  EXPECT_GE(run.makespan, 1500.0 / 4.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ProfileSweep,
+    ::testing::Combine(::testing::Values(dls::TechniqueId::kStatic, dls::TechniqueId::kGSS,
+                                         dls::TechniqueId::kFAC, dls::TechniqueId::kTFSS,
+                                         dls::TechniqueId::kAF),
+                       ::testing::Values(workload::IterationProfile::kFlat,
+                                         workload::IterationProfile::kIncreasing,
+                                         workload::IterationProfile::kDecreasing,
+                                         workload::IterationProfile::kParabolic)),
+    [](const ::testing::TestParamInfo<ProfileSweepParam>& info) {
+      std::string name = dls::technique_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + workload::to_string(std::get<1>(info.param));
+    });
+
+// -------------------------------------------------- PMF random properties --
+
+class PmfRandomProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static pmf::Pmf random_pmf(util::RngStream& rng, std::size_t max_pulses) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(max_pulses)));
+    std::vector<pmf::Pulse> pulses;
+    pulses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pulses.push_back({rng.uniform(-100.0, 100.0), rng.uniform(0.01, 1.0)});
+    }
+    return pmf::Pmf::from_pulses(std::move(pulses));
+  }
+};
+
+TEST_P(PmfRandomProperty, MassAlwaysNormalized) {
+  util::RngStream rng(GetParam());
+  const pmf::Pmf p = random_pmf(rng, 50);
+  double total = 0.0;
+  for (const pmf::Pulse& pulse : p.pulses()) total += pulse.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(PmfRandomProperty, ConvolutionMomentsAdd) {
+  util::RngStream rng(GetParam() + 1000);
+  const pmf::Pmf a = random_pmf(rng, 20);
+  const pmf::Pmf b = random_pmf(rng, 20);
+  const pmf::Pmf sum = pmf::convolve_sum(a, b, 100000);  // no compaction
+  EXPECT_NEAR(sum.expectation(), a.expectation() + b.expectation(), 1e-8);
+  EXPECT_NEAR(sum.variance(), a.variance() + b.variance(), 1e-6);
+}
+
+TEST_P(PmfRandomProperty, MaxDominatesMinEverywhere) {
+  util::RngStream rng(GetParam() + 2000);
+  const pmf::Pmf a = random_pmf(rng, 20);
+  const pmf::Pmf b = random_pmf(rng, 20);
+  const pmf::Pmf max_pmf = pmf::independent_max(a, b);
+  const pmf::Pmf min_pmf = pmf::independent_min(a, b);
+  for (double x = -110.0; x <= 110.0; x += 10.0) {
+    EXPECT_LE(max_pmf.cdf(x), min_pmf.cdf(x) + 1e-12) << "x=" << x;  // stochastic dominance
+  }
+}
+
+TEST_P(PmfRandomProperty, CompactionPreservesMeanAndBounds) {
+  util::RngStream rng(GetParam() + 3000);
+  const pmf::Pmf p = random_pmf(rng, 64);
+  const pmf::Pmf q = p.compacted(8);
+  EXPECT_LE(q.size(), 8u);
+  EXPECT_NEAR(q.expectation(), p.expectation(), 1e-8);
+  EXPECT_GE(q.min(), p.min() - 1e-12);
+  EXPECT_LE(q.max(), p.max() + 1e-12);
+  EXPECT_LE(q.variance(), p.variance() + 1e-9);
+}
+
+TEST_P(PmfRandomProperty, RiskMetricInvariants) {
+  util::RngStream rng(GetParam() + 6000);
+  const pmf::Pmf p = random_pmf(rng, 40);
+  // CVaR dominates the mean and approaches the maximum as alpha -> 1.
+  EXPECT_GE(p.conditional_value_at_risk(0.5), p.expectation() - 1e-9);
+  EXPECT_NEAR(p.conditional_value_at_risk(0.999999), p.max(), 1e-6 * std::fabs(p.max()) + 1e-9);
+  // Expected tardiness is nonincreasing in the deadline and bounded by the
+  // worst-case overshoot.
+  double prev = 1e300;
+  for (double deadline = p.min() - 10.0; deadline <= p.max() + 10.0; deadline += 10.0) {
+    const double tardiness = p.expected_tardiness(deadline);
+    EXPECT_LE(tardiness, prev + 1e-12);
+    EXPECT_GE(tardiness, 0.0);
+    EXPECT_LE(tardiness, std::max(p.max() - deadline, 0.0) + 1e-12);
+    prev = tardiness;
+  }
+  // E[max(X - d, 0)] at d = min equals E[X] - min.
+  EXPECT_NEAR(p.expected_tardiness(p.min()), p.expectation() - p.min(), 1e-9);
+}
+
+TEST_P(PmfRandomProperty, CdfQuantileGaloisConnection) {
+  util::RngStream rng(GetParam() + 4000);
+  const pmf::Pmf p = random_pmf(rng, 30);
+  for (double prob : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double x = p.quantile(prob);
+    EXPECT_GE(p.cdf(x), prob - 1e-12);
+  }
+}
+
+TEST_P(PmfRandomProperty, AvailabilityCombineMatchesExpectationIdentity) {
+  util::RngStream rng(GetParam() + 5000);
+  // Positive-time PMF and availability PMF.
+  std::vector<pmf::Pulse> times;
+  for (int i = 0; i < 10; ++i) times.push_back({rng.uniform(1.0, 100.0), rng.uniform(0.1, 1.0)});
+  const pmf::Pmf time = pmf::Pmf::from_pulses(std::move(times));
+  std::vector<pmf::Pulse> avail;
+  for (int i = 0; i < 4; ++i) avail.push_back({rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)});
+  const pmf::Pmf availability = pmf::Pmf::from_pulses(std::move(avail));
+  const pmf::Pmf completion = pmf::apply_availability(time, availability, 100000);
+  // E[T / A] = E[T] * E[1 / A] by independence.
+  const double expected =
+      time.expectation() * availability.expect([](double a) { return 1.0 / a; });
+  EXPECT_NEAR(completion.expectation(), expected, 1e-6 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmfRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace cdsf

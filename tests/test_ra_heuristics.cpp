@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/heuristics.hpp"
+#include "test_support.hpp"
+#include "workload/generator.hpp"
+
+namespace cdsf::ra {
+namespace {
+
+using core::make_paper_example;
+using core::paper_naive_allocation;
+using core::paper_robust_allocation;
+
+class HeuristicsTest : public ::testing::Test {
+ protected:
+  HeuristicsTest()
+      : example_(make_paper_example()),
+        evaluator_(example_.batch, example_.cases.front(), example_.deadline) {}
+
+  core::PaperExample example_;
+  RobustnessEvaluator evaluator_;
+};
+
+// --------------------------------------------------------- paper matches --
+
+TEST_F(HeuristicsTest, NaiveLoadBalanceReproducesTableFour) {
+  const Allocation allocation =
+      NaiveLoadBalance().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo);
+  EXPECT_EQ(allocation, paper_naive_allocation());
+  EXPECT_NEAR(evaluator_.joint_probability(allocation), 0.26, 0.01);
+}
+
+TEST_F(HeuristicsTest, ExhaustiveOptimalReproducesTableFour) {
+  const Allocation allocation =
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo);
+  EXPECT_EQ(allocation, paper_robust_allocation());
+  EXPECT_NEAR(evaluator_.joint_probability(allocation), 0.745, 0.01);
+}
+
+// -------------------------------------------------------- general checks --
+
+TEST_F(HeuristicsTest, EveryHeuristicReturnsFeasibleCompleteAllocation) {
+  for (const auto& heuristic : all_heuristics(true)) {
+    const Allocation allocation =
+        heuristic->allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo);
+    EXPECT_EQ(allocation.size(), example_.batch.size()) << heuristic->name();
+    EXPECT_TRUE(allocation.fits(example_.platform)) << heuristic->name();
+    for (const GroupAssignment& group : allocation.groups()) {
+      // Power-of-two rule respected.
+      EXPECT_EQ(group.processors & (group.processors - 1), 0u) << heuristic->name();
+    }
+  }
+}
+
+TEST_F(HeuristicsTest, NoHeuristicBeatsExhaustive) {
+  const double optimal = evaluator_.joint_probability(
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  for (const auto& heuristic : all_heuristics(false)) {
+    const double joint = evaluator_.joint_probability(
+        heuristic->allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+    EXPECT_LE(joint, optimal + 1e-9) << heuristic->name();
+  }
+}
+
+TEST_F(HeuristicsTest, GreedyAndAnnealingFindTheOptimumAtPaperScale) {
+  const double optimal = evaluator_.joint_probability(
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  const double greedy = evaluator_.joint_probability(
+      GreedyRobustness().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  const double annealed = evaluator_.joint_probability(
+      SimulatedAnnealing().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  EXPECT_NEAR(greedy, optimal, 1e-6);
+  EXPECT_NEAR(annealed, optimal, 1e-6);
+}
+
+TEST_F(HeuristicsTest, RobustBeatsNaive) {
+  const double naive = evaluator_.joint_probability(
+      NaiveLoadBalance().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  const double robust = evaluator_.joint_probability(
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  EXPECT_GT(robust, naive + 0.3);
+}
+
+TEST_F(HeuristicsTest, AnyCountRuleAtLeastAsGood) {
+  const double pow2 = evaluator_.joint_probability(
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  const double any = evaluator_.joint_probability(
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kAny));
+  EXPECT_GE(any, pow2 - 1e-9);
+}
+
+TEST_F(HeuristicsTest, Names) {
+  EXPECT_EQ(NaiveLoadBalance().name(), "NaiveLoadBalance");
+  EXPECT_EQ(ExhaustiveOptimal().name(), "ExhaustiveOptimal");
+  EXPECT_EQ(GreedyRobustness().name(), "GreedyRobustness");
+  EXPECT_EQ(MinMinExpected().name(), "MinMinExpected");
+  EXPECT_EQ(MaxMinExpected().name(), "MaxMinExpected");
+  EXPECT_EQ(SufferageRobust().name(), "SufferageRobust");
+  EXPECT_EQ(SimulatedAnnealing().name(), "SimulatedAnnealing");
+}
+
+TEST_F(HeuristicsTest, AllHeuristicsListIncludesExhaustiveOnRequest) {
+  EXPECT_EQ(all_heuristics(false).size(), 7u);
+  EXPECT_EQ(all_heuristics(true).size(), 8u);
+}
+
+// -------------------------------------------------------- random batches --
+
+TEST(HeuristicsRandom, FeasibleOnRandomInstances) {
+  workload::BatchSpec spec;
+  spec.applications = 6;
+  spec.processor_types = 3;
+  const sysmodel::Platform platform({{"a", 4}, {"b", 8}, {"c", 16}});
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const workload::Batch batch = workload::generate_batch(spec, seed);
+    const sysmodel::AvailabilitySpec avail(
+        "uniform", {pmf::Pmf::delta(0.8), pmf::Pmf::delta(0.6), pmf::Pmf::delta(0.9)});
+    const RobustnessEvaluator evaluator(batch, avail, 20000.0);
+    for (const auto& heuristic : all_heuristics(false)) {
+      const Allocation allocation =
+          heuristic->allocate(evaluator, platform, CountRule::kPowerOfTwo);
+      EXPECT_TRUE(allocation.fits(platform)) << heuristic->name() << " seed=" << seed;
+      EXPECT_EQ(allocation.size(), batch.size()) << heuristic->name();
+    }
+  }
+}
+
+TEST(HeuristicsRandom, TightCapacityStillAssignsEveryone) {
+  // 4 applications on 4 processors: every heuristic must fall back to
+  // single-processor groups.
+  workload::BatchSpec spec;
+  spec.applications = 4;
+  spec.processor_types = 2;
+  const workload::Batch batch = workload::generate_batch(spec, 11);
+  const sysmodel::Platform platform({{"a", 2}, {"b", 2}});
+  const sysmodel::AvailabilitySpec avail("u", {pmf::Pmf::delta(0.9), pmf::Pmf::delta(0.9)});
+  const RobustnessEvaluator evaluator(batch, avail, 1e9);
+  for (const auto& heuristic : all_heuristics(true)) {
+    const Allocation allocation = heuristic->allocate(evaluator, platform, CountRule::kAny);
+    EXPECT_TRUE(allocation.fits(platform)) << heuristic->name();
+    EXPECT_EQ(allocation.total_processors(), 4u) << heuristic->name();
+  }
+}
+
+TEST(HeuristicsRandom, InfeasibleInstanceThrows) {
+  workload::BatchSpec spec;
+  spec.applications = 5;
+  spec.processor_types = 1;
+  const workload::Batch batch = workload::generate_batch(spec, 4);
+  const sysmodel::Platform platform({{"only", 3}});
+  const sysmodel::AvailabilitySpec avail("u", {pmf::Pmf::delta(1.0)});
+  const RobustnessEvaluator evaluator(batch, avail, 1e9);
+  for (const auto& heuristic : all_heuristics(true)) {
+    EXPECT_THROW(heuristic->allocate(evaluator, platform, CountRule::kAny), std::runtime_error)
+        << heuristic->name();
+  }
+}
+
+TEST_F(HeuristicsTest, TabuSearchFindsTheOptimumAtPaperScale) {
+  const double optimal = evaluator_.joint_probability(
+      ExhaustiveOptimal().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  const double tabu = evaluator_.joint_probability(
+      TabuSearch().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  EXPECT_NEAR(tabu, optimal, 1e-6);
+}
+
+TEST_F(HeuristicsTest, TabuSearchAtLeastMatchesGreedy) {
+  // Tabu's diversification can only help relative to the pure hill climb.
+  const double greedy = evaluator_.joint_probability(
+      GreedyRobustness().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  const double tabu = evaluator_.joint_probability(
+      TabuSearch().allocate(evaluator_, example_.platform, CountRule::kPowerOfTwo));
+  EXPECT_GE(tabu, greedy - 1e-9);
+}
+
+TEST(TabuSearch, DeterministicAndPatienceBounded) {
+  const auto example = make_paper_example();
+  const RobustnessEvaluator evaluator(example.batch, example.cases.front(), example.deadline);
+  TabuOptions options;
+  options.patience = 5;
+  options.max_moves = 50;
+  const Allocation a =
+      TabuSearch(options).allocate(evaluator, example.platform, CountRule::kPowerOfTwo);
+  const Allocation b =
+      TabuSearch(options).allocate(evaluator, example.platform, CountRule::kPowerOfTwo);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.fits(example.platform));
+}
+
+TEST(HeuristicsRandom, AnnealingIsDeterministicGivenSeed) {
+  const auto example = make_paper_example();
+  const RobustnessEvaluator evaluator(example.batch, example.cases.front(), example.deadline);
+  AnnealingOptions options;
+  options.seed = 77;
+  const Allocation a =
+      SimulatedAnnealing(options).allocate(evaluator, example.platform, CountRule::kPowerOfTwo);
+  const Allocation b =
+      SimulatedAnnealing(options).allocate(evaluator, example.platform, CountRule::kPowerOfTwo);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cdsf::ra

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/robustness.hpp"
+#include "test_support.hpp"
+
+namespace cdsf::ra {
+namespace {
+
+using core::make_paper_example;
+using core::paper_naive_allocation;
+using core::paper_robust_allocation;
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest()
+      : example_(make_paper_example()),
+        evaluator_(example_.batch, example_.cases.front(), example_.deadline) {}
+
+  core::PaperExample example_;
+  RobustnessEvaluator evaluator_;
+};
+
+TEST_F(RobustnessTest, ExpectedCompletionsMatchTableFive) {
+  const Allocation naive = paper_naive_allocation();
+  EXPECT_NEAR(evaluator_.expected_completion(0, naive.at(0)), 3800.02, 15.0);
+  EXPECT_NEAR(evaluator_.expected_completion(1, naive.at(1)), 1306.39, 10.0);
+  EXPECT_NEAR(evaluator_.expected_completion(2, naive.at(2)), 4599.76, 15.0);
+
+  const Allocation robust = paper_robust_allocation();
+  EXPECT_NEAR(evaluator_.expected_completion(0, robust.at(0)), 1365.46, 10.0);
+  EXPECT_NEAR(evaluator_.expected_completion(1, robust.at(1)), 1959.59, 10.0);
+  EXPECT_NEAR(evaluator_.expected_completion(2, robust.at(2)), 2699.86, 10.0);
+}
+
+TEST_F(RobustnessTest, JointProbabilitiesMatchPaper) {
+  // Paper: 26% for naive IM, 74.5% for robust IM.
+  EXPECT_NEAR(evaluator_.joint_probability(paper_naive_allocation()), 0.26, 0.01);
+  EXPECT_NEAR(evaluator_.joint_probability(paper_robust_allocation()), 0.745, 0.01);
+}
+
+TEST_F(RobustnessTest, PerApplicationProbabilitiesDecompose) {
+  const Allocation robust = paper_robust_allocation();
+  double product = 1.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double p = evaluator_.application_probability(i, robust.at(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    product *= p;
+  }
+  EXPECT_NEAR(product, evaluator_.joint_probability(robust), 1e-12);
+}
+
+TEST_F(RobustnessTest, App3DominatesRobustAllocationRisk) {
+  const Allocation robust = paper_robust_allocation();
+  // Apps 1 and 2 are near-certain; app 3 carries the 25% risk (the 25%
+  // availability pulse of type 2 pushes it to ~5400 > 3250).
+  EXPECT_GT(evaluator_.application_probability(0, robust.at(0)), 0.99);
+  EXPECT_GT(evaluator_.application_probability(1, robust.at(1)), 0.99);
+  EXPECT_NEAR(evaluator_.application_probability(2, robust.at(2)), 0.745, 0.01);
+}
+
+TEST_F(RobustnessTest, MoreProcessorsNeverHurtProbability) {
+  for (std::size_t app = 0; app < 3; ++app) {
+    for (std::size_t type = 0; type < 2; ++type) {
+      double prev = 0.0;
+      for (std::size_t n = 1; n <= 8; n *= 2) {
+        const double p = evaluator_.application_probability(app, {type, n});
+        EXPECT_GE(p, prev - 1e-9) << "app=" << app << " type=" << type << " n=" << n;
+        prev = p;
+      }
+    }
+  }
+}
+
+TEST_F(RobustnessTest, CompletionPmfIsCached) {
+  const GroupAssignment group{1, 8};
+  const pmf::Pmf& first = evaluator_.completion_pmf(2, group);
+  const pmf::Pmf& second = evaluator_.completion_pmf(2, group);
+  EXPECT_EQ(&first, &second);
+}
+
+TEST_F(RobustnessTest, CompletionPmfSupportScalesWithAvailability) {
+  // Type 2, case 1: pulses at 1/0.25, 1/0.5, 1/1 of the dedicated time.
+  const pmf::Pmf& completion = evaluator_.completion_pmf(2, {1, 8});
+  // Min ~ fastest dedicated pulse; max ~ slowest pulse / 0.25.
+  EXPECT_GT(completion.max(), 3.5 * completion.min());
+}
+
+TEST_F(RobustnessTest, Validation) {
+  EXPECT_THROW(evaluator_.completion_pmf(9, {0, 1}), std::out_of_range);
+  EXPECT_THROW(evaluator_.completion_pmf(0, {9, 1}), std::invalid_argument);
+  EXPECT_THROW(evaluator_.completion_pmf(0, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(evaluator_.joint_probability(Allocation({{0, 1}})), std::invalid_argument);
+}
+
+TEST(RobustnessEvaluator, ConstructionValidation) {
+  const auto example = make_paper_example();
+  EXPECT_THROW(RobustnessEvaluator(workload::Batch{}, example.cases.front(), 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(RobustnessEvaluator(example.batch, example.cases.front(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(RobustnessEvaluator(example.batch, test::full_availability(3), 100.0),
+               std::invalid_argument);
+  RobustnessConfig bad;
+  bad.discretization_pulses = 0;
+  EXPECT_THROW(RobustnessEvaluator(example.batch, example.cases.front(), 100.0, bad),
+               std::invalid_argument);
+}
+
+TEST(RobustnessEvaluator, TightDeadlineGivesZeroLooseGivesOne) {
+  const auto example = make_paper_example();
+  const RobustnessEvaluator tight(example.batch, example.cases.front(), 1.0);
+  EXPECT_NEAR(tight.joint_probability(paper_robust_allocation()), 0.0, 1e-12);
+  const RobustnessEvaluator loose(example.batch, example.cases.front(), 1e9);
+  EXPECT_NEAR(loose.joint_probability(paper_robust_allocation()), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cdsf::ra

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cdsf/paper_example.hpp"
+#include "cdsf/scenario_io.hpp"
+#include "ra/heuristics.hpp"
+#include "ra/robustness.hpp"
+
+namespace cdsf::core {
+namespace {
+
+constexpr const char* kMinimalScenario = R"(
+# a minimal two-type scenario
+[platform]
+type = fast 2
+type = slow 4
+
+[availability ref]
+fast = 0.8:0.5 1.0:0.5
+slow = 0.5:1.0
+
+[application job1]
+serial = 10
+parallel = 90
+mean = 100 200
+
+[deadline]
+value = 500
+)";
+
+TEST(ScenarioIo, ParsesMinimalScenario) {
+  const Scenario scenario = parse_scenario_text(kMinimalScenario);
+  EXPECT_EQ(scenario.platform.type_count(), 2u);
+  EXPECT_EQ(scenario.platform.type(0).name, "fast");
+  EXPECT_EQ(scenario.platform.processors_of_type(1), 4u);
+  ASSERT_EQ(scenario.cases.size(), 1u);
+  EXPECT_EQ(scenario.cases[0].name(), "ref");
+  EXPECT_NEAR(scenario.cases[0].expected(0), 0.9, 1e-12);
+  EXPECT_NEAR(scenario.cases[0].expected(1), 0.5, 1e-12);
+  ASSERT_EQ(scenario.batch.size(), 1u);
+  EXPECT_EQ(scenario.batch.at(0).name(), "job1");
+  EXPECT_EQ(scenario.batch.at(0).serial_iterations(), 10);
+  EXPECT_DOUBLE_EQ(scenario.batch.at(0).mean_time(1), 200.0);
+  EXPECT_DOUBLE_EQ(scenario.deadline, 500.0);
+}
+
+TEST(ScenarioIo, DefaultsAndOptionalKeys) {
+  std::string text = kMinimalScenario;
+  text += "\n[application job2]\nserial = 0\nparallel = 50\nmean = 10 20\ncov = 0.25\n"
+          "law = gamma\n";
+  const Scenario scenario = parse_scenario_text(text);
+  ASSERT_EQ(scenario.batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(scenario.batch.at(0).time_law(0).cov, 0.1);  // default
+  EXPECT_DOUBLE_EQ(scenario.batch.at(1).time_law(0).cov, 0.25);
+  EXPECT_EQ(scenario.batch.at(1).time_law(0).kind, workload::TimeLawKind::kGamma);
+}
+
+TEST(ScenarioIo, PaperScenarioRoundTripsExactly) {
+  const PaperExample example = make_paper_example();
+  const Scenario parsed = parse_scenario_text(paper_scenario_text());
+  EXPECT_EQ(parsed.platform, example.platform);
+  ASSERT_EQ(parsed.cases.size(), example.cases.size());
+  for (std::size_t k = 0; k < example.cases.size(); ++k) {
+    EXPECT_EQ(parsed.cases[k], example.cases[k]) << "case " << k + 1;
+  }
+  ASSERT_EQ(parsed.batch.size(), example.batch.size());
+  for (std::size_t i = 0; i < example.batch.size(); ++i) {
+    EXPECT_EQ(parsed.batch.at(i), example.batch.at(i)) << "app " << i + 1;
+  }
+  EXPECT_DOUBLE_EQ(parsed.deadline, example.deadline);
+}
+
+TEST(ScenarioIo, ParsedPaperScenarioReproducesPhi1) {
+  const Scenario scenario = parse_scenario_text(paper_scenario_text());
+  const ra::RobustnessEvaluator evaluator(scenario.batch, scenario.cases.front(),
+                                          scenario.deadline);
+  const ra::Allocation robust =
+      ra::ExhaustiveOptimal().allocate(evaluator, scenario.platform, ra::CountRule::kPowerOfTwo);
+  EXPECT_NEAR(evaluator.joint_probability(robust), 0.745, 0.01);
+}
+
+TEST(ScenarioIo, SerializeParseSerializeIsStable) {
+  const std::string once = paper_scenario_text();
+  const std::string twice = scenario_to_text(parse_scenario_text(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ScenarioIo, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/cdsf_scenario_test.ini";
+  {
+    std::ofstream out(path);
+    out << kMinimalScenario;
+  }
+  const Scenario scenario = load_scenario(path);
+  EXPECT_EQ(scenario.batch.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario("/nonexistent/dir/nope.ini"), std::runtime_error);
+}
+
+// -------------------------------------------------------- parse failures --
+
+TEST(ScenarioIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario_text("key = value\n"), std::runtime_error);   // outside section
+  EXPECT_THROW(parse_scenario_text("[platform\n"), std::runtime_error);     // unterminated
+  EXPECT_THROW(parse_scenario_text("[what]\n"), std::runtime_error);        // unknown section
+  EXPECT_THROW(parse_scenario_text("[platform]\ntype = only\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text("[platform]\ntype = a x\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text("[availability]\n"), std::runtime_error);  // missing name
+  EXPECT_THROW(parse_scenario_text("[platform]\ntype = a 2\n[availability c]\na = 0.5\n"),
+               std::runtime_error);  // pulse missing ':'
+}
+
+TEST(ScenarioIo, RejectsSemanticErrors) {
+  // No applications.
+  EXPECT_THROW(parse_scenario_text("[platform]\ntype = a 2\n[availability c]\na = 1.0:1\n"
+                                   "[deadline]\nvalue = 10\n"),
+               std::invalid_argument);
+  // Unknown type in availability.
+  EXPECT_THROW(parse_scenario_text("[platform]\ntype = a 2\n[availability c]\nb = 1.0:1\n"),
+               std::runtime_error);
+  // Availability missing a type.
+  EXPECT_THROW(
+      parse_scenario_text("[platform]\ntype = a 2\ntype = b 2\n[availability c]\na = 1.0:1\n"
+                          "[application x]\nserial = 1\nparallel = 1\nmean = 1 1\n"
+                          "[deadline]\nvalue = 10\n"),
+      std::invalid_argument);
+  // Wrong number of means.
+  EXPECT_THROW(
+      parse_scenario_text("[platform]\ntype = a 2\ntype = b 2\n[availability c]\n"
+                          "a = 1.0:1\nb = 1.0:1\n[application x]\nserial = 1\nparallel = 1\n"
+                          "mean = 1\n[deadline]\nvalue = 10\n"),
+      std::invalid_argument);
+  // Missing deadline.
+  EXPECT_THROW(
+      parse_scenario_text("[platform]\ntype = a 2\n[availability c]\na = 1.0:1\n"
+                          "[application x]\nserial = 1\nparallel = 1\nmean = 1\n"),
+      std::invalid_argument);
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  std::string text = "# leading comment\n\n";
+  text += kMinimalScenario;
+  text += "\n# trailing comment\n";
+  EXPECT_NO_THROW(parse_scenario_text(text));
+}
+
+}  // namespace
+}  // namespace cdsf::core

@@ -1,0 +1,241 @@
+// Tests for the simulator extensions: whole-batch execution, Monte-Carlo
+// phi_1 validation, Gantt rendering, and the timestep runner.
+#include <gtest/gtest.h>
+
+#include "cdsf/paper_example.hpp"
+#include "sim/batch_executor.hpp"
+#include "sim/gantt.hpp"
+#include "sim/timestep_runner.hpp"
+#include "test_support.hpp"
+
+namespace cdsf::sim {
+namespace {
+
+using core::make_paper_example;
+using core::paper_naive_allocation;
+using core::paper_robust_allocation;
+
+// -------------------------------------------------------- batch executor --
+
+TEST(BatchExecutor, SystemMakespanIsMaxOfApps) {
+  const auto example = make_paper_example();
+  const BatchRunResult run =
+      simulate_batch(example.batch, paper_robust_allocation(), example.cases.front(),
+                     dls::TechniqueId::kFAC, SimConfig{}, 5);
+  ASSERT_EQ(run.app_makespans.size(), 3u);
+  double expected_max = 0.0;
+  for (double t : run.app_makespans) expected_max = std::max(expected_max, t);
+  EXPECT_DOUBLE_EQ(run.system_makespan, expected_max);
+  for (double t : run.app_makespans) EXPECT_GT(t, 0.0);
+}
+
+TEST(BatchExecutor, PerAppTechniqueVariant) {
+  const auto example = make_paper_example();
+  const std::vector<dls::TechniqueId> techniques = {
+      dls::TechniqueId::kFAC, dls::TechniqueId::kWF, dls::TechniqueId::kAF};
+  const BatchRunResult run = simulate_batch(
+      example.batch, paper_robust_allocation(), example.cases.front(), techniques,
+      SimConfig{}, 5);
+  EXPECT_EQ(run.app_makespans.size(), 3u);
+}
+
+TEST(BatchExecutor, DeterministicGivenSeed) {
+  const auto example = make_paper_example();
+  const BatchRunResult a =
+      simulate_batch(example.batch, paper_robust_allocation(), example.cases.front(),
+                     dls::TechniqueId::kAF, SimConfig{}, 9);
+  const BatchRunResult b =
+      simulate_batch(example.batch, paper_robust_allocation(), example.cases.front(),
+                     dls::TechniqueId::kAF, SimConfig{}, 9);
+  EXPECT_EQ(a.app_makespans, b.app_makespans);
+}
+
+TEST(BatchExecutor, Validation) {
+  const auto example = make_paper_example();
+  EXPECT_THROW(simulate_batch(example.batch, ra::Allocation({{0, 1}}), example.cases.front(),
+                              dls::TechniqueId::kFAC, SimConfig{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_batch(example.batch, paper_robust_allocation(), example.cases.front(),
+                              std::vector<dls::TechniqueId>{dls::TechniqueId::kFAC},
+                              SimConfig{}, 1),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- Monte-Carlo phi_1 ----
+
+TEST(MonteCarloPhi1, MatchesAnalyticForRobustAllocation) {
+  // The headline cross-validation: the DES under the Stage-I-mirror config
+  // must reproduce the analytic phi_1 = 74.5% of Table V.
+  const auto example = make_paper_example();
+  const MonteCarloPhi estimate = estimate_phi1(
+      example.batch, paper_robust_allocation(), example.cases.front(),
+      dls::TechniqueId::kStatic, stage_one_mirror_config(), 31, 4000, example.deadline);
+  EXPECT_NEAR(estimate.probability, 0.745, 4.0 * estimate.standard_error + 0.01);
+}
+
+TEST(MonteCarloPhi1, MatchesAnalyticForNaiveAllocation) {
+  const auto example = make_paper_example();
+  const MonteCarloPhi estimate = estimate_phi1(
+      example.batch, paper_naive_allocation(), example.cases.front(),
+      dls::TechniqueId::kStatic, stage_one_mirror_config(), 32, 4000, example.deadline);
+  EXPECT_NEAR(estimate.probability, 0.26, 4.0 * estimate.standard_error + 0.01);
+}
+
+TEST(MonteCarloPhi1, StandardErrorShrinksWithReplications) {
+  const auto example = make_paper_example();
+  const auto config = stage_one_mirror_config();
+  const MonteCarloPhi small = estimate_phi1(example.batch, paper_robust_allocation(),
+                                            example.cases.front(), dls::TechniqueId::kStatic,
+                                            config, 7, 100, example.deadline);
+  const MonteCarloPhi large = estimate_phi1(example.batch, paper_robust_allocation(),
+                                            example.cases.front(), dls::TechniqueId::kStatic,
+                                            config, 7, 1600, example.deadline);
+  EXPECT_LT(large.standard_error, small.standard_error);
+}
+
+TEST(MonteCarloPhi1, ExtremeDeadlines) {
+  const auto example = make_paper_example();
+  const auto config = stage_one_mirror_config();
+  EXPECT_DOUBLE_EQ(estimate_phi1(example.batch, paper_robust_allocation(),
+                                 example.cases.front(), dls::TechniqueId::kStatic, config, 1,
+                                 50, 1.0)
+                       .probability,
+                   0.0);
+  EXPECT_DOUBLE_EQ(estimate_phi1(example.batch, paper_robust_allocation(),
+                                 example.cases.front(), dls::TechniqueId::kStatic, config, 1,
+                                 50, 1e9)
+                       .probability,
+                   1.0);
+  EXPECT_THROW(estimate_phi1(example.batch, paper_robust_allocation(), example.cases.front(),
+                             dls::TechniqueId::kStatic, config, 1, 0, 100.0),
+               std::invalid_argument);
+}
+
+TEST(SharedGroupAvailability, StaticCostsEquationTwoOverSingleDraw) {
+  // With one shared draw and zero noise, a STATIC run costs exactly
+  // (s + p/n) * T / a, so the makespan lies on the support {T_par / a}.
+  const auto app = test::simple_app("a", 300, 700, {1000.0}, 0.1);
+  SimConfig config = stage_one_mirror_config();
+  config.input_factor_cov = 0.0;  // remove input noise: support is exact
+  const auto avail = sysmodel::AvailabilitySpec(
+      "two", {pmf::Pmf::from_pulses({{0.5, 0.5}, {1.0, 0.5}})});
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const RunResult run =
+        simulate_loop(app, 0, 2, avail, dls::TechniqueId::kStatic, config, seed);
+    const double t_par = 300.0 + 350.0;  // Eq. (2)
+    const bool on_support = std::fabs(run.makespan - t_par / 0.5) < 1e-6 ||
+                            std::fabs(run.makespan - t_par / 1.0) < 1e-6;
+    EXPECT_TRUE(on_support) << "seed=" << seed << " makespan=" << run.makespan;
+  }
+}
+
+// ------------------------------------------------------------------ gantt --
+
+TEST(Gantt, RendersOneRowPerWorkerPlusSerial) {
+  const auto app = test::simple_app("a", 50, 450, {500.0});
+  SimConfig config;
+  config.collect_trace = true;
+  const RunResult run = simulate_loop(app, 0, 4, test::full_availability(1),
+                                      dls::TechniqueId::kFAC, config, 3);
+  GanttOptions options;
+  options.deadline = run.makespan * 0.9;
+  const std::string chart = render_gantt(run, options);
+  EXPECT_NE(chart.find("serial"), std::string::npos);
+  EXPECT_NE(chart.find("worker 0"), std::string::npos);
+  EXPECT_NE(chart.find("worker 3"), std::string::npos);
+  EXPECT_NE(chart.find('='), std::string::npos);
+  EXPECT_NE(chart.find('|'), std::string::npos);  // deadline marker
+}
+
+TEST(Gantt, ChunkCountsInLabels) {
+  const auto app = test::simple_app("a", 0, 100, {100.0});
+  SimConfig config;
+  config.collect_trace = true;
+  const RunResult run = simulate_loop(app, 0, 2, test::full_availability(1),
+                                      dls::TechniqueId::kSS, config, 3);
+  const std::string chart = render_gantt(run, GanttOptions{});
+  EXPECT_NE(chart.find("chunks"), std::string::npos);
+}
+
+TEST(Gantt, Validation) {
+  const auto app = test::simple_app("a", 0, 100, {100.0});
+  const RunResult no_trace = simulate_loop(app, 0, 2, test::full_availability(1),
+                                           dls::TechniqueId::kFAC, SimConfig{}, 3);
+  EXPECT_THROW(render_gantt(no_trace, GanttOptions{}), std::invalid_argument);
+  SimConfig config;
+  config.collect_trace = true;
+  const RunResult traced = simulate_loop(app, 0, 2, test::full_availability(1),
+                                         dls::TechniqueId::kFAC, config, 3);
+  GanttOptions tiny;
+  tiny.width = 3;
+  EXPECT_THROW(render_gantt(traced, tiny), std::invalid_argument);
+}
+
+// -------------------------------------------------------- timestep runner --
+
+TEST(TimestepRunner, ProducesOneMakespanPerSweep) {
+  const auto app = test::simple_app("a", 0, 2000, {2000.0});
+  TimestepConfig config;
+  config.timesteps = 5;
+  const TimestepRunResult result =
+      run_timesteps_awf(app, 0, 4, sysmodel::paper_case(1), config, 11);
+  ASSERT_EQ(result.sweep_makespans.size(), 5u);
+  double total = 0.0;
+  for (double t : result.sweep_makespans) total += t;
+  EXPECT_DOUBLE_EQ(result.total_time, total);
+}
+
+TEST(TimestepRunner, AwfLearnsInPersistentEnvironment) {
+  // With one availability realization persisting across sweeps, AWF's
+  // learned weights must make later sweeps no slower than the first.
+  const auto app = test::simple_app("a", 0, 4000, {8000.0, 8000.0});
+  TimestepConfig config;
+  config.timesteps = 6;
+  config.redraw_availability_each_step = false;
+  double first_sum = 0.0;
+  double later_sum = 0.0;
+  std::size_t later_count = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const TimestepRunResult result =
+        run_timesteps_awf(app, 1, 8, sysmodel::paper_case(4), config, 500 + seed);
+    first_sum += result.sweep_makespans.front();
+    for (std::size_t s = 2; s < result.sweep_makespans.size(); ++s) {
+      later_sum += result.sweep_makespans[s];
+      ++later_count;
+    }
+  }
+  const double first_mean = first_sum / 8.0;
+  const double later_mean = later_sum / static_cast<double>(later_count);
+  EXPECT_LE(later_mean, first_mean * 1.02);
+}
+
+TEST(TimestepRunner, AwfBeatsStaticBaselineInPersistentEnvironment) {
+  const auto app = test::simple_app("a", 0, 4000, {8000.0, 8000.0});
+  TimestepConfig config;
+  config.timesteps = 6;
+  config.redraw_availability_each_step = false;
+  double awf_total = 0.0;
+  double static_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    awf_total +=
+        run_timesteps_awf(app, 1, 8, sysmodel::paper_case(4), config, 700 + seed).total_time;
+    static_total += run_timesteps_baseline(app, 1, 8, sysmodel::paper_case(4),
+                                           dls::TechniqueId::kStatic, config, 700 + seed)
+                        .total_time;
+  }
+  EXPECT_LT(awf_total, static_total);
+}
+
+TEST(TimestepRunner, Validation) {
+  const auto app = test::simple_app("a", 0, 100, {100.0});
+  TimestepConfig config;
+  config.timesteps = 0;
+  EXPECT_THROW(run_timesteps_awf(app, 0, 2, sysmodel::paper_case(1), config, 1),
+               std::invalid_argument);
+  EXPECT_THROW(run_timesteps_baseline(app, 0, 2, sysmodel::paper_case(1),
+                                      dls::TechniqueId::kFAC, config, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::sim

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/loop_executor.hpp"
+#include "sysmodel/cases.hpp"
+#include "test_support.hpp"
+
+namespace cdsf::sim {
+namespace {
+
+using test::full_availability;
+using test::simple_app;
+
+SimConfig deterministic_config() {
+  SimConfig config;
+  config.scheduling_overhead = 0.0;
+  config.iteration_cov = 0.0;
+  config.availability_mode = AvailabilityMode::kConstantMean;
+  return config;
+}
+
+// ----------------------------------------------- deterministic baselines --
+
+TEST(LoopSim, StaticOnDedicatedProcessorsMatchesEquationTwo) {
+  // 300 serial + 700 parallel iterations, 1 time unit each, 4 workers:
+  // serial 300, parallel 175 per worker -> makespan 475.
+  const auto app = simple_app("a", 300, 700, {1000.0});
+  const auto avail = full_availability(1);
+  const RunResult run = simulate_loop(app, 0, 4, avail, dls::TechniqueId::kStatic,
+                                      deterministic_config(), 1);
+  EXPECT_NEAR(run.serial_end, 300.0, 1e-9);
+  EXPECT_NEAR(run.makespan, 475.0, 1e-6);
+}
+
+TEST(LoopSim, SingleWorkerRunsSerially) {
+  const auto app = simple_app("a", 100, 900, {1000.0});
+  const RunResult run = simulate_loop(app, 0, 1, full_availability(1),
+                                      dls::TechniqueId::kStatic, deterministic_config(), 1);
+  EXPECT_NEAR(run.makespan, 1000.0, 1e-6);
+}
+
+TEST(LoopSim, HalfAvailabilityDoublesTime) {
+  const auto app = simple_app("a", 0, 800, {800.0});
+  sysmodel::AvailabilitySpec half("half", {pmf::Pmf::delta(0.5)});
+  const RunResult run = simulate_loop(app, 0, 4, half, dls::TechniqueId::kStatic,
+                                      deterministic_config(), 1);
+  EXPECT_NEAR(run.makespan, 400.0, 1e-6);  // 200 iterations each at rate 0.5
+}
+
+TEST(LoopSim, AllIterationsExecutedExactlyOnce) {
+  const auto app = simple_app("a", 10, 990, {1000.0});
+  for (dls::TechniqueId id : dls::all_techniques()) {
+    const RunResult run = simulate_loop(app, 0, 4, full_availability(1), id,
+                                        deterministic_config(), 7);
+    std::int64_t total = 0;
+    for (const WorkerStats& w : run.workers) total += w.iterations;
+    EXPECT_EQ(total, 990) << dls::technique_name(id);
+  }
+}
+
+TEST(LoopSim, MakespanAtLeastSerialAndCriticalPath) {
+  const auto app = simple_app("a", 200, 800, {1000.0});
+  for (dls::TechniqueId id : dls::all_techniques()) {
+    const RunResult run = simulate_loop(app, 0, 8, full_availability(1), id,
+                                        deterministic_config(), 3);
+    EXPECT_GE(run.makespan, run.serial_end) << dls::technique_name(id);
+    // Lower bound: serial + perfectly balanced parallel work.
+    EXPECT_GE(run.makespan, 200.0 + 100.0 - 1e-9) << dls::technique_name(id);
+  }
+}
+
+TEST(LoopSim, OverheadIncreasesMakespan) {
+  const auto app = simple_app("a", 0, 1000, {1000.0});
+  SimConfig no_overhead = deterministic_config();
+  SimConfig with_overhead = deterministic_config();
+  with_overhead.scheduling_overhead = 2.0;
+  const double lean = simulate_loop(app, 0, 4, full_availability(1), dls::TechniqueId::kSS,
+                                    no_overhead, 5)
+                          .makespan;
+  const double heavy = simulate_loop(app, 0, 4, full_availability(1), dls::TechniqueId::kSS,
+                                     with_overhead, 5)
+                           .makespan;
+  // SS dispatches one chunk per iteration: 250 chunks per worker.
+  EXPECT_NEAR(heavy - lean, 250.0 * 2.0, 1.0);
+}
+
+TEST(LoopSim, SsPaysMoreOverheadThanFac) {
+  const auto app = simple_app("a", 0, 1000, {1000.0});
+  SimConfig config = deterministic_config();
+  config.scheduling_overhead = 1.0;
+  const RunResult ss = simulate_loop(app, 0, 4, full_availability(1), dls::TechniqueId::kSS,
+                                     config, 5);
+  const RunResult fac = simulate_loop(app, 0, 4, full_availability(1), dls::TechniqueId::kFAC,
+                                      config, 5);
+  EXPECT_GT(ss.total_chunks, 10 * fac.total_chunks);
+  EXPECT_GT(ss.makespan, fac.makespan);
+}
+
+// --------------------------------------------------------- reproducibility --
+
+TEST(LoopSim, DeterministicGivenSeed) {
+  const auto app = simple_app("a", 50, 950, {2000.0});
+  SimConfig config;  // stochastic defaults
+  const auto avail = sysmodel::paper_case(1);
+  const RunResult a = simulate_loop(app, 0, 4, avail, dls::TechniqueId::kAF, config, 123);
+  const RunResult b = simulate_loop(app, 0, 4, avail, dls::TechniqueId::kAF, config, 123);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_chunks, b.total_chunks);
+}
+
+TEST(LoopSim, DifferentSeedsDiffer) {
+  const auto app = simple_app("a", 50, 950, {2000.0});
+  SimConfig config;
+  const auto avail = sysmodel::paper_case(1);
+  const RunResult a = simulate_loop(app, 0, 4, avail, dls::TechniqueId::kFAC, config, 1);
+  const RunResult b = simulate_loop(app, 0, 4, avail, dls::TechniqueId::kFAC, config, 2);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+// ----------------------------------------------------- availability modes --
+
+TEST(LoopSim, SampleOnceMeanMatchesStageOneArithmetic) {
+  // STATIC on 1 worker with sample-once availability: E[makespan] =
+  // T * E[1/a]. Type-1 case-1 availability: E[1/a] = 7/6.
+  const auto app = simple_app("a", 0, 1000, {1200.0});
+  SimConfig config = deterministic_config();
+  config.availability_mode = AvailabilityMode::kSampleOnce;
+  double sum = 0.0;
+  constexpr int kReps = 400;
+  for (int r = 0; r < kReps; ++r) {
+    sum += simulate_loop(app, 0, 1, sysmodel::paper_case(1), dls::TechniqueId::kStatic,
+                         config, 1000 + r)
+               .makespan;
+  }
+  EXPECT_NEAR(sum / kReps, 1200.0 * 7.0 / 6.0, 25.0);
+}
+
+TEST(LoopSim, IidEpochLongRunApproachesMeanRate) {
+  // With epochs much shorter than the run, work completes at rate E[a].
+  const auto app = simple_app("a", 0, 10000, {10000.0});
+  SimConfig config = deterministic_config();
+  config.availability_mode = AvailabilityMode::kIidEpoch;
+  config.epoch_length = 20.0;
+  const RunResult run = simulate_loop(app, 0, 1, sysmodel::paper_case(1),
+                                      dls::TechniqueId::kStatic, config, 17);
+  EXPECT_NEAR(run.makespan, 10000.0 / 0.875, 0.05 * 10000.0 / 0.875);
+}
+
+TEST(LoopSim, AdaptiveBeatsStaticUnderHeterogeneousAvailability) {
+  // Case 4 type 2: workers persistently at {0.2, 0.8, 1.0}. STATIC is
+  // hostage to the slowest worker; AF redistributes.
+  const auto app = simple_app("a", 0, 4000, {8000.0, 8000.0});
+  SimConfig config;
+  config.iteration_cov = 0.1;
+  const auto avail = sysmodel::paper_case(4);
+  double static_sum = 0.0;
+  double af_sum = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    static_sum +=
+        simulate_loop(app, 1, 8, avail, dls::TechniqueId::kStatic, config, 100 + r).makespan;
+    af_sum += simulate_loop(app, 1, 8, avail, dls::TechniqueId::kAF, config, 100 + r).makespan;
+  }
+  EXPECT_LT(af_sum, static_sum);
+}
+
+// ---------------------------------------------------------------- trace --
+
+TEST(LoopSim, TraceRecordsEveryChunk) {
+  const auto app = simple_app("a", 0, 100, {100.0});
+  SimConfig config = deterministic_config();
+  config.collect_trace = true;
+  const RunResult run = simulate_loop(app, 0, 4, full_availability(1),
+                                      dls::TechniqueId::kFAC, config, 9);
+  EXPECT_EQ(run.trace.size(), run.total_chunks);
+  std::int64_t traced = 0;
+  for (const ChunkTraceEntry& entry : run.trace) {
+    EXPECT_LE(entry.dispatch_time, entry.start_time);
+    EXPECT_LT(entry.start_time, entry.end_time);
+    traced += entry.iterations;
+  }
+  EXPECT_EQ(traced, 100);
+}
+
+TEST(LoopSim, WorkerStatsAreConsistent) {
+  const auto app = simple_app("a", 0, 500, {500.0});
+  SimConfig config = deterministic_config();
+  config.scheduling_overhead = 0.5;
+  const RunResult run = simulate_loop(app, 0, 4, full_availability(1),
+                                      dls::TechniqueId::kGSS, config, 4);
+  for (const WorkerStats& w : run.workers) {
+    EXPECT_NEAR(w.overhead_time, 0.5 * static_cast<double>(w.chunks), 1e-9);
+    EXPECT_LE(w.finish_time, run.makespan + 1e-9);
+  }
+}
+
+TEST(LoopSim, FinishTimeCovZeroWhenPerfectlyBalanced) {
+  const auto app = simple_app("a", 0, 400, {400.0});
+  const RunResult run = simulate_loop(app, 0, 4, full_availability(1),
+                                      dls::TechniqueId::kStatic, deterministic_config(), 2);
+  EXPECT_NEAR(run.finish_time_cov(), 0.0, 1e-9);
+}
+
+// ----------------------------------------------------------- edge cases --
+
+TEST(LoopSim, NoParallelIterations) {
+  const auto app = simple_app("a", 100, 0, {100.0});
+  const RunResult run = simulate_loop(app, 0, 4, full_availability(1),
+                                      dls::TechniqueId::kFAC, deterministic_config(), 1);
+  EXPECT_NEAR(run.makespan, 100.0, 1e-9);
+  EXPECT_EQ(run.total_chunks, 0u);
+}
+
+TEST(LoopSim, NoSerialIterations) {
+  const auto app = simple_app("a", 0, 100, {100.0});
+  const RunResult run = simulate_loop(app, 0, 2, full_availability(1),
+                                      dls::TechniqueId::kFAC, deterministic_config(), 1);
+  EXPECT_DOUBLE_EQ(run.serial_end, 0.0);
+  EXPECT_NEAR(run.makespan, 50.0, 1e-6);
+}
+
+TEST(LoopSim, MoreWorkersThanIterations) {
+  const auto app = simple_app("a", 0, 3, {3.0});
+  const RunResult run = simulate_loop(app, 0, 8, full_availability(1),
+                                      dls::TechniqueId::kSS, deterministic_config(), 1);
+  std::int64_t total = 0;
+  for (const WorkerStats& w : run.workers) total += w.iterations;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(LoopSim, Validation) {
+  const auto app = simple_app("a", 0, 10, {10.0});
+  const auto avail = full_availability(1);
+  const SimConfig config = deterministic_config();
+  EXPECT_THROW(simulate_loop(app, 0, 0, avail, dls::TechniqueId::kSS, config, 1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_loop(app, 5, 2, avail, dls::TechniqueId::kSS, config, 1),
+               std::invalid_argument);
+  SimConfig bad = config;
+  bad.scheduling_overhead = -1.0;
+  EXPECT_THROW(simulate_loop(app, 0, 2, avail, dls::TechniqueId::kSS, bad, 1),
+               std::invalid_argument);
+  bad = config;
+  bad.epoch_length = 0.0;
+  EXPECT_THROW(simulate_loop(app, 0, 2, avail, dls::TechniqueId::kSS, bad, 1),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- replication --
+
+TEST(Replication, SummaryStatisticsAreCoherent) {
+  const auto app = simple_app("a", 50, 950, {2000.0});
+  SimConfig config;
+  const ReplicationSummary summary = simulate_replicated(
+      app, 0, 4, sysmodel::paper_case(1), dls::TechniqueId::kFAC, config, 11, 20, 1e9);
+  EXPECT_EQ(summary.replications, 20u);
+  EXPECT_LE(summary.min_makespan, summary.mean_makespan);
+  EXPECT_LE(summary.mean_makespan, summary.max_makespan);
+  EXPECT_GE(summary.stddev_makespan, 0.0);
+  EXPECT_DOUBLE_EQ(summary.deadline_hit_rate, 1.0);  // deadline huge
+}
+
+TEST(Replication, HitRateReflectsDeadline) {
+  const auto app = simple_app("a", 0, 1000, {1000.0});
+  const SimConfig config = deterministic_config();
+  // Deterministic makespan = 250; deadline below it -> rate 0.
+  const ReplicationSummary below = simulate_replicated(
+      app, 0, 4, full_availability(1), dls::TechniqueId::kStatic, config, 1, 5, 200.0);
+  EXPECT_DOUBLE_EQ(below.deadline_hit_rate, 0.0);
+  const ReplicationSummary above = simulate_replicated(
+      app, 0, 4, full_availability(1), dls::TechniqueId::kStatic, config, 1, 5, 300.0);
+  EXPECT_DOUBLE_EQ(above.deadline_hit_rate, 1.0);
+}
+
+TEST(Replication, ZeroReplicationsThrows) {
+  const auto app = simple_app("a", 0, 10, {10.0});
+  EXPECT_THROW(simulate_replicated(app, 0, 2, full_availability(1), dls::TechniqueId::kSS,
+                                   SimConfig{}, 1, 0, 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::sim

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/distribution.hpp"
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::stats {
+namespace {
+
+// -------------------------------------------------- special functions ----
+
+TEST(SpecialFunctions, StandardNormalCdfKnownValues) {
+  EXPECT_NEAR(standard_normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(standard_normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(standard_normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(SpecialFunctions, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(standard_normal_cdf(standard_normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(SpecialFunctions, QuantileEdges) {
+  EXPECT_TRUE(std::isinf(standard_normal_quantile(0.0)));
+  EXPECT_TRUE(std::isinf(standard_normal_quantile(1.0)));
+  EXPECT_LT(standard_normal_quantile(0.0), 0.0);
+  EXPECT_GT(standard_normal_quantile(1.0), 0.0);
+  EXPECT_THROW(standard_normal_quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(standard_normal_quantile(1.1), std::invalid_argument);
+}
+
+TEST(SpecialFunctions, RegularizedGammaPMatchesExponential) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10) << "x=" << x;
+  }
+}
+
+TEST(SpecialFunctions, RegularizedGammaPBoundsAndMonotone) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.5, 0.0), 0.0);
+  double prev = 0.0;
+  for (double x = 0.25; x < 20.0; x += 0.25) {
+    const double p = regularized_gamma_p(2.5, x);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+// -------------------------------------------------------- shared checks --
+
+void check_distribution_consistency(const Distribution& dist, double lo, double hi) {
+  // CDF is nondecreasing and pdf integrates (roughly) to CDF differences.
+  double prev_cdf = dist.cdf(lo);
+  const int kSteps = 200;
+  const double step = (hi - lo) / kSteps;
+  for (int i = 1; i <= kSteps; ++i) {
+    const double x = lo + i * step;
+    const double c = dist.cdf(x);
+    EXPECT_GE(c, prev_cdf - 1e-12) << dist.name() << " at x=" << x;
+    // Midpoint rule on the density against the CDF increment.
+    const double mid_density = dist.pdf(x - 0.5 * step);
+    EXPECT_NEAR(c - prev_cdf, mid_density * step, 0.02 * std::max(1e-3, mid_density * step) + 1e-4)
+        << dist.name() << " at x=" << x;
+    prev_cdf = c;
+  }
+}
+
+void check_quantile_roundtrip(const Distribution& dist) {
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = dist.quantile(p);
+    EXPECT_NEAR(dist.cdf(x), p, 1e-6) << dist.name() << " p=" << p;
+  }
+}
+
+void check_sampling_matches_cdf(const Distribution& dist, std::uint64_t seed) {
+  util::RngStream rng(seed);
+  std::vector<double> sample;
+  sample.reserve(20000);
+  for (int i = 0; i < 20000; ++i) sample.push_back(dist.sample(rng));
+  const double ks = ks_distance(sample, [&](double x) { return dist.cdf(x); });
+  // KS 99.9% critical value ~ 1.95 / sqrt(n) ~ 0.0138 at n = 20000.
+  EXPECT_LT(ks, 0.015) << dist.name();
+}
+
+void check_moments_match_sample(const Distribution& dist, std::uint64_t seed) {
+  util::RngStream rng(seed);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = dist.sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, dist.mean(), 5.0 * std::sqrt(dist.variance() / kDraws) + 1e-9)
+      << dist.name();
+  EXPECT_NEAR(var, dist.variance(), 0.1 * dist.variance() + 1e-9) << dist.name();
+}
+
+// --------------------------------------------------------------- Normal --
+
+TEST(Normal, MomentsAndName) {
+  const Normal dist(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(dist.variance(), 4.0);
+  EXPECT_EQ(dist.name(), "Normal(10, 2)");
+}
+
+TEST(Normal, RejectsBadStddev) {
+  EXPECT_THROW(Normal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Normal, CdfPdfConsistent) { check_distribution_consistency(Normal(5.0, 1.5), 0.0, 10.0); }
+TEST(Normal, QuantileRoundtrip) { check_quantile_roundtrip(Normal(5.0, 1.5)); }
+TEST(Normal, SamplingMatchesCdf) { check_sampling_matches_cdf(Normal(5.0, 1.5), 11); }
+TEST(Normal, SampleMoments) { check_moments_match_sample(Normal(5.0, 1.5), 12); }
+
+TEST(Normal, CloneIsIndependentCopy) {
+  const Normal dist(1.0, 1.0);
+  const std::unique_ptr<Distribution> copy = dist.clone();
+  EXPECT_EQ(copy->name(), dist.name());
+  EXPECT_DOUBLE_EQ(copy->mean(), dist.mean());
+}
+
+// ------------------------------------------------------------ LogNormal --
+
+TEST(LogNormal, FromMeanStddevMatchesMoments) {
+  const LogNormal dist = LogNormal::from_mean_stddev(100.0, 25.0);
+  EXPECT_NEAR(dist.mean(), 100.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(dist.variance()), 25.0, 1e-9);
+}
+
+TEST(LogNormal, SupportIsPositive) {
+  const LogNormal dist(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.0), 0.0);
+}
+
+TEST(LogNormal, CdfPdfConsistent) { check_distribution_consistency(LogNormal(0.0, 0.5), 0.2, 5.0); }
+TEST(LogNormal, QuantileRoundtrip) { check_quantile_roundtrip(LogNormal(0.0, 0.5)); }
+TEST(LogNormal, SamplingMatchesCdf) { check_sampling_matches_cdf(LogNormal(0.0, 0.5), 13); }
+TEST(LogNormal, SampleMoments) { check_moments_match_sample(LogNormal(0.0, 0.5), 14); }
+
+// ---------------------------------------------------------------- Gamma --
+
+TEST(Gamma, FromMeanStddevMatchesMoments) {
+  const Gamma dist = Gamma::from_mean_stddev(40.0, 10.0);
+  EXPECT_NEAR(dist.mean(), 40.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(dist.variance()), 10.0, 1e-9);
+}
+
+TEST(Gamma, RejectsBadParameters) {
+  EXPECT_THROW(Gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Gamma(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Gamma, CdfPdfConsistent) { check_distribution_consistency(Gamma(3.0, 2.0), 0.2, 20.0); }
+TEST(Gamma, QuantileRoundtrip) { check_quantile_roundtrip(Gamma(3.0, 2.0)); }
+TEST(Gamma, SamplingMatchesCdf) { check_sampling_matches_cdf(Gamma(3.0, 2.0), 15); }
+TEST(Gamma, SampleMoments) { check_moments_match_sample(Gamma(3.0, 2.0), 16); }
+
+// ---------------------------------------------------------- Exponential --
+
+TEST(Exponential, KnownCdf) {
+  const Exponential dist(2.0);
+  EXPECT_NEAR(dist.cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(dist.cdf(-1.0), 0.0);
+}
+
+TEST(Exponential, QuantileClosedForm) {
+  const Exponential dist(0.5);
+  EXPECT_NEAR(dist.quantile(0.5), std::log(2.0) / 0.5, 1e-12);
+}
+
+TEST(Exponential, CdfPdfConsistent) { check_distribution_consistency(Exponential(1.5), 0.05, 4.0); }
+TEST(Exponential, SamplingMatchesCdf) { check_sampling_matches_cdf(Exponential(1.5), 17); }
+TEST(Exponential, SampleMoments) { check_moments_match_sample(Exponential(1.5), 18); }
+
+// -------------------------------------------------------------- Uniform --
+
+TEST(Uniform, MomentsAndSupport) {
+  const Uniform dist(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.0);
+  EXPECT_NEAR(dist.variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.25), 3.0);
+}
+
+TEST(Uniform, RejectsInvertedRange) { EXPECT_THROW(Uniform(1.0, 1.0), std::invalid_argument); }
+
+TEST(Uniform, SamplingMatchesCdf) { check_sampling_matches_cdf(Uniform(2.0, 6.0), 19); }
+
+// -------------------------------------------------------------- Weibull --
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull weibull(1.0, 2.0);
+  const Exponential exponential(0.5);
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(weibull.cdf(x), exponential.cdf(x), 1e-12);
+  }
+}
+
+TEST(Weibull, CdfPdfConsistent) { check_distribution_consistency(Weibull(2.0, 3.0), 0.1, 9.0); }
+TEST(Weibull, QuantileRoundtrip) { check_quantile_roundtrip(Weibull(2.0, 3.0)); }
+TEST(Weibull, SamplingMatchesCdf) { check_sampling_matches_cdf(Weibull(2.0, 3.0), 20); }
+TEST(Weibull, SampleMoments) { check_moments_match_sample(Weibull(2.0, 3.0), 21); }
+
+}  // namespace
+}  // namespace cdsf::stats

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace cdsf::stats {
+namespace {
+
+// -------------------------------------------------------- OnlineSummary --
+
+TEST(OnlineSummary, EmptyState) {
+  OnlineSummary summary;
+  EXPECT_TRUE(summary.empty());
+  EXPECT_DOUBLE_EQ(summary.count(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.variance(), 0.0);
+}
+
+TEST(OnlineSummary, SingleObservation) {
+  OnlineSummary summary;
+  summary.add(4.0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(summary.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.min(), 4.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 4.0);
+}
+
+TEST(OnlineSummary, MeanAndPopulationVariance) {
+  OnlineSummary summary;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) summary.add(x);
+  EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(summary.variance(), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(summary.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(summary.cov(), 0.4);
+}
+
+TEST(OnlineSummary, WeightedAddMatchesRepeats) {
+  OnlineSummary weighted;
+  weighted.add(3.0, 5.0);
+  weighted.add(7.0, 2.0);
+  OnlineSummary repeated;
+  for (int i = 0; i < 5; ++i) repeated.add(3.0);
+  for (int i = 0; i < 2; ++i) repeated.add(7.0);
+  EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-12);
+  EXPECT_NEAR(weighted.variance(), repeated.variance(), 1e-12);
+}
+
+TEST(OnlineSummary, ZeroWeightIgnored) {
+  OnlineSummary summary;
+  summary.add(1.0);
+  summary.add(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.count(), 1.0);
+}
+
+TEST(OnlineSummary, MergeMatchesSequential) {
+  OnlineSummary left;
+  OnlineSummary right;
+  OnlineSummary all;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i * 1.7 - 3.0;
+    (i < 5 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineSummary, MergeWithEmptyIsNoop) {
+  OnlineSummary summary;
+  summary.add(2.0);
+  summary.merge(OnlineSummary{});
+  EXPECT_DOUBLE_EQ(summary.mean(), 2.0);
+  OnlineSummary empty;
+  empty.merge(summary);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineSummary, CovZeroWhenMeanZero) {
+  OnlineSummary summary;
+  summary.add(-1.0);
+  summary.add(1.0);
+  EXPECT_DOUBLE_EQ(summary.cov(), 0.0);
+}
+
+// ------------------------------------------------------ batch statistics --
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(sample, 1.0 / 3.0), 2.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> sample = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(sample), 4.0);
+  EXPECT_DOUBLE_EQ(stddev_of(sample), 2.0);  // sample stddev (n-1)
+  EXPECT_DOUBLE_EQ(stddev_of({7.0}), 0.0);
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Histogram --
+
+TEST(Histogram, BinsCountsAndFractions) {
+  Histogram histogram(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.7, 9.9}) histogram.add(x);
+  EXPECT_EQ(histogram.count(0), 1u);
+  EXPECT_EQ(histogram.count(1), 2u);
+  EXPECT_EQ(histogram.count(9), 1u);
+  EXPECT_DOUBLE_EQ(histogram.fraction(1), 0.5);
+  EXPECT_EQ(histogram.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram histogram(0.0, 1.0, 2);
+  histogram.add(-0.1);
+  histogram.add(1.0);  // hi is exclusive
+  histogram.add(0.5);
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 1u);
+  EXPECT_EQ(histogram.total(), 3u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram histogram(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(histogram.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.bin_center(4), 9.0);
+  EXPECT_THROW(histogram.bin_center(5), std::out_of_range);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- KS ----
+
+TEST(KsDistance, PerfectUniformSampleIsSmall) {
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back((i + 0.5) / 1000.0);
+  EXPECT_LT(ks_distance(sample, [](double x) { return std::clamp(x, 0.0, 1.0); }), 0.001);
+}
+
+TEST(KsDistance, DetectsWrongDistribution) {
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back((i + 0.5) / 1000.0);
+  // Claim the sample is Uniform(0, 2): half the mass is missing.
+  const double ks = ks_distance(sample, [](double x) { return std::clamp(x / 2.0, 0.0, 1.0); });
+  EXPECT_GT(ks, 0.45);
+}
+
+TEST(KsDistance, EmptySampleThrows) {
+  EXPECT_THROW(ks_distance({}, [](double) { return 0.5; }), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::stats

@@ -1,0 +1,34 @@
+// Shared factories for the test suite.
+#pragma once
+
+#include "pmf/pmf.hpp"
+#include "sysmodel/availability.hpp"
+#include "sysmodel/platform.hpp"
+#include "workload/application.hpp"
+
+namespace cdsf::test {
+
+/// Two-type platform mirroring the paper's (4 x type1, 8 x type2).
+inline sysmodel::Platform small_platform() {
+  return sysmodel::Platform({{"type1", 4}, {"type2", 8}});
+}
+
+/// A fully available spec for `types` processor types.
+inline sysmodel::AvailabilitySpec full_availability(std::size_t types) {
+  std::vector<pmf::Pmf> laws(types, pmf::Pmf::delta(1.0));
+  return sysmodel::AvailabilitySpec("full", std::move(laws));
+}
+
+/// One application: 10% serial, Normal time laws with means per type.
+inline workload::Application simple_app(const std::string& name, std::int64_t serial,
+                                        std::int64_t parallel,
+                                        std::vector<double> means, double cov = 0.1) {
+  std::vector<workload::TimeLaw> laws;
+  laws.reserve(means.size());
+  for (double mean : means) {
+    laws.push_back(workload::TimeLaw{workload::TimeLawKind::kNormal, mean, cov});
+  }
+  return workload::Application(name, serial, parallel, std::move(laws));
+}
+
+}  // namespace cdsf::test

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cdsf/paper_example.hpp"
+#include "ra/heuristics.hpp"
+#include "ra/robustness.hpp"
+#include "sysmodel/trace_io.hpp"
+
+namespace cdsf {
+namespace {
+
+constexpr const char* kTraceText = R"(# machine-17 availability log
+time,availability
+0,100
+100,50
+250,75
+400,25
+)";
+
+// ---------------------------------------------------------------- parsing --
+
+TEST(TraceIo, ParsesCsvWithHeaderAndComments) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text(kTraceText);
+  ASSERT_EQ(trace.time_points.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.time_points[1], 100.0);
+  // Percent form converted to fractions.
+  EXPECT_DOUBLE_EQ(trace.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(trace.values[3], 0.25);
+}
+
+TEST(TraceIo, FractionFormAccepted) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text("0,0.8\n10,0.5\n");
+  EXPECT_DOUBLE_EQ(trace.values[0], 0.8);
+  EXPECT_DOUBLE_EQ(trace.values[1], 0.5);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(sysmodel::parse_trace_text(""), std::invalid_argument);
+  EXPECT_THROW(sysmodel::parse_trace_text("0 0.5\n"), std::runtime_error);     // no comma
+  EXPECT_THROW(sysmodel::parse_trace_text("5,0.5\n"), std::invalid_argument);  // not at 0
+  EXPECT_THROW(sysmodel::parse_trace_text("0,0.5\n0,0.6\n"), std::invalid_argument);
+  EXPECT_THROW(sysmodel::parse_trace_text("0,0.0\n"), std::invalid_argument);  // value 0
+  EXPECT_THROW(sysmodel::parse_trace_text("0,0.5\nx,y\n"), std::runtime_error);
+}
+
+TEST(TraceIo, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/cdsf_trace_test.csv";
+  {
+    std::ofstream out(path);
+    out << kTraceText;
+  }
+  const sysmodel::ParsedTrace trace = sysmodel::load_trace(path);
+  EXPECT_EQ(trace.values.size(), 4u);
+  std::remove(path.c_str());
+  EXPECT_THROW(sysmodel::load_trace("/no/such/file.csv"), std::runtime_error);
+}
+
+// ----------------------------------------------------------------- process --
+
+TEST(TraceIo, ProcessReproducesTheTrace) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text(kTraceText);
+  const auto process = trace.make_process();
+  EXPECT_DOUBLE_EQ(process->availability_at(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(process->availability_at(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(process->availability_at(300.0), 0.75);
+  EXPECT_DOUBLE_EQ(process->availability_at(1000.0), 0.25);
+}
+
+// -------------------------------------------------------------- to_pmf ----
+
+TEST(TraceIo, PmfIsTimeWeighted) {
+  // Steps: 1.0 for 100, 0.5 for 150, 0.75 for 150, 0.25 for 100 (horizon
+  // 500). Total 500.
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text(kTraceText);
+  const pmf::Pmf pmf = trace.to_pmf(500.0);
+  EXPECT_NEAR(pmf.cdf(0.25), 100.0 / 500.0, 1e-12);
+  EXPECT_NEAR(pmf.cdf(0.5), 250.0 / 500.0, 1e-12);
+  EXPECT_NEAR(pmf.expectation(),
+              (1.0 * 100 + 0.5 * 150 + 0.75 * 150 + 0.25 * 100) / 500.0, 1e-12);
+}
+
+TEST(TraceIo, PmfMergesRepeatedValues) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text("0,0.5\n10,1.0\n20,0.5\n");
+  const pmf::Pmf pmf = trace.to_pmf(30.0);
+  EXPECT_EQ(pmf.size(), 2u);
+  EXPECT_NEAR(pmf.cdf(0.5), 20.0 / 30.0, 1e-12);
+}
+
+TEST(TraceIo, PmfHorizonValidation) {
+  const sysmodel::ParsedTrace trace = sysmodel::parse_trace_text("0,0.5\n10,1.0\n");
+  EXPECT_THROW(trace.to_pmf(10.0), std::invalid_argument);
+  EXPECT_NO_THROW(trace.to_pmf(10.5));
+}
+
+// ------------------------------------------- end-to-end: trace -> Stage I --
+
+TEST(TraceIo, HistoricalTraceDrivesStageOne) {
+  // Build Â for both paper types from synthetic "historical logs" whose
+  // time-weighted PMFs equal the paper's case 1, and check Stage I still
+  // lands on the paper's allocation.
+  const sysmodel::ParsedTrace type1 =
+      sysmodel::parse_trace_text("0,0.75\n500,1.0\n");  // 50/50
+  const sysmodel::ParsedTrace type2 =
+      sysmodel::parse_trace_text("0,0.25\n250,0.5\n500,1.0\n");  // 25/25/50
+  const sysmodel::AvailabilitySpec reference(
+      "from-traces", {type1.to_pmf(1000.0), type2.to_pmf(1000.0)});
+
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, reference, example.deadline);
+  const ra::Allocation allocation = ra::ExhaustiveOptimal().allocate(
+      evaluator, example.platform, ra::CountRule::kPowerOfTwo);
+  EXPECT_EQ(allocation, core::paper_robust_allocation());
+  EXPECT_NEAR(evaluator.joint_probability(allocation), 0.745, 0.01);
+}
+
+// ----------------------------------------------------------- portfolio ----
+
+TEST(BestOfPortfolio, MatchesExhaustiveAtPaperScale) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  const ra::Allocation portfolio = ra::BestOfPortfolio().allocate(
+      evaluator, example.platform, ra::CountRule::kPowerOfTwo);
+  const double optimal = evaluator.joint_probability(ra::ExhaustiveOptimal().allocate(
+      evaluator, example.platform, ra::CountRule::kPowerOfTwo));
+  EXPECT_NEAR(evaluator.joint_probability(portfolio), optimal, 1e-9);
+}
+
+TEST(BestOfPortfolio, AtLeastAsGoodAsEveryMember) {
+  const auto example = core::make_paper_example();
+  const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
+                                          example.deadline);
+  const double portfolio = evaluator.joint_probability(ra::BestOfPortfolio().allocate(
+      evaluator, example.platform, ra::CountRule::kPowerOfTwo));
+  for (const auto& heuristic : ra::all_heuristics(false)) {
+    const double member = evaluator.joint_probability(
+        heuristic->allocate(evaluator, example.platform, ra::CountRule::kPowerOfTwo));
+    EXPECT_GE(portfolio, member - 1e-9) << heuristic->name();
+  }
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cdsf::util {
+namespace {
+
+// ------------------------------------------------------------------ rng --
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownReferenceValue) {
+  // First output for seed 0 from the reference implementation.
+  SplitMix64 gen(0);
+  EXPECT_EQ(gen.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(RngStream, Uniform01InRange) {
+  RngStream rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, UniformIntCoversInclusiveRange) {
+  RngStream rng(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngStream, SameSeedSameDraws) {
+  RngStream a(5);
+  RngStream b(5);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngStream, NormalMeanApproximatelyCorrect) {
+  RngStream rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.1);
+}
+
+TEST(SeedSequence, ChildSeedsAreOrderIndependent) {
+  SeedSequence seq(42);
+  const std::uint64_t fifth = seq.child(5);
+  const std::uint64_t second = seq.child(2);
+  EXPECT_EQ(seq.child(5), fifth);
+  EXPECT_EQ(seq.child(2), second);
+  EXPECT_NE(fifth, second);
+}
+
+TEST(SeedSequence, ChildrenOfDifferentMastersDiffer) {
+  EXPECT_NE(SeedSequence(1).child(0), SeedSequence(2).child(0));
+}
+
+TEST(SeedSequence, ManyChildrenAreDistinct) {
+  SeedSequence seq(1234);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(seq.child(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(Table, RendersHeadersAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, TitleAppearsBeforeTable) {
+  Table table({"x"});
+  table.set_title("My Title");
+  table.add_row({"1"});
+  EXPECT_EQ(table.render().rfind("My Title", 0), 0u);
+}
+
+TEST(Table, SeparatorAddsRule) {
+  Table table({"x"});
+  table.add_row({"1"});
+  const std::string before = table.render();
+  const auto lines_before = std::count(before.begin(), before.end(), '\n');
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  EXPECT_GT(std::count(out.begin(), out.end(), '\n'), lines_before + 1);
+}
+
+TEST(Table, AlignmentLeftPadsRight) {
+  Table table({"col"});
+  table.set_alignment({Align::kLeft});
+  table.add_row({"ab"});
+  table.add_row({"abcd"});
+  EXPECT_NE(table.render().find("| ab   |"), std::string::npos);
+}
+
+TEST(TableFormat, FixedAndPercent) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_percent(0.745, 1), "74.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(Csv, PlainCellsUnquoted) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCellsWithCommasAndQuotes) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"x,y", "he said \"hi\""});
+  EXPECT_EQ(out.str(), "\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, EscapeIsIdempotentForPlainText) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+// ------------------------------------------------------------------ cli --
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  Cli cli("test");
+  cli.add_int("count", 7, "a count");
+  cli.add_double("rate", 1.5, "a rate");
+  cli.add_string("name", "dflt", "a name");
+  cli.add_flag("verbose", "a flag");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_EQ(cli.get_string("name"), "dflt");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, ParsesSeparateAndEqualsForms) {
+  Cli cli("test");
+  cli.add_int("a", 0, "");
+  cli.add_int("b", 0, "");
+  const char* argv[] = {"prog", "--a", "3", "--b=4"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("a"), 3);
+  EXPECT_EQ(cli.get_int("b"), 4);
+}
+
+TEST(Cli, FlagPresenceSetsTrue) {
+  Cli cli("test");
+  cli.add_flag("on", "");
+  const char* argv[] = {"prog", "--on"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_flag("on"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  const char* argv[] = {"prog", "--n", "12x"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("n"), std::invalid_argument);
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  Cli cli("test");
+  cli.add_int("n", 0, "");
+  EXPECT_THROW(cli.get_string("n"), std::logic_error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+// ------------------------------------------------------------------ log --
+
+TEST(Log, ThresholdSuppressesBelowLevel) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  // These must not crash and must be cheap; output itself is not captured.
+  CDSF_LOG_DEBUG << "invisible";
+  CDSF_LOG_ERROR << "visible";
+  set_log_level(saved);
+  SUCCEED();
+}
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace cdsf::util

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_support.hpp"
+#include "workload/application.hpp"
+#include "workload/generator.hpp"
+
+namespace cdsf::workload {
+namespace {
+
+// -------------------------------------------------------------- TimeLaw --
+
+TEST(TimeLaw, MakesEachKindWithMatchingMoments) {
+  for (TimeLawKind kind : {TimeLawKind::kNormal, TimeLawKind::kLogNormal, TimeLawKind::kGamma,
+                           TimeLawKind::kUniform}) {
+    const TimeLaw law{kind, 1000.0, 0.1};
+    const auto dist = law.make_distribution();
+    EXPECT_NEAR(dist->mean(), 1000.0, 1e-6) << to_string(kind);
+    EXPECT_NEAR(std::sqrt(dist->variance()), 100.0, 1e-6) << to_string(kind);
+  }
+}
+
+TEST(TimeLaw, ExponentialMatchesMeanOnly) {
+  const TimeLaw law{TimeLawKind::kExponential, 500.0, 0.1};
+  const auto dist = law.make_distribution();
+  EXPECT_NEAR(dist->mean(), 500.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(dist->variance()), 500.0, 1e-9);  // cov fixed at 1
+}
+
+TEST(TimeLaw, Validation) {
+  EXPECT_THROW((TimeLaw{TimeLawKind::kNormal, 0.0, 0.1}).make_distribution(),
+               std::invalid_argument);
+  EXPECT_THROW((TimeLaw{TimeLawKind::kNormal, 10.0, 0.0}).make_distribution(),
+               std::invalid_argument);
+}
+
+TEST(TimeLaw, KindNames) {
+  EXPECT_EQ(to_string(TimeLawKind::kNormal), "Normal");
+  EXPECT_EQ(to_string(TimeLawKind::kExponential), "Exponential");
+}
+
+// ---------------------------------------------------------- Application --
+
+TEST(Application, PaperApp1Characteristics) {
+  const Application app = test::simple_app("app1", 439, 1024, {1800.0, 4000.0});
+  EXPECT_EQ(app.total_iterations(), 1463);
+  EXPECT_NEAR(app.split().serial_fraction, 0.3001, 0.0002);  // Table II: 30%
+  EXPECT_NEAR(app.split().parallel_fraction, 0.6999, 0.0002);
+  EXPECT_EQ(app.type_count(), 2u);
+  EXPECT_DOUBLE_EQ(app.mean_time(0), 1800.0);
+  EXPECT_DOUBLE_EQ(app.mean_time(1), 4000.0);
+}
+
+TEST(Application, MeanIterationTime) {
+  const Application app = test::simple_app("a", 100, 900, {1000.0});
+  EXPECT_DOUBLE_EQ(app.mean_iteration_time(0), 1.0);
+}
+
+TEST(Application, ExpectedParallelTimeFollowsEquationTwo) {
+  const Application app = test::simple_app("a", 300, 700, {1000.0});
+  EXPECT_DOUBLE_EQ(app.expected_parallel_time(0, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(app.expected_parallel_time(0, 2), 300.0 + 350.0);
+  EXPECT_DOUBLE_EQ(app.expected_parallel_time(0, 1000000), 300.0 + 0.0007);
+}
+
+TEST(Application, SingleProcessorPmfMatchesLaw) {
+  const Application app = test::simple_app("a", 0, 1000, {2000.0}, 0.1);
+  const pmf::Pmf p = app.single_processor_pmf(0, 128);
+  EXPECT_NEAR(p.expectation(), 2000.0, 1.0);
+  EXPECT_NEAR(p.stddev(), 200.0, 10.0);
+  EXPECT_GT(p.min(), 0.0);
+}
+
+TEST(Application, ParallelPmfScalesPulses) {
+  const Application app = test::simple_app("a", 500, 500, {1000.0});
+  const pmf::Pmf p = app.parallel_pmf(0, 2, 64);
+  EXPECT_NEAR(p.expectation(), 750.0, 1.0);
+}
+
+TEST(Application, Validation) {
+  EXPECT_THROW(Application("x", 0, 0, {{TimeLawKind::kNormal, 1.0, 0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(Application("x", -1, 10, {{TimeLawKind::kNormal, 1.0, 0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(Application("x", 1, 1, {}), std::invalid_argument);
+  const Application app = test::simple_app("a", 1, 1, {1.0});
+  EXPECT_THROW(app.time_law(5), std::out_of_range);
+}
+
+TEST(Application, ZeroSerialIterationsAllowed) {
+  const Application app = test::simple_app("a", 0, 100, {10.0});
+  EXPECT_DOUBLE_EQ(app.split().serial_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(app.expected_parallel_time(0, 10), 1.0);
+}
+
+// ----------------------------------------------------------------- Batch --
+
+TEST(Batch, AddAndAccess) {
+  Batch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.add(test::simple_app("a", 1, 9, {10.0, 20.0}));
+  batch.add(test::simple_app("b", 2, 8, {30.0, 40.0}));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.at(1).name(), "b");
+  EXPECT_EQ(batch.type_count(), 2u);
+}
+
+TEST(Batch, RejectsTypeCountMismatch) {
+  Batch batch;
+  batch.add(test::simple_app("a", 1, 9, {10.0, 20.0}));
+  EXPECT_THROW(batch.add(test::simple_app("b", 1, 9, {10.0})), std::invalid_argument);
+}
+
+TEST(Batch, RangeForIteration) {
+  Batch batch({test::simple_app("a", 1, 9, {10.0}), test::simple_app("b", 1, 9, {10.0})});
+  std::size_t count = 0;
+  for (const Application& app : batch) {
+    EXPECT_FALSE(app.name().empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+// ------------------------------------------------------------- generator --
+
+TEST(Generator, ProducesRequestedShape) {
+  BatchSpec spec;
+  spec.applications = 12;
+  spec.processor_types = 3;
+  const Batch batch = generate_batch(spec, 99);
+  EXPECT_EQ(batch.size(), 12u);
+  EXPECT_EQ(batch.type_count(), 3u);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  const BatchSpec spec;
+  const Batch a = generate_batch(spec, 7);
+  const Batch b = generate_batch(spec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const BatchSpec spec;
+  const Batch a = generate_batch(spec, 1);
+  const Batch b = generate_batch(spec, 2);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.at(i) == b.at(i))) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, RespectsRanges) {
+  BatchSpec spec;
+  spec.applications = 50;
+  spec.min_total_iterations = 100;
+  spec.max_total_iterations = 200;
+  spec.min_serial_fraction = 0.1;
+  spec.max_serial_fraction = 0.2;
+  spec.min_mean_time = 500.0;
+  spec.max_mean_time = 1000.0;
+  const Batch batch = generate_batch(spec, 3);
+  for (const Application& app : batch) {
+    EXPECT_GE(app.total_iterations(), 100);
+    EXPECT_LE(app.total_iterations(), 200);
+    EXPECT_GE(app.split().serial_fraction, 0.05);  // rounding slack
+    EXPECT_LE(app.split().serial_fraction, 0.25);
+    for (std::size_t t = 0; t < app.type_count(); ++t) {
+      EXPECT_GE(app.mean_time(t), 500.0);
+      EXPECT_LE(app.mean_time(t), 1000.0);
+    }
+    EXPECT_GE(app.parallel_iterations(), 1);  // always at least one parallel iteration
+  }
+}
+
+TEST(Generator, Validation) {
+  BatchSpec spec;
+  spec.applications = 0;
+  EXPECT_THROW(generate_batch(spec, 1), std::invalid_argument);
+  spec = BatchSpec{};
+  spec.max_total_iterations = spec.min_total_iterations - 1;
+  EXPECT_THROW(generate_batch(spec, 1), std::invalid_argument);
+  spec = BatchSpec{};
+  spec.min_mean_time = -1.0;
+  EXPECT_THROW(generate_batch(spec, 1), std::invalid_argument);
+  spec = BatchSpec{};
+  spec.max_serial_fraction = 1.5;
+  EXPECT_THROW(generate_batch(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsf::workload
