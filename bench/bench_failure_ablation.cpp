@@ -1,19 +1,94 @@
 // Ablation: processor failure during execution. Sweeps the failure time of
-// one worker (degrading to 2% residual availability) and reports the median
-// makespan per DLS technique — quantifying the "blast radius" of the
-// non-preemptive chunk in flight and STATIC's stranded share.
+// one worker and reports the median makespan per DLS technique —
+// quantifying the "blast radius" of the non-preemptive chunk in flight and
+// STATIC's stranded share.
+//
+// --mode degrade       : worker slows to --residual availability (default)
+// --mode crash         : worker dies permanently; its chunk is re-dispatched
+// --mode crash-recover : worker dies and rejoins after --recovery-delay
+//
+// Crash modes additionally report the fault accounting (chunks lost,
+// iterations re-executed, wasted work) and a rho_2 section comparing the
+// original Stage I mapping against a re-mapping computed on the REALIZED
+// availability once the degradation exceeds the certified radius.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "cdsf/framework.hpp"
+#include "ra/heuristics.hpp"
 #include "sim/loop_executor.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/application.hpp"
 
+namespace {
+
+using namespace cdsf;
+
+/// Original plan vs rho_2-triggered re-mapping when one processor type
+/// degrades beyond the certificate: count deadline hits over many seeds.
+void remap_comparison(std::uint64_t seed, std::size_t replications) {
+  const sysmodel::Platform platform({{"fast", 8}, {"slow", 8}});
+  const sysmodel::AvailabilitySpec reference(
+      "reference", {pmf::Pmf::delta(1.0), pmf::Pmf::delta(0.9)});
+  const sysmodel::AvailabilitySpec realized(
+      "realized", {pmf::Pmf::delta(0.3), pmf::Pmf::delta(0.9)});
+  workload::Batch batch;
+  batch.add(workload::Application(
+      "loop", 0, 4096,
+      {workload::TimeLaw{workload::TimeLawKind::kNormal, 2400.0, 0.1},
+       workload::TimeLaw{workload::TimeLawKind::kNormal, 3600.0, 0.1}}));
+  const double deadline = 600.0;
+
+  const core::Framework framework(batch, platform, reference, deadline);
+  const ra::ExhaustiveOptimal heuristic;
+  const core::StageOneResult stage_one = framework.run_stage_one(heuristic);
+  core::Framework::ExecutionPlan plan;
+  plan.allocation = stage_one.allocation;
+  plan.phi1 = stage_one.phi1;
+  plan.techniques.assign(batch.size(), dls::TechniqueId::kFAC);
+
+  core::Framework::RemapPolicy policy;
+  policy.rho2 = 0.10;
+  const core::Framework::RemapDecision decision =
+      framework.remap_on_availability(plan, realized, heuristic, policy);
+
+  sim::SimConfig config;
+  config.iteration_cov = 0.1;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  std::size_t hits_original = 0;
+  std::size_t hits_remapped = 0;
+  for (std::size_t r = 0; r < replications; ++r) {
+    if (framework.execute_plan(plan, realized, config, seed + r).system_makespan <= deadline) {
+      ++hits_original;
+    }
+    if (framework.execute_plan(decision.plan, realized, config, seed + r).system_makespan <=
+        deadline) {
+      ++hits_remapped;
+    }
+  }
+
+  std::printf("\nrho_2 re-mapping (realized decrease %.2f vs certificate %.2f -> %s)\n",
+              decision.realized_decrease, policy.rho2,
+              decision.triggered ? "TRIGGERED" : "kept");
+  std::printf("  original plan : %s, phi_1(realized) = %.3f, deadline hits %zu/%zu\n",
+              plan.allocation.to_string(platform).c_str(), decision.phi1_realized_before,
+              hits_original, replications);
+  std::printf("  remapped plan : %s, phi_1(realized) = %.3f, deadline hits %zu/%zu\n",
+              decision.plan.allocation.to_string(platform).c_str(),
+              decision.phi1_realized_after, hits_remapped, replications);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace cdsf;
   util::Cli cli("DLS behaviour under an injected processor failure.");
   cli.add_int("replications", 51, "replications per cell");
-  cli.add_double("residual", 0.02, "availability of the failed worker");
+  cli.add_int("seed", 3, "master random seed");
+  cli.add_string("mode", "degrade", "failure kind: degrade|crash|crash-recover");
+  cli.add_double("residual", 0.02, "availability of the failed worker (degrade mode)");
+  cli.add_double("recovery-delay", 300.0, "downtime before rejoining (crash-recover mode)");
   if (!cli.parse(argc, argv)) return 0;
 
   // 8000 uniform iterations on 8 dedicated workers; worker 2 fails.
@@ -21,7 +96,19 @@ int main(int argc, char** argv) {
       "steady", 0, 8000, {workload::TimeLaw{workload::TimeLawKind::kNormal, 8000.0, 0.1}});
   const sysmodel::AvailabilitySpec full("dedicated", {pmf::Pmf::delta(1.0)});
   const auto replications = static_cast<std::size_t>(cli.get_int("replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double residual = cli.get_double("residual");
+  const double recovery_delay = cli.get_double("recovery-delay");
+  const std::string mode = cli.get_string("mode");
+  sim::SimConfig::FailureKind kind = sim::SimConfig::FailureKind::kDegrade;
+  if (mode == "crash") {
+    kind = sim::SimConfig::FailureKind::kCrash;
+  } else if (mode == "crash-recover") {
+    kind = sim::SimConfig::FailureKind::kCrashRecover;
+  } else if (mode != "degrade") {
+    std::fprintf(stderr, "unknown --mode '%s' (degrade|crash|crash-recover)\n", mode.c_str());
+    return 1;
+  }
 
   const std::vector<double> failure_times = {100.0, 300.0, 600.0, 900.0};
   const std::vector<dls::TechniqueId> techniques = {
@@ -34,33 +121,71 @@ int main(int argc, char** argv) {
   for (double t : failure_times) headers.push_back("fail@" + util::format_fixed(t, 0));
   table.set_headers(headers);
   table.set_alignment({util::Align::kLeft});
-  table.set_title("Median makespan, worker 2 degrading to " +
-                  util::format_percent(residual, 0) +
-                  " availability at the given time (healthy ideal ~1000)");
+  if (kind == sim::SimConfig::FailureKind::kDegrade) {
+    table.set_title("Median makespan, worker 2 degrading to " +
+                    util::format_percent(residual, 0) +
+                    " availability at the given time (healthy ideal ~1000)");
+  } else if (kind == sim::SimConfig::FailureKind::kCrash) {
+    table.set_title(
+        "Median makespan, worker 2 crashing permanently at the given time; "
+        "its in-flight chunk is re-dispatched to the survivors");
+  } else {
+    table.set_title("Median makespan, worker 2 down for " +
+                    util::format_fixed(recovery_delay, 0) +
+                    " time units from the given time, then rejoining");
+  }
+
+  util::Table faults;
+  faults.set_headers(headers);
+  faults.set_alignment({util::Align::kLeft});
+  faults.set_title(
+      "Fault accounting per cell: chunks lost / iterations re-executed / wasted work "
+      "(totals over all replications)");
 
   for (dls::TechniqueId id : techniques) {
     std::vector<std::string> row = {dls::technique_name(id)};
+    std::vector<std::string> fault_row = {dls::technique_name(id)};
     sim::SimConfig healthy;
     healthy.iteration_cov = 0.1;
     healthy.availability_mode = sim::AvailabilityMode::kConstantMean;
     row.push_back(util::format_fixed(
-        sim::simulate_replicated(app, 0, 8, full, id, healthy, 3, replications, 1e18)
+        sim::simulate_replicated(app, 0, 8, full, id, healthy, seed, replications, 1e18)
             .median_makespan,
         0));
+    fault_row.push_back("-");
     for (double t : failure_times) {
       sim::SimConfig config = healthy;
-      config.failures.push_back({2, t, residual});
-      row.push_back(util::format_fixed(
-          sim::simulate_replicated(app, 0, 8, full, id, config, 3, replications, 1e18)
-              .median_makespan,
-          0));
+      sim::SimConfig::Failure failure;
+      failure.worker = 2;
+      failure.time = t;
+      failure.residual_availability = residual;
+      failure.kind = kind;
+      if (kind == sim::SimConfig::FailureKind::kCrashRecover) {
+        failure.recovery_time = t + recovery_delay;
+      }
+      config.failures.push_back(failure);
+      const sim::ReplicationSummary summary =
+          sim::simulate_replicated(app, 0, 8, full, id, config, seed, replications, 1e18);
+      row.push_back(util::format_fixed(summary.median_makespan, 0));
+      fault_row.push_back(std::to_string(summary.faults_total.chunks_lost) + "/" +
+                          std::to_string(summary.faults_total.iterations_reexecuted) + "/" +
+                          util::format_fixed(summary.faults_total.wasted_work, 0));
     }
     table.add_row(row);
+    faults.add_row(fault_row);
   }
   std::puts(table.render().c_str());
-  std::puts("Reading guide: STATIC strands the dead worker's whole remaining share (worst");
-  std::puts("for early failures); dynamic techniques lose only the chunk in flight, so the");
-  std::puts("penalty tracks the CURRENT chunk size — small for SS, large for GSS's first");
-  std::puts("chunk, shrinking over time for the factoring family.");
+  if (kind == sim::SimConfig::FailureKind::kDegrade) {
+    std::puts("Reading guide: STATIC strands the dead worker's whole remaining share (worst");
+    std::puts("for early failures); dynamic techniques lose only the chunk in flight, so the");
+    std::puts("penalty tracks the CURRENT chunk size — small for SS, large for GSS's first");
+    std::puts("chunk, shrinking over time for the factoring family.");
+  } else {
+    std::puts(faults.render().c_str());
+    std::puts("Reading guide: a crash loses at most the chunk in flight — the re-executed");
+    std::puts("iterations track the technique's chunk size at the failure time, and the");
+    std::puts("wasted work is the partial progress on the lost chunk that must be redone.");
+    remap_comparison(seed, replications);
+  }
   return 0;
 }

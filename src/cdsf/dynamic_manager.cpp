@@ -70,6 +70,14 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
     throw std::invalid_argument("run_dynamic_manager: deadline_slack must be > 0");
   }
 
+  // rho_2 trigger: if the realized availability has degraded past the
+  // certified radius, plan against it instead of the reference.
+  const sysmodel::AvailabilitySpec& planning_spec =
+      config.remap_on_rho2 &&
+              sysmodel::availability_decrease(reference, runtime, platform) > config.rho2
+          ? runtime
+          : reference;
+
   const util::SeedSequence seeds(seed);
   util::RngStream arrival_rng = seeds.stream(0);
 
@@ -111,7 +119,7 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
     DynamicOutcome& outcome = result.outcomes[app_index];
     const double budget = outcome.arrival_time + config.deadline_slack - now;
     const Choice choice =
-        choose_group(app, free_processors, reference, std::max(budget, 1.0), config.rule);
+        choose_group(app, free_processors, planning_spec, std::max(budget, 1.0), config.rule);
     if (!choice.found) return false;  // nothing free at all
 
     free_processors[choice.group.processor_type] -= choice.group.processors;

@@ -31,6 +31,13 @@ struct DynamicConfig {
   /// Simulation settings for the executions.
   sim::SimConfig sim;
   ra::CountRule rule = ra::CountRule::kPowerOfTwo;
+  /// rho_2-triggered re-mapping: when true and the realized (runtime)
+  /// weighted-availability decrease relative to `reference` exceeds
+  /// `rho2`, every allocation decision scores candidate groups against the
+  /// REALIZED availability instead of the stale reference — the dynamic
+  /// manager's version of Framework::remap_on_availability.
+  bool remap_on_rho2 = false;
+  double rho2 = 0.0;
 };
 
 /// One application's journey through the manager.

@@ -157,6 +157,34 @@ sim::BatchRunResult Framework::execute_plan(const ExecutionPlan& plan,
   return sim::simulate_batch(batch_, plan.allocation, runtime, plan.techniques, config, seed);
 }
 
+Framework::RemapDecision Framework::remap_on_availability(const ExecutionPlan& plan,
+                                                          const sysmodel::AvailabilitySpec& realized,
+                                                          const ra::Heuristic& heuristic,
+                                                          const RemapPolicy& policy,
+                                                          ra::CountRule rule) const {
+  if (plan.allocation.size() != batch_.size()) {
+    throw std::invalid_argument("remap_on_availability: plan allocation size != batch size");
+  }
+  if (realized.type_count() != platform_.type_count()) {
+    throw std::invalid_argument("remap_on_availability: realized spec type count mismatch");
+  }
+  RemapDecision decision;
+  decision.realized_decrease = sysmodel::availability_decrease(reference_, realized, platform_);
+
+  // Evaluate against what the system has BECOME, not what Stage I assumed.
+  const ra::RobustnessEvaluator realized_eval(batch_, realized, deadline_, robustness_config_);
+  decision.phi1_realized_before = realized_eval.joint_probability(plan.allocation);
+  decision.plan = plan;
+  decision.phi1_realized_after = decision.phi1_realized_before;
+  if (decision.realized_decrease <= policy.rho2) return decision;  // within certificate
+
+  decision.triggered = true;
+  decision.plan.allocation = heuristic.allocate(realized_eval, platform_, rule);
+  decision.phi1_realized_after = realized_eval.joint_probability(decision.plan.allocation);
+  decision.plan.phi1 = decision.phi1_realized_after;
+  return decision;
+}
+
 std::string Framework::describe_plan(const ExecutionPlan& plan) const {
   std::string out;
   for (std::size_t app = 0; app < plan.allocation.size(); ++app) {

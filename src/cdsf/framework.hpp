@@ -162,6 +162,44 @@ class Framework {
                                                  const sim::SimConfig& config,
                                                  std::uint64_t seed) const;
 
+  /// Re-mapping trigger: re-run Stage I when the realized availability has
+  /// degraded beyond what the plan was certified to tolerate (rho_2 from
+  /// robustness_report).
+  struct RemapPolicy {
+    /// Largest tolerable weighted-availability decrease. A realized
+    /// decrease <= rho2 keeps the original plan.
+    double rho2 = 0.0;
+  };
+
+  /// Outcome of a remap check. `plan` is the original plan when not
+  /// triggered, or the re-allocation computed against the REALIZED
+  /// availability when triggered (techniques carry over per application;
+  /// phi1 is re-evaluated under the realized spec).
+  struct RemapDecision {
+    bool triggered = false;
+    /// Realized weighted-availability decrease vs. the reference.
+    double realized_decrease = 0.0;
+    ExecutionPlan plan;
+    /// phi_1 of the ORIGINAL allocation evaluated under the realized
+    /// availability — what the stale plan is actually worth now.
+    double phi1_realized_before = 0.0;
+    /// phi_1 of `plan`'s allocation under the realized availability
+    /// (equals phi1_realized_before when not triggered).
+    double phi1_realized_after = 0.0;
+  };
+
+  /// Closes the Stage I / Stage II loop: compares the realized availability
+  /// against the reference and, when the decrease exceeds policy.rho2,
+  /// re-runs `heuristic` on an evaluator built from the REALIZED
+  /// availability — the paper's rho_2 turned from a static certificate into
+  /// a runtime trigger. Throws std::invalid_argument on a plan whose
+  /// allocation does not match the batch, or a realized spec with a
+  /// mismatched type count.
+  [[nodiscard]] RemapDecision remap_on_availability(
+      const ExecutionPlan& plan, const sysmodel::AvailabilitySpec& realized,
+      const ra::Heuristic& heuristic, const RemapPolicy& policy,
+      ra::CountRule rule = ra::CountRule::kPowerOfTwo) const;
+
   /// Human-readable plan rendering.
   [[nodiscard]] std::string describe_plan(const ExecutionPlan& plan) const;
 

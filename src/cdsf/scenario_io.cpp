@@ -1,5 +1,6 @@
 #include "cdsf/scenario_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -112,18 +113,36 @@ struct RawCase {
   std::size_t line = 0;
 };
 
+sim::SimConfig::FailureKind parse_failure_kind(const std::string& text, std::size_t line) {
+  if (text == "degrade") return sim::SimConfig::FailureKind::kDegrade;
+  if (text == "crash") return sim::SimConfig::FailureKind::kCrash;
+  if (text == "crash-recover") return sim::SimConfig::FailureKind::kCrashRecover;
+  parse_error(line, "unknown failure kind '" + text + "' (degrade|crash|crash-recover)");
+}
+
+std::string failure_kind_name(sim::SimConfig::FailureKind kind) {
+  switch (kind) {
+    case sim::SimConfig::FailureKind::kDegrade: return "degrade";
+    case sim::SimConfig::FailureKind::kCrash: return "crash";
+    case sim::SimConfig::FailureKind::kCrashRecover: return "crash-recover";
+  }
+  return "degrade";
+}
+
 }  // namespace
 
 Scenario parse_scenario(std::istream& in) {
   std::vector<sysmodel::ProcessorType> types;
   std::vector<RawCase> raw_cases;
   std::vector<RawApplication> raw_apps;
+  std::vector<sim::SimConfig::Failure> failures;
   double deadline = -1.0;
 
-  enum class Section { kNone, kPlatform, kAvailability, kApplication, kDeadline };
+  enum class Section { kNone, kPlatform, kAvailability, kApplication, kDeadline, kFailure };
   Section section = Section::kNone;
   RawCase* current_case = nullptr;
   RawApplication* current_app = nullptr;
+  sim::SimConfig::Failure* current_failure = nullptr;
 
   std::string line_text;
   std::size_t line = 0;
@@ -154,6 +173,11 @@ Scenario parse_scenario(std::istream& in) {
         current_app->line = line;
       } else if (header[0] == "deadline") {
         section = Section::kDeadline;
+      } else if (header[0] == "failure") {
+        if (header.size() != 1) parse_error(line, "[failure] takes no name");
+        section = Section::kFailure;
+        failures.push_back(sim::SimConfig::Failure{});
+        current_failure = &failures.back();
       } else {
         parse_error(line, "unknown section '" + header[0] + "'");
       }
@@ -209,6 +233,30 @@ Scenario parse_scenario(std::istream& in) {
       case Section::kDeadline: {
         if (key != "value") parse_error(line, "only 'value = <number>' allowed in [deadline]");
         deadline = parse_double(value, line);
+        break;
+      }
+      case Section::kFailure: {
+        if (key == "worker") {
+          const std::int64_t worker = parse_int(value, line);
+          if (worker < 0) parse_error(line, "failure worker must be >= 0");
+          current_failure->worker = static_cast<std::size_t>(worker);
+        } else if (key == "time") {
+          const double time = parse_double(value, line);
+          if (time < 0.0) parse_error(line, "failure time must be >= 0");
+          current_failure->time = time;
+        } else if (key == "kind") {
+          current_failure->kind = parse_failure_kind(value, line);
+        } else if (key == "residual") {
+          const double residual = parse_double(value, line);
+          if (!(residual > 0.0 && residual <= 1.0)) {
+            parse_error(line, "failure residual must be in (0, 1]");
+          }
+          current_failure->residual_availability = residual;
+        } else if (key == "recovery") {
+          current_failure->recovery_time = parse_double(value, line);
+        } else {
+          parse_error(line, "unknown failure key '" + key + "'");
+        }
         break;
       }
     }
@@ -267,7 +315,20 @@ Scenario parse_scenario(std::istream& in) {
     throw std::invalid_argument("scenario: [deadline] with a positive 'value' required");
   }
 
-  return Scenario{std::move(platform), std::move(cases), std::move(batch), deadline};
+  for (const sim::SimConfig::Failure& failure : failures) {
+    if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover) {
+      if (!std::isfinite(failure.recovery_time) || failure.recovery_time <= failure.time) {
+        throw std::invalid_argument(
+            "scenario: [failure] with kind = crash-recover needs 'recovery' > 'time'");
+      }
+    } else if (std::isfinite(failure.recovery_time)) {
+      throw std::invalid_argument(
+          "scenario: [failure] 'recovery' is only valid with kind = crash-recover");
+    }
+  }
+
+  return Scenario{std::move(platform), std::move(cases), std::move(batch), deadline,
+                  std::move(failures)};
 }
 
 Scenario parse_scenario_text(const std::string& text) {
@@ -309,6 +370,17 @@ std::string scenario_to_text(const Scenario& scenario) {
     out << "profile = " << workload::to_string(app.profile()) << "\n";
   }
   out << "\n[deadline]\nvalue = " << scenario.deadline << "\n";
+  for (const sim::SimConfig::Failure& failure : scenario.failures) {
+    out << "\n[failure]\n";
+    out << "worker = " << failure.worker << "\n";
+    out << "time = " << failure.time << "\n";
+    out << "kind = " << failure_kind_name(failure.kind) << "\n";
+    if (failure.kind == sim::SimConfig::FailureKind::kDegrade) {
+      out << "residual = " << failure.residual_availability << "\n";
+    } else if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover) {
+      out << "recovery = " << failure.recovery_time << "\n";
+    }
+  }
   return out.str();
 }
 

@@ -21,6 +21,13 @@
 //   [deadline]
 //   value = 3250
 //
+//   [failure]                 # optional, repeatable: injected worker fault
+//   worker = 2                # worker index within the executing group
+//   time = 600
+//   kind = crash-recover      # degrade | crash | crash-recover
+//   recovery = 1400           # crash-recover only
+//   # residual = 0.001        # degrade only
+//
 // Sections may appear in any order; [platform] must precede availability
 // and application sections only logically (the parser resolves names after
 // reading the whole file).
@@ -30,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/loop_executor.hpp"
 #include "sysmodel/availability.hpp"
 #include "sysmodel/platform.hpp"
 #include "workload/application.hpp"
@@ -42,6 +50,10 @@ struct Scenario {
   std::vector<sysmodel::AvailabilitySpec> cases;  // [0] is the reference
   workload::Batch batch;
   double deadline = 0.0;
+  /// Injected worker faults for Stage II executions (worker indexes are
+  /// within each application's group; duplicates are rejected at
+  /// simulation time, where the group size is known).
+  std::vector<sim::SimConfig::Failure> failures;
 };
 
 /// Parses a scenario from a stream. Throws std::runtime_error with a

@@ -87,6 +87,10 @@ class Technique {
   [[nodiscard]] virtual std::int64_t next_chunk(const SchedulingContext& ctx) = 0;
 
   /// Measurement feedback; default ignores it (non-adaptive techniques).
+  /// The executors deliver feedback for COMPLETED chunks only: a chunk
+  /// stranded by a worker crash (sim::FailureKind::kCrash/kCrashRecover) is
+  /// re-dispatched without a record() call, so adaptive weights (AWF/AF)
+  /// are never poisoned by a dead worker's unfinished timing.
   virtual void record(const ChunkResult& result);
 
   /// Clears all run state so the instance can schedule a fresh loop

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
@@ -31,6 +32,207 @@ class ForwardingTechnique final : public dls::Technique {
   dls::Technique* inner_;
 };
 
+void accumulate_faults(FaultStats& total, const FaultStats& run) {
+  total.workers_crashed += run.workers_crashed;
+  total.workers_recovered += run.workers_recovered;
+  total.chunks_lost += run.chunks_lost;
+  total.iterations_reexecuted += run.iterations_reexecuted;
+  total.wasted_work += run.wasted_work;
+  total.detection_latency_total += run.detection_latency_total;
+  total.max_detection_latency = std::max(total.max_detection_latency, run.max_detection_latency);
+  total.false_suspicions += run.false_suspicions;
+}
+
+/// The idealized self-scheduling event loop shared by simulate_loop and
+/// simulate_loop_mixed. `worker_types` / `mean_iter` / `stddev_iter` are
+/// per-worker (constant vectors for a homogeneous group). Fault tolerance:
+/// when crash-kind failures are configured, a chunk whose execution window
+/// straddles its worker's crash is LOST — its iterations return to the
+/// pool and are re-dispatched FIFO to idle survivors; record() is never
+/// called for lost chunks, so adaptive weights see only real timings.
+/// Crash detection is instantaneous here (the simulator observes the crash
+/// event directly); the message-passing model in master_worker.cpp pays a
+/// timeout-detection latency instead.
+RunResult run_ideal_loop(const workload::Application& application, const SimConfig& config,
+                         double input_factor, const std::vector<std::size_t>& worker_types,
+                         const std::vector<double>& mean_iter,
+                         const std::vector<double>& stddev_iter,
+                         std::vector<detail::Worker>& workers, dls::Technique& technique,
+                         util::RngStream& run_rng) {
+  const std::size_t processors = workers.size();
+  const bool crash_mode = detail::has_crash_failures(config);
+
+  RunResult result;
+  result.workers.assign(processors, WorkerStats{});
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.kind == SimConfig::FailureKind::kDegrade) continue;
+    result.faults.workers_crashed += 1;
+    if (failure.kind == SimConfig::FailureKind::kCrashRecover) {
+      result.faults.workers_recovered += 1;
+    }
+  }
+
+  // Serial iterations on the master (worker 0).
+  double serial_end = 0.0;
+  if (application.serial_iterations() > 0) {
+    const double serial_work =
+        input_factor * detail::sample_work(application.serial_iterations(), mean_iter[0],
+                                           stddev_iter[0], run_rng);
+    serial_end = workers[0].availability->finish_time(0.0, serial_work);
+    if (!std::isfinite(serial_end)) {
+      throw std::runtime_error(
+          "simulate_loop: master crashed during the serial phase — the serial "
+          "iterations have no fault tolerance (re-dispatch needs a live master)");
+    }
+  }
+  result.serial_end = serial_end;
+  result.makespan = serial_end;
+
+  Engine engine;
+  detail::IterationPool pool(application.parallel_iterations());
+  std::vector<char> dead(processors, 0);
+  std::vector<char> idle(processors, 0);
+  // The (at most one) chunk in flight on a crashing worker that the crash
+  // will strand; the crash lifecycle event reclaims it.
+  struct InFlight {
+    bool lost = false;
+    detail::IterationPool::Range range;
+    double dispatch_time = 0.0;
+    double start_time = 0.0;
+  };
+  std::vector<InFlight> in_flight(processors);
+
+  // Self-scheduling protocol: an idle worker requests a chunk; the chunk
+  // completion event records feedback and triggers the next request.
+  std::function<void(std::size_t)> request = [&](std::size_t w) {
+    WorkerStats& stats = result.workers[w];
+    if (dead[w]) return;
+    const std::int64_t pending = pool.pending();
+    if (pending <= 0) {
+      // Nothing undispatched NOW — but a crash may still return work, so
+      // stay wakeable instead of retiring.
+      idle[w] = 1;
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    std::int64_t chunk = technique.next_chunk(dls::SchedulingContext{pending, w, engine.now()});
+    if (chunk <= 0) {
+      if (!crash_mode) {
+        // Technique has nothing (ever) for this worker (STATIC share spent).
+        stats.finish_time = std::max(stats.finish_time, engine.now());
+        return;
+      }
+      // Fault-tolerant fallback: the technique considers its plan spent
+      // (STATIC after a crash returned iterations to the pool), yet work is
+      // pending — drain it in equal shares so every run completes.
+      std::size_t alive = 0;
+      for (std::size_t v = 0; v < processors; ++v) alive += dead[v] ? 0u : 1u;
+      const auto alive64 = static_cast<std::int64_t>(alive);
+      chunk = (pending + alive64 - 1) / alive64;
+    }
+    const detail::IterationPool::Range range = pool.take(chunk);
+    if (range.count <= 0) {
+      idle[w] = 1;
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + config.scheduling_overhead;
+    const double work =
+        input_factor * detail::chunk_work(application, worker_types[w], mean_iter[w],
+                                          stddev_iter[w], config.iteration_cov, range.first,
+                                          range.count, *workers[w].rng);
+    const double end_time = workers[w].availability->finish_time(start_time, work);
+    // Lost iff the execution window straddles the crash (a permanent crash
+    // makes end_time +infinity, which also lands here). Dead workers never
+    // request, so dispatch_time < crash_time holds for every pre-crash
+    // chunk and is false for every post-recovery one.
+    const bool lost =
+        dispatch_time < workers[w].crash_time && end_time > workers[w].crash_time;
+
+    if (!lost) {
+      stats.chunks += 1;
+      stats.iterations += range.count;
+      stats.busy_time += end_time - start_time;
+      stats.overhead_time += config.scheduling_overhead;
+      result.total_chunks += 1;
+    }
+    if (config.collect_trace) {
+      result.trace.push_back(
+          {w, range.count, dispatch_time, start_time, end_time, lost});
+    }
+    CDSF_LOG_TRACE << "worker " << w << " chunk " << range.count << " [" << dispatch_time
+                   << ", " << end_time << "]" << (lost ? " LOST" : "");
+
+    if (lost) {
+      in_flight[w] = InFlight{true, range, dispatch_time, start_time};
+      return;  // never completes; the crash event at crash_time reclaims it
+    }
+    engine.schedule_at(end_time, [&, w, range, start_time, dispatch_time, end_time] {
+      technique.record(dls::ChunkResult{w, range.count, end_time - start_time,
+                                        end_time - dispatch_time});
+      result.workers[w].finish_time = end_time;
+      result.makespan = std::max(result.makespan, end_time);
+      request(w);
+    });
+  };
+
+  if (application.parallel_iterations() > 0) {
+    // Crash lifecycle events FIRST so that, on a timestamp tie, a worker is
+    // marked dead before any request or completion at the same instant.
+    for (std::size_t w = 0; w < processors; ++w) {
+      if (!workers[w].crashes()) continue;
+      engine.schedule_at(workers[w].crash_time, [&, w] {
+        dead[w] = 1;
+        InFlight& chunk = in_flight[w];
+        if (!chunk.lost) return;
+        result.faults.chunks_lost += 1;
+        result.faults.iterations_reexecuted += chunk.range.count;
+        double wasted =
+            std::min(config.scheduling_overhead, std::max(0.0, engine.now() - chunk.dispatch_time));
+        if (chunk.start_time < engine.now()) {
+          wasted += workers[w].availability->work_delivered(chunk.start_time, engine.now());
+        }
+        result.faults.wasted_work += wasted;
+        pool.give_back(chunk.range);
+        chunk = InFlight{};
+        // Wake idle survivors for the returned iterations.
+        for (std::size_t v = 0; v < processors; ++v) {
+          if (!dead[v] && idle[v]) {
+            idle[v] = 0;
+            request(v);
+          }
+        }
+      });
+      if (std::isfinite(workers[w].recovery_time) && workers[w].recovery_time > serial_end) {
+        engine.schedule_at(workers[w].recovery_time, [&, w] {
+          dead[w] = 0;
+          request(w);
+        });
+      }
+    }
+    // All workers become available for parallel work once the serial
+    // portion completes on the master; workers already down then are
+    // skipped (their recovery event, if any, revives them).
+    engine.schedule_at(serial_end, [&] {
+      for (std::size_t w = 0; w < processors; ++w) request(w);
+    });
+    engine.run();
+  }
+
+  if (crash_mode && pool.pending() > 0) {
+    throw std::runtime_error("simulate_loop: " + std::to_string(pool.pending()) +
+                             " iterations stranded by crashes with no surviving worker "
+                             "to re-dispatch to");
+  }
+
+  for (WorkerStats& w : result.workers) {
+    if (w.finish_time == 0.0) w.finish_time = serial_end;
+  }
+  return result;
+}
+
 }  // namespace
 
 double RunResult::finish_time_cov() const {
@@ -50,86 +252,11 @@ RunResult simulate_loop(const workload::Application& application, std::size_t pr
   if (technique == nullptr) throw std::invalid_argument("simulate_loop: factory returned null");
   technique->reset();
 
-  RunResult result;
-  result.workers.assign(processors, WorkerStats{});
-
-  // Serial iterations on the master (worker 0).
-  double serial_end = 0.0;
-  if (application.serial_iterations() > 0) {
-    const double serial_work =
-        prepared.input_factor * detail::sample_work(application.serial_iterations(),
-                                                    prepared.mean_iter, prepared.stddev_iter,
-                                                    prepared.run_rng);
-    serial_end = prepared.workers[0].availability->finish_time(0.0, serial_work);
-  }
-  result.serial_end = serial_end;
-  result.makespan = serial_end;
-
-  Engine engine;
-  std::int64_t remaining = application.parallel_iterations();
-
-  // Self-scheduling protocol: an idle worker requests a chunk; the chunk
-  // completion event records feedback and triggers the next request.
-  std::function<void(std::size_t)> request = [&](std::size_t w) {
-    WorkerStats& stats = result.workers[w];
-    if (remaining <= 0) {
-      stats.finish_time = std::max(stats.finish_time, engine.now());
-      return;
-    }
-    const dls::SchedulingContext ctx{remaining, w, engine.now()};
-    std::int64_t chunk = technique->next_chunk(ctx);
-    if (chunk <= 0) {
-      // Technique has nothing (ever) for this worker (STATIC share spent).
-      stats.finish_time = std::max(stats.finish_time, engine.now());
-      return;
-    }
-    chunk = std::min(chunk, remaining);
-    // Chunks cover contiguous index ranges from the front of the loop (the
-    // iteration profile makes index position meaningful).
-    const std::int64_t first_index = application.parallel_iterations() - remaining;
-    remaining -= chunk;
-
-    const double dispatch_time = engine.now();
-    const double start_time = dispatch_time + config.scheduling_overhead;
-    const double work = prepared.input_factor *
-                        detail::chunk_work(application, processor_type, prepared.mean_iter,
-                                           prepared.stddev_iter, config.iteration_cov,
-                                           first_index, chunk, *prepared.workers[w].rng);
-    const double end_time = prepared.workers[w].availability->finish_time(start_time, work);
-
-    stats.chunks += 1;
-    stats.iterations += chunk;
-    stats.busy_time += end_time - start_time;
-    stats.overhead_time += config.scheduling_overhead;
-    result.total_chunks += 1;
-    if (config.collect_trace) {
-      result.trace.push_back({w, chunk, dispatch_time, start_time, end_time});
-    }
-    CDSF_LOG_TRACE << "worker " << w << " chunk " << chunk << " [" << dispatch_time << ", "
-                   << end_time << "]";
-
-    engine.schedule_at(end_time, [&, w, chunk, start_time, dispatch_time, end_time] {
-      technique->record(dls::ChunkResult{w, chunk, end_time - start_time,
-                                         end_time - dispatch_time});
-      result.workers[w].finish_time = end_time;
-      result.makespan = std::max(result.makespan, end_time);
-      request(w);
-    });
-  };
-
-  if (application.parallel_iterations() > 0) {
-    // All workers become available for parallel work once the serial
-    // portion completes on the master.
-    engine.schedule_at(serial_end, [&] {
-      for (std::size_t w = 0; w < processors; ++w) request(w);
-    });
-    engine.run();
-  }
-
-  for (WorkerStats& w : result.workers) {
-    if (w.finish_time == 0.0) w.finish_time = serial_end;
-  }
-  return result;
+  const std::vector<std::size_t> worker_types(processors, processor_type);
+  const std::vector<double> mean_iter(processors, prepared.mean_iter);
+  const std::vector<double> stddev_iter(processors, prepared.stddev_iter);
+  return run_ideal_loop(application, config, prepared.input_factor, worker_types, mean_iter,
+                        stddev_iter, prepared.workers, *technique, prepared.run_rng);
 }
 
 RunResult simulate_loop(const workload::Application& application, std::size_t processor_type,
@@ -168,10 +295,12 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   // from its own child seed, so the aggregation below is bit-identical for
   // any thread count.
   std::vector<double> samples(replications);
+  std::vector<FaultStats> faults(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
-    samples[r] = simulate_loop(application, processor_type, processors, availability,
-                               technique, config, seeds.child(r))
-                     .makespan;
+    const RunResult run = simulate_loop(application, processor_type, processors, availability,
+                                        technique, config, seeds.child(r));
+    samples[r] = run.makespan;
+    faults[r] = run.faults;
   });
   stats::OnlineSummary makespans;
   std::size_t hits = 0;
@@ -182,7 +311,6 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   ReplicationSummary summary;
   summary.replications = replications;
   summary.mean_makespan = makespans.mean();
-  summary.median_makespan = stats::percentile(std::move(samples), 0.5);
   summary.stddev_makespan = makespans.stddev();
   summary.min_makespan = makespans.min();
   summary.max_makespan = makespans.max();
@@ -190,6 +318,9 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   summary.mean_ci =
       stats::mean_interval(summary.mean_makespan, summary.stddev_makespan, replications);
   summary.hit_rate_ci = stats::wilson_interval(hits, replications);
+  // Summed in replication order — independent of the thread count.
+  for (const FaultStats& f : faults) accumulate_faults(summary.faults_total, f);
+  summary.median_makespan = stats::percentile(std::move(samples), 0.5);
   return summary;
 }
 
@@ -219,17 +350,13 @@ RunResult simulate_loop_mixed(const workload::Application& application,
   // Per-worker iteration statistics and availability processes, each from
   // ITS OWN type. (prepare_run assumes a homogeneous group; this path
   // builds the heterogeneous equivalent directly.)
-  struct MixedWorker {
-    double mean_iter = 0.0;
-    double stddev_iter = 0.0;
-    std::unique_ptr<sysmodel::AvailabilityProcess> availability;
-    std::unique_ptr<util::RngStream> rng;
-  };
-  std::vector<MixedWorker> group(processors);
+  std::vector<double> mean_iter(processors, 0.0);
+  std::vector<double> stddev_iter(processors, 0.0);
+  std::vector<detail::Worker> group(processors);
   for (std::size_t w = 0; w < processors; ++w) {
     const std::size_t type = worker_types[w];
-    group[w].mean_iter = application.mean_iteration_time(type);
-    group[w].stddev_iter = group[w].mean_iter * config.iteration_cov;
+    mean_iter[w] = application.mean_iteration_time(type);
+    stddev_iter[w] = mean_iter[w] * config.iteration_cov;
     group[w].rng = std::make_unique<util::RngStream>(seeds.child(100 + 2 * w));
     const pmf::Pmf& law = availability.of_type(type);
     switch (config.availability_mode) {
@@ -261,101 +388,34 @@ RunResult simulate_loop_mixed(const workload::Application& application,
       }
     }
   }
+  detail::validate_failures(config.failures, processors);
   for (const SimConfig::Failure& failure : config.failures) {
-    if (failure.worker >= processors) {
-      throw std::invalid_argument("simulate_loop_mixed: failure targets an unknown worker");
-    }
-    group[failure.worker].availability = std::make_unique<sysmodel::FailingAvailability>(
-        std::move(group[failure.worker].availability), failure.time,
-        failure.residual_availability);
+    detail::apply_failure(group[failure.worker], failure);
   }
 
   // The technique sees combined speed x availability weights: the rate of
   // worker w relative to the group (1/mean_iter scaled by observed
-  // availability at t = 0).
+  // availability at t = 0, pre-crash for a worker already down at t = 0).
   dls::TechniqueParams params;
   params.workers = processors;
   params.total_iterations = std::max<std::int64_t>(1, application.parallel_iterations());
   double mean_iter_sum = 0.0;
-  for (const MixedWorker& w : group) mean_iter_sum += w.mean_iter;
+  for (double m : mean_iter) mean_iter_sum += m;
   params.mean_iteration_time = mean_iter_sum / static_cast<double>(processors);
   params.stddev_iteration_time = params.mean_iteration_time * config.iteration_cov;
   params.scheduling_overhead = config.scheduling_overhead;
   params.weights.reserve(processors);
   for (std::size_t w = 0; w < processors; ++w) {
-    params.weights.push_back(group[w].availability->availability_at(0.0) /
-                             group[w].mean_iter * params.mean_iteration_time);
+    const double avail0 = group[w].crashes() && group[w].crash_time <= 0.0
+                              ? group[w].weight_at_zero
+                              : group[w].availability->availability_at(0.0);
+    params.weights.push_back(avail0 / mean_iter[w] * params.mean_iteration_time);
   }
   const std::unique_ptr<dls::Technique> tech = dls::make_technique(technique, params);
   tech->reset();
 
-  RunResult result;
-  result.workers.assign(processors, WorkerStats{});
-
-  double serial_end = 0.0;
-  if (application.serial_iterations() > 0) {
-    const double serial_work =
-        input_factor * detail::sample_work(application.serial_iterations(),
-                                           group[0].mean_iter, group[0].stddev_iter, run_rng);
-    serial_end = group[0].availability->finish_time(0.0, serial_work);
-  }
-  result.serial_end = serial_end;
-  result.makespan = serial_end;
-
-  Engine engine;
-  std::int64_t remaining = application.parallel_iterations();
-  std::function<void(std::size_t)> request = [&](std::size_t w) {
-    WorkerStats& stats = result.workers[w];
-    if (remaining <= 0) {
-      stats.finish_time = std::max(stats.finish_time, engine.now());
-      return;
-    }
-    std::int64_t chunk = tech->next_chunk(dls::SchedulingContext{remaining, w, engine.now()});
-    if (chunk <= 0) {
-      stats.finish_time = std::max(stats.finish_time, engine.now());
-      return;
-    }
-    chunk = std::min(chunk, remaining);
-    const std::int64_t first_index = application.parallel_iterations() - remaining;
-    remaining -= chunk;
-
-    const double dispatch_time = engine.now();
-    const double start_time = dispatch_time + config.scheduling_overhead;
-    // Worker-local cost: the application's profile-weighted range cost on
-    // THIS worker's type (chunk_work handles flat/profiled paths).
-    const double work = input_factor *
-                        detail::chunk_work(application, worker_types[w], group[w].mean_iter,
-                                           group[w].stddev_iter, config.iteration_cov,
-                                           first_index, chunk, *group[w].rng);
-    const double end_time = group[w].availability->finish_time(start_time, work);
-
-    stats.chunks += 1;
-    stats.iterations += chunk;
-    stats.busy_time += end_time - start_time;
-    stats.overhead_time += config.scheduling_overhead;
-    result.total_chunks += 1;
-    if (config.collect_trace) {
-      result.trace.push_back({w, chunk, dispatch_time, start_time, end_time});
-    }
-    engine.schedule_at(end_time, [&, w, chunk, start_time, dispatch_time, end_time] {
-      tech->record(dls::ChunkResult{w, chunk, end_time - start_time,
-                                    end_time - dispatch_time});
-      result.workers[w].finish_time = end_time;
-      result.makespan = std::max(result.makespan, end_time);
-      request(w);
-    });
-  };
-
-  if (application.parallel_iterations() > 0) {
-    engine.schedule_at(serial_end, [&] {
-      for (std::size_t w = 0; w < processors; ++w) request(w);
-    });
-    engine.run();
-  }
-  for (WorkerStats& w : result.workers) {
-    if (w.finish_time == 0.0) w.finish_time = serial_end;
-  }
-  return result;
+  return run_ideal_loop(application, config, input_factor, worker_types, mean_iter,
+                        stddev_iter, group, *tech, run_rng);
 }
 
 TechniqueComparison compare_techniques(const workload::Application& application,

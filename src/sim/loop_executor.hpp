@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -94,14 +95,55 @@ struct SimConfig {
   bool shared_group_availability = false;
   /// Record per-chunk trace entries (costs memory; off by default).
   bool collect_trace = false;
-  /// Injected processor failures: the listed workers degrade to
-  /// `residual_availability` at `time` (sysmodel::FailingAvailability).
+  /// What an injected failure does to its worker.
+  enum class FailureKind {
+    /// Availability drops to `residual_availability` forever
+    /// (sysmodel::FailingAvailability) — the worker limps, the in-flight
+    /// chunk still (slowly) completes. The historical behavior.
+    kDegrade,
+    /// Availability drops to 0 forever (sysmodel::CrashingAvailability) —
+    /// the worker is gone, its in-flight chunk is LOST and re-dispatched
+    /// to the survivors by the fault-tolerance layer.
+    kCrash,
+    /// As kCrash, but the worker rejoins at `recovery_time` and resumes
+    /// requesting work (with a clean slate; the lost chunk stays lost).
+    kCrashRecover,
+  };
+  /// Injected processor failures, at most one per worker (duplicates are
+  /// rejected with std::invalid_argument — stacking decorators silently
+  /// would make the semantics order-dependent).
   struct Failure {
     std::size_t worker = 0;
     double time = 0.0;
-    double residual_availability = 1e-3;
+    double residual_availability = 1e-3;  // kDegrade only
+    FailureKind kind = FailureKind::kDegrade;
+    /// kCrashRecover only: absolute time the worker rejoins (> time).
+    double recovery_time = std::numeric_limits<double>::infinity();
   };
   std::vector<Failure> failures;
+  /// Master-side dead-worker detection for the message-passing model
+  /// (simulate_loop_mpi). The idealized executors observe crash events
+  /// directly (zero detection latency); the MPI master only sees missing
+  /// completion reports, so it arms a timeout per outstanding chunk and
+  /// declares the worker dead after `max_probes` expirations with
+  /// exponential backoff. Only armed when a crash-kind failure is
+  /// configured, so non-crash runs are bit-identical to the legacy model.
+  struct FaultDetection {
+    /// When false, crash faults in the MPI model go undetected; a run that
+    /// strands iterations then throws std::runtime_error instead of
+    /// deadlocking (the ablation baseline).
+    bool enabled = true;
+    /// First timeout = factor x expected chunk round-trip (assignment
+    /// latency + a-priori compute estimate + report latency).
+    double timeout_factor = 3.0;
+    /// Lower bound on any armed timeout.
+    double min_timeout = 1.0;
+    /// Multiplier on the probe interval after each expiration.
+    double backoff = 2.0;
+    /// Timeout expirations tolerated before the worker is declared dead.
+    std::size_t max_probes = 2;
+  };
+  FaultDetection fault_detection;
 };
 
 /// Per-worker accounting.
@@ -119,7 +161,29 @@ struct ChunkTraceEntry {
   std::int64_t iterations = 0;
   double dispatch_time = 0.0;  // request granted (overhead starts)
   double start_time = 0.0;     // computation starts
-  double end_time = 0.0;       // computation ends
+  double end_time = 0.0;       // computation ends (would-be end if lost)
+  bool lost = false;           // chunk stranded by a crash; re-dispatched
+};
+
+/// Fault-tolerance accounting for one run. All zero when no crash-kind
+/// failure is configured.
+struct FaultStats {
+  std::size_t workers_crashed = 0;
+  std::size_t workers_recovered = 0;
+  /// In-flight chunks stranded by crashes (each later re-dispatched).
+  std::uint64_t chunks_lost = 0;
+  /// Iterations from lost chunks that had to be executed again.
+  std::int64_t iterations_reexecuted = 0;
+  /// Wall-clock x availability the crashed workers sank into chunks that
+  /// never completed (compute delivered before the crash, plus overhead).
+  double wasted_work = 0.0;
+  /// Sum over lost chunks of (declared-dead time - crash time). Zero in
+  /// the idealized executors, which observe the crash event directly.
+  double detection_latency_total = 0.0;
+  double max_detection_latency = 0.0;
+  /// MPI model: timeouts that expired for a worker that was NOT dead
+  /// (a slow chunk probed before its report arrived).
+  std::size_t false_suspicions = 0;
 };
 
 /// Outcome of one simulated application execution.
@@ -129,6 +193,7 @@ struct RunResult {
   std::uint64_t total_chunks = 0;
   std::vector<WorkerStats> workers;
   std::vector<ChunkTraceEntry> trace;
+  FaultStats faults;
 
   /// Coefficient of variation of per-worker finish times — the classic
   /// load-imbalance metric (0 = perfectly balanced).
@@ -184,6 +249,9 @@ struct ReplicationSummary {
   stats::ConfidenceInterval mean_ci;
   /// 95% Wilson interval for the deadline hit rate.
   stats::ConfidenceInterval hit_rate_ci;
+  /// Fault accounting summed over all replications (order-independent, so
+  /// bit-identical for any thread count).
+  FaultStats faults_total;
 };
 
 /// Mixed-type group execution: the paper restricts every group to ONE

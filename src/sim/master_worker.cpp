@@ -1,7 +1,9 @@
 #include "sim/master_worker.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
@@ -26,8 +28,26 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   }
   technique->reset();
 
+  // Fault tolerance is armed only when a crash-kind failure exists, so
+  // degrade-only and failure-free runs stay bit-identical to the legacy
+  // protocol. With crashes, the master only ever observes MESSAGES: a dead
+  // worker simply stops reporting, so each outstanding chunk carries a
+  // timeout; after fault_detection.max_probes expirations (exponential
+  // backoff between probes) the worker is declared dead and its chunk
+  // re-dispatched. A recovering worker's fresh request also exposes the
+  // loss (even with detection disabled), mirroring an MPI reconnect.
+  const bool crash_mode = detail::has_crash_failures(config);
+  const bool detection = crash_mode && config.fault_detection.enabled;
+
   MpiRunResult result;
   result.run.workers.assign(processors, WorkerStats{});
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.kind == SimConfig::FailureKind::kDegrade) continue;
+    result.run.faults.workers_crashed += 1;
+    if (failure.kind == SimConfig::FailureKind::kCrashRecover) {
+      result.run.faults.workers_recovered += 1;
+    }
+  }
 
   // Serial iterations on worker 0 before the parallel loop opens.
   double serial_end = 0.0;
@@ -37,18 +57,97 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                                                     prepared.mean_iter, prepared.stddev_iter,
                                                     prepared.run_rng);
     serial_end = prepared.workers[0].availability->finish_time(0.0, serial_work);
+    if (!std::isfinite(serial_end)) {
+      throw std::runtime_error(
+          "simulate_loop_mpi: worker 0 crashed during the serial phase — the serial "
+          "iterations have no fault tolerance (re-dispatch needs the loop to open)");
+    }
   }
   result.run.serial_end = serial_end;
   result.run.makespan = serial_end;
 
   Engine engine;
-  std::int64_t remaining = application.parallel_iterations();
+  detail::IterationPool pool(application.parallel_iterations());
+  std::int64_t completed = 0;  // accepted parallel iterations (crash mode)
   double master_free_at = 0.0;
+
+  // Master-side fault state (all untouched in legacy mode).
+  struct Outstanding {
+    bool active = false;
+    bool lost = false;  // physically stranded by the worker's crash
+    detail::IterationPool::Range range;
+    double dispatch_time = 0.0;
+    double start_time = 0.0;
+    double end_time = 0.0;
+    std::uint64_t id = 0;
+    std::size_t probes = 0;
+  };
+  std::vector<Outstanding> outstanding(processors);
+  std::vector<std::uint64_t> next_id(processors, 0);
+  std::vector<char> declared_dead(processors, 0);
+  std::vector<char> idle(processors, 0);
+
+  std::function<void(std::size_t)> master_receive_request;
+
+  // Pulls a reclaimed/returned range back into circulation: benched workers
+  // (idle because the pool momentarily drained) get the master's deferred
+  // reply now.
+  auto wake_idle = [&] {
+    for (std::size_t v = 0; v < processors; ++v) {
+      if (idle[v] && !declared_dead[v]) {
+        idle[v] = 0;
+        master_receive_request(v);
+      }
+    }
+  };
+
+  // Takes worker w's outstanding chunk away from it (it was declared dead
+  // or rejoined after a crash) and returns the iterations to the pool.
+  auto reclaim_outstanding = [&](std::size_t w) {
+    Outstanding& out = outstanding[w];
+    if (!out.active) return;
+    out.active = false;
+    result.run.faults.iterations_reexecuted += out.range.count;
+    if (out.lost) {
+      result.run.faults.chunks_lost += 1;
+      const double detect_latency =
+          std::max(0.0, engine.now() - prepared.workers[w].crash_time);
+      result.run.faults.detection_latency_total += detect_latency;
+      result.run.faults.max_detection_latency =
+          std::max(result.run.faults.max_detection_latency, detect_latency);
+      double wasted = out.start_time - out.dispatch_time;
+      if (out.start_time < engine.now()) {
+        wasted += prepared.workers[w].availability->work_delivered(out.start_time, engine.now());
+      }
+      result.run.faults.wasted_work += wasted;
+    }
+    pool.give_back(out.range);
+    wake_idle();
+  };
+
+  // One timeout expiration for assignment `id` on worker w. Stale probes
+  // (the report arrived, or the chunk was already reclaimed) are no-ops.
+  std::function<void(std::size_t, std::uint64_t, double)> probe_fire =
+      [&](std::size_t w, std::uint64_t id, double interval) {
+        Outstanding& out = outstanding[w];
+        if (!out.active || out.id != id) return;
+        out.probes += 1;
+        if (out.probes >= config.fault_detection.max_probes) {
+          declared_dead[w] = 1;
+          if (!out.lost) result.run.faults.false_suspicions += 1;
+          CDSF_LOG_TRACE << "mpi master declares worker " << w << " dead at " << engine.now();
+          reclaim_outstanding(w);
+          return;
+        }
+        const double next = interval * config.fault_detection.backoff;
+        engine.schedule_at(engine.now() + next,
+                           [&probe_fire, w, id, next] { probe_fire(w, id, next); });
+      };
 
   // The master serializes request handling; each handled request either
   // assigns a chunk (reply travels back with one latency) or retires the
   // worker. Completion reports carry the technique feedback.
-  std::function<void(std::size_t)> master_receive_request = [&](std::size_t w) {
+  master_receive_request = [&](std::size_t w) {
     const double arrival = engine.now();
     const double service_start = std::max(arrival, master_free_at);
     const double wait = service_start - arrival;
@@ -60,19 +159,34 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
 
     engine.schedule_at(master_free_at, [&, w] {
       WorkerStats& stats = result.run.workers[w];
-      if (remaining <= 0) {
+      if (declared_dead[w]) return;
+      const std::int64_t pending = pool.pending();
+      if (pending <= 0) {
+        // Crash mode: stay wakeable — a reclaim may refill the pool.
+        if (crash_mode) idle[w] = 1;
         stats.finish_time = std::max(stats.finish_time, engine.now());
         return;
       }
-      const dls::SchedulingContext ctx{remaining, w, engine.now()};
+      const dls::SchedulingContext ctx{pending, w, engine.now()};
       std::int64_t chunk = technique->next_chunk(ctx);
       if (chunk <= 0) {
+        if (!crash_mode) {
+          stats.finish_time = std::max(stats.finish_time, engine.now());
+          return;
+        }
+        // Fault-tolerant fallback: the technique's plan is spent but
+        // reclaimed iterations are pending — drain them in equal shares.
+        std::size_t alive = 0;
+        for (std::size_t v = 0; v < processors; ++v) alive += declared_dead[v] ? 0u : 1u;
+        const auto alive64 = static_cast<std::int64_t>(alive);
+        chunk = (pending + alive64 - 1) / alive64;
+      }
+      const detail::IterationPool::Range range = pool.take(chunk);
+      if (range.count <= 0) {
+        if (crash_mode) idle[w] = 1;
         stats.finish_time = std::max(stats.finish_time, engine.now());
         return;
       }
-      chunk = std::min(chunk, remaining);
-      const std::int64_t first_index = application.parallel_iterations() - remaining;
-      remaining -= chunk;
 
       // Assignment message travels to the worker; computation starts on
       // arrival (the scheduling_overhead of the abstract model is the
@@ -82,29 +196,96 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       const double work = prepared.input_factor *
                           detail::chunk_work(application, processor_type, prepared.mean_iter,
                                              prepared.stddev_iter, config.iteration_cov,
-                                             first_index, chunk, *prepared.workers[w].rng);
+                                             range.first, range.count,
+                                             *prepared.workers[w].rng);
       const double end_time = prepared.workers[w].availability->finish_time(start_time, work);
+      // Physically stranded iff the worker's outage touches the chunk's
+      // lifetime: assigned before (or into) the outage and not finished by
+      // the crash. A permanent crash makes end_time +infinity, which also
+      // lands here.
+      const bool lost = start_time < prepared.workers[w].recovery_time &&
+                        end_time > prepared.workers[w].crash_time;
 
-      stats.chunks += 1;
-      stats.iterations += chunk;
-      stats.busy_time += end_time - start_time;
-      stats.overhead_time += start_time - dispatch_time;
-      result.run.total_chunks += 1;
       if (config.collect_trace) {
-        result.run.trace.push_back({w, chunk, dispatch_time, start_time, end_time});
+        result.run.trace.push_back(
+            {w, range.count, dispatch_time, start_time, end_time, lost});
       }
-      CDSF_LOG_TRACE << "mpi worker " << w << " chunk " << chunk << " [" << dispatch_time
-                     << ", " << end_time << "]";
+      CDSF_LOG_TRACE << "mpi worker " << w << " chunk " << range.count << " ["
+                     << dispatch_time << ", " << end_time << "]" << (lost ? " LOST" : "");
 
-      engine.schedule_at(end_time, [&, w, chunk, start_time, dispatch_time, end_time] {
-        result.run.workers[w].finish_time = end_time;
-        result.run.makespan = std::max(result.run.makespan, end_time);
-        // Completion report + next request reach the master one latency
-        // later; the feedback is recorded when the master RECEIVES it.
-        engine.schedule_after(messages.latency, [&, w, chunk, start_time, dispatch_time,
-                                                 end_time] {
-          technique->record(dls::ChunkResult{w, chunk, end_time - start_time,
-                                             end_time - dispatch_time});
+      if (!crash_mode) {
+        // Legacy protocol (bit-identical): account at dispatch, report
+        // always arrives.
+        stats.chunks += 1;
+        stats.iterations += range.count;
+        stats.busy_time += end_time - start_time;
+        stats.overhead_time += start_time - dispatch_time;
+        result.run.total_chunks += 1;
+        engine.schedule_at(end_time, [&, w, range, start_time, dispatch_time, end_time] {
+          result.run.workers[w].finish_time = end_time;
+          result.run.makespan = std::max(result.run.makespan, end_time);
+          // Completion report + next request reach the master one latency
+          // later; the feedback is recorded when the master RECEIVES it.
+          engine.schedule_after(messages.latency, [&, w, range, start_time, dispatch_time,
+                                                   end_time] {
+            technique->record(dls::ChunkResult{w, range.count, end_time - start_time,
+                                               end_time - dispatch_time});
+            master_receive_request(w);
+          });
+        });
+        return;
+      }
+
+      // Crash mode: account only ACCEPTED completion reports, so lost and
+      // falsely-suspected (late-report) chunks never pollute the worker
+      // stats or the technique's adaptive weights.
+      const std::uint64_t id = ++next_id[w];
+      outstanding[w] =
+          Outstanding{true, lost, range, dispatch_time, start_time, end_time, id, 0};
+      if (detection) {
+        // Expected round trip from the master's a-priori knowledge: the
+        // weight seed (observed availability) is all it has — the actual
+        // availability path is exactly what it cannot see.
+        const double expected_compute = static_cast<double>(range.count) *
+                                        prepared.mean_iter * prepared.input_factor /
+                                        std::max(prepared.params.weights[w], 0.05);
+        const double timeout =
+            std::max(config.fault_detection.min_timeout,
+                     config.fault_detection.timeout_factor *
+                         (expected_compute + 2.0 * messages.latency));
+        engine.schedule_at(dispatch_time + timeout,
+                           [&probe_fire, w, id, timeout] { probe_fire(w, id, timeout); });
+      }
+      if (lost) return;  // the worker dies mid-chunk: no report, ever
+
+      engine.schedule_at(end_time, [&, w, id, start_time, end_time] {
+        engine.schedule_after(messages.latency, [&, w, id, start_time, end_time] {
+          Outstanding& out = outstanding[w];
+          if (!out.active || out.id != id) {
+            // Late report from a falsely-suspected worker: its iterations
+            // were already re-dispatched, so the result is dropped — but
+            // the worker is clearly alive, so reinstate it.
+            result.run.faults.wasted_work +=
+                prepared.workers[w].availability->work_delivered(start_time, end_time);
+            if (declared_dead[w]) {
+              declared_dead[w] = 0;
+              master_receive_request(w);
+            }
+            return;
+          }
+          out.active = false;
+          WorkerStats& ws = result.run.workers[w];
+          ws.chunks += 1;
+          ws.iterations += out.range.count;
+          ws.busy_time += out.end_time - out.start_time;
+          ws.overhead_time += out.start_time - out.dispatch_time;
+          ws.finish_time = out.end_time;
+          result.run.total_chunks += 1;
+          result.run.makespan = std::max(result.run.makespan, out.end_time);
+          completed += out.range.count;
+          technique->record(dls::ChunkResult{w, out.range.count,
+                                             out.end_time - out.start_time,
+                                             out.end_time - out.dispatch_time});
           master_receive_request(w);
         });
       });
@@ -113,12 +294,37 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
 
   if (application.parallel_iterations() > 0) {
     engine.schedule_at(serial_end, [&] {
-      // Every worker's initial request reaches the master one latency in.
+      // Every worker's initial request reaches the master one latency in;
+      // workers already down at the kick never send one (their recovery
+      // request, if any, is their first contact).
       for (std::size_t w = 0; w < processors; ++w) {
+        const detail::Worker& worker = prepared.workers[w];
+        if (worker.crash_time <= serial_end && serial_end < worker.recovery_time) continue;
         engine.schedule_after(messages.latency, [&, w] { master_receive_request(w); });
       }
     });
+    for (std::size_t w = 0; w < processors; ++w) {
+      const detail::Worker& worker = prepared.workers[w];
+      if (!worker.crashes() || !std::isfinite(worker.recovery_time)) continue;
+      // The rejoining worker's request reaches the master one latency after
+      // recovery (or after the loop opens); it also reveals that the old
+      // chunk died with the worker, even when timeout detection is off.
+      const double rejoin = std::max(worker.recovery_time, serial_end) + messages.latency;
+      engine.schedule_at(rejoin, [&, w] {
+        declared_dead[w] = 0;
+        reclaim_outstanding(w);
+        master_receive_request(w);
+      });
+    }
     engine.run();
+  }
+
+  if (crash_mode && completed < application.parallel_iterations()) {
+    throw std::runtime_error(
+        "simulate_loop_mpi: " +
+        std::to_string(application.parallel_iterations() - completed) +
+        " iterations stranded by crashes (fault detection disabled or no surviving "
+        "worker to re-dispatch to)");
   }
 
   for (WorkerStats& w : result.run.workers) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace cdsf::sim::detail {
 
@@ -24,6 +25,78 @@ void validate_config(const SimConfig& config) {
   }
   if (config.diurnal_amplitude < 0.0 || !(config.diurnal_period > 0.0)) {
     throw std::invalid_argument("SimConfig: diurnal knobs out of domain");
+  }
+  const SimConfig::FaultDetection& fd = config.fault_detection;
+  if (!(fd.timeout_factor > 0.0) || !(fd.min_timeout > 0.0) || !(fd.backoff >= 1.0) ||
+      fd.max_probes == 0) {
+    throw std::invalid_argument("SimConfig: fault_detection knobs out of domain");
+  }
+}
+
+void validate_failures(const std::vector<SimConfig::Failure>& failures,
+                       std::size_t processors) {
+  std::vector<bool> seen(processors, false);
+  for (const SimConfig::Failure& failure : failures) {
+    if (failure.worker >= processors) {
+      throw std::invalid_argument("simulate_loop: failure targets an unknown worker");
+    }
+    if (seen[failure.worker]) {
+      throw std::invalid_argument(
+          "simulate_loop: duplicate failure for worker " + std::to_string(failure.worker) +
+          " (at most one failure per worker)");
+    }
+    seen[failure.worker] = true;
+    if (failure.time < 0.0) {
+      throw std::invalid_argument("simulate_loop: failure time must be >= 0");
+    }
+    switch (failure.kind) {
+      case SimConfig::FailureKind::kDegrade:
+        if (!(failure.residual_availability > 0.0 && failure.residual_availability <= 1.0)) {
+          throw std::invalid_argument(
+              "simulate_loop: kDegrade residual availability must be in (0, 1]");
+        }
+        break;
+      case SimConfig::FailureKind::kCrash:
+        if (!std::isfinite(failure.time)) {
+          throw std::invalid_argument("simulate_loop: crash failure time must be finite");
+        }
+        break;
+      case SimConfig::FailureKind::kCrashRecover:
+        if (!std::isfinite(failure.time)) {
+          throw std::invalid_argument("simulate_loop: crash failure time must be finite");
+        }
+        if (!(failure.recovery_time > failure.time) || !std::isfinite(failure.recovery_time)) {
+          throw std::invalid_argument(
+              "simulate_loop: kCrashRecover recovery_time must be finite and > failure time");
+        }
+        break;
+    }
+  }
+}
+
+bool has_crash_failures(const SimConfig& config) {
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.kind != SimConfig::FailureKind::kDegrade) return true;
+  }
+  return false;
+}
+
+void apply_failure(Worker& worker, const SimConfig::Failure& failure) {
+  switch (failure.kind) {
+    case SimConfig::FailureKind::kDegrade:
+      worker.availability = std::make_unique<sysmodel::FailingAvailability>(
+          std::move(worker.availability), failure.time, failure.residual_availability);
+      break;
+    case SimConfig::FailureKind::kCrash:
+    case SimConfig::FailureKind::kCrashRecover:
+      worker.weight_at_zero = worker.availability->availability_at(0.0);
+      worker.crash_time = failure.time;
+      worker.recovery_time = failure.kind == SimConfig::FailureKind::kCrashRecover
+                                 ? failure.recovery_time
+                                 : std::numeric_limits<double>::infinity();
+      worker.availability = std::make_unique<sysmodel::CrashingAvailability>(
+          std::move(worker.availability), failure.time, worker.recovery_time);
+      break;
   }
 }
 
@@ -129,17 +202,15 @@ PreparedRun prepare_run(const workload::Application& application, std::size_t pr
       run.workers[w].availability = make_process(law, config, run.run_rng, avail_seed);
     }
   }
+  validate_failures(config.failures, processors);
   for (const SimConfig::Failure& failure : config.failures) {
-    if (failure.worker >= processors) {
-      throw std::invalid_argument("simulate_loop: failure targets an unknown worker");
-    }
-    run.workers[failure.worker].availability = std::make_unique<sysmodel::FailingAvailability>(
-        std::move(run.workers[failure.worker].availability), failure.time,
-        failure.residual_availability);
+    apply_failure(run.workers[failure.worker], failure);
   }
 
   // Problem facts for the technique, including observed t=0 availabilities
-  // as WF/AWF weight seeds.
+  // as WF/AWF weight seeds. For a worker that crashes at t = 0 the
+  // pre-crash value is used — the master seeds weights before it can know
+  // the worker is gone, and normalized_weights rejects a 0.
   run.params.workers = processors;
   run.params.total_iterations = std::max<std::int64_t>(1, application.parallel_iterations());
   run.params.mean_iteration_time = run.mean_iter;
@@ -147,7 +218,10 @@ PreparedRun prepare_run(const workload::Application& application, std::size_t pr
   run.params.scheduling_overhead = config.scheduling_overhead;
   run.params.weights.reserve(processors);
   for (std::size_t w = 0; w < processors; ++w) {
-    run.params.weights.push_back(run.workers[w].availability->availability_at(0.0));
+    const Worker& worker = run.workers[w];
+    run.params.weights.push_back(worker.crashes() && worker.crash_time <= 0.0
+                                     ? worker.weight_at_zero
+                                     : worker.availability->availability_at(0.0));
   }
   return run;
 }

@@ -3,6 +3,8 @@
 // Not part of the public API.
 #pragma once
 
+#include <deque>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -16,6 +18,26 @@ namespace cdsf::sim::detail {
 
 /// Throws std::invalid_argument on out-of-domain config values.
 void validate_config(const SimConfig& config);
+
+/// Validates the failure list against a worker count: every target must be
+/// a known worker, at most ONE failure per worker (duplicates would stack
+/// decorators with order-dependent semantics), kDegrade residuals in
+/// (0, 1], kCrashRecover recoveries strictly after the crash. Throws
+/// std::invalid_argument.
+void validate_failures(const std::vector<SimConfig::Failure>& failures,
+                       std::size_t processors);
+
+/// True if any configured failure is kCrash / kCrashRecover — the switch
+/// that arms the fault-tolerance machinery (and, in the MPI model, the
+/// timeout timers).
+[[nodiscard]] bool has_crash_failures(const SimConfig& config);
+
+struct Worker;
+
+/// Applies one (already validated) failure to its worker: wraps the
+/// availability process in the kind's decorator and, for crash kinds,
+/// mirrors crash metadata and captures the pre-crash weight seed.
+void apply_failure(Worker& worker, const SimConfig::Failure& failure);
 
 /// Sum of `count` iid iteration times (exact draws for small chunks, CLT
 /// normal approximation for large ones); always > 0.
@@ -38,6 +60,74 @@ void validate_config(const SimConfig& config);
 struct Worker {
   std::unique_ptr<sysmodel::AvailabilityProcess> availability;
   std::unique_ptr<util::RngStream> rng;
+  /// Crash metadata mirrored out of the configured failure (both
+  /// +infinity when the worker has no crash-kind failure). The executors
+  /// read these instead of down-casting the decorated process.
+  double crash_time = std::numeric_limits<double>::infinity();
+  double recovery_time = std::numeric_limits<double>::infinity();
+  /// availability_at(0) of the process BEFORE any crash decorator was
+  /// applied — the a-priori weight seed. A crash at t = 0 would otherwise
+  /// seed weight 0, which normalized_weights rejects (and the master has
+  /// no way to know at dispatch time that the worker is already gone).
+  double weight_at_zero = 1.0;
+
+  [[nodiscard]] bool crashes() const noexcept {
+    return crash_time != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// The undispatched parallel iterations. Normally a plain front counter
+/// (contiguous ranges handed out in index order — bit-identical to the
+/// historical `first_index = total - remaining` arithmetic); when a crash
+/// strands a chunk its range is given back and re-dispatched FIFO before
+/// any fresh work. take() always returns ONE contiguous range (chunk work
+/// of index-dependent profiles needs contiguity), so a grant may come back
+/// smaller than requested when the front returned range is short.
+class IterationPool {
+ public:
+  struct Range {
+    std::int64_t first = 0;
+    std::int64_t count = 0;
+  };
+
+  explicit IterationPool(std::int64_t total) : total_(total) {}
+
+  /// Iterations not yet completed-or-in-flight.
+  [[nodiscard]] std::int64_t pending() const noexcept {
+    std::int64_t p = total_ - next_;
+    for (const Range& r : returned_) p += r.count;
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return next_ >= total_ && returned_.empty(); }
+
+  /// Hands out up to `max_count` iterations as one contiguous range
+  /// (count == 0 when the pool is empty or max_count <= 0).
+  [[nodiscard]] Range take(std::int64_t max_count) {
+    if (max_count <= 0) return {};
+    if (!returned_.empty()) {
+      Range& front = returned_.front();
+      Range out{front.first, std::min(front.count, max_count)};
+      front.first += out.count;
+      front.count -= out.count;
+      if (front.count == 0) returned_.pop_front();
+      return out;
+    }
+    Range out{next_, std::min(total_ - next_, max_count)};
+    if (out.count <= 0) return {};
+    next_ += out.count;
+    return out;
+  }
+
+  /// Returns a lost chunk's range for re-dispatch.
+  void give_back(Range range) {
+    if (range.count > 0) returned_.push_back(range);
+  }
+
+ private:
+  std::int64_t total_ = 0;
+  std::int64_t next_ = 0;
+  std::deque<Range> returned_;
 };
 
 /// Everything both executors need set up identically: validated inputs,

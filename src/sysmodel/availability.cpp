@@ -56,6 +56,13 @@ double AvailabilityProcess::finish_time(double start, double work) {
   while (remaining > 0.0) {
     const double a = availability_at(t);
     const double boundary = next_change_after(t);
+    if (a <= 0.0) {
+      // Outage (CrashingAvailability): no progress. A permanent outage
+      // never completes the work.
+      if (!std::isfinite(boundary)) return kInfinity;
+      t = boundary;
+      continue;
+    }
     const double needed = remaining / a;
     if (t + needed <= boundary) return t + needed;
     remaining -= a * (boundary - t);
@@ -243,6 +250,29 @@ double FailingAvailability::availability_at(double t) {
 double FailingAvailability::next_change_after(double t) {
   if (t >= failure_time_) return kInfinity;
   return std::min(inner_->next_change_after(t), failure_time_);
+}
+
+CrashingAvailability::CrashingAvailability(std::unique_ptr<AvailabilityProcess> inner,
+                                           double crash_time, double recovery_time)
+    : inner_(std::move(inner)), crash_time_(crash_time), recovery_time_(recovery_time) {
+  if (inner_ == nullptr) throw std::invalid_argument("CrashingAvailability: inner is null");
+  if (crash_time < 0.0) {
+    throw std::invalid_argument("CrashingAvailability: crash_time must be >= 0");
+  }
+  if (!(recovery_time > crash_time)) {
+    throw std::invalid_argument("CrashingAvailability: recovery_time must be > crash_time");
+  }
+}
+
+double CrashingAvailability::availability_at(double t) {
+  if (is_down(t)) return 0.0;
+  return inner_->availability_at(t);
+}
+
+double CrashingAvailability::next_change_after(double t) {
+  if (t < crash_time_) return std::min(inner_->next_change_after(t), crash_time_);
+  if (is_down(t)) return recovery_time_;
+  return inner_->next_change_after(t);
 }
 
 }  // namespace cdsf::sysmodel

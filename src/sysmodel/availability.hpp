@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,7 +57,9 @@ class AvailabilitySpec {
 // ---------------------------------------------------------------------------
 
 /// A piecewise-constant availability-vs-time function for ONE processor.
-/// Implementations must guarantee availability_at(t) in (0, 1] and strictly
+/// Implementations must guarantee availability_at(t) in (0, 1] — with one
+/// deliberate exception: CrashingAvailability returns 0 during an outage,
+/// which only the fault-tolerant executors opt into — and strictly
 /// increasing change points.
 class AvailabilityProcess {
  public:
@@ -72,7 +75,9 @@ class AvailabilityProcess {
   /// Wall-clock completion time of `work` dedicated-processor time units
   /// started at `start`: the t solving the work integral
   ///     integral_start^t availability(tau) dtau = work.
-  /// Exact for the piecewise-constant processes here.
+  /// Exact for the piecewise-constant processes here. Zero-availability
+  /// stretches deliver no work; if the process never resumes (a permanent
+  /// crash), the result is +infinity — the chunk never completes.
   [[nodiscard]] double finish_time(double start, double work);
 
   /// Dedicated-processor work delivered in [start, end].
@@ -204,6 +209,40 @@ class FailingAvailability final : public AvailabilityProcess {
   std::unique_ptr<AvailabilityProcess> inner_;
   double failure_time_;
   double residual_;
+};
+
+/// Decorator modeling a processor CRASH: the inner process applies until
+/// `crash_time`; during the outage the availability is 0 — the processor is
+/// gone, not merely loaded — and, if a finite `recovery_time` is given, the
+/// inner process resumes from there. Unlike FailingAvailability's residual
+/// trickle, a crashed worker delivers NO progress, so an in-flight chunk is
+/// lost and must be detected and re-dispatched by a fault-tolerant executor
+/// (sim::FailureKind::kCrash / kCrashRecover); feeding this process to the
+/// legacy non-preemptive protocol would deadlock, which is exactly what the
+/// fault-tolerance layer exists to prevent.
+class CrashingAvailability final : public AvailabilityProcess {
+ public:
+  /// Throws std::invalid_argument if inner is null, crash_time < 0, or
+  /// recovery_time <= crash_time. recovery_time = +infinity (the default)
+  /// means the crash is permanent.
+  CrashingAvailability(std::unique_ptr<AvailabilityProcess> inner, double crash_time,
+                       double recovery_time = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] double availability_at(double t) override;
+  [[nodiscard]] double next_change_after(double t) override;
+
+  [[nodiscard]] double crash_time() const noexcept { return crash_time_; }
+  /// +infinity when the crash is permanent.
+  [[nodiscard]] double recovery_time() const noexcept { return recovery_time_; }
+  /// True while the processor is in its outage window [crash, recovery).
+  [[nodiscard]] bool is_down(double t) const noexcept {
+    return t >= crash_time_ && t < recovery_time_;
+  }
+
+ private:
+  std::unique_ptr<AvailabilityProcess> inner_;
+  double crash_time_;
+  double recovery_time_;
 };
 
 /// Validates that every pulse of an availability PMF lies in (0, 1].

@@ -89,6 +89,7 @@ int cmd_scenario(int argc, char** argv) {
   core::StageTwoConfig config;
   config.replications = static_cast<std::size_t>(cli.get_int("replications"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.sim.failures = scenario.failures;  // [failure] sections from the file
   const core::ScenarioResult result = framework.run_scenario(
       "cdsf", heuristic, dls::paper_robust_set(), scenario.cases, config);
 

@@ -1,0 +1,323 @@
+// Fault-tolerant Stage II: crash-kind failures, chunk re-dispatch,
+// timeout-driven detection in the MPI model, and the rho_2-triggered
+// Stage I re-mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cdsf/framework.hpp"
+#include "dls/adaptive.hpp"
+#include "ra/heuristics.hpp"
+#include "sim/loop_executor.hpp"
+#include "sim/master_worker.hpp"
+#include "test_support.hpp"
+
+namespace cdsf {
+namespace {
+
+constexpr std::int64_t kIterations = 4000;
+
+workload::Application steady_app() {
+  return test::simple_app("steady", 0, kIterations, {4000.0});
+}
+
+sim::SimConfig crash_config(std::size_t worker, double time,
+                            sim::SimConfig::FailureKind kind =
+                                sim::SimConfig::FailureKind::kCrash,
+                            double recovery = std::numeric_limits<double>::infinity()) {
+  sim::SimConfig config;
+  config.iteration_cov = 0.1;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  config.collect_trace = true;
+  sim::SimConfig::Failure failure;
+  failure.worker = worker;
+  failure.time = time;
+  failure.kind = kind;
+  failure.recovery_time = recovery;
+  config.failures.push_back(failure);
+  return config;
+}
+
+std::int64_t completed_iterations(const sim::RunResult& run) {
+  std::int64_t total = 0;
+  for (const sim::WorkerStats& worker : run.workers) total += worker.iterations;
+  return total;
+}
+
+// ------------------------------------------------ idealized executor (crash) --
+
+TEST(FaultTolerance, CrashRunCompletesAllIterationsAcrossTechniques) {
+  const workload::Application app = steady_app();
+  const sysmodel::AvailabilitySpec full = test::full_availability(1);
+  const sim::SimConfig config = crash_config(1, 200.0);
+  for (dls::TechniqueId id :
+       {dls::TechniqueId::kStatic, dls::TechniqueId::kSS, dls::TechniqueId::kGSS,
+        dls::TechniqueId::kTSS, dls::TechniqueId::kFAC, dls::TechniqueId::kAWF_B,
+        dls::TechniqueId::kAF}) {
+    const sim::RunResult run = sim::simulate_loop(app, 0, 4, full, id, config, 7);
+    EXPECT_TRUE(std::isfinite(run.makespan)) << dls::technique_name(id);
+    // Every iteration is eventually executed by a surviving worker.
+    EXPECT_EQ(completed_iterations(run), kIterations) << dls::technique_name(id);
+    EXPECT_EQ(run.faults.workers_crashed, 1u) << dls::technique_name(id);
+    EXPECT_EQ(run.faults.workers_recovered, 0u) << dls::technique_name(id);
+    // Fault accounting matches the trace exactly.
+    std::uint64_t lost_chunks = 0;
+    std::int64_t lost_iterations = 0;
+    for (const sim::ChunkTraceEntry& entry : run.trace) {
+      if (!entry.lost) continue;
+      ++lost_chunks;
+      lost_iterations += entry.iterations;
+      EXPECT_EQ(entry.worker, 1u) << dls::technique_name(id);
+    }
+    EXPECT_EQ(run.faults.chunks_lost, lost_chunks) << dls::technique_name(id);
+    EXPECT_EQ(run.faults.iterations_reexecuted, lost_iterations) << dls::technique_name(id);
+    // The worker was mid-chunk at t = 200, so something was lost and redone.
+    EXPECT_GE(run.faults.chunks_lost, 1u) << dls::technique_name(id);
+    EXPECT_GT(run.faults.wasted_work, 0.0) << dls::technique_name(id);
+    // The idealized executor observes the crash event directly.
+    EXPECT_DOUBLE_EQ(run.faults.detection_latency_total, 0.0) << dls::technique_name(id);
+  }
+}
+
+TEST(FaultTolerance, CrashAtTimeZeroNeverDispatchesToTheDeadWorker) {
+  const sim::RunResult run =
+      sim::simulate_loop(steady_app(), 0, 4, test::full_availability(1),
+                         dls::TechniqueId::kFAC, crash_config(1, 0.0), 3);
+  EXPECT_EQ(completed_iterations(run), kIterations);
+  EXPECT_EQ(run.workers[1].iterations, 0);
+  EXPECT_EQ(run.workers[1].chunks, 0u);
+  EXPECT_EQ(run.faults.chunks_lost, 0u);  // nothing was in flight at t = 0
+  EXPECT_DOUBLE_EQ(run.faults.wasted_work, 0.0);
+}
+
+TEST(FaultTolerance, CrashRecoverWorkerRejoinsAndContributes) {
+  const sim::RunResult run = sim::simulate_loop(
+      steady_app(), 0, 4, test::full_availability(1), dls::TechniqueId::kSS,
+      crash_config(1, 100.0, sim::SimConfig::FailureKind::kCrashRecover, 300.0), 11);
+  EXPECT_EQ(completed_iterations(run), kIterations);
+  EXPECT_EQ(run.faults.workers_crashed, 1u);
+  EXPECT_EQ(run.faults.workers_recovered, 1u);
+  // SS still has pending iterations at t = 300, so the rejoined worker
+  // completes chunks after its outage.
+  EXPECT_GT(run.workers[1].iterations, 0);
+}
+
+TEST(FaultTolerance, AllWorkersCrashingThrowsInsteadOfDeadlocking) {
+  sim::SimConfig config = crash_config(0, 10.0);
+  for (std::size_t w = 1; w < 4; ++w) {
+    sim::SimConfig::Failure failure;
+    failure.worker = w;
+    failure.time = 10.0;
+    failure.kind = sim::SimConfig::FailureKind::kCrash;
+    config.failures.push_back(failure);
+  }
+  EXPECT_THROW(sim::simulate_loop(steady_app(), 0, 4, test::full_availability(1),
+                                  dls::TechniqueId::kFAC, config, 5),
+               std::runtime_error);
+}
+
+TEST(FaultTolerance, MasterCrashDuringSerialPhaseThrows) {
+  const workload::Application app = test::simple_app("serial-heavy", 400, 400, {800.0});
+  EXPECT_THROW(sim::simulate_loop(app, 0, 4, test::full_availability(1),
+                                  dls::TechniqueId::kFAC, crash_config(0, 1.0), 5),
+               std::runtime_error);
+}
+
+TEST(FaultTolerance, DegradeFailureKeepsFaultStatsZero) {
+  sim::SimConfig config;
+  config.failures.push_back({1, 200.0, 0.02});
+  const sim::RunResult run = sim::simulate_loop(steady_app(), 0, 4,
+                                                test::full_availability(1),
+                                                dls::TechniqueId::kFAC, config, 9);
+  EXPECT_EQ(run.faults.workers_crashed, 0u);
+  EXPECT_EQ(run.faults.chunks_lost, 0u);
+  EXPECT_EQ(run.faults.iterations_reexecuted, 0);
+  EXPECT_DOUBLE_EQ(run.faults.wasted_work, 0.0);
+}
+
+TEST(FaultTolerance, CrashRunsAreBitReproducible) {
+  const workload::Application app = steady_app();
+  const sysmodel::AvailabilitySpec full = test::full_availability(1);
+  const sim::SimConfig config =
+      crash_config(2, 150.0, sim::SimConfig::FailureKind::kCrashRecover, 500.0);
+  const sim::RunResult a = sim::simulate_loop(app, 0, 4, full, dls::TechniqueId::kAF, config, 21);
+  const sim::RunResult b = sim::simulate_loop(app, 0, 4, full, dls::TechniqueId::kAF, config, 21);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_chunks, b.total_chunks);
+  EXPECT_EQ(a.faults.chunks_lost, b.faults.chunks_lost);
+  EXPECT_EQ(a.faults.iterations_reexecuted, b.faults.iterations_reexecuted);
+  EXPECT_DOUBLE_EQ(a.faults.wasted_work, b.faults.wasted_work);
+}
+
+// ------------------------------------------------------ duplicate failures --
+
+TEST(FaultTolerance, DuplicateFailuresForOneWorkerAreRejected) {
+  sim::SimConfig config;
+  config.failures.push_back({1, 100.0, 0.5});
+  sim::SimConfig::Failure crash;
+  crash.worker = 1;
+  crash.time = 300.0;
+  crash.kind = sim::SimConfig::FailureKind::kCrash;
+  config.failures.push_back(crash);
+
+  const workload::Application app = steady_app();
+  const sysmodel::AvailabilitySpec full = test::full_availability(1);
+  EXPECT_THROW(sim::simulate_loop(app, 0, 4, full, dls::TechniqueId::kFAC, config, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sim::simulate_loop_mixed(app, {0, 0, 0, 0}, full, dls::TechniqueId::kFAC,
+                                        config, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sim::simulate_loop_mpi(app, 0, 4, full, dls::TechniqueId::kFAC, config,
+                                      sim::MessageModel{}, 1),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- adaptive-weight hygiene --
+
+TEST(FaultTolerance, LostChunksDoNotPoisonAwfWeights) {
+  dls::TechniqueParams params;
+  params.workers = 4;
+  params.total_iterations = kIterations;
+  params.mean_iteration_time = 1.0;
+  dls::AdaptiveWeightedFactoring awf(params, dls::AwfVariant::kChunk);  // AWF-C
+
+  const sim::RunResult run =
+      sim::simulate_loop(steady_app(), 0, 4, test::full_availability(1), awf,
+                         crash_config(1, 10.0), 13);
+  EXPECT_EQ(completed_iterations(run), kIterations);
+  EXPECT_GE(run.faults.chunks_lost, 1u);
+  // The crashed worker's first chunk was lost, so it never reported a
+  // measurement: its weight must stay at the neutral fallback instead of
+  // collapsing toward zero as if it had reported a near-infinite time.
+  const std::vector<double> weights = awf.current_weights();
+  ASSERT_EQ(weights.size(), 4u);
+  EXPECT_GT(weights[1], 0.5);
+}
+
+// ------------------------------------------------------- MPI master model --
+
+TEST(FaultTolerance, MpiTimeoutDetectionRedispatchesLostChunk) {
+  sim::SimConfig config = crash_config(1, 200.0);
+  config.collect_trace = false;
+  const sim::MpiRunResult result =
+      sim::simulate_loop_mpi(steady_app(), 0, 4, test::full_availability(1),
+                             dls::TechniqueId::kFAC, config, sim::MessageModel{}, 17);
+  EXPECT_TRUE(std::isfinite(result.run.makespan));
+  EXPECT_EQ(completed_iterations(result.run), kIterations);
+  EXPECT_GE(result.run.faults.chunks_lost, 1u);
+  // The master only sees a missing report, so detection takes real time.
+  EXPECT_GT(result.run.faults.detection_latency_total, 0.0);
+  EXPECT_GT(result.run.faults.max_detection_latency, 0.0);
+}
+
+TEST(FaultTolerance, MpiDetectionDisabledThrowsOnStrandedIterations) {
+  sim::SimConfig config = crash_config(1, 200.0);
+  config.fault_detection.enabled = false;
+  EXPECT_THROW(sim::simulate_loop_mpi(steady_app(), 0, 4, test::full_availability(1),
+                                      dls::TechniqueId::kFAC, config, sim::MessageModel{}, 17),
+               std::runtime_error);
+}
+
+TEST(FaultTolerance, MpiRecoveryRevealsTheLossEvenWithoutDetection) {
+  sim::SimConfig config =
+      crash_config(1, 100.0, sim::SimConfig::FailureKind::kCrashRecover, 400.0);
+  config.fault_detection.enabled = false;
+  const sim::MpiRunResult result =
+      sim::simulate_loop_mpi(steady_app(), 0, 4, test::full_availability(1),
+                             dls::TechniqueId::kFAC, config, sim::MessageModel{}, 19);
+  EXPECT_EQ(completed_iterations(result.run), kIterations);
+  EXPECT_EQ(result.run.faults.workers_recovered, 1u);
+  EXPECT_GE(result.run.faults.chunks_lost, 1u);
+}
+
+TEST(FaultTolerance, MpiCrashRunsAreBitReproducible) {
+  const sim::SimConfig config = crash_config(2, 300.0);
+  const workload::Application app = steady_app();
+  const sysmodel::AvailabilitySpec full = test::full_availability(1);
+  const sim::MpiRunResult a = sim::simulate_loop_mpi(app, 0, 4, full, dls::TechniqueId::kAWF_B,
+                                                     config, sim::MessageModel{}, 23);
+  const sim::MpiRunResult b = sim::simulate_loop_mpi(app, 0, 4, full, dls::TechniqueId::kAWF_B,
+                                                     config, sim::MessageModel{}, 23);
+  EXPECT_DOUBLE_EQ(a.run.makespan, b.run.makespan);
+  EXPECT_EQ(a.run.faults.chunks_lost, b.run.faults.chunks_lost);
+  EXPECT_DOUBLE_EQ(a.run.faults.detection_latency_total, b.run.faults.detection_latency_total);
+}
+
+// ------------------------------------------------- rho_2-triggered remap --
+
+struct RemapFixture {
+  sysmodel::Platform platform{{{"fast", 8}, {"slow", 8}}};
+  sysmodel::AvailabilitySpec reference{"reference",
+                                       {pmf::Pmf::delta(1.0), pmf::Pmf::delta(0.9)}};
+  sysmodel::AvailabilitySpec realized{"realized",
+                                      {pmf::Pmf::delta(0.3), pmf::Pmf::delta(0.9)}};
+  workload::Batch batch;
+  double deadline = 600.0;
+
+  RemapFixture() { batch.add(test::simple_app("loop", 0, 4096, {2400.0, 3600.0})); }
+};
+
+TEST(FaultTolerance, RemapNotTriggeredWithinTheCertificate) {
+  const RemapFixture fx;
+  const core::Framework framework(fx.batch, fx.platform, fx.reference, fx.deadline);
+  const ra::ExhaustiveOptimal heuristic;
+  const core::StageOneResult stage_one = framework.run_stage_one(heuristic);
+  core::Framework::ExecutionPlan plan;
+  plan.allocation = stage_one.allocation;
+  plan.phi1 = stage_one.phi1;
+  plan.techniques.assign(fx.batch.size(), dls::TechniqueId::kFAC);
+
+  core::Framework::RemapPolicy policy;
+  policy.rho2 = 0.10;
+  const core::Framework::RemapDecision decision =
+      framework.remap_on_availability(plan, fx.reference, heuristic, policy);
+  EXPECT_FALSE(decision.triggered);
+  EXPECT_NEAR(decision.realized_decrease, 0.0, 1e-12);
+  EXPECT_EQ(decision.plan.allocation.at(0), plan.allocation.at(0));
+  EXPECT_DOUBLE_EQ(decision.phi1_realized_before, decision.phi1_realized_after);
+}
+
+TEST(FaultTolerance, RemapBeyondRho2MeetsDeadlineStrictlyMoreOften) {
+  const RemapFixture fx;
+  const core::Framework framework(fx.batch, fx.platform, fx.reference, fx.deadline);
+  const ra::ExhaustiveOptimal heuristic;
+  const core::StageOneResult stage_one = framework.run_stage_one(heuristic);
+  core::Framework::ExecutionPlan plan;
+  plan.allocation = stage_one.allocation;
+  plan.phi1 = stage_one.phi1;
+  plan.techniques.assign(fx.batch.size(), dls::TechniqueId::kFAC);
+
+  core::Framework::RemapPolicy policy;
+  policy.rho2 = 0.10;
+  const core::Framework::RemapDecision decision =
+      framework.remap_on_availability(plan, fx.realized, heuristic, policy);
+  ASSERT_TRUE(decision.triggered);
+  EXPECT_GT(decision.realized_decrease, policy.rho2);
+  EXPECT_GT(decision.phi1_realized_after, decision.phi1_realized_before);
+  // The re-mapping moved the application off the degraded type.
+  EXPECT_NE(decision.plan.allocation.at(0).processor_type,
+            plan.allocation.at(0).processor_type);
+
+  sim::SimConfig config;
+  config.iteration_cov = 0.1;
+  config.availability_mode = sim::AvailabilityMode::kConstantMean;
+  std::size_t hits_original = 0;
+  std::size_t hits_remapped = 0;
+  constexpr std::size_t kSeeds = 30;
+  for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+    if (framework.execute_plan(plan, fx.realized, config, seed).system_makespan <=
+        fx.deadline) {
+      ++hits_original;
+    }
+    if (framework.execute_plan(decision.plan, fx.realized, config, seed).system_makespan <=
+        fx.deadline) {
+      ++hits_remapped;
+    }
+  }
+  EXPECT_GT(hits_remapped, hits_original);
+  EXPECT_EQ(hits_remapped, kSeeds);  // 500 vs 600: the remapped plan always meets it
+}
+
+}  // namespace
+}  // namespace cdsf

@@ -82,6 +82,42 @@ TEST(ParallelReplication, SummaryBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelReplication, CrashFaultStatsBitIdenticalAcrossThreadCounts) {
+  const auto example = core::make_paper_example();
+  const workload::Application& app = example.batch.at(2);
+  sim::SimConfig config;
+  sim::SimConfig::Failure crash;
+  crash.worker = 3;
+  crash.time = 200.0;
+  crash.kind = sim::SimConfig::FailureKind::kCrash;
+  config.failures.push_back(crash);
+  sim::SimConfig::Failure blip;
+  blip.worker = 5;
+  blip.time = 400.0;
+  blip.kind = sim::SimConfig::FailureKind::kCrashRecover;
+  blip.recovery_time = 900.0;
+  config.failures.push_back(blip);
+
+  const auto serial = sim::simulate_replicated(app, 1, 8, example.cases[2],
+                                               dls::TechniqueId::kFAC, config, 91, 40,
+                                               example.deadline, 1);
+  EXPECT_EQ(serial.faults_total.workers_crashed, 80u);  // 2 per replication
+  EXPECT_EQ(serial.faults_total.workers_recovered, 40u);
+  for (std::size_t threads : {2u, 5u, 16u}) {
+    const auto parallel = sim::simulate_replicated(app, 1, 8, example.cases[2],
+                                                   dls::TechniqueId::kFAC, config, 91, 40,
+                                                   example.deadline, threads);
+    EXPECT_DOUBLE_EQ(parallel.mean_makespan, serial.mean_makespan) << threads;
+    EXPECT_DOUBLE_EQ(parallel.median_makespan, serial.median_makespan) << threads;
+    EXPECT_EQ(parallel.faults_total.chunks_lost, serial.faults_total.chunks_lost) << threads;
+    EXPECT_EQ(parallel.faults_total.iterations_reexecuted,
+              serial.faults_total.iterations_reexecuted)
+        << threads;
+    EXPECT_DOUBLE_EQ(parallel.faults_total.wasted_work, serial.faults_total.wasted_work)
+        << threads;
+  }
+}
+
 // --------------------------------------------------- system makespan PMF --
 
 TEST(SystemMakespanPmf, CdfAtDeadlineEqualsJointProbability) {

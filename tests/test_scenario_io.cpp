@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -144,6 +145,81 @@ TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
   text += kMinimalScenario;
   text += "\n# trailing comment\n";
   EXPECT_NO_THROW(parse_scenario_text(text));
+}
+
+// ------------------------------------------------------- failure sections --
+
+TEST(ScenarioIo, ParsesFailureSections) {
+  std::string text = kMinimalScenario;
+  text += "\n[failure]\nworker = 2\ntime = 600\nkind = crash-recover\nrecovery = 1400\n";
+  text += "\n[failure]\nworker = 0\ntime = 100\nkind = degrade\nresidual = 0.05\n";
+  text += "\n[failure]\nworker = 1\ntime = 250\nkind = crash\n";
+  const Scenario scenario = parse_scenario_text(text);
+  ASSERT_EQ(scenario.failures.size(), 3u);
+
+  EXPECT_EQ(scenario.failures[0].worker, 2u);
+  EXPECT_DOUBLE_EQ(scenario.failures[0].time, 600.0);
+  EXPECT_EQ(scenario.failures[0].kind, sim::SimConfig::FailureKind::kCrashRecover);
+  EXPECT_DOUBLE_EQ(scenario.failures[0].recovery_time, 1400.0);
+
+  EXPECT_EQ(scenario.failures[1].worker, 0u);
+  EXPECT_EQ(scenario.failures[1].kind, sim::SimConfig::FailureKind::kDegrade);
+  EXPECT_DOUBLE_EQ(scenario.failures[1].residual_availability, 0.05);
+
+  EXPECT_EQ(scenario.failures[2].kind, sim::SimConfig::FailureKind::kCrash);
+  EXPECT_TRUE(std::isinf(scenario.failures[2].recovery_time));
+}
+
+TEST(ScenarioIo, FailuresRoundTripThroughText) {
+  std::string text = kMinimalScenario;
+  text += "\n[failure]\nworker = 1\ntime = 50\nkind = crash\n";
+  text += "\n[failure]\nworker = 3\ntime = 75\nkind = degrade\nresidual = 0.02\n";
+  text += "\n[failure]\nworker = 0\ntime = 10\nkind = crash-recover\nrecovery = 90\n";
+  const Scenario original = parse_scenario_text(text);
+  const Scenario reparsed = parse_scenario_text(scenario_to_text(original));
+  ASSERT_EQ(reparsed.failures.size(), original.failures.size());
+  for (std::size_t k = 0; k < original.failures.size(); ++k) {
+    EXPECT_EQ(reparsed.failures[k].worker, original.failures[k].worker) << k;
+    EXPECT_DOUBLE_EQ(reparsed.failures[k].time, original.failures[k].time) << k;
+    EXPECT_EQ(reparsed.failures[k].kind, original.failures[k].kind) << k;
+    EXPECT_DOUBLE_EQ(reparsed.failures[k].residual_availability,
+                     original.failures[k].residual_availability)
+        << k;
+    EXPECT_DOUBLE_EQ(reparsed.failures[k].recovery_time, original.failures[k].recovery_time)
+        << k;
+  }
+}
+
+TEST(ScenarioIo, RejectsMalformedFailures) {
+  const std::string base = kMinimalScenario;
+  // Named [failure] section.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure oops]\nworker = 0\n"),
+               std::runtime_error);
+  // Unknown key.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nwrker = 0\n"), std::runtime_error);
+  // Unknown kind.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\nkind = explode\n"),
+               std::runtime_error);
+  // Negative worker / time.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = -1\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\ntime = -5\n"),
+               std::runtime_error);
+  // Residual outside (0, 1].
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\nresidual = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\nresidual = 1.5\n"),
+               std::runtime_error);
+  // crash-recover needs recovery > time.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\ntime = 100\n"
+                                          "kind = crash-recover\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\ntime = 100\n"
+                                          "kind = crash-recover\nrecovery = 100\n"),
+               std::invalid_argument);
+  // recovery is crash-recover-only.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\ntime = 100\n"
+                                          "kind = crash\nrecovery = 200\n"),
+               std::invalid_argument);
 }
 
 }  // namespace

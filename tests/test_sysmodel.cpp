@@ -226,5 +226,77 @@ TEST(Trace, Validation) {
   EXPECT_THROW(TraceAvailability({0.0}, {0.5, 0.6}), std::invalid_argument);   // size mismatch
 }
 
+// ----------------------------------------------------- FailingAvailability --
+
+TEST(Failing, FailureAtTimeZeroIsResidualFromTheStart) {
+  FailingAvailability process(std::make_unique<ConstantAvailability>(1.0), 0.0, 0.25);
+  EXPECT_DOUBLE_EQ(process.availability_at(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(process.availability_at(100.0), 0.25);
+  EXPECT_DOUBLE_EQ(process.finish_time(0.0, 1.0), 4.0);
+}
+
+TEST(Failing, ResidualExactlyOneIsAccepted) {
+  // residual = 1.0 sits ON the boundary of (0, 1]: a "failure" to full
+  // availability is legal (and a no-op once the inner process is constant).
+  FailingAvailability process(std::make_unique<ConstantAvailability>(0.5), 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(process.availability_at(9.9), 0.5);
+  EXPECT_DOUBLE_EQ(process.availability_at(10.0), 1.0);
+}
+
+TEST(Failing, TinyResidualStillDeliversWork) {
+  // The lower boundary is open: any residual > 0 keeps the work integral
+  // finite (this is what distinguishes degrade from crash).
+  FailingAvailability process(std::make_unique<ConstantAvailability>(1.0), 1.0, 1e-9);
+  const double finish = process.finish_time(0.0, 2.0);
+  EXPECT_TRUE(std::isfinite(finish));
+  EXPECT_NEAR(process.work_delivered(0.0, finish), 2.0, 1e-9);
+}
+
+TEST(Failing, RejectsResidualOutsideUnitInterval) {
+  EXPECT_THROW(FailingAvailability(std::make_unique<ConstantAvailability>(1.0), 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(FailingAvailability(std::make_unique<ConstantAvailability>(1.0), 1.0, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(FailingAvailability(std::make_unique<ConstantAvailability>(1.0), 1.0, 1.1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------- CrashingAvailability --
+
+TEST(Crashing, PermanentCrashDeliversNothingAfterCrashTime) {
+  CrashingAvailability process(std::make_unique<ConstantAvailability>(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(process.availability_at(4.999), 1.0);
+  EXPECT_DOUBLE_EQ(process.availability_at(5.0), 0.0);
+  EXPECT_FALSE(process.is_down(4.999));
+  EXPECT_TRUE(process.is_down(5.0));
+  EXPECT_TRUE(std::isinf(process.recovery_time()));
+  // Work that cannot complete before the crash never completes.
+  EXPECT_DOUBLE_EQ(process.finish_time(0.0, 5.0), 5.0);
+  EXPECT_TRUE(std::isinf(process.finish_time(0.0, 5.0 + 1e-9)));
+  EXPECT_DOUBLE_EQ(process.work_delivered(0.0, 100.0), 5.0);
+}
+
+TEST(Crashing, RecoveryResumesTheInnerProcess) {
+  CrashingAvailability process(std::make_unique<ConstantAvailability>(0.5), 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(process.availability_at(15.0), 0.0);
+  EXPECT_DOUBLE_EQ(process.availability_at(20.0), 0.5);
+  EXPECT_FALSE(process.is_down(20.0));
+  // 6 work units from t = 0 at rate 0.5: 5 delivered by t = 10, the outage
+  // [10, 20) delivers nothing, the last unit takes 2 more time units.
+  EXPECT_DOUBLE_EQ(process.finish_time(0.0, 6.0), 22.0);
+  EXPECT_DOUBLE_EQ(process.next_change_after(12.0), 20.0);
+  EXPECT_DOUBLE_EQ(process.next_change_after(0.0), 10.0);
+}
+
+TEST(Crashing, Validation) {
+  EXPECT_THROW(CrashingAvailability(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(CrashingAvailability(std::make_unique<ConstantAvailability>(1.0), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(CrashingAvailability(std::make_unique<ConstantAvailability>(1.0), 5.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(CrashingAvailability(std::make_unique<ConstantAvailability>(1.0), 5.0, 4.0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cdsf::sysmodel
