@@ -12,10 +12,13 @@
 // original Stage I mapping against a re-mapping computed on the REALIZED
 // availability once the degradation exceeds the certified radius.
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "cdsf/framework.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "ra/heuristics.hpp"
 #include "sim/loop_executor.hpp"
 #include "util/cli.hpp"
@@ -28,7 +31,8 @@ using namespace cdsf;
 
 /// Original plan vs rho_2-triggered re-mapping when one processor type
 /// degrades beyond the certificate: count deadline hits over many seeds.
-void remap_comparison(std::uint64_t seed, std::size_t replications) {
+/// When `json_out` is non-null the comparison is also recorded there.
+void remap_comparison(std::uint64_t seed, std::size_t replications, obs::Json* json_out) {
   const sysmodel::Platform platform({{"fast", 8}, {"slow", 8}});
   const sysmodel::AvailabilitySpec reference(
       "reference", {pmf::Pmf::delta(1.0), pmf::Pmf::delta(0.9)});
@@ -78,6 +82,19 @@ void remap_comparison(std::uint64_t seed, std::size_t replications) {
   std::printf("  remapped plan : %s, phi_1(realized) = %.3f, deadline hits %zu/%zu\n",
               decision.plan.allocation.to_string(platform).c_str(),
               decision.phi1_realized_after, hits_remapped, replications);
+
+  if (json_out != nullptr) {
+    obs::Json remap = obs::Json::object();
+    remap.set("realized_decrease", decision.realized_decrease);
+    remap.set("rho2", policy.rho2);
+    remap.set("triggered", decision.triggered);
+    remap.set("phi1_realized_before", decision.phi1_realized_before);
+    remap.set("phi1_realized_after", decision.phi1_realized_after);
+    remap.set("hits_original", hits_original);
+    remap.set("hits_remapped", hits_remapped);
+    remap.set("replications", replications);
+    json_out->set("remap_comparison", std::move(remap));
+  }
 }
 
 }  // namespace
@@ -89,7 +106,10 @@ int main(int argc, char** argv) {
   cli.add_string("mode", "degrade", "failure kind: degrade|crash|crash-recover");
   cli.add_double("residual", 0.02, "availability of the failed worker (degrade mode)");
   cli.add_double("recovery-delay", 300.0, "downtime before rejoining (crash-recover mode)");
+  cli.add_string("json", "", "also write a machine-readable JSON report to this file");
   if (!cli.parse(argc, argv)) return 0;
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) obs::MetricsRegistry::global().set_enabled(true);
 
   // 8000 uniform iterations on 8 dedicated workers; worker 2 fails.
   const workload::Application app(
@@ -142,17 +162,21 @@ int main(int argc, char** argv) {
       "Fault accounting per cell: chunks lost / iterations re-executed / wasted work "
       "(totals over all replications)");
 
+  obs::Json json_techniques = obs::Json::array();
   for (dls::TechniqueId id : techniques) {
     std::vector<std::string> row = {dls::technique_name(id)};
     std::vector<std::string> fault_row = {dls::technique_name(id)};
+    obs::Json json_entry = obs::Json::object();
+    json_entry.set("technique", dls::technique_name(id));
     sim::SimConfig healthy;
     healthy.iteration_cov = 0.1;
     healthy.availability_mode = sim::AvailabilityMode::kConstantMean;
-    row.push_back(util::format_fixed(
-        sim::simulate_replicated(app, 0, 8, full, id, healthy, seed, replications, 1e18)
-            .median_makespan,
-        0));
+    const sim::ReplicationSummary baseline =
+        sim::simulate_replicated(app, 0, 8, full, id, healthy, seed, replications, 1e18);
+    row.push_back(util::format_fixed(baseline.median_makespan, 0));
     fault_row.push_back("-");
+    json_entry.set("no_failure", obs::to_json(baseline, std::numeric_limits<double>::infinity()));
+    obs::Json json_cells = obs::Json::array();
     for (double t : failure_times) {
       sim::SimConfig config = healthy;
       sim::SimConfig::Failure failure;
@@ -170,22 +194,43 @@ int main(int argc, char** argv) {
       fault_row.push_back(std::to_string(summary.faults_total.chunks_lost) + "/" +
                           std::to_string(summary.faults_total.iterations_reexecuted) + "/" +
                           util::format_fixed(summary.faults_total.wasted_work, 0));
+      obs::Json cell = obs::to_json(summary, std::numeric_limits<double>::infinity());
+      cell.set("failure_time", t);
+      json_cells.push_back(std::move(cell));
     }
+    json_entry.set("failures", std::move(json_cells));
+    json_techniques.push_back(std::move(json_entry));
     table.add_row(row);
     faults.add_row(fault_row);
   }
   std::puts(table.render().c_str());
+  obs::Json report = obs::Json::object();
+  report.set("schema", "cdsf.ablation_report/1");
+  report.set("bench", "failure_ablation");
+  report.set("mode", mode);
+  report.set("replications", replications);
+  report.set("seed", static_cast<std::int64_t>(seed));
   if (kind == sim::SimConfig::FailureKind::kDegrade) {
+    report.set("residual", residual);
     std::puts("Reading guide: STATIC strands the dead worker's whole remaining share (worst");
     std::puts("for early failures); dynamic techniques lose only the chunk in flight, so the");
     std::puts("penalty tracks the CURRENT chunk size — small for SS, large for GSS's first");
     std::puts("chunk, shrinking over time for the factoring family.");
   } else {
+    if (kind == sim::SimConfig::FailureKind::kCrashRecover) {
+      report.set("recovery_delay", recovery_delay);
+    }
     std::puts(faults.render().c_str());
     std::puts("Reading guide: a crash loses at most the chunk in flight — the re-executed");
     std::puts("iterations track the technique's chunk size at the failure time, and the");
     std::puts("wasted work is the partial progress on the lost chunk that must be redone.");
-    remap_comparison(seed, replications);
+    remap_comparison(seed, replications, json_path.empty() ? nullptr : &report);
+  }
+  if (!json_path.empty()) {
+    report.set("techniques", std::move(json_techniques));
+    if (obs::MetricsRegistry::global().enabled()) report.set("metrics", obs::metrics_json());
+    obs::write_json(report, json_path);
+    std::printf("report written to %s\n", json_path.c_str());
   }
   return 0;
 }

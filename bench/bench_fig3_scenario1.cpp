@@ -39,6 +39,10 @@ int main(int argc, char** argv) {
   if (!options.csv_path.empty()) {
     bench::write_scenario_csv(options.csv_path, example, scenario, techniques);
   }
+  if (!options.json_path.empty()) {
+    bench::write_scenario_json(options.json_path, "bench_fig3_scenario1", example, framework, scenario,
+                               options);
+  }
   std::puts("Paper verdict: phi_2 > Delta for all four cases — the system is not robust.");
   return 0;
 }

@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
   if (!options.csv_path.empty()) {
     bench::write_scenario_csv(options.csv_path, example, scenario, techniques);
   }
+  if (!options.json_path.empty()) {
+    bench::write_scenario_json(options.json_path, "bench_fig4_scenario2", example, framework, scenario,
+                               options);
+  }
   std::puts("Paper verdict: phi_1 = 74.5% but STATIC degrades with decreasing availability;");
   std::puts("phi_2 > Delta for all four cases — the system is not robust.");
   return 0;

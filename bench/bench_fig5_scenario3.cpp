@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
   if (!options.csv_path.empty()) {
     bench::write_scenario_csv(options.csv_path, example, scenario, techniques);
   }
+  if (!options.json_path.empty()) {
+    bench::write_scenario_json(options.json_path, "bench_fig5_scenario3", example, framework, scenario,
+                               options);
+  }
   std::puts("Paper verdict: even the most robust DLS cannot compensate the naive mapping —");
   std::puts("application 3 violates the deadline at case 1 and applications 1 and 3 in");
   std::puts("cases 2-4; the system is not robust.");

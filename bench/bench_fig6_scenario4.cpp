@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   if (!options.csv_path.empty()) {
     bench::write_scenario_csv(options.csv_path, example, scenario, techniques);
   }
+  if (!options.json_path.empty()) {
+    bench::write_scenario_json(options.json_path, "bench_fig6_scenario4", example, framework, scenario,
+                               options);
+  }
   std::puts("Paper verdict: deadline met for all applications through a 30.77% weighted");
   std::puts("availability decrease (case 3); violated in case 4 (app 2 under every DLS).");
   std::puts("System robustness (rho_1, rho_2) = (74.5%, 30.77%); ours uses the rounded");

@@ -11,6 +11,8 @@
 
 #include "cdsf/framework.hpp"
 #include "cdsf/paper_example.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/csv.hpp"
@@ -24,6 +26,11 @@ struct ScenarioBenchOptions {
   /// When non-empty, the per-case series are also written to this CSV file
   /// (one row per application x technique x case) for external plotting.
   std::string csv_path;
+  /// When non-empty, the whole scenario is also written as a structured
+  /// JSON report (obs::make_scenario_report) — the machine-readable twin
+  /// of the printed tables. Requesting it enables the global metrics
+  /// registry so the report embeds a metrics snapshot.
+  std::string json_path;
 };
 
 inline ScenarioBenchOptions parse_scenario_options(int argc, char** argv,
@@ -33,14 +40,32 @@ inline ScenarioBenchOptions parse_scenario_options(int argc, char** argv,
   cli.add_int("replications", 201, "simulation replications per (application, technique)");
   cli.add_int("seed", 42, "master random seed");
   cli.add_string("csv", "", "also write the series to this CSV file");
+  cli.add_string("json", "", "also write a machine-readable JSON report to this file");
   *show_help = !cli.parse(argc, argv);
   ScenarioBenchOptions options;
   if (!*show_help) {
     options.replications = static_cast<std::size_t>(cli.get_int("replications"));
     options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     options.csv_path = cli.get_string("csv");
+    options.json_path = cli.get_string("json");
+    if (!options.json_path.empty()) obs::MetricsRegistry::global().set_enabled(true);
   }
   return options;
+}
+
+/// Writes the scenario as a structured JSON report, stamped with the bench
+/// name and run parameters.
+inline void write_scenario_json(const std::string& path, const std::string& bench_name,
+                                const core::PaperExample& example,
+                                const core::Framework& framework,
+                                const core::ScenarioResult& scenario,
+                                const ScenarioBenchOptions& options) {
+  obs::Json doc = obs::make_scenario_report(framework, scenario, example.cases);
+  doc.set("bench", bench_name);
+  doc.set("replications", options.replications);
+  doc.set("seed", static_cast<std::int64_t>(options.seed));
+  obs::write_json(doc, path);
+  std::printf("report written to %s\n", path.c_str());
 }
 
 /// Writes the scenario's full measurement series as CSV (the data behind

@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "pmf/ops.hpp"
 #include "util/rng.hpp"
 
@@ -72,11 +73,19 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
 
   // rho_2 trigger: if the realized availability has degraded past the
   // certified radius, plan against it instead of the reference.
-  const sysmodel::AvailabilitySpec& planning_spec =
-      config.remap_on_rho2 &&
-              sysmodel::availability_decrease(reference, runtime, platform) > config.rho2
-          ? runtime
-          : reference;
+  const double realized_decrease =
+      sysmodel::availability_decrease(reference, runtime, platform);
+  const bool remap_triggered = config.remap_on_rho2 && realized_decrease > config.rho2;
+  const sysmodel::AvailabilitySpec& planning_spec = remap_triggered ? runtime : reference;
+  {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      metrics.add("cdsf.dynamic.runs");
+      metrics.add("cdsf.remap.checks");
+      if (remap_triggered) metrics.add("cdsf.remap.triggered");
+      metrics.observe("cdsf.remap.realized_decrease", realized_decrease);
+    }
+  }
 
   const util::SeedSequence seeds(seed);
   util::RngStream arrival_rng = seeds.stream(0);
@@ -110,6 +119,8 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
   std::deque<std::size_t> waiting;
 
   DynamicRunResult result;
+  result.remap_triggered = remap_triggered;
+  result.realized_decrease = realized_decrease;
   result.outcomes.assign(config.applications, DynamicOutcome{});
   std::size_t next_arrival = 0;
   double busy_processor_time = 0.0;

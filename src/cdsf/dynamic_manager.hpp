@@ -59,6 +59,11 @@ struct DynamicRunResult {
   /// processors x (completion - start) / (total processors x horizon).
   double utilization = 0.0;
   double horizon = 0.0;  // completion of the last application
+  /// rho_2 re-map observability: whether the realized decrease exceeded
+  /// DynamicConfig::rho2 (always false when remap_on_rho2 is off), and the
+  /// realized weighted-availability decrease itself (recorded regardless).
+  bool remap_triggered = false;
+  double realized_decrease = 0.0;
 };
 
 /// Runs the dynamic manager. Applications are generated deterministically

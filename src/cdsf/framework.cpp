@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "pmf/ops.hpp"
 #include "util/rng.hpp"
 
@@ -46,7 +47,15 @@ StageOneResult Framework::describe_allocation(const ra::Allocation& allocation,
 
 StageOneResult Framework::run_stage_one(const ra::Heuristic& heuristic,
                                         ra::CountRule rule) const {
-  return describe_allocation(heuristic.allocate(evaluator_, platform_, rule), heuristic.name());
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(), "cdsf.stage1.seconds");
+  StageOneResult result =
+      describe_allocation(heuristic.allocate(evaluator_, platform_, rule), heuristic.name());
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  if (metrics.enabled()) {
+    metrics.add("cdsf.stage1.allocations");
+    metrics.set_gauge("cdsf.stage1.phi1", result.phi1);
+  }
+  return result;
 }
 
 StageTwoResult Framework::run_stage_two(const ra::Allocation& allocation,
@@ -58,6 +67,10 @@ StageTwoResult Framework::run_stage_two(const ra::Allocation& allocation,
   }
   if (techniques.empty()) {
     throw std::invalid_argument("run_stage_two: at least one technique required");
+  }
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(), "cdsf.stage2.seconds");
+  if (obs::MetricsRegistry::global().enabled()) {
+    obs::MetricsRegistry::global().add("cdsf.stage2.cases");
   }
 
   StageTwoResult result;
@@ -171,6 +184,12 @@ Framework::RemapDecision Framework::remap_on_availability(const ExecutionPlan& p
   RemapDecision decision;
   decision.realized_decrease = sysmodel::availability_decrease(reference_, realized, platform_);
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  if (metrics.enabled()) {
+    metrics.add("cdsf.remap.checks");
+    metrics.observe("cdsf.remap.realized_decrease", decision.realized_decrease);
+  }
+
   // Evaluate against what the system has BECOME, not what Stage I assumed.
   const ra::RobustnessEvaluator realized_eval(batch_, realized, deadline_, robustness_config_);
   decision.phi1_realized_before = realized_eval.joint_probability(plan.allocation);
@@ -179,6 +198,7 @@ Framework::RemapDecision Framework::remap_on_availability(const ExecutionPlan& p
   if (decision.realized_decrease <= policy.rho2) return decision;  // within certificate
 
   decision.triggered = true;
+  if (metrics.enabled()) metrics.add("cdsf.remap.triggered");
   decision.plan.allocation = heuristic.allocate(realized_eval, platform_, rule);
   decision.phi1_realized_after = realized_eval.joint_probability(decision.plan.allocation);
   decision.plan.phi1 = decision.phi1_realized_after;

@@ -1,0 +1,97 @@
+// Minimal JSON document: build, serialize, parse.
+//
+// Exists so the observability layer (run reports, metrics snapshots,
+// Chrome/Perfetto traces) has no external dependency. Objects preserve
+// insertion order, so emitted documents are deterministic and diffable;
+// doubles serialize in shortest round-trip form (std::to_chars), so a
+// value written and re-parsed compares bit-identical — the property the
+// run-report round-trip tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cdsf::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  Json(T value) : type_(Type::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;  // kInt only
+  [[nodiscard]] double as_double() const;     // kInt or kDouble
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& items() const;      // kArray
+  [[nodiscard]] const Object& members() const;   // kObject
+
+  /// Array building: appends (converts a null value to an array first).
+  Json& push_back(Json value);
+  /// Object building: insert-or-replace, preserving first-insertion order
+  /// (converts a null value to an object first).
+  Json& set(std::string key, Json value);
+  /// Object access: pointer to the member value or nullptr.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Object access: throws std::runtime_error when the key is missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Array access with bounds check.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  /// Element count of an array or object; 0 otherwise.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serializes the document. indent < 0 => compact single line;
+  /// indent >= 0 => pretty-printed with that many spaces per level.
+  /// Non-finite doubles serialize as null (JSON has no inf/nan).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws std::invalid_argument with the byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace cdsf::obs

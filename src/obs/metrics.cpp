@@ -1,0 +1,219 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+namespace cdsf::obs {
+
+struct MetricsRegistry::Counter {
+  std::atomic<std::int64_t> value{0};
+};
+
+struct MetricsRegistry::Gauge {
+  std::atomic<double> value{0.0};
+};
+
+struct MetricsRegistry::Histogram {
+  // All under one mutex: observations happen per simulated run (not per
+  // chunk), so contention is negligible and the snapshot stays internally
+  // consistent (count always equals the bucket sum).
+  mutable std::mutex mutex;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void clear_data() {
+    std::fill(counts.begin(), counts.end(), 0);
+    count = 0;
+    sum = 0.0;
+    min = std::numeric_limits<double>::infinity();
+    max = -std::numeric_limits<double>::infinity();
+  }
+};
+
+std::vector<double> default_histogram_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 1e7; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(false);
+  return registry;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter_slot(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge_slot(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram_slot(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    slot->bounds = default_histogram_bounds();
+    slot->counts.assign(slot->bounds.size() + 1, 0);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::add(std::string_view counter, std::int64_t delta) {
+  if (!enabled()) return;
+  counter_slot(counter).value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_gauge(std::string_view gauge, double value) {
+  if (!enabled()) return;
+  gauge_slot(gauge).value.store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double value) {
+  if (!enabled()) return;
+  Histogram& h = histogram_slot(histogram);
+  std::lock_guard lock(h.mutex);
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(h.bounds.begin(), h.bounds.end(), value) - h.bounds.begin());
+  h.counts[bucket] += 1;
+  h.count += 1;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+void MetricsRegistry::set_histogram_bounds(std::string_view histogram,
+                                           std::vector<double> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("set_histogram_bounds: at least one bound required");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i] > bounds[i - 1])) {
+      throw std::invalid_argument("set_histogram_bounds: bounds must be strictly ascending");
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(histogram)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  std::lock_guard data_lock(slot->mutex);
+  slot->bounds = std::move(bounds);
+  slot->counts.assign(slot->bounds.size() + 1, 0);
+  slot->count = 0;
+  slot->sum = 0.0;
+  slot->min = std::numeric_limits<double>::infinity();
+  slot->max = -std::numeric_limits<double>::infinity();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::lock_guard data_lock(histogram->mutex);
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds;
+    h.counts = histogram->counts;
+    h.count = histogram->count;
+    h.sum = histogram->sum;
+    h.min = histogram->count > 0 ? histogram->min : 0.0;
+    h.max = histogram->count > 0 ? histogram->max : 0.0;
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::unique_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    std::lock_guard data_lock(histogram->mutex);
+    histogram->clear_data();
+  }
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json out = Json::object();
+  Json counters_json = Json::object();
+  for (const auto& [name, value] : counters) counters_json.set(name, value);
+  Json gauges_json = Json::object();
+  for (const auto& [name, value] : gauges) gauges_json.set(name, value);
+  Json histograms_json = Json::object();
+  for (const auto& [name, h] : histograms) {
+    Json entry = Json::object();
+    entry.set("count", static_cast<std::int64_t>(h.count));
+    entry.set("sum", h.sum);
+    entry.set("min", h.min);
+    entry.set("max", h.max);
+    Json bounds = Json::array();
+    for (double b : h.bounds) bounds.push_back(b);
+    Json counts = Json::array();
+    for (std::uint64_t c : h.counts) counts.push_back(static_cast<std::int64_t>(c));
+    entry.set("bounds", std::move(bounds));
+    entry.set("counts", std::move(counts));
+    histograms_json.set(name, std::move(entry));
+  }
+  out.set("counters", std::move(counters_json));
+  out.set("gauges", std::move(gauges_json));
+  out.set("histograms", std::move(histograms_json));
+  return out;
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry& registry, std::string name)
+    : registry_(registry.enabled() ? &registry : nullptr), name_(std::move(name)) {
+  if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+  registry_->observe(name_, elapsed.count());
+}
+
+}  // namespace cdsf::obs

@@ -1,0 +1,126 @@
+// Thread-safe metrics registry: named counters, gauges, fixed-bucket
+// histograms, and scoped wall-clock timers, with snapshot/reset semantics.
+//
+// Every mutation first checks an atomic enabled flag, so an instrumented
+// hot path costs one relaxed load and a predicted branch when metrics are
+// off — the registry ships disabled and is switched on by the CLI/bench
+// layers that actually consume the snapshot. The process-global instance
+// (MetricsRegistry::global()) is what the library instrumentation points
+// write to; tests construct private registries.
+//
+// Metric names are dot-separated lowercase ("sim.chunks_lost"); the full
+// catalog lives in docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cdsf::obs {
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  /// Finite upper bucket bounds (ascending); counts has one extra final
+  /// bucket for values above the last bound.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+};
+
+/// Point-in-time copy of a whole registry (std::map => deterministic
+/// iteration order in serialized output).
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Default histogram bucket bounds: 1, 2, 5 decades from 1e-3 to 1e6 —
+/// wide enough for both wall-clock seconds and simulated makespans.
+[[nodiscard]] std::vector<double> default_histogram_bounds();
+
+class MetricsRegistry {
+ public:
+  // Out of line: Counter/Gauge/Histogram are opaque here, and both the
+  // constructor (exception cleanup) and the destructor need the map
+  // element destructors, which require complete types.
+  explicit MetricsRegistry(bool enabled = true);
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry the library instrumentation writes to.
+  /// Starts DISABLED so unobserved runs pay (almost) nothing.
+  static MetricsRegistry& global();
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds `delta` to a counter (created at zero on first use).
+  void add(std::string_view counter, std::int64_t delta = 1);
+  /// Sets a gauge to `value` (last write wins).
+  void set_gauge(std::string_view gauge, double value);
+  /// Records `value` into a histogram (created with the default bounds on
+  /// first use).
+  void observe(std::string_view histogram, double value);
+  /// Creates (or re-buckets, discarding recorded data) a histogram with
+  /// explicit bounds. Throws std::invalid_argument unless strictly
+  /// ascending and non-empty.
+  void set_histogram_bounds(std::string_view histogram, std::vector<double> bounds);
+
+  /// Consistent point-in-time copy of every metric.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every counter/gauge/histogram; keeps registrations (including
+  /// custom histogram bounds) so instrument names remain stable.
+  void reset();
+
+ private:
+  struct Counter;
+  struct Gauge;
+  struct Histogram;
+
+  Counter& counter_slot(std::string_view name);
+  Gauge& gauge_slot(std::string_view name);
+  Histogram& histogram_slot(std::string_view name);
+
+  std::atomic<bool> enabled_;
+  mutable std::shared_mutex mutex_;  // guards the maps, not the values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the wall-clock seconds between construction and destruction
+/// into `registry`'s histogram `name`. A no-op when the registry is
+/// disabled at construction time.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& registry, std::string name);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+ private:
+  MetricsRegistry* registry_;  // nullptr when disabled
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cdsf::obs

@@ -1,0 +1,267 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace cdsf::obs {
+
+Json to_json(const stats::ConfidenceInterval& ci) {
+  Json doc = Json::object();
+  doc.set("lower", ci.lower);
+  doc.set("upper", ci.upper);
+  return doc;
+}
+
+Json to_json(const sim::FaultStats& faults) {
+  Json doc = Json::object();
+  doc.set("workers_crashed", faults.workers_crashed);
+  doc.set("workers_recovered", faults.workers_recovered);
+  doc.set("chunks_lost", faults.chunks_lost);
+  doc.set("iterations_reexecuted", faults.iterations_reexecuted);
+  doc.set("wasted_work", faults.wasted_work);
+  doc.set("detection_latency_total", faults.detection_latency_total);
+  doc.set("max_detection_latency", faults.max_detection_latency);
+  doc.set("false_suspicions", faults.false_suspicions);
+  return doc;
+}
+
+Json to_json(const sim::WorkerStats& worker) {
+  Json doc = Json::object();
+  doc.set("chunks", worker.chunks);
+  doc.set("iterations", worker.iterations);
+  doc.set("busy_time", worker.busy_time);
+  doc.set("overhead_time", worker.overhead_time);
+  doc.set("finish_time", worker.finish_time);
+  return doc;
+}
+
+Json to_json(const sim::RunResult& run) {
+  Json doc = Json::object();
+  doc.set("makespan", run.makespan);
+  doc.set("serial_end", run.serial_end);
+  doc.set("finish_time_cov", run.finish_time_cov());
+
+  Json chunks = Json::object();
+  chunks.set("count", run.total_chunks);
+  if (!run.trace.empty()) {
+    std::int64_t min_size = std::numeric_limits<std::int64_t>::max();
+    std::int64_t max_size = 0;
+    std::int64_t total = 0;
+    std::uint64_t lost = 0;
+    for (const sim::ChunkTraceEntry& chunk : run.trace) {
+      min_size = std::min(min_size, chunk.iterations);
+      max_size = std::max(max_size, chunk.iterations);
+      total += chunk.iterations;
+      if (chunk.lost) ++lost;
+    }
+    chunks.set("min_size", min_size);
+    chunks.set("max_size", max_size);
+    chunks.set("mean_size",
+               static_cast<double>(total) / static_cast<double>(run.trace.size()));
+    chunks.set("lost", lost);
+  }
+  doc.set("chunks", std::move(chunks));
+
+  Json workers = Json::array();
+  for (const sim::WorkerStats& worker : run.workers) workers.push_back(to_json(worker));
+  doc.set("workers", std::move(workers));
+  doc.set("faults", to_json(run.faults));
+  return doc;
+}
+
+Json to_json(const sim::ReplicationSummary& summary, double deadline) {
+  Json doc = Json::object();
+  doc.set("replications", summary.replications);
+  doc.set("mean_makespan", summary.mean_makespan);
+  doc.set("median_makespan", summary.median_makespan);
+  doc.set("stddev_makespan", summary.stddev_makespan);
+  doc.set("min_makespan", summary.min_makespan);
+  doc.set("max_makespan", summary.max_makespan);
+  doc.set("deadline_hit_rate", summary.deadline_hit_rate);
+  doc.set("mean_ci", to_json(summary.mean_ci));
+  doc.set("hit_rate_ci", to_json(summary.hit_rate_ci));
+  if (std::isfinite(deadline)) {
+    doc.set("deadline", deadline);
+    doc.set("deadline_slack", deadline - summary.median_makespan);
+  }
+  doc.set("faults_total", to_json(summary.faults_total));
+  return doc;
+}
+
+Json to_json(const ra::GroupAssignment& group, const sysmodel::Platform& platform) {
+  Json doc = Json::object();
+  doc.set("processor_type", group.processor_type);
+  doc.set("type_name", platform.type(group.processor_type).name);
+  doc.set("processors", group.processors);
+  return doc;
+}
+
+Json to_json(const ra::Allocation& allocation, const sysmodel::Platform& platform) {
+  Json doc = Json::array();
+  for (const ra::GroupAssignment& group : allocation.groups()) {
+    doc.push_back(to_json(group, platform));
+  }
+  return doc;
+}
+
+Json to_json(const core::StageOneResult& stage_one, const sysmodel::Platform& platform) {
+  Json doc = Json::object();
+  doc.set("heuristic", stage_one.heuristic_name);
+  doc.set("phi1", stage_one.phi1);
+  doc.set("allocation", to_json(stage_one.allocation, platform));
+  Json expected = Json::array();
+  for (double t : stage_one.expected_times) expected.push_back(t);
+  doc.set("expected_times", std::move(expected));
+  Json probabilities = Json::array();
+  for (double p : stage_one.app_probabilities) probabilities.push_back(p);
+  doc.set("app_probabilities", std::move(probabilities));
+  return doc;
+}
+
+Json to_json(const core::RobustnessReport& report) {
+  Json doc = Json::object();
+  doc.set("rho1", report.rho1);
+  doc.set("rho2", report.rho2);
+  doc.set("rho2_case", report.rho2_case);
+  return doc;
+}
+
+Json to_json(const core::StageTwoResult& stage_two, double deadline) {
+  Json doc = Json::object();
+  doc.set("case", stage_two.case_name);
+  doc.set("all_meet_deadline", stage_two.all_meet_deadline);
+  doc.set("system_makespan", stage_two.system_makespan);
+  Json applications = Json::array();
+  for (std::size_t app = 0; app < stage_two.outcomes.size(); ++app) {
+    Json entry = Json::object();
+    entry.set("application", app);
+    entry.set("best_technique",
+              app < stage_two.best_technique.size() ? stage_two.best_technique[app] : -1);
+    Json techniques = Json::array();
+    for (const core::AppTechniqueOutcome& outcome : stage_two.outcomes[app]) {
+      Json record = Json::object();
+      record.set("technique", dls::technique_name(outcome.technique));
+      record.set("meets_deadline", outcome.meets_deadline);
+      record.set("summary", to_json(outcome.summary, deadline));
+      techniques.push_back(std::move(record));
+    }
+    entry.set("techniques", std::move(techniques));
+    applications.push_back(std::move(entry));
+  }
+  doc.set("applications", std::move(applications));
+  return doc;
+}
+
+Json metrics_json() { return MetricsRegistry::global().snapshot().to_json(); }
+
+namespace {
+
+/// Appends the global metrics snapshot under "metrics" when the registry
+/// is collecting; a disabled registry leaves the report untouched.
+void maybe_attach_metrics(Json& doc) {
+  if (MetricsRegistry::global().enabled()) doc.set("metrics", metrics_json());
+}
+
+}  // namespace
+
+Json make_run_report(const std::string& label, const sim::RunResult& run, double deadline) {
+  Json doc = Json::object();
+  doc.set("schema", kRunReportSchema);
+  doc.set("label", label);
+  if (std::isfinite(deadline)) {
+    doc.set("deadline", deadline);
+    doc.set("deadline_slack", deadline - run.makespan);
+  }
+  doc.set("run", to_json(run));
+  maybe_attach_metrics(doc);
+  return doc;
+}
+
+Json make_scenario_report(const core::Framework& framework,
+                          const core::ScenarioResult& scenario,
+                          const std::vector<sysmodel::AvailabilitySpec>& cases) {
+  Json doc = Json::object();
+  doc.set("schema", kScenarioReportSchema);
+  doc.set("scenario", scenario.name);
+  doc.set("deadline", framework.deadline());
+  doc.set("stage_one", to_json(scenario.stage_one, framework.platform()));
+  doc.set("robustness", to_json(framework.robustness_report(scenario, cases)));
+  Json per_case = Json::array();
+  for (const core::StageTwoResult& stage_two : scenario.per_case) {
+    per_case.push_back(to_json(stage_two, framework.deadline()));
+  }
+  doc.set("cases", std::move(per_case));
+  maybe_attach_metrics(doc);
+  return doc;
+}
+
+Json make_plan_report(const core::Framework& framework,
+                      const core::Framework::ExecutionPlan& plan,
+                      const sim::BatchRunResult& result) {
+  Json doc = Json::object();
+  doc.set("schema", kPlanReportSchema);
+  doc.set("deadline", framework.deadline());
+  Json plan_doc = Json::object();
+  plan_doc.set("phi1", plan.phi1);
+  plan_doc.set("allocation", to_json(plan.allocation, framework.platform()));
+  Json techniques = Json::array();
+  for (dls::TechniqueId id : plan.techniques) {
+    techniques.push_back(dls::technique_name(id));
+  }
+  plan_doc.set("techniques", std::move(techniques));
+  doc.set("plan", std::move(plan_doc));
+  Json makespans = Json::array();
+  for (double psi : result.app_makespans) makespans.push_back(psi);
+  doc.set("app_makespans", std::move(makespans));
+  doc.set("system_makespan", result.system_makespan);
+  doc.set("deadline_slack", framework.deadline() - result.system_makespan);
+  doc.set("meets_deadline", result.system_makespan <= framework.deadline());
+  maybe_attach_metrics(doc);
+  return doc;
+}
+
+Json make_dynamic_report(const core::DynamicRunResult& result,
+                         const core::DynamicConfig& config,
+                         const sysmodel::Platform& platform) {
+  Json doc = Json::object();
+  doc.set("schema", kDynamicReportSchema);
+  doc.set("technique", dls::technique_name(config.technique));
+  doc.set("deadline_slack", config.deadline_slack);
+  doc.set("remap_on_rho2", config.remap_on_rho2);
+  if (config.remap_on_rho2) doc.set("rho2", config.rho2);
+  doc.set("remap_triggered", result.remap_triggered);
+  doc.set("realized_decrease", result.realized_decrease);
+  doc.set("deadline_hit_rate", result.deadline_hit_rate);
+  doc.set("mean_queueing_delay", result.mean_queueing_delay);
+  doc.set("utilization", result.utilization);
+  doc.set("horizon", result.horizon);
+  Json outcomes = Json::array();
+  for (const core::DynamicOutcome& outcome : result.outcomes) {
+    Json entry = Json::object();
+    entry.set("arrival_time", outcome.arrival_time);
+    entry.set("start_time", outcome.start_time);
+    entry.set("completion_time", outcome.completion_time);
+    entry.set("group", to_json(outcome.group, platform));
+    entry.set("probability", outcome.probability);
+    entry.set("met_deadline", outcome.met_deadline);
+    entry.set("slack", outcome.arrival_time + config.deadline_slack - outcome.completion_time);
+    outcomes.push_back(std::move(entry));
+  }
+  doc.set("applications", std::move(outcomes));
+  maybe_attach_metrics(doc);
+  return doc;
+}
+
+void write_json(const Json& document, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json: cannot open " + path);
+  out << document.dump(1) << "\n";
+  if (!out) throw std::runtime_error("write_json: write failed for " + path);
+}
+
+}  // namespace cdsf::obs

@@ -1,0 +1,82 @@
+// Structured JSON run reports: machine-readable summaries of Stage I,
+// Stage II, full scenarios, plan executions and dynamic-manager runs —
+// phi_1, the robustness tuple (rho_1, rho_2), per-application completion
+// times Psi and deadline slack, fault-tolerance accounting (FaultStats),
+// DLS chunk statistics, and the global metrics snapshot.
+//
+// Numbers are serialized with shortest-round-trip formatting
+// (std::to_chars), so emit -> Json::parse -> as_double() reproduces the
+// in-memory doubles BIT-EXACTLY; tests rely on this.
+//
+// Schema details: docs/observability.md.
+#pragma once
+
+#include <string>
+
+#include "cdsf/dynamic_manager.hpp"
+#include "cdsf/framework.hpp"
+#include "obs/json.hpp"
+#include "sim/batch_executor.hpp"
+#include "sim/loop_executor.hpp"
+
+namespace cdsf::obs {
+
+/// `schema` value embedded in every top-level report.
+inline constexpr const char* kRunReportSchema = "cdsf.run_report/1";
+inline constexpr const char* kScenarioReportSchema = "cdsf.scenario_report/1";
+inline constexpr const char* kPlanReportSchema = "cdsf.plan_report/1";
+inline constexpr const char* kDynamicReportSchema = "cdsf.dynamic_report/1";
+
+// -- building blocks ---------------------------------------------------
+
+Json to_json(const stats::ConfidenceInterval& ci);
+Json to_json(const sim::FaultStats& faults);
+Json to_json(const sim::WorkerStats& worker);
+/// One executed run: makespan, serial_end, chunk statistics (count, and
+/// when the run carries a trace, chunk-size min/mean/max), per-worker
+/// accounting, fault stats, finish-time CoV.
+Json to_json(const sim::RunResult& run);
+/// Replication aggregate; `deadline` adds "deadline" and "deadline_slack"
+/// (deadline - median makespan). Pass a non-finite deadline to omit both.
+Json to_json(const sim::ReplicationSummary& summary, double deadline);
+Json to_json(const ra::GroupAssignment& group, const sysmodel::Platform& platform);
+Json to_json(const ra::Allocation& allocation, const sysmodel::Platform& platform);
+Json to_json(const core::StageOneResult& stage_one, const sysmodel::Platform& platform);
+Json to_json(const core::RobustnessReport& report);
+/// One Stage II case: per-application technique outcomes + best picks.
+Json to_json(const core::StageTwoResult& stage_two, double deadline);
+
+/// Snapshot of the global MetricsRegistry (MetricsSnapshot::to_json()).
+Json metrics_json();
+
+// -- top-level reports -------------------------------------------------
+
+/// Report for one simulated execution (idealized or MPI executor): `label`
+/// names the run; non-finite `deadline` omits the slack fields.
+Json make_run_report(const std::string& label, const sim::RunResult& run, double deadline);
+
+/// Full scenario report: Stage I, robustness tuple over `cases` (cases[0]
+/// must be the reference, as for Framework::robustness_report), and every
+/// Stage II case. Includes the global metrics snapshot when the registry
+/// is enabled.
+Json make_scenario_report(const core::Framework& framework,
+                          const core::ScenarioResult& scenario,
+                          const std::vector<sysmodel::AvailabilitySpec>& cases);
+
+/// Report for one locked-plan execution: the plan (allocation, techniques,
+/// phi_1), per-application Psi, the system makespan, and deadline slack.
+Json make_plan_report(const core::Framework& framework,
+                      const core::Framework::ExecutionPlan& plan,
+                      const sim::BatchRunResult& result);
+
+/// Dynamic-manager run report: per-application outcomes (arrival, start,
+/// completion, slack), aggregates, and the re-map decision counters.
+Json make_dynamic_report(const core::DynamicRunResult& result,
+                         const core::DynamicConfig& config,
+                         const sysmodel::Platform& platform);
+
+/// Writes `document.dump(1)` to `path`; throws std::runtime_error on I/O
+/// error.
+void write_json(const Json& document, const std::string& path);
+
+}  // namespace cdsf::obs

@@ -1,0 +1,83 @@
+// Chrome/Perfetto trace_event sink: converts the simulator's per-chunk
+// trace (sim::ChunkTraceEntry) and scheduler lifecycle events
+// (sim::LifecycleEvent) into the Trace Event JSON format, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Mapping: one trace PROCESS per simulated run (pid = application index,
+// named after the application) and one TRACK per worker (tid = worker).
+// Chunks render as complete ('X') slices — category "chunk", or
+// "chunk,lost" for chunks stranded by a crash (their duration is clamped
+// to the crash instant). Dispatch overhead renders as a separate
+// "overhead" slice; lifecycle moments render as instant ('i') markers;
+// availability epoch boundaries as process-scoped instants. One simulated
+// time unit maps to one trace microsecond.
+//
+// Schema details: docs/observability.md.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "sim/loop_executor.hpp"
+
+namespace cdsf::obs {
+
+class TraceSink {
+ public:
+  /// `time_scale` converts simulated time units to trace microseconds.
+  explicit TraceSink(double time_scale = 1.0) : time_scale_(time_scale) {}
+
+  /// Metadata: names shown by the viewer for a process / thread track.
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  /// A complete slice (ph = "X").
+  void add_complete(int pid, int tid, double ts, double dur, const std::string& name,
+                    const std::string& categories = "", Json args = Json());
+  /// A thread-scoped instant marker (ph = "i", s = "t").
+  void add_instant(int pid, int tid, double ts, const std::string& name,
+                   const std::string& categories = "", Json args = Json());
+  /// A process-scoped instant marker (ph = "i", s = "p").
+  void add_process_instant(int pid, double ts, const std::string& name,
+                           const std::string& categories = "", Json args = Json());
+
+  /// Framework-level lifecycle marker (Stage I allocation chosen,
+  /// robustness certificate, rho_2-triggered re-map, ...) on the dedicated
+  /// "framework" process track (pid = kFrameworkPid).
+  void add_framework_event(double ts, const std::string& name, Json args = Json());
+  static constexpr int kFrameworkPid = 1000;
+
+  struct RunOptions {
+    /// Trace process id for this run (use the application index).
+    int pid = 0;
+    /// Process name shown by the viewer (use the application name).
+    std::string process_name;
+    /// When > 0, emit "availability_epoch" instants every epoch_length
+    /// time units up to the makespan (capped at 512 markers).
+    double epoch_length = 0.0;
+  };
+
+  /// Appends one simulated run: serial-phase slice, chunk + overhead
+  /// slices per worker track, and the run's lifecycle instants. Requires
+  /// the run to have been produced with SimConfig::collect_trace = true
+  /// (throws std::invalid_argument on an empty trace with no workers).
+  void append_run(const sim::RunResult& run, const RunOptions& options);
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// The complete document: {"displayTimeUnit": "ms", "traceEvents": [...]}.
+  [[nodiscard]] Json to_json() const;
+  /// to_json() pretty-printed.
+  [[nodiscard]] std::string to_string() const;
+  /// Writes to_string() to `path`; throws std::runtime_error on I/O error.
+  void write(const std::string& path) const;
+
+ private:
+  Json event_base(int pid, int tid, double ts, const std::string& name,
+                  const std::string& categories) const;
+
+  double time_scale_;
+  std::vector<Json> events_;
+};
+
+}  // namespace cdsf::obs

@@ -15,11 +15,14 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
 
   const double horizon = std::max(result.makespan, 1e-9);
   const double scale = static_cast<double>(options.width) / horizon;
+  // Clamp BEFORE casting: a lost chunk's would-be end time is +infinity
+  // when its worker crashed for good, and size_t(inf * scale) is UB.
   auto column = [&](double t) {
     return std::min(options.width - 1,
-                    static_cast<std::size_t>(std::max(t, 0.0) * scale));
+                    static_cast<std::size_t>(std::clamp(t, 0.0, horizon) * scale));
   };
 
+  bool any_lost = false;
   std::vector<std::string> rows(result.workers.size(), std::string(options.width, ' '));
   for (const ChunkTraceEntry& chunk : result.trace) {
     std::string& row = rows.at(chunk.worker);
@@ -28,9 +31,13 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     }
     const std::size_t start = column(chunk.start_time);
     const std::size_t end = std::max(column(chunk.end_time), start + 1);
-    for (std::size_t c = start; c < end && c < options.width; ++c) row[c] = '=';
+    // Lost chunks (stranded by a crash, later re-dispatched elsewhere)
+    // render as 'x' so they are not mistaken for completed work.
+    const char fill = chunk.lost ? 'x' : '=';
+    any_lost = any_lost || chunk.lost;
+    for (std::size_t c = start; c < end && c < options.width; ++c) row[c] = fill;
     // Chunk boundary marker so adjacent chunks remain distinguishable.
-    if (start < options.width) row[start] = '[';
+    if (start < options.width) row[start] = chunk.lost ? '!' : '[';
   }
 
   std::ostringstream out;
@@ -53,6 +60,7 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   out << "time 0 .. " << result.makespan;
   if (options.deadline > 0.0) out << "   ('|' = deadline " << options.deadline << ")";
   out << "\n";
+  if (any_lost) out << "'x'/'!' = chunk lost to a crash (re-dispatched to survivors)\n";
   return out.str();
 }
 

@@ -88,6 +88,18 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   result.serial_end = serial_end;
   result.makespan = serial_end;
 
+  if (config.collect_trace) {
+    for (std::size_t w = 0; w < processors; ++w) {
+      if (!workers[w].crashes()) continue;
+      result.events.push_back(
+          {LifecycleEvent::Kind::kWorkerCrash, workers[w].crash_time, w, 0});
+      if (std::isfinite(workers[w].recovery_time)) {
+        result.events.push_back(
+            {LifecycleEvent::Kind::kWorkerRecover, workers[w].recovery_time, w, 0});
+      }
+    }
+  }
+
   Engine engine;
   detail::IterationPool pool(application.parallel_iterations());
   std::vector<char> dead(processors, 0);
@@ -189,6 +201,10 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
         if (!chunk.lost) return;
         result.faults.chunks_lost += 1;
         result.faults.iterations_reexecuted += chunk.range.count;
+        if (config.collect_trace) {
+          result.events.push_back(
+              {LifecycleEvent::Kind::kChunkLost, engine.now(), w, chunk.range.count});
+        }
         double wasted =
             std::min(config.scheduling_overhead, std::max(0.0, engine.now() - chunk.dispatch_time));
         if (chunk.start_time < engine.now()) {
@@ -230,6 +246,7 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   for (WorkerStats& w : result.workers) {
     if (w.finish_time == 0.0) w.finish_time = serial_end;
   }
+  detail::finalize_run(result);
   return result;
 }
 

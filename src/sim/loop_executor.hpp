@@ -165,6 +165,24 @@ struct ChunkTraceEntry {
   bool lost = false;           // chunk stranded by a crash; re-dispatched
 };
 
+/// Scheduler lifecycle moment recorded alongside the chunk trace (only
+/// with SimConfig::collect_trace) for the observability layer — the
+/// events obs::TraceSink renders as instant markers on the worker tracks.
+struct LifecycleEvent {
+  enum class Kind {
+    kWorkerCrash,         // availability process crashed (physical event)
+    kWorkerRecover,       // crashed worker rejoined
+    kWorkerSuspected,     // MPI master: a chunk timeout expired (probe #value)
+    kWorkerDeclaredDead,  // MPI master: probe budget exhausted
+    kWorkerReinstated,    // MPI master: late report from a falsely-suspected worker
+    kChunkLost,           // in-flight chunk reclaimed (value = iterations)
+  };
+  Kind kind = Kind::kWorkerCrash;
+  double time = 0.0;
+  std::size_t worker = 0;
+  std::int64_t value = 0;
+};
+
 /// Fault-tolerance accounting for one run. All zero when no crash-kind
 /// failure is configured.
 struct FaultStats {
@@ -193,6 +211,8 @@ struct RunResult {
   std::uint64_t total_chunks = 0;
   std::vector<WorkerStats> workers;
   std::vector<ChunkTraceEntry> trace;
+  /// Lifecycle markers, sorted by time (empty unless collect_trace).
+  std::vector<LifecycleEvent> events;
   FaultStats faults;
 
   /// Coefficient of variation of per-worker finish times — the classic

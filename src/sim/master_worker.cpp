@@ -66,6 +66,18 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   result.run.serial_end = serial_end;
   result.run.makespan = serial_end;
 
+  if (config.collect_trace) {
+    for (std::size_t w = 0; w < processors; ++w) {
+      if (!prepared.workers[w].crashes()) continue;
+      result.run.events.push_back(
+          {LifecycleEvent::Kind::kWorkerCrash, prepared.workers[w].crash_time, w, 0});
+      if (std::isfinite(prepared.workers[w].recovery_time)) {
+        result.run.events.push_back({LifecycleEvent::Kind::kWorkerRecover,
+                                     prepared.workers[w].recovery_time, w, 0});
+      }
+    }
+  }
+
   Engine engine;
   detail::IterationPool pool(application.parallel_iterations());
   std::int64_t completed = 0;  // accepted parallel iterations (crash mode)
@@ -108,6 +120,10 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (!out.active) return;
     out.active = false;
     result.run.faults.iterations_reexecuted += out.range.count;
+    if (config.collect_trace) {
+      result.run.events.push_back(
+          {LifecycleEvent::Kind::kChunkLost, engine.now(), w, out.range.count});
+    }
     if (out.lost) {
       result.run.faults.chunks_lost += 1;
       const double detect_latency =
@@ -132,10 +148,18 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         Outstanding& out = outstanding[w];
         if (!out.active || out.id != id) return;
         out.probes += 1;
+        if (config.collect_trace) {
+          result.run.events.push_back({LifecycleEvent::Kind::kWorkerSuspected, engine.now(),
+                                       w, static_cast<std::int64_t>(out.probes)});
+        }
         if (out.probes >= config.fault_detection.max_probes) {
           declared_dead[w] = 1;
           if (!out.lost) result.run.faults.false_suspicions += 1;
           CDSF_LOG_TRACE << "mpi master declares worker " << w << " dead at " << engine.now();
+          if (config.collect_trace) {
+            result.run.events.push_back(
+                {LifecycleEvent::Kind::kWorkerDeclaredDead, engine.now(), w, 0});
+          }
           reclaim_outstanding(w);
           return;
         }
@@ -269,6 +293,10 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                 prepared.workers[w].availability->work_delivered(start_time, end_time);
             if (declared_dead[w]) {
               declared_dead[w] = 0;
+              if (config.collect_trace) {
+                result.run.events.push_back(
+                    {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
+              }
               master_receive_request(w);
             }
             return;
@@ -330,6 +358,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   for (WorkerStats& w : result.run.workers) {
     if (w.finish_time == 0.0) w.finish_time = serial_end;
   }
+  detail::finalize_run(result.run);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace cdsf::sim::detail {
 
 void validate_config(const SimConfig& config) {
@@ -224,6 +226,30 @@ PreparedRun prepare_run(const workload::Application& application, std::size_t pr
                                      : worker.availability->availability_at(0.0));
   }
   return run;
+}
+
+void finalize_run(RunResult& result) {
+  std::stable_sort(result.events.begin(), result.events.end(),
+                   [](const LifecycleEvent& a, const LifecycleEvent& b) {
+                     return a.time < b.time;
+                   });
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  if (!metrics.enabled()) return;
+  metrics.add("sim.runs");
+  metrics.add("sim.chunks", static_cast<std::int64_t>(result.total_chunks));
+  std::int64_t iterations = 0;
+  for (const WorkerStats& w : result.workers) iterations += w.iterations;
+  metrics.add("sim.iterations", iterations);
+  metrics.observe("sim.makespan", result.makespan);
+  const FaultStats& faults = result.faults;
+  if (faults.workers_crashed > 0) {
+    metrics.add("sim.workers_crashed", static_cast<std::int64_t>(faults.workers_crashed));
+    metrics.add("sim.workers_recovered",
+                static_cast<std::int64_t>(faults.workers_recovered));
+    metrics.add("sim.chunks_lost", static_cast<std::int64_t>(faults.chunks_lost));
+    metrics.add("sim.iterations_reexecuted", faults.iterations_reexecuted);
+    metrics.add("sim.false_suspicions", static_cast<std::int64_t>(faults.false_suspicions));
+  }
 }
 
 }  // namespace cdsf::sim::detail

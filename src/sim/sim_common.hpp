@@ -150,4 +150,10 @@ struct PreparedRun {
                                       const sysmodel::AvailabilitySpec& availability,
                                       const SimConfig& config, std::uint64_t seed);
 
+/// Shared run epilogue: sorts the lifecycle events by time and, when the
+/// global obs::MetricsRegistry is enabled, records the run's aggregate
+/// counters and makespan histogram (one registry touch per run — nothing
+/// on the per-chunk path).
+void finalize_run(RunResult& result);
+
 }  // namespace cdsf::sim::detail

@@ -8,6 +8,14 @@
 //                                        # chunk schedule of a technique
 //   cdsf gantt --technique FAC --case 3  # chunk Gantt on the paper example
 //   cdsf phi1 --deadline 3250            # phi_1 for both Table IV mappings
+//   cdsf dynamic --remap --case 3        # arrival-driven allocation stream
+//
+// Observability: every subcommand takes --log-level (the CDSF_LOG
+// environment variable sets the initial threshold); scenario/gantt/dynamic
+// take --report-json (structured run report) and scenario/gantt take
+// --trace-json (Chrome/Perfetto trace, open in https://ui.perfetto.dev).
+// Requesting either output switches the global metrics registry on, so
+// reports embed a metrics snapshot. See docs/observability.md.
 //
 // Every subcommand supports --help.
 #include <cstdio>
@@ -15,19 +23,46 @@
 #include <fstream>
 #include <string>
 
+#include "cdsf/dynamic_manager.hpp"
 #include "cdsf/framework.hpp"
 #include "cdsf/paper_example.hpp"
 #include "cdsf/scenario_io.hpp"
 #include "dls/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/gantt.hpp"
+#include "sysmodel/cases.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace cdsf;
 
-int cmd_tables(int, char**) {
+/// --log-level on every subcommand; applied before the command body runs.
+void add_log_flag(util::Cli& cli) {
+  cli.add_string("log-level", "",
+                 "log threshold: trace|debug|info|warn|error|off (default: CDSF_LOG or info)");
+}
+
+void apply_log_flag(const util::Cli& cli) {
+  const std::string level = cli.get_string("log-level");
+  if (!level.empty()) util::set_log_level(util::parse_log_level(level));
+}
+
+/// Turns the global metrics registry on when any observability output was
+/// requested, so the emitted report embeds a metrics snapshot.
+void enable_metrics_if(bool wanted) {
+  if (wanted) obs::MetricsRegistry::global().set_enabled(true);
+}
+
+int cmd_tables(int argc, char** argv) {
+  util::Cli cli("Reproduce the paper's Table IV/V summary.");
+  add_log_flag(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
   const core::PaperExample example = core::make_paper_example();
   const core::Framework framework(example.batch, example.platform, example.cases.front(),
                                   example.deadline);
@@ -53,7 +88,9 @@ int cmd_tables(int, char**) {
 int cmd_template(int argc, char** argv) {
   util::Cli cli("Write the paper example as a scenario-file template.");
   cli.add_string("out", "paper_scenario.ini", "output path");
+  add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
   const std::string path = cli.get_string("out");
   std::ofstream out(path);
   if (!out) {
@@ -70,7 +107,14 @@ int cmd_scenario(int argc, char** argv) {
   cli.add_string("file", "", "scenario file (empty = built-in paper example)");
   cli.add_int("replications", 51, "stage II replications");
   cli.add_int("seed", 1, "seed");
+  cli.add_string("report-json", "", "write a structured JSON scenario report here");
+  cli.add_string("trace-json", "", "write a Perfetto trace of one locked-plan execution here");
+  add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
+  const std::string report_path = cli.get_string("report-json");
+  const std::string trace_path = cli.get_string("trace-json");
+  enable_metrics_if(!report_path.empty() || !trace_path.empty());
 
   const std::string file = cli.get_string("file");
   const core::Scenario scenario = file.empty()
@@ -105,8 +149,44 @@ int cmd_scenario(int argc, char** argv) {
   const core::RobustnessReport report = framework.robustness_report(result, scenario.cases);
   std::printf("\n(rho_1, rho_2) = (%s, %s)\n", util::format_percent(report.rho1, 1).c_str(),
               report.rho2 >= 0.0 ? util::format_percent(report.rho2, 2).c_str() : "n/a");
+  const core::Framework::ExecutionPlan plan = framework.make_plan(result, 0);
   std::printf("\nExecution plan (reference case):\n%s\n",
-              framework.describe_plan(framework.make_plan(result, 0)).c_str());
+              framework.describe_plan(plan).c_str());
+
+  if (!trace_path.empty()) {
+    // One locked-plan execution under the reference case, traced: every
+    // application becomes a trace process, every worker a track.
+    obs::TraceSink sink;
+    obs::Json stage1_args = obs::Json::object();
+    stage1_args.set("heuristic", result.stage_one.heuristic_name);
+    stage1_args.set("phi1", result.stage_one.phi1);
+    sink.add_framework_event(0.0, "stage1_allocation", std::move(stage1_args));
+    obs::Json rho_args = obs::Json::object();
+    rho_args.set("rho1", report.rho1);
+    rho_args.set("rho2", report.rho2);
+    sink.add_framework_event(0.0, "robustness_certificate", std::move(rho_args));
+    sim::SimConfig trace_config = config.sim;
+    trace_config.collect_trace = true;
+    for (std::size_t app = 0; app < scenario.batch.size(); ++app) {
+      const ra::GroupAssignment group = plan.allocation.at(app);
+      const sim::RunResult run = sim::simulate_loop(
+          scenario.batch.at(app), group.processor_type, group.processors,
+          scenario.cases.front(), plan.techniques[app], trace_config,
+          config.seed + app);
+      obs::TraceSink::RunOptions options;
+      options.pid = static_cast<int>(app);
+      options.process_name = scenario.batch.at(app).name() + " [" +
+                             dls::technique_name(plan.techniques[app]) + "]";
+      options.epoch_length = trace_config.epoch_length;
+      sink.append_run(run, options);
+    }
+    sink.write(trace_path);
+    std::printf("wrote trace %s (%zu events)\n", trace_path.c_str(), sink.event_count());
+  }
+  if (!report_path.empty()) {
+    obs::write_json(obs::make_scenario_report(framework, result, scenario.cases), report_path);
+    std::printf("wrote report %s\n", report_path.c_str());
+  }
   return 0;
 }
 
@@ -115,7 +195,9 @@ int cmd_preview(int argc, char** argv) {
   cli.add_string("technique", "FAC", "technique name (see docs/dls_techniques.md)");
   cli.add_int("iterations", 1000, "loop iterations");
   cli.add_int("workers", 4, "workers");
+  add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
 
   const dls::TechniqueId id = dls::technique_from_name(cli.get_string("technique"));
   const dls::ScheduleAnalysis analysis =
@@ -141,26 +223,115 @@ int cmd_gantt(int argc, char** argv) {
   cli.add_string("technique", "AF", "technique name");
   cli.add_int("case", 1, "availability case (1-4)");
   cli.add_int("seed", 12, "seed");
+  cli.add_int("crash-worker", -1, "inject a permanent crash on this worker (-1 = none)");
+  cli.add_double("crash-time", 500.0, "crash instant for --crash-worker");
+  cli.add_string("report-json", "", "write a structured JSON run report here");
+  cli.add_string("trace-json", "", "write a Perfetto trace of the run here");
+  add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
+  const std::string report_path = cli.get_string("report-json");
+  const std::string trace_path = cli.get_string("trace-json");
+  enable_metrics_if(!report_path.empty() || !trace_path.empty());
 
   const core::PaperExample example = core::make_paper_example();
+  const std::string technique = cli.get_string("technique");
   sim::SimConfig config;
   config.collect_trace = true;
+  if (cli.get_int("crash-worker") >= 0) {
+    sim::SimConfig::Failure failure;
+    failure.worker = static_cast<std::size_t>(cli.get_int("crash-worker"));
+    failure.time = cli.get_double("crash-time");
+    failure.kind = sim::SimConfig::FailureKind::kCrash;
+    config.failures.push_back(failure);
+  }
   const sim::RunResult run = sim::simulate_loop(
       example.batch.at(2), 1, 8, sysmodel::paper_case(static_cast<int>(cli.get_int("case"))),
-      dls::technique_from_name(cli.get_string("technique")), config,
+      dls::technique_from_name(technique), config,
       static_cast<std::uint64_t>(cli.get_int("seed")));
   sim::GanttOptions options;
   options.deadline = example.deadline;
   std::printf("makespan %.0f (deadline %.0f)\n", run.makespan, example.deadline);
   std::fputs(sim::render_gantt(run, options).c_str(), stdout);
+
+  if (!trace_path.empty()) {
+    obs::TraceSink sink;
+    obs::TraceSink::RunOptions run_options;
+    run_options.process_name = "app3 [" + technique + "]";
+    run_options.epoch_length = config.epoch_length;
+    sink.append_run(run, run_options);
+    sink.write(trace_path);
+    std::printf("wrote trace %s (%zu events)\n", trace_path.c_str(), sink.event_count());
+  }
+  if (!report_path.empty()) {
+    obs::write_json(obs::make_run_report("gantt app3 " + technique, run, example.deadline),
+                    report_path);
+    std::printf("wrote report %s\n", report_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_dynamic(int argc, char** argv) {
+  util::Cli cli("Dynamic per-application allocation stream (rho_2-aware re-mapping).");
+  cli.add_int("applications", 16, "applications in the arrival stream");
+  cli.add_double("interarrival", 800.0, "mean interarrival time");
+  cli.add_double("slack", 7000.0, "per-application deadline slack");
+  cli.add_string("technique", "AF", "Stage II technique");
+  cli.add_int("case", 3, "runtime availability case (1-4); reference is case 1");
+  cli.add_flag("remap", "plan against the realized availability when it degrades past rho2");
+  cli.add_double("rho2", 0.1, "certified availability-decrease radius for --remap");
+  cli.add_int("seed", 8, "master seed");
+  cli.add_string("report-json", "", "write a structured JSON dynamic-run report here");
+  add_log_flag(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
+  const std::string report_path = cli.get_string("report-json");
+  enable_metrics_if(!report_path.empty());
+
+  const sysmodel::Platform platform = sysmodel::paper_platform();
+  const sysmodel::AvailabilitySpec reference = sysmodel::paper_case(1);
+  const sysmodel::AvailabilitySpec runtime =
+      sysmodel::paper_case(static_cast<int>(cli.get_int("case")));
+
+  core::DynamicConfig config;
+  config.applications = static_cast<std::size_t>(cli.get_int("applications"));
+  config.mean_interarrival = cli.get_double("interarrival");
+  config.deadline_slack = cli.get_double("slack");
+  config.technique = dls::technique_from_name(cli.get_string("technique"));
+  config.remap_on_rho2 = cli.get_flag("remap");
+  config.rho2 = cli.get_double("rho2");
+  config.application_spec.processor_types = 2;
+  config.application_spec.min_total_iterations = 800;
+  config.application_spec.max_total_iterations = 3000;
+  config.application_spec.min_mean_time = 2000.0;
+  config.application_spec.max_mean_time = 8000.0;
+
+  const core::DynamicRunResult result = core::run_dynamic_manager(
+      platform, reference, runtime, config, static_cast<std::uint64_t>(cli.get_int("seed")));
+  std::printf("%zu applications, technique %s, runtime case %lld\n", config.applications,
+              dls::technique_name(config.technique).c_str(),
+              static_cast<long long>(cli.get_int("case")));
+  std::printf("realized availability decrease %s; re-map %s\n",
+              util::format_percent(result.realized_decrease, 1).c_str(),
+              result.remap_triggered ? "TRIGGERED" : "not triggered");
+  std::printf("hit rate %s, mean queueing delay %.0f, utilization %s, horizon %.0f\n",
+              util::format_percent(result.deadline_hit_rate, 0).c_str(),
+              result.mean_queueing_delay,
+              util::format_percent(result.utilization, 0).c_str(), result.horizon);
+
+  if (!report_path.empty()) {
+    obs::write_json(obs::make_dynamic_report(result, config, platform), report_path);
+    std::printf("wrote report %s\n", report_path.c_str());
+  }
   return 0;
 }
 
 int cmd_phi1(int argc, char** argv) {
   util::Cli cli("phi_1 and makespan statistics for both Table IV mappings.");
   cli.add_double("deadline", 3250.0, "deadline Delta");
+  add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
 
   const core::PaperExample example = core::make_paper_example();
   const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
@@ -192,11 +363,15 @@ void usage() {
   std::puts("  preview   print a technique's chunk schedule");
   std::puts("  gantt     ASCII chunk Gantt chart");
   std::puts("  phi1      makespan-distribution statistics per mapping");
+  std::puts("  dynamic   arrival-driven allocation stream (rho_2-aware re-mapping)");
+  std::puts("observability: --log-level everywhere (or CDSF_LOG env var);");
+  std::puts("  --report-json / --trace-json on scenario, gantt, dynamic");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  cdsf::util::init_log_level_from_env();
   if (argc < 2) {
     usage();
     return 1;
@@ -212,6 +387,7 @@ int main(int argc, char** argv) {
     if (command == "preview") return cmd_preview(sub_argc, sub_argv);
     if (command == "gantt") return cmd_gantt(sub_argc, sub_argv);
     if (command == "phi1") return cmd_phi1(sub_argc, sub_argv);
+    if (command == "dynamic") return cmd_dynamic(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       usage();
       return 0;

@@ -1,7 +1,10 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace cdsf::util {
 
@@ -24,6 +27,47 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char c : name) {
+    lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  throw std::invalid_argument("parse_log_level: unknown level '" + name +
+                              "' (expected trace|debug|info|warn|error|off)");
+}
+
+LogLevel init_log_level_from_env() {
+  const char* env = std::getenv("CDSF_LOG");
+  if (env != nullptr && *env != '\0') {
+    try {
+      set_log_level(parse_log_level(env));
+    } catch (const std::invalid_argument&) {
+      log_line(LogLevel::kWarn,
+               std::string("ignoring invalid CDSF_LOG value '") + env + "'");
+    }
+  }
+  return log_level();
+}
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;

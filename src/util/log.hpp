@@ -17,6 +17,16 @@ void set_log_level(LogLevel level) noexcept;
 /// Current process-global threshold.
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Lowercase level name ("trace" ... "error", "off").
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+/// Inverse of log_level_name (case-insensitive). Throws
+/// std::invalid_argument for anything else.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+/// Applies the CDSF_LOG environment variable (a parse_log_level name) to
+/// the global threshold; unset or empty leaves it alone, an invalid value
+/// emits one kWarn line and leaves it alone. Returns the active level.
+LogLevel init_log_level_from_env();
+
 /// Emits one line to stderr if `level` passes the threshold. Thread-safe
 /// (line-at-a-time atomicity via a single formatted write).
 void log_line(LogLevel level, const std::string& message);

@@ -1,0 +1,90 @@
+// The obs JSON value: construction, order preservation, escaping, and the
+// emit -> parse round trip the report layer's bit-exactness rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace cdsf::obs {
+namespace {
+
+TEST(ObsJson, TypesAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_EQ(Json(true).as_bool(), true);
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json(2.5).as_double(), 2.5);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+  EXPECT_EQ(Json(std::string("hi")).as_string(), "hi");
+  // Integers read back as doubles too (JSON has one number type).
+  EXPECT_DOUBLE_EQ(Json(3).as_double(), 3.0);
+  EXPECT_THROW(Json(1.5).as_int(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_bool(), std::runtime_error);
+}
+
+TEST(ObsJson, ObjectPreservesInsertionOrder) {
+  Json object = Json::object();
+  object.set("zulu", 1);
+  object.set("alpha", 2);
+  object.set("mike", 3);
+  EXPECT_EQ(object.dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+  object.set("zulu", 9);  // replace keeps the original position
+  EXPECT_EQ(object.dump(), R"({"zulu":9,"alpha":2,"mike":3})");
+}
+
+TEST(ObsJson, StringEscaping) {
+  Json object = Json::object();
+  object.set("k", "a\"b\\c\n\t\x01");
+  EXPECT_EQ(object.dump(), "{\"k\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+  const Json parsed = Json::parse(object.dump());
+  EXPECT_EQ(parsed.at("k").as_string(), "a\"b\\c\n\t\x01");
+}
+
+TEST(ObsJson, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(ObsJson, ParseBasics) {
+  const Json doc = Json::parse(R"({"a": [1, -2.5, true, null, "s"], "b": {"c": 1e3}})");
+  EXPECT_EQ(doc.at("a").size(), 5u);
+  EXPECT_EQ(doc.at("a").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_double(), -2.5);
+  EXPECT_TRUE(doc.at("a").at(2).as_bool());
+  EXPECT_TRUE(doc.at("a").at(3).is_null());
+  EXPECT_EQ(doc.at("a").at(4).as_string(), "s");
+  EXPECT_DOUBLE_EQ(doc.at("b").at("c").as_double(), 1000.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ObsJson, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse("\"A\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(ObsJson, ParseErrorsCarryOffsets) {
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+}
+
+TEST(ObsJson, DoubleRoundTripIsBitExact) {
+  // Shortest round-trip formatting: dump -> parse returns the same bits.
+  const double values[] = {0.1,    1.0 / 3.0, 3250.0,  1e-300, 12345.6789,
+                           2.5e17, -0.0,      6.02e23, 1e308};
+  for (const double value : values) {
+    const Json parsed = Json::parse(Json(value).dump());
+    EXPECT_EQ(parsed.as_double(), value);
+  }
+}
+
+TEST(ObsJson, PrettyPrint) {
+  Json doc = Json::object();
+  doc.set("a", Json::array());
+  EXPECT_EQ(doc.dump(1), "{\n \"a\": []\n}");
+}
+
+}  // namespace
+}  // namespace cdsf::obs
