@@ -70,6 +70,11 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
   if (!(config.deadline_slack > 0.0)) {
     throw std::invalid_argument("run_dynamic_manager: deadline_slack must be > 0");
   }
+  if (config.escalate_speculation_on_risk &&
+      !(config.speculation_risk_floor > 0.0 && config.speculation_risk_floor <= 1.0)) {
+    throw std::invalid_argument(
+        "run_dynamic_manager: speculation_risk_floor must be in (0, 1]");
+  }
 
   // rho_2 trigger: if the realized availability has degraded past the
   // certified radius, plan against it instead of the reference.
@@ -138,9 +143,30 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
     outcome.group = choice.group;
     outcome.probability = choice.probability;
 
+    sim::SimConfig sim_config = config.sim;
+    if (config.escalate_speculation_on_risk &&
+        choice.probability < config.speculation_risk_floor) {
+      // The allocation itself is already at risk: hedge the execution with
+      // speculative replication before the rho_2 cliff is even reached.
+      ++result.speculation_escalations;
+      if (!sim_config.speculation.enabled) {
+        sim_config.speculation.enabled = true;
+      } else {
+        sim_config.speculation.quantile =
+            std::max(sim_config.speculation.min_quantile,
+                     sim_config.speculation.quantile * sim_config.speculation.escalation_factor);
+      }
+      obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+      if (metrics.enabled()) metrics.add("cdsf.dynamic.speculation_escalated");
+    }
+    if (sim_config.deadline_risk.enabled && sim_config.deadline_risk.deadline == 0.0) {
+      sim_config.deadline_risk.deadline = std::max(budget, 1.0);
+    }
+
     const sim::RunResult run = sim::simulate_loop(
         app, choice.group.processor_type, choice.group.processors, runtime, config.technique,
-        config.sim, seeds.child(1000 + app_index));
+        sim_config, seeds.child(1000 + app_index));
+    result.speculation_total.accumulate(run.speculation);
     outcome.completion_time = now + run.makespan;
     outcome.met_deadline =
         outcome.completion_time <= outcome.arrival_time + config.deadline_slack;

@@ -38,6 +38,14 @@ struct DynamicConfig {
   /// manager's version of Framework::remap_on_availability.
   bool remap_on_rho2 = false;
   double rho2 = 0.0;
+  /// Graceful degradation BEFORE the re-map cliff: when true, an
+  /// application whose allocation-time success probability falls below
+  /// `speculation_risk_floor` executes with speculative chunk re-execution
+  /// enabled (sim.speculation forced on; if it is already on, the straggler
+  /// quantile is tightened by sim.speculation.escalation_factor instead,
+  /// floored at sim.speculation.min_quantile).
+  bool escalate_speculation_on_risk = false;
+  double speculation_risk_floor = 0.5;
 };
 
 /// One application's journey through the manager.
@@ -64,6 +72,11 @@ struct DynamicRunResult {
   /// realized weighted-availability decrease itself (recorded regardless).
   bool remap_triggered = false;
   double realized_decrease = 0.0;
+  /// Applications whose execution ran with escalated speculation (only
+  /// populated when DynamicConfig::escalate_speculation_on_risk is set),
+  /// and the speculation activity summed over every execution.
+  std::size_t speculation_escalations = 0;
+  sim::SpeculationStats speculation_total;
 };
 
 /// Runs the dynamic manager. Applications are generated deterministically

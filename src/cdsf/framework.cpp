@@ -80,6 +80,13 @@ StageTwoResult Framework::run_stage_two(const ra::Allocation& allocation,
   result.all_meet_deadline = true;
   result.system_makespan = 0.0;
 
+  // The deadline-risk monitor projects against the FRAMEWORK deadline
+  // unless the caller pinned an explicit one.
+  sim::SimConfig sim_config = config.sim;
+  if (sim_config.deadline_risk.enabled && sim_config.deadline_risk.deadline == 0.0) {
+    sim_config.deadline_risk.deadline = deadline_;
+  }
+
   const util::SeedSequence seeds(config.seed);
   for (std::size_t app = 0; app < batch_.size(); ++app) {
     const ra::GroupAssignment group = allocation.at(app);
@@ -90,7 +97,7 @@ StageTwoResult Framework::run_stage_two(const ra::Allocation& allocation,
       outcome.technique = techniques[k];
       outcome.summary = sim::simulate_replicated(
           batch_.at(app), group.processor_type, group.processors, runtime, techniques[k],
-          config.sim, seeds.child(app * 64 + k), config.replications, deadline_,
+          sim_config, seeds.child(app * 64 + k), config.replications, deadline_,
           config.threads);
       outcome.meets_deadline = outcome.summary.median_makespan <= deadline_;
       best_any = std::min(best_any, outcome.summary.median_makespan);
@@ -167,7 +174,12 @@ sim::BatchRunResult Framework::execute_plan(const ExecutionPlan& plan,
                                             const sysmodel::AvailabilitySpec& runtime,
                                             const sim::SimConfig& config,
                                             std::uint64_t seed) const {
-  return sim::simulate_batch(batch_, plan.allocation, runtime, plan.techniques, config, seed);
+  sim::SimConfig sim_config = config;
+  if (sim_config.deadline_risk.enabled && sim_config.deadline_risk.deadline == 0.0) {
+    sim_config.deadline_risk.deadline = deadline_;
+  }
+  return sim::simulate_batch(batch_, plan.allocation, runtime, plan.techniques, sim_config,
+                             seed);
 }
 
 Framework::RemapDecision Framework::remap_on_availability(const ExecutionPlan& plan,

@@ -124,6 +124,12 @@ void AdaptiveWeightedFactoring::advance_timestep() {
 
 std::vector<double> AdaptiveWeightedFactoring::current_weights() const { return weights_; }
 
+double AdaptiveWeightedFactoring::estimated_iteration_time(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("AWF::estimated_iteration_time: bad worker index");
+  const stats::OnlineSummary& own = measured_[worker];
+  return (!own.empty() && own.mean() > 0.0) ? own.mean() : 0.0;
+}
+
 // -------------------------------------------------------------------- AF --
 
 AdaptiveFactoring::AdaptiveFactoring(const TechniqueParams& params)
@@ -209,5 +215,11 @@ void AdaptiveFactoring::record(const ChunkResult& result) {
 }
 
 void AdaptiveFactoring::reset() { measured_.assign(workers_, stats::OnlineSummary{}); }
+
+double AdaptiveFactoring::estimated_iteration_time(std::size_t worker) const {
+  if (worker >= workers_) throw std::out_of_range("AF::estimated_iteration_time: bad worker index");
+  const stats::OnlineSummary& own = measured_[worker];
+  return (!own.empty() && own.mean() > 0.0) ? own.mean() : 0.0;
+}
 
 }  // namespace cdsf::dls

@@ -36,6 +36,7 @@ class AdaptiveWeightedFactoring final : public Technique {
   [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
   void record(const ChunkResult& result) override;
   void reset() override;
+  [[nodiscard]] double estimated_iteration_time(std::size_t worker) const override;
 
   /// AWF (timestep variant) only: folds this execution's measurements into
   /// the weights used by the next execution. No-op for other variants.
@@ -79,6 +80,7 @@ class AdaptiveFactoring final : public Technique {
   [[nodiscard]] std::int64_t next_chunk(const SchedulingContext& ctx) override;
   void record(const ChunkResult& result) override;
   void reset() override;
+  [[nodiscard]] double estimated_iteration_time(std::size_t worker) const override;
 
   /// K_j(T) closed form above — exposed for unit tests.
   [[nodiscard]] static double chunk_for_target(double mu, double sigma, double target);

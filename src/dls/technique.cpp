@@ -7,6 +7,8 @@ namespace cdsf::dls {
 
 void Technique::record(const ChunkResult&) {}
 
+double Technique::estimated_iteration_time(std::size_t) const { return 0.0; }
+
 std::int64_t clamp_chunk(std::int64_t proposed, std::int64_t remaining) noexcept {
   return std::clamp<std::int64_t>(proposed, 1, remaining);
 }

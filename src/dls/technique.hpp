@@ -90,8 +90,18 @@ class Technique {
   /// The executors deliver feedback for COMPLETED chunks only: a chunk
   /// stranded by a worker crash (sim::FailureKind::kCrash/kCrashRecover) is
   /// re-dispatched without a record() call, so adaptive weights (AWF/AF)
-  /// are never poisoned by a dead worker's unfinished timing.
+  /// are never poisoned by a dead worker's unfinished timing. Likewise,
+  /// when speculative re-execution duplicates a chunk, only the WINNING
+  /// copy's timing is fed back — the cancelled loser is never record()ed,
+  /// so duplicate iterations cannot count twice in adaptive weights.
   virtual void record(const ChunkResult& result);
+
+  /// Runtime estimate of one iteration's wall-clock time on `worker`, or
+  /// 0 when the technique has no measurement for it (non-adaptive
+  /// techniques, or an adaptive one before the worker's first record()).
+  /// The speculation layer uses this to sharpen its a-priori straggler
+  /// thresholds with the same mu estimates AWF/AF maintain for weights.
+  [[nodiscard]] virtual double estimated_iteration_time(std::size_t worker) const;
 
   /// Clears all run state so the instance can schedule a fresh loop
   /// execution (adaptive weights persist across timesteps only through

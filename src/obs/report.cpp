@@ -30,6 +30,29 @@ Json to_json(const sim::FaultStats& faults) {
   return doc;
 }
 
+Json to_json(const sim::SpeculationStats& speculation) {
+  Json doc = Json::object();
+  doc.set("stragglers_flagged", speculation.stragglers_flagged);
+  doc.set("backups_launched", speculation.backups_launched);
+  doc.set("backups_won", speculation.backups_won);
+  doc.set("backups_cancelled", speculation.backups_cancelled);
+  doc.set("backups_lost", speculation.backups_lost);
+  doc.set("primaries_cancelled", speculation.primaries_cancelled);
+  doc.set("cancelled_work", speculation.cancelled_work);
+  doc.set("risk_escalations", speculation.risk_escalations);
+  return doc;
+}
+
+namespace {
+
+/// Speculation blocks appear only when there was speculation activity, so
+/// non-speculative reports keep the pre-speculation shape.
+bool speculation_active(const sim::SpeculationStats& s) {
+  return s.stragglers_flagged > 0 || s.backups_launched > 0 || s.risk_escalations > 0;
+}
+
+}  // namespace
+
 Json to_json(const sim::WorkerStats& worker) {
   Json doc = Json::object();
   doc.set("chunks", worker.chunks);
@@ -71,6 +94,9 @@ Json to_json(const sim::RunResult& run) {
   for (const sim::WorkerStats& worker : run.workers) workers.push_back(to_json(worker));
   doc.set("workers", std::move(workers));
   doc.set("faults", to_json(run.faults));
+  if (speculation_active(run.speculation)) {
+    doc.set("speculation", to_json(run.speculation));
+  }
   return doc;
 }
 
@@ -90,6 +116,9 @@ Json to_json(const sim::ReplicationSummary& summary, double deadline) {
     doc.set("deadline_slack", deadline - summary.median_makespan);
   }
   doc.set("faults_total", to_json(summary.faults_total));
+  if (speculation_active(summary.speculation_total)) {
+    doc.set("speculation_total", to_json(summary.speculation_total));
+  }
   return doc;
 }
 
@@ -236,6 +265,13 @@ Json make_dynamic_report(const core::DynamicRunResult& result,
   if (config.remap_on_rho2) doc.set("rho2", config.rho2);
   doc.set("remap_triggered", result.remap_triggered);
   doc.set("realized_decrease", result.realized_decrease);
+  if (config.escalate_speculation_on_risk) {
+    doc.set("speculation_risk_floor", config.speculation_risk_floor);
+    doc.set("speculation_escalations", result.speculation_escalations);
+  }
+  if (speculation_active(result.speculation_total)) {
+    doc.set("speculation_total", to_json(result.speculation_total));
+  }
   doc.set("deadline_hit_rate", result.deadline_hit_rate);
   doc.set("mean_queueing_delay", result.mean_queueing_delay);
   doc.set("utilization", result.utilization);
@@ -253,6 +289,46 @@ Json make_dynamic_report(const core::DynamicRunResult& result,
     outcomes.push_back(std::move(entry));
   }
   doc.set("applications", std::move(outcomes));
+  maybe_attach_metrics(doc);
+  return doc;
+}
+
+Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& config) {
+  Json doc = Json::object();
+  doc.set("schema", kChaosReportSchema);
+  Json campaign = Json::object();
+  campaign.set("schedules", config.schedules);
+  campaign.set("seed", config.seed);
+  campaign.set("processors", config.processors);
+  campaign.set("serial_iterations", config.serial_iterations);
+  campaign.set("parallel_iterations", config.parallel_iterations);
+  campaign.set("max_failures", config.max_failures);
+  campaign.set("include_mpi", config.include_mpi);
+  campaign.set("speculation", config.speculation);
+  Json thread_counts = Json::array();
+  for (std::size_t threads : config.thread_counts) thread_counts.push_back(threads);
+  campaign.set("thread_counts", std::move(thread_counts));
+  campaign.set("replications", config.replications);
+  doc.set("campaign", std::move(campaign));
+  doc.set("passed", report.passed());
+  doc.set("schedules_run", report.schedules_run);
+  doc.set("runs_executed", report.runs_executed);
+  doc.set("failures_injected", report.failures_injected);
+  doc.set("schedules_with_speculation", report.schedules_with_speculation);
+  doc.set("max_makespan", report.max_makespan);
+  Json violations = Json::array();
+  for (const sim::ChaosViolation& violation : report.violations) {
+    Json entry = Json::object();
+    entry.set("schedule", violation.schedule);
+    entry.set("seed", violation.seed);
+    entry.set("executor", violation.executor);
+    entry.set("invariant", violation.invariant);
+    entry.set("detail", violation.detail);
+    violations.push_back(std::move(entry));
+  }
+  doc.set("violations", std::move(violations));
+  doc.set("faults_total", to_json(report.faults_total));
+  doc.set("speculation_total", to_json(report.speculation_total));
   maybe_attach_metrics(doc);
   return doc;
 }

@@ -17,6 +17,7 @@
 #include "cdsf/framework.hpp"
 #include "obs/json.hpp"
 #include "sim/batch_executor.hpp"
+#include "sim/chaos.hpp"
 #include "sim/loop_executor.hpp"
 
 namespace cdsf::obs {
@@ -26,11 +27,13 @@ inline constexpr const char* kRunReportSchema = "cdsf.run_report/1";
 inline constexpr const char* kScenarioReportSchema = "cdsf.scenario_report/1";
 inline constexpr const char* kPlanReportSchema = "cdsf.plan_report/1";
 inline constexpr const char* kDynamicReportSchema = "cdsf.dynamic_report/1";
+inline constexpr const char* kChaosReportSchema = "cdsf.chaos_report/1";
 
 // -- building blocks ---------------------------------------------------
 
 Json to_json(const stats::ConfidenceInterval& ci);
 Json to_json(const sim::FaultStats& faults);
+Json to_json(const sim::SpeculationStats& speculation);
 Json to_json(const sim::WorkerStats& worker);
 /// One executed run: makespan, serial_end, chunk statistics (count, and
 /// when the run carries a trace, chunk-size min/mean/max), per-worker
@@ -74,6 +77,11 @@ Json make_plan_report(const core::Framework& framework,
 Json make_dynamic_report(const core::DynamicRunResult& result,
                          const core::DynamicConfig& config,
                          const sysmodel::Platform& platform);
+
+/// Chaos-campaign report: campaign shape, pass/fail, every invariant
+/// violation (schedule index + replay seed), and aggregate fault /
+/// speculation accounting over all executed runs.
+Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& config);
 
 /// Writes `document.dump(1)` to `path`; throws std::runtime_error on I/O
 /// error.

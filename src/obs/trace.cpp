@@ -19,6 +19,10 @@ const char* lifecycle_name(sim::LifecycleEvent::Kind kind) {
     case Kind::kWorkerDeclaredDead: return "worker_declared_dead";
     case Kind::kWorkerReinstated: return "worker_reinstated";
     case Kind::kChunkLost: return "chunk_reclaimed";
+    case Kind::kChunkStraggler: return "chunk_straggler";
+    case Kind::kChunkBackup: return "chunk_backup";
+    case Kind::kChunkCancelled: return "chunk_cancelled";
+    case Kind::kRiskEscalated: return "risk_escalated";
   }
   return "lifecycle";
 }
@@ -133,8 +137,16 @@ void TraceSink::append_run(const sim::RunResult& run, const RunOptions& options)
     Json args = Json::object();
     args.set("iterations", chunk.iterations);
     args.set("lost", chunk.lost);
+    // Speculation markers only when set, so non-speculative traces (and
+    // their goldens) are byte-identical to the pre-speculation format.
+    if (chunk.speculative) args.set("speculative", true);
+    if (chunk.cancelled) args.set("cancelled", true);
+    std::string categories = "chunk";
+    if (chunk.lost) categories += ",lost";
+    if (chunk.speculative) categories += ",speculative";
+    if (chunk.cancelled) categories += ",cancelled";
     add_complete(options.pid, tid, chunk.start_time, end - chunk.start_time, "chunk",
-                 chunk.lost ? "chunk,lost" : "chunk", std::move(args));
+                 categories, std::move(args));
   }
 
   for (const sim::LifecycleEvent& event : run.events) {

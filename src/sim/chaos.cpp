@@ -1,0 +1,385 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "pmf/pmf.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::sim {
+
+namespace {
+
+/// Everything one schedule needs to replay: drawn once from the schedule's
+/// own seed stream, executed on both executors.
+struct Schedule {
+  SimConfig sim;
+  dls::TechniqueId technique = dls::TechniqueId::kFAC;
+  std::uint64_t sim_seed = 0;
+  double deadline = 0.0;  // replicated-summary deadline (also risk Delta)
+};
+
+/// Per-schedule accumulator, merged in index order so the campaign report
+/// is identical for any campaign thread count.
+struct Partial {
+  std::vector<ChaosViolation> violations;
+  FaultStats faults;
+  SpeculationStats speculation;
+  std::size_t runs = 0;
+  std::size_t failures = 0;
+  bool speculated = false;
+  double max_makespan = 0.0;
+};
+
+Schedule draw_schedule(const ChaosConfig& config, util::RngStream& rng,
+                       std::uint64_t sim_seed) {
+  Schedule schedule;
+  schedule.sim_seed = sim_seed;
+
+  static constexpr dls::TechniqueId kTechniques[] = {
+      dls::TechniqueId::kStatic, dls::TechniqueId::kGSS, dls::TechniqueId::kTSS,
+      dls::TechniqueId::kFAC,    dls::TechniqueId::kAWF_B, dls::TechniqueId::kAF,
+  };
+  schedule.technique =
+      kTechniques[static_cast<std::size_t>(rng.uniform_int(0, std::size(kTechniques) - 1))];
+
+  SimConfig& sim = schedule.sim;
+  sim.iteration_cov = rng.uniform(0.05, 0.5);
+  static constexpr AvailabilityMode kModes[] = {
+      AvailabilityMode::kSampleOnce, AvailabilityMode::kMarkovEpoch,
+      AvailabilityMode::kConstantMean};
+  sim.availability_mode = kModes[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+
+  // Rough makespan scale: total dedicated time over the group at the
+  // availability law's midpoint — failure times land inside the run.
+  const double est_makespan =
+      (static_cast<double>(config.serial_iterations) +
+       static_cast<double>(config.parallel_iterations) /
+           static_cast<double>(config.processors)) /
+      0.6;
+  sim.epoch_length = std::max(1.0, est_makespan / 8.0);
+  schedule.deadline = est_makespan * rng.uniform(0.8, 1.5);
+
+  // Failures: distinct workers drawn from [1, processors) (worker 0 runs
+  // the unprotected serial phase), each with a random kind.
+  const std::size_t draws = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(config.max_failures)));
+  std::vector<std::size_t> candidates;
+  for (std::size_t w = 1; w < config.processors; ++w) candidates.push_back(w);
+  for (std::size_t k = 0; k + 1 < candidates.size(); ++k) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(k),
+                        static_cast<std::int64_t>(candidates.size() - 1)));
+    std::swap(candidates[k], candidates[j]);
+  }
+  for (std::size_t k = 0; k < std::min(draws, candidates.size()); ++k) {
+    SimConfig::Failure failure;
+    failure.worker = candidates[k];
+    failure.time = rng.uniform(0.05, 0.9) * est_makespan;
+    const double kind = rng.uniform01();
+    if (kind < 0.4) {
+      failure.kind = SimConfig::FailureKind::kCrash;
+    } else if (kind < 0.7) {
+      failure.kind = SimConfig::FailureKind::kCrashRecover;
+      failure.recovery_time = failure.time + rng.uniform(0.05, 0.5) * est_makespan;
+    } else {
+      failure.kind = SimConfig::FailureKind::kDegrade;
+      failure.residual_availability = rng.uniform(0.05, 0.35);
+    }
+    sim.failures.push_back(failure);
+  }
+
+  if (config.speculation && rng.uniform01() < 0.65) {
+    sim.speculation.enabled = true;
+    sim.speculation.quantile = rng.uniform(1.0, 3.0);
+    if (rng.uniform01() < 0.35) {
+      sim.deadline_risk.enabled = true;
+      sim.deadline_risk.deadline = schedule.deadline;
+      sim.deadline_risk.check_interval = std::max(1.0, est_makespan / 10.0);
+    }
+  }
+  return schedule;
+}
+
+void add_violation(Partial& partial, std::size_t schedule, std::uint64_t seed,
+                   std::string executor, std::string invariant, std::string detail) {
+  partial.violations.push_back(ChaosViolation{schedule, seed, std::move(executor),
+                                              std::move(invariant), std::move(detail)});
+}
+
+/// The per-run invariants: finite Psi, exactly-once coverage reconstructed
+/// from the trace, FaultStats/SpeculationStats consistency.
+void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule,
+               std::uint64_t seed, const char* executor, Partial& partial) {
+  auto fail = [&](const char* invariant, std::string detail) {
+    add_violation(partial, schedule, seed, executor, invariant, std::move(detail));
+  };
+
+  if (!std::isfinite(run.makespan) || run.makespan < run.serial_end || run.serial_end < 0.0) {
+    fail("finite_makespan", "makespan " + std::to_string(run.makespan) + ", serial_end " +
+                                std::to_string(run.serial_end));
+  }
+
+  std::int64_t accepted = 0;
+  for (const WorkerStats& worker : run.workers) accepted += worker.iterations;
+  if (accepted != parallel) {
+    fail("all_iterations_accepted", "accepted " + std::to_string(accepted) + " of " +
+                                        std::to_string(parallel));
+  }
+
+  // Exactly-once: winning entries (not lost, not cancelled) tile the
+  // parallel iteration space with no overlap and no hole.
+  std::vector<char> covered(static_cast<std::size_t>(parallel), 0);
+  std::uint64_t lost_entries = 0;
+  std::int64_t dispatched_from_pool = 0;
+  std::uint64_t backup_entries = 0;
+  for (const ChunkTraceEntry& entry : run.trace) {
+    if (entry.first < 0 || entry.iterations <= 0 || entry.first + entry.iterations > parallel) {
+      fail("trace_range", "entry [" + std::to_string(entry.first) + ", +" +
+                              std::to_string(entry.iterations) + ") outside [0, " +
+                              std::to_string(parallel) + ")");
+      continue;
+    }
+    if (entry.lost) ++lost_entries;
+    if (entry.speculative) {
+      ++backup_entries;
+    } else {
+      dispatched_from_pool += entry.iterations;
+    }
+    if (entry.lost || entry.cancelled) continue;
+    for (std::int64_t i = entry.first; i < entry.first + entry.iterations; ++i) {
+      if (covered[static_cast<std::size_t>(i)]) {
+        fail("exactly_once", "iteration " + std::to_string(i) + " delivered twice");
+        break;
+      }
+      covered[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  for (std::int64_t i = 0; i < parallel; ++i) {
+    if (!covered[static_cast<std::size_t>(i)]) {
+      fail("exactly_once", "iteration " + std::to_string(i) + " never delivered");
+      break;
+    }
+  }
+
+  const FaultStats& faults = run.faults;
+  if (faults.chunks_lost != lost_entries) {
+    fail("faults_consistent", "chunks_lost " + std::to_string(faults.chunks_lost) + " but " +
+                                  std::to_string(lost_entries) + " lost trace entries");
+  }
+  // Every give_back is re-taken from the pool, so pool dispatches account
+  // for the loop plus exactly the re-executed iterations.
+  if (dispatched_from_pool != parallel + faults.iterations_reexecuted) {
+    fail("faults_consistent",
+         "pool dispatched " + std::to_string(dispatched_from_pool) + " != " +
+             std::to_string(parallel) + " + reexecuted " +
+             std::to_string(faults.iterations_reexecuted));
+  }
+  if (faults.workers_recovered > faults.workers_crashed) {
+    fail("faults_consistent", "more recoveries than crashes");
+  }
+
+  const SpeculationStats& spec = run.speculation;
+  if (spec.backups_launched !=
+      spec.backups_won + spec.backups_cancelled + spec.backups_lost) {
+    fail("speculation_identity",
+         "launched " + std::to_string(spec.backups_launched) + " != won " +
+             std::to_string(spec.backups_won) + " + cancelled " +
+             std::to_string(spec.backups_cancelled) + " + lost " +
+             std::to_string(spec.backups_lost));
+  }
+  if (spec.backups_launched != backup_entries) {
+    fail("speculation_identity", "launched " + std::to_string(spec.backups_launched) +
+                                     " but " + std::to_string(backup_entries) +
+                                     " speculative trace entries");
+  }
+  if (spec.backups_launched > spec.stragglers_flagged) {
+    fail("speculation_identity", "more backups than flagged stragglers");
+  }
+
+  partial.faults.workers_crashed += faults.workers_crashed;
+  partial.faults.workers_recovered += faults.workers_recovered;
+  partial.faults.chunks_lost += faults.chunks_lost;
+  partial.faults.iterations_reexecuted += faults.iterations_reexecuted;
+  partial.faults.wasted_work += faults.wasted_work;
+  partial.faults.detection_latency_total += faults.detection_latency_total;
+  partial.faults.max_detection_latency =
+      std::max(partial.faults.max_detection_latency, faults.max_detection_latency);
+  partial.faults.false_suspicions += faults.false_suspicions;
+  partial.speculation.accumulate(spec);
+  partial.max_makespan = std::max(partial.max_makespan, run.makespan);
+  partial.runs += 1;
+}
+
+bool summaries_identical(const ReplicationSummary& a, const ReplicationSummary& b) {
+  const bool makespans = a.mean_makespan == b.mean_makespan &&
+                         a.median_makespan == b.median_makespan &&
+                         a.stddev_makespan == b.stddev_makespan &&
+                         a.min_makespan == b.min_makespan &&
+                         a.max_makespan == b.max_makespan &&
+                         a.deadline_hit_rate == b.deadline_hit_rate;
+  const bool faults = a.faults_total.workers_crashed == b.faults_total.workers_crashed &&
+                      a.faults_total.workers_recovered == b.faults_total.workers_recovered &&
+                      a.faults_total.chunks_lost == b.faults_total.chunks_lost &&
+                      a.faults_total.iterations_reexecuted ==
+                          b.faults_total.iterations_reexecuted &&
+                      a.faults_total.wasted_work == b.faults_total.wasted_work &&
+                      a.faults_total.false_suspicions == b.faults_total.false_suspicions;
+  const bool speculation =
+      a.speculation_total.stragglers_flagged == b.speculation_total.stragglers_flagged &&
+      a.speculation_total.backups_launched == b.speculation_total.backups_launched &&
+      a.speculation_total.backups_won == b.speculation_total.backups_won &&
+      a.speculation_total.backups_cancelled == b.speculation_total.backups_cancelled &&
+      a.speculation_total.backups_lost == b.speculation_total.backups_lost &&
+      a.speculation_total.primaries_cancelled == b.speculation_total.primaries_cancelled &&
+      a.speculation_total.cancelled_work == b.speculation_total.cancelled_work &&
+      a.speculation_total.risk_escalations == b.speculation_total.risk_escalations;
+  return makespans && faults && speculation;
+}
+
+}  // namespace
+
+ChaosReport run_chaos_campaign(const ChaosConfig& config) {
+  if (config.schedules == 0) {
+    throw std::invalid_argument("run_chaos_campaign: schedules must be >= 1");
+  }
+  if (config.processors < 2) {
+    throw std::invalid_argument("run_chaos_campaign: processors must be >= 2");
+  }
+  if (config.parallel_iterations <= 0 || config.serial_iterations < 0) {
+    throw std::invalid_argument("run_chaos_campaign: bad iteration counts");
+  }
+  if (config.max_failures == 0 || config.max_failures >= config.processors) {
+    throw std::invalid_argument(
+        "run_chaos_campaign: max_failures must be in [1, processors - 1]");
+  }
+  if (config.replications == 0) {
+    throw std::invalid_argument("run_chaos_campaign: replications must be >= 1");
+  }
+
+  // One application and availability law shared by every schedule: the
+  // chaos variation lives in the fault schedules, not the workload.
+  const double total_time =
+      static_cast<double>(config.serial_iterations + config.parallel_iterations);
+  const workload::Application application(
+      "chaos", config.serial_iterations, config.parallel_iterations,
+      {workload::TimeLaw{workload::TimeLawKind::kNormal, total_time, 0.2}});
+  const sysmodel::AvailabilitySpec availability(
+      "chaos", {pmf::Pmf::uniform_over({0.4, 0.7, 1.0})});
+  const MessageModel messages;
+
+  const util::SeedSequence seeds(config.seed);
+  std::vector<Partial> partials(config.schedules);
+
+  util::parallel_for_index(
+      config.schedules,
+      config.threads == 0 ? util::default_thread_count() : config.threads,
+      [&](std::size_t index) {
+        Partial& partial = partials[index];
+        util::RngStream rng = seeds.stream(2 * index);
+        const std::uint64_t sim_seed = seeds.child(2 * index + 1);
+        const Schedule schedule = draw_schedule(config, rng, sim_seed);
+        partial.failures = schedule.sim.failures.size();
+        partial.speculated = schedule.sim.speculation.enabled;
+
+        CDSF_LOG_DEBUG << "chaos schedule " << index << " seed " << sim_seed << " technique "
+                       << dls::technique_name(schedule.technique) << " failures "
+                       << partial.failures << (partial.speculated ? " +speculation" : "");
+        CDSF_LOG_DEBUG << "  mode " << static_cast<int>(schedule.sim.availability_mode)
+                       << " cov " << schedule.sim.iteration_cov << " epoch "
+                       << schedule.sim.epoch_length;
+        for (const SimConfig::Failure& f : schedule.sim.failures) {
+          CDSF_LOG_DEBUG << "  failure worker " << f.worker << " time " << f.time << " kind "
+                         << static_cast<int>(f.kind) << " residual "
+                         << f.residual_availability << " recovery " << f.recovery_time;
+        }
+        SimConfig traced = schedule.sim;
+        traced.collect_trace = true;
+        try {
+          CDSF_LOG_DEBUG << "chaos schedule " << index << " ideal";
+          const RunResult run =
+              simulate_loop(application, 0, config.processors, availability,
+                            schedule.technique, traced, sim_seed);
+          check_run(run, config.parallel_iterations, index, sim_seed, "ideal", partial);
+        } catch (const std::exception& error) {
+          add_violation(partial, index, sim_seed, "ideal", "exception", error.what());
+        }
+
+        if (config.include_mpi) {
+          // The message-passing executor ignores the deadline-risk monitor
+          // (idealized executors only); everything else carries over.
+          SimConfig mpi_config = traced;
+          mpi_config.deadline_risk = SimConfig::DeadlineRisk{};
+          try {
+            CDSF_LOG_DEBUG << "chaos schedule " << index << " mpi";
+            const MpiRunResult mpi =
+                simulate_loop_mpi(application, 0, config.processors, availability,
+                                  schedule.technique, mpi_config, messages, sim_seed);
+            check_run(mpi.run, config.parallel_iterations, index, sim_seed, "mpi", partial);
+          } catch (const std::exception& error) {
+            add_violation(partial, index, sim_seed, "mpi", "exception", error.what());
+          }
+        }
+
+        if (config.thread_counts.size() >= 2) {
+          try {
+            CDSF_LOG_DEBUG << "chaos schedule " << index << " replicated";
+            const ReplicationSummary baseline = simulate_replicated(
+                application, 0, config.processors, availability, schedule.technique,
+                schedule.sim, sim_seed, config.replications, schedule.deadline,
+                config.thread_counts.front());
+            partial.runs += config.replications;
+            for (std::size_t k = 1; k < config.thread_counts.size(); ++k) {
+              const ReplicationSummary other = simulate_replicated(
+                  application, 0, config.processors, availability, schedule.technique,
+                  schedule.sim, sim_seed, config.replications, schedule.deadline,
+                  config.thread_counts[k]);
+              partial.runs += config.replications;
+              if (!summaries_identical(baseline, other)) {
+                add_violation(partial, index, sim_seed, "replicated", "thread_determinism",
+                              "summary differs between threads=" +
+                                  std::to_string(config.thread_counts.front()) +
+                                  " and threads=" +
+                                  std::to_string(config.thread_counts[k]));
+              }
+            }
+          } catch (const std::exception& error) {
+            add_violation(partial, index, sim_seed, "replicated", "exception", error.what());
+          }
+        }
+      });
+
+  ChaosReport report;
+  report.schedules_run = config.schedules;
+  for (const Partial& partial : partials) {
+    report.runs_executed += partial.runs;
+    report.failures_injected += partial.failures;
+    report.schedules_with_speculation += partial.speculated ? 1 : 0;
+    for (const ChaosViolation& violation : partial.violations) {
+      report.violations.push_back(violation);
+    }
+    report.faults_total.workers_crashed += partial.faults.workers_crashed;
+    report.faults_total.workers_recovered += partial.faults.workers_recovered;
+    report.faults_total.chunks_lost += partial.faults.chunks_lost;
+    report.faults_total.iterations_reexecuted += partial.faults.iterations_reexecuted;
+    report.faults_total.wasted_work += partial.faults.wasted_work;
+    report.faults_total.detection_latency_total += partial.faults.detection_latency_total;
+    report.faults_total.max_detection_latency = std::max(
+        report.faults_total.max_detection_latency, partial.faults.max_detection_latency);
+    report.faults_total.false_suspicions += partial.faults.false_suspicions;
+    report.speculation_total.accumulate(partial.speculation);
+    report.max_makespan = std::max(report.max_makespan, partial.max_makespan);
+  }
+  for (const ChaosViolation& violation : report.violations) {
+    CDSF_LOG_WARN << "chaos schedule " << violation.schedule << " (seed " << violation.seed
+                  << ", " << violation.executor << "): " << violation.invariant << " — "
+                  << violation.detail;
+  }
+  return report;
+}
+
+}  // namespace cdsf::sim

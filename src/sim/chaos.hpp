@@ -1,0 +1,87 @@
+// Chaos campaign harness: randomized fault-schedule fuzzing of the
+// fault-tolerant Stage II executors.
+//
+// Each schedule draws a seeded random mix of crash / crash-recover /
+// degrade failures (worker 0 stays crash-free — the serial phase has no
+// fault tolerance), a technique, an availability mode, and speculation
+// knobs, then executes it on BOTH executors (idealized simulate_loop and
+// message-passing simulate_loop_mpi) and checks hard invariants that must
+// hold for EVERY schedule:
+//
+//   * the makespan Psi is finite and >= the serial completion,
+//   * every parallel iteration is executed (accepted) exactly once —
+//     reconstructed from the chunk trace: the winning entries (not lost,
+//     not cancelled) must tile [0, parallel_iterations) with no overlap,
+//   * FaultStats is consistent with the trace (chunks_lost == lost
+//     entries; dispatched iterations == total + re-executed),
+//   * SpeculationStats satisfies the bookkeeping identity
+//     backups_launched == backups_won + backups_cancelled + backups_lost,
+//   * replicated summaries are BIT-IDENTICAL across thread counts.
+//
+// A campaign is deterministic given its seed; violations carry the
+// schedule index and seed so any failure replays in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/master_worker.hpp"
+
+namespace cdsf::sim {
+
+/// Campaign shape. Defaults run the CI smoke configuration scaled up.
+struct ChaosConfig {
+  /// Randomized fault schedules to draw (>= 100 for a full campaign).
+  std::size_t schedules = 100;
+  std::uint64_t seed = 2026;
+  /// Loop shape shared by every schedule.
+  std::size_t processors = 6;
+  std::int64_t serial_iterations = 24;
+  std::int64_t parallel_iterations = 600;
+  /// Failures injected per schedule (drawn in [1, max_failures], always on
+  /// workers >= 1 so the serial phase survives).
+  std::size_t max_failures = 3;
+  /// Also run every schedule through the message-passing executor.
+  bool include_mpi = true;
+  /// Allow schedules to enable speculative re-execution (~2/3 of them) and
+  /// the deadline-risk monitor (~1/3 of the speculating ones).
+  bool speculation = true;
+  /// Thread counts the replicated determinism check compares; the first
+  /// entry is the baseline. Fewer than 2 entries skips the check.
+  std::vector<std::size_t> thread_counts = {1, 8};
+  /// Replications per determinism comparison.
+  std::size_t replications = 3;
+  /// Campaign-level parallelism over schedules (0 = hardware default).
+  std::size_t threads = 0;
+};
+
+/// One broken invariant. A passing campaign has none.
+struct ChaosViolation {
+  std::size_t schedule = 0;
+  std::uint64_t seed = 0;            // replay seed of the schedule
+  std::string executor;              // "ideal" | "mpi" | "replicated"
+  std::string invariant;             // short id, e.g. "exactly_once"
+  std::string detail;
+};
+
+/// Campaign outcome: invariant violations plus aggregate accounting.
+struct ChaosReport {
+  std::size_t schedules_run = 0;
+  /// Individual simulations executed (both executors + determinism runs).
+  std::size_t runs_executed = 0;
+  std::size_t failures_injected = 0;
+  std::size_t schedules_with_speculation = 0;
+  std::vector<ChaosViolation> violations;
+  FaultStats faults_total;             // summed over ideal + mpi runs
+  SpeculationStats speculation_total;  // summed over ideal + mpi runs
+  double max_makespan = 0.0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+/// Runs the campaign. Deterministic given config.seed (any thread count).
+/// Throws std::invalid_argument on a degenerate config.
+[[nodiscard]] ChaosReport run_chaos_campaign(const ChaosConfig& config);
+
+}  // namespace cdsf::sim

@@ -17,6 +17,17 @@ void Engine::schedule_after(double delay, Handler handler) {
   schedule_at(now_ + delay, std::move(handler));
 }
 
+Engine::EventId Engine::schedule_cancellable_at(double time, Handler handler) {
+  const EventId id = next_sequence_;
+  schedule_at(time, std::move(handler));
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == kNoEvent || id >= next_sequence_) return false;
+  return cancelled_.insert(id).second;
+}
+
 std::uint64_t Engine::run(std::uint64_t max_events) {
   std::uint64_t dispatched = 0;
   while (!queue_.empty()) {
@@ -26,6 +37,7 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
     // Copy out before pop so the handler may schedule new events.
     Event event = queue_.top();
     queue_.pop();
+    if (!cancelled_.empty() && cancelled_.erase(event.sequence) > 0) continue;
     now_ = event.time;
     ++dispatched;
     event.handler();

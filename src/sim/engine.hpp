@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace cdsf::sim {
@@ -17,6 +18,9 @@ namespace cdsf::sim {
 class Engine {
  public:
   using Handler = std::function<void()>;
+  /// Token for cancel(); kNoEvent is never a live event.
+  using EventId = std::uint64_t;
+  static constexpr EventId kNoEvent = 0;
 
   /// Schedules `handler` at absolute time `time`. Throws
   /// std::invalid_argument if time is before the current clock (no
@@ -25,6 +29,18 @@ class Engine {
 
   /// Schedules `handler` `delay` time units from now. Throws if delay < 0.
   void schedule_after(double delay, Handler handler);
+
+  /// As schedule_at, but returns a token that cancel() accepts. Used by the
+  /// speculation layer to kill the losing copy's completion event instead
+  /// of threading stale-handler guards through every closure.
+  [[nodiscard]] EventId schedule_cancellable_at(double time, Handler handler);
+
+  /// Cancels a pending event scheduled with schedule_cancellable_at: its
+  /// handler will not run. Returns false for kNoEvent. Callers must not
+  /// cancel an id whose handler has already run (the executors track
+  /// per-chunk state, so they always know) — doing so would leave a dead
+  /// tombstone in the cancellation set for the rest of the run.
+  bool cancel(EventId id);
 
   /// Runs until the queue drains or `max_events` events were dispatched.
   /// Returns the number of events dispatched. Throws std::runtime_error if
@@ -43,7 +59,9 @@ class Engine {
  private:
   struct Event {
     double time;
-    std::uint64_t sequence;  // FIFO order among same-time events
+    std::uint64_t sequence;  // FIFO order among same-time events; doubles
+                             // as the EventId (sequence 0 is reserved for
+                             // kNoEvent — the counter starts at 1)
     Handler handler;
   };
   struct Later {
@@ -54,8 +72,9 @@ class Engine {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
   double now_ = 0.0;
-  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_sequence_ = 1;
 };
 
 }  // namespace cdsf::sim

@@ -23,6 +23,8 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   };
 
   bool any_lost = false;
+  bool any_speculative = false;
+  bool any_cancelled = false;
   std::vector<std::string> rows(result.workers.size(), std::string(options.width, ' '));
   for (const ChunkTraceEntry& chunk : result.trace) {
     std::string& row = rows.at(chunk.worker);
@@ -32,12 +34,18 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     const std::size_t start = column(chunk.start_time);
     const std::size_t end = std::max(column(chunk.end_time), start + 1);
     // Lost chunks (stranded by a crash, later re-dispatched elsewhere)
-    // render as 'x' so they are not mistaken for completed work.
-    const char fill = chunk.lost ? 'x' : '=';
+    // render as 'x' so they are not mistaken for completed work; cancelled
+    // speculation losers as '-' (their end_time is the cancellation
+    // instant) and surviving speculative backups as '~'.
+    const char fill = chunk.lost ? 'x' : (chunk.cancelled ? '-' : (chunk.speculative ? '~' : '='));
     any_lost = any_lost || chunk.lost;
+    any_speculative = any_speculative || chunk.speculative;
+    any_cancelled = any_cancelled || chunk.cancelled;
     for (std::size_t c = start; c < end && c < options.width; ++c) row[c] = fill;
     // Chunk boundary marker so adjacent chunks remain distinguishable.
-    if (start < options.width) row[start] = chunk.lost ? '!' : '[';
+    if (start < options.width) {
+      row[start] = chunk.lost ? '!' : (chunk.cancelled ? '/' : (chunk.speculative ? '<' : '['));
+    }
   }
 
   std::ostringstream out;
@@ -61,6 +69,8 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   if (options.deadline > 0.0) out << "   ('|' = deadline " << options.deadline << ")";
   out << "\n";
   if (any_lost) out << "'x'/'!' = chunk lost to a crash (re-dispatched to survivors)\n";
+  if (any_speculative) out << "'~'/'<' = speculative backup copy of a straggling chunk\n";
+  if (any_cancelled) out << "'-'/'/' = copy cancelled after the other copy finished first\n";
   return out.str();
 }
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
+#include "stats/distribution.hpp"
 #include "stats/summary.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -26,6 +29,9 @@ class ForwardingTechnique final : public dls::Technique {
     return inner_->next_chunk(ctx);
   }
   void record(const dls::ChunkResult& result) override { inner_->record(result); }
+  [[nodiscard]] double estimated_iteration_time(std::size_t worker) const override {
+    return inner_->estimated_iteration_time(worker);
+  }
   void reset() override { inner_->reset(); }
 
  private:
@@ -42,6 +48,7 @@ void accumulate_faults(FaultStats& total, const FaultStats& run) {
   total.max_detection_latency = std::max(total.max_detection_latency, run.max_detection_latency);
   total.false_suspicions += run.false_suspicions;
 }
+
 
 /// The idealized self-scheduling event loop shared by simulate_loop and
 /// simulate_loop_mixed. `worker_types` / `mean_iter` / `stddev_iter` are
@@ -104,23 +111,143 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   detail::IterationPool pool(application.parallel_iterations());
   std::vector<char> dead(processors, 0);
   std::vector<char> idle(processors, 0);
-  // The (at most one) chunk in flight on a crashing worker that the crash
-  // will strand; the crash lifecycle event reclaims it.
-  struct InFlight {
-    bool lost = false;
-    detail::IterationPool::Range range;
+  const bool speculate = config.speculation.enabled;
+  const std::int64_t total_parallel = application.parallel_iterations();
+
+  // One dispatched copy of a task's range. A task is the unit of
+  // exactly-once execution: normally just the primary copy; when the
+  // speculation layer flags the primary as a straggler, a backup copy runs
+  // the SAME range on another worker and the first finisher wins.
+  struct Copy {
+    std::size_t worker = 0;
+    bool live = false;  // running; completion event pending
+    bool lost = false;  // straddles its worker's crash; reclaim pending
     double dispatch_time = 0.0;
     double start_time = 0.0;
+    Engine::EventId completion = Engine::kNoEvent;
+    std::ptrdiff_t trace_index = -1;  // set only with collect_trace
   };
-  std::vector<InFlight> in_flight(processors);
+  struct Task {
+    detail::IterationPool::Range range;
+    Copy primary;
+    Copy backup;
+    bool has_backup = false;
+    bool flagged = false;  // straggler-flagged (at most once)
+    bool done = false;     // a winner finished, or the range went back
+  };
+  std::vector<std::unique_ptr<Task>> tasks;         // stable addresses
+  std::vector<Task*> running(processors, nullptr);  // copy hosted on worker w
+  std::deque<Task*> stragglers;  // flagged tasks awaiting an idle worker
+  std::int64_t completed_iterations = 0;
+  // Live straggler threshold in sigmas; the deadline-risk monitor tightens
+  // it (affects chunks dispatched AFTER the escalation).
+  double quantile = config.speculation.quantile;
+
+  std::function<void(std::size_t)> request;
+
+  // Stops a live losing copy: its completion event dies, the sunk work is
+  // charged to cancelled_work, and its worker is free immediately.
+  auto cancel_copy = [&](Task& task, Copy& copy, bool is_backup) {
+    const double now = engine.now();
+    engine.cancel(copy.completion);
+    copy.live = false;
+    double sunk = std::min(config.scheduling_overhead, std::max(0.0, now - copy.dispatch_time));
+    if (copy.start_time < now) {
+      sunk += workers[copy.worker].availability->work_delivered(copy.start_time, now);
+    }
+    result.speculation.cancelled_work += sunk;
+    if (is_backup) {
+      result.speculation.backups_cancelled += 1;
+    } else {
+      result.speculation.primaries_cancelled += 1;
+    }
+    if (config.collect_trace) {
+      result.events.push_back(
+          {LifecycleEvent::Kind::kChunkCancelled, now, copy.worker, task.range.count});
+      if (copy.trace_index >= 0) {
+        ChunkTraceEntry& entry = result.trace[static_cast<std::size_t>(copy.trace_index)];
+        entry.cancelled = true;
+        entry.end_time = now;
+      }
+    }
+    running[copy.worker] = nullptr;
+    request(copy.worker);
+  };
+
+  // Winning copy finished: account it, feed the technique exactly once,
+  // cancel the losing copy if one is still running.
+  auto complete_copy = [&](Task* task, bool is_backup) {
+    Copy& winner = is_backup ? task->backup : task->primary;
+    const std::size_t w = winner.worker;
+    const double end_time = engine.now();
+    winner.live = false;
+    running[w] = nullptr;
+    task->done = true;
+    WorkerStats& stats = result.workers[w];
+    stats.chunks += 1;
+    stats.iterations += task->range.count;
+    stats.busy_time += end_time - winner.start_time;
+    stats.overhead_time += config.scheduling_overhead;
+    result.total_chunks += 1;
+    completed_iterations += task->range.count;
+    if (is_backup) result.speculation.backups_won += 1;
+    technique.record(dls::ChunkResult{w, task->range.count, end_time - winner.start_time,
+                                      end_time - winner.dispatch_time});
+    stats.finish_time = end_time;
+    result.makespan = std::max(result.makespan, end_time);
+    Copy& loser = is_backup ? task->primary : task->backup;
+    if (task->has_backup && loser.live) cancel_copy(*task, loser, !is_backup);
+    request(w);
+  };
+
+  // Runs a straggler task's range a second time on idle worker v.
+  auto launch_backup = [&](std::size_t v, Task* task) {
+    const detail::IterationPool::Range range = task->range;
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + config.scheduling_overhead;
+    const double work =
+        input_factor * detail::chunk_work(application, worker_types[v], mean_iter[v],
+                                          stddev_iter[v], config.iteration_cov, range.first,
+                                          range.count, *workers[v].rng);
+    const double end_time = workers[v].availability->finish_time(start_time, work);
+    const bool lost =
+        dispatch_time < workers[v].crash_time && end_time > workers[v].crash_time;
+    task->has_backup = true;
+    task->backup = Copy{v, !lost, lost, dispatch_time, start_time, Engine::kNoEvent, -1};
+    running[v] = task;
+    result.speculation.backups_launched += 1;
+    if (config.collect_trace) {
+      result.events.push_back(
+          {LifecycleEvent::Kind::kChunkBackup, dispatch_time, v, range.count});
+      task->backup.trace_index = static_cast<std::ptrdiff_t>(result.trace.size());
+      result.trace.push_back(
+          {v, range.count, dispatch_time, start_time, end_time, lost, range.first, true, false});
+    }
+    CDSF_LOG_TRACE << "worker " << v << " backup " << range.count << " [" << dispatch_time
+                   << ", " << end_time << "]" << (lost ? " LOST" : "");
+    if (lost) return;  // the crash event at crash_time reclaims it
+    task->backup.completion =
+        engine.schedule_cancellable_at(end_time, [&, task] { complete_copy(task, true); });
+  };
 
   // Self-scheduling protocol: an idle worker requests a chunk; the chunk
-  // completion event records feedback and triggers the next request.
-  std::function<void(std::size_t)> request = [&](std::size_t w) {
+  // completion event records feedback and triggers the next request. Fresh
+  // work always outranks speculation — backups launch only when the pool is
+  // empty (an idle worker exists only when nothing is undispatched).
+  request = [&](std::size_t w) {
     WorkerStats& stats = result.workers[w];
     if (dead[w]) return;
     const std::int64_t pending = pool.pending();
     if (pending <= 0) {
+      if (speculate) {
+        while (!stragglers.empty() && stragglers.front()->done) stragglers.pop_front();
+        if (!stragglers.empty()) {
+          Task* task = stragglers.front();
+          stragglers.pop_front();
+          launch_backup(w, task);
+          return;
+        }
+      }
       // Nothing undispatched NOW — but a crash may still return work, so
       // stay wakeable instead of retiring.
       idle[w] = 1;
@@ -163,31 +290,51 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     const bool lost =
         dispatch_time < workers[w].crash_time && end_time > workers[w].crash_time;
 
-    if (!lost) {
-      stats.chunks += 1;
-      stats.iterations += range.count;
-      stats.busy_time += end_time - start_time;
-      stats.overhead_time += config.scheduling_overhead;
-      result.total_chunks += 1;
-    }
+    tasks.push_back(std::make_unique<Task>());
+    Task* task = tasks.back().get();
+    task->range = range;
+    task->primary = Copy{w, !lost, lost, dispatch_time, start_time, Engine::kNoEvent, -1};
+    running[w] = task;
     if (config.collect_trace) {
+      task->primary.trace_index = static_cast<std::ptrdiff_t>(result.trace.size());
       result.trace.push_back(
-          {w, range.count, dispatch_time, start_time, end_time, lost});
+          {w, range.count, dispatch_time, start_time, end_time, lost, range.first, false, false});
     }
     CDSF_LOG_TRACE << "worker " << w << " chunk " << range.count << " [" << dispatch_time
                    << ", " << end_time << "]" << (lost ? " LOST" : "");
 
-    if (lost) {
-      in_flight[w] = InFlight{true, range, dispatch_time, start_time};
-      return;  // never completes; the crash event at crash_time reclaims it
+    if (speculate) {
+      // Expected compute time: the technique's measured wall-clock estimate
+      // when it has one (AWF/AF — availability-aware), else the a-priori
+      // dedicated-time profile. A degraded-but-alive worker blows through
+      // mu + quantile * sigma without ever tripping the crash detector.
+      double mu_it = technique.estimated_iteration_time(w);
+      if (!(mu_it > 0.0)) mu_it = input_factor * mean_iter[w];
+      const double count = static_cast<double>(range.count);
+      const double threshold =
+          std::max(config.speculation.min_elapsed,
+                   mu_it * count + quantile * input_factor * stddev_iter[w] * std::sqrt(count));
+      engine.schedule_at(start_time + threshold, [&, task, w] {
+        if (task->done || task->flagged || task->has_backup) return;
+        task->flagged = true;
+        result.speculation.stragglers_flagged += 1;
+        if (config.collect_trace) {
+          result.events.push_back(
+              {LifecycleEvent::Kind::kChunkStraggler, engine.now(), w, task->range.count});
+        }
+        for (std::size_t v = 0; v < processors; ++v) {
+          if (idle[v] && !dead[v]) {
+            idle[v] = 0;
+            launch_backup(v, task);
+            return;
+          }
+        }
+        stragglers.push_back(task);  // next idle worker picks it up
+      });
     }
-    engine.schedule_at(end_time, [&, w, range, start_time, dispatch_time, end_time] {
-      technique.record(dls::ChunkResult{w, range.count, end_time - start_time,
-                                        end_time - dispatch_time});
-      result.workers[w].finish_time = end_time;
-      result.makespan = std::max(result.makespan, end_time);
-      request(w);
-    });
+    if (lost) return;  // never completes; the crash event at crash_time reclaims it
+    task->primary.completion =
+        engine.schedule_cancellable_at(end_time, [&, task] { complete_copy(task, false); });
   };
 
   if (application.parallel_iterations() > 0) {
@@ -197,22 +344,33 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
       if (!workers[w].crashes()) continue;
       engine.schedule_at(workers[w].crash_time, [&, w] {
         dead[w] = 1;
-        InFlight& chunk = in_flight[w];
-        if (!chunk.lost) return;
+        Task* task = running[w];
+        if (task == nullptr) return;
+        const bool is_backup = task->has_backup && task->backup.worker == w;
+        Copy& copy = is_backup ? task->backup : task->primary;
+        if (!copy.lost) return;  // completes exactly at crash time; allowed
+        running[w] = nullptr;
+        copy.lost = false;
         result.faults.chunks_lost += 1;
-        result.faults.iterations_reexecuted += chunk.range.count;
         if (config.collect_trace) {
           result.events.push_back(
-              {LifecycleEvent::Kind::kChunkLost, engine.now(), w, chunk.range.count});
+              {LifecycleEvent::Kind::kChunkLost, engine.now(), w, task->range.count});
         }
         double wasted =
-            std::min(config.scheduling_overhead, std::max(0.0, engine.now() - chunk.dispatch_time));
-        if (chunk.start_time < engine.now()) {
-          wasted += workers[w].availability->work_delivered(chunk.start_time, engine.now());
+            std::min(config.scheduling_overhead, std::max(0.0, engine.now() - copy.dispatch_time));
+        if (copy.start_time < engine.now()) {
+          wasted += workers[w].availability->work_delivered(copy.start_time, engine.now());
         }
         result.faults.wasted_work += wasted;
-        pool.give_back(chunk.range);
-        chunk = InFlight{};
+        if (is_backup) result.speculation.backups_lost += 1;
+        // Exactly-once: the range returns to the pool ONLY when no other
+        // copy of the task can still deliver it (the winner already did, or
+        // a live/pending-reclaim sibling copy covers it).
+        const Copy& other = is_backup ? task->primary : task->backup;
+        if (task->done || (task->has_backup && (other.live || other.lost))) return;
+        task->done = true;
+        result.faults.iterations_reexecuted += task->range.count;
+        pool.give_back(task->range);
         // Wake idle survivors for the returned iterations.
         for (std::size_t v = 0; v < processors; ++v) {
           if (!dead[v] && idle[v]) {
@@ -227,6 +385,47 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
           request(w);
         });
       }
+    }
+    // Deadline-risk monitor: every check_interval, project the makespan
+    // from the realized completion rate and escalate the straggler quantile
+    // while Pr(makespan <= deadline) sits under the floor. Self-terminating
+    // (it must stop rescheduling for the event queue to drain).
+    if (config.deadline_risk.enabled) {
+      const double deadline = config.deadline_risk.deadline;
+      auto check = std::make_shared<std::function<void()>>();
+      *check = [&, deadline, check] {
+        if (completed_iterations >= total_parallel) return;
+        bool rescuable = false;
+        for (std::size_t v = 0; v < processors && !rescuable; ++v) {
+          rescuable = !dead[v] || (std::isfinite(workers[v].recovery_time) &&
+                                   workers[v].recovery_time > engine.now());
+        }
+        if (!rescuable) return;  // stranded; the post-run check reports it
+        const double elapsed = engine.now() - serial_end;
+        if (completed_iterations > 0 && elapsed > 0.0) {
+          const double rate = static_cast<double>(completed_iterations) / elapsed;
+          const double remaining =
+              static_cast<double>(total_parallel - completed_iterations);
+          const double projected = engine.now() + remaining / rate;
+          // CLT over the remaining iid iterations at the realized rate.
+          const double sigma =
+              std::max(1e-12, std::sqrt(remaining) * config.iteration_cov / rate);
+          const double p = stats::standard_normal_cdf((deadline - projected) / sigma);
+          if (p < config.deadline_risk.risk_floor &&
+              quantile > config.speculation.min_quantile) {
+            quantile = std::max(config.speculation.min_quantile,
+                                quantile * config.speculation.escalation_factor);
+            result.speculation.risk_escalations += 1;
+            if (config.collect_trace) {
+              result.events.push_back(
+                  {LifecycleEvent::Kind::kRiskEscalated, engine.now(), 0,
+                   static_cast<std::int64_t>(result.speculation.risk_escalations)});
+            }
+          }
+        }
+        engine.schedule_after(config.deadline_risk.check_interval, *check);
+      };
+      engine.schedule_at(serial_end + config.deadline_risk.check_interval, *check);
     }
     // All workers become available for parallel work once the serial
     // portion completes on the master; workers already down then are
@@ -313,11 +512,13 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   // any thread count.
   std::vector<double> samples(replications);
   std::vector<FaultStats> faults(replications);
+  std::vector<SpeculationStats> speculation(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
     const RunResult run = simulate_loop(application, processor_type, processors, availability,
                                         technique, config, seeds.child(r));
     samples[r] = run.makespan;
     faults[r] = run.faults;
+    speculation[r] = run.speculation;
   });
   stats::OnlineSummary makespans;
   std::size_t hits = 0;
@@ -337,6 +538,7 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   summary.hit_rate_ci = stats::wilson_interval(hits, replications);
   // Summed in replication order — independent of the thread count.
   for (const FaultStats& f : faults) accumulate_faults(summary.faults_total, f);
+  for (const SpeculationStats& s : speculation) summary.speculation_total.accumulate(s);
   summary.median_makespan = stats::percentile(std::move(samples), 0.5);
   return summary;
 }

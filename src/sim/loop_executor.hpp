@@ -144,6 +144,46 @@ struct SimConfig {
     std::size_t max_probes = 2;
   };
   FaultDetection fault_detection;
+  /// Speculative re-execution of straggler chunks. A worker that is alive
+  /// but degraded (load spike, kDegrade failure) never trips the crash
+  /// detector, yet a single slow chunk at the tail of the loop can push the
+  /// makespan past the deadline. When enabled, the master flags a
+  /// dispatched chunk as a *straggler* once its elapsed time exceeds a
+  /// quantile of its expected completion distribution (a-priori weights
+  /// refined by the technique's runtime mu/sigma estimates when available)
+  /// and launches a backup copy on an idle worker. First finisher wins;
+  /// the loser is cancelled, and only the winner's timing is record()ed
+  /// into the technique — duplicate iterations never count twice.
+  struct Speculation {
+    bool enabled = false;
+    /// Straggler threshold in sigmas: elapsed > mu + quantile * sigma of
+    /// the chunk's expected compute time flags the chunk.
+    double quantile = 3.0;
+    /// Lower bound on any straggler threshold (guards tiny chunks whose
+    /// sigma is smaller than the scheduling overhead).
+    double min_elapsed = 1.0;
+    /// Deadline-risk escalation multiplies the quantile by this factor
+    /// (more aggressive speculation) down to min_quantile.
+    double escalation_factor = 0.5;
+    double min_quantile = 0.5;
+  };
+  Speculation speculation;
+  /// Deadline-risk monitor above the speculation layer (idealized
+  /// executors): every check_interval the master projects the makespan
+  /// from in-flight progress and, when Pr(makespan <= deadline) falls
+  /// below risk_floor, escalates speculation aggressiveness — graceful
+  /// degradation in stages before the framework's rho_2 re-map cliff.
+  /// Requires speculation.enabled (there is nothing else to escalate).
+  struct DeadlineRisk {
+    bool enabled = false;
+    /// Delta. Framework::run_stage_two / execute_plan fill this with the
+    /// framework deadline when it is left at 0.
+    double deadline = 0.0;
+    double check_interval = 250.0;
+    /// Escalate when the projected Pr(makespan <= deadline) < risk_floor.
+    double risk_floor = 0.5;
+  };
+  DeadlineRisk deadline_risk;
 };
 
 /// Per-worker accounting.
@@ -161,8 +201,16 @@ struct ChunkTraceEntry {
   std::int64_t iterations = 0;
   double dispatch_time = 0.0;  // request granted (overhead starts)
   double start_time = 0.0;     // computation starts
-  double end_time = 0.0;       // computation ends (would-be end if lost)
+  double end_time = 0.0;       // computation ends (would-be end if lost;
+                               // cancellation instant if cancelled)
   bool lost = false;           // chunk stranded by a crash; re-dispatched
+  /// First parallel-iteration index of the chunk's range (the chaos
+  /// harness reconstructs exactly-once coverage from [first, first + n)).
+  std::int64_t first = 0;
+  /// Speculative backup copy of a straggler chunk.
+  bool speculative = false;
+  /// Losing copy of a speculated chunk, stopped when the winner finished.
+  bool cancelled = false;
 };
 
 /// Scheduler lifecycle moment recorded alongside the chunk trace (only
@@ -176,6 +224,11 @@ struct LifecycleEvent {
     kWorkerDeclaredDead,  // MPI master: probe budget exhausted
     kWorkerReinstated,    // MPI master: late report from a falsely-suspected worker
     kChunkLost,           // in-flight chunk reclaimed (value = iterations)
+    kChunkStraggler,      // chunk exceeded its straggler threshold (value = iterations)
+    kChunkBackup,         // speculative backup launched (value = iterations)
+    kChunkCancelled,      // losing copy stopped after the winner finished
+    kRiskEscalated,       // deadline-risk monitor tightened speculation
+                          // (value = escalation ordinal)
   };
   Kind kind = Kind::kWorkerCrash;
   double time = 0.0;
@@ -204,6 +257,41 @@ struct FaultStats {
   std::size_t false_suspicions = 0;
 };
 
+/// Speculative-execution accounting for one run. All zero when
+/// SimConfig::speculation is off. Bookkeeping identity (checked by the
+/// chaos harness): backups_launched = backups_won + backups_cancelled +
+/// backups_lost once the run completes.
+struct SpeculationStats {
+  /// Chunks that exceeded their straggler threshold (each counted once).
+  std::uint64_t stragglers_flagged = 0;
+  std::uint64_t backups_launched = 0;
+  /// Backups that finished first (or whose primary died) — the rescues.
+  std::uint64_t backups_won = 0;
+  /// Backups cancelled because the primary finished first.
+  std::uint64_t backups_cancelled = 0;
+  /// Backups stranded by a crash of the backup worker.
+  std::uint64_t backups_lost = 0;
+  /// Primaries cancelled because their backup finished first.
+  std::uint64_t primaries_cancelled = 0;
+  /// Wall-clock x availability sunk into cancelled copies (the price of
+  /// speculation, the analogue of FaultStats::wasted_work).
+  double cancelled_work = 0.0;
+  /// Deadline-risk monitor escalations.
+  std::uint64_t risk_escalations = 0;
+
+  /// Order-independent element-wise sum (aggregation across runs).
+  void accumulate(const SpeculationStats& other) noexcept {
+    stragglers_flagged += other.stragglers_flagged;
+    backups_launched += other.backups_launched;
+    backups_won += other.backups_won;
+    backups_cancelled += other.backups_cancelled;
+    backups_lost += other.backups_lost;
+    primaries_cancelled += other.primaries_cancelled;
+    cancelled_work += other.cancelled_work;
+    risk_escalations += other.risk_escalations;
+  }
+};
+
 /// Outcome of one simulated application execution.
 struct RunResult {
   double makespan = 0.0;    // end of the last chunk (>= serial_end)
@@ -214,6 +302,7 @@ struct RunResult {
   /// Lifecycle markers, sorted by time (empty unless collect_trace).
   std::vector<LifecycleEvent> events;
   FaultStats faults;
+  SpeculationStats speculation;
 
   /// Coefficient of variation of per-worker finish times — the classic
   /// load-imbalance metric (0 = perfectly balanced).
@@ -272,6 +361,8 @@ struct ReplicationSummary {
   /// Fault accounting summed over all replications (order-independent, so
   /// bit-identical for any thread count).
   FaultStats faults_total;
+  /// Speculation accounting summed over all replications.
+  SpeculationStats speculation_total;
 };
 
 /// Mixed-type group execution: the paper restricts every group to ONE

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
@@ -38,6 +40,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // loss (even with detection disabled), mirroring an MPI reconnect.
   const bool crash_mode = detail::has_crash_failures(config);
   const bool detection = crash_mode && config.fault_detection.enabled;
+  // Speculation also needs report-based accounting (a cancelled loser's
+  // result must be droppable), so it shares the crash-mode protocol even
+  // when no crash failure is configured.
+  const bool speculate = config.speculation.enabled;
+  const bool managed = crash_mode || speculate;
 
   MpiRunResult result;
   result.run.workers.assign(processors, WorkerStats{});
@@ -93,11 +100,32 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     double end_time = 0.0;
     std::uint64_t id = 0;
     std::size_t probes = 0;
+    /// Speculation: this assignment is the backup copy of a straggler.
+    bool speculative = false;
+    /// Speculation: the sibling copy (partner worker + its assignment id).
+    bool has_partner = false;
+    std::size_t partner = 0;
+    std::uint64_t partner_id = 0;
+    /// Pending report-chain event (compute completion, then the report's
+    /// arrival); cancelled when the partner's report wins the race.
+    Engine::EventId report_event = Engine::kNoEvent;
+    std::ptrdiff_t trace_index = -1;  // set only with collect_trace
   };
   std::vector<Outstanding> outstanding(processors);
   std::vector<std::uint64_t> next_id(processors, 0);
   std::vector<char> declared_dead(processors, 0);
   std::vector<char> idle(processors, 0);
+  // Per-worker timeout escalation: each proven-false suspicion (a late
+  // report from a worker the master declared dead) doubles that worker's
+  // timeout scale. Without this, a timeout below the true round trip
+  // reclaims EVERY chunk before its report lands — no report is ever
+  // accepted and the run livelocks. Doubling converges the timeout above
+  // the real round trip within O(log) false suspicions.
+  std::vector<double> timeout_scale(processors, 1.0);
+  // Straggler-flagged assignments waiting for an idle worker to host the
+  // backup copy (entries may go stale when the report arrives first).
+  std::deque<std::pair<std::size_t, std::uint64_t>> stragglers;
+  double quantile = config.speculation.quantile;
 
   std::function<void(std::size_t)> master_receive_request;
 
@@ -114,12 +142,13 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   };
 
   // Takes worker w's outstanding chunk away from it (it was declared dead
-  // or rejoined after a crash) and returns the iterations to the pool.
+  // or rejoined after a crash) and returns the iterations to the pool —
+  // unless a speculative sibling copy is still in flight, in which case the
+  // sibling already covers the range (exactly-once execution).
   auto reclaim_outstanding = [&](std::size_t w) {
     Outstanding& out = outstanding[w];
     if (!out.active) return;
     out.active = false;
-    result.run.faults.iterations_reexecuted += out.range.count;
     if (config.collect_trace) {
       result.run.events.push_back(
           {LifecycleEvent::Kind::kChunkLost, engine.now(), w, out.range.count});
@@ -136,7 +165,19 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         wasted += prepared.workers[w].availability->work_delivered(out.start_time, engine.now());
       }
       result.run.faults.wasted_work += wasted;
+      if (out.speculative) result.run.speculation.backups_lost += 1;
+    } else if (config.collect_trace && out.trace_index >= 0) {
+      // False suspicion: the worker is alive and will eventually report,
+      // but the master re-dispatched the range and will drop that report —
+      // mark the entry so it no longer counts as delivered work (the chaos
+      // harness reconstructs exactly-once coverage from the trace).
+      result.run.trace[static_cast<std::size_t>(out.trace_index)].cancelled = true;
     }
+    if (out.has_partner && outstanding[out.partner].active &&
+        outstanding[out.partner].id == out.partner_id) {
+      return;  // the sibling copy still delivers the range
+    }
+    result.run.faults.iterations_reexecuted += out.range.count;
     pool.give_back(out.range);
     wake_idle();
   };
@@ -168,6 +209,221 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                            [&probe_fire, w, id, next] { probe_fire(w, id, next); });
       };
 
+  // Arms the first dead-worker timeout for assignment `id` (detection on).
+  auto arm_detection = [&](std::size_t w, std::uint64_t id, std::int64_t count,
+                           double dispatch_time) {
+    if (!detection) return;
+    // Expected round trip from the master's a-priori knowledge: the
+    // weight seed (observed availability) is all it has — the actual
+    // availability path is exactly what it cannot see.
+    const double expected_compute = static_cast<double>(count) * prepared.mean_iter *
+                                    prepared.input_factor /
+                                    std::max(prepared.params.weights[w], 0.05);
+    const double timeout = std::max(config.fault_detection.min_timeout,
+                                    timeout_scale[w] * config.fault_detection.timeout_factor *
+                                        (expected_compute + 2.0 * messages.latency));
+    engine.schedule_at(dispatch_time + timeout,
+                       [&probe_fire, w, id, timeout] { probe_fire(w, id, timeout); });
+  };
+
+  // The partner of an accepted report lost the race: drop its (pending)
+  // report, charge the sunk work, and bring the worker back into the loop.
+  // The cancel notice itself is abstracted to the master's instant; the
+  // loser's next request pays the two message latencies.
+  auto cancel_partner = [&](std::size_t v) {
+    Outstanding& out = outstanding[v];
+    out.active = false;
+    const double now = engine.now();
+    if (out.lost) {
+      // The losing copy was already stranded by its worker's crash: the
+      // winner resolves the race, but the copy is accounted as LOST (as the
+      // reclaim path would do), not cancelled — there is no report to
+      // cancel, no cancel notice to deliver, and no request to solicit.
+      result.run.faults.chunks_lost += 1;
+      double wasted = std::min(messages.latency, std::max(0.0, now - out.dispatch_time));
+      const double stop = std::min(now, out.end_time);
+      if (out.start_time < stop) {
+        wasted += prepared.workers[v].availability->work_delivered(out.start_time, stop);
+      }
+      result.run.faults.wasted_work += wasted;
+      if (out.speculative) result.run.speculation.backups_lost += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back(
+            {LifecycleEvent::Kind::kChunkLost, now, v, out.range.count});
+      }
+      return;
+    }
+    engine.cancel(out.report_event);
+    if (out.speculative) {
+      result.run.speculation.backups_cancelled += 1;
+    } else {
+      result.run.speculation.primaries_cancelled += 1;
+    }
+    double sunk = std::min(messages.latency, std::max(0.0, now - out.dispatch_time));
+    const double stop = std::min(now, out.end_time);
+    if (out.start_time < stop) {
+      sunk += prepared.workers[v].availability->work_delivered(out.start_time, stop);
+    }
+    result.run.speculation.cancelled_work += sunk;
+    if (config.collect_trace) {
+      result.run.events.push_back(
+          {LifecycleEvent::Kind::kChunkCancelled, now, v, out.range.count});
+      if (out.trace_index >= 0) {
+        ChunkTraceEntry& entry = result.run.trace[static_cast<std::size_t>(out.trace_index)];
+        entry.cancelled = true;
+        entry.end_time = std::min(now, entry.end_time);
+      }
+    }
+    const double receive = now + messages.latency;
+    if (!(prepared.workers[v].crash_time <= receive &&
+          receive < prepared.workers[v].recovery_time)) {
+      engine.schedule_at(receive + messages.latency, [&, v] {
+        if (!declared_dead[v]) master_receive_request(v);
+      });
+    }
+  };
+
+  // Two-stage report chain for assignment `id` on worker w: computation
+  // completes at end_time, the report reaches the master one latency later.
+  // Both stages are cancellable so a losing speculated copy can be stopped;
+  // out.report_event always holds the currently-pending stage.
+  std::function<void(std::size_t, std::uint64_t)> schedule_report =
+      [&](std::size_t w, std::uint64_t id) {
+        const double start_time = outstanding[w].start_time;
+        const double end_time = outstanding[w].end_time;
+        const Engine::EventId first_stage =
+            engine.schedule_cancellable_at(end_time, [&, w, id, start_time, end_time] {
+              const Engine::EventId second_stage = engine.schedule_cancellable_at(
+                  engine.now() + messages.latency, [&, w, id, start_time, end_time] {
+                    Outstanding& out = outstanding[w];
+                    if (!out.active || out.id != id) {
+                      // Late report from a falsely-suspected worker: its
+                      // iterations were already re-dispatched, so the result
+                      // is dropped — but the worker is clearly alive, so
+                      // reinstate it.
+                      result.run.faults.wasted_work +=
+                          prepared.workers[w].availability->work_delivered(start_time,
+                                                                           end_time);
+                      if (declared_dead[w]) {
+                        declared_dead[w] = 0;
+                        timeout_scale[w] *= 2.0;
+                        if (config.collect_trace) {
+                          result.run.events.push_back(
+                              {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
+                        }
+                        master_receive_request(w);
+                      }
+                      return;
+                    }
+                    out.active = false;
+                    WorkerStats& ws = result.run.workers[w];
+                    ws.chunks += 1;
+                    ws.iterations += out.range.count;
+                    ws.busy_time += out.end_time - out.start_time;
+                    ws.overhead_time += out.start_time - out.dispatch_time;
+                    ws.finish_time = out.end_time;
+                    result.run.total_chunks += 1;
+                    result.run.makespan = std::max(result.run.makespan, out.end_time);
+                    completed += out.range.count;
+                    if (out.speculative) result.run.speculation.backups_won += 1;
+                    technique->record(dls::ChunkResult{w, out.range.count,
+                                                       out.end_time - out.start_time,
+                                                       out.end_time - out.dispatch_time});
+                    if (out.has_partner && outstanding[out.partner].active &&
+                        outstanding[out.partner].id == out.partner_id) {
+                      cancel_partner(out.partner);
+                    }
+                    master_receive_request(w);
+                  });
+              Outstanding& out = outstanding[w];
+              if (out.active && out.id == id) out.report_event = second_stage;
+            });
+        outstanding[w].report_event = first_stage;
+      };
+
+  // Runs a straggler assignment's range a second time on idle worker v.
+  auto launch_backup = [&](std::size_t v, std::size_t w, std::uint64_t id) {
+    Outstanding& primary = outstanding[w];
+    const detail::IterationPool::Range range = primary.range;
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + messages.latency;
+    const double work = prepared.input_factor *
+                        detail::chunk_work(application, processor_type, prepared.mean_iter,
+                                           prepared.stddev_iter, config.iteration_cov,
+                                           range.first, range.count,
+                                           *prepared.workers[v].rng);
+    const double end_time = prepared.workers[v].availability->finish_time(start_time, work);
+    const bool lost = start_time < prepared.workers[v].recovery_time &&
+                      end_time > prepared.workers[v].crash_time;
+    const std::uint64_t backup_id = ++next_id[v];
+    Outstanding out;
+    out.active = true;
+    out.lost = lost;
+    out.range = range;
+    out.dispatch_time = dispatch_time;
+    out.start_time = start_time;
+    out.end_time = end_time;
+    out.id = backup_id;
+    out.speculative = true;
+    out.has_partner = true;
+    out.partner = w;
+    out.partner_id = id;
+    if (config.collect_trace) {
+      out.trace_index = static_cast<std::ptrdiff_t>(result.run.trace.size());
+      result.run.trace.push_back(
+          {v, range.count, dispatch_time, start_time, end_time, lost, range.first, true,
+           false});
+      result.run.events.push_back(
+          {LifecycleEvent::Kind::kChunkBackup, dispatch_time, v, range.count});
+    }
+    outstanding[v] = out;
+    primary.has_partner = true;
+    primary.partner = v;
+    primary.partner_id = backup_id;
+    result.run.speculation.backups_launched += 1;
+    CDSF_LOG_TRACE << "mpi worker " << v << " backup " << range.count << " ["
+                   << dispatch_time << ", " << end_time << "]" << (lost ? " LOST" : "");
+    arm_detection(v, backup_id, range.count, dispatch_time);
+    if (lost) return;  // the worker dies mid-backup: no report, ever
+    schedule_report(v, backup_id);
+  };
+
+  // Straggler monitor for assignment `id`: fires once the chunk's elapsed
+  // time exceeds mu + quantile * sigma of its expected completion (the
+  // technique's runtime estimate when it has one, the a-priori weight
+  // otherwise) and launches a backup on an idle worker — or queues the
+  // assignment for the next worker that goes idle.
+  auto arm_straggler_check = [&](std::size_t w, std::uint64_t id, std::int64_t count,
+                                 double start_time) {
+    double mu_it = technique->estimated_iteration_time(w);
+    if (!(mu_it > 0.0)) {
+      mu_it = prepared.input_factor * prepared.mean_iter /
+              std::max(prepared.params.weights[w], 0.05);
+    }
+    const double n = static_cast<double>(count);
+    const double threshold =
+        std::max(config.speculation.min_elapsed,
+                 mu_it * n +
+                     quantile * prepared.input_factor * prepared.stddev_iter * std::sqrt(n));
+    engine.schedule_at(start_time + threshold + messages.latency, [&, w, id] {
+      Outstanding& out = outstanding[w];
+      if (!out.active || out.id != id || out.has_partner) return;
+      result.run.speculation.stragglers_flagged += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back(
+            {LifecycleEvent::Kind::kChunkStraggler, engine.now(), w, out.range.count});
+      }
+      for (std::size_t v = 0; v < processors; ++v) {
+        if (idle[v] && !declared_dead[v]) {
+          idle[v] = 0;
+          launch_backup(v, w, id);
+          return;
+        }
+      }
+      stragglers.emplace_back(w, id);  // next idle worker picks it up
+    });
+  };
+
   // The master serializes request handling; each handled request either
   // assigns a chunk (reply travels back with one latency) or retires the
   // worker. Completion reports carry the technique feedback.
@@ -186,8 +442,23 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       if (declared_dead[w]) return;
       const std::int64_t pending = pool.pending();
       if (pending <= 0) {
-        // Crash mode: stay wakeable — a reclaim may refill the pool.
-        if (crash_mode) idle[w] = 1;
+        // Fresh work always outranks speculation, so backups only launch
+        // when the pool is empty.
+        if (speculate) {
+          while (!stragglers.empty()) {
+            const auto [pw, pid] = stragglers.front();
+            const Outstanding& pout = outstanding[pw];
+            if (!pout.active || pout.id != pid || pout.has_partner) {
+              stragglers.pop_front();  // stale: the report won the race
+              continue;
+            }
+            stragglers.pop_front();
+            launch_backup(w, pw, pid);
+            return;
+          }
+        }
+        // Managed mode: stay wakeable — a reclaim may refill the pool.
+        if (managed) idle[w] = 1;
         stats.finish_time = std::max(stats.finish_time, engine.now());
         return;
       }
@@ -207,7 +478,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       }
       const detail::IterationPool::Range range = pool.take(chunk);
       if (range.count <= 0) {
-        if (crash_mode) idle[w] = 1;
+        if (managed) idle[w] = 1;
         stats.finish_time = std::max(stats.finish_time, engine.now());
         return;
       }
@@ -230,14 +501,17 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       const bool lost = start_time < prepared.workers[w].recovery_time &&
                         end_time > prepared.workers[w].crash_time;
 
+      const std::ptrdiff_t trace_index =
+          config.collect_trace ? static_cast<std::ptrdiff_t>(result.run.trace.size()) : -1;
       if (config.collect_trace) {
         result.run.trace.push_back(
-            {w, range.count, dispatch_time, start_time, end_time, lost});
+            {w, range.count, dispatch_time, start_time, end_time, lost, range.first, false,
+             false});
       }
       CDSF_LOG_TRACE << "mpi worker " << w << " chunk " << range.count << " ["
                      << dispatch_time << ", " << end_time << "]" << (lost ? " LOST" : "");
 
-      if (!crash_mode) {
+      if (!managed) {
         // Legacy protocol (bit-identical): account at dispatch, report
         // always arrives.
         stats.chunks += 1;
@@ -260,63 +534,25 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         return;
       }
 
-      // Crash mode: account only ACCEPTED completion reports, so lost and
-      // falsely-suspected (late-report) chunks never pollute the worker
-      // stats or the technique's adaptive weights.
+      // Managed mode (crashes and/or speculation): account only ACCEPTED
+      // completion reports, so lost, falsely-suspected (late-report), and
+      // cancelled-loser chunks never pollute the worker stats or the
+      // technique's adaptive weights.
       const std::uint64_t id = ++next_id[w];
-      outstanding[w] =
-          Outstanding{true, lost, range, dispatch_time, start_time, end_time, id, 0};
-      if (detection) {
-        // Expected round trip from the master's a-priori knowledge: the
-        // weight seed (observed availability) is all it has — the actual
-        // availability path is exactly what it cannot see.
-        const double expected_compute = static_cast<double>(range.count) *
-                                        prepared.mean_iter * prepared.input_factor /
-                                        std::max(prepared.params.weights[w], 0.05);
-        const double timeout =
-            std::max(config.fault_detection.min_timeout,
-                     config.fault_detection.timeout_factor *
-                         (expected_compute + 2.0 * messages.latency));
-        engine.schedule_at(dispatch_time + timeout,
-                           [&probe_fire, w, id, timeout] { probe_fire(w, id, timeout); });
-      }
+      Outstanding out;
+      out.active = true;
+      out.lost = lost;
+      out.range = range;
+      out.dispatch_time = dispatch_time;
+      out.start_time = start_time;
+      out.end_time = end_time;
+      out.id = id;
+      out.trace_index = trace_index;
+      outstanding[w] = out;
+      arm_detection(w, id, range.count, dispatch_time);
+      if (speculate) arm_straggler_check(w, id, range.count, start_time);
       if (lost) return;  // the worker dies mid-chunk: no report, ever
-
-      engine.schedule_at(end_time, [&, w, id, start_time, end_time] {
-        engine.schedule_after(messages.latency, [&, w, id, start_time, end_time] {
-          Outstanding& out = outstanding[w];
-          if (!out.active || out.id != id) {
-            // Late report from a falsely-suspected worker: its iterations
-            // were already re-dispatched, so the result is dropped — but
-            // the worker is clearly alive, so reinstate it.
-            result.run.faults.wasted_work +=
-                prepared.workers[w].availability->work_delivered(start_time, end_time);
-            if (declared_dead[w]) {
-              declared_dead[w] = 0;
-              if (config.collect_trace) {
-                result.run.events.push_back(
-                    {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
-              }
-              master_receive_request(w);
-            }
-            return;
-          }
-          out.active = false;
-          WorkerStats& ws = result.run.workers[w];
-          ws.chunks += 1;
-          ws.iterations += out.range.count;
-          ws.busy_time += out.end_time - out.start_time;
-          ws.overhead_time += out.start_time - out.dispatch_time;
-          ws.finish_time = out.end_time;
-          result.run.total_chunks += 1;
-          result.run.makespan = std::max(result.run.makespan, out.end_time);
-          completed += out.range.count;
-          technique->record(dls::ChunkResult{w, out.range.count,
-                                             out.end_time - out.start_time,
-                                             out.end_time - out.dispatch_time});
-          master_receive_request(w);
-        });
-      });
+      schedule_report(w, id);
     });
   };
 
@@ -334,6 +570,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     for (std::size_t w = 0; w < processors; ++w) {
       const detail::Worker& worker = prepared.workers[w];
       if (!worker.crashes() || !std::isfinite(worker.recovery_time)) continue;
+      // An outage fully inside the serial phase is invisible to the loop:
+      // the worker is alive at the kick and its initial request covers it —
+      // a rejoin request here would be a duplicate entry into the loop,
+      // overwriting the worker's outstanding chunk and stranding it.
+      if (worker.recovery_time <= serial_end) continue;
       // The rejoining worker's request reaches the master one latency after
       // recovery (or after the loop opens); it also reveals that the old
       // chunk died with the worker, even when timeout detection is off.
@@ -347,7 +588,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     engine.run();
   }
 
-  if (crash_mode && completed < application.parallel_iterations()) {
+  if (managed && completed < application.parallel_iterations()) {
     throw std::runtime_error(
         "simulate_loop_mpi: " +
         std::to_string(application.parallel_iterations() - completed) +

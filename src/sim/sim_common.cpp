@@ -33,6 +33,23 @@ void validate_config(const SimConfig& config) {
       fd.max_probes == 0) {
     throw std::invalid_argument("SimConfig: fault_detection knobs out of domain");
   }
+  const SimConfig::Speculation& sp = config.speculation;
+  if (!(sp.quantile > 0.0) || !(sp.min_elapsed > 0.0) ||
+      !(sp.escalation_factor > 0.0 && sp.escalation_factor < 1.0) ||
+      !(sp.min_quantile > 0.0) || sp.min_quantile > sp.quantile) {
+    throw std::invalid_argument("SimConfig: speculation knobs out of domain");
+  }
+  const SimConfig::DeadlineRisk& dr = config.deadline_risk;
+  if (dr.enabled) {
+    if (!config.speculation.enabled) {
+      throw std::invalid_argument(
+          "SimConfig: deadline_risk requires speculation.enabled (nothing to escalate)");
+    }
+    if (!(dr.deadline >= 0.0) || !std::isfinite(dr.deadline) ||
+        !(dr.check_interval > 0.0) || !(dr.risk_floor > 0.0 && dr.risk_floor < 1.0)) {
+      throw std::invalid_argument("SimConfig: deadline_risk knobs out of domain");
+    }
+  }
 }
 
 void validate_failures(const std::vector<SimConfig::Failure>& failures,
@@ -249,6 +266,16 @@ void finalize_run(RunResult& result) {
     metrics.add("sim.chunks_lost", static_cast<std::int64_t>(faults.chunks_lost));
     metrics.add("sim.iterations_reexecuted", faults.iterations_reexecuted);
     metrics.add("sim.false_suspicions", static_cast<std::int64_t>(faults.false_suspicions));
+  }
+  const SpeculationStats& spec = result.speculation;
+  if (spec.stragglers_flagged > 0 || spec.risk_escalations > 0) {
+    metrics.add("sim.stragglers_flagged",
+                static_cast<std::int64_t>(spec.stragglers_flagged));
+    metrics.add("sim.backups_launched", static_cast<std::int64_t>(spec.backups_launched));
+    metrics.add("sim.backups_won", static_cast<std::int64_t>(spec.backups_won));
+    metrics.add("sim.backups_cancelled",
+                static_cast<std::int64_t>(spec.backups_cancelled));
+    metrics.add("sim.risk_escalations", static_cast<std::int64_t>(spec.risk_escalations));
   }
 }
 

@@ -11,6 +11,21 @@ namespace {
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 }
 
+namespace detail {
+
+double next_epoch_boundary(double t, double epoch_length) {
+  const auto epoch = static_cast<std::size_t>(t / epoch_length);
+  const double boundary = (static_cast<double>(epoch) + 1.0) * epoch_length;
+  // When epoch_length is not exactly representable, t can land exactly on a
+  // boundary whose division rounds back into the previous epoch; the naive
+  // formula then returns t itself and finish_time()/work_delivered() — which
+  // advance with `t = next_change_after(t)` — spin forever. Step one more
+  // epoch so the result is always strictly past t.
+  return boundary > t ? boundary : boundary + epoch_length;
+}
+
+}  // namespace detail
+
 void validate_availability_pmf(const pmf::Pmf& law) {
   for (const pmf::Pulse& pulse : law.pulses()) {
     if (!(pulse.value > 0.0 && pulse.value <= 1.0)) {
@@ -111,8 +126,7 @@ double IidEpochAvailability::availability_at(double t) {
 }
 
 double IidEpochAvailability::next_change_after(double t) {
-  const auto epoch = static_cast<std::size_t>(t / epoch_length_);
-  return (static_cast<double>(epoch) + 1.0) * epoch_length_;
+  return detail::next_epoch_boundary(t, epoch_length_);
 }
 
 MarkovEpochAvailability::MarkovEpochAvailability(pmf::Pmf law, double epoch_length,
@@ -148,8 +162,7 @@ double MarkovEpochAvailability::availability_at(double t) {
 }
 
 double MarkovEpochAvailability::next_change_after(double t) {
-  const auto epoch = static_cast<std::size_t>(t / epoch_length_);
-  return (static_cast<double>(epoch) + 1.0) * epoch_length_;
+  return detail::next_epoch_boundary(t, epoch_length_);
 }
 
 TraceAvailability::TraceAvailability(std::vector<double> time_points, std::vector<double> values)
@@ -227,7 +240,7 @@ double DiurnalAvailability::availability_at(double t) {
 
 double DiurnalAvailability::next_change_after(double t) {
   const double step_length = period_ / static_cast<double>(steps_);
-  return (std::floor(t / step_length) + 1.0) * step_length;
+  return detail::next_epoch_boundary(t, step_length);
 }
 
 FailingAvailability::FailingAvailability(std::unique_ptr<AvailabilityProcess> inner,

@@ -56,6 +56,15 @@ class AvailabilitySpec {
 // Availability processes (Stage II runtime view)
 // ---------------------------------------------------------------------------
 
+namespace detail {
+/// First epoch boundary strictly after t for epochs of length `epoch_length`.
+/// Robust to t landing exactly on a boundary whose division rounds back into
+/// the previous epoch — the naive (floor(t/e) + 1) * e then returns t itself
+/// and AvailabilityProcess::finish_time(), which advances with
+/// `t = next_change_after(t)`, never terminates.
+[[nodiscard]] double next_epoch_boundary(double t, double epoch_length);
+}  // namespace detail
+
 /// A piecewise-constant availability-vs-time function for ONE processor.
 /// Implementations must guarantee availability_at(t) in (0, 1] — with one
 /// deliberate exception: CrashingAvailability returns 0 during an outage,

@@ -9,6 +9,7 @@
 //   cdsf gantt --technique FAC --case 3  # chunk Gantt on the paper example
 //   cdsf phi1 --deadline 3250            # phi_1 for both Table IV mappings
 //   cdsf dynamic --remap --case 3        # arrival-driven allocation stream
+//   cdsf chaos --schedules 100           # randomized fault-schedule campaign
 //
 // Observability: every subcommand takes --log-level (the CDSF_LOG
 // environment variable sets the initial threshold); scenario/gantt/dynamic
@@ -18,6 +19,7 @@
 // reports embed a metrics snapshot. See docs/observability.md.
 //
 // Every subcommand supports --help.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +33,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sim/chaos.hpp"
 #include "sim/gantt.hpp"
 #include "sysmodel/cases.hpp"
 #include "util/cli.hpp"
@@ -225,6 +228,11 @@ int cmd_gantt(int argc, char** argv) {
   cli.add_int("seed", 12, "seed");
   cli.add_int("crash-worker", -1, "inject a permanent crash on this worker (-1 = none)");
   cli.add_double("crash-time", 500.0, "crash instant for --crash-worker");
+  cli.add_int("degrade-worker", -1, "degrade this worker's availability (-1 = none)");
+  cli.add_double("degrade-time", 500.0, "degradation instant for --degrade-worker");
+  cli.add_double("degrade-residual", 0.2, "residual availability for --degrade-worker");
+  cli.add_flag("speculate", "enable speculative re-execution of straggler chunks");
+  cli.add_double("quantile", 2.0, "straggler threshold in sigmas (with --speculate)");
   cli.add_string("report-json", "", "write a structured JSON run report here");
   cli.add_string("trace-json", "", "write a Perfetto trace of the run here");
   add_log_flag(cli);
@@ -244,6 +252,18 @@ int cmd_gantt(int argc, char** argv) {
     failure.time = cli.get_double("crash-time");
     failure.kind = sim::SimConfig::FailureKind::kCrash;
     config.failures.push_back(failure);
+  }
+  if (cli.get_int("degrade-worker") >= 0) {
+    sim::SimConfig::Failure failure;
+    failure.worker = static_cast<std::size_t>(cli.get_int("degrade-worker"));
+    failure.time = cli.get_double("degrade-time");
+    failure.residual_availability = cli.get_double("degrade-residual");
+    failure.kind = sim::SimConfig::FailureKind::kDegrade;
+    config.failures.push_back(failure);
+  }
+  if (cli.get_flag("speculate")) {
+    config.speculation.enabled = true;
+    config.speculation.quantile = cli.get_double("quantile");
   }
   const sim::RunResult run = sim::simulate_loop(
       example.batch.at(2), 1, 8, sysmodel::paper_case(static_cast<int>(cli.get_int("case"))),
@@ -326,6 +346,76 @@ int cmd_dynamic(int argc, char** argv) {
   return 0;
 }
 
+int cmd_chaos(int argc, char** argv) {
+  util::Cli cli(
+      "Chaos campaign: randomized fault schedules against both Stage II "
+      "executors, hard invariants checked on every run.");
+  cli.add_int("schedules", 100, "randomized fault schedules to draw");
+  cli.add_int("seed", 2026, "campaign master seed");
+  cli.add_int("workers", 6, "workers per run");
+  cli.add_int("iterations", 600, "parallel iterations per run");
+  cli.add_int("max-failures", 3, "failures injected per schedule (upper bound)");
+  cli.add_int("replications", 3, "replications per thread-determinism comparison");
+  cli.add_string("threads", "1,8", "comma-separated thread counts the determinism check compares");
+  cli.add_int("campaign-threads", 0, "campaign parallelism over schedules (0 = hardware)");
+  cli.add_flag("no-mpi", "skip the message-passing executor");
+  cli.add_flag("no-speculation", "never enable speculative re-execution");
+  cli.add_string("report-json", "", "write a structured JSON campaign report here");
+  add_log_flag(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
+  const std::string report_path = cli.get_string("report-json");
+  enable_metrics_if(!report_path.empty());
+
+  sim::ChaosConfig config;
+  config.schedules = static_cast<std::size_t>(cli.get_int("schedules"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.processors = static_cast<std::size_t>(cli.get_int("workers"));
+  config.parallel_iterations = cli.get_int("iterations");
+  config.max_failures = static_cast<std::size_t>(cli.get_int("max-failures"));
+  config.replications = static_cast<std::size_t>(cli.get_int("replications"));
+  config.threads = static_cast<std::size_t>(cli.get_int("campaign-threads"));
+  config.include_mpi = !cli.get_flag("no-mpi");
+  config.speculation = !cli.get_flag("no-speculation");
+  config.thread_counts.clear();
+  std::string spec = cli.get_string("threads");
+  for (std::size_t pos = 0; pos < spec.size();) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string token = spec.substr(pos, comma - pos);
+    if (!token.empty()) config.thread_counts.push_back(std::stoul(token));
+    pos = comma + 1;
+  }
+
+  const sim::ChaosReport report = sim::run_chaos_campaign(config);
+  std::printf("%zu schedules (%zu failures injected, %zu with speculation), %zu runs\n",
+              report.schedules_run, report.failures_injected,
+              report.schedules_with_speculation, report.runs_executed);
+  std::printf("faults: %zu crashes, %llu chunks lost, %lld iterations re-executed, "
+              "%zu false suspicions\n",
+              report.faults_total.workers_crashed,
+              static_cast<unsigned long long>(report.faults_total.chunks_lost),
+              static_cast<long long>(report.faults_total.iterations_reexecuted),
+              report.faults_total.false_suspicions);
+  std::printf("speculation: %llu stragglers flagged, %llu backups (%llu won, %llu "
+              "cancelled, %llu lost)\n",
+              static_cast<unsigned long long>(report.speculation_total.stragglers_flagged),
+              static_cast<unsigned long long>(report.speculation_total.backups_launched),
+              static_cast<unsigned long long>(report.speculation_total.backups_won),
+              static_cast<unsigned long long>(report.speculation_total.backups_cancelled),
+              static_cast<unsigned long long>(report.speculation_total.backups_lost));
+  for (const sim::ChaosViolation& violation : report.violations) {
+    std::printf("VIOLATION schedule %zu (seed %llu, %s): %s — %s\n", violation.schedule,
+                static_cast<unsigned long long>(violation.seed), violation.executor.c_str(),
+                violation.invariant.c_str(), violation.detail.c_str());
+  }
+  std::printf("campaign %s\n", report.passed() ? "PASSED" : "FAILED");
+  if (!report_path.empty()) {
+    obs::write_json(obs::make_chaos_report(report, config), report_path);
+    std::printf("wrote report %s\n", report_path.c_str());
+  }
+  return report.passed() ? 0 : 1;
+}
+
 int cmd_phi1(int argc, char** argv) {
   util::Cli cli("phi_1 and makespan statistics for both Table IV mappings.");
   cli.add_double("deadline", 3250.0, "deadline Delta");
@@ -364,8 +454,9 @@ void usage() {
   std::puts("  gantt     ASCII chunk Gantt chart");
   std::puts("  phi1      makespan-distribution statistics per mapping");
   std::puts("  dynamic   arrival-driven allocation stream (rho_2-aware re-mapping)");
+  std::puts("  chaos     randomized fault-schedule campaign with invariant checks");
   std::puts("observability: --log-level everywhere (or CDSF_LOG env var);");
-  std::puts("  --report-json / --trace-json on scenario, gantt, dynamic");
+  std::puts("  --report-json / --trace-json on scenario, gantt, dynamic, chaos");
 }
 
 }  // namespace
@@ -388,6 +479,7 @@ int main(int argc, char** argv) {
     if (command == "gantt") return cmd_gantt(sub_argc, sub_argv);
     if (command == "phi1") return cmd_phi1(sub_argc, sub_argv);
     if (command == "dynamic") return cmd_dynamic(sub_argc, sub_argv);
+    if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       usage();
       return 0;

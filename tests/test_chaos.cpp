@@ -1,0 +1,121 @@
+// Chaos campaign harness: randomized fault-schedule fuzzing with hard
+// invariants, campaign determinism, the JSON campaign report, and the
+// epoch-boundary regression the first campaign uncovered.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/report.hpp"
+#include "pmf/pmf.hpp"
+#include "sim/chaos.hpp"
+#include "sysmodel/availability.hpp"
+
+namespace cdsf {
+namespace {
+
+sim::ChaosConfig smoke_config() {
+  sim::ChaosConfig config;
+  config.schedules = 10;
+  config.seed = 2026;
+  config.replications = 2;
+  config.thread_counts = {1, 4};
+  return config;
+}
+
+TEST(Chaos, SmokeCampaignPassesEveryInvariant) {
+  const sim::ChaosReport report = sim::run_chaos_campaign(smoke_config());
+  EXPECT_TRUE(report.passed());
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.schedules_run, 10u);
+  // ideal + mpi + 2 replications x 2 thread counts per schedule.
+  EXPECT_EQ(report.runs_executed, 10u * (1 + 1 + 2 * 2));
+  EXPECT_GE(report.failures_injected, 10u);
+  EXPECT_LE(report.failures_injected, 30u);
+  EXPECT_TRUE(std::isfinite(report.max_makespan));
+  EXPECT_GT(report.max_makespan, 0.0);
+}
+
+TEST(Chaos, CampaignIsDeterministicAcrossCampaignThreads) {
+  sim::ChaosConfig config = smoke_config();
+  config.threads = 1;
+  const sim::ChaosReport a = sim::run_chaos_campaign(config);
+  config.threads = 4;
+  const sim::ChaosReport b = sim::run_chaos_campaign(config);
+  EXPECT_EQ(a.passed(), b.passed());
+  EXPECT_EQ(a.failures_injected, b.failures_injected);
+  EXPECT_EQ(a.schedules_with_speculation, b.schedules_with_speculation);
+  EXPECT_EQ(a.faults_total.workers_crashed, b.faults_total.workers_crashed);
+  EXPECT_EQ(a.faults_total.chunks_lost, b.faults_total.chunks_lost);
+  EXPECT_EQ(a.faults_total.iterations_reexecuted, b.faults_total.iterations_reexecuted);
+  EXPECT_DOUBLE_EQ(a.faults_total.wasted_work, b.faults_total.wasted_work);
+  EXPECT_EQ(a.speculation_total.backups_launched, b.speculation_total.backups_launched);
+  EXPECT_EQ(a.speculation_total.backups_won, b.speculation_total.backups_won);
+  EXPECT_DOUBLE_EQ(a.speculation_total.cancelled_work, b.speculation_total.cancelled_work);
+  EXPECT_DOUBLE_EQ(a.max_makespan, b.max_makespan);
+}
+
+TEST(Chaos, DegenerateConfigsAreRejected) {
+  sim::ChaosConfig config = smoke_config();
+  config.schedules = 0;
+  EXPECT_THROW(sim::run_chaos_campaign(config), std::invalid_argument);
+  config = smoke_config();
+  config.processors = 1;
+  EXPECT_THROW(sim::run_chaos_campaign(config), std::invalid_argument);
+  config = smoke_config();
+  config.max_failures = 0;
+  EXPECT_THROW(sim::run_chaos_campaign(config), std::invalid_argument);
+  config = smoke_config();
+  config.max_failures = config.processors;
+  EXPECT_THROW(sim::run_chaos_campaign(config), std::invalid_argument);
+  config = smoke_config();
+  config.replications = 0;
+  EXPECT_THROW(sim::run_chaos_campaign(config), std::invalid_argument);
+}
+
+TEST(Chaos, ReportJsonCarriesSchemaCampaignShapeAndVerdict) {
+  const sim::ChaosConfig config = smoke_config();
+  const sim::ChaosReport report = sim::run_chaos_campaign(config);
+  const obs::Json document = obs::make_chaos_report(report, config);
+  const obs::Json parsed = obs::Json::parse(document.dump(1));
+  EXPECT_EQ(parsed.at("schema").as_string(), obs::kChaosReportSchema);
+  EXPECT_TRUE(parsed.at("passed").as_bool());
+  EXPECT_EQ(parsed.at("campaign").at("schedules").as_int(), 10);
+  EXPECT_EQ(parsed.at("campaign").at("processors").as_int(), 6);
+  EXPECT_EQ(parsed.at("schedules_run").as_int(),
+            static_cast<std::int64_t>(report.schedules_run));
+  EXPECT_EQ(parsed.at("runs_executed").as_int(),
+            static_cast<std::int64_t>(report.runs_executed));
+  EXPECT_EQ(parsed.at("violations").size(), 0u);
+  EXPECT_EQ(parsed.at("faults_total").at("chunks_lost").as_int(),
+            static_cast<std::int64_t>(report.faults_total.chunks_lost));
+  EXPECT_EQ(parsed.at("max_makespan").as_double(), report.max_makespan);
+}
+
+// Regression for the hang the first campaign found: with an epoch length
+// that is not exactly representable, t can land exactly ON a boundary whose
+// division rounds back into the previous epoch; the naive next-change
+// formula then returns t itself and finish_time() never advances.
+TEST(Chaos, NextEpochBoundaryIsStrictlyAfterT) {
+  const double epoch = 206.66666666666666 / 8.0;  // the campaign's draw
+  for (std::int64_t k = 1; k < 4096; ++k) {
+    const double t = static_cast<double>(k) * epoch;
+    EXPECT_GT(sysmodel::detail::next_epoch_boundary(t, epoch), t) << "k = " << k;
+  }
+  EXPECT_DOUBLE_EQ(sysmodel::detail::next_epoch_boundary(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sysmodel::detail::next_epoch_boundary(0.5, 1.0), 1.0);
+}
+
+TEST(Chaos, EpochProcessFinishTimeTerminatesOnAwkwardEpochLengths) {
+  const pmf::Pmf law = pmf::Pmf::uniform_over({0.4, 0.7, 1.0});
+  sysmodel::MarkovEpochAvailability markov(law, 206.66666666666666 / 8.0, 0.75, 42);
+  // Enough work to cross thousands of epoch boundaries; the pre-fix code
+  // stalled forever at the first boundary whose division rounded down.
+  const double finish = markov.finish_time(0.0, 50000.0);
+  EXPECT_TRUE(std::isfinite(finish));
+  EXPECT_GT(finish, 50000.0 * 0.9);
+  sysmodel::IidEpochAvailability iid(law, 206.66666666666666 / 8.0, 7);
+  EXPECT_TRUE(std::isfinite(iid.finish_time(0.0, 50000.0)));
+}
+
+}  // namespace
+}  // namespace cdsf

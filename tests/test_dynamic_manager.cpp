@@ -123,6 +123,42 @@ TEST_F(DynamicManagerTest, Validation) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------- speculation escalation --
+
+TEST_F(DynamicManagerTest, RiskFloorEscalatesSpeculationBeforeTheRemapCliff) {
+  DynamicConfig config = small_config();
+  config.escalate_speculation_on_risk = true;
+  config.speculation_risk_floor = 1.0;  // every admission is "at risk"
+  const DynamicRunResult result =
+      run_dynamic_manager(platform_, reference_, degraded_, config, 17);
+  ASSERT_EQ(result.outcomes.size(), 12u);
+  // With the floor at 1.0 every allocation whose success probability is
+  // below certainty runs speculatively.
+  EXPECT_GE(result.speculation_escalations, 1u);
+  // And the aggregate stats identity holds across the whole run.
+  const sim::SpeculationStats& total = result.speculation_total;
+  EXPECT_EQ(total.backups_launched,
+            total.backups_won + total.backups_cancelled + total.backups_lost);
+}
+
+TEST_F(DynamicManagerTest, EscalationOffLeavesCountersZero) {
+  const DynamicRunResult result =
+      run_dynamic_manager(platform_, reference_, degraded_, small_config(), 17);
+  EXPECT_EQ(result.speculation_escalations, 0u);
+  EXPECT_EQ(result.speculation_total.backups_launched, 0u);
+}
+
+TEST_F(DynamicManagerTest, RiskFloorOutOfDomainIsRejected) {
+  DynamicConfig config = small_config();
+  config.escalate_speculation_on_risk = true;
+  config.speculation_risk_floor = 0.0;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+  config.speculation_risk_floor = 1.5;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------- PMF risk metrics --
 
 TEST(RiskMetrics, CvarKnownValues) {
