@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "pmf/ops.hpp"
+#include "sim/sim_common.hpp"
 #include "util/rng.hpp"
 
 namespace cdsf::core {
@@ -74,6 +75,20 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
       !(config.speculation_risk_floor > 0.0 && config.speculation_risk_floor <= 1.0)) {
     throw std::invalid_argument(
         "run_dynamic_manager: speculation_risk_floor must be in (0, 1]");
+  }
+  // The dynamic manager executes applications on the idealized
+  // simulate_loop, which has no message channel and no master process —
+  // silently ignoring these knobs would misreport a hardened run.
+  if (config.sim.channel.faulty()) {
+    throw std::invalid_argument(
+        "run_dynamic_manager: channel faults require the MPI executor "
+        "(SimConfig::channel is ignored by simulate_loop)");
+  }
+  if (config.sim.checkpoint.enabled ||
+      sim::detail::master_restart_failure(config.sim) != nullptr) {
+    throw std::invalid_argument(
+        "run_dynamic_manager: master checkpointing/restart requires the MPI "
+        "executor (SimConfig::checkpoint is ignored by simulate_loop)");
   }
 
   // rho_2 trigger: if the realized availability has degraded past the

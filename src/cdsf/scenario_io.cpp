@@ -117,7 +117,9 @@ sim::SimConfig::FailureKind parse_failure_kind(const std::string& text, std::siz
   if (text == "degrade") return sim::SimConfig::FailureKind::kDegrade;
   if (text == "crash") return sim::SimConfig::FailureKind::kCrash;
   if (text == "crash-recover") return sim::SimConfig::FailureKind::kCrashRecover;
-  parse_error(line, "unknown failure kind '" + text + "' (degrade|crash|crash-recover)");
+  if (text == "master-restart") return sim::SimConfig::FailureKind::kMasterCrashRestart;
+  parse_error(line, "unknown failure kind '" + text +
+                        "' (degrade|crash|crash-recover|master-restart)");
 }
 
 std::string failure_kind_name(sim::SimConfig::FailureKind kind) {
@@ -125,8 +127,16 @@ std::string failure_kind_name(sim::SimConfig::FailureKind kind) {
     case sim::SimConfig::FailureKind::kDegrade: return "degrade";
     case sim::SimConfig::FailureKind::kCrash: return "crash";
     case sim::SimConfig::FailureKind::kCrashRecover: return "crash-recover";
+    case sim::SimConfig::FailureKind::kMasterCrashRestart: return "master-restart";
   }
   return "degrade";
+}
+
+/// Probability knob in [0, 1].
+double parse_probability(const std::string& text, std::size_t line) {
+  const double p = parse_double(text, line);
+  if (!(p >= 0.0 && p <= 1.0)) parse_error(line, "probability must be in [0, 1]");
+  return p;
 }
 
 }  // namespace
@@ -136,9 +146,20 @@ Scenario parse_scenario(std::istream& in) {
   std::vector<RawCase> raw_cases;
   std::vector<RawApplication> raw_apps;
   std::vector<sim::SimConfig::Failure> failures;
+  sim::ChannelModel channel;
+  sim::SimConfig::MasterCheckpoint checkpoint;
   double deadline = -1.0;
 
-  enum class Section { kNone, kPlatform, kAvailability, kApplication, kDeadline, kFailure };
+  enum class Section {
+    kNone,
+    kPlatform,
+    kAvailability,
+    kApplication,
+    kDeadline,
+    kFailure,
+    kChannel,
+    kCheckpoint,
+  };
   Section section = Section::kNone;
   RawCase* current_case = nullptr;
   RawApplication* current_app = nullptr;
@@ -178,6 +199,13 @@ Scenario parse_scenario(std::istream& in) {
         section = Section::kFailure;
         failures.push_back(sim::SimConfig::Failure{});
         current_failure = &failures.back();
+      } else if (header[0] == "channel") {
+        if (header.size() != 1) parse_error(line, "[channel] takes no name");
+        section = Section::kChannel;
+      } else if (header[0] == "checkpoint") {
+        if (header.size() != 1) parse_error(line, "[checkpoint] takes no name");
+        section = Section::kCheckpoint;
+        checkpoint.enabled = true;
       } else {
         parse_error(line, "unknown section '" + header[0] + "'");
       }
@@ -259,6 +287,60 @@ Scenario parse_scenario(std::istream& in) {
         }
         break;
       }
+      case Section::kChannel: {
+        if (key == "drop-to-worker") {
+          channel.drop_to_worker = parse_probability(value, line);
+        } else if (key == "drop-to-master") {
+          channel.drop_to_master = parse_probability(value, line);
+        } else if (key == "duplicate-to-worker") {
+          channel.duplicate_to_worker = parse_probability(value, line);
+        } else if (key == "duplicate-to-master") {
+          channel.duplicate_to_master = parse_probability(value, line);
+        } else if (key == "reorder-to-worker") {
+          channel.reorder_to_worker = parse_probability(value, line);
+        } else if (key == "reorder-to-master") {
+          channel.reorder_to_master = parse_probability(value, line);
+        } else if (key == "reorder-delay") {
+          const double delay = parse_double(value, line);
+          if (!(delay > 0.0)) parse_error(line, "reorder-delay must be > 0");
+          channel.reorder_delay = delay;
+        } else if (key == "burst-gap-mean") {
+          const double gap = parse_double(value, line);
+          if (gap < 0.0) parse_error(line, "burst-gap-mean must be >= 0");
+          channel.burst_gap_mean = gap;
+        } else if (key == "burst-duration") {
+          const double duration = parse_double(value, line);
+          if (duration < 0.0) parse_error(line, "burst-duration must be >= 0");
+          channel.burst_duration = duration;
+        } else if (key == "rto") {
+          const double rto = parse_double(value, line);
+          if (!(rto > 0.0)) parse_error(line, "rto must be > 0");
+          channel.rto = rto;
+        } else if (key == "rto-backoff") {
+          const double backoff = parse_double(value, line);
+          if (!(backoff >= 1.0)) parse_error(line, "rto-backoff must be >= 1");
+          channel.rto_backoff = backoff;
+        } else if (key == "max-retransmits") {
+          const std::int64_t n = parse_int(value, line);
+          if (n < 0) parse_error(line, "max-retransmits must be >= 0");
+          channel.max_retransmits = static_cast<std::size_t>(n);
+        } else {
+          parse_error(line, "unknown channel key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kCheckpoint: {
+        if (key == "interval") {
+          const double interval = parse_double(value, line);
+          if (!(interval > 0.0)) parse_error(line, "checkpoint interval must be > 0");
+          checkpoint.interval = interval;
+        } else if (key == "json") {
+          checkpoint.json_path = value;
+        } else {
+          parse_error(line, "unknown checkpoint key '" + key + "'");
+        }
+        break;
+      }
     }
   }
 
@@ -315,20 +397,28 @@ Scenario parse_scenario(std::istream& in) {
     throw std::invalid_argument("scenario: [deadline] with a positive 'value' required");
   }
 
+  std::size_t master_failures = 0;
   for (const sim::SimConfig::Failure& failure : failures) {
-    if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover) {
+    if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover ||
+        failure.kind == sim::SimConfig::FailureKind::kMasterCrashRestart) {
       if (!std::isfinite(failure.recovery_time) || failure.recovery_time <= failure.time) {
-        throw std::invalid_argument(
-            "scenario: [failure] with kind = crash-recover needs 'recovery' > 'time'");
+        throw std::invalid_argument("scenario: [failure] with kind = " +
+                                    failure_kind_name(failure.kind) +
+                                    " needs 'recovery' > 'time'");
       }
     } else if (std::isfinite(failure.recovery_time)) {
       throw std::invalid_argument(
-          "scenario: [failure] 'recovery' is only valid with kind = crash-recover");
+          "scenario: [failure] 'recovery' is only valid with kind = crash-recover or "
+          "master-restart");
     }
+    if (failure.kind == sim::SimConfig::FailureKind::kMasterCrashRestart) ++master_failures;
+  }
+  if (master_failures > 1) {
+    throw std::invalid_argument("scenario: at most one master-restart [failure] per scenario");
   }
 
-  return Scenario{std::move(platform), std::move(cases), std::move(batch), deadline,
-                  std::move(failures)};
+  return Scenario{std::move(platform), std::move(cases),   std::move(batch), deadline,
+                  std::move(failures), std::move(channel), std::move(checkpoint)};
 }
 
 Scenario parse_scenario_text(const std::string& text) {
@@ -372,13 +462,39 @@ std::string scenario_to_text(const Scenario& scenario) {
   out << "\n[deadline]\nvalue = " << scenario.deadline << "\n";
   for (const sim::SimConfig::Failure& failure : scenario.failures) {
     out << "\n[failure]\n";
-    out << "worker = " << failure.worker << "\n";
+    if (failure.kind != sim::SimConfig::FailureKind::kMasterCrashRestart) {
+      out << "worker = " << failure.worker << "\n";
+    }
     out << "time = " << failure.time << "\n";
     out << "kind = " << failure_kind_name(failure.kind) << "\n";
     if (failure.kind == sim::SimConfig::FailureKind::kDegrade) {
       out << "residual = " << failure.residual_availability << "\n";
-    } else if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover) {
+    } else if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover ||
+               failure.kind == sim::SimConfig::FailureKind::kMasterCrashRestart) {
       out << "recovery = " << failure.recovery_time << "\n";
+    }
+  }
+  if (scenario.channel.faulty()) {
+    const sim::ChannelModel& ch = scenario.channel;
+    out << "\n[channel]\n";
+    out << "drop-to-worker = " << ch.drop_to_worker << "\n";
+    out << "drop-to-master = " << ch.drop_to_master << "\n";
+    out << "duplicate-to-worker = " << ch.duplicate_to_worker << "\n";
+    out << "duplicate-to-master = " << ch.duplicate_to_master << "\n";
+    out << "reorder-to-worker = " << ch.reorder_to_worker << "\n";
+    out << "reorder-to-master = " << ch.reorder_to_master << "\n";
+    out << "reorder-delay = " << ch.reorder_delay << "\n";
+    out << "burst-gap-mean = " << ch.burst_gap_mean << "\n";
+    out << "burst-duration = " << ch.burst_duration << "\n";
+    out << "rto = " << ch.rto << "\n";
+    out << "rto-backoff = " << ch.rto_backoff << "\n";
+    out << "max-retransmits = " << ch.max_retransmits << "\n";
+  }
+  if (scenario.checkpoint.enabled) {
+    out << "\n[checkpoint]\n";
+    out << "interval = " << scenario.checkpoint.interval << "\n";
+    if (!scenario.checkpoint.json_path.empty()) {
+      out << "json = " << scenario.checkpoint.json_path << "\n";
     }
   }
   return out.str();

@@ -21,12 +21,30 @@
 //   [deadline]
 //   value = 3250
 //
-//   [failure]                 # optional, repeatable: injected worker fault
+//   [failure]                 # optional, repeatable: injected fault
 //   worker = 2                # worker index within the executing group
-//   time = 600
-//   kind = crash-recover      # degrade | crash | crash-recover
-//   recovery = 1400           # crash-recover only
+//   time = 600                # (ignored for kind = master-restart)
+//   kind = crash-recover      # degrade | crash | crash-recover | master-restart
+//   recovery = 1400           # crash-recover and master-restart only
 //   # residual = 0.001        # degrade only
+//
+//   [channel]                 # optional: unreliable master-worker channel
+//   drop-to-worker = 0.1      # (MPI executor only; arms the hardened
+//   drop-to-master = 0.05     #  at-least-once protocol)
+//   duplicate-to-worker = 0.1
+//   duplicate-to-master = 0.1
+//   reorder-to-worker = 0.2
+//   reorder-to-master = 0.2
+//   reorder-delay = 1.5
+//   burst-gap-mean = 400      # 0 disables burst-loss episodes
+//   burst-duration = 20
+//   rto = 2.0                 # first retransmit timeout
+//   rto-backoff = 2.0
+//   max-retransmits = 8       # 0 = never retransmit (ablation arm)
+//
+//   [checkpoint]              # optional: master checkpointing (presence
+//   interval = 250            #  enables it; MPI executor only)
+//   json = out/checkpoint.json  # optional final-state dump
 //
 // Sections may appear in any order; [platform] must precede availability
 // and application sections only logically (the parser resolves names after
@@ -54,6 +72,13 @@ struct Scenario {
   /// within each application's group; duplicates are rejected at
   /// simulation time, where the group size is known).
   std::vector<sim::SimConfig::Failure> failures;
+  /// Unreliable-channel model for the MPI executor ([channel] section;
+  /// default-constructed = reliable, no protocol hardening).
+  sim::ChannelModel channel;
+  /// Master checkpoint/restart knobs ([checkpoint] section; disabled when
+  /// the section is absent — a master-restart failure still implies it at
+  /// simulation time).
+  sim::SimConfig::MasterCheckpoint checkpoint;
 };
 
 /// Parses a scenario from a stream. Throws std::runtime_error with a

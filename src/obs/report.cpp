@@ -43,12 +43,60 @@ Json to_json(const sim::SpeculationStats& speculation) {
   return doc;
 }
 
+Json to_json(const sim::ChannelStats& channel) {
+  Json doc = Json::object();
+  doc.set("messages_sent", channel.messages_sent);
+  doc.set("drops", channel.drops);
+  doc.set("burst_drops", channel.burst_drops);
+  doc.set("duplicates", channel.duplicates);
+  doc.set("reorders", channel.reorders);
+  doc.set("retransmits", channel.retransmits);
+  doc.set("dedup_hits", channel.dedup_hits);
+  doc.set("acks_sent", channel.acks_sent);
+  doc.set("retransmits_abandoned", channel.retransmits_abandoned);
+  return doc;
+}
+
+Json to_json(const sim::CheckpointStats& checkpoint) {
+  Json doc = Json::object();
+  doc.set("wal_records", checkpoint.wal_records);
+  doc.set("snapshots", checkpoint.snapshots);
+  doc.set("master_restarts", checkpoint.master_restarts);
+  doc.set("restart_ranges_redispatched", checkpoint.restart_ranges_redispatched);
+  doc.set("restart_chunks_preserved", checkpoint.restart_chunks_preserved);
+  doc.set("restart_completions_replayed", checkpoint.restart_completions_replayed);
+  return doc;
+}
+
 namespace {
 
 /// Speculation blocks appear only when there was speculation activity, so
 /// non-speculative reports keep the pre-speculation shape.
 bool speculation_active(const sim::SpeculationStats& s) {
   return s.stragglers_flagged > 0 || s.backups_launched > 0 || s.risk_escalations > 0;
+}
+
+/// Per-kind WAL record counts — a compact summary, not the full log (the
+/// full log goes to SimConfig::MasterCheckpoint::json_path).
+Json wal_summary(const std::vector<sim::WalRecord>& wal) {
+  std::uint64_t assigns = 0, acks = 0, completes = 0, snapshots = 0, restarts = 0;
+  for (const sim::WalRecord& record : wal) {
+    switch (record.kind) {
+      case sim::WalRecord::Kind::kAssign: ++assigns; break;
+      case sim::WalRecord::Kind::kAck: ++acks; break;
+      case sim::WalRecord::Kind::kComplete: ++completes; break;
+      case sim::WalRecord::Kind::kSnapshot: ++snapshots; break;
+      case sim::WalRecord::Kind::kRestart: ++restarts; break;
+    }
+  }
+  Json doc = Json::object();
+  doc.set("records", wal.size());
+  doc.set("assigns", assigns);
+  doc.set("acks", acks);
+  doc.set("completes", completes);
+  doc.set("snapshots", snapshots);
+  doc.set("restarts", restarts);
+  return doc;
 }
 
 }  // namespace
@@ -97,6 +145,13 @@ Json to_json(const sim::RunResult& run) {
   if (speculation_active(run.speculation)) {
     doc.set("speculation", to_json(run.speculation));
   }
+  // Hardened-channel / checkpoint blocks only when the machinery ran, so
+  // clean runs (and their goldens) keep the legacy shape.
+  if (run.channel.active()) doc.set("channel", to_json(run.channel));
+  if (run.checkpoint.active()) {
+    doc.set("checkpoint", to_json(run.checkpoint));
+    if (!run.wal.empty()) doc.set("wal", wal_summary(run.wal));
+  }
   return doc;
 }
 
@@ -118,6 +173,12 @@ Json to_json(const sim::ReplicationSummary& summary, double deadline) {
   doc.set("faults_total", to_json(summary.faults_total));
   if (speculation_active(summary.speculation_total)) {
     doc.set("speculation_total", to_json(summary.speculation_total));
+  }
+  if (summary.channel_total.active()) {
+    doc.set("channel_total", to_json(summary.channel_total));
+  }
+  if (summary.checkpoint_total.active()) {
+    doc.set("checkpoint_total", to_json(summary.checkpoint_total));
   }
   return doc;
 }
@@ -305,6 +366,8 @@ Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& c
   campaign.set("max_failures", config.max_failures);
   campaign.set("include_mpi", config.include_mpi);
   campaign.set("speculation", config.speculation);
+  campaign.set("channel_faults", config.channel_faults);
+  campaign.set("master_restart", config.master_restart);
   Json thread_counts = Json::array();
   for (std::size_t threads : config.thread_counts) thread_counts.push_back(threads);
   campaign.set("thread_counts", std::move(thread_counts));
@@ -315,6 +378,8 @@ Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& c
   doc.set("runs_executed", report.runs_executed);
   doc.set("failures_injected", report.failures_injected);
   doc.set("schedules_with_speculation", report.schedules_with_speculation);
+  doc.set("schedules_with_channel_faults", report.schedules_with_channel_faults);
+  doc.set("schedules_with_master_restart", report.schedules_with_master_restart);
   doc.set("max_makespan", report.max_makespan);
   Json violations = Json::array();
   for (const sim::ChaosViolation& violation : report.violations) {
@@ -329,6 +394,8 @@ Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& c
   doc.set("violations", std::move(violations));
   doc.set("faults_total", to_json(report.faults_total));
   doc.set("speculation_total", to_json(report.speculation_total));
+  doc.set("channel_total", to_json(report.channel_total));
+  doc.set("checkpoint_total", to_json(report.checkpoint_total));
   maybe_attach_metrics(doc);
   return doc;
 }

@@ -23,6 +23,11 @@ const char* lifecycle_name(sim::LifecycleEvent::Kind kind) {
     case Kind::kChunkBackup: return "chunk_backup";
     case Kind::kChunkCancelled: return "chunk_cancelled";
     case Kind::kRiskEscalated: return "risk_escalated";
+    case Kind::kRetransmit: return "assignment_retransmit";
+    case Kind::kDedupHit: return "dedup_hit";
+    case Kind::kMasterCrash: return "master_crash";
+    case Kind::kMasterRestart: return "master_restart";
+    case Kind::kCheckpoint: return "checkpoint";
   }
   return "lifecycle";
 }

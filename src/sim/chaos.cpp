@@ -21,6 +21,19 @@ struct Schedule {
   dls::TechniqueId technique = dls::TechniqueId::kFAC;
   std::uint64_t sim_seed = 0;
   double deadline = 0.0;  // replicated-summary deadline (also risk Delta)
+
+  /// The MPI executor will run the hardened at-least-once protocol.
+  [[nodiscard]] bool hardened() const {
+    return sim.channel.faulty() || sim.checkpoint.enabled || master_restarts() > 0;
+  }
+  /// Configured kMasterCrashRestart failures (0 or 1 after validation).
+  [[nodiscard]] std::size_t master_restarts() const {
+    std::size_t n = 0;
+    for (const SimConfig::Failure& f : sim.failures) {
+      if (f.kind == SimConfig::FailureKind::kMasterCrashRestart) ++n;
+    }
+    return n;
+  }
 };
 
 /// Per-schedule accumulator, merged in index order so the campaign report
@@ -29,9 +42,13 @@ struct Partial {
   std::vector<ChaosViolation> violations;
   FaultStats faults;
   SpeculationStats speculation;
+  ChannelStats channel;
+  CheckpointStats checkpoint;
   std::size_t runs = 0;
   std::size_t failures = 0;
   bool speculated = false;
+  bool channel_faulty = false;
+  bool master_restarted = false;
   double max_makespan = 0.0;
 };
 
@@ -102,6 +119,40 @@ Schedule draw_schedule(const ChaosConfig& config, util::RngStream& rng,
       sim.deadline_risk.check_interval = std::max(1.0, est_makespan / 10.0);
     }
   }
+
+  // Unreliable-channel axis (MPI executor; the idealized executor ignores
+  // it). Probabilities stay moderate so the retransmission budget plus the
+  // failure detector always terminate the run.
+  if (config.channel_faults && rng.uniform01() < 0.5) {
+    sim.channel.drop_to_worker = rng.uniform(0.0, 0.25);
+    sim.channel.drop_to_master = rng.uniform(0.0, 0.25);
+    sim.channel.duplicate_to_worker = rng.uniform(0.0, 0.25);
+    sim.channel.duplicate_to_master = rng.uniform(0.0, 0.25);
+    sim.channel.reorder_to_worker = rng.uniform(0.0, 0.3);
+    sim.channel.reorder_to_master = rng.uniform(0.0, 0.3);
+    sim.channel.reorder_delay = rng.uniform(0.5, 2.0);
+    if (rng.uniform01() < 0.3) {
+      sim.channel.burst_gap_mean = est_makespan * rng.uniform(0.3, 1.0);
+      sim.channel.burst_duration = est_makespan * rng.uniform(0.02, 0.08);
+    }
+  }
+
+  // Master crash-restart axis (implies checkpointing). Crash and recovery
+  // both land inside the estimated run so the restart reconciliation is
+  // actually exercised mid-loop.
+  if (config.master_restart && rng.uniform01() < 0.35) {
+    SimConfig::Failure failure;
+    failure.kind = SimConfig::FailureKind::kMasterCrashRestart;
+    failure.time = rng.uniform(0.15, 0.6) * est_makespan;
+    failure.recovery_time = failure.time + rng.uniform(0.05, 0.25) * est_makespan;
+    sim.failures.push_back(failure);
+    sim.checkpoint.interval = est_makespan * rng.uniform(0.05, 0.2);
+  } else if (config.master_restart && rng.uniform01() < 0.25) {
+    // Checkpointing without a master fault: the WAL must stay consistent
+    // even when the restart path never runs.
+    sim.checkpoint.enabled = true;
+    sim.checkpoint.interval = est_makespan * rng.uniform(0.05, 0.2);
+  }
   return schedule;
 }
 
@@ -112,9 +163,14 @@ void add_violation(Partial& partial, std::size_t schedule, std::uint64_t seed,
 }
 
 /// The per-run invariants: finite Psi, exactly-once coverage reconstructed
-/// from the trace, FaultStats/SpeculationStats consistency.
+/// from the trace, FaultStats/SpeculationStats consistency, and (MPI runs)
+/// ChannelStats/WAL identities. `hardened_expected` is false for the
+/// idealized executor (it ignores the channel and the master fault) and for
+/// clean-channel MPI runs — those must leave the hardened counters all
+/// zero. `expected_restarts` is the configured kMasterCrashRestart count.
 void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule,
-               std::uint64_t seed, const char* executor, Partial& partial) {
+               std::uint64_t seed, const char* executor, bool hardened_expected,
+               std::size_t expected_restarts, Partial& partial) {
   auto fail = [&](const char* invariant, std::string detail) {
     add_violation(partial, schedule, seed, executor, invariant, std::move(detail));
   };
@@ -201,6 +257,46 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
     fail("speculation_identity", "more backups than flagged stragglers");
   }
 
+  const ChannelStats& chan = run.channel;
+  const CheckpointStats& ckpt = run.checkpoint;
+  if (chan.burst_drops > chan.drops) {
+    fail("channel_identity", "burst_drops " + std::to_string(chan.burst_drops) +
+                                 " > drops " + std::to_string(chan.drops));
+  }
+  if (chan.dedup_hits > chan.duplicates + chan.retransmits) {
+    fail("channel_identity",
+         "dedup_hits " + std::to_string(chan.dedup_hits) + " > duplicates " +
+             std::to_string(chan.duplicates) + " + retransmits " +
+             std::to_string(chan.retransmits));
+  }
+  bool any_retransmitted_entry = false;
+  for (const ChunkTraceEntry& entry : run.trace) {
+    any_retransmitted_entry = any_retransmitted_entry || entry.retransmitted;
+  }
+  if (any_retransmitted_entry && chan.retransmits == 0) {
+    fail("channel_identity", "retransmitted trace entry but zero retransmits");
+  }
+  if (!hardened_expected && (chan.active() || ckpt.active() || !run.wal.empty())) {
+    fail("channel_disarmed", "hardened counters nonzero on a clean-channel run");
+  }
+  if (ckpt.master_restarts != expected_restarts) {
+    fail("master_restart", "master_restarts " + std::to_string(ckpt.master_restarts) +
+                               " != configured " + std::to_string(expected_restarts));
+  }
+  if (ckpt.wal_records != run.wal.size()) {
+    fail("wal_consistent", "wal_records " + std::to_string(ckpt.wal_records) + " != " +
+                               std::to_string(run.wal.size()) + " WAL entries");
+  }
+  std::uint64_t restart_records = 0;
+  for (const WalRecord& rec : run.wal) {
+    if (rec.kind == WalRecord::Kind::kRestart) ++restart_records;
+  }
+  if (restart_records != ckpt.master_restarts) {
+    fail("wal_consistent", std::to_string(restart_records) +
+                               " restart WAL records but master_restarts " +
+                               std::to_string(ckpt.master_restarts));
+  }
+
   partial.faults.workers_crashed += faults.workers_crashed;
   partial.faults.workers_recovered += faults.workers_recovered;
   partial.faults.chunks_lost += faults.chunks_lost;
@@ -211,6 +307,8 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
       std::max(partial.faults.max_detection_latency, faults.max_detection_latency);
   partial.faults.false_suspicions += faults.false_suspicions;
   partial.speculation.accumulate(spec);
+  partial.channel.accumulate(chan);
+  partial.checkpoint.accumulate(ckpt);
   partial.max_makespan = std::max(partial.max_makespan, run.makespan);
   partial.runs += 1;
 }
@@ -238,7 +336,27 @@ bool summaries_identical(const ReplicationSummary& a, const ReplicationSummary& 
       a.speculation_total.primaries_cancelled == b.speculation_total.primaries_cancelled &&
       a.speculation_total.cancelled_work == b.speculation_total.cancelled_work &&
       a.speculation_total.risk_escalations == b.speculation_total.risk_escalations;
-  return makespans && faults && speculation;
+  const bool channel =
+      a.channel_total.messages_sent == b.channel_total.messages_sent &&
+      a.channel_total.drops == b.channel_total.drops &&
+      a.channel_total.burst_drops == b.channel_total.burst_drops &&
+      a.channel_total.duplicates == b.channel_total.duplicates &&
+      a.channel_total.reorders == b.channel_total.reorders &&
+      a.channel_total.retransmits == b.channel_total.retransmits &&
+      a.channel_total.dedup_hits == b.channel_total.dedup_hits &&
+      a.channel_total.acks_sent == b.channel_total.acks_sent &&
+      a.channel_total.retransmits_abandoned == b.channel_total.retransmits_abandoned;
+  const bool checkpoint =
+      a.checkpoint_total.wal_records == b.checkpoint_total.wal_records &&
+      a.checkpoint_total.snapshots == b.checkpoint_total.snapshots &&
+      a.checkpoint_total.master_restarts == b.checkpoint_total.master_restarts &&
+      a.checkpoint_total.restart_ranges_redispatched ==
+          b.checkpoint_total.restart_ranges_redispatched &&
+      a.checkpoint_total.restart_chunks_preserved ==
+          b.checkpoint_total.restart_chunks_preserved &&
+      a.checkpoint_total.restart_completions_replayed ==
+          b.checkpoint_total.restart_completions_replayed;
+  return makespans && faults && speculation && channel && checkpoint;
 }
 
 }  // namespace
@@ -285,6 +403,10 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
         const Schedule schedule = draw_schedule(config, rng, sim_seed);
         partial.failures = schedule.sim.failures.size();
         partial.speculated = schedule.sim.speculation.enabled;
+        partial.channel_faulty = schedule.sim.channel.faulty();
+        partial.master_restarted = schedule.master_restarts() > 0;
+        const bool hardened = schedule.hardened();
+        const std::size_t expected_restarts = schedule.master_restarts();
 
         CDSF_LOG_DEBUG << "chaos schedule " << index << " seed " << sim_seed << " technique "
                        << dls::technique_name(schedule.technique) << " failures "
@@ -297,6 +419,17 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
                          << static_cast<int>(f.kind) << " residual "
                          << f.residual_availability << " recovery " << f.recovery_time;
         }
+        if (schedule.sim.channel.faulty()) {
+          const ChannelModel& ch = schedule.sim.channel;
+          CDSF_LOG_DEBUG << "  channel drop " << ch.drop_to_worker << "/" << ch.drop_to_master
+                         << " dup " << ch.duplicate_to_worker << "/" << ch.duplicate_to_master
+                         << " reorder " << ch.reorder_to_worker << "/" << ch.reorder_to_master
+                         << " delay " << ch.reorder_delay << " burst gap "
+                         << ch.burst_gap_mean << " dur " << ch.burst_duration;
+        }
+        if (schedule.sim.checkpoint.enabled || schedule.master_restarts() > 0) {
+          CDSF_LOG_DEBUG << "  checkpoint interval " << schedule.sim.checkpoint.interval;
+        }
         SimConfig traced = schedule.sim;
         traced.collect_trace = true;
         try {
@@ -304,7 +437,10 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
           const RunResult run =
               simulate_loop(application, 0, config.processors, availability,
                             schedule.technique, traced, sim_seed);
-          check_run(run, config.parallel_iterations, index, sim_seed, "ideal", partial);
+          // The idealized executor ignores the channel and the master fault:
+          // its hardened counters must stay zero even on hardened schedules.
+          check_run(run, config.parallel_iterations, index, sim_seed, "ideal", false, 0,
+                    partial);
         } catch (const std::exception& error) {
           add_violation(partial, index, sim_seed, "ideal", "exception", error.what());
         }
@@ -319,9 +455,44 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
             const MpiRunResult mpi =
                 simulate_loop_mpi(application, 0, config.processors, availability,
                                   schedule.technique, mpi_config, messages, sim_seed);
-            check_run(mpi.run, config.parallel_iterations, index, sim_seed, "mpi", partial);
+            check_run(mpi.run, config.parallel_iterations, index, sim_seed, "mpi", hardened,
+                      expected_restarts, partial);
           } catch (const std::exception& error) {
             add_violation(partial, index, sim_seed, "mpi", "exception", error.what());
+          }
+
+          // Hardened schedules: the MPI replicated summary (including the
+          // channel/checkpoint totals) must be bit-identical across thread
+          // counts — channel randomness is replication-local by design.
+          if (hardened && config.thread_counts.size() >= 2) {
+            try {
+              CDSF_LOG_DEBUG << "chaos schedule " << index << " mpi replicated";
+              SimConfig rep_config = schedule.sim;
+              rep_config.deadline_risk = SimConfig::DeadlineRisk{};
+              const ReplicationSummary baseline = simulate_replicated_mpi(
+                  application, 0, config.processors, availability, schedule.technique,
+                  rep_config, messages, sim_seed, config.replications, schedule.deadline,
+                  config.thread_counts.front());
+              partial.runs += config.replications;
+              for (std::size_t k = 1; k < config.thread_counts.size(); ++k) {
+                const ReplicationSummary other = simulate_replicated_mpi(
+                    application, 0, config.processors, availability, schedule.technique,
+                    rep_config, messages, sim_seed, config.replications, schedule.deadline,
+                    config.thread_counts[k]);
+                partial.runs += config.replications;
+                if (!summaries_identical(baseline, other)) {
+                  add_violation(partial, index, sim_seed, "mpi_replicated",
+                                "thread_determinism",
+                                "summary differs between threads=" +
+                                    std::to_string(config.thread_counts.front()) +
+                                    " and threads=" +
+                                    std::to_string(config.thread_counts[k]));
+                }
+              }
+            } catch (const std::exception& error) {
+              add_violation(partial, index, sim_seed, "mpi_replicated", "exception",
+                            error.what());
+            }
           }
         }
 
@@ -359,6 +530,8 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
     report.runs_executed += partial.runs;
     report.failures_injected += partial.failures;
     report.schedules_with_speculation += partial.speculated ? 1 : 0;
+    report.schedules_with_channel_faults += partial.channel_faulty ? 1 : 0;
+    report.schedules_with_master_restart += partial.master_restarted ? 1 : 0;
     for (const ChaosViolation& violation : partial.violations) {
       report.violations.push_back(violation);
     }
@@ -372,6 +545,8 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
         report.faults_total.max_detection_latency, partial.faults.max_detection_latency);
     report.faults_total.false_suspicions += partial.faults.false_suspicions;
     report.speculation_total.accumulate(partial.speculation);
+    report.channel_total.accumulate(partial.channel);
+    report.checkpoint_total.accumulate(partial.checkpoint);
     report.max_makespan = std::max(report.max_makespan, partial.max_makespan);
   }
   for (const ChaosViolation& violation : report.violations) {

@@ -3,20 +3,31 @@
 //
 // Each schedule draws a seeded random mix of crash / crash-recover /
 // degrade failures (worker 0 stays crash-free — the serial phase has no
-// fault tolerance), a technique, an availability mode, and speculation
-// knobs, then executes it on BOTH executors (idealized simulate_loop and
-// message-passing simulate_loop_mpi) and checks hard invariants that must
-// hold for EVERY schedule:
+// fault tolerance), a technique, an availability mode, speculation knobs,
+// unreliable-channel faults (drop / duplicate / reorder probabilities plus
+// burst-loss episodes), and a mid-run master crash-restart with
+// checkpointing, then executes it on BOTH executors (idealized
+// simulate_loop and message-passing simulate_loop_mpi) and checks hard
+// invariants that must hold for EVERY schedule:
 //
 //   * the makespan Psi is finite and >= the serial completion,
 //   * every parallel iteration is executed (accepted) exactly once —
 //     reconstructed from the chunk trace: the winning entries (not lost,
-//     not cancelled) must tile [0, parallel_iterations) with no overlap,
+//     not cancelled) must tile [0, parallel_iterations) with no overlap —
+//     even under message duplication and master restarts,
 //   * FaultStats is consistent with the trace (chunks_lost == lost
 //     entries; dispatched iterations == total + re-executed),
 //   * SpeculationStats satisfies the bookkeeping identity
 //     backups_launched == backups_won + backups_cancelled + backups_lost,
-//   * replicated summaries are BIT-IDENTICAL across thread counts.
+//   * ChannelStats satisfies burst_drops <= drops and
+//     dedup_hits <= duplicates + retransmits, and stays all-zero when the
+//     channel is clean and checkpointing is off (structural disarm),
+//   * the WAL is consistent: checkpoint.wal_records == wal size and the
+//     restart records match checkpoint.master_restarts (exactly one per
+//     configured kMasterCrashRestart failure),
+//   * replicated summaries are BIT-IDENTICAL across thread counts — for
+//     hardened schedules on the MPI executor too (channel randomness is
+//     replication-local).
 //
 // A campaign is deterministic given its seed; violations carry the
 // schedule index and seed so any failure replays in isolation.
@@ -47,6 +58,14 @@ struct ChaosConfig {
   /// Allow schedules to enable speculative re-execution (~2/3 of them) and
   /// the deadline-risk monitor (~1/3 of the speculating ones).
   bool speculation = true;
+  /// Allow schedules to draw unreliable-channel faults for the MPI
+  /// executor (~1/2 of them): drop / duplicate / reorder probabilities
+  /// plus occasional burst-loss episodes.
+  bool channel_faults = true;
+  /// Allow schedules to inject a mid-run master crash-restart with
+  /// checkpointing (~1/3 of them; MPI executor only — the idealized
+  /// executors have no explicit coordinator).
+  bool master_restart = true;
   /// Thread counts the replicated determinism check compares; the first
   /// entry is the baseline. Fewer than 2 entries skips the check.
   std::vector<std::size_t> thread_counts = {1, 8};
@@ -72,9 +91,13 @@ struct ChaosReport {
   std::size_t runs_executed = 0;
   std::size_t failures_injected = 0;
   std::size_t schedules_with_speculation = 0;
+  std::size_t schedules_with_channel_faults = 0;
+  std::size_t schedules_with_master_restart = 0;
   std::vector<ChaosViolation> violations;
   FaultStats faults_total;             // summed over ideal + mpi runs
   SpeculationStats speculation_total;  // summed over ideal + mpi runs
+  ChannelStats channel_total;          // summed over mpi runs (hardened only)
+  CheckpointStats checkpoint_total;    // summed over mpi runs
   double max_makespan = 0.0;
 
   [[nodiscard]] bool passed() const noexcept { return violations.empty(); }

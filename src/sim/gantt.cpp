@@ -25,6 +25,7 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   bool any_lost = false;
   bool any_speculative = false;
   bool any_cancelled = false;
+  bool any_retransmitted = false;
   std::vector<std::string> rows(result.workers.size(), std::string(options.width, ' '));
   for (const ChunkTraceEntry& chunk : result.trace) {
     std::string& row = rows.at(chunk.worker);
@@ -36,15 +37,40 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     // Lost chunks (stranded by a crash, later re-dispatched elsewhere)
     // render as 'x' so they are not mistaken for completed work; cancelled
     // speculation losers as '-' (their end_time is the cancellation
-    // instant) and surviving speculative backups as '~'.
-    const char fill = chunk.lost ? 'x' : (chunk.cancelled ? '-' : (chunk.speculative ? '~' : '='));
+    // instant), surviving speculative backups as '~', and chunks whose
+    // assignment only arrived via a protocol retransmission as '+'
+    // (priority: lost > cancelled > speculative > retransmitted).
+    const char fill = chunk.lost        ? 'x'
+                      : chunk.cancelled ? '-'
+                      : (chunk.speculative   ? '~'
+                         : chunk.retransmitted ? '+'
+                                               : '=');
     any_lost = any_lost || chunk.lost;
     any_speculative = any_speculative || chunk.speculative;
     any_cancelled = any_cancelled || chunk.cancelled;
+    any_retransmitted = any_retransmitted || chunk.retransmitted;
     for (std::size_t c = start; c < end && c < options.width; ++c) row[c] = fill;
     // Chunk boundary marker so adjacent chunks remain distinguishable.
     if (start < options.width) {
-      row[start] = chunk.lost ? '!' : (chunk.cancelled ? '/' : (chunk.speculative ? '<' : '['));
+      row[start] = chunk.lost        ? '!'
+                   : chunk.cancelled ? '/'
+                   : (chunk.speculative   ? '<'
+                      : chunk.retransmitted ? '{'
+                                            : '[');
+    }
+  }
+
+  // Master lifecycle track: only rendered when the run actually carries
+  // master crash / restart events, so legacy renders stay byte-identical.
+  bool any_master_event = false;
+  std::string master_row(options.width, ' ');
+  for (const LifecycleEvent& event : result.events) {
+    char glyph = '\0';
+    if (event.kind == LifecycleEvent::Kind::kMasterCrash) glyph = '%';
+    if (event.kind == LifecycleEvent::Kind::kMasterRestart) glyph = '@';
+    if (glyph != '\0') {
+      master_row[column(event.time)] = glyph;
+      any_master_event = true;
     }
   }
 
@@ -54,6 +80,7 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     for (std::size_t c = 0; c < column(result.serial_end); ++c) serial_row[c] = 's';
     out << "  serial | " << serial_row << "\n";
   }
+  if (any_master_event) out << "  master | " << master_row << "\n";
   for (std::size_t w = 0; w < rows.size(); ++w) {
     if (options.deadline > 0.0 && options.deadline <= horizon) {
       rows[w][column(options.deadline)] = '|';
@@ -71,6 +98,12 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   if (any_lost) out << "'x'/'!' = chunk lost to a crash (re-dispatched to survivors)\n";
   if (any_speculative) out << "'~'/'<' = speculative backup copy of a straggling chunk\n";
   if (any_cancelled) out << "'-'/'/' = copy cancelled after the other copy finished first\n";
+  if (any_retransmitted) {
+    out << "'+'/'{' = assignment delivered only after protocol retransmission\n";
+  }
+  if (any_master_event) {
+    out << "'%' = master crash, '@' = master restart from checkpoint + WAL\n";
+  }
   return out.str();
 }
 

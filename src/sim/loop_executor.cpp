@@ -72,7 +72,12 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   RunResult result;
   result.workers.assign(processors, WorkerStats{});
   for (const SimConfig::Failure& failure : config.failures) {
-    if (failure.kind == SimConfig::FailureKind::kDegrade) continue;
+    // Master failures are MPI-only (this executor has no explicit
+    // coordinator) and do not crash a worker.
+    if (failure.kind == SimConfig::FailureKind::kDegrade ||
+        failure.kind == SimConfig::FailureKind::kMasterCrashRestart) {
+      continue;
+    }
     result.faults.workers_crashed += 1;
     if (failure.kind == SimConfig::FailureKind::kCrashRecover) {
       result.faults.workers_recovered += 1;
@@ -520,26 +525,14 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
     faults[r] = run.faults;
     speculation[r] = run.speculation;
   });
-  stats::OnlineSummary makespans;
-  std::size_t hits = 0;
-  for (double makespan : samples) {
-    makespans.add(makespan);
-    if (makespan <= deadline) ++hits;
-  }
   ReplicationSummary summary;
-  summary.replications = replications;
-  summary.mean_makespan = makespans.mean();
-  summary.stddev_makespan = makespans.stddev();
-  summary.min_makespan = makespans.min();
-  summary.max_makespan = makespans.max();
-  summary.deadline_hit_rate = static_cast<double>(hits) / static_cast<double>(replications);
-  summary.mean_ci =
-      stats::mean_interval(summary.mean_makespan, summary.stddev_makespan, replications);
-  summary.hit_rate_ci = stats::wilson_interval(hits, replications);
-  // Summed in replication order — independent of the thread count.
+  // Summed in replication order — independent of the thread count. The
+  // idealized executor never touches the channel or the checkpoint log, so
+  // channel_total / checkpoint_total stay zero here (simulate_replicated_mpi
+  // fills them).
   for (const FaultStats& f : faults) accumulate_faults(summary.faults_total, f);
   for (const SpeculationStats& s : speculation) summary.speculation_total.accumulate(s);
-  summary.median_makespan = stats::percentile(std::move(samples), 0.5);
+  detail::summarize_makespans(summary, std::move(samples), deadline);
   return summary;
 }
 

@@ -31,6 +31,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dls/registry.hpp"
@@ -61,6 +62,54 @@ enum class AvailabilityMode {
   /// frozen WF weights go stale fastest. Knobs: diurnal_amplitude and
   /// diurnal_period below.
   kDiurnal,
+};
+
+/// Seeded unreliable-channel model for the message-passing executor:
+/// per-direction drop / duplicate / reorder probabilities plus burst-loss
+/// episodes. Every fault draw comes from a dedicated RNG stream fanned out
+/// of the run seed, so a faulty channel never perturbs the work-sampling
+/// or availability streams and runs stay deterministic.
+struct ChannelModel {
+  /// Per-message drop probability, master -> worker / worker -> master.
+  double drop_to_worker = 0.0;
+  double drop_to_master = 0.0;
+  /// Probability a delivered message is duplicated (the copy is delivered
+  /// independently, possibly reordered).
+  double duplicate_to_worker = 0.0;
+  double duplicate_to_master = 0.0;
+  /// Probability a delivered copy is reordered: it picks up an extra
+  /// delivery delay drawn uniformly from (0, reorder_delay].
+  double reorder_to_worker = 0.0;
+  double reorder_to_master = 0.0;
+  double reorder_delay = 1.0;
+  /// Burst-loss episodes (sysmodel::BurstWindows): episode gaps are
+  /// exponential with mean `burst_gap_mean` (0 disables bursts), each
+  /// episode lasts `burst_duration`, and EVERY message sent inside an
+  /// episode is dropped (counted in ChannelStats::burst_drops).
+  double burst_gap_mean = 0.0;
+  double burst_duration = 0.0;
+  /// Deterministic test hooks: unconditionally drop the first N payload
+  /// messages in the given direction (before any probability draw).
+  std::size_t force_drop_to_worker = 0;
+  std::size_t force_drop_to_master = 0;
+  /// First retransmit timeout; doubles (`rto_backoff`) after every unacked
+  /// resend. Composes with the failure detector's false-suspicion timeout
+  /// doubling: retransmission recovers lost MESSAGES, the detector
+  /// recovers lost WORKERS.
+  double rto = 2.0;
+  double rto_backoff = 2.0;
+  /// Retransmissions per message before the sender gives up and leaves
+  /// recovery to the failure detector (0 = never retransmit — the pure
+  /// timeout-recovery ablation arm).
+  std::size_t max_retransmits = 8;
+
+  /// True when any fault knob is nonzero — the switch that arms the
+  /// hardened at-least-once protocol.
+  [[nodiscard]] bool faulty() const noexcept {
+    return drop_to_worker > 0.0 || drop_to_master > 0.0 || duplicate_to_worker > 0.0 ||
+           duplicate_to_master > 0.0 || reorder_to_worker > 0.0 || reorder_to_master > 0.0 ||
+           burst_gap_mean > 0.0 || force_drop_to_worker > 0 || force_drop_to_master > 0;
+  }
 };
 
 /// Simulation knobs. Defaults reproduce the paper-scale experiments.
@@ -108,6 +157,14 @@ struct SimConfig {
     /// As kCrash, but the worker rejoins at `recovery_time` and resumes
     /// requesting work (with a clean slate; the lost chunk stays lost).
     kCrashRecover,
+    /// MPI executor only: the MASTER process dies at `time` and restarts
+    /// at `recovery_time` from its latest checkpoint + write-ahead log
+    /// (see SimConfig::MasterCheckpoint). The `worker` field is ignored
+    /// (the master is a dedicated coordinator, not a worker); at most one
+    /// master failure per run, and `recovery_time` must be finite — a run
+    /// without a master can never finish. The idealized executors have no
+    /// explicit coordinator and ignore this kind (like fault_detection).
+    kMasterCrashRestart,
   };
   /// Injected processor failures, at most one per worker (duplicates are
   /// rejected with std::invalid_argument — stacking decorators silently
@@ -184,6 +241,31 @@ struct SimConfig {
     double risk_floor = 0.5;
   };
   DeadlineRisk deadline_risk;
+  /// Unreliable master–worker channel (MPI executor only; the idealized
+  /// executors abstract the network away and ignore it, like
+  /// fault_detection). All probabilities default to 0: with `faulty()`
+  /// false and checkpointing off, simulate_loop_mpi is bit-identical to
+  /// the reliable protocol. Any nonzero knob arms the hardened
+  /// at-least-once protocol: sequence-numbered assignments/reports with
+  /// master- and worker-side dedup, explicit acks, and retransmission
+  /// with exponential backoff (see ChannelStats).
+  ChannelModel channel;
+  /// Master checkpoint/restart (MPI executor only). When enabled the
+  /// master appends every assignment, ack, and accepted completion to a
+  /// compact write-ahead log (RunResult::wal) and takes a snapshot record
+  /// every `interval` simulated time units. A kMasterCrashRestart failure
+  /// implies checkpointing (restart needs the WAL) and also arms the
+  /// hardened channel protocol: messages arriving at a down master are
+  /// lost, so workers must retransmit.
+  struct MasterCheckpoint {
+    bool enabled = false;
+    /// Snapshot period in simulated time (> 0).
+    double interval = 500.0;
+    /// When non-empty, the final checkpoint state (snapshot + WAL) is
+    /// written to this path as schema-tagged JSON at the end of the run.
+    std::string json_path;
+  };
+  MasterCheckpoint checkpoint;
 };
 
 /// Per-worker accounting.
@@ -211,6 +293,9 @@ struct ChunkTraceEntry {
   bool speculative = false;
   /// Losing copy of a speculated chunk, stopped when the winner finished.
   bool cancelled = false;
+  /// The assignment needed at least one channel retransmission before the
+  /// worker received it (hardened MPI protocol only).
+  bool retransmitted = false;
 };
 
 /// Scheduler lifecycle moment recorded alongside the chunk trace (only
@@ -229,6 +314,13 @@ struct LifecycleEvent {
     kChunkCancelled,      // losing copy stopped after the winner finished
     kRiskEscalated,       // deadline-risk monitor tightened speculation
                           // (value = escalation ordinal)
+    kRetransmit,          // hardened MPI protocol: a message to/from worker
+                          // `worker` was retransmitted (value = sequence)
+    kDedupHit,            // hardened MPI protocol: a re-delivered message
+                          // was dropped by sequence dedup (value = sequence)
+    kMasterCrash,         // the master process died (worker field unused)
+    kMasterRestart,       // the master resumed from checkpoint + WAL
+    kCheckpoint,          // periodic master snapshot (value = WAL length)
   };
   Kind kind = Kind::kWorkerCrash;
   double time = 0.0;
@@ -292,6 +384,98 @@ struct SpeculationStats {
   }
 };
 
+/// Unreliable-channel accounting for one run (hardened MPI protocol; all
+/// zero when the channel is clean and checkpointing is off). Bookkeeping
+/// identities checked by the chaos harness: burst_drops <= drops, and
+/// dedup_hits <= duplicates + retransmits (every surplus delivery stems
+/// from a channel duplicate or a protocol retransmission).
+struct ChannelStats {
+  /// Payload messages offered to the channel (including retransmissions;
+  /// acks are counted separately in acks_sent).
+  std::uint64_t messages_sent = 0;
+  std::uint64_t drops = 0;
+  /// Subset of drops that fell inside a burst-loss episode.
+  std::uint64_t burst_drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  /// Protocol-level resends (unacked assignment, unanswered request,
+  /// unacked report).
+  std::uint64_t retransmits = 0;
+  /// Re-delivered messages dropped by sequence-number dedup — a
+  /// re-delivered assignment is never executed twice and a duplicated
+  /// report never double-feeds Technique::record.
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t acks_sent = 0;
+  /// Messages whose sender exhausted max_retransmits; recovery falls to
+  /// the failure detector.
+  std::uint64_t retransmits_abandoned = 0;
+
+  /// Order-independent element-wise sum (aggregation across runs).
+  void accumulate(const ChannelStats& other) noexcept {
+    messages_sent += other.messages_sent;
+    drops += other.drops;
+    burst_drops += other.burst_drops;
+    duplicates += other.duplicates;
+    reorders += other.reorders;
+    retransmits += other.retransmits;
+    dedup_hits += other.dedup_hits;
+    acks_sent += other.acks_sent;
+    retransmits_abandoned += other.retransmits_abandoned;
+  }
+
+  /// True when the hardened protocol ran (used to gate report emission).
+  [[nodiscard]] bool active() const noexcept {
+    return messages_sent > 0 || acks_sent > 0;
+  }
+};
+
+/// Master checkpoint/restart accounting (all zero when checkpointing is
+/// off and no kMasterCrashRestart failure is configured).
+struct CheckpointStats {
+  std::uint64_t wal_records = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t master_restarts = 0;
+  /// Restart reconciliation: assignments in the WAL without an ack were
+  /// reclaimed into the pool and re-dispatched...
+  std::uint64_t restart_ranges_redispatched = 0;
+  /// ...acked-but-incomplete assignments stayed outstanding on their
+  /// workers (their reports are still good)...
+  std::uint64_t restart_chunks_preserved = 0;
+  /// ...and WAL completions were replayed into the dedup table so a
+  /// completed chunk is never record()ed twice.
+  std::uint64_t restart_completions_replayed = 0;
+
+  void accumulate(const CheckpointStats& other) noexcept {
+    wal_records += other.wal_records;
+    snapshots += other.snapshots;
+    master_restarts += other.master_restarts;
+    restart_ranges_redispatched += other.restart_ranges_redispatched;
+    restart_chunks_preserved += other.restart_chunks_preserved;
+    restart_completions_replayed += other.restart_completions_replayed;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return wal_records > 0 || snapshots > 0; }
+};
+
+/// One master write-ahead-log record. The log is append-only and ordered
+/// by time; restart reconciliation scans it to rebuild the assignment
+/// table (SimConfig::MasterCheckpoint::json_path serializes it as JSON).
+struct WalRecord {
+  enum class Kind {
+    kAssign,    // chunk [first, first+count) assigned to `worker` as `seq`
+    kAck,       // worker acknowledged assignment `seq`
+    kComplete,  // completion report for `seq` accepted (record() fed)
+    kSnapshot,  // periodic snapshot (count = iterations completed so far)
+    kRestart,   // master restarted from this log
+  };
+  Kind kind = Kind::kAssign;
+  double time = 0.0;
+  std::size_t worker = 0;
+  std::uint64_t seq = 0;
+  std::int64_t first = 0;
+  std::int64_t count = 0;
+};
+
 /// Outcome of one simulated application execution.
 struct RunResult {
   double makespan = 0.0;    // end of the last chunk (>= serial_end)
@@ -303,6 +487,12 @@ struct RunResult {
   std::vector<LifecycleEvent> events;
   FaultStats faults;
   SpeculationStats speculation;
+  /// Hardened-channel accounting (MPI executor; zero elsewhere).
+  ChannelStats channel;
+  /// Master checkpoint/restart accounting (MPI executor; zero elsewhere).
+  CheckpointStats checkpoint;
+  /// Master write-ahead log (empty unless checkpointing was on).
+  std::vector<WalRecord> wal;
 
   /// Coefficient of variation of per-worker finish times — the classic
   /// load-imbalance metric (0 = perfectly balanced).
@@ -363,6 +553,10 @@ struct ReplicationSummary {
   FaultStats faults_total;
   /// Speculation accounting summed over all replications.
   SpeculationStats speculation_total;
+  /// Channel + checkpoint accounting summed over all replications (only
+  /// nonzero for the MPI replication path, simulate_replicated_mpi).
+  ChannelStats channel_total;
+  CheckpointStats checkpoint_total;
 };
 
 /// Mixed-type group execution: the paper restricts every group to ONE

@@ -3,15 +3,79 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "obs/json.hpp"
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace cdsf::sim {
+
+namespace {
+
+const char* wal_kind_name(WalRecord::Kind kind) {
+  switch (kind) {
+    case WalRecord::Kind::kAssign:
+      return "assign";
+    case WalRecord::Kind::kAck:
+      return "ack";
+    case WalRecord::Kind::kComplete:
+      return "complete";
+    case WalRecord::Kind::kSnapshot:
+      return "snapshot";
+    case WalRecord::Kind::kRestart:
+      return "restart";
+  }
+  return "record";
+}
+
+/// Serializes the master's final durable state (snapshot counters plus the
+/// full write-ahead log) as schema-tagged JSON.
+void write_checkpoint_json(const std::string& path, const RunResult& run) {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", "cdsf.master_checkpoint/1");
+  doc.set("makespan", run.makespan);
+  doc.set("wal_records", run.checkpoint.wal_records);
+  doc.set("snapshots", run.checkpoint.snapshots);
+  doc.set("master_restarts", run.checkpoint.master_restarts);
+  obs::Json wal = obs::Json::array();
+  for (const WalRecord& rec : run.wal) {
+    obs::Json r = obs::Json::object();
+    r.set("kind", wal_kind_name(rec.kind));
+    r.set("time", rec.time);
+    r.set("worker", rec.worker);
+    r.set("seq", rec.seq);
+    r.set("first", rec.first);
+    r.set("count", rec.count);
+    wal.push_back(std::move(r));
+  }
+  doc.set("wal", std::move(wal));
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("simulate_loop_mpi: cannot write checkpoint JSON to " + path);
+  }
+  out << doc.dump(2) << '\n';
+}
+
+void accumulate_faults(FaultStats& total, const FaultStats& run) {
+  total.workers_crashed += run.workers_crashed;
+  total.workers_recovered += run.workers_recovered;
+  total.chunks_lost += run.chunks_lost;
+  total.iterations_reexecuted += run.iterations_reexecuted;
+  total.wasted_work += run.wasted_work;
+  total.detection_latency_total += run.detection_latency_total;
+  total.max_detection_latency = std::max(total.max_detection_latency, run.max_detection_latency);
+  total.false_suspicions += run.false_suspicions;
+}
+
+}  // namespace
 
 MpiRunResult simulate_loop_mpi(const workload::Application& application,
                                std::size_t processor_type, std::size_t processors,
@@ -39,17 +103,27 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // re-dispatched. A recovering worker's fresh request also exposes the
   // loss (even with detection disabled), mirroring an MPI reconnect.
   const bool crash_mode = detail::has_crash_failures(config);
-  const bool detection = crash_mode && config.fault_detection.enabled;
+  const SimConfig::Failure* master_fault = detail::master_restart_failure(config);
+  const bool unreliable = config.channel.faulty();
+  // A master restart needs the WAL to reconcile against, so a master fault
+  // implies checkpointing; and messages arriving at a down master are lost,
+  // so either condition arms the hardened at-least-once protocol.
+  const bool checkpointing = config.checkpoint.enabled || master_fault != nullptr;
+  const bool hardened = unreliable || checkpointing;
+  const bool detection = (crash_mode || hardened) && config.fault_detection.enabled;
   // Speculation also needs report-based accounting (a cancelled loser's
   // result must be droppable), so it shares the crash-mode protocol even
   // when no crash failure is configured.
   const bool speculate = config.speculation.enabled;
-  const bool managed = crash_mode || speculate;
+  const bool managed = crash_mode || speculate || hardened;
 
   MpiRunResult result;
   result.run.workers.assign(processors, WorkerStats{});
   for (const SimConfig::Failure& failure : config.failures) {
-    if (failure.kind == SimConfig::FailureKind::kDegrade) continue;
+    if (failure.kind == SimConfig::FailureKind::kDegrade ||
+        failure.kind == SimConfig::FailureKind::kMasterCrashRestart) {
+      continue;
+    }
     result.run.faults.workers_crashed += 1;
     if (failure.kind == SimConfig::FailureKind::kCrashRecover) {
       result.run.faults.workers_recovered += 1;
@@ -94,6 +168,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   struct Outstanding {
     bool active = false;
     bool lost = false;  // physically stranded by the worker's crash
+    /// Hardened protocol: the assignment message reached the worker (work
+    /// draw done, computation running). An undelivered assignment reclaims
+    /// with zero compute waste. Legacy/managed dispatch is synchronous with
+    /// the work draw, so the default stays true there.
+    bool delivered = true;
     detail::IterationPool::Range range;
     double dispatch_time = 0.0;
     double start_time = 0.0;
@@ -127,7 +206,56 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   std::deque<std::pair<std::size_t, std::uint64_t>> stragglers;
   double quantile = config.speculation.quantile;
 
-  std::function<void(std::size_t)> master_receive_request;
+  // ---- Hardened at-least-once protocol state (dormant otherwise). ----
+  const ChannelModel& chan = config.channel;
+  // Channel fault draws come from dedicated streams fanned out of the run
+  // seed (children 17/19 — prepare_run owns 0 and 100+), so arming the
+  // channel never perturbs the work-sampling or availability streams.
+  std::optional<util::RngStream> channel_rng;
+  std::optional<sysmodel::BurstWindows> bursts;
+  if (unreliable) {
+    channel_rng.emplace(util::SeedSequence(seed).child(17));
+    if (chan.burst_gap_mean > 0.0) {
+      bursts.emplace(chan.burst_gap_mean, chan.burst_duration,
+                     util::SeedSequence(seed).child(19));
+    }
+  }
+  std::size_t force_drop_to_worker = chan.force_drop_to_worker;
+  std::size_t force_drop_to_master = chan.force_drop_to_master;
+  // Worker-side protocol memory (survives master restarts).
+  std::vector<std::uint64_t> request_seq(processors, 0);   // requests issued
+  std::vector<std::uint64_t> reply_seq(processors, 0);     // highest request answered
+  std::vector<std::uint64_t> executed_seq(processors, 0);  // assignment dedup
+  std::vector<std::uint64_t> cancelled_seq(processors, 0);  // speculation-loser suppression
+  std::vector<std::uint64_t> report_acked_seq(processors, 0);
+  // Master-side protocol memory (volatile: dies in a master crash and is
+  // rebuilt from the WAL at restart).
+  std::vector<std::uint64_t> assign_acked_seq(processors, 0);
+  std::vector<std::uint64_t> processed_seq(processors, 0);  // report dedup
+  // A master service for this worker is enqueued but not yet executed.
+  // In that window outstanding[w] is inactive and idle[w] unset, so a
+  // duplicated/retransmitted request would otherwise enqueue a SECOND
+  // service — two overlapping assignments for one worker, the first of
+  // which would be silently orphaned (its report drops into the
+  // late-report path and its iterations strand).
+  std::vector<char> service_pending(processors, 0);
+  bool master_down = false;
+  // Bumped at every master crash; timers armed by the old incarnation
+  // (probes, assignment retransmits) carry their epoch and no-op on
+  // mismatch — the crashed process's timers died with it.
+  std::uint64_t master_epoch = 1;
+
+  std::function<void(std::size_t, std::uint64_t)> master_receive_request;
+  std::function<void(std::size_t, std::uint64_t, std::uint64_t, detail::IterationPool::Range,
+                     double)>
+      worker_receive_assignment;
+  std::function<void(std::size_t, std::uint64_t, bool)> master_handle_request;
+  std::function<void(std::size_t, bool)> worker_send_request;
+  std::function<std::uint64_t(std::size_t, detail::IterationPool::Range, std::uint64_t, bool,
+                              std::size_t, std::uint64_t)>
+      dispatch_hardened;
+  std::function<void(std::size_t, std::uint64_t, std::int64_t, double)> arm_straggler_check;
+  std::function<void()> snapshot_tick;
 
   // Pulls a reclaimed/returned range back into circulation: benched workers
   // (idle because the pool momentarily drained) get the master's deferred
@@ -136,7 +264,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     for (std::size_t v = 0; v < processors; ++v) {
       if (idle[v] && !declared_dead[v]) {
         idle[v] = 0;
-        master_receive_request(v);
+        master_receive_request(v, 0);
       }
     }
   };
@@ -166,12 +294,17 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       }
       result.run.faults.wasted_work += wasted;
       if (out.speculative) result.run.speculation.backups_lost += 1;
-    } else if (config.collect_trace && out.trace_index >= 0) {
-      // False suspicion: the worker is alive and will eventually report,
-      // but the master re-dispatched the range and will drop that report —
-      // mark the entry so it no longer counts as delivered work (the chaos
-      // harness reconstructs exactly-once coverage from the trace).
-      result.run.trace[static_cast<std::size_t>(out.trace_index)].cancelled = true;
+    } else {
+      // False suspicion (or an undelivered hardened assignment): the range
+      // is re-dispatched and any late report will be dropped — a reclaimed
+      // backup copy resolves as cancelled (the worker is alive), keeping
+      // the launched == won + cancelled + lost identity intact.
+      if (out.speculative) result.run.speculation.backups_cancelled += 1;
+      if (config.collect_trace && out.trace_index >= 0) {
+        // Mark the entry so it no longer counts as delivered work (the
+        // chaos harness reconstructs exactly-once coverage from the trace).
+        result.run.trace[static_cast<std::size_t>(out.trace_index)].cancelled = true;
+      }
     }
     if (out.has_partner && outstanding[out.partner].active &&
         outstanding[out.partner].id == out.partner_id) {
@@ -183,9 +316,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   };
 
   // One timeout expiration for assignment `id` on worker w. Stale probes
-  // (the report arrived, or the chunk was already reclaimed) are no-ops.
-  std::function<void(std::size_t, std::uint64_t, double)> probe_fire =
-      [&](std::size_t w, std::uint64_t id, double interval) {
+  // (the report arrived, the chunk was already reclaimed, or the master
+  // that armed the timer crashed) are no-ops.
+  std::function<void(std::size_t, std::uint64_t, double, std::uint64_t)> probe_fire =
+      [&](std::size_t w, std::uint64_t id, double interval, std::uint64_t epoch) {
+        if (epoch != master_epoch) return;  // timer died with the old master
         Outstanding& out = outstanding[w];
         if (!out.active || out.id != id) return;
         out.probes += 1;
@@ -195,7 +330,9 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         }
         if (out.probes >= config.fault_detection.max_probes) {
           declared_dead[w] = 1;
-          if (!out.lost) result.run.faults.false_suspicions += 1;
+          // An undelivered hardened assignment is a lost MESSAGE, not a
+          // suspicion of a live worker mid-report.
+          if (!out.lost && out.delivered) result.run.faults.false_suspicions += 1;
           CDSF_LOG_TRACE << "mpi master declares worker " << w << " dead at " << engine.now();
           if (config.collect_trace) {
             result.run.events.push_back(
@@ -205,8 +342,9 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
           return;
         }
         const double next = interval * config.fault_detection.backoff;
-        engine.schedule_at(engine.now() + next,
-                           [&probe_fire, w, id, next] { probe_fire(w, id, next); });
+        engine.schedule_at(engine.now() + next, [&probe_fire, w, id, next, epoch] {
+          probe_fire(w, id, next, epoch);
+        });
       };
 
   // Arms the first dead-worker timeout for assignment `id` (detection on).
@@ -222,14 +360,120 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     const double timeout = std::max(config.fault_detection.min_timeout,
                                     timeout_scale[w] * config.fault_detection.timeout_factor *
                                         (expected_compute + 2.0 * messages.latency));
-    engine.schedule_at(dispatch_time + timeout,
-                       [&probe_fire, w, id, timeout] { probe_fire(w, id, timeout); });
+    const std::uint64_t epoch = master_epoch;
+    engine.schedule_at(dispatch_time + timeout, [&probe_fire, w, id, timeout, epoch] {
+      probe_fire(w, id, timeout, epoch);
+    });
+  };
+
+  // Offers one message to the channel: applies the force-drop test hooks,
+  // burst windows, and the per-direction drop / duplicate / reorder draws,
+  // then schedules `deliver` once per surviving copy. With a clean channel
+  // this is exactly one delivery after the base latency. Returns true when
+  // at least one copy went on the wire.
+  auto channel_send = [&](bool to_worker, bool is_ack, std::function<void()> deliver) {
+    if (is_ack) {
+      result.run.channel.acks_sent += 1;
+    } else {
+      result.run.channel.messages_sent += 1;
+    }
+    if (!unreliable) {
+      engine.schedule_after(messages.latency, std::move(deliver));
+      return true;
+    }
+    bool dropped = false;
+    bool burst = false;
+    std::size_t& force = to_worker ? force_drop_to_worker : force_drop_to_master;
+    if (!is_ack && force > 0) {
+      force -= 1;
+      dropped = true;
+    } else if (bursts && bursts->covers(engine.now())) {
+      dropped = true;
+      burst = true;
+    } else {
+      const double p = to_worker ? chan.drop_to_worker : chan.drop_to_master;
+      if (p > 0.0 && channel_rng->uniform01() < p) dropped = true;
+    }
+    if (dropped) {
+      result.run.channel.drops += 1;
+      if (burst) result.run.channel.burst_drops += 1;
+      return false;
+    }
+    const double dup_p = to_worker ? chan.duplicate_to_worker : chan.duplicate_to_master;
+    const bool duplicated = dup_p > 0.0 && channel_rng->uniform01() < dup_p;
+    if (duplicated) result.run.channel.duplicates += 1;
+    const double reorder_p = to_worker ? chan.reorder_to_worker : chan.reorder_to_master;
+    const std::size_t copies = duplicated ? 2 : 1;
+    for (std::size_t c = 0; c < copies; ++c) {
+      double delay = messages.latency;
+      if (reorder_p > 0.0 && channel_rng->uniform01() < reorder_p) {
+        result.run.channel.reorders += 1;
+        delay += channel_rng->uniform(0.0, chan.reorder_delay);
+      }
+      engine.schedule_after(delay, deliver);
+    }
+    return true;
+  };
+
+  // At-least-once sender: offers the message now and re-offers it with
+  // exponential backoff until `resolved()` (the ack/reply arrived) or the
+  // retry budget is spent. Master-side senders pass their epoch so pending
+  // timers die with a master crash; worker-side senders pass epoch 0 and
+  // instead stop when their own worker is down at the retry instant.
+  std::function<void(bool, std::size_t, std::int64_t, double, std::size_t, std::uint64_t,
+                     std::function<bool()>, std::function<void()>, std::function<void()>)>
+      transmit = [&](bool to_worker, std::size_t w, std::int64_t seq, double rto,
+                     std::size_t retries_left, std::uint64_t epoch,
+                     std::function<bool()> resolved, std::function<void()> on_retransmit,
+                     std::function<void()> deliver) {
+        channel_send(to_worker, false, deliver);
+        engine.schedule_after(rto, [&, to_worker, w, seq, rto, retries_left, epoch,
+                                    resolved = std::move(resolved),
+                                    on_retransmit = std::move(on_retransmit),
+                                    deliver = std::move(deliver)] {
+          if (epoch != 0 && epoch != master_epoch) return;  // sender died with the master
+          if (epoch == 0) {
+            const detail::Worker& worker = prepared.workers[w];
+            if (worker.crash_time <= engine.now() && engine.now() < worker.recovery_time) {
+              return;  // the sending worker is down; its timers died with it
+            }
+          }
+          if (resolved()) return;
+          if (retries_left == 0) {
+            result.run.channel.retransmits_abandoned += 1;
+            return;
+          }
+          result.run.channel.retransmits += 1;
+          if (config.collect_trace) {
+            result.run.events.push_back(
+                {LifecycleEvent::Kind::kRetransmit, engine.now(), w, seq});
+          }
+          if (on_retransmit) on_retransmit();
+          transmit(to_worker, w, seq, rto * chan.rto_backoff, retries_left - 1, epoch,
+                   std::move(resolved), std::move(on_retransmit), std::move(deliver));
+        });
+      };
+
+  // Appends one record to the master's write-ahead log (checkpointing only).
+  auto wal_append = [&](WalRecord::Kind kind, std::size_t w, std::uint64_t seqno,
+                        std::int64_t first, std::int64_t count) {
+    if (!checkpointing) return;
+    result.run.wal.push_back({kind, engine.now(), w, seqno, first, count});
+    result.run.checkpoint.wal_records += 1;
+  };
+
+  auto master_receive_ack = [&](std::size_t w, std::uint64_t id) {
+    if (master_down) return;
+    if (id <= assign_acked_seq[w]) return;  // duplicate ack
+    assign_acked_seq[w] = id;
+    wal_append(WalRecord::Kind::kAck, w, id, 0, 0);
   };
 
   // The partner of an accepted report lost the race: drop its (pending)
   // report, charge the sunk work, and bring the worker back into the loop.
-  // The cancel notice itself is abstracted to the master's instant; the
-  // loser's next request pays the two message latencies.
+  // The cancel notice itself is abstracted to the master's instant (in the
+  // hardened protocol it also annihilates in-flight report copies via
+  // cancelled_seq); the loser's next request pays the message latencies.
   auto cancel_partner = [&](std::size_t v) {
     Outstanding& out = outstanding[v];
     out.active = false;
@@ -253,6 +497,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       }
       return;
     }
+    if (hardened) cancelled_seq[v] = std::max(cancelled_seq[v], out.id);
     engine.cancel(out.report_event);
     if (out.speculative) {
       result.run.speculation.backups_cancelled += 1;
@@ -277,9 +522,15 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     const double receive = now + messages.latency;
     if (!(prepared.workers[v].crash_time <= receive &&
           receive < prepared.workers[v].recovery_time)) {
-      engine.schedule_at(receive + messages.latency, [&, v] {
-        if (!declared_dead[v]) master_receive_request(v);
-      });
+      if (hardened) {
+        engine.schedule_at(receive, [&, v] {
+          if (!declared_dead[v]) worker_send_request(v, false);
+        });
+      } else {
+        engine.schedule_at(receive + messages.latency, [&, v] {
+          if (!declared_dead[v]) master_receive_request(v, 0);
+        });
+      }
     }
   };
 
@@ -287,6 +538,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // completes at end_time, the report reaches the master one latency later.
   // Both stages are cancellable so a losing speculated copy can be stopped;
   // out.report_event always holds the currently-pending stage.
+  // (Reliable-channel managed mode only; the hardened protocol routes
+  // reports through worker_send_report instead.)
   std::function<void(std::size_t, std::uint64_t)> schedule_report =
       [&](std::size_t w, std::uint64_t id) {
         const double start_time = outstanding[w].start_time;
@@ -311,7 +564,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                           result.run.events.push_back(
                               {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
                         }
-                        master_receive_request(w);
+                        master_receive_request(w, 0);
                       }
                       return;
                     }
@@ -333,7 +586,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                         outstanding[out.partner].id == out.partner_id) {
                       cancel_partner(out.partner);
                     }
-                    master_receive_request(w);
+                    master_receive_request(w, 0);
                   });
               Outstanding& out = outstanding[w];
               if (out.active && out.id == id) out.report_event = second_stage;
@@ -341,10 +594,206 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         outstanding[w].report_event = first_stage;
       };
 
+  // Hardened protocol: one completion report arriving at the master. Every
+  // copy is acked (the previous ack may have dropped); duplicates are
+  // suppressed by sequence dedup so record() is never double-fed.
+  auto master_receive_report = [&](std::size_t w, std::uint64_t id, double start_time,
+                                   double end_time, detail::IterationPool::Range range,
+                                   double dispatch_time) {
+    if (master_down) return;          // lost with the master; the worker retransmits
+    if (cancelled_seq[w] >= id) return;  // cancelled loser: already resolved
+    channel_send(true, true, [&, w, id] {
+      if (id > report_acked_seq[w]) report_acked_seq[w] = id;
+    });
+    if (id <= processed_seq[w]) {
+      result.run.channel.dedup_hits += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back({LifecycleEvent::Kind::kDedupHit, engine.now(), w,
+                                     static_cast<std::int64_t>(id)});
+      }
+      return;
+    }
+    processed_seq[w] = id;
+    Outstanding& out = outstanding[w];
+    if (!out.active || out.id != id) {
+      // Late report from a reclaimed assignment (false suspicion or master
+      // restart re-dispatch): the range was re-dispatched, drop the result.
+      result.run.faults.wasted_work +=
+          prepared.workers[w].availability->work_delivered(start_time, end_time);
+      if (declared_dead[w]) {
+        declared_dead[w] = 0;
+        timeout_scale[w] *= 2.0;
+        if (config.collect_trace) {
+          result.run.events.push_back(
+              {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
+        }
+      }
+      // The worker is alive and idle either way — bring it back into the
+      // loop (a restart reclaim can orphan a live worker the same way a
+      // false suspicion does).
+      if (!outstanding[w].active) master_receive_request(w, 0);
+      return;
+    }
+    out.active = false;
+    WorkerStats& ws = result.run.workers[w];
+    ws.chunks += 1;
+    ws.iterations += out.range.count;
+    ws.busy_time += end_time - start_time;
+    ws.overhead_time += start_time - dispatch_time;
+    ws.finish_time = end_time;
+    result.run.total_chunks += 1;
+    result.run.makespan = std::max(result.run.makespan, end_time);
+    completed += out.range.count;
+    if (out.speculative) result.run.speculation.backups_won += 1;
+    technique->record(
+        dls::ChunkResult{w, out.range.count, end_time - start_time, end_time - dispatch_time});
+    wal_append(WalRecord::Kind::kComplete, w, id, range.first, range.count);
+    if (out.has_partner && outstanding[out.partner].active &&
+        outstanding[out.partner].id == out.partner_id) {
+      cancel_partner(out.partner);
+    }
+    master_receive_request(w, 0);
+  };
+
+  // Hardened protocol: the worker's report retransmits until the master's
+  // report-ack lands (or the chunk is cancelled by the speculation race).
+  auto worker_send_report = [&](std::size_t w, std::uint64_t id, double start_time,
+                                double end_time, detail::IterationPool::Range range,
+                                double dispatch_time) {
+    transmit(false, w, static_cast<std::int64_t>(id), chan.rto, chan.max_retransmits, 0,
+             [&, w, id] { return report_acked_seq[w] >= id || cancelled_seq[w] >= id; },
+             nullptr,
+             [&, w, id, start_time, end_time, range, dispatch_time] {
+               master_receive_report(w, id, start_time, end_time, range, dispatch_time);
+             });
+  };
+
+  // Hardened protocol: one assignment delivery at the worker. The work draw
+  // happens HERE (computation starts at first delivery); every delivery is
+  // acked, and a re-delivered assignment is never executed twice.
+  worker_receive_assignment = [&](std::size_t w, std::uint64_t id, std::uint64_t rseq,
+                                  detail::IterationPool::Range range, double dispatch_time) {
+    const detail::Worker& worker = prepared.workers[w];
+    const double now = engine.now();
+    if (worker.crash_time <= now && now < worker.recovery_time) return;  // down: lost
+    if (rseq > reply_seq[w]) reply_seq[w] = rseq;  // the assignment answers the request
+    channel_send(false, true, [&, w, id] { master_receive_ack(w, id); });
+    if (id <= cancelled_seq[w]) return;  // cancelled before it arrived
+    if (id <= executed_seq[w]) {
+      result.run.channel.dedup_hits += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back(
+            {LifecycleEvent::Kind::kDedupHit, now, w, static_cast<std::int64_t>(id)});
+      }
+      return;
+    }
+    executed_seq[w] = id;
+    const double start_time = now;
+    const double work = prepared.input_factor *
+                        detail::chunk_work(application, processor_type, prepared.mean_iter,
+                                           prepared.stddev_iter, config.iteration_cov,
+                                           range.first, range.count, *worker.rng);
+    const double end_time = worker.availability->finish_time(start_time, work);
+    const bool lost = start_time < worker.recovery_time && end_time > worker.crash_time;
+    Outstanding& out = outstanding[w];
+    const bool tracked = out.active && out.id == id;
+    if (tracked) {
+      out.delivered = true;
+      out.lost = lost;
+      out.start_time = start_time;
+      out.end_time = end_time;
+      if (out.trace_index >= 0) {
+        ChunkTraceEntry& entry = result.run.trace[static_cast<std::size_t>(out.trace_index)];
+        entry.start_time = start_time;
+        entry.end_time = end_time;
+        entry.lost = lost;
+      }
+    }
+    CDSF_LOG_TRACE << "mpi worker " << w << " chunk " << range.count << " delivered ["
+                   << start_time << ", " << end_time << "]" << (lost ? " LOST" : "");
+    if (lost) return;  // the worker dies mid-chunk: no report, ever
+    const Engine::EventId compute_done = engine.schedule_cancellable_at(
+        end_time, [&, w, id, start_time, end_time, range, dispatch_time] {
+          Outstanding& cur = outstanding[w];
+          if (cur.active && cur.id == id) cur.report_event = Engine::kNoEvent;
+          if (cancelled_seq[w] >= id) return;  // lost the race mid-compute
+          worker_send_report(w, id, start_time, end_time, range, dispatch_time);
+        });
+    if (tracked) out.report_event = compute_done;
+  };
+
+  // Hardened dispatch: the assignment is logged to the WAL, travels through
+  // the unreliable channel, and retransmits with backoff until the worker's
+  // ack lands. Returns the assignment sequence number.
+  dispatch_hardened = [&](std::size_t w, detail::IterationPool::Range range,
+                          std::uint64_t rseq, bool speculative, std::size_t partner,
+                          std::uint64_t partner_id) -> std::uint64_t {
+    const double dispatch_time = engine.now();
+    const std::uint64_t id = ++next_id[w];
+    Outstanding out;
+    out.active = true;
+    out.lost = false;
+    out.delivered = false;
+    out.range = range;
+    out.dispatch_time = dispatch_time;
+    out.start_time = dispatch_time;  // provisional until the delivery lands
+    out.end_time = dispatch_time;
+    out.id = id;
+    out.speculative = speculative;
+    if (speculative) {
+      out.has_partner = true;
+      out.partner = partner;
+      out.partner_id = partner_id;
+    }
+    if (config.collect_trace) {
+      out.trace_index = static_cast<std::ptrdiff_t>(result.run.trace.size());
+      result.run.trace.push_back({w, range.count, dispatch_time, dispatch_time, dispatch_time,
+                                  false, range.first, speculative, false});
+      if (speculative) {
+        result.run.events.push_back(
+            {LifecycleEvent::Kind::kChunkBackup, dispatch_time, w, range.count});
+      }
+    }
+    outstanding[w] = out;
+    wal_append(WalRecord::Kind::kAssign, w, id, range.first, range.count);
+    CDSF_LOG_TRACE << "mpi worker " << w << (speculative ? " backup " : " chunk ")
+                   << range.count << " dispatched at " << dispatch_time;
+    arm_detection(w, id, range.count, dispatch_time);
+    if (speculate && !speculative) {
+      arm_straggler_check(w, id, range.count, dispatch_time + messages.latency);
+    }
+    transmit(true, w, static_cast<std::int64_t>(id), chan.rto, chan.max_retransmits,
+             master_epoch,
+             [&, w, id] {
+               return assign_acked_seq[w] >= id || !outstanding[w].active ||
+                      outstanding[w].id != id;
+             },
+             [&, w, id] {
+               if (config.collect_trace && outstanding[w].active &&
+                   outstanding[w].id == id && outstanding[w].trace_index >= 0) {
+                 result.run.trace[static_cast<std::size_t>(outstanding[w].trace_index)]
+                     .retransmitted = true;
+               }
+             },
+             [&, w, id, rseq, range, dispatch_time] {
+               worker_receive_assignment(w, id, rseq, range, dispatch_time);
+             });
+    return id;
+  };
+
   // Runs a straggler assignment's range a second time on idle worker v.
-  auto launch_backup = [&](std::size_t v, std::size_t w, std::uint64_t id) {
+  auto launch_backup = [&](std::size_t v, std::size_t w, std::uint64_t id,
+                           std::uint64_t rseq) {
     Outstanding& primary = outstanding[w];
     const detail::IterationPool::Range range = primary.range;
+    if (hardened) {
+      const std::uint64_t backup_id = dispatch_hardened(v, range, rseq, true, w, id);
+      primary.has_partner = true;
+      primary.partner = v;
+      primary.partner_id = backup_id;
+      result.run.speculation.backups_launched += 1;
+      return;
+    }
     const double dispatch_time = engine.now();
     const double start_time = dispatch_time + messages.latency;
     const double work = prepared.input_factor *
@@ -393,8 +842,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // technique's runtime estimate when it has one, the a-priori weight
   // otherwise) and launches a backup on an idle worker — or queues the
   // assignment for the next worker that goes idle.
-  auto arm_straggler_check = [&](std::size_t w, std::uint64_t id, std::int64_t count,
-                                 double start_time) {
+  arm_straggler_check = [&](std::size_t w, std::uint64_t id, std::int64_t count,
+                            double start_time) {
     double mu_it = technique->estimated_iteration_time(w);
     if (!(mu_it > 0.0)) {
       mu_it = prepared.input_factor * prepared.mean_iter /
@@ -416,7 +865,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       for (std::size_t v = 0; v < processors; ++v) {
         if (idle[v] && !declared_dead[v]) {
           idle[v] = 0;
-          launch_backup(v, w, id);
+          launch_backup(v, w, id, 0);
           return;
         }
       }
@@ -424,10 +873,104 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     });
   };
 
+  // Hardened protocol: notify a requesting worker that the pool is empty
+  // (so its request retries stop). Delivered best-effort; a lost notice is
+  // re-sent when the retried request arrives.
+  auto send_bench = [&](std::size_t w, std::uint64_t rseq) {
+    channel_send(true, false, [&, w, rseq] {
+      const detail::Worker& worker = prepared.workers[w];
+      const double now = engine.now();
+      if (worker.crash_time <= now && now < worker.recovery_time) return;
+      if (rseq > reply_seq[w]) reply_seq[w] = rseq;
+    });
+  };
+
+  // Hardened protocol: request arrival at the master. At-least-once
+  // delivery means the same request (sequence rseq) can arrive several
+  // times; a duplicate must re-trigger the REPLY (assignment or bench
+  // notice), never a second assignment.
+  master_handle_request = [&](std::size_t w, std::uint64_t rseq, bool rejoin) {
+    if (master_down) return;  // lost with the master; the worker retransmits
+    if (rejoin) declared_dead[w] = 0;
+    if (declared_dead[w]) {
+      // A request is proof of life: the worker outlived its declared death
+      // (its assignment was lost on the channel — e.g. in a burst window —
+      // and the expired timeout was charged to the worker). Reinstate it
+      // and escalate its timeout like the late-report path does; without
+      // this, every wrongful death permanently removes a live worker and
+      // enough of them strand the run.
+      declared_dead[w] = 0;
+      timeout_scale[w] *= 2.0;
+      if (config.collect_trace) {
+        result.run.events.push_back(
+            {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
+      }
+    }
+    Outstanding& out = outstanding[w];
+    if (out.active && rejoin &&
+        out.dispatch_time < prepared.workers[w].recovery_time) {
+      // The rejoin request reveals that the pre-crash assignment died with
+      // the worker (even when timeout detection is off).
+      reclaim_outstanding(w);
+      master_receive_request(w, rseq);
+      return;
+    }
+    if (service_pending[w]) {
+      // The previous copy of this request is already queued for service;
+      // the assignment it produces will answer this sequence too.
+      result.run.channel.dedup_hits += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back({LifecycleEvent::Kind::kDedupHit, engine.now(), w,
+                                     static_cast<std::int64_t>(rseq)});
+      }
+      return;
+    }
+    if (out.active) {
+      // Duplicate or retransmitted request while an assignment is in
+      // flight: the worker clearly missed the reply — resend it instead of
+      // double-assigning.
+      result.run.channel.dedup_hits += 1;
+      result.run.channel.retransmits += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back({LifecycleEvent::Kind::kRetransmit, engine.now(), w,
+                                     static_cast<std::int64_t>(out.id)});
+        if (out.trace_index >= 0) {
+          result.run.trace[static_cast<std::size_t>(out.trace_index)].retransmitted = true;
+        }
+      }
+      const std::uint64_t id = out.id;
+      const detail::IterationPool::Range range = out.range;
+      const double dispatch_time = out.dispatch_time;
+      channel_send(true, false, [&, w, id, rseq, range, dispatch_time] {
+        worker_receive_assignment(w, id, rseq, range, dispatch_time);
+      });
+      return;
+    }
+    if (idle[w]) {
+      // Benched worker re-requesting: the bench notice was lost — resend.
+      result.run.channel.dedup_hits += 1;
+      send_bench(w, rseq);
+      return;
+    }
+    master_receive_request(w, rseq);
+  };
+
+  // Hardened protocol: a worker-initiated request (loop kick, rejoin, or
+  // post-cancel re-entry) with its own retransmission loop — resolved by
+  // the assignment or bench notice that answers it.
+  worker_send_request = [&](std::size_t w, bool rejoin) {
+    const std::uint64_t rseq = ++request_seq[w];
+    transmit(false, w, static_cast<std::int64_t>(rseq), chan.rto, chan.max_retransmits, 0,
+             [&, w, rseq] { return reply_seq[w] >= rseq; }, nullptr,
+             [&, w, rseq, rejoin] { master_handle_request(w, rseq, rejoin); });
+  };
+
   // The master serializes request handling; each handled request either
   // assigns a chunk (reply travels back with one latency) or retires the
-  // worker. Completion reports carry the technique feedback.
-  master_receive_request = [&](std::size_t w) {
+  // worker. Completion reports carry the technique feedback. `rseq` is the
+  // hardened protocol's request sequence (0 for master-initiated service,
+  // which sends no bench notice).
+  master_receive_request = [&](std::size_t w, std::uint64_t rseq) {
     const double arrival = engine.now();
     const double service_start = std::max(arrival, master_free_at);
     const double wait = service_start - arrival;
@@ -436,8 +979,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     master_free_at = service_start + messages.master_service_time;
     result.master.requests_handled += 1;
     result.master.busy_time += messages.master_service_time;
+    if (hardened) service_pending[w] = 1;
 
-    engine.schedule_at(master_free_at, [&, w] {
+    engine.schedule_at(master_free_at, [&, w, rseq] {
+      service_pending[w] = 0;
+      if (master_down) return;  // the master died mid-service
       WorkerStats& stats = result.run.workers[w];
       if (declared_dead[w]) return;
       const std::int64_t pending = pool.pending();
@@ -453,19 +999,20 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
               continue;
             }
             stragglers.pop_front();
-            launch_backup(w, pw, pid);
+            launch_backup(w, pw, pid, rseq);
             return;
           }
         }
         // Managed mode: stay wakeable — a reclaim may refill the pool.
         if (managed) idle[w] = 1;
+        if (hardened && rseq > 0) send_bench(w, rseq);
         stats.finish_time = std::max(stats.finish_time, engine.now());
         return;
       }
       const dls::SchedulingContext ctx{pending, w, engine.now()};
       std::int64_t chunk = technique->next_chunk(ctx);
       if (chunk <= 0) {
-        if (!crash_mode) {
+        if (!crash_mode && !hardened) {
           stats.finish_time = std::max(stats.finish_time, engine.now());
           return;
         }
@@ -479,7 +1026,13 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       const detail::IterationPool::Range range = pool.take(chunk);
       if (range.count <= 0) {
         if (managed) idle[w] = 1;
+        if (hardened && rseq > 0) send_bench(w, rseq);
         stats.finish_time = std::max(stats.finish_time, engine.now());
+        return;
+      }
+
+      if (hardened) {
+        (void)dispatch_hardened(w, range, rseq, false, 0, 0);
         return;
       }
 
@@ -528,7 +1081,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                                                    end_time] {
             technique->record(dls::ChunkResult{w, range.count, end_time - start_time,
                                                end_time - dispatch_time});
-            master_receive_request(w);
+            master_receive_request(w, 0);
           });
         });
         return;
@@ -556,6 +1109,115 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     });
   };
 
+  // Master restart: rebuild the coordinator's volatile state from the
+  // write-ahead log. Assignments without an ack may never have left the
+  // wire — reclaim and re-dispatch them; acked-but-incomplete assignments
+  // stay outstanding (their reports are still good); completions are
+  // replayed into the dedup table so a finished chunk is never re-recorded.
+  auto master_restart = [&] {
+    const double now = engine.now();
+    master_down = false;
+    master_free_at = std::max(master_free_at, now);
+    result.run.checkpoint.master_restarts += 1;
+    // A restart before the loop kicked off (crash inside the serial phase)
+    // has nothing to reconcile and must NOT wake workers — the parallel
+    // loop opens at serial_end, not at the master's recovery. A restart
+    // after the loop drained likewise only logs itself.
+    const bool loop_open = now >= serial_end && completed < application.parallel_iterations();
+    // Suspicions, timeout escalation, and the bench list died with the old
+    // master.
+    std::fill(declared_dead.begin(), declared_dead.end(), 0);
+    std::fill(timeout_scale.begin(), timeout_scale.end(), 1.0);
+    std::fill(idle.begin(), idle.end(), 0);
+    std::fill(service_pending.begin(), service_pending.end(), 0);
+    stragglers.clear();
+    std::vector<std::uint64_t> last_assign(processors, 0);
+    std::vector<std::uint64_t> last_ack(processors, 0);
+    std::vector<std::uint64_t> last_complete(processors, 0);
+    for (const WalRecord& rec : result.run.wal) {
+      switch (rec.kind) {
+        case WalRecord::Kind::kAssign:
+          last_assign[rec.worker] = std::max(last_assign[rec.worker], rec.seq);
+          break;
+        case WalRecord::Kind::kAck:
+          last_ack[rec.worker] = std::max(last_ack[rec.worker], rec.seq);
+          break;
+        case WalRecord::Kind::kComplete:
+          last_complete[rec.worker] = std::max(last_complete[rec.worker], rec.seq);
+          result.run.checkpoint.restart_completions_replayed += 1;
+          break;
+        case WalRecord::Kind::kSnapshot:
+        case WalRecord::Kind::kRestart:
+          break;
+      }
+    }
+    for (std::size_t w = 0; w < processors; ++w) {
+      next_id[w] = std::max(next_id[w], last_assign[w]);
+      processed_seq[w] = last_complete[w];  // never re-record a completed chunk
+      assign_acked_seq[w] = last_ack[w];
+      Outstanding& out = outstanding[w];
+      const std::uint64_t seq = last_assign[w];
+      if (seq == 0 || seq <= last_complete[w]) {
+        // Nothing in flight for this worker according to the log: treat it
+        // as idle and wakeable (the bench list did not survive).
+        if (loop_open && !out.active) idle[w] = 1;
+      } else if (seq <= last_ack[w]) {
+        // Acked but incomplete: the worker is still computing; keep the
+        // assignment outstanding and re-arm detection from the restart.
+        if (out.active && out.id == seq) {
+          result.run.checkpoint.restart_chunks_preserved += 1;
+          out.probes = 0;
+          arm_detection(w, seq, out.range.count, now);
+        } else if (loop_open && !out.active) {
+          idle[w] = 1;  // e.g. a speculation loser cancelled pre-crash
+        }
+      } else {
+        // Assigned but never acked: the assignment may never have reached
+        // the worker — reclaim and re-dispatch. If it WAS delivered (the
+        // ack was lost), the worker's eventual report hits the late-report
+        // path: dropped, exactly-once preserved.
+        if (out.active && out.id == seq) {
+          result.run.checkpoint.restart_ranges_redispatched += 1;
+          reclaim_outstanding(w);
+          // NOT idle: the worker may be computing the reclaimed chunk; its
+          // late report (or its own request retry) re-enters it.
+        } else if (loop_open && !out.active) {
+          idle[w] = 1;
+        }
+      }
+    }
+    wal_append(WalRecord::Kind::kRestart, 0, master_epoch, 0, 0);
+    if (config.collect_trace) {
+      result.run.events.push_back({LifecycleEvent::Kind::kMasterRestart, now, 0, 0});
+    }
+    CDSF_LOG_TRACE << "mpi master restarted at " << now;
+    if (loop_open) wake_idle();
+  };
+
+  // Periodic checkpoint snapshots. Stop once the loop completed (so the
+  // event queue can drain) or after a long stretch without progress (a
+  // stranded run must reach the post-run diagnostics, not the event cap).
+  std::int64_t snapshot_last_completed = -1;
+  std::size_t snapshot_stagnant = 0;
+  snapshot_tick = [&] {
+    if (completed >= application.parallel_iterations()) return;
+    if (completed == snapshot_last_completed) {
+      if (++snapshot_stagnant > 1000) return;
+    } else {
+      snapshot_stagnant = 0;
+      snapshot_last_completed = completed;
+    }
+    if (!master_down) {
+      wal_append(WalRecord::Kind::kSnapshot, 0, master_epoch, 0, completed);
+      result.run.checkpoint.snapshots += 1;
+      if (config.collect_trace) {
+        result.run.events.push_back({LifecycleEvent::Kind::kCheckpoint, engine.now(), 0,
+                                     static_cast<std::int64_t>(result.run.wal.size())});
+      }
+    }
+    engine.schedule_after(config.checkpoint.interval, snapshot_tick);
+  };
+
   if (application.parallel_iterations() > 0) {
     engine.schedule_at(serial_end, [&] {
       // Every worker's initial request reaches the master one latency in;
@@ -564,7 +1226,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       for (std::size_t w = 0; w < processors; ++w) {
         const detail::Worker& worker = prepared.workers[w];
         if (worker.crash_time <= serial_end && serial_end < worker.recovery_time) continue;
-        engine.schedule_after(messages.latency, [&, w] { master_receive_request(w); });
+        if (hardened) {
+          worker_send_request(w, false);
+        } else {
+          engine.schedule_after(messages.latency, [&, w] { master_receive_request(w, 0); });
+        }
       }
     });
     for (std::size_t w = 0; w < processors; ++w) {
@@ -578,12 +1244,32 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       // The rejoining worker's request reaches the master one latency after
       // recovery (or after the loop opens); it also reveals that the old
       // chunk died with the worker, even when timeout detection is off.
-      const double rejoin = std::max(worker.recovery_time, serial_end) + messages.latency;
-      engine.schedule_at(rejoin, [&, w] {
-        declared_dead[w] = 0;
-        reclaim_outstanding(w);
-        master_receive_request(w);
+      if (hardened) {
+        engine.schedule_at(std::max(worker.recovery_time, serial_end),
+                           [&, w] { worker_send_request(w, true); });
+      } else {
+        const double rejoin = std::max(worker.recovery_time, serial_end) + messages.latency;
+        engine.schedule_at(rejoin, [&, w] {
+          declared_dead[w] = 0;
+          reclaim_outstanding(w);
+          master_receive_request(w, 0);
+        });
+      }
+    }
+    if (master_fault != nullptr) {
+      engine.schedule_at(master_fault->time, [&] {
+        master_down = true;
+        master_epoch += 1;  // every pending master-side timer is now stale
+        if (config.collect_trace) {
+          result.run.events.push_back(
+              {LifecycleEvent::Kind::kMasterCrash, engine.now(), 0, 0});
+        }
+        CDSF_LOG_TRACE << "mpi master crashed at " << engine.now();
       });
+      engine.schedule_at(master_fault->recovery_time, [&] { master_restart(); });
+    }
+    if (checkpointing) {
+      engine.schedule_at(serial_end + config.checkpoint.interval, snapshot_tick);
     }
     engine.run();
   }
@@ -600,6 +1286,9 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (w.finish_time == 0.0) w.finish_time = serial_end;
   }
   detail::finalize_run(result.run);
+  if (checkpointing && !config.checkpoint.json_path.empty()) {
+    write_checkpoint_json(config.checkpoint.json_path, result.run);
+  }
   return result;
 }
 
@@ -614,6 +1303,46 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         return dls::make_technique(technique, params);
       },
       config, messages, seed);
+}
+
+ReplicationSummary simulate_replicated_mpi(const workload::Application& application,
+                                           std::size_t processor_type, std::size_t processors,
+                                           const sysmodel::AvailabilitySpec& availability,
+                                           dls::TechniqueId technique, const SimConfig& config,
+                                           const MessageModel& messages, std::uint64_t seed,
+                                           std::size_t replications, double deadline,
+                                           std::size_t threads) {
+  if (replications == 0) {
+    throw std::invalid_argument("simulate_replicated_mpi: replications must be >= 1");
+  }
+  SimConfig run_config = config;
+  // One checkpoint file per replicated batch makes no sense (the last
+  // writer would win, and threads would race on the path).
+  run_config.checkpoint.json_path.clear();
+  const util::SeedSequence seeds(seed);
+  std::vector<double> samples(replications);
+  std::vector<FaultStats> faults(replications);
+  std::vector<SpeculationStats> speculation(replications);
+  std::vector<ChannelStats> channel(replications);
+  std::vector<CheckpointStats> checkpoint(replications);
+  util::parallel_for_index(replications, threads, [&](std::size_t r) {
+    const MpiRunResult res =
+        simulate_loop_mpi(application, processor_type, processors, availability, technique,
+                          run_config, messages, seeds.child(r));
+    samples[r] = res.run.makespan;
+    faults[r] = res.run.faults;
+    speculation[r] = res.run.speculation;
+    channel[r] = res.run.channel;
+    checkpoint[r] = res.run.checkpoint;
+  });
+  ReplicationSummary summary;
+  // Summed in replication order — independent of the thread count.
+  for (const FaultStats& f : faults) accumulate_faults(summary.faults_total, f);
+  for (const SpeculationStats& s : speculation) summary.speculation_total.accumulate(s);
+  for (const ChannelStats& c : channel) summary.channel_total.accumulate(c);
+  for (const CheckpointStats& c : checkpoint) summary.checkpoint_total.accumulate(c);
+  detail::summarize_makespans(summary, std::move(samples), deadline);
+  return summary;
 }
 
 }  // namespace cdsf::sim

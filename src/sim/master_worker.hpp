@@ -16,6 +16,20 @@
 //
 // With zero latency and zero service time this model reduces exactly to
 // simulate_loop (validated by tests).
+//
+// The substrate may additionally be UNRELIABLE (SimConfig::channel): a
+// seeded ChannelModel drops, duplicates, and reorders messages (plus
+// burst-loss episodes), and the protocol hardens to at-least-once
+// semantics — monotonically sequence-numbered assignments and reports,
+// master- and worker-side dedup (a re-delivered assignment is never
+// executed twice; a duplicated report never double-feeds record()), and
+// ack-driven retransmission with exponential backoff that composes with
+// the failure detector's false-suspicion timeout doubling. The MASTER
+// itself can crash and restart (FailureKind::kMasterCrashRestart) from a
+// write-ahead log + periodic snapshots (SimConfig::checkpoint): restart
+// re-dispatches unacked assignments and never re-records completed work.
+// With a clean channel and checkpointing off all of this is structurally
+// disarmed and the executor is bit-identical to the reliable protocol.
 #pragma once
 
 #include <cstdint>
@@ -67,5 +81,17 @@ struct MpiRunResult {
                                              const TechniqueFactory& factory,
                                              const SimConfig& config,
                                              const MessageModel& messages, std::uint64_t seed);
+
+/// Replicated MPI runs: the message-passing analogue of
+/// simulate_replicated, additionally filling ReplicationSummary::
+/// channel_total / checkpoint_total. Every replication derives its
+/// randomness (including channel faults) from its own child seed and the
+/// accumulation is in replication order, so the summary is bit-identical
+/// for ANY thread count. Throws std::invalid_argument if replications == 0.
+[[nodiscard]] ReplicationSummary simulate_replicated_mpi(
+    const workload::Application& application, std::size_t processor_type,
+    std::size_t processors, const sysmodel::AvailabilitySpec& availability,
+    dls::TechniqueId technique, const SimConfig& config, const MessageModel& messages,
+    std::uint64_t seed, std::size_t replications, double deadline, std::size_t threads = 1);
 
 }  // namespace cdsf::sim

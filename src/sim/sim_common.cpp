@@ -4,8 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
+#include "stats/summary.hpp"
 
 namespace cdsf::sim::detail {
 
@@ -39,6 +41,26 @@ void validate_config(const SimConfig& config) {
       !(sp.min_quantile > 0.0) || sp.min_quantile > sp.quantile) {
     throw std::invalid_argument("SimConfig: speculation knobs out of domain");
   }
+  const ChannelModel& ch = config.channel;
+  for (double p : {ch.drop_to_worker, ch.drop_to_master, ch.duplicate_to_worker,
+                   ch.duplicate_to_master, ch.reorder_to_worker, ch.reorder_to_master}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("SimConfig: channel probabilities must be in [0, 1]");
+    }
+  }
+  if ((ch.reorder_to_worker > 0.0 || ch.reorder_to_master > 0.0) && !(ch.reorder_delay > 0.0)) {
+    throw std::invalid_argument("SimConfig: channel reorder_delay must be > 0");
+  }
+  if (ch.burst_gap_mean < 0.0 || ch.burst_duration < 0.0 ||
+      (ch.burst_gap_mean > 0.0 && !(ch.burst_duration > 0.0))) {
+    throw std::invalid_argument("SimConfig: channel burst knobs out of domain");
+  }
+  if (!(ch.rto > 0.0) || !(ch.rto_backoff >= 1.0)) {
+    throw std::invalid_argument("SimConfig: channel rto must be > 0 and rto_backoff >= 1");
+  }
+  if (config.checkpoint.enabled && !(config.checkpoint.interval > 0.0)) {
+    throw std::invalid_argument("SimConfig: checkpoint interval must be > 0");
+  }
   const SimConfig::DeadlineRisk& dr = config.deadline_risk;
   if (dr.enabled) {
     if (!config.speculation.enabled) {
@@ -55,7 +77,25 @@ void validate_config(const SimConfig& config) {
 void validate_failures(const std::vector<SimConfig::Failure>& failures,
                        std::size_t processors) {
   std::vector<bool> seen(processors, false);
+  bool master_seen = false;
   for (const SimConfig::Failure& failure : failures) {
+    if (failure.kind == SimConfig::FailureKind::kMasterCrashRestart) {
+      // Targets the coordinator, not a worker: the worker index is ignored
+      // and the per-worker dedup does not apply.
+      if (master_seen) {
+        throw std::invalid_argument("simulate_loop: at most one master crash-restart");
+      }
+      master_seen = true;
+      if (!(failure.time >= 0.0) || !std::isfinite(failure.time)) {
+        throw std::invalid_argument("simulate_loop: master crash time must be finite and >= 0");
+      }
+      if (!(failure.recovery_time > failure.time) || !std::isfinite(failure.recovery_time)) {
+        throw std::invalid_argument(
+            "simulate_loop: master crash-restart recovery_time must be finite and > crash "
+            "time (a run without a master can never finish)");
+      }
+      continue;
+    }
     if (failure.worker >= processors) {
       throw std::invalid_argument("simulate_loop: failure targets an unknown worker");
     }
@@ -89,19 +129,33 @@ void validate_failures(const std::vector<SimConfig::Failure>& failures,
               "simulate_loop: kCrashRecover recovery_time must be finite and > failure time");
         }
         break;
+      case SimConfig::FailureKind::kMasterCrashRestart:
+        break;  // validated above (the per-worker loop skips it)
     }
   }
 }
 
 bool has_crash_failures(const SimConfig& config) {
   for (const SimConfig::Failure& failure : config.failures) {
-    if (failure.kind != SimConfig::FailureKind::kDegrade) return true;
+    if (failure.kind == SimConfig::FailureKind::kCrash ||
+        failure.kind == SimConfig::FailureKind::kCrashRecover) {
+      return true;
+    }
   }
   return false;
 }
 
+const SimConfig::Failure* master_restart_failure(const SimConfig& config) {
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.kind == SimConfig::FailureKind::kMasterCrashRestart) return &failure;
+  }
+  return nullptr;
+}
+
 void apply_failure(Worker& worker, const SimConfig::Failure& failure) {
   switch (failure.kind) {
+    case SimConfig::FailureKind::kMasterCrashRestart:
+      break;  // the master is not a worker; handled inside simulate_loop_mpi
     case SimConfig::FailureKind::kDegrade:
       worker.availability = std::make_unique<sysmodel::FailingAvailability>(
           std::move(worker.availability), failure.time, failure.residual_availability);
@@ -243,6 +297,27 @@ PreparedRun prepare_run(const workload::Application& application, std::size_t pr
                                      : worker.availability->availability_at(0.0));
   }
   return run;
+}
+
+void summarize_makespans(ReplicationSummary& summary, std::vector<double> samples,
+                         double deadline) {
+  stats::OnlineSummary makespans;
+  std::size_t hits = 0;
+  for (double makespan : samples) {
+    makespans.add(makespan);
+    if (makespan <= deadline) ++hits;
+  }
+  summary.replications = samples.size();
+  summary.mean_makespan = makespans.mean();
+  summary.stddev_makespan = makespans.stddev();
+  summary.min_makespan = makespans.min();
+  summary.max_makespan = makespans.max();
+  summary.deadline_hit_rate =
+      static_cast<double>(hits) / static_cast<double>(samples.size());
+  summary.mean_ci =
+      stats::mean_interval(summary.mean_makespan, summary.stddev_makespan, samples.size());
+  summary.hit_rate_ci = stats::wilson_interval(hits, samples.size());
+  summary.median_makespan = stats::percentile(std::move(samples), 0.5);
 }
 
 void finalize_run(RunResult& result) {

@@ -29,8 +29,19 @@ void validate_failures(const std::vector<SimConfig::Failure>& failures,
 
 /// True if any configured failure is kCrash / kCrashRecover — the switch
 /// that arms the fault-tolerance machinery (and, in the MPI model, the
-/// timeout timers).
+/// timeout timers). Master failures (kMasterCrashRestart) do NOT count:
+/// they crash the coordinator, not a worker's availability process.
 [[nodiscard]] bool has_crash_failures(const SimConfig& config);
+
+/// The configured master crash-restart failure, or nullptr. At most one
+/// exists (validate_failures rejects duplicates).
+[[nodiscard]] const SimConfig::Failure* master_restart_failure(const SimConfig& config);
+
+/// Fills the makespan-distribution fields of `summary` (mean / median /
+/// stddev / min / max / CIs / deadline hit rate) from per-replication
+/// samples. Shared by simulate_replicated and simulate_replicated_mpi.
+void summarize_makespans(ReplicationSummary& summary, std::vector<double> samples,
+                         double deadline);
 
 struct Worker;
 

@@ -288,4 +288,19 @@ double CrashingAvailability::next_change_after(double t) {
   return inner_->next_change_after(t);
 }
 
+BurstWindows::BurstWindows(double mean_gap, double duration, std::uint64_t seed)
+    : mean_gap_(mean_gap), duration_(duration), start_(0.0), rng_(seed) {
+  if (!(mean_gap > 0.0) || !(duration > 0.0)) {
+    throw std::invalid_argument("BurstWindows: mean_gap and duration must be > 0");
+  }
+  start_ = -mean_gap_ * std::log1p(-rng_.uniform01());
+}
+
+bool BurstWindows::covers(double t) {
+  while (t >= start_ + duration_) {
+    start_ += duration_ - mean_gap_ * std::log1p(-rng_.uniform01());
+  }
+  return t >= start_;
+}
+
 }  // namespace cdsf::sysmodel

@@ -257,4 +257,26 @@ class CrashingAvailability final : public AvailabilityProcess {
 /// Validates that every pulse of an availability PMF lies in (0, 1].
 void validate_availability_pmf(const pmf::Pmf& law);
 
+/// Seeded generator of burst-outage windows: episode start gaps are
+/// exponential with mean `mean_gap` (measured from the previous episode's
+/// end; the first gap from t = 0), each episode lasts `duration`. Used by
+/// the simulator's ChannelModel for burst-loss episodes — availability of
+/// the NETWORK rather than of a processor. Windows are drawn lazily, so
+/// covers() queries must be made with nondecreasing t (the discrete-event
+/// engine's clock guarantees this).
+class BurstWindows {
+ public:
+  /// Throws std::invalid_argument unless mean_gap > 0 and duration > 0.
+  BurstWindows(double mean_gap, double duration, std::uint64_t seed);
+
+  /// True when t falls inside a burst episode [start, start + duration).
+  [[nodiscard]] bool covers(double t);
+
+ private:
+  double mean_gap_;
+  double duration_;
+  double start_;  // current (or next) episode start
+  util::RngStream rng_;
+};
+
 }  // namespace cdsf::sysmodel

@@ -137,6 +137,14 @@ int cmd_scenario(int argc, char** argv) {
   config.replications = static_cast<std::size_t>(cli.get_int("replications"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.sim.failures = scenario.failures;  // [failure] sections from the file
+  // The scenario pipeline runs on the idealized executors, which have no
+  // message channel / master process; say so instead of silently ignoring
+  // the sections (the MPI executor — cdsf gantt --mpi, bench_failure_ablation
+  // --channel — is where they take effect).
+  if (scenario.channel.faulty() || scenario.checkpoint.enabled) {
+    std::puts("note: [channel]/[checkpoint] apply to the MPI executor only; "
+              "ignored by the scenario pipeline");
+  }
   const core::ScenarioResult result = framework.run_scenario(
       "cdsf", heuristic, dls::paper_robust_set(), scenario.cases, config);
 
@@ -233,6 +241,16 @@ int cmd_gantt(int argc, char** argv) {
   cli.add_double("degrade-residual", 0.2, "residual availability for --degrade-worker");
   cli.add_flag("speculate", "enable speculative re-execution of straggler chunks");
   cli.add_double("quantile", 2.0, "straggler threshold in sigmas (with --speculate)");
+  cli.add_flag("mpi", "use the message-passing executor");
+  cli.add_double("drop", 0.0, "per-message drop probability, both directions (implies --mpi)");
+  cli.add_double("dup", 0.0, "per-message duplication probability (implies --mpi)");
+  cli.add_double("reorder", 0.0, "per-message reorder probability (implies --mpi)");
+  cli.add_flag("checkpoint", "enable master checkpointing (implies --mpi)");
+  cli.add_double("checkpoint-interval", 250.0, "snapshot period for --checkpoint");
+  cli.add_double("master-crash", -1.0,
+                 "crash the master at this instant (implies --mpi + checkpointing; -1 = none)");
+  cli.add_double("master-recover", -1.0,
+                 "master restart instant for --master-crash (-1 = crash + 60)");
   cli.add_string("report-json", "", "write a structured JSON run report here");
   cli.add_string("trace-json", "", "write a Perfetto trace of the run here");
   add_log_flag(cli);
@@ -265,10 +283,55 @@ int cmd_gantt(int argc, char** argv) {
     config.speculation.enabled = true;
     config.speculation.quantile = cli.get_double("quantile");
   }
-  const sim::RunResult run = sim::simulate_loop(
-      example.batch.at(2), 1, 8, sysmodel::paper_case(static_cast<int>(cli.get_int("case"))),
-      dls::technique_from_name(technique), config,
-      static_cast<std::uint64_t>(cli.get_int("seed")));
+  config.channel.drop_to_worker = config.channel.drop_to_master = cli.get_double("drop");
+  config.channel.duplicate_to_worker = config.channel.duplicate_to_master =
+      cli.get_double("dup");
+  config.channel.reorder_to_worker = config.channel.reorder_to_master =
+      cli.get_double("reorder");
+  if (cli.get_flag("checkpoint")) {
+    config.checkpoint.enabled = true;
+    config.checkpoint.interval = cli.get_double("checkpoint-interval");
+  }
+  if (cli.get_double("master-crash") >= 0.0) {
+    sim::SimConfig::Failure failure;
+    failure.kind = sim::SimConfig::FailureKind::kMasterCrashRestart;
+    failure.time = cli.get_double("master-crash");
+    failure.recovery_time = cli.get_double("master-recover") >= 0.0
+                                ? cli.get_double("master-recover")
+                                : failure.time + 60.0;
+    config.failures.push_back(failure);
+  }
+  // Channel faults, checkpointing, and master crashes only exist in the
+  // message-passing model, so any of those knobs forces the MPI executor.
+  const bool mpi = cli.get_flag("mpi") || config.channel.faulty() ||
+                   config.checkpoint.enabled ||
+                   cli.get_double("master-crash") >= 0.0;
+  const workload::Application& app = example.batch.at(2);
+  const sysmodel::AvailabilitySpec avail =
+      sysmodel::paper_case(static_cast<int>(cli.get_int("case")));
+  const dls::TechniqueId technique_id = dls::technique_from_name(technique);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const sim::RunResult run =
+      mpi ? sim::simulate_loop_mpi(app, 1, 8, avail, technique_id, config,
+                                   sim::MessageModel{}, seed)
+                .run
+          : sim::simulate_loop(app, 1, 8, avail, technique_id, config, seed);
+  if (run.channel.active()) {
+    std::printf("channel: %llu msgs, %llu dropped (%llu burst), %llu duplicated, "
+                "%llu retransmits, %llu dedup hits\n",
+                static_cast<unsigned long long>(run.channel.messages_sent),
+                static_cast<unsigned long long>(run.channel.drops),
+                static_cast<unsigned long long>(run.channel.burst_drops),
+                static_cast<unsigned long long>(run.channel.duplicates),
+                static_cast<unsigned long long>(run.channel.retransmits),
+                static_cast<unsigned long long>(run.channel.dedup_hits));
+  }
+  if (run.checkpoint.active()) {
+    std::printf("checkpoint: %llu WAL records, %llu snapshots, %llu master restarts\n",
+                static_cast<unsigned long long>(run.checkpoint.wal_records),
+                static_cast<unsigned long long>(run.checkpoint.snapshots),
+                static_cast<unsigned long long>(run.checkpoint.master_restarts));
+  }
   sim::GanttOptions options;
   options.deadline = example.deadline;
   std::printf("makespan %.0f (deadline %.0f)\n", run.makespan, example.deadline);
@@ -360,6 +423,8 @@ int cmd_chaos(int argc, char** argv) {
   cli.add_int("campaign-threads", 0, "campaign parallelism over schedules (0 = hardware)");
   cli.add_flag("no-mpi", "skip the message-passing executor");
   cli.add_flag("no-speculation", "never enable speculative re-execution");
+  cli.add_flag("no-channel", "never draw unreliable-channel faults");
+  cli.add_flag("no-master-restart", "never inject master crash-restart / checkpointing");
   cli.add_string("report-json", "", "write a structured JSON campaign report here");
   add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -377,6 +442,8 @@ int cmd_chaos(int argc, char** argv) {
   config.threads = static_cast<std::size_t>(cli.get_int("campaign-threads"));
   config.include_mpi = !cli.get_flag("no-mpi");
   config.speculation = !cli.get_flag("no-speculation");
+  config.channel_faults = !cli.get_flag("no-channel");
+  config.master_restart = !cli.get_flag("no-master-restart");
   config.thread_counts.clear();
   std::string spec = cli.get_string("threads");
   for (std::size_t pos = 0; pos < spec.size();) {
@@ -387,9 +454,11 @@ int cmd_chaos(int argc, char** argv) {
   }
 
   const sim::ChaosReport report = sim::run_chaos_campaign(config);
-  std::printf("%zu schedules (%zu failures injected, %zu with speculation), %zu runs\n",
+  std::printf("%zu schedules (%zu failures injected, %zu with speculation, %zu with "
+              "channel faults, %zu with master restart), %zu runs\n",
               report.schedules_run, report.failures_injected,
-              report.schedules_with_speculation, report.runs_executed);
+              report.schedules_with_speculation, report.schedules_with_channel_faults,
+              report.schedules_with_master_restart, report.runs_executed);
   std::printf("faults: %zu crashes, %llu chunks lost, %lld iterations re-executed, "
               "%zu false suspicions\n",
               report.faults_total.workers_crashed,
@@ -403,6 +472,24 @@ int cmd_chaos(int argc, char** argv) {
               static_cast<unsigned long long>(report.speculation_total.backups_won),
               static_cast<unsigned long long>(report.speculation_total.backups_cancelled),
               static_cast<unsigned long long>(report.speculation_total.backups_lost));
+  std::printf("channel: %llu msgs, %llu dropped (%llu burst), %llu duplicated, %llu "
+              "retransmits, %llu dedup hits, %llu abandoned\n",
+              static_cast<unsigned long long>(report.channel_total.messages_sent),
+              static_cast<unsigned long long>(report.channel_total.drops),
+              static_cast<unsigned long long>(report.channel_total.burst_drops),
+              static_cast<unsigned long long>(report.channel_total.duplicates),
+              static_cast<unsigned long long>(report.channel_total.retransmits),
+              static_cast<unsigned long long>(report.channel_total.dedup_hits),
+              static_cast<unsigned long long>(report.channel_total.retransmits_abandoned));
+  std::printf("checkpoint: %llu WAL records, %llu snapshots, %llu master restarts, "
+              "%llu ranges re-dispatched, %llu completions replayed\n",
+              static_cast<unsigned long long>(report.checkpoint_total.wal_records),
+              static_cast<unsigned long long>(report.checkpoint_total.snapshots),
+              static_cast<unsigned long long>(report.checkpoint_total.master_restarts),
+              static_cast<unsigned long long>(
+                  report.checkpoint_total.restart_ranges_redispatched),
+              static_cast<unsigned long long>(
+                  report.checkpoint_total.restart_completions_replayed));
   for (const sim::ChaosViolation& violation : report.violations) {
     std::printf("VIOLATION schedule %zu (seed %llu, %s): %s — %s\n", violation.schedule,
                 static_cast<unsigned long long>(violation.seed), violation.executor.c_str(),

@@ -27,12 +27,34 @@ TEST(Chaos, SmokeCampaignPassesEveryInvariant) {
   EXPECT_TRUE(report.passed());
   EXPECT_TRUE(report.violations.empty());
   EXPECT_EQ(report.schedules_run, 10u);
-  // ideal + mpi + 2 replications x 2 thread counts per schedule.
-  EXPECT_EQ(report.runs_executed, 10u * (1 + 1 + 2 * 2));
+  // At least ideal + mpi + 2 replications x 2 thread counts per schedule;
+  // hardened schedules add MPI-replicated determinism runs on top.
+  EXPECT_GE(report.runs_executed, 10u * (1 + 1 + 2 * 2));
   EXPECT_GE(report.failures_injected, 10u);
   EXPECT_LE(report.failures_injected, 30u);
   EXPECT_TRUE(std::isfinite(report.max_makespan));
   EXPECT_GT(report.max_makespan, 0.0);
+  // The channel / master-restart axes are on by default; in a 10-schedule
+  // smoke at least one schedule should draw each.
+  EXPECT_GE(report.schedules_with_channel_faults, 1u);
+  EXPECT_GE(report.schedules_with_master_restart, 1u);
+  EXPECT_GT(report.channel_total.messages_sent, 0u);
+  EXPECT_GE(report.channel_total.drops, report.channel_total.burst_drops);
+  EXPECT_GT(report.checkpoint_total.wal_records, 0u);
+  EXPECT_EQ(report.checkpoint_total.master_restarts,
+            report.schedules_with_master_restart);
+}
+
+TEST(Chaos, DisablingChannelAxesProducesCleanRuns) {
+  sim::ChaosConfig config = smoke_config();
+  config.channel_faults = false;
+  config.master_restart = false;
+  const sim::ChaosReport report = sim::run_chaos_campaign(config);
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.schedules_with_channel_faults, 0u);
+  EXPECT_EQ(report.schedules_with_master_restart, 0u);
+  EXPECT_EQ(report.channel_total.messages_sent, 0u);
+  EXPECT_EQ(report.checkpoint_total.master_restarts, 0u);
 }
 
 TEST(Chaos, CampaignIsDeterministicAcrossCampaignThreads) {

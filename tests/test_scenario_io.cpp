@@ -222,5 +222,108 @@ TEST(ScenarioIo, RejectsMalformedFailures) {
                std::invalid_argument);
 }
 
+// ------------------------------------------- channel / checkpoint sections --
+
+TEST(ScenarioIo, ParsesChannelAndCheckpointSections) {
+  std::string text = kMinimalScenario;
+  text += "\n[channel]\ndrop-to-worker = 0.05\ndrop-to-master = 0.02\n"
+          "duplicate-to-master = 0.1\nreorder-to-worker = 0.2\nreorder-delay = 1.5\n"
+          "burst-gap-mean = 300\nburst-duration = 8\nrto = 3\nrto-backoff = 1.5\n"
+          "max-retransmits = 4\n";
+  text += "\n[checkpoint]\ninterval = 250\njson = out/checkpoint.json\n";
+  text += "\n[failure]\ntime = 120\nkind = master-restart\nrecovery = 150\n";
+  const Scenario scenario = parse_scenario_text(text);
+  EXPECT_TRUE(scenario.channel.faulty());
+  EXPECT_DOUBLE_EQ(scenario.channel.drop_to_worker, 0.05);
+  EXPECT_DOUBLE_EQ(scenario.channel.drop_to_master, 0.02);
+  EXPECT_DOUBLE_EQ(scenario.channel.duplicate_to_master, 0.1);
+  EXPECT_DOUBLE_EQ(scenario.channel.reorder_to_worker, 0.2);
+  EXPECT_DOUBLE_EQ(scenario.channel.reorder_delay, 1.5);
+  EXPECT_DOUBLE_EQ(scenario.channel.burst_gap_mean, 300.0);
+  EXPECT_DOUBLE_EQ(scenario.channel.burst_duration, 8.0);
+  EXPECT_DOUBLE_EQ(scenario.channel.rto, 3.0);
+  EXPECT_DOUBLE_EQ(scenario.channel.rto_backoff, 1.5);
+  EXPECT_EQ(scenario.channel.max_retransmits, 4u);
+  EXPECT_TRUE(scenario.checkpoint.enabled);
+  EXPECT_DOUBLE_EQ(scenario.checkpoint.interval, 250.0);
+  EXPECT_EQ(scenario.checkpoint.json_path, "out/checkpoint.json");
+  ASSERT_EQ(scenario.failures.size(), 1u);
+  EXPECT_EQ(scenario.failures[0].kind, sim::SimConfig::FailureKind::kMasterCrashRestart);
+  EXPECT_DOUBLE_EQ(scenario.failures[0].time, 120.0);
+  EXPECT_DOUBLE_EQ(scenario.failures[0].recovery_time, 150.0);
+}
+
+TEST(ScenarioIo, ChannelAndCheckpointRoundTripThroughText) {
+  std::string text = kMinimalScenario;
+  text += "\n[channel]\ndrop-to-worker = 0.1\nduplicate-to-worker = 0.3\n"
+          "reorder-to-master = 0.25\nburst-gap-mean = 200\nburst-duration = 5\n"
+          "rto = 2.5\nmax-retransmits = 6\n";
+  text += "\n[checkpoint]\ninterval = 100\n";
+  text += "\n[failure]\ntime = 60\nkind = master-restart\nrecovery = 90\n";
+  const Scenario original = parse_scenario_text(text);
+  const Scenario reparsed = parse_scenario_text(scenario_to_text(original));
+  EXPECT_DOUBLE_EQ(reparsed.channel.drop_to_worker, original.channel.drop_to_worker);
+  EXPECT_DOUBLE_EQ(reparsed.channel.duplicate_to_worker, original.channel.duplicate_to_worker);
+  EXPECT_DOUBLE_EQ(reparsed.channel.reorder_to_master, original.channel.reorder_to_master);
+  EXPECT_DOUBLE_EQ(reparsed.channel.burst_gap_mean, original.channel.burst_gap_mean);
+  EXPECT_DOUBLE_EQ(reparsed.channel.burst_duration, original.channel.burst_duration);
+  EXPECT_DOUBLE_EQ(reparsed.channel.rto, original.channel.rto);
+  EXPECT_DOUBLE_EQ(reparsed.channel.rto_backoff, original.channel.rto_backoff);
+  EXPECT_EQ(reparsed.channel.max_retransmits, original.channel.max_retransmits);
+  EXPECT_EQ(reparsed.checkpoint.enabled, original.checkpoint.enabled);
+  EXPECT_DOUBLE_EQ(reparsed.checkpoint.interval, original.checkpoint.interval);
+  ASSERT_EQ(reparsed.failures.size(), 1u);
+  EXPECT_EQ(reparsed.failures[0].kind, sim::SimConfig::FailureKind::kMasterCrashRestart);
+  EXPECT_DOUBLE_EQ(reparsed.failures[0].recovery_time, 90.0);
+  // Second serialization is a fixed point.
+  EXPECT_EQ(scenario_to_text(original), scenario_to_text(reparsed));
+}
+
+TEST(ScenarioIo, CleanChannelIsNotSerialized) {
+  const Scenario scenario = parse_scenario_text(kMinimalScenario);
+  EXPECT_FALSE(scenario.channel.faulty());
+  EXPECT_FALSE(scenario.checkpoint.enabled);
+  const std::string text = scenario_to_text(scenario);
+  EXPECT_EQ(text.find("[channel]"), std::string::npos);
+  EXPECT_EQ(text.find("[checkpoint]"), std::string::npos);
+}
+
+TEST(ScenarioIo, RejectsMalformedChannelAndCheckpoint) {
+  const std::string base = kMinimalScenario;
+  // Named sections.
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel lossy]\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[checkpoint c]\n"), std::runtime_error);
+  // Unknown keys.
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\ndrop = 0.1\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[checkpoint]\nperiod = 10\n"),
+               std::runtime_error);
+  // Probabilities outside [0, 1].
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\ndrop-to-worker = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\nduplicate-to-master = -0.1\n"),
+               std::runtime_error);
+  // Degenerate protocol knobs.
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\nreorder-delay = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\nrto = 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\nrto-backoff = 0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[channel]\nmax-retransmits = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[checkpoint]\ninterval = 0\n"),
+               std::runtime_error);
+  // master-restart needs recovery > time.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\ntime = 100\nkind = master-restart\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\ntime = 100\nkind = master-restart\n"
+                                          "recovery = 100\n"),
+               std::invalid_argument);
+  // At most one master-restart per scenario.
+  EXPECT_THROW(
+      parse_scenario_text(base + "\n[failure]\ntime = 10\nkind = master-restart\nrecovery = 20\n"
+                                 "\n[failure]\ntime = 30\nkind = master-restart\nrecovery = 40\n"),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cdsf::core
