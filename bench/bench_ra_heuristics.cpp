@@ -51,8 +51,7 @@ int main(int argc, char** argv) {
       const double joint = evaluator.joint_probability(allocation);
       const double relative = optimal > 0.0 ? joint / optimal : 1.0;
       accumulated[h].relative_quality.add(relative);
-      accumulated[h].micros.add(
-          std::chrono::duration_cast<std::chrono::microseconds>(stop - start).count());
+      accumulated[h].micros.add(std::chrono::duration<double, std::micro>(stop - start).count());
       if (relative > 1.0 - 1e-9) ++accumulated[h].optimal_hits;
     }
   }

@@ -502,8 +502,12 @@ std::string scenario_to_text(const Scenario& scenario) {
 
 std::string paper_scenario_text() {
   const PaperExample example = make_paper_example();
-  return scenario_to_text(
-      Scenario{example.platform, example.cases, example.batch, example.deadline});
+  Scenario scenario;
+  scenario.platform = example.platform;
+  scenario.cases = example.cases;
+  scenario.batch = example.batch;
+  scenario.deadline = example.deadline;
+  return scenario_to_text(scenario);
 }
 
 }  // namespace cdsf::core

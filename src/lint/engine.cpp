@@ -1,0 +1,112 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::lint {
+
+namespace {
+
+bool diagnostic_order(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace
+
+LintResult run_rules(const std::vector<SourceFile>& files,
+                     const std::vector<std::unique_ptr<Rule>>& rules) {
+  std::set<std::string, std::less<>> known_rules;
+  for (const auto& rule : rules) known_rules.emplace(rule->id());
+
+  LintResult result;
+  result.files_scanned = files.size();
+  for (const SourceFile& file : files) {
+    std::vector<Diagnostic> found;
+    for (const auto& rule : rules) rule->check(file, found);
+    std::sort(found.begin(), found.end(), diagnostic_order);
+    for (Diagnostic& diagnostic : found) {
+      if (file.suppressed(diagnostic.rule, diagnostic.line)) {
+        diagnostic.suppressed = true;
+        result.suppressed.push_back(std::move(diagnostic));
+      } else {
+        result.violations.push_back(std::move(diagnostic));
+      }
+    }
+    // A marker naming a rule nobody registered is a typo that would
+    // otherwise rot silently once the rule it meant is renamed.
+    for (const Suppression& suppression : file.suppressions()) {
+      if (known_rules.count(suppression.rule) == 0) {
+        result.violations.push_back(
+            {file.path(), suppression.line, "unknown-suppression",
+             "suppression names unknown rule '" + suppression.rule + "'", false});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> collect_sources(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path root(path);
+  if (!fs::exists(root)) throw std::runtime_error("no such path: " + path);
+  std::vector<std::string> sources;
+  if (fs::is_regular_file(root)) {
+    sources.push_back(root.generic_string());
+    return sources;
+  }
+  for (const fs::directory_entry& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") {
+      sources.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+std::string to_text(const LintResult& result) {
+  std::ostringstream out;
+  for (const Diagnostic& d : result.violations) {
+    out << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message << "\n";
+  }
+  for (const Diagnostic& d : result.suppressed) {
+    out << d.file << ":" << d.line << ": note: suppressed [" << d.rule << "] " << d.message
+        << "\n";
+  }
+  out << "cdsf_lint: " << result.files_scanned << " file(s), " << result.violations.size()
+      << " violation(s), " << result.suppressed.size() << " suppressed\n";
+  return out.str();
+}
+
+obs::Json to_json(const LintResult& result) {
+  auto diagnostics_json = [](const std::vector<Diagnostic>& diagnostics) {
+    obs::Json array = obs::Json::array();
+    for (const Diagnostic& d : diagnostics) {
+      obs::Json entry = obs::Json::object();
+      entry.set("file", d.file);
+      entry.set("line", d.line);
+      entry.set("rule", d.rule);
+      entry.set("message", d.message);
+      array.push_back(std::move(entry));
+    }
+    return array;
+  };
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", kLintReportSchema);
+  doc.set("files_scanned", result.files_scanned);
+  doc.set("violation_count", result.violations.size());
+  doc.set("suppression_count", result.suppressed.size());
+  doc.set("clean", result.clean());
+  doc.set("violations", diagnostics_json(result.violations));
+  doc.set("suppressions", diagnostics_json(result.suppressed));
+  return doc;
+}
+
+}  // namespace cdsf::lint

@@ -1,0 +1,53 @@
+// Lint engine: runs a rule set over SourceFiles, applies suppressions,
+// validates suppression markers, and renders text / JSON reports.
+//
+// Exit-code contract (shared with the cdsf_lint CLI and the fixture tests):
+//   0 — clean (suppressed findings allowed)
+//   1 — at least one active violation
+//   2 — usage or I/O error
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "obs/json.hpp"
+
+namespace cdsf::lint {
+
+/// JSON schema tag stamped on --json reports.
+inline constexpr const char* kLintReportSchema = "cdsf.lint_report/1";
+
+struct LintResult {
+  std::vector<Diagnostic> violations;   ///< Active findings (fail the run).
+  std::vector<Diagnostic> suppressed;   ///< Findings silenced by allow(...).
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
+  /// 0 when clean, 1 otherwise (see exit-code contract above).
+  [[nodiscard]] int exit_code() const noexcept { return clean() ? 0 : 1; }
+};
+
+/// Runs every rule over every file. Diagnostics on lines covered by an
+/// `allow(...)` land in `suppressed`; a marker naming an unknown rule id is
+/// itself an active violation (rule id "unknown-suppression") so typos
+/// cannot silently disable enforcement. Output order is deterministic:
+/// files in the order given, diagnostics by line then rule id.
+[[nodiscard]] LintResult run_rules(const std::vector<SourceFile>& files,
+                                   const std::vector<std::unique_ptr<Rule>>& rules);
+
+/// Recursively collects C++ sources (.hpp/.h/.cpp/.cc) under `path` in
+/// sorted order; a file path is returned as-is. Throws std::runtime_error
+/// when `path` does not exist.
+[[nodiscard]] std::vector<std::string> collect_sources(const std::string& path);
+
+/// Human-readable rendering: one gcc-style line per finding, suppressions
+/// listed as notes, and a one-line summary.
+[[nodiscard]] std::string to_text(const LintResult& result);
+
+/// Machine-readable rendering ({schema: cdsf.lint_report/1, ...}).
+[[nodiscard]] obs::Json to_json(const LintResult& result);
+
+}  // namespace cdsf::lint

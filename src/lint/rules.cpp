@@ -1,0 +1,401 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace cdsf::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string normalize(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool has_segment(std::string_view path, std::string_view segment) {
+  const std::string normalized = normalize(path);
+  // append() instead of operator+ (GCC 12 -O3 -Wrestrict false positive).
+  std::string infix = "/";
+  infix.append(segment).append("/");
+  if (normalized.find(infix) != std::string::npos) return true;
+  std::string prefix(segment);
+  prefix.append("/");
+  return normalized.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Offset of the next word-bounded occurrence of `word` in `text` at or
+/// after `from`; npos when absent.
+std::size_t find_word(std::string_view text, std::string_view word, std::size_t from = 0) {
+  std::size_t pos = text.find(word, from);
+  while (pos != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = text.find(word, pos + 1);
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  return pos;
+}
+
+/// Last non-whitespace offset strictly before `pos`; npos when none.
+std::size_t prev_non_ws(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// Offset just past the bracket-matched region opened by the bracket at
+/// `open` ('(' / '<' / '{'); npos when unbalanced. '<' matching is a
+/// heuristic good enough for template argument lists in declarations.
+std::size_t match_bracket(std::string_view text, std::size_t open) {
+  const char open_char = text[open];
+  const char close_char = open_char == '(' ? ')' : open_char == '<' ? '>' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == open_char) {
+      ++depth;
+    } else if (c == close_char) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// rng-source
+
+class RngSourceRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "rng-source"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "raw C/std random sources outside util/rng.hpp break single-seed reproducibility";
+  }
+  void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    if (ends_with(normalize(file.path()), "util/rng.hpp")) return;
+    const std::string_view text = file.scrubbed();
+    // Call-form tokens: flag only when invoked, so a member or local named
+    // e.g. `rand_limit` never matches.
+    static constexpr std::array<std::string_view, 4> kCalls = {"rand", "srand", "rand_r",
+                                                               "drand48"};
+    for (const std::string_view token : kCalls) {
+      for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
+           pos = find_word(text, token, pos + 1)) {
+        const std::size_t after = skip_ws(text, pos + token.size());
+        if (after < text.size() && text[after] == '(') {
+          out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                         std::string(token) +
+                             "() is unseeded; draw from util::RngStream (util/rng.hpp) instead",
+                         false});
+        }
+      }
+    }
+    // Type tokens: any mention is a violation — constructing a raw engine
+    // or an entropy source bypasses the SplitMix64 seed fan-out.
+    static constexpr std::array<std::string_view, 9> kTypes = {
+        "random_device", "mt19937",  "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
+    for (const std::string_view token : kTypes) {
+      for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
+           pos = find_word(text, token, pos + 1)) {
+        out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                       "std::" + std::string(token) +
+                           " bypasses the seed fan-out; use util::RngStream / "
+                           "util::SeedSequence (util/rng.hpp)",
+                       false});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// wall-clock
+
+class WallClockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "wall-clock"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "wall/monotonic clock reads in sim/, dls/, cdsf/ make deterministic paths time-dependent";
+  }
+  void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    if (!in_deterministic_path(file.path())) return;
+    const std::string_view text = file.scrubbed();
+    static constexpr std::array<std::string_view, 11> kTokens = {
+        "system_clock", "steady_clock",  "high_resolution_clock", "file_clock",
+        "utc_clock",    "gettimeofday",  "clock_gettime",         "timespec_get",
+        "localtime",    "gmtime",        "strftime"};
+    for (const std::string_view token : kTokens) {
+      for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
+           pos = find_word(text, token, pos + 1)) {
+        out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                       std::string(token) +
+                           " reads the host clock; deterministic paths must derive time from "
+                           "the simulation clock or an explicit parameter",
+                       false});
+      }
+    }
+    // C `time(...)` / `clock(...)` calls: member calls (obj.time(...),
+    // obj->clock(...)) are someone's API, not the libc clock — skip those.
+    static constexpr std::array<std::string_view, 2> kCCalls = {"time", "clock"};
+    for (const std::string_view token : kCCalls) {
+      for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
+           pos = find_word(text, token, pos + 1)) {
+        const std::size_t after = skip_ws(text, pos + token.size());
+        if (after >= text.size() || text[after] != '(') continue;
+        const std::size_t before = prev_non_ws(text, pos);
+        if (before != std::string_view::npos &&
+            (text[before] == '.' ||
+             (text[before] == '>' && before > 0 && text[before - 1] == '-'))) {
+          continue;
+        }
+        // A preceding identifier means a declaration (`long time() const`),
+        // not a call — unless it is a statement keyword (`return time(0)`).
+        if (before != std::string_view::npos && is_ident_char(text[before])) {
+          std::size_t start = before;
+          while (start > 0 && is_ident_char(text[start - 1])) --start;
+          const std::string_view prev_token = text.substr(start, before + 1 - start);
+          static constexpr std::array<std::string_view, 5> kCallKeywords = {
+              "return", "co_return", "co_yield", "throw", "case"};
+          if (std::find(kCallKeywords.begin(), kCallKeywords.end(), prev_token) ==
+              kCallKeywords.end()) {
+            continue;
+          }
+        }
+        out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                       std::string(token) +
+                           "() reads the host clock; deterministic paths must derive time "
+                           "from the simulation clock or an explicit parameter",
+                       false});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+class UnorderedIterationRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "unordered-iteration"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "iterating an unordered container yields nondeterministic order in reports/traces/reductions";
+  }
+  void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    const std::string_view text = file.scrubbed();
+    // Pass 1: names declared in this file with an unordered container type.
+    static constexpr std::array<std::string_view, 4> kContainers = {
+        "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+    std::vector<std::string> names;
+    for (const std::string_view container : kContainers) {
+      for (std::size_t pos = find_word(text, container); pos != std::string_view::npos;
+           pos = find_word(text, container, pos + 1)) {
+        std::size_t cursor = skip_ws(text, pos + container.size());
+        if (cursor >= text.size() || text[cursor] != '<') continue;
+        cursor = match_bracket(text, cursor);
+        if (cursor == std::string_view::npos) continue;
+        cursor = skip_ws(text, cursor);
+        while (cursor < text.size() && (text[cursor] == '*' || text[cursor] == '&')) {
+          cursor = skip_ws(text, cursor + 1);
+        }
+        std::size_t name_end = cursor;
+        while (name_end < text.size() && is_ident_char(text[name_end])) ++name_end;
+        if (name_end > cursor) names.emplace_back(text.substr(cursor, name_end - cursor));
+      }
+    }
+    if (names.empty()) return;
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+
+    auto flag = [&](std::size_t pos, const std::string& name) {
+      out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                     "iteration over unordered container '" + name +
+                         "' is nondeterministic; use std::map/std::set or copy + sort "
+                         "before iterating",
+                     false});
+    };
+    // Pass 2a: range-for whose range expression mentions a tracked name.
+    for (std::size_t pos = find_word(text, "for"); pos != std::string_view::npos;
+         pos = find_word(text, "for", pos + 1)) {
+      const std::size_t open = skip_ws(text, pos + 3);
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::size_t close = match_bracket(text, open);
+      if (close == std::string_view::npos) continue;
+      const std::string_view header = text.substr(open, close - open);
+      std::size_t colon = std::string_view::npos;
+      for (std::size_t i = 1; i + 1 < header.size(); ++i) {
+        if (header[i] == ':' && header[i - 1] != ':' && header[i + 1] != ':') {
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string_view::npos) continue;
+      const std::string_view range = header.substr(colon + 1);
+      for (const std::string& name : names) {
+        if (find_word(range, name) != std::string_view::npos) {
+          flag(pos, name);
+          break;
+        }
+      }
+    }
+    // Pass 2b: explicit iterator walks. `.begin()` is the iteration signal;
+    // `.end()` alone is the `find() != end()` lookup idiom and stays legal.
+    static constexpr std::array<std::string_view, 4> kIterFns = {"begin", "cbegin", "rbegin",
+                                                                 "crbegin"};
+    for (const std::string& name : names) {
+      for (std::size_t pos = find_word(text, name); pos != std::string_view::npos;
+           pos = find_word(text, name, pos + 1)) {
+        std::size_t cursor = skip_ws(text, pos + name.size());
+        if (cursor >= text.size() || text[cursor] != '.') continue;
+        cursor = skip_ws(text, cursor + 1);
+        for (const std::string_view fn : kIterFns) {
+          if (text.compare(cursor, fn.size(), fn) == 0) {
+            const std::size_t after = skip_ws(text, cursor + fn.size());
+            if (after < text.size() && text[after] == '(' &&
+                !is_ident_char(text[cursor + fn.size()])) {
+              flag(pos, name);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// bare-mutex-lock
+
+class BareMutexLockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "bare-mutex-lock"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "bare lock()/unlock() calls leak on exceptions; use std::scoped_lock / lock_guard";
+  }
+  void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    const std::string_view text = file.scrubbed();
+    static constexpr std::array<std::string_view, 3> kMembers = {"lock", "unlock", "try_lock"};
+    for (const std::string_view member : kMembers) {
+      for (std::size_t pos = find_word(text, member); pos != std::string_view::npos;
+           pos = find_word(text, member, pos + 1)) {
+        const std::size_t after = skip_ws(text, pos + member.size());
+        if (after >= text.size() || text[after] != '(') continue;
+        const std::size_t before = prev_non_ws(text, pos);
+        const bool member_call =
+            before != std::string_view::npos &&
+            (text[before] == '.' ||
+             (text[before] == '>' && before > 0 && text[before - 1] == '-'));
+        if (!member_call) continue;
+        // weak_ptr::lock() is the idiomatic promotion, not a mutex grab:
+        // exempt receivers whose name mentions ptr/weak.
+        const std::size_t recv_start = before > 0 && text[before] == '>' ? before - 1 : before;
+        std::size_t recv = recv_start;
+        while (recv > 0 && is_ident_char(text[recv - 1])) --recv;
+        const std::string_view receiver = text.substr(recv, recv_start - recv);
+        if (receiver.find("ptr") != std::string_view::npos ||
+            receiver.find("weak") != std::string_view::npos) {
+          continue;
+        }
+        out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                       "bare ." + std::string(member) +
+                           "() is not exception-safe; hold mutexes through std::scoped_lock, "
+                           "std::lock_guard, or std::unique_lock",
+                       false});
+      }
+    }
+    for (const std::string_view fn : {std::string_view("pthread_mutex_lock"),
+                                      std::string_view("pthread_mutex_unlock")}) {
+      for (std::size_t pos = find_word(text, fn); pos != std::string_view::npos;
+           pos = find_word(text, fn, pos + 1)) {
+        out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                       std::string(fn) + " bypasses RAII; use std::mutex with std::scoped_lock",
+                       false});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// report-schema-tag
+
+class ReportSchemaTagRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "report-schema-tag"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "every Json make_*report() in src/obs/ must stamp a \"schema\" key on its document";
+  }
+  void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    if (!has_segment(file.path(), "obs")) return;
+    const std::string_view text = file.scrubbed();
+    for (std::size_t pos = text.find("make_"); pos != std::string::npos;
+         pos = text.find("make_", pos + 1)) {
+      if (pos > 0 && is_ident_char(text[pos - 1])) continue;
+      std::size_t name_end = pos;
+      while (name_end < text.size() && is_ident_char(text[name_end])) ++name_end;
+      const std::string_view name = text.substr(pos, name_end - pos);
+      if (name.find("report") == std::string_view::npos) continue;
+      // Require a Json return type right before the name (obs::Json included,
+      // as `Json` is then the preceding identifier token as well).
+      const std::size_t before = prev_non_ws(text, pos);
+      if (before == std::string_view::npos || before < 3 ||
+          text.compare(before - 3, 4, "Json") != 0 ||
+          (before >= 4 && is_ident_char(text[before - 4]))) {
+        continue;
+      }
+      std::size_t cursor = skip_ws(text, name_end);
+      if (cursor >= text.size() || text[cursor] != '(') continue;
+      cursor = match_bracket(text, cursor);
+      if (cursor == std::string_view::npos) continue;
+      cursor = skip_ws(text, cursor);
+      if (cursor >= text.size() || text[cursor] != '{') continue;  // declaration only
+      const std::size_t body_end = match_bracket(text, cursor);
+      if (body_end == std::string_view::npos) continue;
+      // Literal contents are blanked in the scrubbed view; the raw view is
+      // offset-aligned, so read the body there to find set("schema").
+      const std::string_view body =
+          std::string_view(file.raw()).substr(cursor, body_end - cursor);
+      if (body.find("set(\"schema\"") == std::string_view::npos) {
+        out.push_back({file.path(), file.line_of(pos), std::string(id()),
+                       std::string(name) +
+                           " builds a report document without set(\"schema\", ...); consumers "
+                           "cannot version-gate it",
+                       false});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool in_deterministic_path(std::string_view path) {
+  return has_segment(path, "sim") || has_segment(path, "dls") || has_segment(path, "cdsf");
+}
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<RngSourceRule>());
+  rules.push_back(std::make_unique<WallClockRule>());
+  rules.push_back(std::make_unique<UnorderedIterationRule>());
+  rules.push_back(std::make_unique<BareMutexLockRule>());
+  rules.push_back(std::make_unique<ReportSchemaTagRule>());
+  return rules;
+}
+
+}  // namespace cdsf::lint

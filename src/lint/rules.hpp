@@ -1,0 +1,63 @@
+// Rule interface and the built-in CDSF rule set for cdsf_lint.
+//
+// Rules are lexical: they pattern-match identifiers in the scrubbed view of
+// a SourceFile (comments and literal contents blanked), so they are fast,
+// dependency-free, and immune to matches inside strings or comments. They
+// are deliberately conservative approximations of the real invariants —
+// the escape hatch for a justified exception is a
+// `// cdsf-lint: allow(<rule>)` suppression, which the engine counts and
+// lists rather than hides.
+//
+// Built-in rules (ids are stable; docs/static_analysis.md documents each):
+//   rng-source          — no rand()/srand()/std::random_device/raw std
+//                         engines outside util/rng.hpp; all randomness
+//                         must flow from util::RngStream / SeedSequence.
+//   wall-clock          — no wall/monotonic clock reads in the
+//                         deterministic subsystems (sim/, dls/, cdsf/).
+//   unordered-iteration — no iteration over std::unordered_{map,set,...}
+//                         declared in the same file; iteration order is
+//                         nondeterministic and poisons reports, traces,
+//                         and replicated-run reductions.
+//   bare-mutex-lock     — no bare .lock()/.unlock() calls; use the RAII
+//                         guards (std::scoped_lock & friends).
+//   report-schema-tag   — every `Json make_*report(...)` in src/obs/ must
+//                         stamp a "schema" key on the document it builds.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace cdsf::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable kebab-case id used in diagnostics and allow(...) comments.
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  /// One-line human description for --list-rules.
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+  /// Emits diagnostics for `file` (suppressions are applied by the engine).
+  virtual void check(const SourceFile& file, std::vector<Diagnostic>& out) const = 0;
+};
+
+/// The full built-in rule set, in stable order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> default_rules();
+
+/// True when `path` lies in a deterministic subsystem (a /sim/, /dls/, or
+/// /cdsf/ path segment) where wall-clock reads are forbidden.
+[[nodiscard]] bool in_deterministic_path(std::string_view path);
+
+}  // namespace cdsf::lint

@@ -1,0 +1,221 @@
+#include "lint/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdsf::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-';
+}
+
+/// Parses `cdsf-lint: allow(...)` / `allow-file(...)` out of one comment
+/// body. `comment_line` is where the comment starts; `own_line` means only
+/// whitespace precedes the comment on that line, in which case a line-level
+/// suppression targets the next line instead.
+void parse_suppressions(std::string_view comment, std::size_t comment_line, bool own_line,
+                        std::vector<Suppression>& out) {
+  static constexpr std::string_view kMarker = "cdsf-lint:";
+  std::size_t pos = comment.find(kMarker);
+  while (pos != std::string_view::npos) {
+    std::size_t cursor = pos + kMarker.size();
+    while (cursor < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[cursor])) != 0) {
+      ++cursor;
+    }
+    bool file_wide = false;
+    static constexpr std::string_view kAllowFile = "allow-file(";
+    static constexpr std::string_view kAllow = "allow(";
+    if (comment.compare(cursor, kAllowFile.size(), kAllowFile) == 0) {
+      file_wide = true;
+      cursor += kAllowFile.size();
+    } else if (comment.compare(cursor, kAllow.size(), kAllow) == 0) {
+      cursor += kAllow.size();
+    } else {
+      pos = comment.find(kMarker, pos + kMarker.size());
+      continue;
+    }
+    const std::size_t close = comment.find(')', cursor);
+    if (close == std::string_view::npos) break;
+    // Comma-separated rule ids inside the parentheses. An entry containing
+    // anything but [ident chars, '-'] is a placeholder (docs write
+    // `allow(<rule>)`) and is discarded, not stripped to a bogus id.
+    std::string rule;
+    bool valid = true;
+    for (std::size_t i = cursor; i <= close; ++i) {
+      const char c = i < close ? comment[i] : ',';
+      if (c == ',') {
+        if (valid && !rule.empty()) {
+          Suppression s;
+          s.rule = rule;
+          s.line = comment_line;
+          s.file_wide = file_wide;
+          s.target_line = file_wide ? 0 : (own_line ? comment_line + 1 : comment_line);
+          out.push_back(std::move(s));
+        }
+        rule.clear();
+        valid = true;
+      } else if (is_ident_char(c)) {
+        rule += c;
+      } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        valid = false;
+      }
+    }
+    pos = comment.find(kMarker, close);
+  }
+}
+
+}  // namespace
+
+SourceFile SourceFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cdsf_lint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return SourceFile(path, buffer.str());
+}
+
+SourceFile SourceFile::from_string(std::string path, std::string text) {
+  return SourceFile(std::move(path), std::move(text));
+}
+
+SourceFile::SourceFile(std::string path, std::string text)
+    : path_(std::move(path)), raw_(std::move(text)) {
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    if (raw_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+  scrub();
+}
+
+std::size_t SourceFile::line_of(std::size_t offset) const {
+  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<std::size_t>(it - line_starts_.begin());
+}
+
+bool SourceFile::suppressed(std::string_view rule, std::size_t line) const {
+  for (const Suppression& s : suppressions_) {
+    if (s.rule != rule) continue;
+    if (s.file_wide || s.target_line == line || s.line == line) return true;
+  }
+  return false;
+}
+
+void SourceFile::scrub() {
+  scrubbed_ = raw_;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;           // raw-string delimiter, e.g. )foo"
+  std::size_t comment_start = 0;   // offset where the current comment began
+  bool comment_own_line = false;
+
+  auto only_ws_before = [&](std::size_t offset) {
+    const std::size_t line_start = line_starts_[line_of(offset) - 1];
+    for (std::size_t i = line_start; i < offset; ++i) {
+      if (std::isspace(static_cast<unsigned char>(raw_[i])) == 0) return false;
+    }
+    return true;
+  };
+  auto finish_comment = [&](std::size_t end_offset) {
+    parse_suppressions(std::string_view(raw_).substr(comment_start, end_offset - comment_start),
+                       line_of(comment_start), comment_own_line, suppressions_);
+  };
+
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const char c = raw_[i];
+    const char next = i + 1 < raw_.size() ? raw_[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_start = i;
+          comment_own_line = only_ws_before(i);
+          scrubbed_[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_start = i;
+          comment_own_line = only_ws_before(i);
+          scrubbed_[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident_char(raw_[i - 1]))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t paren = i + 2;
+          while (paren < raw_.size() && raw_[paren] != '(') ++paren;
+          // push_back/append instead of operator+ or literal assignment:
+          // GCC 12 at -O3 misattributes the temporary-string copies here as
+          // overlapping memcpy (-Wrestrict).
+          raw_delim.clear();
+          raw_delim.push_back(')');
+          raw_delim.append(raw_, i + 2, paren - (i + 2));
+          raw_delim.push_back('"');
+          state = State::kRawString;
+          i = paren;  // keep prefix + opening paren visible
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !is_ident_char(raw_[i - 1]))) {
+          // Ident check keeps digit separators (1'000'000) out of char state.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          finish_comment(i);
+          state = State::kCode;
+        } else {
+          scrubbed_[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          finish_comment(i + 2);
+          scrubbed_[i] = ' ';
+          scrubbed_[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          scrubbed_[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          scrubbed_[i] = ' ';
+          if (next != '\n') scrubbed_[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          scrubbed_[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          scrubbed_[i] = ' ';
+          if (next != '\n') scrubbed_[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          scrubbed_[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (raw_.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;  // keep the closing )delim" visible
+          state = State::kCode;
+        } else if (c != '\n') {
+          scrubbed_[i] = ' ';
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    finish_comment(raw_.size());
+  }
+}
+
+}  // namespace cdsf::lint

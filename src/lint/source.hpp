@@ -1,0 +1,65 @@
+// Lexical front end for cdsf_lint.
+//
+// SourceFile loads one translation unit and produces a "scrubbed" copy of
+// the text in which comment bodies and string/character-literal contents
+// are replaced by spaces of the same length. Scrubbed and raw text are
+// byte-for-byte aligned (identical offsets and line structure), so rules
+// can pattern-match code in the scrubbed view and still read literal
+// contents from the raw view at the same offset when they need to.
+//
+// Suppression comments are collected during the same pass:
+//   // cdsf-lint: allow(<rule>, <rule>)   — suppresses on this line (or the
+//                                           next line when the comment
+//                                           stands alone on its line)
+//   // cdsf-lint: allow-file(<rule>)      — suppresses for the whole file
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdsf::lint {
+
+/// One parsed `cdsf-lint: allow(...)` / `allow-file(...)` marker.
+struct Suppression {
+  std::string rule;        ///< Rule id named inside allow(...).
+  std::size_t line = 0;    ///< 1-based line the comment starts on.
+  std::size_t target_line = 0;  ///< Line the suppression applies to (0 when file-wide).
+  bool file_wide = false;
+};
+
+class SourceFile {
+ public:
+  /// Reads `path` from disk. Throws std::runtime_error when unreadable.
+  static SourceFile load(const std::string& path);
+  /// Builds a SourceFile from an in-memory buffer (tests, fixtures).
+  static SourceFile from_string(std::string path, std::string text);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Raw text as read from disk.
+  [[nodiscard]] const std::string& raw() const noexcept { return raw_; }
+  /// Comment bodies and literal contents blanked; same length as raw().
+  [[nodiscard]] const std::string& scrubbed() const noexcept { return scrubbed_; }
+  [[nodiscard]] const std::vector<Suppression>& suppressions() const noexcept {
+    return suppressions_;
+  }
+
+  /// 1-based line number of byte offset `offset` into raw()/scrubbed().
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const;
+
+  /// True when `rule` is suppressed at `line` (line-level or file-wide).
+  [[nodiscard]] bool suppressed(std::string_view rule, std::size_t line) const;
+
+ private:
+  SourceFile(std::string path, std::string text);
+  void scrub();
+
+  std::string path_;
+  std::string raw_;
+  std::string scrubbed_;
+  std::vector<std::size_t> line_starts_;  // byte offset of each line start
+  std::vector<Suppression> suppressions_;
+};
+
+}  // namespace cdsf::lint

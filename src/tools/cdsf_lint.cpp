@@ -1,0 +1,113 @@
+// cdsf_lint — CDSF-specific concurrency & determinism lint.
+//
+// Usage:
+//   cdsf_lint [--json] [--rule <id> ...] [--list-rules] <path> [<path> ...]
+//
+// Paths may be files or directories (directories are scanned recursively
+// for .hpp/.h/.cpp/.cc, in sorted order, so output is stable). The rule
+// set and suppression syntax are documented in docs/static_analysis.md.
+//
+// Exit codes: 0 clean, 1 violations, 2 usage/I-O error.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.hpp"
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: cdsf_lint [--json] [--rule <id> ...] [--list-rules] <path> [<path> ...]\n"
+         "\n"
+         "CDSF concurrency & determinism lint. Scans C++ sources for rule\n"
+         "violations (unseeded RNG, wall-clock reads in deterministic paths,\n"
+         "unordered-container iteration, bare mutex lock/unlock, untagged\n"
+         "report documents). See docs/static_analysis.md.\n"
+         "\n"
+         "  --json        machine-readable report on stdout (cdsf.lint_report/1)\n"
+         "  --rule <id>   run only the named rule (repeatable)\n"
+         "  --list-rules  print rule ids + summaries and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> only_rules;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--rule") {
+      if (i + 1 >= argc) {
+        std::cerr << "cdsf_lint: --rule needs an argument\n";
+        return 2;
+      }
+      only_rules.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cdsf_lint: unknown flag " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  auto rules = cdsf::lint::default_rules();
+  if (list_rules) {
+    for (const auto& rule : rules) {
+      std::cout << rule->id() << " — " << rule->summary() << "\n";
+    }
+    return 0;
+  }
+  if (!only_rules.empty()) {
+    for (const std::string& id : only_rules) {
+      bool known = false;
+      for (const auto& rule : rules) known = known || rule->id() == id;
+      if (!known) {
+        std::cerr << "cdsf_lint: unknown rule '" << id << "' (see --list-rules)\n";
+        return 2;
+      }
+    }
+    std::erase_if(rules, [&](const auto& rule) {
+      for (const std::string& id : only_rules) {
+        if (rule->id() == id) return false;
+      }
+      return true;
+    });
+  }
+  if (paths.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    std::vector<cdsf::lint::SourceFile> files;
+    for (const std::string& path : paths) {
+      for (const std::string& source : cdsf::lint::collect_sources(path)) {
+        files.push_back(cdsf::lint::SourceFile::load(source));
+      }
+    }
+    const cdsf::lint::LintResult result = cdsf::lint::run_rules(files, rules);
+    if (json) {
+      std::cout << cdsf::lint::to_json(result).dump(1) << "\n";
+    } else {
+      std::cout << cdsf::lint::to_text(result);
+    }
+    return result.exit_code();
+  } catch (const std::exception& error) {
+    std::cerr << "cdsf_lint: " << error.what() << "\n";
+    return 2;
+  }
+}

@@ -49,17 +49,19 @@ std::string Table::render() const {
     }
     return out;
   };
+  // append() instead of operator+ chains: GCC 12 -O3 misattributes the
+  // temporary-string concatenation here as overlapping memcpy (-Wrestrict).
   auto rule = [&] {
     std::string line = "+";
-    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
-    return line + "\n";
+    for (std::size_t w : widths) line.append(w + 2, '-').append("+");
+    return line.append("\n");
   };
   auto emit_row = [&](const std::vector<std::string>& cells) {
     std::string line = "|";
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      line += " " + pad(c < cells.size() ? cells[c] : std::string(), c) + " |";
+      line.append(" ").append(pad(c < cells.size() ? cells[c] : std::string(), c)).append(" |");
     }
-    return line + "\n";
+    return line.append("\n");
   };
 
   std::ostringstream out;

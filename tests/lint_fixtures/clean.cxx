@@ -1,0 +1,30 @@
+// Clean fixture: satisfies every cdsf_lint rule. The engine is lexical, so
+// nothing here needs to actually compile against the library headers.
+#include <map>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+// Ordered container: iteration is deterministic and therefore legal.
+int sum_in_order(const std::map<int, int>& values) {
+  int total = 0;
+  for (const auto& [key, value] : values) total += key + value;
+  return total;
+}
+
+// Randomness flows from the seeded stream, never a raw engine.
+double draw(cdsf::util::RngStream& rng) { return rng.uniform01(); }
+
+// Mutexes are held through RAII guards.
+int guarded(std::mutex& mutex, int& shared) {
+  std::scoped_lock lock(mutex);
+  return ++shared;
+}
+
+// Mentioning rand or system_clock in a comment or "inside a string
+// with rand() and steady_clock" must not trip the scrubber.
+const char* kDecoy = "rand() and std::chrono::system_clock::now() in a string";
+
+}  // namespace fixture

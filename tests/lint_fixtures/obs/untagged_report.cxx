@@ -1,0 +1,21 @@
+// Violating fixture for report-schema-tag: the /obs/ path segment marks
+// this file as report-emitting, where every `Json make_*report()` must
+// stamp a "schema" key. Line numbers are asserted exactly by test_lint.cpp.
+#include "obs/json.hpp"
+
+namespace cdsf::obs {
+
+Json make_bad_report(int value) {  // line 8: report-schema-tag
+  Json doc = Json::object();
+  doc.set("value", value);
+  return doc;
+}
+
+Json make_good_report(int value) {  // clean: stamps the schema tag
+  Json doc = Json::object();
+  doc.set("schema", "fixture.report/1");
+  doc.set("value", value);
+  return doc;
+}
+
+}  // namespace cdsf::obs

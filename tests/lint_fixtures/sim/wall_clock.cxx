@@ -1,0 +1,23 @@
+// Violating fixture for the wall-clock rule: the /sim/ path segment marks
+// this file as a deterministic subsystem, where host-clock reads are
+// forbidden. Line numbers are asserted exactly by test_lint.cpp.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double wall_now_seconds() {
+  const auto now = std::chrono::system_clock::now();  // line 10: wall-clock
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long wall_stamp() { return std::time(nullptr); }  // line 14: wall-clock
+
+// Member calls spelled `time(` belong to someone's API, not libc.
+struct Event {
+  long when = 0;
+  long time() const { return when; }
+};
+long event_time(const Event& event) { return event.time(); }  // clean
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Suppression fixture: the same violations as violations.cxx, each silenced
+// by a cdsf-lint marker. The engine must report zero active violations and
+// list every suppressed finding. Line numbers are asserted exactly by
+// test_lint.cpp.
+#include <cstdlib>
+#include <mutex>
+
+namespace fixture {
+
+// A stand-alone marker applies to the next line.
+// cdsf-lint: allow(rng-source)
+int dice() { return std::rand() % 6; }  // line 12: suppressed
+
+std::mutex state_mutex;
+
+void locked() {
+  state_mutex.lock();    // line 17: suppressed -- cdsf-lint: allow(bare-mutex-lock)
+  state_mutex.unlock();  // line 18: suppressed -- cdsf-lint: allow(bare-mutex-lock)
+}
+
+}  // namespace fixture

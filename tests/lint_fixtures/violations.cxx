@@ -1,0 +1,30 @@
+// Violating fixture for the path-independent rules. Line numbers are
+// asserted exactly by test_lint.cpp — keep edits append-only or update the
+// expectations there.
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+int unseeded_dice() { return std::rand() % 6; }  // line 11: rng-source
+
+std::mt19937 engine{std::random_device{}()};  // line 13: rng-source x2
+
+std::unordered_map<int, int> table;
+
+int sum_unordered() {
+  int total = 0;
+  for (const auto& [key, value] : table) total += value;  // line 19: unordered-iteration
+  return total;
+}
+
+std::mutex state_mutex;
+
+void bare_locking() {
+  state_mutex.lock();    // line 26: bare-mutex-lock
+  state_mutex.unlock();  // line 27: bare-mutex-lock
+}
+
+}  // namespace fixture

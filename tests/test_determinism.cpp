@@ -1,0 +1,88 @@
+// Byte-level determinism of the serialized observability outputs: the
+// report and trace documents for the same (scenario, seed) must be
+// IDENTICAL bytes run after run and — for the replicated reduction —
+// across thread counts. This is the regression net behind the
+// unordered-iteration lint rule: a nondeterministically ordered container
+// anywhere in the report/trace emission paths shows up here as a byte
+// diff long before a human notices reordered JSON keys.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "sim/loop_executor.hpp"
+#include "test_support.hpp"
+
+namespace cdsf {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260805;
+
+sim::SimConfig traced_config() {
+  sim::SimConfig config;
+  config.collect_trace = true;
+  return config;
+}
+
+sim::RunResult run_once() {
+  return sim::simulate_loop(test::simple_app("app", 100, 2000, {5.0, 3.0}), 0, 4,
+                            test::full_availability(2), dls::TechniqueId::kFAC,
+                            traced_config(), kSeed);
+}
+
+TEST(Determinism, RunReportBytesAreIdenticalAcrossRepeatedRuns) {
+  const std::string first = obs::make_run_report("det", run_once(), 5000.0).dump(1);
+  const std::string second = obs::make_run_report("det", run_once(), 5000.0).dump(1);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Determinism, TraceBytesAreIdenticalAcrossRepeatedRuns) {
+  auto render = [] {
+    obs::TraceSink sink;
+    obs::TraceSink::RunOptions options;
+    options.pid = 0;
+    options.process_name = "det";
+    sink.append_run(run_once(), options);
+    return sink.to_string();
+  };
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Determinism, ReplicationSummaryReportBytesAreThreadCountInvariant) {
+  auto render = [](std::size_t threads) {
+    const sim::ReplicationSummary summary = sim::simulate_replicated(
+        test::simple_app("app", 100, 2000, {5.0, 3.0}), 0, 4, test::full_availability(2),
+        dls::TechniqueId::kAWF_B, sim::SimConfig{}, kSeed, 16, 4000.0, threads);
+    return obs::to_json(summary, 4000.0).dump(1);
+  };
+  const std::string serial = render(1);
+  EXPECT_EQ(serial, render(2));
+  EXPECT_EQ(serial, render(4));
+}
+
+TEST(Determinism, MetricsSnapshotOrderIsInsertionOrderInvariant) {
+  // Same metric names registered in different orders must serialize the
+  // same way (snapshot maps are ordered by name, not by registration).
+  obs::MetricsRegistry forward(true);
+  forward.add("z.counter", 3);
+  forward.set_gauge("m.gauge", 1.5);
+  forward.add("a.counter", 7);
+  forward.observe("h.hist", 0.25);
+
+  obs::MetricsRegistry reverse(true);
+  reverse.observe("h.hist", 0.25);
+  reverse.add("a.counter", 7);
+  reverse.set_gauge("m.gauge", 1.5);
+  reverse.add("z.counter", 3);
+
+  EXPECT_EQ(forward.snapshot().to_json().dump(1), reverse.snapshot().to_json().dump(1));
+}
+
+}  // namespace
+}  // namespace cdsf

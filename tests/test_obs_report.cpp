@@ -208,13 +208,13 @@ TEST(ObsReport, PlanReportCarriesPhi1AndPsiBitExact) {
 TEST(ObsReport, MetricsAttachOnlyWhenGlobalRegistryEnabled) {
   MetricsRegistry& global = MetricsRegistry::global();
   const bool was_enabled = global.enabled();
+  sim::RunResult minimal_run;
+  minimal_run.workers = {sim::WorkerStats{}};
   global.set_enabled(false);
-  EXPECT_EQ(make_run_report("r", sim::RunResult{.workers = {sim::WorkerStats{}}}, kInf)
-                .find("metrics"),
-            nullptr);
+  EXPECT_EQ(make_run_report("r", minimal_run, kInf).find("metrics"), nullptr);
   global.set_enabled(true);
   global.add("test.counter");
-  const Json doc = make_run_report("r", sim::RunResult{.workers = {sim::WorkerStats{}}}, kInf);
+  const Json doc = make_run_report("r", minimal_run, kInf);
   const Json* metrics = doc.find("metrics");
   ASSERT_NE(metrics, nullptr);
   EXPECT_EQ(metrics->at("counters").at("test.counter").as_int(), 1);

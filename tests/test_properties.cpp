@@ -89,13 +89,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(dls::all_techniques()),
                        ::testing::Values<std::int64_t>(7, 128, 1024, 5000),
                        ::testing::Values<std::size_t>(1, 2, 8)),
-    [](const ::testing::TestParamInfo<DlsSweepParam>& info) {
-      std::string name = dls::technique_name(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<DlsSweepParam>& param_info) {
+      std::string name = dls::technique_name(std::get<0>(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_n" + std::to_string(std::get<1>(info.param)) + "_p" +
-             std::to_string(std::get<2>(info.param));
+      return name + "_n" + std::to_string(std::get<1>(param_info.param)) + "_p" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 // ----------------------------------------- availability-regime ordering --
@@ -140,8 +140,8 @@ INSTANTIATE_TEST_SUITE_P(RobustSetPlusStatic, DlsAvailabilitySweep,
                                            dls::TechniqueId::kWF, dls::TechniqueId::kAWF_B,
                                            dls::TechniqueId::kAWF_C, dls::TechniqueId::kAF,
                                            dls::TechniqueId::kGSS, dls::TechniqueId::kTSS),
-                         [](const ::testing::TestParamInfo<dls::TechniqueId>& info) {
-                           std::string name = dls::technique_name(info.param);
+                         [](const ::testing::TestParamInfo<dls::TechniqueId>& param_info) {
+                           std::string name = dls::technique_name(param_info.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }
@@ -178,12 +178,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(dls::TechniqueId::kSS, dls::TechniqueId::kGSS,
                                          dls::TechniqueId::kFAC, dls::TechniqueId::kAF),
                        ::testing::Values(0.01, 0.5, 5.0)),
-    [](const ::testing::TestParamInfo<MpiSweepParam>& info) {
-      std::string name = dls::technique_name(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<MpiSweepParam>& param_info) {
+      std::string name = dls::technique_name(std::get<0>(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      const int millis = static_cast<int>(std::get<1>(info.param) * 100);
+      const int millis = static_cast<int>(std::get<1>(param_info.param) * 100);
       return name + "_L" + std::to_string(millis);
     });
 
@@ -226,12 +226,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          workload::IterationProfile::kIncreasing,
                                          workload::IterationProfile::kDecreasing,
                                          workload::IterationProfile::kParabolic)),
-    [](const ::testing::TestParamInfo<ProfileSweepParam>& info) {
-      std::string name = dls::technique_name(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<ProfileSweepParam>& param_info) {
+      std::string name = dls::technique_name(std::get<0>(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_" + workload::to_string(std::get<1>(info.param));
+      return name + "_" + workload::to_string(std::get<1>(param_info.param));
     });
 
 // -------------------------------------------------- PMF random properties --
