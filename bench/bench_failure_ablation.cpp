@@ -123,6 +123,19 @@ int main(int argc, char** argv) {
   cli.add_double("channel-reorder", 0.1, "per-message reorder probability (with --channel)");
   cli.add_double("master-crash-time", 400.0,
                  "master crash instant in the hardened arm (with --channel)");
+  cli.add_flag("fail-slow",
+               "add a gray-failure ablation arm set {naive, speculation-only, "
+               "quarantine+integrity} with two fail-slow (degraded-but-alive) workers "
+               "on the MPI executor under identical seeds");
+  cli.add_double("fail-slow-residual", 0.1,
+                 "residual availability of the fail-slow workers (0.1 = 10x slowdown)");
+  cli.add_flag("corrupt",
+               "add per-message payload corruption to the gray-failure arms (the naive "
+               "arm cannot retransmit, so checksum-discarded messages are lost for good)");
+  cli.add_double("corrupt-rate", 0.01,
+                 "per-message corruption probability, both directions (with --corrupt)");
+  cli.add_double("gray-deadline", 2500.0,
+                 "deadline for the gray-failure hit-rate columns (healthy ideal ~1000)");
   if (!cli.parse(argc, argv)) return 0;
   const std::string json_path = cli.get_string("json");
   if (!json_path.empty()) obs::MetricsRegistry::global().set_enabled(true);
@@ -367,6 +380,111 @@ int main(int argc, char** argv) {
     std::puts("the failure detector alone: every lost message permanently retires a worker,");
     std::puts("so its makespan balloons or the run strands outright.");
   }
+  // Gray-failure ablation: fail-slow workers never crash and corrupted
+  // payloads are well-formed, so neither the crash detector nor the
+  // checksum alone saves the run. Three arms under identical seeds on the
+  // MPI executor: naive (no mitigation; with --corrupt its channel cannot
+  // retransmit, so every checksum-discarded message permanently retires
+  // progress), speculation-only (hardened channel + straggler backups),
+  // and quarantine+integrity (speculation plus the fail-slow EWMA
+  // quarantine and audit-based result validation).
+  obs::Json json_gray = obs::Json::array();
+  const bool gray_fail_slow = cli.get_flag("fail-slow");
+  const bool gray_corrupt = cli.get_flag("corrupt");
+  if (gray_fail_slow || gray_corrupt) {
+    const double gray_residual = cli.get_double("fail-slow-residual");
+    const double corrupt_rate = cli.get_double("corrupt-rate");
+    const double gray_deadline = cli.get_double("gray-deadline");
+    const sim::MessageModel messages;
+    util::Table gray_table;
+    gray_table.set_headers({"technique", "naive", "spec-only", "quar+integrity",
+                            "hits n/s/q", "quarantines", "audits (bad)", "corrupted"});
+    gray_table.set_alignment({util::Align::kLeft});
+    std::string title = "Median makespan on the MPI executor, identical seeds per arm";
+    if (gray_fail_slow) {
+      title += "; workers 2 and 5 fail-slow to " + util::format_percent(gray_residual, 0) +
+               " availability at t=200/400";
+    }
+    if (gray_corrupt) {
+      title += "; " + util::format_percent(corrupt_rate, 1) +
+               " payload corruption per message both directions";
+    }
+    title += "; deadline " + util::format_fixed(gray_deadline, 0);
+    gray_table.set_title(title);
+    for (dls::TechniqueId id : techniques) {
+      sim::SimConfig naive;
+      naive.iteration_cov = 0.1;
+      naive.availability_mode = sim::AvailabilityMode::kConstantMean;
+      if (gray_fail_slow) {
+        for (const auto& [worker, time] :
+             {std::pair<std::size_t, double>{2, 200.0}, {5, 400.0}}) {
+          sim::SimConfig::Failure slow;
+          slow.worker = worker;
+          slow.time = time;
+          slow.residual_availability = gray_residual;
+          slow.kind = sim::SimConfig::FailureKind::kDegrade;
+          naive.failures.push_back(slow);
+        }
+      }
+      if (gray_corrupt) {
+        naive.channel.corrupt_to_worker = naive.channel.corrupt_to_master = corrupt_rate;
+        naive.channel.max_retransmits = 0;
+      }
+      sim::SimConfig spec_only = naive;
+      spec_only.channel.max_retransmits = 8;
+      spec_only.speculation.enabled = true;
+      spec_only.speculation.quantile = cli.get_double("quantile");
+      sim::SimConfig quar = spec_only;
+      quar.quarantine.enabled = true;
+      quar.quarantine.audit_rate = 0.1;
+
+      std::string naive_cell = "stranded";
+      std::string naive_hits = "-";
+      obs::Json naive_json = obs::Json::object();
+      try {
+        const sim::ReplicationSummary arm_naive = sim::simulate_replicated_mpi(
+            app, 0, 8, full, id, naive, messages, seed, replications, gray_deadline);
+        naive_cell = util::format_fixed(arm_naive.median_makespan, 0);
+        naive_hits = util::format_percent(arm_naive.deadline_hit_rate, 0);
+        naive_json = obs::to_json(arm_naive, gray_deadline);
+      } catch (const std::runtime_error& error) {
+        // With --corrupt the naive arm discards corrupted copies but can
+        // never retransmit them, so workers are attrited until the loop
+        // strands — that failure IS the data point.
+        naive_json.set("stranded", true);
+        naive_json.set("error", std::string(error.what()));
+      }
+      const sim::ReplicationSummary arm_spec = sim::simulate_replicated_mpi(
+          app, 0, 8, full, id, spec_only, messages, seed, replications, gray_deadline);
+      const sim::ReplicationSummary arm_quar = sim::simulate_replicated_mpi(
+          app, 0, 8, full, id, quar, messages, seed, replications, gray_deadline);
+      const sim::QuarantineStats& q = arm_quar.quarantine_total;
+      gray_table.add_row(
+          {dls::technique_name(id), naive_cell,
+           util::format_fixed(arm_spec.median_makespan, 0),
+           util::format_fixed(arm_quar.median_makespan, 0),
+           naive_hits + "/" + util::format_percent(arm_spec.deadline_hit_rate, 0) + "/" +
+               util::format_percent(arm_quar.deadline_hit_rate, 0),
+           std::to_string(q.quarantines),
+           std::to_string(q.audits_launched) + " (" + std::to_string(q.audit_mismatches) +
+               ")",
+           std::to_string(arm_quar.channel_total.corrupted)});
+      obs::Json entry = obs::Json::object();
+      entry.set("technique", dls::technique_name(id));
+      entry.set("naive", std::move(naive_json));
+      entry.set("speculation", obs::to_json(arm_spec, gray_deadline));
+      entry.set("quarantine_integrity", obs::to_json(arm_quar, gray_deadline));
+      json_gray.push_back(std::move(entry));
+    }
+    std::puts(gray_table.render().c_str());
+    std::puts("Reading guide: gray failures are the cases the binary fault model misses —");
+    std::puts("the fail-slow workers keep accepting work at a tenth of their promised rate,");
+    std::puts("and corrupted payloads parse fine. The naive arm strands (corruption with no");
+    std::puts("retransmission) or blows through the deadline; speculation rescues in-flight");
+    std::puts("chunks but keeps re-feeding the slow workers; quarantine stops feeding them");
+    std::puts("after a few observations, and the audit layer is what catches silently wrong");
+    std::puts("results (checksums only cover the wire, not a lying worker).");
+  }
   report.set("schema", "cdsf.ablation_report/1");
   report.set("bench", "failure_ablation");
   report.set("mode", mode);
@@ -421,6 +539,25 @@ int main(int argc, char** argv) {
       report.set("channel_reorder", cli.get_double("channel-reorder"));
       report.set("master_crash_time", cli.get_double("master-crash-time"));
       report.set("channel_ablation", std::move(json_channel));
+    }
+    if (gray_fail_slow || gray_corrupt) {
+      report.set("_gray_format",
+                 "Each 'gray_ablation' entry holds the replication summary for the three "
+                 "gray-failure arms {naive, speculation, quarantine_integrity} on the MPI "
+                 "executor under identical seeds. 'naive' may record stranded = true — "
+                 "with --corrupt it cannot retransmit checksum-discarded messages; "
+                 "otherwise compare 'deadline_hit_rate' across the arms: "
+                 "'quarantine_integrity' must complete within the deadline where the "
+                 "naive arm strands or misses it (docs/fault_tolerance.md).");
+      report.set("_gray_command",
+                 "build/bench/bench_failure_ablation --fail-slow --corrupt "
+                 "--replications 21 --json BENCH_gray_failure.json");
+      report.set("fail_slow", cli.get_flag("fail-slow"));
+      report.set("fail_slow_residual", cli.get_double("fail-slow-residual"));
+      report.set("corrupt", cli.get_flag("corrupt"));
+      report.set("corrupt_rate", cli.get_double("corrupt-rate"));
+      report.set("gray_deadline", cli.get_double("gray-deadline"));
+      report.set("gray_ablation", std::move(json_gray));
     }
     if (obs::MetricsRegistry::global().enabled()) report.set("metrics", obs::metrics_json());
     obs::write_json(report, json_path);

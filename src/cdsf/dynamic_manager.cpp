@@ -79,6 +79,13 @@ DynamicRunResult run_dynamic_manager(const sysmodel::Platform& platform,
   // The dynamic manager executes applications on the idealized
   // simulate_loop, which has no message channel and no master process —
   // silently ignoring these knobs would misreport a hardened run.
+  // (Quarantine/audit knobs ARE honored: simulate_loop implements them.)
+  if (config.sim.channel.corrupting()) {
+    throw std::invalid_argument(
+        "run_dynamic_manager: payload corruption ([integrity] / "
+        "ChannelModel::corrupt_to_*) requires the MPI executor's checksum "
+        "framing (SimConfig::channel is ignored by simulate_loop)");
+  }
   if (config.sim.channel.faulty()) {
     throw std::invalid_argument(
         "run_dynamic_manager: channel faults require the MPI executor "

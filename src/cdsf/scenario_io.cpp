@@ -118,8 +118,9 @@ sim::SimConfig::FailureKind parse_failure_kind(const std::string& text, std::siz
   if (text == "crash") return sim::SimConfig::FailureKind::kCrash;
   if (text == "crash-recover") return sim::SimConfig::FailureKind::kCrashRecover;
   if (text == "master-restart") return sim::SimConfig::FailureKind::kMasterCrashRestart;
+  if (text == "silent-corrupt") return sim::SimConfig::FailureKind::kSilentCorrupt;
   parse_error(line, "unknown failure kind '" + text +
-                        "' (degrade|crash|crash-recover|master-restart)");
+                        "' (degrade|crash|crash-recover|master-restart|silent-corrupt)");
 }
 
 std::string failure_kind_name(sim::SimConfig::FailureKind kind) {
@@ -128,6 +129,7 @@ std::string failure_kind_name(sim::SimConfig::FailureKind kind) {
     case sim::SimConfig::FailureKind::kCrash: return "crash";
     case sim::SimConfig::FailureKind::kCrashRecover: return "crash-recover";
     case sim::SimConfig::FailureKind::kMasterCrashRestart: return "master-restart";
+    case sim::SimConfig::FailureKind::kSilentCorrupt: return "silent-corrupt";
   }
   return "degrade";
 }
@@ -148,6 +150,7 @@ Scenario parse_scenario(std::istream& in) {
   std::vector<sim::SimConfig::Failure> failures;
   sim::ChannelModel channel;
   sim::SimConfig::MasterCheckpoint checkpoint;
+  sim::SimConfig::Quarantine quarantine;
   double deadline = -1.0;
 
   enum class Section {
@@ -159,6 +162,8 @@ Scenario parse_scenario(std::istream& in) {
     kFailure,
     kChannel,
     kCheckpoint,
+    kQuarantine,
+    kIntegrity,
   };
   Section section = Section::kNone;
   RawCase* current_case = nullptr;
@@ -206,6 +211,13 @@ Scenario parse_scenario(std::istream& in) {
         if (header.size() != 1) parse_error(line, "[checkpoint] takes no name");
         section = Section::kCheckpoint;
         checkpoint.enabled = true;
+      } else if (header[0] == "quarantine") {
+        if (header.size() != 1) parse_error(line, "[quarantine] takes no name");
+        section = Section::kQuarantine;
+        quarantine.enabled = true;
+      } else if (header[0] == "integrity") {
+        if (header.size() != 1) parse_error(line, "[integrity] takes no name");
+        section = Section::kIntegrity;
       } else {
         parse_error(line, "unknown section '" + header[0] + "'");
       }
@@ -282,6 +294,10 @@ Scenario parse_scenario(std::istream& in) {
           current_failure->residual_availability = residual;
         } else if (key == "recovery") {
           current_failure->recovery_time = parse_double(value, line);
+        } else if (key == "probability") {
+          const double p = parse_probability(value, line);
+          if (!(p > 0.0)) parse_error(line, "failure probability must be in (0, 1]");
+          current_failure->corrupt_probability = p;
         } else {
           parse_error(line, "unknown failure key '" + key + "'");
         }
@@ -338,6 +354,54 @@ Scenario parse_scenario(std::istream& in) {
           checkpoint.json_path = value;
         } else {
           parse_error(line, "unknown checkpoint key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kQuarantine: {
+        if (key == "fail-slow") {
+          // The section arms the EWMA tracker by default; 'fail-slow = 0'
+          // keeps only the audit layer (audit-rate) active.
+          const std::int64_t v = parse_int(value, line);
+          if (v != 0 && v != 1) parse_error(line, "fail-slow must be 0 or 1");
+          quarantine.enabled = v != 0;
+        } else if (key == "ewma-alpha") {
+          const double alpha = parse_double(value, line);
+          if (!(alpha > 0.0 && alpha <= 1.0)) parse_error(line, "ewma-alpha must be in (0, 1]");
+          quarantine.ewma_alpha = alpha;
+        } else if (key == "slowdown-threshold") {
+          const double threshold = parse_double(value, line);
+          if (!(threshold > 1.0)) parse_error(line, "slowdown-threshold must be > 1");
+          quarantine.slowdown_threshold = threshold;
+        } else if (key == "min-observations") {
+          const std::int64_t n = parse_int(value, line);
+          if (n < 1) parse_error(line, "min-observations must be >= 1");
+          quarantine.min_observations = static_cast<std::uint64_t>(n);
+        } else if (key == "probe-interval") {
+          const double interval = parse_double(value, line);
+          if (!(interval > 0.0)) parse_error(line, "probe-interval must be > 0");
+          quarantine.probe_interval = interval;
+        } else if (key == "probe-successes") {
+          const std::int64_t n = parse_int(value, line);
+          if (n < 1) parse_error(line, "probe-successes must be >= 1");
+          quarantine.probe_successes = static_cast<std::size_t>(n);
+        } else if (key == "audit-rate") {
+          quarantine.audit_rate = parse_probability(value, line);
+        } else if (key == "audit-mismatch-limit") {
+          const std::int64_t n = parse_int(value, line);
+          if (n < 1) parse_error(line, "audit-mismatch-limit must be >= 1");
+          quarantine.audit_mismatch_limit = static_cast<std::size_t>(n);
+        } else {
+          parse_error(line, "unknown quarantine key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kIntegrity: {
+        if (key == "corrupt-to-worker") {
+          channel.corrupt_to_worker = parse_probability(value, line);
+        } else if (key == "corrupt-to-master") {
+          channel.corrupt_to_master = parse_probability(value, line);
+        } else {
+          parse_error(line, "unknown integrity key '" + key + "'");
         }
         break;
       }
@@ -411,14 +475,20 @@ Scenario parse_scenario(std::istream& in) {
           "scenario: [failure] 'recovery' is only valid with kind = crash-recover or "
           "master-restart");
     }
+    if (failure.kind != sim::SimConfig::FailureKind::kSilentCorrupt &&
+        failure.corrupt_probability != 1.0) {
+      throw std::invalid_argument(
+          "scenario: [failure] 'probability' is only valid with kind = silent-corrupt");
+    }
     if (failure.kind == sim::SimConfig::FailureKind::kMasterCrashRestart) ++master_failures;
   }
   if (master_failures > 1) {
     throw std::invalid_argument("scenario: at most one master-restart [failure] per scenario");
   }
 
-  return Scenario{std::move(platform), std::move(cases),   std::move(batch), deadline,
-                  std::move(failures), std::move(channel), std::move(checkpoint)};
+  return Scenario{std::move(platform), std::move(cases),      std::move(batch),
+                  deadline,            std::move(failures),   std::move(channel),
+                  std::move(checkpoint), quarantine};
 }
 
 Scenario parse_scenario_text(const std::string& text) {
@@ -472,6 +542,8 @@ std::string scenario_to_text(const Scenario& scenario) {
     } else if (failure.kind == sim::SimConfig::FailureKind::kCrashRecover ||
                failure.kind == sim::SimConfig::FailureKind::kMasterCrashRestart) {
       out << "recovery = " << failure.recovery_time << "\n";
+    } else if (failure.kind == sim::SimConfig::FailureKind::kSilentCorrupt) {
+      out << "probability = " << failure.corrupt_probability << "\n";
     }
   }
   if (scenario.channel.faulty()) {
@@ -496,6 +568,23 @@ std::string scenario_to_text(const Scenario& scenario) {
     if (!scenario.checkpoint.json_path.empty()) {
       out << "json = " << scenario.checkpoint.json_path << "\n";
     }
+  }
+  if (scenario.quarantine.armed()) {
+    const sim::SimConfig::Quarantine& q = scenario.quarantine;
+    out << "\n[quarantine]\n";
+    out << "fail-slow = " << (q.enabled ? 1 : 0) << "\n";
+    out << "ewma-alpha = " << q.ewma_alpha << "\n";
+    out << "slowdown-threshold = " << q.slowdown_threshold << "\n";
+    out << "min-observations = " << q.min_observations << "\n";
+    out << "probe-interval = " << q.probe_interval << "\n";
+    out << "probe-successes = " << q.probe_successes << "\n";
+    out << "audit-rate = " << q.audit_rate << "\n";
+    out << "audit-mismatch-limit = " << q.audit_mismatch_limit << "\n";
+  }
+  if (scenario.channel.corrupt_to_worker > 0.0 || scenario.channel.corrupt_to_master > 0.0) {
+    out << "\n[integrity]\n";
+    out << "corrupt-to-worker = " << scenario.channel.corrupt_to_worker << "\n";
+    out << "corrupt-to-master = " << scenario.channel.corrupt_to_master << "\n";
   }
   return out.str();
 }

@@ -24,9 +24,12 @@
 //   [failure]                 # optional, repeatable: injected fault
 //   worker = 2                # worker index within the executing group
 //   time = 600                # (ignored for kind = master-restart)
-//   kind = crash-recover      # degrade | crash | crash-recover | master-restart
+//   kind = crash-recover      # degrade | crash | crash-recover |
+//                             #   master-restart | silent-corrupt
 //   recovery = 1400           # crash-recover and master-restart only
 //   # residual = 0.001        # degrade only
+//   # probability = 0.5       # silent-corrupt only: chance a chunk
+//                             #   completed after onset is silently wrong
 //
 //   [channel]                 # optional: unreliable master-worker channel
 //   drop-to-worker = 0.1      # (MPI executor only; arms the hardened
@@ -45,6 +48,20 @@
 //   [checkpoint]              # optional: master checkpointing (presence
 //   interval = 250            #  enables it; MPI executor only)
 //   json = out/checkpoint.json  # optional final-state dump
+//
+//   [quarantine]              # optional: fail-slow detection (presence
+//   slowdown-threshold = 4    #  enables the EWMA tracker; both executors)
+//   fail-slow = 1             # optional: 0 keeps only the audit layer
+//   ewma-alpha = 0.3
+//   min-observations = 3
+//   probe-interval = 200      # simulated time between canary probes
+//   probe-successes = 2       # healthy canaries required to reinstate
+//   audit-rate = 0.1          # fraction of chunks re-executed + compared
+//   audit-mismatch-limit = 1  # mismatches before the origin is quarantined
+//
+//   [integrity]               # optional: payload corruption on the channel
+//   corrupt-to-worker = 0.01  # (MPI executor only; checksum framing
+//   corrupt-to-master = 0.01  #  discards, retransmission recovers)
 //
 // Sections may appear in any order; [platform] must precede availability
 // and application sections only logically (the parser resolves names after
@@ -79,6 +96,10 @@ struct Scenario {
   /// the section is absent — a master-restart failure still implies it at
   /// simulation time).
   sim::SimConfig::MasterCheckpoint checkpoint;
+  /// Fail-slow quarantine / audit-validation knobs ([quarantine] section;
+  /// structurally disarmed when the section is absent). Payload-corruption
+  /// probabilities from [integrity] land on `channel`.
+  sim::SimConfig::Quarantine quarantine;
 };
 
 /// Parses a scenario from a stream. Throws std::runtime_error with a

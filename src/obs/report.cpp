@@ -54,6 +54,29 @@ Json to_json(const sim::ChannelStats& channel) {
   doc.set("dedup_hits", channel.dedup_hits);
   doc.set("acks_sent", channel.acks_sent);
   doc.set("retransmits_abandoned", channel.retransmits_abandoned);
+  // Payload-corruption counters only when the corruption axis fired, so
+  // corruption-free channel blocks keep their pre-integrity shape.
+  if (channel.corrupted > 0 || channel.corrupt_discarded > 0) {
+    doc.set("corrupted", channel.corrupted);
+    doc.set("corrupt_discarded", channel.corrupt_discarded);
+  }
+  return doc;
+}
+
+Json to_json(const sim::QuarantineStats& quarantine) {
+  Json doc = Json::object();
+  doc.set("fail_slow_trips", quarantine.fail_slow_trips);
+  doc.set("audit_trips", quarantine.audit_trips);
+  doc.set("quarantines", quarantine.quarantines);
+  doc.set("reinstatements", quarantine.reinstatements);
+  doc.set("probes_launched", quarantine.probes_launched);
+  doc.set("probes_healthy", quarantine.probes_healthy);
+  doc.set("quarantined_time", quarantine.quarantined_time);
+  doc.set("audits_launched", quarantine.audits_launched);
+  doc.set("audits_matched", quarantine.audits_matched);
+  doc.set("audit_mismatches", quarantine.audit_mismatches);
+  doc.set("audits_abandoned", quarantine.audits_abandoned);
+  doc.set("corrupt_chunks_recorded", quarantine.corrupt_chunks_recorded);
   return doc;
 }
 
@@ -152,6 +175,7 @@ Json to_json(const sim::RunResult& run) {
     doc.set("checkpoint", to_json(run.checkpoint));
     if (!run.wal.empty()) doc.set("wal", wal_summary(run.wal));
   }
+  if (run.quarantine.active()) doc.set("quarantine", to_json(run.quarantine));
   return doc;
 }
 
@@ -179,6 +203,9 @@ Json to_json(const sim::ReplicationSummary& summary, double deadline) {
   }
   if (summary.checkpoint_total.active()) {
     doc.set("checkpoint_total", to_json(summary.checkpoint_total));
+  }
+  if (summary.quarantine_total.active()) {
+    doc.set("quarantine_total", to_json(summary.quarantine_total));
   }
   return doc;
 }
@@ -368,6 +395,8 @@ Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& c
   campaign.set("speculation", config.speculation);
   campaign.set("channel_faults", config.channel_faults);
   campaign.set("master_restart", config.master_restart);
+  campaign.set("fail_slow", config.fail_slow);
+  campaign.set("corruption", config.corruption);
   Json thread_counts = Json::array();
   for (std::size_t threads : config.thread_counts) thread_counts.push_back(threads);
   campaign.set("thread_counts", std::move(thread_counts));
@@ -380,6 +409,8 @@ Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& c
   doc.set("schedules_with_speculation", report.schedules_with_speculation);
   doc.set("schedules_with_channel_faults", report.schedules_with_channel_faults);
   doc.set("schedules_with_master_restart", report.schedules_with_master_restart);
+  doc.set("schedules_with_quarantine", report.schedules_with_quarantine);
+  doc.set("schedules_with_corruption", report.schedules_with_corruption);
   doc.set("max_makespan", report.max_makespan);
   Json violations = Json::array();
   for (const sim::ChaosViolation& violation : report.violations) {
@@ -396,6 +427,7 @@ Json make_chaos_report(const sim::ChaosReport& report, const sim::ChaosConfig& c
   doc.set("speculation_total", to_json(report.speculation_total));
   doc.set("channel_total", to_json(report.channel_total));
   doc.set("checkpoint_total", to_json(report.checkpoint_total));
+  doc.set("quarantine_total", to_json(report.quarantine_total));
   maybe_attach_metrics(doc);
   return doc;
 }

@@ -27,7 +27,7 @@ inline constexpr const char* kRunReportSchema = "cdsf.run_report/1";
 inline constexpr const char* kScenarioReportSchema = "cdsf.scenario_report/1";
 inline constexpr const char* kPlanReportSchema = "cdsf.plan_report/1";
 inline constexpr const char* kDynamicReportSchema = "cdsf.dynamic_report/1";
-inline constexpr const char* kChaosReportSchema = "cdsf.chaos_report/2";
+inline constexpr const char* kChaosReportSchema = "cdsf.chaos_report/3";
 
 // -- building blocks ---------------------------------------------------
 
@@ -36,12 +36,14 @@ Json to_json(const sim::FaultStats& faults);
 Json to_json(const sim::SpeculationStats& speculation);
 Json to_json(const sim::ChannelStats& channel);
 Json to_json(const sim::CheckpointStats& checkpoint);
+Json to_json(const sim::QuarantineStats& quarantine);
 Json to_json(const sim::WorkerStats& worker);
 /// One executed run: makespan, serial_end, chunk statistics (count, and
 /// when the run carries a trace, chunk-size min/mean/max), per-worker
 /// accounting, fault stats, finish-time CoV. Hardened MPI runs add
 /// "channel" / "checkpoint" blocks (plus a per-kind WAL summary) when the
-/// corresponding counters are active; clean runs keep the legacy shape.
+/// corresponding counters are active; gray-failure runs add a
+/// "quarantine" block the same way; clean runs keep the legacy shape.
 Json to_json(const sim::RunResult& run);
 /// Replication aggregate; `deadline` adds "deadline" and "deadline_slack"
 /// (deadline - median makespan). Pass a non-finite deadline to omit both.

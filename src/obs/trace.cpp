@@ -28,6 +28,12 @@ const char* lifecycle_name(sim::LifecycleEvent::Kind kind) {
     case Kind::kMasterCrash: return "master_crash";
     case Kind::kMasterRestart: return "master_restart";
     case Kind::kCheckpoint: return "checkpoint";
+    case Kind::kWorkerQuarantined: return "worker_quarantined";
+    case Kind::kQuarantineProbe: return "quarantine_probe";
+    case Kind::kWorkerRestored: return "worker_restored";
+    case Kind::kAuditLaunched: return "audit_launched";
+    case Kind::kAuditMismatch: return "audit_mismatch";
+    case Kind::kMessageCorrupted: return "message_corrupted";
   }
   return "lifecycle";
 }
@@ -146,10 +152,16 @@ void TraceSink::append_run(const sim::RunResult& run, const RunOptions& options)
     // their goldens) are byte-identical to the pre-speculation format.
     if (chunk.speculative) args.set("speculative", true);
     if (chunk.cancelled) args.set("cancelled", true);
+    // Gray-failure markers follow the same only-when-set rule: audit
+    // replicas and canary probes never appear in gray-free traces.
+    if (chunk.audit) args.set("audit", true);
+    if (chunk.probe) args.set("probe", true);
     std::string categories = "chunk";
     if (chunk.lost) categories += ",lost";
     if (chunk.speculative) categories += ",speculative";
     if (chunk.cancelled) categories += ",cancelled";
+    if (chunk.audit) categories += ",audit";
+    if (chunk.probe) categories += ",probe";
     add_complete(options.pid, tid, chunk.start_time, end - chunk.start_time, "chunk",
                  categories, std::move(args));
   }

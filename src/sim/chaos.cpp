@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -34,6 +35,18 @@ struct Schedule {
     }
     return n;
   }
+  /// A silently-wrong worker is configured (both executors honor it).
+  [[nodiscard]] bool silent_corrupt() const {
+    for (const SimConfig::Failure& f : sim.failures) {
+      if (f.kind == SimConfig::FailureKind::kSilentCorrupt) return true;
+    }
+    return false;
+  }
+  /// The gray-failure machinery (quarantine / audits / silent corruption)
+  /// runs on this schedule — QuarantineStats may be nonzero.
+  [[nodiscard]] bool gray() const {
+    return sim.quarantine.armed() || silent_corrupt();
+  }
 };
 
 /// Per-schedule accumulator, merged in index order so the campaign report
@@ -44,11 +57,14 @@ struct Partial {
   SpeculationStats speculation;
   ChannelStats channel;
   CheckpointStats checkpoint;
+  QuarantineStats quarantine;
   std::size_t runs = 0;
   std::size_t failures = 0;
   bool speculated = false;
   bool channel_faulty = false;
   bool master_restarted = false;
+  bool gray_quarantine = false;
+  bool gray_corruption = false;
   double max_makespan = 0.0;
 };
 
@@ -153,6 +169,54 @@ Schedule draw_schedule(const ChaosConfig& config, util::RngStream& rng,
     sim.checkpoint.enabled = true;
     sim.checkpoint.interval = est_makespan * rng.uniform(0.05, 0.2);
   }
+
+  // Gray-failure axes, drawn LAST so every pre-existing axis sees the same
+  // draw sequence (disabling them replays historical campaigns unchanged).
+  // Gray fault targets come from the still-unfailed tail of the shuffled
+  // candidate list — at most one failure per worker.
+  std::size_t next_free = std::min(draws, candidates.size());
+  if (config.fail_slow && rng.uniform01() < 0.45) {
+    sim.quarantine.enabled = true;
+    sim.quarantine.ewma_alpha = rng.uniform(0.2, 0.6);
+    sim.quarantine.slowdown_threshold = rng.uniform(2.5, 5.0);
+    sim.quarantine.min_observations =
+        static_cast<std::uint64_t>(rng.uniform_int(2, 4));
+    sim.quarantine.probe_interval = est_makespan * rng.uniform(0.05, 0.2);
+    sim.quarantine.probe_successes = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    if (rng.uniform01() < 0.5) sim.quarantine.audit_rate = rng.uniform(0.1, 0.4);
+    // A dedicated late-onset fail-slow worker (~10x slowdown) for the
+    // detector to catch, when a failure-free worker remains.
+    if (next_free < candidates.size()) {
+      SimConfig::Failure failure;
+      failure.worker = candidates[next_free++];
+      failure.kind = SimConfig::FailureKind::kDegrade;
+      failure.time = rng.uniform(0.1, 0.5) * est_makespan;
+      failure.residual_availability = rng.uniform(0.08, 0.15);
+      sim.failures.push_back(failure);
+    }
+  }
+  if (config.corruption) {
+    // Channel bit-flips (MPI executor): caught by checksum framing,
+    // recovered by retransmission. Arms the hardened protocol through
+    // ChannelModel::faulty(), so it also honors the channel_faults toggle.
+    if (rng.uniform01() < 0.4 && config.channel_faults) {
+      sim.channel.corrupt_to_worker = rng.uniform(0.005, 0.08);
+      sim.channel.corrupt_to_master = rng.uniform(0.005, 0.08);
+    }
+    // A silently-wrong worker, paired with audits — the only layer that
+    // can catch well-formed wrong results.
+    if (rng.uniform01() < 0.35 && next_free < candidates.size()) {
+      SimConfig::Failure failure;
+      failure.worker = candidates[next_free++];
+      failure.kind = SimConfig::FailureKind::kSilentCorrupt;
+      failure.time = rng.uniform(0.0, 0.5) * est_makespan;
+      failure.corrupt_probability = rng.uniform(0.3, 1.0);
+      sim.failures.push_back(failure);
+      if (sim.quarantine.audit_rate <= 0.0) {
+        sim.quarantine.audit_rate = rng.uniform(0.1, 0.4);
+      }
+    }
+  }
   return schedule;
 }
 
@@ -168,9 +232,14 @@ void add_violation(Partial& partial, std::size_t schedule, std::uint64_t seed,
 /// idealized executor (it ignores the channel and the master fault) and for
 /// clean-channel MPI runs — those must leave the hardened counters all
 /// zero. `expected_restarts` is the configured kMasterCrashRestart count.
+/// `gray_expected` is Schedule::gray() (quarantine / audit / silent-corrupt
+/// machinery armed); `corruption_expected` is true only for MPI runs whose
+/// channel has corruption knobs — the disarm checks force every gray
+/// counter to zero otherwise.
 void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule,
                std::uint64_t seed, const char* executor, bool hardened_expected,
-               std::size_t expected_restarts, Partial& partial) {
+               std::size_t expected_restarts, bool gray_expected, bool corruption_expected,
+               Partial& partial) {
   auto fail = [&](const char* invariant, std::string detail) {
     add_violation(partial, schedule, seed, executor, invariant, std::move(detail));
   };
@@ -193,6 +262,8 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
   std::uint64_t lost_entries = 0;
   std::int64_t dispatched_from_pool = 0;
   std::uint64_t backup_entries = 0;
+  std::uint64_t audit_entries = 0;
+  std::uint64_t probe_entries = 0;
   for (const ChunkTraceEntry& entry : run.trace) {
     if (entry.first < 0 || entry.iterations <= 0 || entry.first + entry.iterations > parallel) {
       fail("trace_range", "entry [" + std::to_string(entry.first) + ", +" +
@@ -200,6 +271,14 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
                               std::to_string(parallel) + ")");
       continue;
     }
+    if (entry.audit) {
+      // Audit replicas are side-channel verification: they never take from
+      // the pool, never deliver coverage, and their losses are counted as
+      // audits_abandoned, not chunks_lost.
+      ++audit_entries;
+      continue;
+    }
+    if (entry.probe) ++probe_entries;
     if (entry.lost) ++lost_entries;
     if (entry.speculative) {
       ++backup_entries;
@@ -297,6 +376,141 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
                                std::to_string(ckpt.master_restarts));
   }
 
+  // Gray-failure invariants: corruption is always caught (checksum framing
+  // discards EVERY corrupted frame — one can never reach record()), the
+  // quarantine/audit counters obey their bookkeeping identities and match
+  // the lifecycle events, and nothing but canary probes is ever dispatched
+  // to a worker inside its quarantine window.
+  const QuarantineStats& quar = run.quarantine;
+  if (chan.corrupted != chan.corrupt_discarded) {
+    fail("corruption_identity", "corrupted " + std::to_string(chan.corrupted) +
+                                    " != discarded " +
+                                    std::to_string(chan.corrupt_discarded));
+  }
+  if (!corruption_expected && (chan.corrupted != 0 || chan.corrupt_discarded != 0)) {
+    fail("corruption_disarmed", "corruption counters nonzero on a corruption-free run");
+  }
+  if (!gray_expected && quar.active()) {
+    fail("quarantine_disarmed", "gray counters nonzero on a gray-free run");
+  }
+  if (quar.quarantines != quar.fail_slow_trips + quar.audit_trips) {
+    fail("quarantine_identity",
+         "quarantines " + std::to_string(quar.quarantines) + " != fail-slow " +
+             std::to_string(quar.fail_slow_trips) + " + audit " +
+             std::to_string(quar.audit_trips));
+  }
+  if (quar.reinstatements > quar.quarantines) {
+    fail("quarantine_identity", "more reinstatements than quarantines");
+  }
+  if (quar.probes_healthy > quar.probes_launched) {
+    fail("quarantine_identity", "more healthy probes than probes launched");
+  }
+  if (quar.audits_launched !=
+      quar.audits_matched + quar.audit_mismatches + quar.audits_abandoned) {
+    fail("audit_identity",
+         "launched " + std::to_string(quar.audits_launched) + " != matched " +
+             std::to_string(quar.audits_matched) + " + mismatches " +
+             std::to_string(quar.audit_mismatches) + " + abandoned " +
+             std::to_string(quar.audits_abandoned));
+  }
+  if (quar.audits_launched != audit_entries) {
+    fail("audit_identity", "launched " + std::to_string(quar.audits_launched) + " but " +
+                               std::to_string(audit_entries) + " audit trace entries");
+  }
+  if (quar.probes_launched != probe_entries) {
+    fail("quarantine_identity", "probes_launched " + std::to_string(quar.probes_launched) +
+                                    " but " + std::to_string(probe_entries) +
+                                    " probe trace entries");
+  }
+
+  // Reconstruct per-worker quarantine windows from the lifecycle events
+  // (time-sorted by finalize) and cross-check the event counts.
+  std::uint64_t quarantine_events = 0;
+  std::uint64_t restore_events = 0;
+  std::uint64_t probe_events = 0;
+  std::uint64_t mismatch_events = 0;
+  std::uint64_t corrupt_events = 0;
+  std::vector<double> open(run.workers.size(), -1.0);
+  std::vector<std::vector<std::pair<double, double>>> windows(run.workers.size());
+  for (const LifecycleEvent& event : run.events) {
+    if (event.worker >= run.workers.size()) continue;
+    switch (event.kind) {
+      case LifecycleEvent::Kind::kWorkerQuarantined:
+        ++quarantine_events;
+        if (open[event.worker] >= 0.0) {
+          fail("quarantine_events", "worker " + std::to_string(event.worker) +
+                                        " quarantined while already quarantined");
+        }
+        open[event.worker] = event.time;
+        break;
+      case LifecycleEvent::Kind::kWorkerRestored:
+        ++restore_events;
+        if (open[event.worker] < 0.0) {
+          fail("quarantine_events", "worker " + std::to_string(event.worker) +
+                                        " restored without a quarantine");
+        } else {
+          windows[event.worker].emplace_back(open[event.worker], event.time);
+          open[event.worker] = -1.0;
+        }
+        break;
+      case LifecycleEvent::Kind::kQuarantineProbe:
+        ++probe_events;
+        break;
+      case LifecycleEvent::Kind::kAuditMismatch:
+        ++mismatch_events;
+        break;
+      case LifecycleEvent::Kind::kMessageCorrupted:
+        ++corrupt_events;
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t w = 0; w < open.size(); ++w) {
+    if (open[w] >= 0.0) {
+      windows[w].emplace_back(open[w], std::numeric_limits<double>::infinity());
+    }
+  }
+  if (quarantine_events != quar.quarantines) {
+    fail("quarantine_events", std::to_string(quarantine_events) +
+                                  " quarantine events but quarantines " +
+                                  std::to_string(quar.quarantines));
+  }
+  if (restore_events != quar.reinstatements) {
+    fail("quarantine_events", std::to_string(restore_events) +
+                                  " restore events but reinstatements " +
+                                  std::to_string(quar.reinstatements));
+  }
+  if (probe_events != quar.probes_launched) {
+    fail("quarantine_events", std::to_string(probe_events) + " probe events but launched " +
+                                  std::to_string(quar.probes_launched));
+  }
+  if (mismatch_events != quar.audit_mismatches) {
+    fail("quarantine_events", std::to_string(mismatch_events) +
+                                  " mismatch events but audit_mismatches " +
+                                  std::to_string(quar.audit_mismatches));
+  }
+  if (corrupt_events != chan.corrupted) {
+    fail("corruption_identity", std::to_string(corrupt_events) +
+                                    " corruption events but corrupted " +
+                                    std::to_string(chan.corrupted));
+  }
+  bool quarantine_respected = true;
+  for (const ChunkTraceEntry& entry : run.trace) {
+    if (!quarantine_respected) break;
+    if (entry.probe || entry.worker >= windows.size()) continue;
+    for (const auto& window : windows[entry.worker]) {
+      if (entry.dispatch_time > window.first && entry.dispatch_time < window.second) {
+        fail("quarantine_respected",
+             "worker " + std::to_string(entry.worker) + " dispatched a non-probe chunk at " +
+                 std::to_string(entry.dispatch_time) + " inside quarantine [" +
+                 std::to_string(window.first) + ", " + std::to_string(window.second) + ")");
+        quarantine_respected = false;
+        break;
+      }
+    }
+  }
+
   partial.faults.workers_crashed += faults.workers_crashed;
   partial.faults.workers_recovered += faults.workers_recovered;
   partial.faults.chunks_lost += faults.chunks_lost;
@@ -309,6 +523,7 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
   partial.speculation.accumulate(spec);
   partial.channel.accumulate(chan);
   partial.checkpoint.accumulate(ckpt);
+  partial.quarantine.accumulate(quar);
   partial.max_makespan = std::max(partial.max_makespan, run.makespan);
   partial.runs += 1;
 }
@@ -345,7 +560,9 @@ bool summaries_identical(const ReplicationSummary& a, const ReplicationSummary& 
       a.channel_total.retransmits == b.channel_total.retransmits &&
       a.channel_total.dedup_hits == b.channel_total.dedup_hits &&
       a.channel_total.acks_sent == b.channel_total.acks_sent &&
-      a.channel_total.retransmits_abandoned == b.channel_total.retransmits_abandoned;
+      a.channel_total.retransmits_abandoned == b.channel_total.retransmits_abandoned &&
+      a.channel_total.corrupted == b.channel_total.corrupted &&
+      a.channel_total.corrupt_discarded == b.channel_total.corrupt_discarded;
   const bool checkpoint =
       a.checkpoint_total.wal_records == b.checkpoint_total.wal_records &&
       a.checkpoint_total.snapshots == b.checkpoint_total.snapshots &&
@@ -356,7 +573,21 @@ bool summaries_identical(const ReplicationSummary& a, const ReplicationSummary& 
           b.checkpoint_total.restart_chunks_preserved &&
       a.checkpoint_total.restart_completions_replayed ==
           b.checkpoint_total.restart_completions_replayed;
-  return makespans && faults && speculation && channel && checkpoint;
+  const bool quarantine =
+      a.quarantine_total.fail_slow_trips == b.quarantine_total.fail_slow_trips &&
+      a.quarantine_total.audit_trips == b.quarantine_total.audit_trips &&
+      a.quarantine_total.quarantines == b.quarantine_total.quarantines &&
+      a.quarantine_total.reinstatements == b.quarantine_total.reinstatements &&
+      a.quarantine_total.probes_launched == b.quarantine_total.probes_launched &&
+      a.quarantine_total.probes_healthy == b.quarantine_total.probes_healthy &&
+      a.quarantine_total.quarantined_time == b.quarantine_total.quarantined_time &&
+      a.quarantine_total.audits_launched == b.quarantine_total.audits_launched &&
+      a.quarantine_total.audits_matched == b.quarantine_total.audits_matched &&
+      a.quarantine_total.audit_mismatches == b.quarantine_total.audit_mismatches &&
+      a.quarantine_total.audits_abandoned == b.quarantine_total.audits_abandoned &&
+      a.quarantine_total.corrupt_chunks_recorded ==
+          b.quarantine_total.corrupt_chunks_recorded;
+  return makespans && faults && speculation && channel && checkpoint && quarantine;
 }
 
 }  // namespace
@@ -405,8 +636,12 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
         partial.speculated = schedule.sim.speculation.enabled;
         partial.channel_faulty = schedule.sim.channel.faulty();
         partial.master_restarted = schedule.master_restarts() > 0;
+        partial.gray_quarantine = schedule.sim.quarantine.armed();
+        partial.gray_corruption =
+            schedule.sim.channel.corrupting() || schedule.silent_corrupt();
         const bool hardened = schedule.hardened();
         const std::size_t expected_restarts = schedule.master_restarts();
+        const bool gray = schedule.gray();
 
         CDSF_LOG_DEBUG << "chaos schedule " << index << " seed " << sim_seed << " technique "
                        << dls::technique_name(schedule.technique) << " failures "
@@ -430,6 +665,14 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
         if (schedule.sim.checkpoint.enabled || schedule.master_restarts() > 0) {
           CDSF_LOG_DEBUG << "  checkpoint interval " << schedule.sim.checkpoint.interval;
         }
+        if (gray) {
+          const SimConfig::Quarantine& q = schedule.sim.quarantine;
+          CDSF_LOG_DEBUG << "  quarantine enabled " << q.enabled << " threshold "
+                         << q.slowdown_threshold << " audit_rate " << q.audit_rate
+                         << " corrupt " << schedule.sim.channel.corrupt_to_worker << "/"
+                         << schedule.sim.channel.corrupt_to_master << " silent "
+                         << schedule.silent_corrupt();
+        }
         SimConfig traced = schedule.sim;
         traced.collect_trace = true;
         try {
@@ -438,9 +681,10 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
               simulate_loop(application, 0, config.processors, availability,
                             schedule.technique, traced, sim_seed);
           // The idealized executor ignores the channel and the master fault:
-          // its hardened counters must stay zero even on hardened schedules.
+          // its hardened counters must stay zero even on hardened schedules
+          // (but it runs the quarantine/audit machinery).
           check_run(run, config.parallel_iterations, index, sim_seed, "ideal", false, 0,
-                    partial);
+                    gray, false, partial);
         } catch (const std::exception& error) {
           add_violation(partial, index, sim_seed, "ideal", "exception", error.what());
         }
@@ -456,7 +700,7 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
                 simulate_loop_mpi(application, 0, config.processors, availability,
                                   schedule.technique, mpi_config, messages, sim_seed);
             check_run(mpi.run, config.parallel_iterations, index, sim_seed, "mpi", hardened,
-                      expected_restarts, partial);
+                      expected_restarts, gray, schedule.sim.channel.corrupting(), partial);
           } catch (const std::exception& error) {
             add_violation(partial, index, sim_seed, "mpi", "exception", error.what());
           }
@@ -532,6 +776,8 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
     report.schedules_with_speculation += partial.speculated ? 1 : 0;
     report.schedules_with_channel_faults += partial.channel_faulty ? 1 : 0;
     report.schedules_with_master_restart += partial.master_restarted ? 1 : 0;
+    report.schedules_with_quarantine += partial.gray_quarantine ? 1 : 0;
+    report.schedules_with_corruption += partial.gray_corruption ? 1 : 0;
     for (const ChaosViolation& violation : partial.violations) {
       report.violations.push_back(violation);
     }
@@ -547,6 +793,7 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
     report.speculation_total.accumulate(partial.speculation);
     report.channel_total.accumulate(partial.channel);
     report.checkpoint_total.accumulate(partial.checkpoint);
+    report.quarantine_total.accumulate(partial.quarantine);
     report.max_makespan = std::max(report.max_makespan, partial.max_makespan);
   }
   for (const ChaosViolation& violation : report.violations) {

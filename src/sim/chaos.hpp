@@ -25,6 +25,16 @@
 //   * the WAL is consistent: checkpoint.wal_records == wal size and the
 //     restart records match checkpoint.master_restarts (exactly one per
 //     configured kMasterCrashRestart failure),
+//   * gray failures (fail-slow quarantine, payload corruption, audits)
+//     obey their identities: every corrupted frame is discarded
+//     (corrupted == corrupt_discarded — a corrupted report never reaches
+//     record()), quarantines == fail_slow_trips + audit_trips with
+//     reinstatements <= quarantines and probes_healthy <= probes_launched,
+//     audits_launched == matched + mismatches + abandoned, NO non-probe
+//     chunk is dispatched to a worker inside its quarantine window
+//     (reconstructed from the lifecycle events), audit replicas never
+//     enter the exactly-once coverage, and every gray counter stays zero
+//     when the gray config is absent (structural disarm),
 //   * replicated summaries are BIT-IDENTICAL across thread counts — for
 //     hardened schedules on the MPI executor too (channel randomness is
 //     replication-local).
@@ -66,6 +76,17 @@ struct ChaosConfig {
   /// checkpointing (~1/3 of them; MPI executor only — the idealized
   /// executors have no explicit coordinator).
   bool master_restart = true;
+  /// Allow schedules to arm the fail-slow quarantine (~0.45 of them;
+  /// EWMA thresholds, canary probes, and — on half of those — audit-based
+  /// result validation), usually alongside a dedicated late-onset degraded
+  /// worker for the detector to catch. Drawn AFTER every pre-existing axis
+  /// so disabling it replays historical campaigns unchanged.
+  bool fail_slow = true;
+  /// Allow schedules to draw payload-corruption faults: channel bit-flips
+  /// (MPI executor, recovered by checksum + retransmit; also requires
+  /// channel_faults — they ride the unreliable channel) and silently-wrong
+  /// workers (kSilentCorrupt, caught only by audits).
+  bool corruption = true;
   /// Thread counts the replicated determinism check compares; the first
   /// entry is the baseline. Fewer than 2 entries skips the check.
   std::vector<std::size_t> thread_counts = {1, 8};
@@ -93,11 +114,14 @@ struct ChaosReport {
   std::size_t schedules_with_speculation = 0;
   std::size_t schedules_with_channel_faults = 0;
   std::size_t schedules_with_master_restart = 0;
+  std::size_t schedules_with_quarantine = 0;
+  std::size_t schedules_with_corruption = 0;
   std::vector<ChaosViolation> violations;
   FaultStats faults_total;             // summed over ideal + mpi runs
   SpeculationStats speculation_total;  // summed over ideal + mpi runs
   ChannelStats channel_total;          // summed over mpi runs (hardened only)
   CheckpointStats checkpoint_total;    // summed over mpi runs
+  QuarantineStats quarantine_total;    // summed over ideal + mpi runs
   double max_makespan = 0.0;
 
   [[nodiscard]] bool passed() const noexcept { return violations.empty(); }

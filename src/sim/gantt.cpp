@@ -26,6 +26,8 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   bool any_speculative = false;
   bool any_cancelled = false;
   bool any_retransmitted = false;
+  bool any_audit = false;
+  bool any_probe = false;
   std::vector<std::string> rows(result.workers.size(), std::string(options.width, ' '));
   for (const ChunkTraceEntry& chunk : result.trace) {
     std::string& row = rows.at(chunk.worker);
@@ -37,11 +39,15 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     // Lost chunks (stranded by a crash, later re-dispatched elsewhere)
     // render as 'x' so they are not mistaken for completed work; cancelled
     // speculation losers as '-' (their end_time is the cancellation
-    // instant), surviving speculative backups as '~', and chunks whose
-    // assignment only arrived via a protocol retransmission as '+'
-    // (priority: lost > cancelled > speculative > retransmitted).
+    // instant), audit replicas as 'a' (side-channel verification, not
+    // delivery), canary probes of quarantined workers as 'c', surviving
+    // speculative backups as '~', and chunks whose assignment only arrived
+    // via a protocol retransmission as '+' (priority: lost > cancelled >
+    // audit > probe > speculative > retransmitted).
     const char fill = chunk.lost        ? 'x'
                       : chunk.cancelled ? '-'
+                      : chunk.audit     ? 'a'
+                      : chunk.probe     ? 'c'
                       : (chunk.speculative   ? '~'
                          : chunk.retransmitted ? '+'
                                                : '=');
@@ -49,14 +55,49 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     any_speculative = any_speculative || chunk.speculative;
     any_cancelled = any_cancelled || chunk.cancelled;
     any_retransmitted = any_retransmitted || chunk.retransmitted;
+    any_audit = any_audit || chunk.audit;
+    any_probe = any_probe || chunk.probe;
     for (std::size_t c = start; c < end && c < options.width; ++c) row[c] = fill;
     // Chunk boundary marker so adjacent chunks remain distinguishable.
     if (start < options.width) {
       row[start] = chunk.lost        ? '!'
                    : chunk.cancelled ? '/'
+                   : chunk.audit     ? '('
+                   : chunk.probe     ? '^'
                    : (chunk.speculative   ? '<'
                       : chunk.retransmitted ? '{'
                                             : '[');
+    }
+  }
+
+  // Quarantine spans: fill the BLANK stretches of a quarantined worker's
+  // row with 'q' between its kWorkerQuarantined and kWorkerRestored events
+  // (run end when never reinstated) — the drained window reads as enforced
+  // idleness without hiding the canary probes running inside it. Only
+  // gray-failure runs carry these events, so legacy renders are untouched.
+  bool any_quarantine = false;
+  {
+    std::vector<double> open(result.workers.size(), -1.0);
+    auto close_span = [&](std::size_t w, double from, double to) {
+      std::string& row = rows.at(w);
+      const std::size_t last = std::max(column(to), column(from) + 1);
+      for (std::size_t c = column(from); c < last && c < options.width; ++c) {
+        if (row[c] == ' ') row[c] = 'q';
+      }
+    };
+    for (const LifecycleEvent& event : result.events) {
+      if (event.worker >= result.workers.size()) continue;
+      if (event.kind == LifecycleEvent::Kind::kWorkerQuarantined) {
+        any_quarantine = true;
+        open[event.worker] = event.time;
+      } else if (event.kind == LifecycleEvent::Kind::kWorkerRestored &&
+                 open[event.worker] >= 0.0) {
+        close_span(event.worker, open[event.worker], event.time);
+        open[event.worker] = -1.0;
+      }
+    }
+    for (std::size_t w = 0; w < open.size(); ++w) {
+      if (open[w] >= 0.0) close_span(w, open[w], horizon);
     }
   }
 
@@ -74,6 +115,17 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     }
   }
 
+  // Channel-corruption track: one '*' per checksum-discarded message copy
+  // (kMessageCorrupted), rendered only when the run saw corruption.
+  bool any_corrupted = false;
+  std::string channel_row(options.width, ' ');
+  for (const LifecycleEvent& event : result.events) {
+    if (event.kind == LifecycleEvent::Kind::kMessageCorrupted) {
+      channel_row[column(event.time)] = '*';
+      any_corrupted = true;
+    }
+  }
+
   std::ostringstream out;
   if (result.serial_end > 0.0) {
     std::string serial_row(options.width, ' ');
@@ -81,6 +133,7 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
     out << "  serial | " << serial_row << "\n";
   }
   if (any_master_event) out << "  master | " << master_row << "\n";
+  if (any_corrupted) out << " channel | " << channel_row << "\n";
   for (std::size_t w = 0; w < rows.size(); ++w) {
     if (options.deadline > 0.0 && options.deadline <= horizon) {
       rows[w][column(options.deadline)] = '|';
@@ -103,6 +156,14 @@ std::string render_gantt(const RunResult& result, const GanttOptions& options) {
   }
   if (any_master_event) {
     out << "'%' = master crash, '@' = master restart from checkpoint + WAL\n";
+  }
+  if (any_audit) out << "'a'/'(' = audit replica re-validating an accepted chunk\n";
+  if (any_quarantine) {
+    out << "'q' = fail-slow quarantine window (drained; canary probes only)\n";
+  }
+  if (any_probe) out << "'c'/'^' = canary probe of a quarantined worker\n";
+  if (any_corrupted) {
+    out << "'*' = message copy discarded by checksum (recovered by retransmission)\n";
   }
   return out.str();
 }

@@ -65,17 +65,25 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
                          const std::vector<double>& mean_iter,
                          const std::vector<double>& stddev_iter,
                          std::vector<detail::Worker>& workers, dls::Technique& technique,
-                         util::RngStream& run_rng) {
+                         util::RngStream& run_rng, std::uint64_t seed) {
   const std::size_t processors = workers.size();
   const bool crash_mode = detail::has_crash_failures(config);
+  // Gray-failure machinery, structurally disarmed by default: with the
+  // quarantine config unarmed and no kSilentCorrupt failure, no tracker
+  // decision fires, no extra RNG stream is created, and no extra event is
+  // scheduled — runs are bit-identical to the pre-quarantine executor.
+  const bool quarantine_armed = config.quarantine.armed();
+  const bool silent_corrupt = detail::has_silent_corrupt(config);
 
   RunResult result;
   result.workers.assign(processors, WorkerStats{});
   for (const SimConfig::Failure& failure : config.failures) {
     // Master failures are MPI-only (this executor has no explicit
-    // coordinator) and do not crash a worker.
+    // coordinator) and do not crash a worker; degrade and silent-corrupt
+    // workers stay up.
     if (failure.kind == SimConfig::FailureKind::kDegrade ||
-        failure.kind == SimConfig::FailureKind::kMasterCrashRestart) {
+        failure.kind == SimConfig::FailureKind::kMasterCrashRestart ||
+        failure.kind == SimConfig::FailureKind::kSilentCorrupt) {
       continue;
     }
     result.faults.workers_crashed += 1;
@@ -139,6 +147,7 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     bool has_backup = false;
     bool flagged = false;  // straggler-flagged (at most once)
     bool done = false;     // a winner finished, or the range went back
+    bool probe = false;    // canary chunk sent to a quarantined worker
   };
   std::vector<std::unique_ptr<Task>> tasks;         // stable addresses
   std::vector<Task*> running(processors, nullptr);  // copy hosted on worker w
@@ -147,6 +156,45 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   // Live straggler threshold in sigmas; the deadline-risk monitor tightens
   // it (affects chunks dispatched AFTER the escalation).
   double quantile = config.speculation.quantile;
+
+  // Gray-failure state. The audit/corruption streams are fanned out of the
+  // run seed on their own child indices (23 / 29 — disjoint from the
+  // run_rng, worker, availability, channel, and burst streams), created
+  // only when armed so disarmed runs never consume them.
+  detail::HealthTracker health(config.quarantine, processors);
+  const util::SeedSequence gray_seeds(seed);
+  std::unique_ptr<util::RngStream> audit_rng;
+  if (quarantine_armed && config.quarantine.audit_rate > 0.0) {
+    audit_rng = std::make_unique<util::RngStream>(gray_seeds.child(23));
+  }
+  std::unique_ptr<util::RngStream> corrupt_rng;
+  std::vector<const SimConfig::Failure*> corrupt_failure(processors, nullptr);
+  if (silent_corrupt) {
+    corrupt_rng = std::make_unique<util::RngStream>(gray_seeds.child(29));
+    for (std::size_t w = 0; w < processors; ++w) {
+      corrupt_failure[w] = detail::silent_corrupt_failure(config, w);
+    }
+  }
+  // A-priori t = 0 weights for the slowdown baseline (pre-crash value for
+  // a worker already down at t = 0, matching the technique's weight seed).
+  std::vector<double> weight0(processors, 1.0);
+  if (quarantine_armed) {
+    for (std::size_t w = 0; w < processors; ++w) {
+      weight0[w] = workers[w].crashes() && workers[w].crash_time <= 0.0
+                       ? workers[w].weight_at_zero
+                       : workers[w].availability->availability_at(0.0);
+    }
+  }
+  // One queued audit: re-run `range` on a worker other than `origin` and
+  // compare. `original_wrong` is the ground truth carried from the
+  // original completion's wrongness draw.
+  struct AuditJob {
+    detail::IterationPool::Range range;
+    std::size_t origin = 0;
+    bool original_wrong = false;
+  };
+  std::deque<AuditJob> audits_waiting;
+  std::vector<char> auditing(processors, 0);  // worker busy on an audit replica
 
   std::function<void(std::size_t)> request;
 
@@ -179,6 +227,70 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     request(copy.worker);
   };
 
+  // Re-executes an accepted chunk on independent worker v and compares.
+  // The replica's timing feeds neither record() nor the coverage
+  // accounting (its trace entry is flagged `audit`); only the comparison
+  // verdict matters. A mismatch marks the ORIGINATING worker suspect.
+  auto launch_audit = [&](std::size_t v, AuditJob job) {
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + config.scheduling_overhead;
+    const double work =
+        input_factor * detail::chunk_work(application, worker_types[v], mean_iter[v],
+                                          stddev_iter[v], config.iteration_cov,
+                                          job.range.first, job.range.count, *workers[v].rng);
+    const double end_time = workers[v].availability->finish_time(start_time, work);
+    const bool lost =
+        dispatch_time < workers[v].crash_time && end_time > workers[v].crash_time;
+    health.stats.audits_launched += 1;
+    if (config.collect_trace) {
+      result.events.push_back(
+          {LifecycleEvent::Kind::kAuditLaunched, dispatch_time, v, job.range.count});
+      result.trace.push_back({v, job.range.count, dispatch_time, start_time, end_time, lost,
+                              job.range.first, false, false, false, true, false});
+    }
+    CDSF_LOG_TRACE << "worker " << v << " audit " << job.range.count << " of worker "
+                   << job.origin << " [" << dispatch_time << ", " << end_time << "]"
+                   << (lost ? " LOST" : "");
+    if (lost) {
+      // The auditing worker crashes mid-replica; the verdict never lands.
+      health.stats.audits_abandoned += 1;
+      return;
+    }
+    auditing[v] = 1;
+    engine.schedule_at(end_time, [&, v, job, start_time, end_time] {
+      auditing[v] = 0;
+      WorkerStats& stats = result.workers[v];
+      stats.busy_time += end_time - start_time;
+      stats.overhead_time += config.scheduling_overhead;
+      stats.finish_time = std::max(stats.finish_time, end_time);
+      // The replica itself can be silently wrong when ITS worker is gray —
+      // either wrongness makes the pair disagree.
+      bool replica_wrong = false;
+      const SimConfig::Failure* f = corrupt_failure[v];
+      if (f != nullptr && end_time > f->time &&
+          corrupt_rng->uniform01() < f->corrupt_probability) {
+        replica_wrong = true;
+      }
+      if (job.original_wrong || replica_wrong) {
+        health.stats.audit_mismatches += 1;
+        if (config.collect_trace) {
+          result.events.push_back({LifecycleEvent::Kind::kAuditMismatch, end_time,
+                                   job.origin, job.range.count});
+        }
+        if (health.observe_mismatch(job.origin)) {
+          health.quarantine(job.origin, end_time, /*audit_trip=*/true);
+          if (config.collect_trace) {
+            result.events.push_back(
+                {LifecycleEvent::Kind::kWorkerQuarantined, end_time, job.origin, 1});
+          }
+        }
+      } else {
+        health.stats.audits_matched += 1;
+      }
+      request(v);
+    });
+  };
+
   // Winning copy finished: account it, feed the technique exactly once,
   // cancel the losing copy if one is still running.
   auto complete_copy = [&](Task* task, bool is_backup) {
@@ -200,6 +312,53 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
                                       end_time - winner.dispatch_time});
     stats.finish_time = end_time;
     result.makespan = std::max(result.makespan, end_time);
+    // Ground truth for the audit layer: a gray worker's accepted result is
+    // silently wrong with its failure's probability (drawn only for gray
+    // workers past onset, so clean runs consume no stream).
+    bool wrong = false;
+    {
+      const SimConfig::Failure* f = corrupt_failure[w];
+      if (f != nullptr && end_time > f->time &&
+          corrupt_rng->uniform01() < f->corrupt_probability) {
+        wrong = true;
+        health.stats.corrupt_chunks_recorded += 1;
+      }
+    }
+    if (quarantine_armed) {
+      const double expected = detail::HealthTracker::expected_elapsed(
+          config.scheduling_overhead,
+          input_factor * mean_iter[w] * static_cast<double>(task->range.count), weight0[w]);
+      const double slowdown = (end_time - winner.dispatch_time) / expected;
+      if (task->probe) {
+        if (health.observe_probe(w, slowdown)) {
+          health.reinstate(w, end_time);
+          if (config.collect_trace) {
+            result.events.push_back(
+                {LifecycleEvent::Kind::kWorkerRestored, end_time, w, 0});
+          }
+        }
+      } else {
+        if (health.observe(w, slowdown)) {
+          health.quarantine(w, end_time, /*audit_trip=*/false);
+          if (config.collect_trace) {
+            result.events.push_back(
+                {LifecycleEvent::Kind::kWorkerQuarantined, end_time, w, 0});
+          }
+        }
+        if (audit_rng != nullptr && audit_rng->uniform01() < config.quarantine.audit_rate) {
+          audits_waiting.push_back(AuditJob{task->range, w, wrong});
+          // Wake one idle eligible worker for the replica (the originator
+          // cannot audit itself; quarantined workers are never idle[]).
+          for (std::size_t v = 0; v < processors; ++v) {
+            if (idle[v] && !dead[v] && v != w) {
+              idle[v] = 0;
+              request(v);
+              break;
+            }
+          }
+        }
+      }
+    }
     Copy& loser = is_backup ? task->primary : task->backup;
     if (task->has_backup && loser.live) cancel_copy(*task, loser, !is_backup);
     request(w);
@@ -235,52 +394,12 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
         engine.schedule_cancellable_at(end_time, [&, task] { complete_copy(task, true); });
   };
 
-  // Self-scheduling protocol: an idle worker requests a chunk; the chunk
-  // completion event records feedback and triggers the next request. Fresh
-  // work always outranks speculation — backups launch only when the pool is
-  // empty (an idle worker exists only when nothing is undispatched).
-  request = [&](std::size_t w) {
-    WorkerStats& stats = result.workers[w];
-    if (dead[w]) return;
-    const std::int64_t pending = pool.pending();
-    if (pending <= 0) {
-      if (speculate) {
-        while (!stragglers.empty() && stragglers.front()->done) stragglers.pop_front();
-        if (!stragglers.empty()) {
-          Task* task = stragglers.front();
-          stragglers.pop_front();
-          launch_backup(w, task);
-          return;
-        }
-      }
-      // Nothing undispatched NOW — but a crash may still return work, so
-      // stay wakeable instead of retiring.
-      idle[w] = 1;
-      stats.finish_time = std::max(stats.finish_time, engine.now());
-      return;
-    }
-    std::int64_t chunk = technique.next_chunk(dls::SchedulingContext{pending, w, engine.now()});
-    if (chunk <= 0) {
-      if (!crash_mode) {
-        // Technique has nothing (ever) for this worker (STATIC share spent).
-        stats.finish_time = std::max(stats.finish_time, engine.now());
-        return;
-      }
-      // Fault-tolerant fallback: the technique considers its plan spent
-      // (STATIC after a crash returned iterations to the pool), yet work is
-      // pending — drain it in equal shares so every run completes.
-      std::size_t alive = 0;
-      for (std::size_t v = 0; v < processors; ++v) alive += dead[v] ? 0u : 1u;
-      const auto alive64 = static_cast<std::int64_t>(alive);
-      chunk = (pending + alive64 - 1) / alive64;
-    }
-    const detail::IterationPool::Range range = pool.take(chunk);
-    if (range.count <= 0) {
-      idle[w] = 1;
-      stats.finish_time = std::max(stats.finish_time, engine.now());
-      return;
-    }
-
+  // Dispatches a granted range onto worker w as a fresh primary copy.
+  // Shared by the normal request path and the canary-probe path (a canary
+  // is an ordinary chunk of real pool work, flagged `probe` and exempt
+  // from straggler speculation — the quarantined worker is deliberately
+  // running it, so a backup would defeat the measurement).
+  auto launch_task = [&](std::size_t w, detail::IterationPool::Range range, bool is_probe) {
     const double dispatch_time = engine.now();
     const double start_time = dispatch_time + config.scheduling_overhead;
     const double work =
@@ -298,17 +417,19 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     tasks.push_back(std::make_unique<Task>());
     Task* task = tasks.back().get();
     task->range = range;
+    task->probe = is_probe;
     task->primary = Copy{w, !lost, lost, dispatch_time, start_time, Engine::kNoEvent, -1};
     running[w] = task;
     if (config.collect_trace) {
       task->primary.trace_index = static_cast<std::ptrdiff_t>(result.trace.size());
-      result.trace.push_back(
-          {w, range.count, dispatch_time, start_time, end_time, lost, range.first, false, false});
+      result.trace.push_back({w, range.count, dispatch_time, start_time, end_time, lost,
+                              range.first, false, false, false, false, is_probe});
     }
-    CDSF_LOG_TRACE << "worker " << w << " chunk " << range.count << " [" << dispatch_time
-                   << ", " << end_time << "]" << (lost ? " LOST" : "");
+    CDSF_LOG_TRACE << "worker " << w << (is_probe ? " canary " : " chunk ") << range.count
+                   << " [" << dispatch_time << ", " << end_time << "]"
+                   << (lost ? " LOST" : "");
 
-    if (speculate) {
+    if (speculate && !is_probe) {
       // Expected compute time: the technique's measured wall-clock estimate
       // when it has one (AWF/AF — availability-aware), else the a-priori
       // dedicated-time profile. A degraded-but-alive worker blows through
@@ -340,6 +461,88 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     if (lost) return;  // never completes; the crash event at crash_time reclaims it
     task->primary.completion =
         engine.schedule_cancellable_at(end_time, [&, task] { complete_copy(task, false); });
+  };
+
+  // Self-scheduling protocol: an idle worker requests a chunk; the chunk
+  // completion event records feedback and triggers the next request. Fresh
+  // work always outranks speculation — backups launch only when the pool is
+  // empty (an idle worker exists only when nothing is undispatched) — and
+  // audits run last of all (pure validation, never ahead of real work).
+  request = [&](std::size_t w) {
+    WorkerStats& stats = result.workers[w];
+    if (dead[w]) return;
+    if (quarantine_armed && health.quarantined(w)) {
+      // Drained: no pool work, no backups, no audits. Canary probes arrive
+      // through the probe timer. Deliberately NOT marked idle[], so the
+      // give-back / straggler / audit wake scans skip this worker.
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    const std::int64_t pending = pool.pending();
+    if (pending <= 0) {
+      if (speculate) {
+        while (!stragglers.empty() && stragglers.front()->done) stragglers.pop_front();
+        if (!stragglers.empty()) {
+          Task* task = stragglers.front();
+          stragglers.pop_front();
+          launch_backup(w, task);
+          return;
+        }
+      }
+      if (quarantine_armed && !audits_waiting.empty()) {
+        for (auto it = audits_waiting.begin(); it != audits_waiting.end(); ++it) {
+          if (it->origin == w) continue;  // a worker never audits itself
+          const AuditJob job = *it;
+          audits_waiting.erase(it);
+          launch_audit(w, job);
+          return;
+        }
+      }
+      // Nothing undispatched NOW — but a crash may still return work, so
+      // stay wakeable instead of retiring.
+      idle[w] = 1;
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    std::int64_t chunk = technique.next_chunk(dls::SchedulingContext{pending, w, engine.now()});
+    if (chunk <= 0) {
+      if (!crash_mode) {
+        // Technique has nothing (ever) for this worker (STATIC share spent).
+        stats.finish_time = std::max(stats.finish_time, engine.now());
+        return;
+      }
+      // Fault-tolerant fallback: the technique considers its plan spent
+      // (STATIC after a crash returned iterations to the pool), yet work is
+      // pending — drain it in equal shares so every run completes.
+      std::size_t alive = 0;
+      for (std::size_t v = 0; v < processors; ++v) alive += dead[v] ? 0u : 1u;
+      const auto alive64 = static_cast<std::int64_t>(alive);
+      chunk = (pending + alive64 - 1) / alive64;
+    }
+    const detail::IterationPool::Range range = pool.take(chunk);
+    if (range.count <= 0) {
+      idle[w] = 1;
+      stats.finish_time = std::max(stats.finish_time, engine.now());
+      return;
+    }
+    launch_task(w, range, /*is_probe=*/false);
+  };
+
+  // One canary: real pool work, technique-sized, flagged `probe` so its
+  // completion feeds the recovery streak instead of the fail-slow EWMA.
+  auto launch_canary = [&](std::size_t w) {
+    const std::int64_t pending = pool.pending();
+    if (pending <= 0) return;  // nothing left to probe with; keep waiting
+    std::int64_t chunk = technique.next_chunk(dls::SchedulingContext{pending, w, engine.now()});
+    if (chunk <= 0) chunk = 1;  // plan spent; a single iteration still probes
+    const detail::IterationPool::Range range = pool.take(chunk);
+    if (range.count <= 0) return;
+    health.stats.probes_launched += 1;
+    if (config.collect_trace) {
+      result.events.push_back(
+          {LifecycleEvent::Kind::kQuarantineProbe, engine.now(), w, range.count});
+    }
+    launch_task(w, range, /*is_probe=*/true);
   };
 
   if (application.parallel_iterations() > 0) {
@@ -394,11 +597,14 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     // Deadline-risk monitor: every check_interval, project the makespan
     // from the realized completion rate and escalate the straggler quantile
     // while Pr(makespan <= deadline) sits under the floor. Self-terminating
-    // (it must stop rescheduling for the event queue to drain).
+    // (it must stop rescheduling for the event queue to drain). The timer
+    // closures live in this scope and reschedule themselves by reference —
+    // a shared_ptr-owned std::function capturing its own owner would leak.
+    std::function<void()> risk_check;
+    std::function<void()> probe_tick;
     if (config.deadline_risk.enabled) {
       const double deadline = config.deadline_risk.deadline;
-      auto check = std::make_shared<std::function<void()>>();
-      *check = [&, deadline, check] {
+      risk_check = [&, deadline] {
         if (completed_iterations >= total_parallel) return;
         bool rescuable = false;
         for (std::size_t v = 0; v < processors && !rescuable; ++v) {
@@ -428,9 +634,32 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
             }
           }
         }
-        engine.schedule_after(config.deadline_risk.check_interval, *check);
+        engine.schedule_after(config.deadline_risk.check_interval, risk_check);
       };
-      engine.schedule_at(serial_end + config.deadline_risk.check_interval, *check);
+      engine.schedule_at(serial_end + config.deadline_risk.check_interval, risk_check);
+    }
+    // Canary-probe timer: every probe_interval, each quarantined worker
+    // that is not already busy receives one chunk of real pool work to
+    // measure recovery. Self-terminating like the deadline-risk monitor
+    // (and created only when the gray machinery is armed, so disarmed
+    // runs schedule nothing).
+    if (quarantine_armed) {
+      probe_tick = [&] {
+        if (completed_iterations >= total_parallel) return;
+        bool rescuable = false;
+        for (std::size_t v = 0; v < processors && !rescuable; ++v) {
+          rescuable = !dead[v] || (std::isfinite(workers[v].recovery_time) &&
+                                   workers[v].recovery_time > engine.now());
+        }
+        if (!rescuable) return;  // stranded; the post-run check reports it
+        for (std::size_t w = 0; w < processors; ++w) {
+          if (health.quarantined(w) && !dead[w] && running[w] == nullptr && !auditing[w]) {
+            launch_canary(w);
+          }
+        }
+        engine.schedule_after(config.quarantine.probe_interval, probe_tick);
+      };
+      engine.schedule_at(serial_end + config.quarantine.probe_interval, probe_tick);
     }
     // All workers become available for parallel work once the serial
     // portion completes on the master; workers already down then are
@@ -446,6 +675,16 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
                              " iterations stranded by crashes with no surviving worker "
                              "to re-dispatch to");
   }
+
+  // Gray-failure epilogue: audits still queued when the run drained were
+  // never dispatched, so they are dropped without touching the counters
+  // (audits_abandoned tracks LAUNCHED replicas only — keeping
+  // launched == matched + mismatches + abandoned exact). Open quarantine
+  // windows close at the end of simulated activity (all zero when
+  // disarmed).
+  audits_waiting.clear();
+  health.finish(std::max(result.makespan, engine.now()));
+  result.quarantine = health.stats;
 
   for (WorkerStats& w : result.workers) {
     if (w.finish_time == 0.0) w.finish_time = serial_end;
@@ -477,7 +716,7 @@ RunResult simulate_loop(const workload::Application& application, std::size_t pr
   const std::vector<double> mean_iter(processors, prepared.mean_iter);
   const std::vector<double> stddev_iter(processors, prepared.stddev_iter);
   return run_ideal_loop(application, config, prepared.input_factor, worker_types, mean_iter,
-                        stddev_iter, prepared.workers, *technique, prepared.run_rng);
+                        stddev_iter, prepared.workers, *technique, prepared.run_rng, seed);
 }
 
 RunResult simulate_loop(const workload::Application& application, std::size_t processor_type,
@@ -518,12 +757,14 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   std::vector<double> samples(replications);
   std::vector<FaultStats> faults(replications);
   std::vector<SpeculationStats> speculation(replications);
+  std::vector<QuarantineStats> quarantine(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
     const RunResult run = simulate_loop(application, processor_type, processors, availability,
                                         technique, config, seeds.child(r));
     samples[r] = run.makespan;
     faults[r] = run.faults;
     speculation[r] = run.speculation;
+    quarantine[r] = run.quarantine;
   });
   ReplicationSummary summary;
   // Summed in replication order — independent of the thread count. The
@@ -532,6 +773,7 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   // fills them).
   for (const FaultStats& f : faults) accumulate_faults(summary.faults_total, f);
   for (const SpeculationStats& s : speculation) summary.speculation_total.accumulate(s);
+  for (const QuarantineStats& q : quarantine) summary.quarantine_total.accumulate(q);
   detail::summarize_makespans(summary, std::move(samples), deadline);
   return summary;
 }
@@ -627,7 +869,7 @@ RunResult simulate_loop_mixed(const workload::Application& application,
   tech->reset();
 
   return run_ideal_loop(application, config, input_factor, worker_types, mean_iter,
-                        stddev_iter, group, *tech, run_rng);
+                        stddev_iter, group, *tech, run_rng, seed);
 }
 
 TechniqueComparison compare_techniques(const workload::Application& application,

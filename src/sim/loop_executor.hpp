@@ -88,10 +88,23 @@ struct ChannelModel {
   /// episode is dropped (counted in ChannelStats::burst_drops).
   double burst_gap_mean = 0.0;
   double burst_duration = 0.0;
+  /// Per-copy payload-corruption probability (seeded bit-flip model): a
+  /// delivered copy arrives with a broken body, fails the receiver's
+  /// checksum frame, and is discarded without processing or ack — the
+  /// at-least-once retransmission machinery then recovers the payload, so
+  /// a corrupted report can never reach Technique::record. Counted in
+  /// ChannelStats::corrupted / corrupt_discarded.
+  double corrupt_to_worker = 0.0;
+  double corrupt_to_master = 0.0;
   /// Deterministic test hooks: unconditionally drop the first N payload
   /// messages in the given direction (before any probability draw).
   std::size_t force_drop_to_worker = 0;
   std::size_t force_drop_to_master = 0;
+  /// Deterministic test hooks: unconditionally corrupt the first N
+  /// delivered payload copies in the given direction (before the
+  /// corruption probability draw).
+  std::size_t force_corrupt_to_worker = 0;
+  std::size_t force_corrupt_to_master = 0;
   /// First retransmit timeout; doubles (`rto_backoff`) after every unacked
   /// resend. Composes with the failure detector's false-suspicion timeout
   /// doubling: retransmission recovers lost MESSAGES, the detector
@@ -108,7 +121,14 @@ struct ChannelModel {
   [[nodiscard]] bool faulty() const noexcept {
     return drop_to_worker > 0.0 || drop_to_master > 0.0 || duplicate_to_worker > 0.0 ||
            duplicate_to_master > 0.0 || reorder_to_worker > 0.0 || reorder_to_master > 0.0 ||
-           burst_gap_mean > 0.0 || force_drop_to_worker > 0 || force_drop_to_master > 0;
+           burst_gap_mean > 0.0 || force_drop_to_worker > 0 || force_drop_to_master > 0 ||
+           corrupting();
+  }
+
+  /// True when any payload-corruption knob is nonzero (subset of faulty()).
+  [[nodiscard]] bool corrupting() const noexcept {
+    return corrupt_to_worker > 0.0 || corrupt_to_master > 0.0 || force_corrupt_to_worker > 0 ||
+           force_corrupt_to_master > 0;
   }
 };
 
@@ -165,6 +185,13 @@ struct SimConfig {
     /// without a master can never finish. The idealized executors have no
     /// explicit coordinator and ignore this kind (like fault_detection).
     kMasterCrashRestart,
+    /// Gray failure: from `time` on the worker computes at FULL speed but
+    /// each chunk it completes is silently WRONG with probability
+    /// `corrupt_probability` — well-formed results that pass every
+    /// checksum, invisible to the channel layer and the failure detector.
+    /// Only audit-based re-execution (Quarantine::audit_rate) can catch
+    /// it. No availability decorator is applied.
+    kSilentCorrupt,
   };
   /// Injected processor failures, at most one per worker (duplicates are
   /// rejected with std::invalid_argument — stacking decorators silently
@@ -176,6 +203,9 @@ struct SimConfig {
     FailureKind kind = FailureKind::kDegrade;
     /// kCrashRecover only: absolute time the worker rejoins (> time).
     double recovery_time = std::numeric_limits<double>::infinity();
+    /// kSilentCorrupt only: probability in (0, 1] that a chunk completed
+    /// after onset carries a wrong result.
+    double corrupt_probability = 1.0;
   };
   std::vector<Failure> failures;
   /// Master-side dead-worker detection for the message-passing model
@@ -241,6 +271,48 @@ struct SimConfig {
     double risk_floor = 0.5;
   };
   DeadlineRisk deadline_risk;
+  /// Gray-failure containment: fail-slow quarantine and audit-based
+  /// result validation (both executors). The master keeps a per-worker
+  /// EWMA of realized chunk slowdown — elapsed wall-clock over the
+  /// a-priori dedicated-time estimate, the same signal the speculation
+  /// layer thresholds per chunk — and quarantines a worker whose EWMA
+  /// stays above `slowdown_threshold` after `min_observations` accepted
+  /// chunks. A quarantined worker is DRAINED: its in-flight chunk still
+  /// completes and records, but it receives no new assignments, hosts no
+  /// speculative backups, and serves no audits. Every `probe_interval`
+  /// the master sends it one canary chunk of real pool work;
+  /// `probe_successes` consecutive healthy canaries reinstate it (EWMA
+  /// reset). Independently, `audit_rate` of accepted chunks are
+  /// re-executed on a different worker and compared; `audit_mismatch_limit`
+  /// mismatches quarantine the originator — the only defense against
+  /// kSilentCorrupt workers, whose results are wrong but well-formed.
+  /// Everything is structurally disarmed by default: with enabled ==
+  /// false and audit_rate == 0 no extra RNG stream is created and runs
+  /// are bit-identical to the pre-quarantine executor.
+  struct Quarantine {
+    bool enabled = false;
+    /// EWMA smoothing factor in (0, 1] (weight of the newest observation).
+    double ewma_alpha = 0.3;
+    /// Quarantine when EWMA slowdown exceeds this factor. Healthy workers
+    /// sit near 1/availability (typically 1–2.5 under the paper's cases),
+    /// so the default cleanly separates 10x fail-slow workers.
+    double slowdown_threshold = 4.0;
+    /// Accepted chunks required before the EWMA is trusted.
+    std::uint64_t min_observations = 3;
+    /// Simulated time between canary probes of a quarantined worker (> 0).
+    double probe_interval = 200.0;
+    /// Consecutive healthy canaries required for reinstatement (>= 1).
+    std::size_t probe_successes = 2;
+    /// Audit mismatches tolerated before the worker is quarantined (>= 1).
+    std::size_t audit_mismatch_limit = 1;
+    /// Fraction of accepted chunks re-executed on an independent worker
+    /// and compared (0 disables auditing).
+    double audit_rate = 0.0;
+
+    /// True when any part of the gray-failure machinery must run.
+    [[nodiscard]] bool armed() const noexcept { return enabled || audit_rate > 0.0; }
+  };
+  Quarantine quarantine;
   /// Unreliable master–worker channel (MPI executor only; the idealized
   /// executors abstract the network away and ignore it, like
   /// fault_detection). All probabilities default to 0: with `faulty()`
@@ -296,6 +368,13 @@ struct ChunkTraceEntry {
   /// The assignment needed at least one channel retransmission before the
   /// worker received it (hardened MPI protocol only).
   bool retransmitted = false;
+  /// Audit replica: a re-execution of an already-accepted chunk on an
+  /// independent worker for result comparison. Audit entries never feed
+  /// record() and are excluded from exactly-once coverage accounting.
+  bool audit = false;
+  /// Canary probe: real pool work dispatched to a quarantined worker to
+  /// test recovery (counts normally toward coverage).
+  bool probe = false;
 };
 
 /// Scheduler lifecycle moment recorded alongside the chunk trace (only
@@ -321,6 +400,18 @@ struct LifecycleEvent {
     kMasterCrash,         // the master process died (worker field unused)
     kMasterRestart,       // the master resumed from checkpoint + WAL
     kCheckpoint,          // periodic master snapshot (value = WAL length)
+    kWorkerQuarantined,   // health tracker quarantined the worker
+                          // (value = 0 fail-slow EWMA trip, 1 audit trip)
+    kQuarantineProbe,     // canary chunk sent to a quarantined worker
+                          // (value = iterations)
+    kWorkerRestored,      // quarantined worker reinstated after
+                          // probe_successes healthy canaries
+    kAuditLaunched,       // audit replica dispatched (value = iterations;
+                          // worker = auditing worker)
+    kAuditMismatch,       // audit result disagreed with the original
+                          // (worker = the suspect originating worker)
+    kMessageCorrupted,    // hardened MPI protocol: a delivered copy failed
+                          // its checksum and was discarded (value = sequence)
   };
   Kind kind = Kind::kWorkerCrash;
   double time = 0.0;
@@ -409,6 +500,13 @@ struct ChannelStats {
   /// Messages whose sender exhausted max_retransmits; recovery falls to
   /// the failure detector.
   std::uint64_t retransmits_abandoned = 0;
+  /// Delivered copies the channel corrupted in flight...
+  std::uint64_t corrupted = 0;
+  /// ...and copies the receiver's checksum frame rejected. The chaos
+  /// harness checks corrupted == corrupt_discarded: checksum detection is
+  /// assumed perfect, so no corrupted payload is ever processed (a
+  /// corrupted report never reaches Technique::record).
+  std::uint64_t corrupt_discarded = 0;
 
   /// Order-independent element-wise sum (aggregation across runs).
   void accumulate(const ChannelStats& other) noexcept {
@@ -421,11 +519,70 @@ struct ChannelStats {
     dedup_hits += other.dedup_hits;
     acks_sent += other.acks_sent;
     retransmits_abandoned += other.retransmits_abandoned;
+    corrupted += other.corrupted;
+    corrupt_discarded += other.corrupt_discarded;
   }
 
   /// True when the hardened protocol ran (used to gate report emission).
   [[nodiscard]] bool active() const noexcept {
     return messages_sent > 0 || acks_sent > 0;
+  }
+};
+
+/// Gray-failure containment accounting for one run (all zero when
+/// SimConfig::Quarantine is disarmed). Bookkeeping identities checked by
+/// the chaos harness: quarantines == fail_slow_trips + audit_trips,
+/// reinstatements <= quarantines, probes_healthy <= probes_launched, and
+/// audits_launched == audits_matched + audit_mismatches +
+/// audits_abandoned once the run completes.
+struct QuarantineStats {
+  /// Quarantines triggered by the fail-slow EWMA threshold...
+  std::uint64_t fail_slow_trips = 0;
+  /// ...and by reaching the audit-mismatch limit.
+  std::uint64_t audit_trips = 0;
+  std::uint64_t quarantines = 0;
+  /// Quarantined workers reinstated after sustained canary recovery.
+  std::uint64_t reinstatements = 0;
+  /// Canary probe chunks dispatched to quarantined workers...
+  std::uint64_t probes_launched = 0;
+  /// ...and canaries that came back under the slowdown threshold.
+  std::uint64_t probes_healthy = 0;
+  /// Total simulated time workers spent quarantined (run end closes any
+  /// still-open quarantine window).
+  double quarantined_time = 0.0;
+  /// Audit replicas dispatched...
+  std::uint64_t audits_launched = 0;
+  /// ...that agreed with the original result,
+  std::uint64_t audits_matched = 0;
+  /// ...that disagreed (the originating worker is marked suspect),
+  std::uint64_t audit_mismatches = 0;
+  /// ...and that never completed (auditing worker crashed / run ended).
+  std::uint64_t audits_abandoned = 0;
+  /// Ground truth: accepted chunks whose result was silently wrong
+  /// (kSilentCorrupt onset). The audit layer's catch rate is
+  /// audit_mismatches against this baseline.
+  std::uint64_t corrupt_chunks_recorded = 0;
+
+  /// Order-independent element-wise sum (aggregation across runs).
+  void accumulate(const QuarantineStats& other) noexcept {
+    fail_slow_trips += other.fail_slow_trips;
+    audit_trips += other.audit_trips;
+    quarantines += other.quarantines;
+    reinstatements += other.reinstatements;
+    probes_launched += other.probes_launched;
+    probes_healthy += other.probes_healthy;
+    quarantined_time += other.quarantined_time;
+    audits_launched += other.audits_launched;
+    audits_matched += other.audits_matched;
+    audit_mismatches += other.audit_mismatches;
+    audits_abandoned += other.audits_abandoned;
+    corrupt_chunks_recorded += other.corrupt_chunks_recorded;
+  }
+
+  /// True when the gray-failure machinery ran (gates report emission).
+  [[nodiscard]] bool active() const noexcept {
+    return quarantines > 0 || audits_launched > 0 || probes_launched > 0 ||
+           corrupt_chunks_recorded > 0;
   }
 };
 
@@ -487,6 +644,8 @@ struct RunResult {
   std::vector<LifecycleEvent> events;
   FaultStats faults;
   SpeculationStats speculation;
+  /// Gray-failure containment accounting (zero when disarmed).
+  QuarantineStats quarantine;
   /// Hardened-channel accounting (MPI executor; zero elsewhere).
   ChannelStats channel;
   /// Master checkpoint/restart accounting (MPI executor; zero elsewhere).
@@ -553,6 +712,8 @@ struct ReplicationSummary {
   FaultStats faults_total;
   /// Speculation accounting summed over all replications.
   SpeculationStats speculation_total;
+  /// Gray-failure containment accounting summed over all replications.
+  QuarantineStats quarantine_total;
   /// Channel + checkpoint accounting summed over all replications (only
   /// nonzero for the MPI replication path, simulate_replicated_mpi).
   ChannelStats channel_total;

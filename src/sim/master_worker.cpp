@@ -115,13 +115,21 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // result must be droppable), so it shares the crash-mode protocol even
   // when no crash failure is configured.
   const bool speculate = config.speculation.enabled;
-  const bool managed = crash_mode || speculate || hardened;
+  // Gray-failure machinery, structurally disarmed by default (see
+  // loop_executor.cpp): quarantine/audit decisions and the silent-wrongness
+  // ground truth need report-based accounting, so arming either joins the
+  // managed protocol.
+  const bool quarantine_armed = config.quarantine.armed();
+  const bool silent_corrupt = detail::has_silent_corrupt(config);
+  const bool gray = quarantine_armed || silent_corrupt;
+  const bool managed = crash_mode || speculate || hardened || gray;
 
   MpiRunResult result;
   result.run.workers.assign(processors, WorkerStats{});
   for (const SimConfig::Failure& failure : config.failures) {
     if (failure.kind == SimConfig::FailureKind::kDegrade ||
-        failure.kind == SimConfig::FailureKind::kMasterCrashRestart) {
+        failure.kind == SimConfig::FailureKind::kMasterCrashRestart ||
+        failure.kind == SimConfig::FailureKind::kSilentCorrupt) {
       continue;
     }
     result.run.faults.workers_crashed += 1;
@@ -188,6 +196,9 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     /// Pending report-chain event (compute completion, then the report's
     /// arrival); cancelled when the partner's report wins the race.
     Engine::EventId report_event = Engine::kNoEvent;
+    /// Canary chunk probing a quarantined worker: its accepted report feeds
+    /// the recovery streak instead of the fail-slow EWMA.
+    bool probe = false;
     std::ptrdiff_t trace_index = -1;  // set only with collect_trace
   };
   std::vector<Outstanding> outstanding(processors);
@@ -206,6 +217,47 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   std::deque<std::pair<std::size_t, std::uint64_t>> stragglers;
   double quantile = config.speculation.quantile;
 
+  // ---- Gray-failure state (dormant when disarmed; see loop_executor.cpp
+  // for the shared semantics). The audit/corruption streams are fanned out
+  // of the run seed on children 23/29 — disjoint from the run_rng, worker,
+  // availability, channel, and burst streams — and created only when armed
+  // so disarmed runs never consume them.
+  detail::HealthTracker health(config.quarantine, processors);
+  std::optional<util::RngStream> audit_rng;
+  if (quarantine_armed && config.quarantine.audit_rate > 0.0) {
+    audit_rng.emplace(util::SeedSequence(seed).child(23));
+  }
+  std::optional<util::RngStream> corrupt_rng;
+  std::vector<const SimConfig::Failure*> corrupt_failure(processors, nullptr);
+  if (silent_corrupt) {
+    corrupt_rng.emplace(util::SeedSequence(seed).child(29));
+    for (std::size_t w = 0; w < processors; ++w) {
+      corrupt_failure[w] = detail::silent_corrupt_failure(config, w);
+    }
+  }
+  // A-priori t = 0 weights for the slowdown baseline (pre-crash value for a
+  // worker already down at t = 0, matching the technique's weight seed).
+  std::vector<double> weight0(processors, 1.0);
+  if (quarantine_armed) {
+    for (std::size_t w = 0; w < processors; ++w) {
+      weight0[w] = prepared.workers[w].crashes() && prepared.workers[w].crash_time <= 0.0
+                       ? prepared.workers[w].weight_at_zero
+                       : prepared.workers[w].availability->availability_at(0.0);
+    }
+  }
+  // One queued audit: re-run `range` on a worker other than `origin` and
+  // compare. `original_wrong` carries the original completion's wrongness
+  // ground truth.
+  struct AuditJob {
+    detail::IterationPool::Range range;
+    std::size_t origin = 0;
+    bool original_wrong = false;
+  };
+  std::deque<AuditJob> audits_waiting;
+  std::vector<char> auditing(processors, 0);      // worker busy on an audit replica
+  std::vector<std::uint64_t> audit_epoch(processors, 0);
+  std::vector<char> probe_pending(processors, 0);  // canary service queued
+
   // ---- Hardened at-least-once protocol state (dormant otherwise). ----
   const ChannelModel& chan = config.channel;
   // Channel fault draws come from dedicated streams fanned out of the run
@@ -222,6 +274,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   }
   std::size_t force_drop_to_worker = chan.force_drop_to_worker;
   std::size_t force_drop_to_master = chan.force_drop_to_master;
+  std::size_t force_corrupt_to_worker = chan.force_corrupt_to_worker;
+  std::size_t force_corrupt_to_master = chan.force_corrupt_to_master;
   // Worker-side protocol memory (survives master restarts).
   std::vector<std::uint64_t> request_seq(processors, 0);   // requests issued
   std::vector<std::uint64_t> reply_seq(processors, 0);     // highest request answered
@@ -252,17 +306,19 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   std::function<void(std::size_t, std::uint64_t, bool)> master_handle_request;
   std::function<void(std::size_t, bool)> worker_send_request;
   std::function<std::uint64_t(std::size_t, detail::IterationPool::Range, std::uint64_t, bool,
-                              std::size_t, std::uint64_t)>
+                              std::size_t, std::uint64_t, bool)>
       dispatch_hardened;
   std::function<void(std::size_t, std::uint64_t, std::int64_t, double)> arm_straggler_check;
   std::function<void()> snapshot_tick;
+  std::function<void()> probe_tick;
 
   // Pulls a reclaimed/returned range back into circulation: benched workers
   // (idle because the pool momentarily drained) get the master's deferred
   // reply now.
   auto wake_idle = [&] {
     for (std::size_t v = 0; v < processors; ++v) {
-      if (idle[v] && !declared_dead[v]) {
+      if (idle[v] && !declared_dead[v] &&
+          !(quarantine_armed && health.quarantined(v))) {
         idle[v] = 0;
         master_receive_request(v, 0);
       }
@@ -367,11 +423,13 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   };
 
   // Offers one message to the channel: applies the force-drop test hooks,
-  // burst windows, and the per-direction drop / duplicate / reorder draws,
-  // then schedules `deliver` once per surviving copy. With a clean channel
-  // this is exactly one delivery after the base latency. Returns true when
-  // at least one copy went on the wire.
-  auto channel_send = [&](bool to_worker, bool is_ack, std::function<void()> deliver) {
+  // burst windows, and the per-direction drop / duplicate / reorder /
+  // corrupt draws, then schedules `deliver` once per surviving copy. With a
+  // clean channel this is exactly one delivery after the base latency.
+  // Returns true when at least one copy went on the wire. `w`/`seq`
+  // identify the message for the corruption trace only.
+  auto channel_send = [&](bool to_worker, bool is_ack, std::size_t w, std::int64_t seq,
+                          std::function<void()> deliver) {
     if (is_ack) {
       result.run.channel.acks_sent += 1;
     } else {
@@ -403,12 +461,36 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     const bool duplicated = dup_p > 0.0 && channel_rng->uniform01() < dup_p;
     if (duplicated) result.run.channel.duplicates += 1;
     const double reorder_p = to_worker ? chan.reorder_to_worker : chan.reorder_to_master;
+    const double corrupt_p = to_worker ? chan.corrupt_to_worker : chan.corrupt_to_master;
+    std::size_t& force_corrupt = to_worker ? force_corrupt_to_worker : force_corrupt_to_master;
     const std::size_t copies = duplicated ? 2 : 1;
     for (std::size_t c = 0; c < copies; ++c) {
       double delay = messages.latency;
       if (reorder_p > 0.0 && channel_rng->uniform01() < reorder_p) {
         result.run.channel.reorders += 1;
         delay += channel_rng->uniform(0.0, chan.reorder_delay);
+      }
+      // Payload corruption: the copy still travels, but its checksum fails
+      // at the receiver — the frame is counted and DISCARDED there, never
+      // processed, so no ack fires and the sender's retransmission loop
+      // recovers it. A corrupted report can therefore never reach record().
+      bool corrupt = false;
+      if (!is_ack && force_corrupt > 0) {
+        force_corrupt -= 1;
+        corrupt = true;
+      } else if (corrupt_p > 0.0 && channel_rng->uniform01() < corrupt_p) {
+        corrupt = true;
+      }
+      if (corrupt) {
+        engine.schedule_after(delay, [&, w, seq] {
+          result.run.channel.corrupted += 1;
+          result.run.channel.corrupt_discarded += 1;
+          if (config.collect_trace) {
+            result.run.events.push_back(
+                {LifecycleEvent::Kind::kMessageCorrupted, engine.now(), w, seq});
+          }
+        });
+        continue;
       }
       engine.schedule_after(delay, deliver);
     }
@@ -426,7 +508,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                      std::size_t retries_left, std::uint64_t epoch,
                      std::function<bool()> resolved, std::function<void()> on_retransmit,
                      std::function<void()> deliver) {
-        channel_send(to_worker, false, deliver);
+        channel_send(to_worker, false, w, seq, deliver);
         engine.schedule_after(rto, [&, to_worker, w, seq, rto, retries_left, epoch,
                                     resolved = std::move(resolved),
                                     on_retransmit = std::move(on_retransmit),
@@ -460,6 +542,135 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (!checkpointing) return;
     result.run.wal.push_back({kind, engine.now(), w, seqno, first, count});
     result.run.checkpoint.wal_records += 1;
+  };
+
+  // Re-executes an accepted chunk on independent worker v and compares
+  // (see loop_executor.cpp for the shared semantics). The replica is
+  // side-channel validation traffic: it never enters the assignment
+  // protocol, feeds neither record() nor the coverage accounting, and its
+  // worker is simply busy until the verdict reaches the master one latency
+  // after completion. A mismatch marks the ORIGINATING worker suspect.
+  auto launch_audit = [&](std::size_t v, AuditJob job) {
+    const double dispatch_time = engine.now();
+    const double start_time = dispatch_time + messages.latency;
+    const double work = prepared.input_factor *
+                        detail::chunk_work(application, processor_type, prepared.mean_iter,
+                                           prepared.stddev_iter, config.iteration_cov,
+                                           job.range.first, job.range.count,
+                                           *prepared.workers[v].rng);
+    const double end_time = prepared.workers[v].availability->finish_time(start_time, work);
+    const bool lost = start_time < prepared.workers[v].recovery_time &&
+                      end_time > prepared.workers[v].crash_time;
+    health.stats.audits_launched += 1;
+    if (config.collect_trace) {
+      result.run.events.push_back(
+          {LifecycleEvent::Kind::kAuditLaunched, dispatch_time, v, job.range.count});
+      result.run.trace.push_back({v, job.range.count, dispatch_time, start_time, end_time,
+                                  lost, job.range.first, false, false, false, true, false});
+    }
+    CDSF_LOG_TRACE << "mpi worker " << v << " audit " << job.range.count << " of worker "
+                   << job.origin << " [" << dispatch_time << ", " << end_time << "]"
+                   << (lost ? " LOST" : "");
+    if (lost) {
+      // The auditing worker crashes mid-replica; the verdict never lands
+      // (its rejoin request, if any, re-enters it through the usual path).
+      health.stats.audits_abandoned += 1;
+      return;
+    }
+    auditing[v] = 1;
+    const std::uint64_t epoch = ++audit_epoch[v];
+    engine.schedule_at(
+        end_time + messages.latency, [&, v, job, epoch, dispatch_time, start_time, end_time] {
+          if (master_down || audit_epoch[v] != epoch || !auditing[v]) {
+            return;  // the verdict died with the master (counted at restart)
+          }
+          auditing[v] = 0;
+          WorkerStats& ws = result.run.workers[v];
+          ws.busy_time += end_time - start_time;
+          ws.overhead_time += start_time - dispatch_time;
+          ws.finish_time = std::max(ws.finish_time, end_time);
+          // The replica itself can be silently wrong when ITS worker is
+          // gray — either wrongness makes the pair disagree.
+          bool replica_wrong = false;
+          const SimConfig::Failure* f = corrupt_failure[v];
+          if (f != nullptr && end_time > f->time &&
+              corrupt_rng->uniform01() < f->corrupt_probability) {
+            replica_wrong = true;
+          }
+          if (job.original_wrong || replica_wrong) {
+            health.stats.audit_mismatches += 1;
+            if (config.collect_trace) {
+              result.run.events.push_back({LifecycleEvent::Kind::kAuditMismatch, engine.now(),
+                                           job.origin, job.range.count});
+            }
+            if (health.observe_mismatch(job.origin)) {
+              health.quarantine(job.origin, engine.now(), /*audit_trip=*/true);
+              if (config.collect_trace) {
+                result.run.events.push_back(
+                    {LifecycleEvent::Kind::kWorkerQuarantined, engine.now(), job.origin, 1});
+              }
+            }
+          } else {
+            health.stats.audits_matched += 1;
+          }
+          master_receive_request(v, 0);
+        });
+  };
+
+  // Gray-failure hook at every ACCEPTED completion report: draws the
+  // silent-wrongness ground truth, feeds the fail-slow EWMA (or the canary
+  // recovery streak for probes), and enrolls a fraction of chunks for
+  // audit. Mirrors complete_copy in loop_executor.cpp; corrupted frames
+  // never reach this point (discarded at the checksum layer).
+  auto observe_accepted = [&](std::size_t w, detail::IterationPool::Range range, bool probe,
+                              double dispatch_time, double end_time) {
+    if (!gray) return;
+    const double now = engine.now();
+    bool wrong = false;
+    {
+      const SimConfig::Failure* f = corrupt_failure[w];
+      if (f != nullptr && end_time > f->time &&
+          corrupt_rng->uniform01() < f->corrupt_probability) {
+        wrong = true;
+        health.stats.corrupt_chunks_recorded += 1;
+      }
+    }
+    if (!quarantine_armed) return;
+    // Dispatch-to-completion wall clock against the a-priori expectation
+    // (one message latency covers the assignment's travel; the report trip
+    // is not in the numerator).
+    const double expected = detail::HealthTracker::expected_elapsed(
+        messages.latency,
+        prepared.input_factor * prepared.mean_iter * static_cast<double>(range.count),
+        weight0[w]);
+    const double slowdown = (end_time - dispatch_time) / expected;
+    if (probe) {
+      if (health.observe_probe(w, slowdown)) {
+        health.reinstate(w, now);
+        if (config.collect_trace) {
+          result.run.events.push_back({LifecycleEvent::Kind::kWorkerRestored, now, w, 0});
+        }
+      }
+      return;
+    }
+    if (health.observe(w, slowdown)) {
+      health.quarantine(w, now, /*audit_trip=*/false);
+      if (config.collect_trace) {
+        result.run.events.push_back({LifecycleEvent::Kind::kWorkerQuarantined, now, w, 0});
+      }
+    }
+    if (audit_rng && audit_rng->uniform01() < config.quarantine.audit_rate) {
+      audits_waiting.push_back(AuditJob{range, w, wrong});
+      // Wake one idle eligible worker for the replica (the originator
+      // cannot audit itself; quarantined workers stay benched).
+      for (std::size_t v = 0; v < processors; ++v) {
+        if (idle[v] && !declared_dead[v] && v != w && !health.quarantined(v)) {
+          idle[v] = 0;
+          master_receive_request(v, 0);
+          break;
+        }
+      }
+    }
   };
 
   auto master_receive_ack = [&](std::size_t w, std::uint64_t id) {
@@ -582,6 +793,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                     technique->record(dls::ChunkResult{w, out.range.count,
                                                        out.end_time - out.start_time,
                                                        out.end_time - out.dispatch_time});
+                    observe_accepted(w, out.range, out.probe, out.dispatch_time,
+                                     out.end_time);
                     if (out.has_partner && outstanding[out.partner].active &&
                         outstanding[out.partner].id == out.partner_id) {
                       cancel_partner(out.partner);
@@ -602,7 +815,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                                    double dispatch_time) {
     if (master_down) return;          // lost with the master; the worker retransmits
     if (cancelled_seq[w] >= id) return;  // cancelled loser: already resolved
-    channel_send(true, true, [&, w, id] {
+    channel_send(true, true, w, static_cast<std::int64_t>(id), [&, w, id] {
       if (id > report_acked_seq[w]) report_acked_seq[w] = id;
     });
     if (id <= processed_seq[w]) {
@@ -648,6 +861,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     technique->record(
         dls::ChunkResult{w, out.range.count, end_time - start_time, end_time - dispatch_time});
     wal_append(WalRecord::Kind::kComplete, w, id, range.first, range.count);
+    observe_accepted(w, out.range, out.probe, dispatch_time, end_time);
     if (out.has_partner && outstanding[out.partner].active &&
         outstanding[out.partner].id == out.partner_id) {
       cancel_partner(out.partner);
@@ -677,7 +891,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     const double now = engine.now();
     if (worker.crash_time <= now && now < worker.recovery_time) return;  // down: lost
     if (rseq > reply_seq[w]) reply_seq[w] = rseq;  // the assignment answers the request
-    channel_send(false, true, [&, w, id] { master_receive_ack(w, id); });
+    channel_send(false, true, w, static_cast<std::int64_t>(id),
+                 [&, w, id] { master_receive_ack(w, id); });
     if (id <= cancelled_seq[w]) return;  // cancelled before it arrived
     if (id <= executed_seq[w]) {
       result.run.channel.dedup_hits += 1;
@@ -727,7 +942,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // ack lands. Returns the assignment sequence number.
   dispatch_hardened = [&](std::size_t w, detail::IterationPool::Range range,
                           std::uint64_t rseq, bool speculative, std::size_t partner,
-                          std::uint64_t partner_id) -> std::uint64_t {
+                          std::uint64_t partner_id, bool probe) -> std::uint64_t {
     const double dispatch_time = engine.now();
     const std::uint64_t id = ++next_id[w];
     Outstanding out;
@@ -740,6 +955,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     out.end_time = dispatch_time;
     out.id = id;
     out.speculative = speculative;
+    out.probe = probe;
     if (speculative) {
       out.has_partner = true;
       out.partner = partner;
@@ -748,7 +964,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (config.collect_trace) {
       out.trace_index = static_cast<std::ptrdiff_t>(result.run.trace.size());
       result.run.trace.push_back({w, range.count, dispatch_time, dispatch_time, dispatch_time,
-                                  false, range.first, speculative, false});
+                                  false, range.first, speculative, false, false, false,
+                                  probe});
       if (speculative) {
         result.run.events.push_back(
             {LifecycleEvent::Kind::kChunkBackup, dispatch_time, w, range.count});
@@ -756,10 +973,14 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     }
     outstanding[w] = out;
     wal_append(WalRecord::Kind::kAssign, w, id, range.first, range.count);
-    CDSF_LOG_TRACE << "mpi worker " << w << (speculative ? " backup " : " chunk ")
+    CDSF_LOG_TRACE << "mpi worker " << w
+                   << (speculative ? " backup " : probe ? " canary " : " chunk ")
                    << range.count << " dispatched at " << dispatch_time;
     arm_detection(w, id, range.count, dispatch_time);
-    if (speculate && !speculative) {
+    if (speculate && !speculative && !probe) {
+      // Canaries are exempt from straggler speculation: the quarantined
+      // worker is deliberately running this chunk, so a backup would defeat
+      // the measurement.
       arm_straggler_check(w, id, range.count, dispatch_time + messages.latency);
     }
     transmit(true, w, static_cast<std::int64_t>(id), chan.rto, chan.max_retransmits,
@@ -787,7 +1008,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     Outstanding& primary = outstanding[w];
     const detail::IterationPool::Range range = primary.range;
     if (hardened) {
-      const std::uint64_t backup_id = dispatch_hardened(v, range, rseq, true, w, id);
+      const std::uint64_t backup_id =
+          dispatch_hardened(v, range, rseq, true, w, id, /*probe=*/false);
       primary.has_partner = true;
       primary.partner = v;
       primary.partner_id = backup_id;
@@ -863,7 +1085,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
             {LifecycleEvent::Kind::kChunkStraggler, engine.now(), w, out.range.count});
       }
       for (std::size_t v = 0; v < processors; ++v) {
-        if (idle[v] && !declared_dead[v]) {
+        if (idle[v] && !declared_dead[v] &&
+            !(quarantine_armed && health.quarantined(v))) {
           idle[v] = 0;
           launch_backup(v, w, id, 0);
           return;
@@ -877,7 +1100,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   // (so its request retries stop). Delivered best-effort; a lost notice is
   // re-sent when the retried request arrives.
   auto send_bench = [&](std::size_t w, std::uint64_t rseq) {
-    channel_send(true, false, [&, w, rseq] {
+    channel_send(true, false, w, static_cast<std::int64_t>(rseq), [&, w, rseq] {
       const detail::Worker& worker = prepared.workers[w];
       const double now = engine.now();
       if (worker.crash_time <= now && now < worker.recovery_time) return;
@@ -941,9 +1164,10 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       const std::uint64_t id = out.id;
       const detail::IterationPool::Range range = out.range;
       const double dispatch_time = out.dispatch_time;
-      channel_send(true, false, [&, w, id, rseq, range, dispatch_time] {
-        worker_receive_assignment(w, id, rseq, range, dispatch_time);
-      });
+      channel_send(true, false, w, static_cast<std::int64_t>(id),
+                   [&, w, id, rseq, range, dispatch_time] {
+                     worker_receive_assignment(w, id, rseq, range, dispatch_time);
+                   });
       return;
     }
     if (idle[w]) {
@@ -986,8 +1210,29 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       if (master_down) return;  // the master died mid-service
       WorkerStats& stats = result.run.workers[w];
       if (declared_dead[w]) return;
+      const bool probe = quarantine_armed && probe_pending[w] != 0;
+      if (probe) probe_pending[w] = 0;
+      if (quarantine_armed && !probe && health.quarantined(w)) {
+        // Drained: no pool work, no backups, no audits. Canary probes
+        // arrive through the probe timer; the bench notice stops a hardened
+        // worker's request retries. Deliberately NOT marked idle[], so the
+        // wake / straggler-host / audit scans skip this worker.
+        if (hardened && rseq > 0) send_bench(w, rseq);
+        stats.finish_time = std::max(stats.finish_time, engine.now());
+        return;
+      }
+      if (quarantine_armed && auditing[w] != 0) {
+        // Mid-audit duplicate service (e.g. the worker's request retry —
+        // an audit sends it no reply): the worker is busy with the replica.
+        // Bench the retry so its request loop resolves; the verdict
+        // re-enters it through the usual request path. Launching anything
+        // here would double-book the worker and orphan the first verdict.
+        if (hardened && rseq > 0) send_bench(w, rseq);
+        return;
+      }
       const std::int64_t pending = pool.pending();
       if (pending <= 0) {
+        if (probe) return;  // nothing left to probe with; keep waiting
         // Fresh work always outranks speculation, so backups only launch
         // when the pool is empty.
         if (speculate) {
@@ -1003,6 +1248,17 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
             return;
           }
         }
+        // Audits run last of all (pure validation, never ahead of real
+        // work); a worker never audits itself.
+        if (quarantine_armed && !audits_waiting.empty()) {
+          for (auto it = audits_waiting.begin(); it != audits_waiting.end(); ++it) {
+            if (it->origin == w) continue;
+            const AuditJob job = *it;
+            audits_waiting.erase(it);
+            launch_audit(w, job);
+            return;
+          }
+        }
         // Managed mode: stay wakeable — a reclaim may refill the pool.
         if (managed) idle[w] = 1;
         if (hardened && rseq > 0) send_bench(w, rseq);
@@ -1012,27 +1268,38 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       const dls::SchedulingContext ctx{pending, w, engine.now()};
       std::int64_t chunk = technique->next_chunk(ctx);
       if (chunk <= 0) {
-        if (!crash_mode && !hardened) {
+        if (probe) {
+          chunk = 1;  // plan spent; a single iteration still probes
+        } else if (!crash_mode && !hardened) {
           stats.finish_time = std::max(stats.finish_time, engine.now());
           return;
+        } else {
+          // Fault-tolerant fallback: the technique's plan is spent but
+          // reclaimed iterations are pending — drain them in equal shares.
+          std::size_t alive = 0;
+          for (std::size_t v = 0; v < processors; ++v) alive += declared_dead[v] ? 0u : 1u;
+          const auto alive64 = static_cast<std::int64_t>(alive);
+          chunk = (pending + alive64 - 1) / alive64;
         }
-        // Fault-tolerant fallback: the technique's plan is spent but
-        // reclaimed iterations are pending — drain them in equal shares.
-        std::size_t alive = 0;
-        for (std::size_t v = 0; v < processors; ++v) alive += declared_dead[v] ? 0u : 1u;
-        const auto alive64 = static_cast<std::int64_t>(alive);
-        chunk = (pending + alive64 - 1) / alive64;
       }
       const detail::IterationPool::Range range = pool.take(chunk);
       if (range.count <= 0) {
+        if (probe) return;  // nothing left to probe with; keep waiting
         if (managed) idle[w] = 1;
         if (hardened && rseq > 0) send_bench(w, rseq);
         stats.finish_time = std::max(stats.finish_time, engine.now());
         return;
       }
+      if (probe) {
+        health.stats.probes_launched += 1;
+        if (config.collect_trace) {
+          result.run.events.push_back(
+              {LifecycleEvent::Kind::kQuarantineProbe, engine.now(), w, range.count});
+        }
+      }
 
       if (hardened) {
-        (void)dispatch_hardened(w, range, rseq, false, 0, 0);
+        (void)dispatch_hardened(w, range, rseq, false, 0, 0, probe);
         return;
       }
 
@@ -1059,10 +1326,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       if (config.collect_trace) {
         result.run.trace.push_back(
             {w, range.count, dispatch_time, start_time, end_time, lost, range.first, false,
-             false});
+             false, false, false, probe});
       }
-      CDSF_LOG_TRACE << "mpi worker " << w << " chunk " << range.count << " ["
-                     << dispatch_time << ", " << end_time << "]" << (lost ? " LOST" : "");
+      CDSF_LOG_TRACE << "mpi worker " << w << (probe ? " canary " : " chunk ") << range.count
+                     << " [" << dispatch_time << ", " << end_time << "]"
+                     << (lost ? " LOST" : "");
 
       if (!managed) {
         // Legacy protocol (bit-identical): account at dispatch, report
@@ -1100,10 +1368,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       out.start_time = start_time;
       out.end_time = end_time;
       out.id = id;
+      out.probe = probe;
       out.trace_index = trace_index;
       outstanding[w] = out;
       arm_detection(w, id, range.count, dispatch_time);
-      if (speculate) arm_straggler_check(w, id, range.count, start_time);
+      if (speculate && !probe) arm_straggler_check(w, id, range.count, start_time);
       if (lost) return;  // the worker dies mid-chunk: no report, ever
       schedule_report(w, id);
     });
@@ -1131,6 +1400,20 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     std::fill(idle.begin(), idle.end(), 0);
     std::fill(service_pending.begin(), service_pending.end(), 0);
     stragglers.clear();
+    // In-flight audit replicas and queued audit jobs died with the master
+    // (the verdict table is volatile); their workers re-enter through the
+    // restart wake below or their own requests. Queued jobs were never
+    // dispatched, so only the in-flight replicas count as abandoned. The
+    // health/quarantine state itself is snapshot-durable and survives the
+    // restart.
+    for (std::size_t w = 0; w < processors; ++w) {
+      if (auditing[w]) {
+        auditing[w] = 0;
+        health.stats.audits_abandoned += 1;
+      }
+    }
+    audits_waiting.clear();
+    std::fill(probe_pending.begin(), probe_pending.end(), 0);
     std::vector<std::uint64_t> last_assign(processors, 0);
     std::vector<std::uint64_t> last_ack(processors, 0);
     std::vector<std::uint64_t> last_complete(processors, 0);
@@ -1218,6 +1501,40 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     engine.schedule_after(config.checkpoint.interval, snapshot_tick);
   };
 
+  // Canary-probe timer (see loop_executor.cpp): every probe_interval, each
+  // quarantined live worker with nothing in flight gets one master-initiated
+  // service carrying real pool work, flagged as a probe. Self-terminating
+  // via the same stagnation guard as the snapshot tick so a stranded run
+  // can still drain its event queue.
+  std::int64_t probe_last_completed = -1;
+  std::size_t probe_stagnant = 0;
+  probe_tick = [&] {
+    if (completed >= application.parallel_iterations()) return;
+    if (completed == probe_last_completed) {
+      if (++probe_stagnant > 1000) return;
+    } else {
+      probe_stagnant = 0;
+      probe_last_completed = completed;
+    }
+    if (!master_down) {
+      for (std::size_t w = 0; w < processors; ++w) {
+        if (!health.quarantined(w) || declared_dead[w]) continue;
+        const detail::Worker& worker = prepared.workers[w];
+        if (worker.crash_time <= engine.now() && engine.now() < worker.recovery_time) {
+          continue;  // physically down; the canary would be wasted
+        }
+        if (outstanding[w].active || service_pending[w] != 0 || auditing[w] != 0 ||
+            probe_pending[w] != 0) {
+          continue;
+        }
+        probe_pending[w] = 1;
+        idle[w] = 0;  // a restart may have benched it as idle; the probe owns it now
+        master_receive_request(w, 0);
+      }
+    }
+    engine.schedule_after(config.quarantine.probe_interval, probe_tick);
+  };
+
   if (application.parallel_iterations() > 0) {
     engine.schedule_at(serial_end, [&] {
       // Every worker's initial request reaches the master one latency in;
@@ -1271,6 +1588,9 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (checkpointing) {
       engine.schedule_at(serial_end + config.checkpoint.interval, snapshot_tick);
     }
+    if (quarantine_armed) {
+      engine.schedule_at(serial_end + config.quarantine.probe_interval, probe_tick);
+    }
     engine.run();
   }
 
@@ -1281,6 +1601,17 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         " iterations stranded by crashes (fault detection disabled or no surviving "
         "worker to re-dispatch to)");
   }
+
+  // Gray-failure epilogue (see loop_executor.cpp): in-flight replicas whose
+  // verdict never resolved are abandoned; queued jobs were never dispatched
+  // and are dropped uncounted. Open quarantine windows close at the end of
+  // simulated activity.
+  for (std::size_t v = 0; v < processors; ++v) {
+    if (auditing[v]) health.stats.audits_abandoned += 1;
+  }
+  audits_waiting.clear();
+  health.finish(std::max(result.run.makespan, engine.now()));
+  result.run.quarantine = health.stats;
 
   for (WorkerStats& w : result.run.workers) {
     if (w.finish_time == 0.0) w.finish_time = serial_end;
@@ -1325,6 +1656,7 @@ ReplicationSummary simulate_replicated_mpi(const workload::Application& applicat
   std::vector<SpeculationStats> speculation(replications);
   std::vector<ChannelStats> channel(replications);
   std::vector<CheckpointStats> checkpoint(replications);
+  std::vector<QuarantineStats> quarantine(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
     const MpiRunResult res =
         simulate_loop_mpi(application, processor_type, processors, availability, technique,
@@ -1334,6 +1666,7 @@ ReplicationSummary simulate_replicated_mpi(const workload::Application& applicat
     speculation[r] = res.run.speculation;
     channel[r] = res.run.channel;
     checkpoint[r] = res.run.checkpoint;
+    quarantine[r] = res.run.quarantine;
   });
   ReplicationSummary summary;
   // Summed in replication order — independent of the thread count.
@@ -1341,6 +1674,7 @@ ReplicationSummary simulate_replicated_mpi(const workload::Application& applicat
   for (const SpeculationStats& s : speculation) summary.speculation_total.accumulate(s);
   for (const ChannelStats& c : channel) summary.channel_total.accumulate(c);
   for (const CheckpointStats& c : checkpoint) summary.checkpoint_total.accumulate(c);
+  for (const QuarantineStats& q : quarantine) summary.quarantine_total.accumulate(q);
   detail::summarize_makespans(summary, std::move(samples), deadline);
   return summary;
 }

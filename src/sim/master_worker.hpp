@@ -30,6 +30,19 @@
 // re-dispatches unacked assignments and never re-records completed work.
 // With a clean channel and checkpointing off all of this is structurally
 // disarmed and the executor is bit-identical to the reliable protocol.
+//
+// GRAY failures — workers that are wrong rather than dead — are handled by
+// three cooperating layers (shared semantics with loop_executor.cpp):
+// payload corruption on the channel (ChannelModel::corrupt_*) is caught by
+// checksum framing at the receiver, counted in ChannelStats, and recovered
+// through the ack/retransmit loop, so a corrupted report can never reach
+// record(); a per-worker fail-slow EWMA (SimConfig::quarantine) drains
+// persistent underperformers into quarantine, probes them with canary
+// chunks, and reinstates them on sustained recovery; and an audit_rate
+// fraction of accepted chunks is re-executed on an independent worker,
+// with a mismatch marking the ORIGINATING worker suspect — catching
+// silent data corruption (FailureKind::kSilentCorrupt) that checksums
+// cannot see. All of it is structurally disarmed when unconfigured.
 #pragma once
 
 #include <cstdint>

@@ -43,7 +43,8 @@ void validate_config(const SimConfig& config) {
   }
   const ChannelModel& ch = config.channel;
   for (double p : {ch.drop_to_worker, ch.drop_to_master, ch.duplicate_to_worker,
-                   ch.duplicate_to_master, ch.reorder_to_worker, ch.reorder_to_master}) {
+                   ch.duplicate_to_master, ch.reorder_to_worker, ch.reorder_to_master,
+                   ch.corrupt_to_worker, ch.corrupt_to_master}) {
     if (!(p >= 0.0 && p <= 1.0)) {
       throw std::invalid_argument("SimConfig: channel probabilities must be in [0, 1]");
     }
@@ -60,6 +61,24 @@ void validate_config(const SimConfig& config) {
   }
   if (config.checkpoint.enabled && !(config.checkpoint.interval > 0.0)) {
     throw std::invalid_argument("SimConfig: checkpoint interval must be > 0");
+  }
+  const SimConfig::Quarantine& q = config.quarantine;
+  if (!(q.ewma_alpha > 0.0 && q.ewma_alpha <= 1.0)) {
+    throw std::invalid_argument("SimConfig: quarantine ewma_alpha must be in (0, 1]");
+  }
+  if (!(q.slowdown_threshold > 1.0)) {
+    throw std::invalid_argument(
+        "SimConfig: quarantine slowdown_threshold must be > 1 (a healthy worker's "
+        "slowdown sits at 1)");
+  }
+  if (q.min_observations == 0 || q.probe_successes == 0 || q.audit_mismatch_limit == 0) {
+    throw std::invalid_argument("SimConfig: quarantine counts must be >= 1");
+  }
+  if (!(q.probe_interval > 0.0)) {
+    throw std::invalid_argument("SimConfig: quarantine probe_interval must be > 0");
+  }
+  if (!(q.audit_rate >= 0.0 && q.audit_rate <= 1.0)) {
+    throw std::invalid_argument("SimConfig: quarantine audit_rate must be in [0, 1]");
   }
   const SimConfig::DeadlineRisk& dr = config.deadline_risk;
   if (dr.enabled) {
@@ -129,6 +148,16 @@ void validate_failures(const std::vector<SimConfig::Failure>& failures,
               "simulate_loop: kCrashRecover recovery_time must be finite and > failure time");
         }
         break;
+      case SimConfig::FailureKind::kSilentCorrupt:
+        if (!std::isfinite(failure.time)) {
+          throw std::invalid_argument(
+              "simulate_loop: kSilentCorrupt onset time must be finite");
+        }
+        if (!(failure.corrupt_probability > 0.0 && failure.corrupt_probability <= 1.0)) {
+          throw std::invalid_argument(
+              "simulate_loop: kSilentCorrupt corrupt_probability must be in (0, 1]");
+        }
+        break;
       case SimConfig::FailureKind::kMasterCrashRestart:
         break;  // validated above (the per-worker loop skips it)
     }
@@ -152,10 +181,32 @@ const SimConfig::Failure* master_restart_failure(const SimConfig& config) {
   return nullptr;
 }
 
+bool has_silent_corrupt(const SimConfig& config) {
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.kind == SimConfig::FailureKind::kSilentCorrupt) return true;
+  }
+  return false;
+}
+
+const SimConfig::Failure* silent_corrupt_failure(const SimConfig& config,
+                                                 std::size_t worker) {
+  for (const SimConfig::Failure& failure : config.failures) {
+    if (failure.kind == SimConfig::FailureKind::kSilentCorrupt &&
+        failure.worker == worker) {
+      return &failure;
+    }
+  }
+  return nullptr;
+}
+
 void apply_failure(Worker& worker, const SimConfig::Failure& failure) {
   switch (failure.kind) {
     case SimConfig::FailureKind::kMasterCrashRestart:
       break;  // the master is not a worker; handled inside simulate_loop_mpi
+    case SimConfig::FailureKind::kSilentCorrupt:
+      // A gray worker computes at full speed; the executors draw result
+      // wrongness at completion time. No availability decorator.
+      break;
     case SimConfig::FailureKind::kDegrade:
       worker.availability = std::make_unique<sysmodel::FailingAvailability>(
           std::move(worker.availability), failure.time, failure.residual_availability);
@@ -341,6 +392,14 @@ void finalize_run(RunResult& result) {
     metrics.add("sim.chunks_lost", static_cast<std::int64_t>(faults.chunks_lost));
     metrics.add("sim.iterations_reexecuted", faults.iterations_reexecuted);
     metrics.add("sim.false_suspicions", static_cast<std::int64_t>(faults.false_suspicions));
+  }
+  const QuarantineStats& quar = result.quarantine;
+  if (quar.active()) {
+    metrics.add("sim.quarantines", static_cast<std::int64_t>(quar.quarantines));
+    metrics.add("sim.reinstatements", static_cast<std::int64_t>(quar.reinstatements));
+    metrics.add("sim.quarantine_probes", static_cast<std::int64_t>(quar.probes_launched));
+    metrics.add("sim.audits_launched", static_cast<std::int64_t>(quar.audits_launched));
+    metrics.add("sim.audit_mismatches", static_cast<std::int64_t>(quar.audit_mismatches));
   }
   const SpeculationStats& spec = result.speculation;
   if (spec.stragglers_flagged > 0 || spec.risk_escalations > 0) {

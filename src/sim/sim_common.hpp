@@ -3,6 +3,8 @@
 // Not part of the public API.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -36,6 +38,16 @@ void validate_failures(const std::vector<SimConfig::Failure>& failures,
 /// The configured master crash-restart failure, or nullptr. At most one
 /// exists (validate_failures rejects duplicates).
 [[nodiscard]] const SimConfig::Failure* master_restart_failure(const SimConfig& config);
+
+/// True if any configured failure is kSilentCorrupt — the switch that arms
+/// the silent-wrongness draw stream (and ground-truth accounting) in both
+/// executors.
+[[nodiscard]] bool has_silent_corrupt(const SimConfig& config);
+
+/// Worker `worker`'s kSilentCorrupt failure, or nullptr (at most one
+/// failure per worker exists after validate_failures).
+[[nodiscard]] const SimConfig::Failure* silent_corrupt_failure(const SimConfig& config,
+                                                               std::size_t worker);
 
 /// Fills the makespan-distribution fields of `summary` (mean / median /
 /// stddev / min / max / CIs / deadline hit rate) from per-replication
@@ -139,6 +151,132 @@ class IterationPool {
   std::int64_t total_ = 0;
   std::int64_t next_ = 0;
   std::deque<Range> returned_;
+};
+
+/// Fail-slow health tracking + quarantine state machine shared by both
+/// executors. Pure bookkeeping with NO randomness: every decision derives
+/// from observations the caller feeds in deterministic event order, so
+/// the tracker never perturbs the executors' RNG streams. The executors
+/// own dispatch policy (benching quarantined workers, firing canary
+/// probes); the tracker owns the thresholds, streaks, and counters.
+///
+/// State machine per worker:
+///   Healthy --(EWMA slowdown > threshold after min_observations,
+///              or audit mismatches reach audit_mismatch_limit)-->
+///   Quarantined (drained; canary probes only) --(probe_successes
+///              consecutive healthy canaries)--> Healthy (state reset).
+///
+/// The fail-slow EWMA trips only with Quarantine::enabled; audit
+/// mismatches trip whenever audits run (audit_rate > 0) — both feed the
+/// same quarantine machinery.
+class HealthTracker {
+ public:
+  HealthTracker(const SimConfig::Quarantine& config, std::size_t workers)
+      : config_(config), state_(workers) {}
+
+  /// Aggregated counters; the executor merges this into
+  /// RunResult::quarantine after finish().
+  QuarantineStats stats;
+
+  /// Expected dedicated wall-clock of a chunk for the slowdown ratio:
+  /// dispatch overhead plus a-priori work scaled by the worker's t = 0
+  /// weight, floored like the MPI failure detector's round-trip estimate.
+  /// Deliberately NOT the technique's runtime mu estimate: adaptive
+  /// estimators normalize themselves to a slow worker's observed rate and
+  /// would never flag it.
+  [[nodiscard]] static double expected_elapsed(double overhead, double work,
+                                               double weight) noexcept {
+    return overhead + work / std::max(weight, 0.05);
+  }
+
+  /// Feeds one accepted non-canary chunk observation. Returns true when
+  /// this observation trips the fail-slow threshold (caller quarantines).
+  [[nodiscard]] bool observe(std::size_t worker, double slowdown) {
+    State& s = state_[worker];
+    s.ewma = s.observations == 0
+                 ? slowdown
+                 : config_.ewma_alpha * slowdown + (1.0 - config_.ewma_alpha) * s.ewma;
+    ++s.observations;
+    return config_.enabled && !s.quarantined &&
+           s.observations >= config_.min_observations &&
+           s.ewma > config_.slowdown_threshold;
+  }
+
+  /// Feeds one canary-probe result. Returns true when the healthy streak
+  /// reaches probe_successes (caller reinstates).
+  [[nodiscard]] bool observe_probe(std::size_t worker, double slowdown) {
+    State& s = state_[worker];
+    if (slowdown <= config_.slowdown_threshold) {
+      ++stats.probes_healthy;
+      ++s.healthy_streak;
+    } else {
+      s.healthy_streak = 0;
+    }
+    return s.quarantined && s.healthy_streak >= config_.probe_successes;
+  }
+
+  /// Feeds one audit mismatch against `worker`. Returns true when the
+  /// mismatch limit is reached (caller quarantines).
+  [[nodiscard]] bool observe_mismatch(std::size_t worker) {
+    State& s = state_[worker];
+    ++s.mismatches;
+    return !s.quarantined && s.mismatches >= config_.audit_mismatch_limit;
+  }
+
+  void quarantine(std::size_t worker, double now, bool audit_trip) {
+    State& s = state_[worker];
+    s.quarantined = true;
+    s.since = now;
+    s.healthy_streak = 0;
+    ++stats.quarantines;
+    if (audit_trip) {
+      ++stats.audit_trips;
+    } else {
+      ++stats.fail_slow_trips;
+    }
+  }
+
+  /// Reinstates with a clean slate: the EWMA, observation count, and
+  /// mismatch tally restart so stale history cannot instantly re-trip.
+  void reinstate(std::size_t worker, double now) {
+    State& s = state_[worker];
+    stats.quarantined_time += now - s.since;
+    s = State{};
+    ++stats.reinstatements;
+  }
+
+  [[nodiscard]] bool quarantined(std::size_t worker) const {
+    return state_[worker].quarantined;
+  }
+
+  [[nodiscard]] bool any_quarantined() const {
+    for (const State& s : state_) {
+      if (s.quarantined) return true;
+    }
+    return false;
+  }
+
+  /// Closes still-open quarantine windows into quarantined_time.
+  void finish(double now) {
+    for (State& s : state_) {
+      if (s.quarantined) {
+        stats.quarantined_time += now - s.since;
+        s.quarantined = false;
+      }
+    }
+  }
+
+ private:
+  struct State {
+    double ewma = 0.0;
+    std::uint64_t observations = 0;
+    std::size_t healthy_streak = 0;
+    std::size_t mismatches = 0;
+    bool quarantined = false;
+    double since = 0.0;
+  };
+  SimConfig::Quarantine config_;
+  std::vector<State> state_;
 };
 
 /// Everything both executors need set up identically: validated inputs,

@@ -137,13 +137,17 @@ int cmd_scenario(int argc, char** argv) {
   config.replications = static_cast<std::size_t>(cli.get_int("replications"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.sim.failures = scenario.failures;  // [failure] sections from the file
+  config.sim.quarantine = scenario.quarantine;  // [quarantine]: both executors
   // The scenario pipeline runs on the idealized executors, which have no
   // message channel / master process; say so instead of silently ignoring
   // the sections (the MPI executor — cdsf gantt --mpi, bench_failure_ablation
   // --channel — is where they take effect).
   if (scenario.channel.faulty() || scenario.checkpoint.enabled) {
-    std::puts("note: [channel]/[checkpoint] apply to the MPI executor only; "
-              "ignored by the scenario pipeline");
+    std::puts(scenario.channel.corrupting()
+                  ? "note: [channel]/[integrity]/[checkpoint] apply to the MPI executor "
+                    "only; ignored by the scenario pipeline"
+                  : "note: [channel]/[checkpoint] apply to the MPI executor only; "
+                    "ignored by the scenario pipeline");
   }
   const core::ScenarioResult result = framework.run_scenario(
       "cdsf", heuristic, dls::paper_robust_set(), scenario.cases, config);
@@ -247,6 +251,15 @@ int cmd_gantt(int argc, char** argv) {
   cli.add_double("reorder", 0.0, "per-message reorder probability (implies --mpi)");
   cli.add_flag("checkpoint", "enable master checkpointing (implies --mpi)");
   cli.add_double("checkpoint-interval", 250.0, "snapshot period for --checkpoint");
+  cli.add_flag("quarantine",
+               "arm the fail-slow quarantine tracker (pairs with --degrade-worker)");
+  cli.add_double("audit-rate", 0.0,
+                 "fraction of accepted chunks re-executed on an independent worker");
+  cli.add_double("corrupt", 0.0,
+                 "per-message payload-corruption probability, both directions (implies --mpi)");
+  cli.add_int("silent-corrupt-worker", -1,
+              "worker whose results go silently wrong (-1 = none; pairs with --audit-rate)");
+  cli.add_double("silent-corrupt-time", 0.0, "onset instant for --silent-corrupt-worker");
   cli.add_double("master-crash", -1.0,
                  "crash the master at this instant (implies --mpi + checkpointing; -1 = none)");
   cli.add_double("master-recover", -1.0,
@@ -292,6 +305,17 @@ int cmd_gantt(int argc, char** argv) {
     config.checkpoint.enabled = true;
     config.checkpoint.interval = cli.get_double("checkpoint-interval");
   }
+  config.quarantine.enabled = cli.get_flag("quarantine");
+  config.quarantine.audit_rate = cli.get_double("audit-rate");
+  config.channel.corrupt_to_worker = config.channel.corrupt_to_master =
+      cli.get_double("corrupt");
+  if (cli.get_int("silent-corrupt-worker") >= 0) {
+    sim::SimConfig::Failure failure;
+    failure.worker = static_cast<std::size_t>(cli.get_int("silent-corrupt-worker"));
+    failure.time = cli.get_double("silent-corrupt-time");
+    failure.kind = sim::SimConfig::FailureKind::kSilentCorrupt;
+    config.failures.push_back(failure);
+  }
   if (cli.get_double("master-crash") >= 0.0) {
     sim::SimConfig::Failure failure;
     failure.kind = sim::SimConfig::FailureKind::kMasterCrashRestart;
@@ -301,8 +325,9 @@ int cmd_gantt(int argc, char** argv) {
                                 : failure.time + 60.0;
     config.failures.push_back(failure);
   }
-  // Channel faults, checkpointing, and master crashes only exist in the
-  // message-passing model, so any of those knobs forces the MPI executor.
+  // Channel faults (including --corrupt: corrupting() implies faulty()),
+  // checkpointing, and master crashes only exist in the message-passing
+  // model, so any of those knobs forces the MPI executor.
   const bool mpi = cli.get_flag("mpi") || config.channel.faulty() ||
                    config.checkpoint.enabled ||
                    cli.get_double("master-crash") >= 0.0;
@@ -331,6 +356,21 @@ int cmd_gantt(int argc, char** argv) {
                 static_cast<unsigned long long>(run.checkpoint.wal_records),
                 static_cast<unsigned long long>(run.checkpoint.snapshots),
                 static_cast<unsigned long long>(run.checkpoint.master_restarts));
+  }
+  if (run.channel.corrupted > 0) {
+    std::printf("integrity: %llu corrupted copies discarded by checksum\n",
+                static_cast<unsigned long long>(run.channel.corrupted));
+  }
+  if (run.quarantine.active()) {
+    std::printf("quarantine: %llu trips (%llu fail-slow, %llu audit), %llu reinstated, "
+                "%llu probes, %llu audits (%llu mismatches)\n",
+                static_cast<unsigned long long>(run.quarantine.quarantines),
+                static_cast<unsigned long long>(run.quarantine.fail_slow_trips),
+                static_cast<unsigned long long>(run.quarantine.audit_trips),
+                static_cast<unsigned long long>(run.quarantine.reinstatements),
+                static_cast<unsigned long long>(run.quarantine.probes_launched),
+                static_cast<unsigned long long>(run.quarantine.audits_launched),
+                static_cast<unsigned long long>(run.quarantine.audit_mismatches));
   }
   sim::GanttOptions options;
   options.deadline = example.deadline;
@@ -425,6 +465,8 @@ int cmd_chaos(int argc, char** argv) {
   cli.add_flag("no-speculation", "never enable speculative re-execution");
   cli.add_flag("no-channel", "never draw unreliable-channel faults");
   cli.add_flag("no-master-restart", "never inject master crash-restart / checkpointing");
+  cli.add_flag("no-fail-slow", "never arm the fail-slow quarantine axis");
+  cli.add_flag("no-corruption", "never draw payload-corruption faults");
   cli.add_string("report-json", "", "write a structured JSON campaign report here");
   add_log_flag(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -444,6 +486,8 @@ int cmd_chaos(int argc, char** argv) {
   config.speculation = !cli.get_flag("no-speculation");
   config.channel_faults = !cli.get_flag("no-channel");
   config.master_restart = !cli.get_flag("no-master-restart");
+  config.fail_slow = !cli.get_flag("no-fail-slow");
+  config.corruption = !cli.get_flag("no-corruption");
   config.thread_counts.clear();
   std::string spec = cli.get_string("threads");
   for (std::size_t pos = 0; pos < spec.size();) {
@@ -455,10 +499,12 @@ int cmd_chaos(int argc, char** argv) {
 
   const sim::ChaosReport report = sim::run_chaos_campaign(config);
   std::printf("%zu schedules (%zu failures injected, %zu with speculation, %zu with "
-              "channel faults, %zu with master restart), %zu runs\n",
+              "channel faults, %zu with master restart, %zu with quarantine, %zu with "
+              "corruption), %zu runs\n",
               report.schedules_run, report.failures_injected,
               report.schedules_with_speculation, report.schedules_with_channel_faults,
-              report.schedules_with_master_restart, report.runs_executed);
+              report.schedules_with_master_restart, report.schedules_with_quarantine,
+              report.schedules_with_corruption, report.runs_executed);
   std::printf("faults: %zu crashes, %llu chunks lost, %lld iterations re-executed, "
               "%zu false suspicions\n",
               report.faults_total.workers_crashed,
@@ -490,6 +536,18 @@ int cmd_chaos(int argc, char** argv) {
                   report.checkpoint_total.restart_ranges_redispatched),
               static_cast<unsigned long long>(
                   report.checkpoint_total.restart_completions_replayed));
+  std::printf("gray: %llu quarantines (%llu fail-slow, %llu audit trips, %llu "
+              "reinstated), %llu probes, %llu audits (%llu mismatches, %llu abandoned), "
+              "%llu corrupted msgs discarded\n",
+              static_cast<unsigned long long>(report.quarantine_total.quarantines),
+              static_cast<unsigned long long>(report.quarantine_total.fail_slow_trips),
+              static_cast<unsigned long long>(report.quarantine_total.audit_trips),
+              static_cast<unsigned long long>(report.quarantine_total.reinstatements),
+              static_cast<unsigned long long>(report.quarantine_total.probes_launched),
+              static_cast<unsigned long long>(report.quarantine_total.audits_launched),
+              static_cast<unsigned long long>(report.quarantine_total.audit_mismatches),
+              static_cast<unsigned long long>(report.quarantine_total.audits_abandoned),
+              static_cast<unsigned long long>(report.channel_total.corrupted));
   for (const sim::ChaosViolation& violation : report.violations) {
     std::printf("VIOLATION schedule %zu (seed %llu, %s): %s — %s\n", violation.schedule,
                 static_cast<unsigned long long>(violation.seed), violation.executor.c_str(),

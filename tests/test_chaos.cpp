@@ -31,7 +31,9 @@ TEST(Chaos, SmokeCampaignPassesEveryInvariant) {
   // hardened schedules add MPI-replicated determinism runs on top.
   EXPECT_GE(report.runs_executed, 10u * (1 + 1 + 2 * 2));
   EXPECT_GE(report.failures_injected, 10u);
-  EXPECT_LE(report.failures_injected, 30u);
+  // Up to max_failures base draws plus a dedicated fail-slow and a
+  // silent-corrupt worker per schedule (the gray axes).
+  EXPECT_LE(report.failures_injected, 50u);
   EXPECT_TRUE(std::isfinite(report.max_makespan));
   EXPECT_GT(report.max_makespan, 0.0);
   // The channel / master-restart axes are on by default; in a 10-schedule
@@ -43,6 +45,25 @@ TEST(Chaos, SmokeCampaignPassesEveryInvariant) {
   EXPECT_GT(report.checkpoint_total.wal_records, 0u);
   EXPECT_EQ(report.checkpoint_total.master_restarts,
             report.schedules_with_master_restart);
+  // The gray axes are on by default too.
+  EXPECT_GE(report.schedules_with_quarantine, 1u);
+  EXPECT_GE(report.schedules_with_corruption, 1u);
+}
+
+TEST(Chaos, DisablingGrayAxesProducesGrayFreeRuns) {
+  sim::ChaosConfig config = smoke_config();
+  config.fail_slow = false;
+  config.corruption = false;
+  const sim::ChaosReport report = sim::run_chaos_campaign(config);
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.schedules_with_quarantine, 0u);
+  EXPECT_EQ(report.schedules_with_corruption, 0u);
+  EXPECT_EQ(report.quarantine_total.quarantines, 0u);
+  EXPECT_EQ(report.quarantine_total.probes_launched, 0u);
+  EXPECT_EQ(report.quarantine_total.audits_launched, 0u);
+  EXPECT_EQ(report.quarantine_total.corrupt_chunks_recorded, 0u);
+  EXPECT_EQ(report.channel_total.corrupted, 0u);
+  EXPECT_EQ(report.channel_total.corrupt_discarded, 0u);
 }
 
 TEST(Chaos, DisablingChannelAxesProducesCleanRuns) {
@@ -107,6 +128,12 @@ TEST(Chaos, ReportJsonCarriesSchemaCampaignShapeAndVerdict) {
             static_cast<std::int64_t>(report.schedules_run));
   EXPECT_EQ(parsed.at("runs_executed").as_int(),
             static_cast<std::int64_t>(report.runs_executed));
+  EXPECT_TRUE(parsed.at("campaign").at("fail_slow").as_bool());
+  EXPECT_TRUE(parsed.at("campaign").at("corruption").as_bool());
+  EXPECT_EQ(parsed.at("schedules_with_quarantine").as_int(),
+            static_cast<std::int64_t>(report.schedules_with_quarantine));
+  EXPECT_EQ(parsed.at("quarantine_total").at("quarantines").as_int(),
+            static_cast<std::int64_t>(report.quarantine_total.quarantines));
   EXPECT_EQ(parsed.at("violations").size(), 0u);
   EXPECT_EQ(parsed.at("faults_total").at("chunks_lost").as_int(),
             static_cast<std::int64_t>(report.faults_total.chunks_lost));

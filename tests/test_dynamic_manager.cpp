@@ -123,6 +123,35 @@ TEST_F(DynamicManagerTest, Validation) {
                std::invalid_argument);
 }
 
+TEST_F(DynamicManagerTest, RejectsMpiOnlyGrayKnobs) {
+  // Payload corruption needs the MPI executor's checksum framing; the
+  // idealized loop would silently ignore it and misreport a hardened run.
+  DynamicConfig config = small_config();
+  config.sim.channel.corrupt_to_worker = 0.01;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+  config = small_config();
+  config.sim.channel.corrupt_to_master = 0.01;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+  // Other channel faults are rejected too (pre-existing contract).
+  config = small_config();
+  config.sim.channel.drop_to_worker = 0.1;
+  EXPECT_THROW(run_dynamic_manager(platform_, reference_, reference_, config, 1),
+               std::invalid_argument);
+}
+
+TEST_F(DynamicManagerTest, QuarantineKnobsAreHonoredNotRejected) {
+  // simulate_loop implements the quarantine/audit machinery, so the
+  // dynamic manager accepts it — and a disarmed config changes nothing.
+  DynamicConfig config = small_config();
+  config.sim.quarantine.enabled = true;
+  config.sim.quarantine.audit_rate = 0.2;
+  const DynamicRunResult result =
+      run_dynamic_manager(platform_, reference_, reference_, config, 7);
+  EXPECT_EQ(result.outcomes.size(), 12u);
+}
+
 // ---------------------------------------------- speculation escalation --
 
 TEST_F(DynamicManagerTest, RiskFloorEscalatesSpeculationBeforeTheRemapCliff) {

@@ -325,5 +325,178 @@ TEST(ScenarioIo, RejectsMalformedChannelAndCheckpoint) {
       std::invalid_argument);
 }
 
+// ------------------------------------------- quarantine / integrity sections --
+
+TEST(ScenarioIo, ParsesQuarantineAndIntegritySections) {
+  std::string text = kMinimalScenario;
+  text += "\n[quarantine]\newma-alpha = 0.4\nslowdown-threshold = 3\n"
+          "min-observations = 5\nprobe-interval = 120\nprobe-successes = 3\n"
+          "audit-rate = 0.2\naudit-mismatch-limit = 2\n";
+  text += "\n[integrity]\ncorrupt-to-worker = 0.01\ncorrupt-to-master = 0.02\n";
+  const Scenario scenario = parse_scenario_text(text);
+  EXPECT_TRUE(scenario.quarantine.enabled);  // section presence arms the tracker
+  EXPECT_TRUE(scenario.quarantine.armed());
+  EXPECT_DOUBLE_EQ(scenario.quarantine.ewma_alpha, 0.4);
+  EXPECT_DOUBLE_EQ(scenario.quarantine.slowdown_threshold, 3.0);
+  EXPECT_EQ(scenario.quarantine.min_observations, 5u);
+  EXPECT_DOUBLE_EQ(scenario.quarantine.probe_interval, 120.0);
+  EXPECT_EQ(scenario.quarantine.probe_successes, 3u);
+  EXPECT_DOUBLE_EQ(scenario.quarantine.audit_rate, 0.2);
+  EXPECT_EQ(scenario.quarantine.audit_mismatch_limit, 2u);
+  EXPECT_TRUE(scenario.channel.corrupting());
+  EXPECT_TRUE(scenario.channel.faulty());  // corruption implies a faulty channel
+  EXPECT_DOUBLE_EQ(scenario.channel.corrupt_to_worker, 0.01);
+  EXPECT_DOUBLE_EQ(scenario.channel.corrupt_to_master, 0.02);
+}
+
+TEST(ScenarioIo, QuarantineAndIntegrityRoundTripThroughText) {
+  std::string text = kMinimalScenario;
+  text += "\n[quarantine]\nslowdown-threshold = 2.5\naudit-rate = 0.15\n";
+  text += "\n[integrity]\ncorrupt-to-master = 0.005\n";
+  text += "\n[failure]\nworker = 1\ntime = 40\nkind = silent-corrupt\nprobability = 0.6\n";
+  const Scenario original = parse_scenario_text(text);
+  const Scenario reparsed = parse_scenario_text(scenario_to_text(original));
+  EXPECT_EQ(reparsed.quarantine.enabled, original.quarantine.enabled);
+  EXPECT_DOUBLE_EQ(reparsed.quarantine.ewma_alpha, original.quarantine.ewma_alpha);
+  EXPECT_DOUBLE_EQ(reparsed.quarantine.slowdown_threshold, 2.5);
+  EXPECT_EQ(reparsed.quarantine.min_observations, original.quarantine.min_observations);
+  EXPECT_DOUBLE_EQ(reparsed.quarantine.probe_interval, original.quarantine.probe_interval);
+  EXPECT_EQ(reparsed.quarantine.probe_successes, original.quarantine.probe_successes);
+  EXPECT_DOUBLE_EQ(reparsed.quarantine.audit_rate, 0.15);
+  EXPECT_EQ(reparsed.quarantine.audit_mismatch_limit, original.quarantine.audit_mismatch_limit);
+  EXPECT_DOUBLE_EQ(reparsed.channel.corrupt_to_worker, 0.0);
+  EXPECT_DOUBLE_EQ(reparsed.channel.corrupt_to_master, 0.005);
+  ASSERT_EQ(reparsed.failures.size(), 1u);
+  EXPECT_EQ(reparsed.failures[0].kind, sim::SimConfig::FailureKind::kSilentCorrupt);
+  EXPECT_DOUBLE_EQ(reparsed.failures[0].corrupt_probability, 0.6);
+  // Second serialization is a fixed point.
+  EXPECT_EQ(scenario_to_text(original), scenario_to_text(reparsed));
+}
+
+TEST(ScenarioIo, AuditOnlyQuarantineRoundTrips) {
+  // 'fail-slow = 0' keeps the EWMA tracker off while the audit layer runs.
+  std::string text = kMinimalScenario;
+  text += "\n[quarantine]\nfail-slow = 0\naudit-rate = 0.3\n";
+  const Scenario original = parse_scenario_text(text);
+  EXPECT_FALSE(original.quarantine.enabled);
+  EXPECT_TRUE(original.quarantine.armed());
+  const Scenario reparsed = parse_scenario_text(scenario_to_text(original));
+  EXPECT_FALSE(reparsed.quarantine.enabled);
+  EXPECT_DOUBLE_EQ(reparsed.quarantine.audit_rate, 0.3);
+  EXPECT_EQ(scenario_to_text(original), scenario_to_text(reparsed));
+}
+
+TEST(ScenarioIo, DisarmedQuarantineIsNotSerialized) {
+  const Scenario scenario = parse_scenario_text(kMinimalScenario);
+  EXPECT_FALSE(scenario.quarantine.armed());
+  const std::string text = scenario_to_text(scenario);
+  EXPECT_EQ(text.find("[quarantine]"), std::string::npos);
+  EXPECT_EQ(text.find("[integrity]"), std::string::npos);
+}
+
+TEST(ScenarioIo, RejectsMalformedQuarantineAndIntegrity) {
+  const std::string base = kMinimalScenario;
+  // Named sections.
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine q]\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[integrity i]\n"), std::runtime_error);
+  // Unknown keys.
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\nthreshold = 4\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[integrity]\ncorrupt = 0.1\n"),
+               std::runtime_error);
+  // Out-of-range knobs.
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\newma-alpha = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\newma-alpha = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\nslowdown-threshold = 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\nmin-observations = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\nprobe-interval = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\nprobe-successes = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\naudit-rate = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\naudit-mismatch-limit = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[quarantine]\nfail-slow = 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[integrity]\ncorrupt-to-worker = -0.1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[integrity]\ncorrupt-to-master = 1.01\n"),
+               std::runtime_error);
+  // silent-corrupt probability must be positive and silent-corrupt-only.
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\ntime = 5\n"
+                                          "kind = silent-corrupt\nprobability = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[failure]\nworker = 0\ntime = 5\n"
+                                          "kind = crash\nprobability = 0.5\n"),
+               std::invalid_argument);
+}
+
+// Deterministic malformed-input sweep: every truncation of a scenario that
+// exercises every section, plus a few hundred seeded byte mutations and a
+// set of hand-picked pathological variants. The parser must either accept
+// the text or throw — never crash, hang, or trip the sanitizers (this test
+// is the parser's coverage anchor in the asan-ubsan / tsan CI jobs).
+TEST(ScenarioIo, MalformedInputSweepIsMemorySafe) {
+  std::string base = kMinimalScenario;
+  base += "\n[failure]\nworker = 1\ntime = 50\nkind = degrade\nresidual = 0.25\n"
+          "\n[failure]\nworker = 0\ntime = 80\nkind = silent-corrupt\nprobability = 0.5\n"
+          "\n[channel]\ndrop-to-worker = 0.1\nrto = 25\n"
+          "\n[quarantine]\nfail-slow = 1\naudit-rate = 0.2\n"
+          "\n[integrity]\ncorrupt-to-master = 0.01\n";
+  auto parse_must_not_crash = [](const std::string& text) {
+    try {
+      (void)parse_scenario_text(text);
+    } catch (const std::exception&) {
+      // Rejection is a valid outcome; undefined behaviour is not.
+    }
+  };
+  // Truncation at every byte boundary.
+  for (std::size_t length = 0; length <= base.size(); ++length) {
+    parse_must_not_crash(base.substr(0, length));
+  }
+  // Seeded byte mutations (fixed splitmix-style generator: replayable,
+  // independent of any global RNG state).
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = base;
+    const std::uint64_t edits = 1 + next() % 4;
+    for (std::uint64_t edit = 0; edit < edits; ++edit) {
+      const std::size_t pos = static_cast<std::size_t>(next() % mutated.size());
+      mutated[pos] = static_cast<char>(static_cast<unsigned char>(next() & 0xffu));
+    }
+    parse_must_not_crash(mutated);
+  }
+  // Pathological hand-picked variants: duplicate keys and sections, empty
+  // and non-numeric values, overflow, and embedded NUL bytes.
+  const std::string variants[] = {
+      "\n[quarantine]\naudit-rate = 0.2\naudit-rate = 0.9\n",
+      "\n[integrity]\n[integrity]\ncorrupt-to-worker = 0.5\n",
+      "\n[quarantine]\n= 3\n",
+      "\n[quarantine]\naudit-rate =\n",
+      "\n[quarantine]\naudit-rate = nan\n",
+      "\n[quarantine]\naudit-rate = 1e309\n",
+      "\n[quarantine]\nmin-observations = 99999999999999999999\n",
+      "\n[failure]\nworker = 1\ntime = 50\nkind = degrade\nkind = crash\n",
+      std::string("\n[quarantine]\naudit-rate = 0.2\0junk\n", 33),
+  };
+  for (const std::string& extra : variants) {
+    parse_must_not_crash(std::string(kMinimalScenario) + extra);
+  }
+  // Still a functioning parser after the sweep.
+  EXPECT_NO_THROW(parse_scenario_text(base));
+}
+
 }  // namespace
 }  // namespace cdsf::core
