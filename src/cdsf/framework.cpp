@@ -1,10 +1,12 @@
 #include "cdsf/framework.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "pmf/ops.hpp"
 #include "util/rng.hpp"
 
@@ -48,8 +50,14 @@ StageOneResult Framework::describe_allocation(const ra::Allocation& allocation,
 StageOneResult Framework::run_stage_one(const ra::Heuristic& heuristic,
                                         ra::CountRule rule) const {
   obs::ScopedTimer timer(obs::MetricsRegistry::global(), "cdsf.stage1.seconds");
-  StageOneResult result =
-      describe_allocation(heuristic.allocate(evaluator_, platform_, rule), heuristic.name());
+  ra::Allocation allocation = [&] {
+    // The enumeration phase wraps the heuristic's whole search; PMF
+    // convolution/compaction nested inside report as their own phases
+    // (the profiler subtracts child time from the parent).
+    obs::PhaseTimer phase(obs::Phase::kRaEnumeration);
+    return heuristic.allocate(evaluator_, platform_, rule);
+  }();
+  StageOneResult result = describe_allocation(std::move(allocation), heuristic.name());
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   if (metrics.enabled()) {
     metrics.add("cdsf.stage1.allocations");
@@ -86,6 +94,11 @@ StageTwoResult Framework::run_stage_two(const ra::Allocation& allocation,
   if (sim_config.deadline_risk.enabled && sim_config.deadline_risk.deadline == 0.0) {
     sim_config.deadline_risk.deadline = deadline_;
   }
+  // The flight recorder's deadline-miss anomaly likewise defaults to the
+  // framework deadline.
+  if (sim_config.flight.deadline == 0.0 && deadline_ > 0.0 && std::isfinite(deadline_)) {
+    sim_config.flight.deadline = deadline_;
+  }
 
   const util::SeedSequence seeds(config.seed);
   for (std::size_t app = 0; app < batch_.size(); ++app) {
@@ -95,10 +108,13 @@ StageTwoResult Framework::run_stage_two(const ra::Allocation& allocation,
     for (std::size_t k = 0; k < techniques.size(); ++k) {
       AppTechniqueOutcome outcome;
       outcome.technique = techniques[k];
-      outcome.summary = sim::simulate_replicated(
-          batch_.at(app), group.processor_type, group.processors, runtime, techniques[k],
-          sim_config, seeds.child(app * 64 + k), config.replications, deadline_,
-          config.threads);
+      {
+        obs::PhaseTimer phase(obs::Phase::kMonteCarlo);
+        outcome.summary = sim::simulate_replicated(
+            batch_.at(app), group.processor_type, group.processors, runtime, techniques[k],
+            sim_config, seeds.child(app * 64 + k), config.replications, deadline_,
+            config.threads);
+      }
       outcome.meets_deadline = outcome.summary.median_makespan <= deadline_;
       best_any = std::min(best_any, outcome.summary.median_makespan);
       if (outcome.meets_deadline && outcome.summary.median_makespan < best_meeting) {
@@ -177,6 +193,9 @@ sim::BatchRunResult Framework::execute_plan(const ExecutionPlan& plan,
   sim::SimConfig sim_config = config;
   if (sim_config.deadline_risk.enabled && sim_config.deadline_risk.deadline == 0.0) {
     sim_config.deadline_risk.deadline = deadline_;
+  }
+  if (sim_config.flight.deadline == 0.0 && deadline_ > 0.0 && std::isfinite(deadline_)) {
+    sim_config.flight.deadline = deadline_;
   }
   return sim::simulate_batch(batch_, plan.allocation, runtime, plan.techniques, sim_config,
                              seed);

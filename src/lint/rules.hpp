@@ -22,6 +22,10 @@
 //                         guards (std::scoped_lock & friends).
 //   report-schema-tag   — every `Json make_*report(...)` in src/obs/ must
 //                         stamp a "schema" key on the document it builds.
+//   metric-name         — MetricsRegistry name literals (add/observe/
+//                         set_gauge/set_histogram_bounds/ScopedTimer) must
+//                         match ^(sim|cdsf|obs)\.[a-z0-9_.]+$ outside
+//                         tests/, so exported series group by subsystem.
 #pragma once
 
 #include <cstddef>

@@ -178,6 +178,30 @@ void MetricsRegistry::reset() {
   }
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]; ceil so q = 0.5 of 2 samples picks the 1st.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Bucket edges: the overflow bucket tops out at the observed max, and
+    // the first occupied edge is pulled in to the observed min.
+    double lo = i == 0 ? min : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (!(hi > lo)) return std::clamp(lo, min, max);
+    const double fraction = (rank - below) / static_cast<double>(counts[i]);
+    return std::clamp(lo + fraction * (hi - lo), min, max);
+  }
+  return max;
+}
+
 Json MetricsSnapshot::to_json() const {
   Json out = Json::object();
   Json counters_json = Json::object();
@@ -191,6 +215,9 @@ Json MetricsSnapshot::to_json() const {
     entry.set("sum", h.sum);
     entry.set("min", h.min);
     entry.set("max", h.max);
+    entry.set("p50", h.quantile(0.50));
+    entry.set("p95", h.quantile(0.95));
+    entry.set("p99", h.quantile(0.99));
     Json bounds = Json::array();
     for (double b : h.bounds) bounds.push_back(b);
     Json counts = Json::array();

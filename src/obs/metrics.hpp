@@ -36,6 +36,13 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  // 0 when count == 0
   double max = 0.0;
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: walks the
+  /// cumulative bucket counts to the target rank and interpolates linearly
+  /// inside the bucket, clamped to the observed [min, max]. Returns 0 when
+  /// the histogram is empty. Exact when a bucket holds one value; otherwise
+  /// accurate to the bucket width (the 1-2-5 default ladder).
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Point-in-time copy of a whole registry (std::map => deterministic

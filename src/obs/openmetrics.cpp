@@ -1,0 +1,89 @@
+#include "obs/openmetrics.hpp"
+
+#include <cstdint>
+
+namespace cdsf::obs {
+
+namespace {
+
+/// Shortest-round-trip rendering, shared with the JSON emitter so the
+/// same value prints identically in both outputs.
+std::string render(double value) { return Json(value).dump(); }
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void append_gauge(std::string& out, const std::string& name, double value) {
+  out += "# TYPE " + name + " gauge\n";
+  out += name + " " + render(value) + "\n";
+}
+
+}  // namespace
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    append_gauge(out, sanitize(name), value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += metric + "_bucket{le=\"" + render(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += metric + "_sum " + render(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+    append_gauge(out, metric + "_p50", h.quantile(0.50));
+    append_gauge(out, metric + "_p95", h.quantile(0.95));
+    append_gauge(out, metric + "_p99", h.quantile(0.99));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+MetricsSnapshot snapshot_from_json(const Json& doc) {
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : doc.at("counters").members()) {
+    snap.counters[name] = value.as_int();
+  }
+  for (const auto& [name, value] : doc.at("gauges").members()) {
+    snap.gauges[name] = value.as_double();
+  }
+  for (const auto& [name, entry] : doc.at("histograms").members()) {
+    HistogramSnapshot h;
+    h.count = static_cast<std::uint64_t>(entry.at("count").as_int());
+    h.sum = entry.at("sum").as_double();
+    h.min = entry.at("min").as_double();
+    h.max = entry.at("max").as_double();
+    for (const Json& bound : entry.at("bounds").items()) {
+      h.bounds.push_back(bound.as_double());
+    }
+    for (const Json& count : entry.at("counts").items()) {
+      h.counts.push_back(static_cast<std::uint64_t>(count.as_int()));
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+}  // namespace cdsf::obs

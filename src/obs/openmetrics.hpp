@@ -1,0 +1,32 @@
+// OpenMetrics / Prometheus text exposition for MetricsSnapshot.
+//
+// Serializes a snapshot to the OpenMetrics text format (the wire format a
+// Prometheus scrape expects): counters as `<name>_total` with `# TYPE`
+// metadata, gauges plain, histograms as cumulative `_bucket{le="..."}`
+// series plus `_sum`/`_count`, and the bucket-interpolated p50/p95/p99
+// estimates as companion gauges (`<name>_p50`, ...) — OpenMetrics forbids
+// mixing summary quantiles into a histogram family. Dots in registry
+// names become underscores (`sim.chunks` -> `sim_chunks`). Output is
+// deterministic: snapshot maps are ordered and doubles render in
+// shortest round-trip form.
+//
+// snapshot_from_json() is the inverse of MetricsSnapshot::to_json(), so
+// a metrics block embedded in a run report can be re-exported without
+// re-running anything (`cdsf metrics --from-report`).
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace cdsf::obs {
+
+/// OpenMetrics text exposition of the snapshot, terminated by `# EOF`.
+[[nodiscard]] std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+/// Rebuilds a snapshot from a MetricsSnapshot::to_json() document.
+/// Throws std::runtime_error / std::invalid_argument on shape mismatches.
+[[nodiscard]] MetricsSnapshot snapshot_from_json(const Json& doc);
+
+}  // namespace cdsf::obs

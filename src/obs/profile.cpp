@@ -1,0 +1,77 @@
+#include "obs/profile.hpp"
+
+namespace cdsf::obs {
+
+namespace {
+
+// Innermost active timer on this thread; nested timers report their
+// elapsed time to the parent so it can subtract covered time.
+thread_local PhaseTimer* t_current = nullptr;
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kPmfConvolution: return "pmf_convolution";
+    case Phase::kPmfCompaction: return "pmf_compaction";
+    case Phase::kRaEnumeration: return "ra_enumeration";
+    case Phase::kMonteCarlo: return "monte_carlo";
+  }
+  return "unknown";
+}
+
+PhaseProfiler& PhaseProfiler::global() {
+  static PhaseProfiler profiler;
+  return profiler;
+}
+
+Json PhaseProfiler::to_json() const {
+  std::int64_t total_ns = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    total_ns += self_ns(static_cast<Phase>(p));
+  }
+  if (total_ns <= 0) return Json();
+  Json phases = Json::object();
+  Phase dominant = Phase::kPmfConvolution;
+  std::int64_t dominant_ns = -1;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    const std::int64_t ns = self_ns(phase);
+    if (ns > dominant_ns) {
+      dominant = phase;
+      dominant_ns = ns;
+    }
+    Json entry = Json::object();
+    entry.set("seconds", static_cast<double>(ns) * 1e-9);
+    entry.set("calls", calls(phase));
+    entry.set("share", static_cast<double>(ns) / static_cast<double>(total_ns));
+    phases.set(phase_name(phase), std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("total_seconds", static_cast<double>(total_ns) * 1e-9);
+  out.set("dominant", phase_name(dominant));
+  out.set("phases", std::move(phases));
+  return out;
+}
+
+PhaseTimer::PhaseTimer(Phase phase)
+    : phase_(phase), active_(PhaseProfiler::global().enabled()) {
+  if (!active_) return;
+  parent_ = t_current;
+  t_current = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (!active_) return;
+  const std::int64_t elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  t_current = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += elapsed_ns;
+  PhaseProfiler::global().accumulate(
+      phase_, elapsed_ns > child_ns_ ? elapsed_ns - child_ns_ : 0);
+}
+
+}  // namespace cdsf::obs

@@ -1,0 +1,103 @@
+// Stage I self-profiler: scoped phase timers with self-time attribution.
+//
+// The Stage I pipeline spends its time in four nested phases — PMF
+// convolution, pulse compaction (called from inside convolution), RA
+// enumeration (which drives convolution), and Monte-Carlo replication.
+// Plain scoped timers double-count nested work, so PhaseTimer keeps a
+// thread-local stack: a timer charges its own phase only with the time
+// not covered by timers nested inside it. The per-phase totals therefore
+// sum to wall time and directly name the hot phase.
+//
+// The profiler is process-global and ships disabled (one relaxed atomic
+// load per timer when off), mirroring MetricsRegistry: CLI entry points
+// that emit reports switch it on. Accumulation is relaxed-atomic, so
+// concurrent Stage I solves aggregate safely; the snapshot is a best-
+// effort sum, which is all a profile needs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace cdsf::obs {
+
+/// Stage I phases, in pipeline order.
+enum class Phase : std::uint8_t {
+  kPmfConvolution,
+  kPmfCompaction,
+  kRaEnumeration,
+  kMonteCarlo,
+};
+inline constexpr std::size_t kPhaseCount = 4;
+
+/// Stable lowercase identifier ("pmf_convolution", ...).
+[[nodiscard]] const char* phase_name(Phase phase);
+
+class PhaseProfiler {
+ public:
+  static PhaseProfiler& global();
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds one timed interval's self time to `phase`.
+  void accumulate(Phase phase, std::int64_t self_ns) noexcept {
+    auto& slot = slots_[static_cast<std::size_t>(phase)];
+    slot.self_ns.fetch_add(self_ns, std::memory_order_relaxed);
+    slot.calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t self_ns(Phase phase) const noexcept {
+    return slots_[static_cast<std::size_t>(phase)].self_ns.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t calls(Phase phase) const noexcept {
+    return slots_[static_cast<std::size_t>(phase)].calls.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& slot : slots_) {
+      slot.self_ns.store(0, std::memory_order_relaxed);
+      slot.calls.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Phase breakdown for cdsf.scenario_report: per-phase self seconds,
+  /// call counts, share of the profiled total, plus the dominant phase.
+  /// Returns a null Json when nothing was recorded.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> self_ns{0};
+    std::atomic<std::int64_t> calls{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  Slot slots_[kPhaseCount];
+};
+
+/// RAII phase timer. Inert (no clock read) when the profiler is disabled
+/// at construction. Nesting-aware: elapsed time inside a nested timer is
+/// charged to the nested phase only.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase phase);
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer();
+
+ private:
+  Phase phase_;
+  bool active_;
+  PhaseTimer* parent_ = nullptr;
+  std::int64_t child_ns_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cdsf::obs

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
+
 namespace cdsf::pmf {
 
 namespace {
@@ -167,6 +169,7 @@ Pmf Pmf::shifted(double offset) const {
 Pmf Pmf::compacted(std::size_t max_pulses) const {
   if (max_pulses == 0) throw std::invalid_argument("Pmf::compacted: max_pulses must be > 0");
   if (pulses_.size() <= max_pulses) return *this;
+  obs::PhaseTimer phase(obs::Phase::kPmfCompaction);
 
   // Greedy nearest-pair merging on the sorted pulse list. Cost of merging
   // adjacent pulses (v1,p1),(v2,p2): the mass-weighted squared spread they

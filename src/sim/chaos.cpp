@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "pmf/pmf.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -240,6 +241,7 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
                std::uint64_t seed, const char* executor, bool hardened_expected,
                std::size_t expected_restarts, bool gray_expected, bool corruption_expected,
                Partial& partial) {
+  const std::size_t violations_before = partial.violations.size();
   auto fail = [&](const char* invariant, std::string detail) {
     add_violation(partial, schedule, seed, executor, invariant, std::move(detail));
   };
@@ -526,6 +528,16 @@ void check_run(const RunResult& run, std::int64_t parallel, std::size_t schedule
   partial.quarantine.accumulate(quar);
   partial.max_makespan = std::max(partial.max_makespan, run.makespan);
   partial.runs += 1;
+
+  // A violated run is exactly what the flight recorder exists for: dump
+  // its event tail (when the sink is armed) with the first violation as
+  // the triggering anomaly.
+  if (partial.violations.size() > violations_before) {
+    const ChaosViolation& first = partial.violations[violations_before];
+    obs::FlightSink::global().maybe_dump(
+        run.flight, obs::FlightAnomaly{"chaos_invariant",
+                                       first.invariant + ": " + first.detail, run.makespan});
+  }
 }
 
 bool summaries_identical(const ReplicationSummary& a, const ReplicationSummary& b) {

@@ -77,6 +77,11 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
 
   RunResult result;
   result.workers.assign(processors, WorkerStats{});
+  // Always-on flight recorder: bounded per-worker rings, merged into
+  // result.flight by finalize_run. Recording never touches the RNG, the
+  // trace, or the event list, so enabling it cannot perturb the run.
+  obs::FlightRecorder flight(processors, config.flight.track_capacity,
+                             config.flight.enabled && obs::flight_recording_enabled());
   for (const SimConfig::Failure& failure : config.failures) {
     // Master failures are MPI-only (this executor has no explicit
     // coordinator) and do not crash a worker; degrade and silent-corrupt
@@ -214,6 +219,9 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     } else {
       result.speculation.primaries_cancelled += 1;
     }
+    flight.record(obs::FlightEventKind::kChunkCancelled, now,
+                  static_cast<std::uint32_t>(copy.worker), task.range.first,
+                  task.range.count);
     if (config.collect_trace) {
       result.events.push_back(
           {LifecycleEvent::Kind::kChunkCancelled, now, copy.worker, task.range.count});
@@ -242,6 +250,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     const bool lost =
         dispatch_time < workers[v].crash_time && end_time > workers[v].crash_time;
     health.stats.audits_launched += 1;
+    flight.record(obs::FlightEventKind::kAuditLaunched, dispatch_time,
+                  static_cast<std::uint32_t>(v), job.range.first, job.range.count);
     if (config.collect_trace) {
       result.events.push_back(
           {LifecycleEvent::Kind::kAuditLaunched, dispatch_time, v, job.range.count});
@@ -273,12 +283,17 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
       }
       if (job.original_wrong || replica_wrong) {
         health.stats.audit_mismatches += 1;
+        flight.record(obs::FlightEventKind::kAuditMismatch, end_time,
+                      static_cast<std::uint32_t>(job.origin), job.range.first,
+                      job.range.count);
         if (config.collect_trace) {
           result.events.push_back({LifecycleEvent::Kind::kAuditMismatch, end_time,
                                    job.origin, job.range.count});
         }
         if (health.observe_mismatch(job.origin)) {
           health.quarantine(job.origin, end_time, /*audit_trip=*/true);
+          flight.record(obs::FlightEventKind::kWorkerQuarantined, end_time,
+                        static_cast<std::uint32_t>(job.origin), 1);
           if (config.collect_trace) {
             result.events.push_back(
                 {LifecycleEvent::Kind::kWorkerQuarantined, end_time, job.origin, 1});
@@ -307,7 +322,13 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     stats.overhead_time += config.scheduling_overhead;
     result.total_chunks += 1;
     completed_iterations += task->range.count;
-    if (is_backup) result.speculation.backups_won += 1;
+    flight.record(obs::FlightEventKind::kChunkAccepted, end_time,
+                  static_cast<std::uint32_t>(w), task->range.first, task->range.count);
+    if (is_backup) {
+      result.speculation.backups_won += 1;
+      flight.record(obs::FlightEventKind::kBackupWon, end_time,
+                    static_cast<std::uint32_t>(w), task->range.first, task->range.count);
+    }
     technique.record(dls::ChunkResult{w, task->range.count, end_time - winner.start_time,
                                       end_time - winner.dispatch_time});
     stats.finish_time = end_time;
@@ -332,6 +353,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
       if (task->probe) {
         if (health.observe_probe(w, slowdown)) {
           health.reinstate(w, end_time);
+          flight.record(obs::FlightEventKind::kWorkerRestored, end_time,
+                        static_cast<std::uint32_t>(w));
           if (config.collect_trace) {
             result.events.push_back(
                 {LifecycleEvent::Kind::kWorkerRestored, end_time, w, 0});
@@ -340,6 +363,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
       } else {
         if (health.observe(w, slowdown)) {
           health.quarantine(w, end_time, /*audit_trip=*/false);
+          flight.record(obs::FlightEventKind::kWorkerQuarantined, end_time,
+                        static_cast<std::uint32_t>(w), 0);
           if (config.collect_trace) {
             result.events.push_back(
                 {LifecycleEvent::Kind::kWorkerQuarantined, end_time, w, 0});
@@ -380,6 +405,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     task->backup = Copy{v, !lost, lost, dispatch_time, start_time, Engine::kNoEvent, -1};
     running[v] = task;
     result.speculation.backups_launched += 1;
+    flight.record(obs::FlightEventKind::kBackupLaunched, dispatch_time,
+                  static_cast<std::uint32_t>(v), range.first, range.count);
     if (config.collect_trace) {
       result.events.push_back(
           {LifecycleEvent::Kind::kChunkBackup, dispatch_time, v, range.count});
@@ -420,6 +447,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     task->probe = is_probe;
     task->primary = Copy{w, !lost, lost, dispatch_time, start_time, Engine::kNoEvent, -1};
     running[w] = task;
+    flight.record(obs::FlightEventKind::kChunkDispatched, dispatch_time,
+                  static_cast<std::uint32_t>(w), range.first, range.count);
     if (config.collect_trace) {
       task->primary.trace_index = static_cast<std::ptrdiff_t>(result.trace.size());
       result.trace.push_back({w, range.count, dispatch_time, start_time, end_time, lost,
@@ -444,6 +473,9 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
         if (task->done || task->flagged || task->has_backup) return;
         task->flagged = true;
         result.speculation.stragglers_flagged += 1;
+        flight.record(obs::FlightEventKind::kStragglerFlagged, engine.now(),
+                      static_cast<std::uint32_t>(w), task->range.first,
+                      task->range.count);
         if (config.collect_trace) {
           result.events.push_back(
               {LifecycleEvent::Kind::kChunkStraggler, engine.now(), w, task->range.count});
@@ -538,6 +570,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
     const detail::IterationPool::Range range = pool.take(chunk);
     if (range.count <= 0) return;
     health.stats.probes_launched += 1;
+    flight.record(obs::FlightEventKind::kCanaryProbe, engine.now(),
+                  static_cast<std::uint32_t>(w), range.first, range.count);
     if (config.collect_trace) {
       result.events.push_back(
           {LifecycleEvent::Kind::kQuarantineProbe, engine.now(), w, range.count});
@@ -552,6 +586,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
       if (!workers[w].crashes()) continue;
       engine.schedule_at(workers[w].crash_time, [&, w] {
         dead[w] = 1;
+        flight.record(obs::FlightEventKind::kWorkerCrashed, engine.now(),
+                      static_cast<std::uint32_t>(w));
         Task* task = running[w];
         if (task == nullptr) return;
         const bool is_backup = task->has_backup && task->backup.worker == w;
@@ -560,6 +596,9 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
         running[w] = nullptr;
         copy.lost = false;
         result.faults.chunks_lost += 1;
+        flight.record(obs::FlightEventKind::kChunkLost, engine.now(),
+                      static_cast<std::uint32_t>(w), task->range.first,
+                      task->range.count);
         if (config.collect_trace) {
           result.events.push_back(
               {LifecycleEvent::Kind::kChunkLost, engine.now(), w, task->range.count});
@@ -590,6 +629,8 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
       if (std::isfinite(workers[w].recovery_time) && workers[w].recovery_time > serial_end) {
         engine.schedule_at(workers[w].recovery_time, [&, w] {
           dead[w] = 0;
+          flight.record(obs::FlightEventKind::kWorkerRecovered, engine.now(),
+                        static_cast<std::uint32_t>(w));
           request(w);
         });
       }
@@ -627,6 +668,9 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
             quantile = std::max(config.speculation.min_quantile,
                                 quantile * config.speculation.escalation_factor);
             result.speculation.risk_escalations += 1;
+            flight.record(obs::FlightEventKind::kRiskEscalated, engine.now(),
+                          obs::kFlightMasterTrack,
+                          static_cast<std::int64_t>(result.speculation.risk_escalations));
             if (config.collect_trace) {
               result.events.push_back(
                   {LifecycleEvent::Kind::kRiskEscalated, engine.now(), 0,
@@ -671,9 +715,14 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   }
 
   if (crash_mode && pool.pending() > 0) {
-    throw std::runtime_error("simulate_loop: " + std::to_string(pool.pending()) +
-                             " iterations stranded by crashes with no surviving worker "
-                             "to re-dispatch to");
+    const std::string detail = std::to_string(pool.pending()) +
+                               " iterations stranded by crashes with no surviving worker "
+                               "to re-dispatch to";
+    // finalize_run never runs for a stranded run, so the postmortem dumps
+    // here, at the detection site.
+    obs::FlightSink::global().maybe_dump(flight.finish(),
+                                         obs::FlightAnomaly{"strand", detail, engine.now()});
+    throw std::runtime_error("simulate_loop: " + detail);
   }
 
   // Gray-failure epilogue: audits still queued when the run drained were
@@ -689,7 +738,7 @@ RunResult run_ideal_loop(const workload::Application& application, const SimConf
   for (WorkerStats& w : result.workers) {
     if (w.finish_time == 0.0) w.finish_time = serial_end;
   }
-  detail::finalize_run(result);
+  detail::finalize_run(result, config, flight);
   return result;
 }
 
@@ -751,6 +800,12 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
     throw std::invalid_argument("simulate_replicated: replications must be >= 1");
   }
   const util::SeedSequence seeds(seed);
+  // Per-run deadline for the flight recorder's deadline-miss postmortem
+  // trigger (mirrors the deadline_risk fill in Framework::run_stage_two).
+  SimConfig run_config = config;
+  if (run_config.flight.deadline == 0.0 && deadline > 0.0 && std::isfinite(deadline)) {
+    run_config.flight.deadline = deadline;
+  }
   // Replications are embarrassingly parallel: each derives all randomness
   // from its own child seed, so the aggregation below is bit-identical for
   // any thread count.
@@ -760,7 +815,7 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   std::vector<QuarantineStats> quarantine(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
     const RunResult run = simulate_loop(application, processor_type, processors, availability,
-                                        technique, config, seeds.child(r));
+                                        technique, run_config, seeds.child(r));
     samples[r] = run.makespan;
     faults[r] = run.faults;
     speculation[r] = run.speculation;

@@ -36,6 +36,7 @@
 
 #include "dls/registry.hpp"
 #include "dls/technique.hpp"
+#include "obs/flight.hpp"
 #include "stats/summary.hpp"
 #include "sysmodel/availability.hpp"
 #include "workload/application.hpp"
@@ -338,6 +339,26 @@ struct SimConfig {
     std::string json_path;
   };
   MasterCheckpoint checkpoint;
+  /// Flight recorder (both executors): an always-on bounded ring of
+  /// structured lifecycle events, merged into RunResult::flight at end of
+  /// run and dumped as a `cdsf.flight_record/1` postmortem when the run
+  /// ends badly (deadline miss, strand, master restart, quarantine trip,
+  /// chaos invariant violation) AND the process-global obs::FlightSink is
+  /// armed. Recording is structurally inert — no RNG, no clock, no effect
+  /// on trace/report output — so default runs stay byte-identical with it
+  /// on. The CDSF_FLIGHT environment variable (obs::flight_recording_
+  /// enabled) is the process-wide kill switch used by the overhead bench.
+  struct Flight {
+    bool enabled = true;
+    /// Ring capacity per worker track (one extra track for the master).
+    std::size_t track_capacity = 64;
+    /// Deadline for the deadline-miss anomaly trigger; 0 disables it.
+    /// Framework::run_stage_two / execute_plan and the replicated drivers
+    /// fill it with the run deadline when left at 0 (the deadline_risk
+    /// pattern).
+    double deadline = 0.0;
+  };
+  Flight flight;
 };
 
 /// Per-worker accounting.
@@ -652,6 +673,8 @@ struct RunResult {
   CheckpointStats checkpoint;
   /// Master write-ahead log (empty unless checkpointing was on).
   std::vector<WalRecord> wal;
+  /// Merged flight recording (enabled == false when the recorder was off).
+  obs::FlightRecord flight;
 
   /// Coefficient of variation of per-worker finish times — the classic
   /// load-imbalance metric (0 = perfectly balanced).

@@ -126,6 +126,11 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
 
   MpiRunResult result;
   result.run.workers.assign(processors, WorkerStats{});
+  // Always-on flight recorder: bounded per-worker rings, merged into
+  // result.run.flight by finalize_run. Recording never touches the RNG,
+  // the trace, or the event list, so enabling it cannot perturb the run.
+  obs::FlightRecorder flight(processors, config.flight.track_capacity,
+                             config.flight.enabled && obs::flight_recording_enabled());
   for (const SimConfig::Failure& failure : config.failures) {
     if (failure.kind == SimConfig::FailureKind::kDegrade ||
         failure.kind == SimConfig::FailureKind::kMasterCrashRestart ||
@@ -164,6 +169,17 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         result.run.events.push_back({LifecycleEvent::Kind::kWorkerRecover,
                                      prepared.workers[w].recovery_time, w, 0});
       }
+    }
+  }
+  // Crash/recovery instants are known up front (the availability process
+  // carries them); the merge sort in finish() interleaves them correctly.
+  for (std::size_t w = 0; w < processors; ++w) {
+    if (!prepared.workers[w].crashes()) continue;
+    flight.record(obs::FlightEventKind::kWorkerCrashed, prepared.workers[w].crash_time,
+                  static_cast<std::uint32_t>(w));
+    if (std::isfinite(prepared.workers[w].recovery_time)) {
+      flight.record(obs::FlightEventKind::kWorkerRecovered,
+                    prepared.workers[w].recovery_time, static_cast<std::uint32_t>(w));
     }
   }
 
@@ -333,6 +349,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     Outstanding& out = outstanding[w];
     if (!out.active) return;
     out.active = false;
+    flight.record(obs::FlightEventKind::kChunkLost, engine.now(),
+                  static_cast<std::uint32_t>(w), out.range.first, out.range.count);
     if (config.collect_trace) {
       result.run.events.push_back(
           {LifecycleEvent::Kind::kChunkLost, engine.now(), w, out.range.count});
@@ -380,12 +398,16 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         Outstanding& out = outstanding[w];
         if (!out.active || out.id != id) return;
         out.probes += 1;
+        flight.record(obs::FlightEventKind::kWorkerSuspected, engine.now(),
+                      static_cast<std::uint32_t>(w), static_cast<std::int64_t>(out.probes));
         if (config.collect_trace) {
           result.run.events.push_back({LifecycleEvent::Kind::kWorkerSuspected, engine.now(),
                                        w, static_cast<std::int64_t>(out.probes)});
         }
         if (out.probes >= config.fault_detection.max_probes) {
           declared_dead[w] = 1;
+          flight.record(obs::FlightEventKind::kWorkerDeclaredDead, engine.now(),
+                        static_cast<std::uint32_t>(w));
           // An undelivered hardened assignment is a lost MESSAGE, not a
           // suspicion of a live worker mid-report.
           if (!out.lost && out.delivered) result.run.faults.false_suspicions += 1;
@@ -485,6 +507,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
         engine.schedule_after(delay, [&, w, seq] {
           result.run.channel.corrupted += 1;
           result.run.channel.corrupt_discarded += 1;
+          flight.record(obs::FlightEventKind::kMessageCorrupted, engine.now(),
+                        static_cast<std::uint32_t>(w), seq);
           if (config.collect_trace) {
             result.run.events.push_back(
                 {LifecycleEvent::Kind::kMessageCorrupted, engine.now(), w, seq});
@@ -526,6 +550,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
             return;
           }
           result.run.channel.retransmits += 1;
+          flight.record(obs::FlightEventKind::kRetransmit, engine.now(),
+                        static_cast<std::uint32_t>(w), seq);
           if (config.collect_trace) {
             result.run.events.push_back(
                 {LifecycleEvent::Kind::kRetransmit, engine.now(), w, seq});
@@ -542,6 +568,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (!checkpointing) return;
     result.run.wal.push_back({kind, engine.now(), w, seqno, first, count});
     result.run.checkpoint.wal_records += 1;
+    flight.record(obs::FlightEventKind::kWalAppend, engine.now(), obs::kFlightMasterTrack,
+                  static_cast<std::int64_t>(seqno), count);
   };
 
   // Re-executes an accepted chunk on independent worker v and compares
@@ -562,6 +590,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     const bool lost = start_time < prepared.workers[v].recovery_time &&
                       end_time > prepared.workers[v].crash_time;
     health.stats.audits_launched += 1;
+    flight.record(obs::FlightEventKind::kAuditLaunched, dispatch_time,
+                  static_cast<std::uint32_t>(v), job.range.first, job.range.count);
     if (config.collect_trace) {
       result.run.events.push_back(
           {LifecycleEvent::Kind::kAuditLaunched, dispatch_time, v, job.range.count});
@@ -599,12 +629,17 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
           }
           if (job.original_wrong || replica_wrong) {
             health.stats.audit_mismatches += 1;
+            flight.record(obs::FlightEventKind::kAuditMismatch, engine.now(),
+                          static_cast<std::uint32_t>(job.origin), job.range.first,
+                          job.range.count);
             if (config.collect_trace) {
               result.run.events.push_back({LifecycleEvent::Kind::kAuditMismatch, engine.now(),
                                            job.origin, job.range.count});
             }
             if (health.observe_mismatch(job.origin)) {
               health.quarantine(job.origin, engine.now(), /*audit_trip=*/true);
+              flight.record(obs::FlightEventKind::kWorkerQuarantined, engine.now(),
+                            static_cast<std::uint32_t>(job.origin), 1);
               if (config.collect_trace) {
                 result.run.events.push_back(
                     {LifecycleEvent::Kind::kWorkerQuarantined, engine.now(), job.origin, 1});
@@ -647,6 +682,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (probe) {
       if (health.observe_probe(w, slowdown)) {
         health.reinstate(w, now);
+        flight.record(obs::FlightEventKind::kWorkerRestored, now,
+                      static_cast<std::uint32_t>(w));
         if (config.collect_trace) {
           result.run.events.push_back({LifecycleEvent::Kind::kWorkerRestored, now, w, 0});
         }
@@ -655,6 +692,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     }
     if (health.observe(w, slowdown)) {
       health.quarantine(w, now, /*audit_trip=*/false);
+      flight.record(obs::FlightEventKind::kWorkerQuarantined, now,
+                    static_cast<std::uint32_t>(w), 0);
       if (config.collect_trace) {
         result.run.events.push_back({LifecycleEvent::Kind::kWorkerQuarantined, now, w, 0});
       }
@@ -702,6 +741,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       }
       result.run.faults.wasted_work += wasted;
       if (out.speculative) result.run.speculation.backups_lost += 1;
+      flight.record(obs::FlightEventKind::kChunkLost, now, static_cast<std::uint32_t>(v),
+                    out.range.first, out.range.count);
       if (config.collect_trace) {
         result.run.events.push_back(
             {LifecycleEvent::Kind::kChunkLost, now, v, out.range.count});
@@ -721,6 +762,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       sunk += prepared.workers[v].availability->work_delivered(out.start_time, stop);
     }
     result.run.speculation.cancelled_work += sunk;
+    flight.record(obs::FlightEventKind::kChunkCancelled, now,
+                  static_cast<std::uint32_t>(v), out.range.first, out.range.count);
     if (config.collect_trace) {
       result.run.events.push_back(
           {LifecycleEvent::Kind::kChunkCancelled, now, v, out.range.count});
@@ -771,6 +814,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                       if (declared_dead[w]) {
                         declared_dead[w] = 0;
                         timeout_scale[w] *= 2.0;
+                        flight.record(obs::FlightEventKind::kWorkerReinstated, engine.now(),
+                                      static_cast<std::uint32_t>(w));
                         if (config.collect_trace) {
                           result.run.events.push_back(
                               {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
@@ -789,7 +834,15 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                     result.run.total_chunks += 1;
                     result.run.makespan = std::max(result.run.makespan, out.end_time);
                     completed += out.range.count;
-                    if (out.speculative) result.run.speculation.backups_won += 1;
+                    flight.record(obs::FlightEventKind::kChunkAccepted, engine.now(),
+                                  static_cast<std::uint32_t>(w), out.range.first,
+                                  out.range.count);
+                    if (out.speculative) {
+                      result.run.speculation.backups_won += 1;
+                      flight.record(obs::FlightEventKind::kBackupWon, engine.now(),
+                                    static_cast<std::uint32_t>(w), out.range.first,
+                                    out.range.count);
+                    }
                     technique->record(dls::ChunkResult{w, out.range.count,
                                                        out.end_time - out.start_time,
                                                        out.end_time - out.dispatch_time});
@@ -820,6 +873,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     });
     if (id <= processed_seq[w]) {
       result.run.channel.dedup_hits += 1;
+      flight.record(obs::FlightEventKind::kDedupHit, engine.now(),
+                    static_cast<std::uint32_t>(w), static_cast<std::int64_t>(id));
       if (config.collect_trace) {
         result.run.events.push_back({LifecycleEvent::Kind::kDedupHit, engine.now(), w,
                                      static_cast<std::int64_t>(id)});
@@ -836,6 +891,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       if (declared_dead[w]) {
         declared_dead[w] = 0;
         timeout_scale[w] *= 2.0;
+        flight.record(obs::FlightEventKind::kWorkerReinstated, engine.now(),
+                      static_cast<std::uint32_t>(w));
         if (config.collect_trace) {
           result.run.events.push_back(
               {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
@@ -857,7 +914,13 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     result.run.total_chunks += 1;
     result.run.makespan = std::max(result.run.makespan, end_time);
     completed += out.range.count;
-    if (out.speculative) result.run.speculation.backups_won += 1;
+    flight.record(obs::FlightEventKind::kChunkAccepted, engine.now(),
+                  static_cast<std::uint32_t>(w), out.range.first, out.range.count);
+    if (out.speculative) {
+      result.run.speculation.backups_won += 1;
+      flight.record(obs::FlightEventKind::kBackupWon, engine.now(),
+                    static_cast<std::uint32_t>(w), out.range.first, out.range.count);
+    }
     technique->record(
         dls::ChunkResult{w, out.range.count, end_time - start_time, end_time - dispatch_time});
     wal_append(WalRecord::Kind::kComplete, w, id, range.first, range.count);
@@ -896,6 +959,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (id <= cancelled_seq[w]) return;  // cancelled before it arrived
     if (id <= executed_seq[w]) {
       result.run.channel.dedup_hits += 1;
+      flight.record(obs::FlightEventKind::kDedupHit, now, static_cast<std::uint32_t>(w),
+                    static_cast<std::int64_t>(id));
       if (config.collect_trace) {
         result.run.events.push_back(
             {LifecycleEvent::Kind::kDedupHit, now, w, static_cast<std::int64_t>(id)});
@@ -972,6 +1037,9 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       }
     }
     outstanding[w] = out;
+    flight.record(speculative ? obs::FlightEventKind::kBackupLaunched
+                              : obs::FlightEventKind::kChunkDispatched,
+                  dispatch_time, static_cast<std::uint32_t>(w), range.first, range.count);
     wal_append(WalRecord::Kind::kAssign, w, id, range.first, range.count);
     CDSF_LOG_TRACE << "mpi worker " << w
                    << (speculative ? " backup " : probe ? " canary " : " chunk ")
@@ -1052,6 +1120,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     primary.partner = v;
     primary.partner_id = backup_id;
     result.run.speculation.backups_launched += 1;
+    flight.record(obs::FlightEventKind::kBackupLaunched, dispatch_time,
+                  static_cast<std::uint32_t>(v), range.first, range.count);
     CDSF_LOG_TRACE << "mpi worker " << v << " backup " << range.count << " ["
                    << dispatch_time << ", " << end_time << "]" << (lost ? " LOST" : "");
     arm_detection(v, backup_id, range.count, dispatch_time);
@@ -1080,6 +1150,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       Outstanding& out = outstanding[w];
       if (!out.active || out.id != id || out.has_partner) return;
       result.run.speculation.stragglers_flagged += 1;
+      flight.record(obs::FlightEventKind::kStragglerFlagged, engine.now(),
+                    static_cast<std::uint32_t>(w), out.range.first, out.range.count);
       if (config.collect_trace) {
         result.run.events.push_back(
             {LifecycleEvent::Kind::kChunkStraggler, engine.now(), w, out.range.count});
@@ -1124,6 +1196,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       // enough of them strand the run.
       declared_dead[w] = 0;
       timeout_scale[w] *= 2.0;
+      flight.record(obs::FlightEventKind::kWorkerReinstated, engine.now(),
+                    static_cast<std::uint32_t>(w));
       if (config.collect_trace) {
         result.run.events.push_back(
             {LifecycleEvent::Kind::kWorkerReinstated, engine.now(), w, 0});
@@ -1142,6 +1216,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       // The previous copy of this request is already queued for service;
       // the assignment it produces will answer this sequence too.
       result.run.channel.dedup_hits += 1;
+      flight.record(obs::FlightEventKind::kDedupHit, engine.now(),
+                    static_cast<std::uint32_t>(w), static_cast<std::int64_t>(rseq));
       if (config.collect_trace) {
         result.run.events.push_back({LifecycleEvent::Kind::kDedupHit, engine.now(), w,
                                      static_cast<std::int64_t>(rseq)});
@@ -1154,6 +1230,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       // double-assigning.
       result.run.channel.dedup_hits += 1;
       result.run.channel.retransmits += 1;
+      flight.record(obs::FlightEventKind::kRetransmit, engine.now(),
+                    static_cast<std::uint32_t>(w), static_cast<std::int64_t>(out.id));
       if (config.collect_trace) {
         result.run.events.push_back({LifecycleEvent::Kind::kRetransmit, engine.now(), w,
                                      static_cast<std::int64_t>(out.id)});
@@ -1173,6 +1251,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (idle[w]) {
       // Benched worker re-requesting: the bench notice was lost — resend.
       result.run.channel.dedup_hits += 1;
+      flight.record(obs::FlightEventKind::kDedupHit, engine.now(),
+                    static_cast<std::uint32_t>(w), static_cast<std::int64_t>(rseq));
       send_bench(w, rseq);
       return;
     }
@@ -1292,6 +1372,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       }
       if (probe) {
         health.stats.probes_launched += 1;
+        flight.record(obs::FlightEventKind::kCanaryProbe, engine.now(),
+                      static_cast<std::uint32_t>(w), range.first, range.count);
         if (config.collect_trace) {
           result.run.events.push_back(
               {LifecycleEvent::Kind::kQuarantineProbe, engine.now(), w, range.count});
@@ -1328,6 +1410,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
             {w, range.count, dispatch_time, start_time, end_time, lost, range.first, false,
              false, false, false, probe});
       }
+      flight.record(obs::FlightEventKind::kChunkDispatched, dispatch_time,
+                    static_cast<std::uint32_t>(w), range.first, range.count);
       CDSF_LOG_TRACE << "mpi worker " << w << (probe ? " canary " : " chunk ") << range.count
                      << " [" << dispatch_time << ", " << end_time << "]"
                      << (lost ? " LOST" : "");
@@ -1349,6 +1433,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
                                                    end_time] {
             technique->record(dls::ChunkResult{w, range.count, end_time - start_time,
                                                end_time - dispatch_time});
+            flight.record(obs::FlightEventKind::kChunkAccepted, engine.now(),
+                          static_cast<std::uint32_t>(w), range.first, range.count);
             master_receive_request(w, 0);
           });
         });
@@ -1388,6 +1474,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     master_down = false;
     master_free_at = std::max(master_free_at, now);
     result.run.checkpoint.master_restarts += 1;
+    flight.record(obs::FlightEventKind::kMasterRestarted, now, obs::kFlightMasterTrack,
+                  static_cast<std::int64_t>(master_epoch));
     // A restart before the loop kicked off (crash inside the serial phase)
     // has nothing to reconcile and must NOT wake workers — the parallel
     // loop opens at serial_end, not at the master's recovery. A restart
@@ -1493,6 +1581,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
     if (!master_down) {
       wal_append(WalRecord::Kind::kSnapshot, 0, master_epoch, 0, completed);
       result.run.checkpoint.snapshots += 1;
+      flight.record(obs::FlightEventKind::kCheckpoint, engine.now(), obs::kFlightMasterTrack,
+                    static_cast<std::int64_t>(result.run.wal.size()), completed);
       if (config.collect_trace) {
         result.run.events.push_back({LifecycleEvent::Kind::kCheckpoint, engine.now(), 0,
                                      static_cast<std::int64_t>(result.run.wal.size())});
@@ -1577,6 +1667,8 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
       engine.schedule_at(master_fault->time, [&] {
         master_down = true;
         master_epoch += 1;  // every pending master-side timer is now stale
+        flight.record(obs::FlightEventKind::kMasterCrashed, engine.now(),
+                      obs::kFlightMasterTrack);
         if (config.collect_trace) {
           result.run.events.push_back(
               {LifecycleEvent::Kind::kMasterCrash, engine.now(), 0, 0});
@@ -1595,11 +1687,15 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   }
 
   if (managed && completed < application.parallel_iterations()) {
-    throw std::runtime_error(
-        "simulate_loop_mpi: " +
+    const std::string detail =
         std::to_string(application.parallel_iterations() - completed) +
         " iterations stranded by crashes (fault detection disabled or no surviving "
-        "worker to re-dispatch to)");
+        "worker to re-dispatch to)";
+    // finalize_run never runs for a stranded run, so the postmortem dumps
+    // here, at the detection site.
+    obs::FlightSink::global().maybe_dump(flight.finish(),
+                                         obs::FlightAnomaly{"strand", detail, engine.now()});
+    throw std::runtime_error("simulate_loop_mpi: " + detail);
   }
 
   // Gray-failure epilogue (see loop_executor.cpp): in-flight replicas whose
@@ -1616,7 +1712,7 @@ MpiRunResult simulate_loop_mpi(const workload::Application& application,
   for (WorkerStats& w : result.run.workers) {
     if (w.finish_time == 0.0) w.finish_time = serial_end;
   }
-  detail::finalize_run(result.run);
+  detail::finalize_run(result.run, config, flight);
   if (checkpointing && !config.checkpoint.json_path.empty()) {
     write_checkpoint_json(config.checkpoint.json_path, result.run);
   }
@@ -1650,6 +1746,11 @@ ReplicationSummary simulate_replicated_mpi(const workload::Application& applicat
   // One checkpoint file per replicated batch makes no sense (the last
   // writer would win, and threads would race on the path).
   run_config.checkpoint.json_path.clear();
+  // The flight recorder's deadline-miss anomaly inherits the replication
+  // deadline unless the caller pinned one explicitly.
+  if (run_config.flight.deadline == 0.0 && deadline > 0.0 && std::isfinite(deadline)) {
+    run_config.flight.deadline = deadline;
+  }
   const util::SeedSequence seeds(seed);
   std::vector<double> samples(replications);
   std::vector<FaultStats> faults(replications);

@@ -371,11 +371,46 @@ void summarize_makespans(ReplicationSummary& summary, std::vector<double> sample
   summary.median_makespan = stats::percentile(std::move(samples), 0.5);
 }
 
-void finalize_run(RunResult& result) {
+void finalize_run(RunResult& result, const SimConfig& config,
+                  const obs::FlightRecorder& recorder) {
   std::stable_sort(result.events.begin(), result.events.end(),
                    [](const LifecycleEvent& a, const LifecycleEvent& b) {
                      return a.time < b.time;
                    });
+  // Postmortem triggers, most severe first: a run can both restart its
+  // master and trip quarantine, but one dump explains it.
+  obs::FlightAnomaly anomaly;
+  if (config.flight.deadline > 0.0 && result.makespan > config.flight.deadline) {
+    anomaly.kind = "deadline_miss";
+    anomaly.detail = "makespan " + std::to_string(result.makespan) +
+                     " exceeded deadline " + std::to_string(config.flight.deadline);
+    anomaly.time = result.makespan;
+  } else if (result.checkpoint.master_restarts > 0) {
+    anomaly.kind = "master_restart";
+    anomaly.detail = "master restarted " +
+                     std::to_string(result.checkpoint.master_restarts) +
+                     " time(s) from checkpoint + WAL";
+    anomaly.time = result.makespan;
+  } else if (result.quarantine.quarantines > 0) {
+    anomaly.kind = "quarantine_trip";
+    anomaly.detail =
+        std::to_string(result.quarantine.quarantines) + " quarantine trip(s): " +
+        std::to_string(result.quarantine.fail_slow_trips) + " fail-slow, " +
+        std::to_string(result.quarantine.audit_trips) + " audit";
+    anomaly.time = result.makespan;
+  }
+  // The merged, time-sorted event tail is only ever read by a postmortem
+  // dump — this run's (anomalous) or a later chaos-invariant dump (armed
+  // sink). Clean runs under an unarmed sink take the summary-only path,
+  // which skips the merge sort entirely (the recorder's overhead budget).
+  if (!anomaly.kind.empty() || obs::FlightSink::global().armed()) {
+    result.flight = recorder.finish();
+  } else {
+    result.flight = recorder.finish_summary();
+  }
+  if (!anomaly.kind.empty()) {
+    obs::FlightSink::global().maybe_dump(result.flight, anomaly);
+  }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   if (!metrics.enabled()) return;
   metrics.add("sim.runs");
@@ -395,11 +430,16 @@ void finalize_run(RunResult& result) {
   }
   const QuarantineStats& quar = result.quarantine;
   if (quar.active()) {
-    metrics.add("sim.quarantines", static_cast<std::int64_t>(quar.quarantines));
+    metrics.add("sim.quarantined", static_cast<std::int64_t>(quar.quarantines));
     metrics.add("sim.reinstatements", static_cast<std::int64_t>(quar.reinstatements));
-    metrics.add("sim.quarantine_probes", static_cast<std::int64_t>(quar.probes_launched));
-    metrics.add("sim.audits_launched", static_cast<std::int64_t>(quar.audits_launched));
+    metrics.add("sim.canary_probes", static_cast<std::int64_t>(quar.probes_launched));
+    metrics.add("sim.audits", static_cast<std::int64_t>(quar.audits_launched));
     metrics.add("sim.audit_mismatches", static_cast<std::int64_t>(quar.audit_mismatches));
+  }
+  const ChannelStats& channel = result.channel;
+  if (channel.active() && channel.corrupt_discarded > 0) {
+    metrics.add("sim.corrupt_discarded",
+                static_cast<std::int64_t>(channel.corrupt_discarded));
   }
   const SpeculationStats& spec = result.speculation;
   if (spec.stragglers_flagged > 0 || spec.risk_escalations > 0) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dls/technique.hpp"
+#include "obs/flight.hpp"
 #include "sim/loop_executor.hpp"
 #include "sysmodel/availability.hpp"
 #include "util/rng.hpp"
@@ -299,10 +300,14 @@ struct PreparedRun {
                                       const sysmodel::AvailabilitySpec& availability,
                                       const SimConfig& config, std::uint64_t seed);
 
-/// Shared run epilogue: sorts the lifecycle events by time and, when the
-/// global obs::MetricsRegistry is enabled, records the run's aggregate
-/// counters and makespan histogram (one registry touch per run — nothing
-/// on the per-chunk path).
-void finalize_run(RunResult& result);
+/// Shared run epilogue: sorts the lifecycle events by time, merges the
+/// flight recorder into RunResult::flight, dumps a postmortem through
+/// obs::FlightSink when the run ended badly (deadline miss, master
+/// restart, quarantine trip — strands and chaos violations dump at their
+/// own detection sites), and, when the global obs::MetricsRegistry is
+/// enabled, records the run's aggregate counters and makespan histogram
+/// (one registry touch per run — nothing on the per-chunk path).
+void finalize_run(RunResult& result, const SimConfig& config,
+                  const obs::FlightRecorder& recorder);
 
 }  // namespace cdsf::sim::detail

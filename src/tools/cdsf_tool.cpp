@@ -10,19 +10,24 @@
 //   cdsf phi1 --deadline 3250            # phi_1 for both Table IV mappings
 //   cdsf dynamic --remap --case 3        # arrival-driven allocation stream
 //   cdsf chaos --schedules 100           # randomized fault-schedule campaign
+//   cdsf metrics                         # OpenMetrics text exposition
 //
 // Observability: every subcommand takes --log-level (the CDSF_LOG
-// environment variable sets the initial threshold); scenario/gantt/dynamic
-// take --report-json (structured run report) and scenario/gantt take
-// --trace-json (Chrome/Perfetto trace, open in https://ui.perfetto.dev).
-// Requesting either output switches the global metrics registry on, so
-// reports embed a metrics snapshot. See docs/observability.md.
+// environment variable sets the initial threshold), --metrics-out (an
+// OpenMetrics snapshot written after the command body), and --postmortem
+// (flight-recorder dump prefix; anomalous runs leave cdsf.flight_record/1
+// files behind). scenario/gantt/dynamic take --report-json (structured
+// run report) and scenario/gantt take --trace-json (Chrome/Perfetto
+// trace, open in https://ui.perfetto.dev). Requesting any of these
+// switches the global metrics registry on, so reports embed a metrics
+// snapshot. See docs/observability.md.
 //
 // Every subcommand supports --help.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cdsf/dynamic_manager.hpp"
@@ -30,7 +35,10 @@
 #include "cdsf/paper_example.hpp"
 #include "cdsf/scenario_io.hpp"
 #include "dls/analysis.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/chaos.hpp"
@@ -55,17 +63,62 @@ void apply_log_flag(const util::Cli& cli) {
   if (!level.empty()) util::set_log_level(util::parse_log_level(level));
 }
 
-/// Turns the global metrics registry on when any observability output was
-/// requested, so the emitted report embeds a metrics snapshot.
+/// Turns the global metrics registry (and the Stage I phase profiler,
+/// whose breakdown rides in cdsf.scenario_report) on when any
+/// observability output was requested, so the emitted report embeds a
+/// metrics snapshot.
 void enable_metrics_if(bool wanted) {
-  if (wanted) obs::MetricsRegistry::global().set_enabled(true);
+  if (wanted) {
+    obs::MetricsRegistry::global().set_enabled(true);
+    obs::PhaseProfiler::global().set_enabled(true);
+  }
+}
+
+/// --metrics-out / --postmortem ride on every subcommand next to
+/// --log-level (see add_log_flag).
+void add_common_flags(util::Cli& cli) {
+  cli.add_string("metrics-out", "",
+                 "write an OpenMetrics text snapshot of the metrics registry here");
+  cli.add_string("postmortem", "flight_postmortem",
+                 "flight-recorder postmortem file prefix ('off' = never dump)");
+  add_log_flag(cli);
+}
+
+void apply_common_flags(const util::Cli& cli) {
+  apply_log_flag(cli);
+  enable_metrics_if(!cli.get_string("metrics-out").empty());
+  // The library ships with the postmortem sink unarmed; the CLI arms it so
+  // anomalous runs (deadline miss, strand, master restart, quarantine
+  // trip) leave a cdsf.flight_record/1 dump behind. Budget of 4 files per
+  // invocation keeps a chaos campaign from papering the directory.
+  const std::string prefix = cli.get_string("postmortem");
+  if (prefix.empty() || prefix == "off") {
+    obs::FlightSink::global().disarm();
+  } else {
+    obs::FlightSink::global().arm(prefix, 4);
+  }
+}
+
+/// Writes the --metrics-out exposition (if requested) after the command
+/// body ran, so the snapshot covers everything the command did.
+int write_metrics_out(const util::Cli& cli) {
+  const std::string path = cli.get_string("metrics-out");
+  if (path.empty()) return 0;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cdsf: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << obs::to_openmetrics(obs::MetricsRegistry::global().snapshot());
+  std::printf("wrote metrics %s\n", path.c_str());
+  return 0;
 }
 
 int cmd_tables(int argc, char** argv) {
   util::Cli cli("Reproduce the paper's Table IV/V summary.");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
   const core::PaperExample example = core::make_paper_example();
   const core::Framework framework(example.batch, example.platform, example.cases.front(),
                                   example.deadline);
@@ -85,15 +138,15 @@ int cmd_tables(int argc, char** argv) {
                    util::format_fixed(robust.expected_times[app], 1), "Table V"});
   }
   std::puts(table.render().c_str());
-  return 0;
+  return write_metrics_out(cli);
 }
 
 int cmd_template(int argc, char** argv) {
   util::Cli cli("Write the paper example as a scenario-file template.");
   cli.add_string("out", "paper_scenario.ini", "output path");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
   const std::string path = cli.get_string("out");
   std::ofstream out(path);
   if (!out) {
@@ -102,7 +155,7 @@ int cmd_template(int argc, char** argv) {
   }
   out << core::paper_scenario_text();
   std::printf("wrote %s\n", path.c_str());
-  return 0;
+  return write_metrics_out(cli);
 }
 
 int cmd_scenario(int argc, char** argv) {
@@ -112,9 +165,9 @@ int cmd_scenario(int argc, char** argv) {
   cli.add_int("seed", 1, "seed");
   cli.add_string("report-json", "", "write a structured JSON scenario report here");
   cli.add_string("trace-json", "", "write a Perfetto trace of one locked-plan execution here");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
   const std::string report_path = cli.get_string("report-json");
   const std::string trace_path = cli.get_string("trace-json");
   enable_metrics_if(!report_path.empty() || !trace_path.empty());
@@ -202,7 +255,7 @@ int cmd_scenario(int argc, char** argv) {
     obs::write_json(obs::make_scenario_report(framework, result, scenario.cases), report_path);
     std::printf("wrote report %s\n", report_path.c_str());
   }
-  return 0;
+  return write_metrics_out(cli);
 }
 
 int cmd_preview(int argc, char** argv) {
@@ -210,9 +263,9 @@ int cmd_preview(int argc, char** argv) {
   cli.add_string("technique", "FAC", "technique name (see docs/dls_techniques.md)");
   cli.add_int("iterations", 1000, "loop iterations");
   cli.add_int("workers", 4, "workers");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
 
   const dls::TechniqueId id = dls::technique_from_name(cli.get_string("technique"));
   const dls::ScheduleAnalysis analysis =
@@ -230,7 +283,7 @@ int cmd_preview(int argc, char** argv) {
     std::printf(" %lld", static_cast<long long>(chunk.size));
   }
   std::printf("\n");
-  return 0;
+  return write_metrics_out(cli);
 }
 
 int cmd_gantt(int argc, char** argv) {
@@ -266,9 +319,9 @@ int cmd_gantt(int argc, char** argv) {
                  "master restart instant for --master-crash (-1 = crash + 60)");
   cli.add_string("report-json", "", "write a structured JSON run report here");
   cli.add_string("trace-json", "", "write a Perfetto trace of the run here");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
   const std::string report_path = cli.get_string("report-json");
   const std::string trace_path = cli.get_string("trace-json");
   enable_metrics_if(!report_path.empty() || !trace_path.empty());
@@ -277,6 +330,9 @@ int cmd_gantt(int argc, char** argv) {
   const std::string technique = cli.get_string("technique");
   sim::SimConfig config;
   config.collect_trace = true;
+  // A run past the paper deadline is the flight recorder's deadline-miss
+  // anomaly; armed via apply_common_flags, it dumps a postmortem.
+  config.flight.deadline = example.deadline;
   if (cli.get_int("crash-worker") >= 0) {
     sim::SimConfig::Failure failure;
     failure.worker = static_cast<std::size_t>(cli.get_int("crash-worker"));
@@ -391,7 +447,7 @@ int cmd_gantt(int argc, char** argv) {
                     report_path);
     std::printf("wrote report %s\n", report_path.c_str());
   }
-  return 0;
+  return write_metrics_out(cli);
 }
 
 int cmd_dynamic(int argc, char** argv) {
@@ -405,9 +461,9 @@ int cmd_dynamic(int argc, char** argv) {
   cli.add_double("rho2", 0.1, "certified availability-decrease radius for --remap");
   cli.add_int("seed", 8, "master seed");
   cli.add_string("report-json", "", "write a structured JSON dynamic-run report here");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
   const std::string report_path = cli.get_string("report-json");
   enable_metrics_if(!report_path.empty());
 
@@ -446,7 +502,7 @@ int cmd_dynamic(int argc, char** argv) {
     obs::write_json(obs::make_dynamic_report(result, config, platform), report_path);
     std::printf("wrote report %s\n", report_path.c_str());
   }
-  return 0;
+  return write_metrics_out(cli);
 }
 
 int cmd_chaos(int argc, char** argv) {
@@ -468,9 +524,9 @@ int cmd_chaos(int argc, char** argv) {
   cli.add_flag("no-fail-slow", "never arm the fail-slow quarantine axis");
   cli.add_flag("no-corruption", "never draw payload-corruption faults");
   cli.add_string("report-json", "", "write a structured JSON campaign report here");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
   const std::string report_path = cli.get_string("report-json");
   enable_metrics_if(!report_path.empty());
 
@@ -558,15 +614,74 @@ int cmd_chaos(int argc, char** argv) {
     obs::write_json(obs::make_chaos_report(report, config), report_path);
     std::printf("wrote report %s\n", report_path.c_str());
   }
-  return report.passed() ? 0 : 1;
+  const int metrics_status = write_metrics_out(cli);
+  return report.passed() ? metrics_status : 1;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  util::Cli cli(
+      "OpenMetrics text exposition of a metrics snapshot: either a live "
+      "Stage I solve of the paper example, or the snapshot embedded in an "
+      "existing report (--from-report).");
+  cli.add_string("from-report", "",
+                 "re-export the 'metrics' block of this JSON report instead of running");
+  cli.add_string("out", "", "output path (empty = stdout)");
+  add_log_flag(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  apply_log_flag(cli);
+
+  std::string text;
+  const std::string from = cli.get_string("from-report");
+  if (!from.empty()) {
+    std::ifstream in(from);
+    if (!in) {
+      std::fprintf(stderr, "cdsf: cannot read '%s'\n", from.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const obs::Json doc = obs::Json::parse(buffer.str());
+    const obs::Json* metrics = doc.find("metrics");
+    if (metrics == nullptr) {
+      std::fprintf(stderr,
+                   "cdsf: '%s' has no 'metrics' block (produce the report with "
+                   "--report-json so metrics collection is on)\n",
+                   from.c_str());
+      return 1;
+    }
+    text = obs::to_openmetrics(obs::snapshot_from_json(*metrics));
+  } else {
+    // Live exposition: solve the paper example's Stage I under an enabled
+    // registry so the output carries real series.
+    enable_metrics_if(true);
+    const core::PaperExample example = core::make_paper_example();
+    const core::Framework framework(example.batch, example.platform, example.cases.front(),
+                                    example.deadline);
+    (void)framework.run_stage_one(ra::ExhaustiveOptimal());
+    text = obs::to_openmetrics(obs::MetricsRegistry::global().snapshot());
+  }
+
+  const std::string out_path = cli.get_string("out");
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cdsf: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << text;
+  std::printf("wrote metrics %s\n", out_path.c_str());
+  return 0;
 }
 
 int cmd_phi1(int argc, char** argv) {
   util::Cli cli("phi_1 and makespan statistics for both Table IV mappings.");
   cli.add_double("deadline", 3250.0, "deadline Delta");
-  add_log_flag(cli);
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
 
   const core::PaperExample example = core::make_paper_example();
   const ra::RobustnessEvaluator evaluator(example.batch, example.cases.front(),
@@ -587,7 +702,7 @@ int cmd_phi1(int argc, char** argv) {
   std::puts(table.render().c_str());
   std::puts("FePIA radius (reference [3]): the availability drop each mapping tolerates");
   std::puts("before its weakest application's MEAN time violates the deadline.");
-  return 0;
+  return write_metrics_out(cli);
 }
 
 void usage() {
@@ -600,7 +715,9 @@ void usage() {
   std::puts("  phi1      makespan-distribution statistics per mapping");
   std::puts("  dynamic   arrival-driven allocation stream (rho_2-aware re-mapping)");
   std::puts("  chaos     randomized fault-schedule campaign with invariant checks");
-  std::puts("observability: --log-level everywhere (or CDSF_LOG env var);");
+  std::puts("  metrics   OpenMetrics text exposition (live or --from-report)");
+  std::puts("observability: --log-level / --metrics-out / --postmortem everywhere");
+  std::puts("  (CDSF_LOG sets the initial log threshold);");
   std::puts("  --report-json / --trace-json on scenario, gantt, dynamic, chaos");
 }
 
@@ -625,6 +742,7 @@ int main(int argc, char** argv) {
     if (command == "phi1") return cmd_phi1(sub_argc, sub_argv);
     if (command == "dynamic") return cmd_dynamic(sub_argc, sub_argv);
     if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (command == "metrics") return cmd_metrics(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       usage();
       return 0;

@@ -163,6 +163,27 @@ TEST(LintRules, ReportSchemaTagRequiresSetSchemaInObsReportBuilders) {
   EXPECT_TRUE(lint_text("src/sim/report.cpp", text).violations.empty());
 }
 
+TEST(LintRules, MetricNameEnforcesSubsystemPrefixOutsideTests) {
+  const std::string text =
+      "void f(obs::MetricsRegistry& metrics, stats::StreamingSummary& summary) {\n"
+      "  metrics.add(\"sim.chunks\");\n"
+      "  metrics.add(\"chunks\");\n"
+      "  metrics.observe(\"sim.Makespan\", 1.0);\n"
+      "  metrics.set_gauge(\"cdsf.stage1.phi1\", 0.5);\n"
+      "  metrics.set_histogram_bounds(\"obs.q\", {1.0, 2.0});\n"
+      "  metrics.add(computed_name);\n"  // non-literal name: out of scope
+      "  summary.add(4.0);\n"            // different API entirely
+      "  obs::ScopedTimer timer(metrics, \"stage2.seconds\");\n"
+      "}\n";
+  const LintResult hit = lint_text("src/sim/x.cpp", text);
+  EXPECT_EQ(rule_lines(hit.violations),
+            (std::vector<std::pair<std::string, std::size_t>>{
+                {"metric-name", 3}, {"metric-name", 4}, {"metric-name", 9}}))
+      << cdsf::lint::to_text(hit);
+  // Unit tests name throwaway local-registry series freely.
+  EXPECT_TRUE(lint_text("tests/test_x.cpp", text).violations.empty());
+}
+
 TEST(LintRules, UnknownSuppressionIsAViolation) {
   const LintResult result =
       lint_text("src/x.cpp", "int a; // cdsf-lint: allow(no-such-rule)\n");
