@@ -1,0 +1,171 @@
+// Online-overload service-level study: deadline-hit rate and shed rate vs.
+// offered load for three admission arms of the dynamic manager —
+//
+//   accept-all    the historical unbounded FIFO (overload collapses it),
+//   bounded       a bounded FIFO queue (rejects at capacity, no test),
+//   rho2+ladder   the rho_2-aware admission test with EDF queueing,
+//                 deadline-aware shedding and the degradation ladder.
+//
+// The curve a production scheduler lives by: under overload, accept-all
+// lets queueing delay eat every application's slack (hit rate -> 0 for
+// everyone), while admission control sacrifices arrivals it could never
+// serve to keep the service level of ADMITTED work high. Deterministic:
+// fixed seeds, median over seeds; --json writes a cdsf.online_overload/1
+// document (recorded as BENCH_online_overload.json, gated in CI by
+// tools/check_bench_regression.py).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdsf/dynamic_manager.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "sysmodel/cases.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kSchema = "cdsf.online_overload/1";
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+struct Arm {
+  const char* name;
+  cdsf::core::AdmissionConfig admission;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdsf;
+  util::Cli cli(
+      "Deadline-hit rate and shed rate vs offered load for the dynamic "
+      "manager's admission arms (accept-all | bounded | rho2+ladder).");
+  cli.add_int("applications", 60, "applications per run");
+  cli.add_double("slack", 7000.0, "per-application deadline slack");
+  cli.add_double("base-interarrival", 1000.0, "mean interarrival at offered load 1x");
+  cli.add_int("seeds", 5, "seeds per (arm, load) cell; medians reported");
+  cli.add_string("json", "", "write the cdsf.online_overload/1 document here");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sysmodel::Platform platform = sysmodel::paper_platform();
+  const sysmodel::AvailabilitySpec reference = sysmodel::paper_case(1);
+
+  core::DynamicConfig base;
+  base.applications = static_cast<std::size_t>(cli.get_int("applications"));
+  base.deadline_slack = cli.get_double("slack");
+  base.deadline_slack_spread = 0.25;  // heterogeneous slack makes EDF meaningful
+  base.application_spec.processor_types = 2;
+  base.application_spec.min_total_iterations = 800;
+  base.application_spec.max_total_iterations = 3000;
+  base.application_spec.min_mean_time = 2000.0;
+  base.application_spec.max_mean_time = 8000.0;
+
+  std::vector<Arm> arms;
+  arms.push_back(Arm{"accept-all", {}});
+  {
+    core::AdmissionConfig bounded;
+    bounded.policy = core::AdmissionPolicy::kBoundedQueue;
+    bounded.queue_capacity = 6;
+    bounded.shed_floor = 0.6;  // deadline-aware shedding, no admission test
+    arms.push_back(Arm{"bounded", bounded});
+  }
+  {
+    core::AdmissionConfig rho2;
+    rho2.policy = core::AdmissionPolicy::kRho2Aware;
+    rho2.queue_capacity = 6;
+    rho2.queue_order = core::QueueOrder::kEdf;
+    rho2.admit_floor = 0.5;
+    rho2.shed_floor = 0.6;
+    rho2.ladder = true;
+    arms.push_back(Arm{"rho2+ladder", rho2});
+  }
+
+  const std::vector<double> loads = {0.5, 1.0, 2.0, 4.0};
+  const double base_interarrival = cli.get_double("base-interarrival");
+  const std::size_t seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+
+  util::Table table({"arm", "load", "hit rate (all)", "hit rate (admitted)", "shed rate",
+                     "reject rate", "utilization"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight});
+  table.set_title("Online overload sweep (" + std::to_string(base.applications) +
+                  " applications/run, " + std::to_string(seeds) + " seeds, slack " +
+                  util::format_fixed(base.deadline_slack, 0) + ")");
+
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", kSchema);
+  obs::Json config_doc = obs::Json::object();
+  config_doc.set("applications", base.applications);
+  config_doc.set("deadline_slack", base.deadline_slack);
+  config_doc.set("deadline_slack_spread", base.deadline_slack_spread);
+  config_doc.set("base_interarrival", base_interarrival);
+  config_doc.set("seeds", seeds);
+  doc.set("config", std::move(config_doc));
+  obs::Json arms_doc = obs::Json::array();
+
+  for (const Arm& arm : arms) {
+    obs::Json arm_doc = obs::Json::object();
+    arm_doc.set("name", arm.name);
+    obs::Json points = obs::Json::array();
+    for (double load : loads) {
+      core::DynamicConfig config = base;
+      config.mean_interarrival = base_interarrival / load;
+      config.admission = arm.admission;
+      std::vector<double> hit, admitted_hit, shed_rate, reject_rate, utilization, delay;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const core::DynamicRunResult result = core::run_dynamic_manager(
+            platform, reference, reference, config, 100 + s);
+        const double arrivals = static_cast<double>(result.admission.arrivals);
+        hit.push_back(result.deadline_hit_rate);
+        admitted_hit.push_back(result.admitted_hit_rate);
+        shed_rate.push_back(static_cast<double>(result.admission.shed) / arrivals);
+        reject_rate.push_back(static_cast<double>(result.admission.rejected) / arrivals);
+        utilization.push_back(result.utilization);
+        delay.push_back(result.mean_queueing_delay);
+      }
+      const double hit_median = median(hit);
+      const double admitted_median = median(admitted_hit);
+      const double shed_median = median(shed_rate);
+      const double reject_median = median(reject_rate);
+      const double utilization_median = median(utilization);
+      table.add_row({arm.name, util::format_fixed(load, 1) + "x",
+                     util::format_percent(hit_median, 0),
+                     util::format_percent(admitted_median, 0),
+                     util::format_percent(shed_median, 0),
+                     util::format_percent(reject_median, 0),
+                     util::format_percent(utilization_median, 0)});
+      obs::Json point = obs::Json::object();
+      point.set("load", load);
+      point.set("mean_interarrival", config.mean_interarrival);
+      point.set("deadline_hit_rate_median", hit_median);
+      point.set("admitted_hit_rate_median", admitted_median);
+      point.set("shed_rate_median", shed_median);
+      point.set("reject_rate_median", reject_median);
+      point.set("utilization_median", utilization_median);
+      point.set("mean_queueing_delay_median", median(delay));
+      points.push_back(std::move(point));
+    }
+    arm_doc.set("points", std::move(points));
+    arms_doc.push_back(std::move(arm_doc));
+  }
+  doc.set("arms", std::move(arms_doc));
+
+  std::puts(table.render().c_str());
+  std::puts("Expected shape: past 1x load accept-all collapses for EVERY application");
+  std::puts("(unbounded queueing delay), bounded FIFO saves the head of the queue only,");
+  std::puts("and the rho2 admission test with the degradation ladder keeps the admitted");
+  std::puts("service level high by refusing (or shedding) work it could never finish.");
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    obs::write_json(doc, json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

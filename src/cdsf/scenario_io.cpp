@@ -151,6 +151,7 @@ Scenario parse_scenario(std::istream& in) {
   sim::ChannelModel channel;
   sim::SimConfig::MasterCheckpoint checkpoint;
   sim::SimConfig::Quarantine quarantine;
+  AdmissionConfig admission;
   double deadline = -1.0;
 
   enum class Section {
@@ -164,6 +165,7 @@ Scenario parse_scenario(std::istream& in) {
     kCheckpoint,
     kQuarantine,
     kIntegrity,
+    kAdmission,
   };
   Section section = Section::kNone;
   RawCase* current_case = nullptr;
@@ -218,6 +220,12 @@ Scenario parse_scenario(std::istream& in) {
       } else if (header[0] == "integrity") {
         if (header.size() != 1) parse_error(line, "[integrity] takes no name");
         section = Section::kIntegrity;
+      } else if (header[0] == "admission") {
+        if (header.size() != 1) parse_error(line, "[admission] takes no name");
+        section = Section::kAdmission;
+        // Presence enables: default to the bounded policy so a bare
+        // [admission] section with just a capacity is meaningful.
+        if (!admission.active()) admission.policy = AdmissionPolicy::kBoundedQueue;
       } else {
         parse_error(line, "unknown section '" + header[0] + "'");
       }
@@ -405,6 +413,54 @@ Scenario parse_scenario(std::istream& in) {
         }
         break;
       }
+      case Section::kAdmission: {
+        if (key == "policy") {
+          try {
+            admission.policy = admission_policy_from_name(value);
+          } catch (const std::invalid_argument& error) {
+            parse_error(line, error.what());
+          }
+        } else if (key == "queue-capacity") {
+          const std::int64_t capacity = parse_int(value, line);
+          if (capacity < 1) parse_error(line, "queue-capacity must be >= 1");
+          admission.queue_capacity = static_cast<std::size_t>(capacity);
+        } else if (key == "order") {
+          if (value == "fifo") {
+            admission.queue_order = QueueOrder::kFifo;
+          } else if (value == "edf") {
+            admission.queue_order = QueueOrder::kEdf;
+          } else {
+            parse_error(line, "order must be fifo or edf, got '" + value + "'");
+          }
+        } else if (key == "admit-floor") {
+          admission.admit_floor = parse_probability(value, line);
+        } else if (key == "shed-floor") {
+          admission.shed_floor = parse_probability(value, line);
+        } else if (key == "ladder") {
+          const std::int64_t v = parse_int(value, line);
+          if (v != 0 && v != 1) parse_error(line, "ladder must be 0 or 1");
+          admission.ladder = v != 0;
+        } else if (key == "ladder-alpha") {
+          const double alpha = parse_double(value, line);
+          if (!(alpha > 0.0 && alpha <= 1.0)) parse_error(line, "ladder-alpha must be in (0, 1]");
+          admission.ladder_alpha = alpha;
+        } else if (key == "overload-threshold") {
+          const double threshold = parse_double(value, line);
+          if (!(threshold > 0.0 && threshold <= 1.0)) {
+            parse_error(line, "overload-threshold must be in (0, 1]");
+          }
+          admission.overload_threshold = threshold;
+        } else if (key == "recover-threshold") {
+          const double threshold = parse_double(value, line);
+          if (!(threshold >= 0.0 && threshold < 1.0)) {
+            parse_error(line, "recover-threshold must be in [0, 1)");
+          }
+          admission.recover_threshold = threshold;
+        } else {
+          parse_error(line, "unknown admission key '" + key + "'");
+        }
+        break;
+      }
     }
   }
 
@@ -485,10 +541,13 @@ Scenario parse_scenario(std::istream& in) {
   if (master_failures > 1) {
     throw std::invalid_argument("scenario: at most one master-restart [failure] per scenario");
   }
+  // Contradictory [admission] knob combinations fail here, with the other
+  // semantic checks, rather than at the first dynamic-manager run.
+  validate_admission(admission);
 
   return Scenario{std::move(platform), std::move(cases),      std::move(batch),
                   deadline,            std::move(failures),   std::move(channel),
-                  std::move(checkpoint), quarantine};
+                  std::move(checkpoint), quarantine,          admission};
 }
 
 Scenario parse_scenario_text(const std::string& text) {
@@ -585,6 +644,21 @@ std::string scenario_to_text(const Scenario& scenario) {
     out << "\n[integrity]\n";
     out << "corrupt-to-worker = " << scenario.channel.corrupt_to_worker << "\n";
     out << "corrupt-to-master = " << scenario.channel.corrupt_to_master << "\n";
+  }
+  if (scenario.admission.active()) {
+    const AdmissionConfig& adm = scenario.admission;
+    out << "\n[admission]\n";
+    out << "policy = " << admission_policy_name(adm.policy) << "\n";
+    out << "queue-capacity = " << adm.queue_capacity << "\n";
+    out << "order = " << (adm.queue_order == QueueOrder::kEdf ? "edf" : "fifo") << "\n";
+    if (adm.admit_floor > 0.0) out << "admit-floor = " << adm.admit_floor << "\n";
+    if (adm.shed_floor > 0.0) out << "shed-floor = " << adm.shed_floor << "\n";
+    if (adm.ladder) {
+      out << "ladder = 1\n";
+      out << "ladder-alpha = " << adm.ladder_alpha << "\n";
+      out << "overload-threshold = " << adm.overload_threshold << "\n";
+      out << "recover-threshold = " << adm.recover_threshold << "\n";
+    }
   }
   return out.str();
 }

@@ -63,6 +63,17 @@
 //   corrupt-to-worker = 0.01  # (MPI executor only; checksum framing
 //   corrupt-to-master = 0.01  #  discards, retransmission recovers)
 //
+//   [admission]               # optional: dynamic-manager overload control
+//   policy = rho2             # accept-all | bounded | rho2 (presence
+//   queue-capacity = 4        #  defaults the policy to 'bounded')
+//   order = edf               # fifo | edf
+//   admit-floor = 0.2         # rho2 only: reject below this probability
+//   shed-floor = 0.1          # evict queued jobs below this probability
+//   ladder = 1                # arm the graceful-degradation ladder
+//   ladder-alpha = 0.3
+//   overload-threshold = 0.75
+//   recover-threshold = 0.25
+//
 // Sections may appear in any order; [platform] must precede availability
 // and application sections only logically (the parser resolves names after
 // reading the whole file).
@@ -72,6 +83,7 @@
 #include <string>
 #include <vector>
 
+#include "cdsf/admission.hpp"
 #include "sim/loop_executor.hpp"
 #include "sysmodel/availability.hpp"
 #include "sysmodel/platform.hpp"
@@ -100,6 +112,9 @@ struct Scenario {
   /// structurally disarmed when the section is absent). Payload-corruption
   /// probabilities from [integrity] land on `channel`.
   sim::SimConfig::Quarantine quarantine;
+  /// Dynamic-manager overload control ([admission] section; inert
+  /// accept-all when absent — batch/plan runs ignore it entirely).
+  AdmissionConfig admission;
 };
 
 /// Parses a scenario from a stream. Throws std::runtime_error with a

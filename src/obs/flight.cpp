@@ -35,6 +35,9 @@ const char* flight_event_name(FlightEventKind kind) {
     case FlightEventKind::kCheckpoint: return "checkpoint";
     case FlightEventKind::kMasterCrashed: return "master_crashed";
     case FlightEventKind::kMasterRestarted: return "master_restarted";
+    case FlightEventKind::kAdmissionRejected: return "admission_rejected";
+    case FlightEventKind::kJobShed: return "job_shed";
+    case FlightEventKind::kOverloadTierChanged: return "overload_tier_changed";
   }
   return "unknown";
 }

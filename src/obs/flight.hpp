@@ -71,6 +71,9 @@ enum class FlightEventKind : std::uint8_t {
   kCheckpoint,
   kMasterCrashed,
   kMasterRestarted,
+  kAdmissionRejected,
+  kJobShed,
+  kOverloadTierChanged,
 };
 
 /// Stable lowercase identifier for a kind ("chunk_accepted", ...).
@@ -116,7 +119,8 @@ struct FlightRecord {
 /// What went wrong — attached to the postmortem dump.
 struct FlightAnomaly {
   std::string kind;    // "deadline_miss" | "strand" | "master_restart" |
-                       // "quarantine_trip" | "chaos_invariant"
+                       // "quarantine_trip" | "chaos_invariant" |
+                       // "overload_shed"
   std::string detail;  // human-oriented one-liner
   double time = 0.0;   // simulated time of detection (makespan for post-run)
 };

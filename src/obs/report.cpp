@@ -370,6 +370,34 @@ Json make_dynamic_report(const core::DynamicRunResult& result,
   if (speculation_active(result.speculation_total)) {
     doc.set("speculation_total", to_json(result.speculation_total));
   }
+  // The admission block (and the per-outcome disposition) only appear when
+  // the admission layer is active, so default accept-all reports stay
+  // byte-identical to the pre-admission schema.
+  const bool admission_active = config.admission.active();
+  if (admission_active) {
+    const core::AdmissionConfig& adm = config.admission;
+    const core::AdmissionStats& stats = result.admission;
+    Json admission = Json::object();
+    admission.set("policy", core::admission_policy_name(adm.policy));
+    admission.set("queue_capacity", adm.queue_capacity);
+    admission.set("queue_order",
+                  adm.queue_order == core::QueueOrder::kEdf ? "edf" : "fifo");
+    if (adm.admit_floor > 0.0) admission.set("admit_floor", adm.admit_floor);
+    if (adm.shed_floor > 0.0) admission.set("shed_floor", adm.shed_floor);
+    admission.set("ladder", adm.ladder);
+    admission.set("arrivals", stats.arrivals);
+    admission.set("admitted", stats.admitted);
+    admission.set("queued", stats.queued);
+    admission.set("rejected", stats.rejected);
+    admission.set("shed", stats.shed);
+    admission.set("ladder_steps", stats.ladder_steps);
+    admission.set("max_tier", core::degradation_tier_name(static_cast<core::DegradationTier>(
+                                  std::min<std::uint64_t>(stats.max_tier, 4))));
+    admission.set("peak_queue_depth", stats.peak_queue_depth);
+    admission.set("identity_holds", stats.identity_holds());
+    admission.set("admitted_hit_rate", result.admitted_hit_rate);
+    doc.set("admission", std::move(admission));
+  }
   doc.set("deadline_hit_rate", result.deadline_hit_rate);
   doc.set("mean_queueing_delay", result.mean_queueing_delay);
   doc.set("utilization", result.utilization);
@@ -383,7 +411,16 @@ Json make_dynamic_report(const core::DynamicRunResult& result,
     entry.set("group", to_json(outcome.group, platform));
     entry.set("probability", outcome.probability);
     entry.set("met_deadline", outcome.met_deadline);
-    entry.set("slack", outcome.arrival_time + config.deadline_slack - outcome.completion_time);
+    entry.set("slack", outcome.arrival_time + outcome.deadline_slack - outcome.completion_time);
+    if (admission_active) {
+      const char* disposition = "admitted";
+      if (outcome.disposition == core::DynamicOutcome::Disposition::kRejected) {
+        disposition = "rejected";
+      } else if (outcome.disposition == core::DynamicOutcome::Disposition::kShed) {
+        disposition = "shed";
+      }
+      entry.set("disposition", disposition);
+    }
     outcomes.push_back(std::move(entry));
   }
   doc.set("applications", std::move(outcomes));

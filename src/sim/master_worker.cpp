@@ -12,6 +12,7 @@
 #include "obs/json.hpp"
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
+#include "sim/wal_recovery.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -19,22 +20,6 @@
 namespace cdsf::sim {
 
 namespace {
-
-const char* wal_kind_name(WalRecord::Kind kind) {
-  switch (kind) {
-    case WalRecord::Kind::kAssign:
-      return "assign";
-    case WalRecord::Kind::kAck:
-      return "ack";
-    case WalRecord::Kind::kComplete:
-      return "complete";
-    case WalRecord::Kind::kSnapshot:
-      return "snapshot";
-    case WalRecord::Kind::kRestart:
-      return "restart";
-  }
-  return "record";
-}
 
 /// Serializes the master's final durable state (snapshot counters plus the
 /// full write-ahead log) as schema-tagged JSON.

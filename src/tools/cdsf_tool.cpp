@@ -460,6 +460,21 @@ int cmd_dynamic(int argc, char** argv) {
   cli.add_flag("remap", "plan against the realized availability when it degrades past rho2");
   cli.add_double("rho2", 0.1, "certified availability-decrease radius for --remap");
   cli.add_int("seed", 8, "master seed");
+  cli.add_string("file", "",
+                 "scenario file providing platform/availability (and an optional "
+                 "[admission] section) instead of the paper example");
+  cli.add_string("admission", "",
+                 "admission policy: accept-all | bounded | rho2 (overrides [admission])");
+  cli.add_int("queue-capacity", 0, "bounded waiting-queue capacity");
+  cli.add_string("queue-order", "fifo", "bounded queue order: fifo | edf");
+  cli.add_double("admit-floor", 0.0, "rho2 policy: reject arrivals below this probability");
+  cli.add_double("shed-floor", 0.0, "evict queued jobs below this success probability");
+  cli.add_flag("ladder", "arm the graceful-degradation ladder");
+  cli.add_double("ladder-alpha", 0.3, "overload EWMA smoothing factor");
+  cli.add_double("overload-threshold", 0.75, "EWMA level that steps the ladder up a tier");
+  cli.add_double("recover-threshold", 0.25, "EWMA level that steps the ladder back down");
+  cli.add_double("slack-spread", 0.0,
+                 "per-application deadline-slack spread in [0, 1) (makes EDF meaningful)");
   cli.add_string("report-json", "", "write a structured JSON dynamic-run report here");
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -467,23 +482,57 @@ int cmd_dynamic(int argc, char** argv) {
   const std::string report_path = cli.get_string("report-json");
   enable_metrics_if(!report_path.empty());
 
-  const sysmodel::Platform platform = sysmodel::paper_platform();
-  const sysmodel::AvailabilitySpec reference = sysmodel::paper_case(1);
-  const sysmodel::AvailabilitySpec runtime =
-      sysmodel::paper_case(static_cast<int>(cli.get_int("case")));
-
   core::DynamicConfig config;
+  const std::string file = cli.get_string("file");
+  sysmodel::Platform platform = sysmodel::paper_platform();
+  sysmodel::AvailabilitySpec reference = sysmodel::paper_case(1);
+  sysmodel::AvailabilitySpec runtime =
+      sysmodel::paper_case(static_cast<int>(cli.get_int("case")));
+  if (!file.empty()) {
+    const core::Scenario scenario = core::load_scenario(file);
+    platform = scenario.platform;
+    reference = scenario.cases.front();
+    // --case indexes the scenario's own availability cases (1-based,
+    // clamped), mirroring the paper-case numbering.
+    const std::size_t index = std::min<std::size_t>(
+        scenario.cases.size(),
+        static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("case"))));
+    runtime = scenario.cases[index - 1];
+    config.admission = scenario.admission;
+  }
   config.applications = static_cast<std::size_t>(cli.get_int("applications"));
   config.mean_interarrival = cli.get_double("interarrival");
   config.deadline_slack = cli.get_double("slack");
+  config.deadline_slack_spread = cli.get_double("slack-spread");
   config.technique = dls::technique_from_name(cli.get_string("technique"));
   config.remap_on_rho2 = cli.get_flag("remap");
   config.rho2 = cli.get_double("rho2");
-  config.application_spec.processor_types = 2;
+  config.application_spec.processor_types = platform.type_count();
   config.application_spec.min_total_iterations = 800;
   config.application_spec.max_total_iterations = 3000;
   config.application_spec.min_mean_time = 2000.0;
   config.application_spec.max_mean_time = 8000.0;
+  // CLI admission knobs override any [admission] section from --file; an
+  // explicit --admission rebuilds the whole block from the flags.
+  if (!cli.get_string("admission").empty() || file.empty()) {
+    core::AdmissionConfig admission;
+    if (!cli.get_string("admission").empty()) {
+      admission.policy = core::admission_policy_from_name(cli.get_string("admission"));
+    }
+    admission.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-capacity"));
+    if (cli.get_string("queue-order") == "edf") {
+      admission.queue_order = core::QueueOrder::kEdf;
+    } else if (cli.get_string("queue-order") != "fifo") {
+      throw std::invalid_argument("--queue-order must be fifo or edf");
+    }
+    admission.admit_floor = cli.get_double("admit-floor");
+    admission.shed_floor = cli.get_double("shed-floor");
+    admission.ladder = cli.get_flag("ladder");
+    admission.ladder_alpha = cli.get_double("ladder-alpha");
+    admission.overload_threshold = cli.get_double("overload-threshold");
+    admission.recover_threshold = cli.get_double("recover-threshold");
+    config.admission = admission;
+  }
 
   const core::DynamicRunResult result = core::run_dynamic_manager(
       platform, reference, runtime, config, static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -497,6 +546,23 @@ int cmd_dynamic(int argc, char** argv) {
               util::format_percent(result.deadline_hit_rate, 0).c_str(),
               result.mean_queueing_delay,
               util::format_percent(result.utilization, 0).c_str(), result.horizon);
+  if (config.admission.active()) {
+    const core::AdmissionStats& stats = result.admission;
+    std::printf("admission [%s]: %llu arrivals = %llu admitted + %llu rejected + %llu "
+                "shed (%llu queued, peak depth %llu)\n",
+                core::admission_policy_name(config.admission.policy),
+                static_cast<unsigned long long>(stats.arrivals),
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.queued),
+                static_cast<unsigned long long>(stats.peak_queue_depth));
+    std::printf("admitted hit rate %s; ladder: %llu steps, max tier %s\n",
+                util::format_percent(result.admitted_hit_rate, 0).c_str(),
+                static_cast<unsigned long long>(stats.ladder_steps),
+                core::degradation_tier_name(static_cast<core::DegradationTier>(
+                    std::min<std::uint64_t>(stats.max_tier, 4))));
+  }
 
   if (!report_path.empty()) {
     obs::write_json(obs::make_dynamic_report(result, config, platform), report_path);
@@ -523,6 +589,8 @@ int cmd_chaos(int argc, char** argv) {
   cli.add_flag("no-master-restart", "never inject master crash-restart / checkpointing");
   cli.add_flag("no-fail-slow", "never arm the fail-slow quarantine axis");
   cli.add_flag("no-corruption", "never draw payload-corruption faults");
+  cli.add_flag("no-arrival-storm", "skip the dynamic-manager arrival-storm axis");
+  cli.add_int("storm-schedules", 12, "arrival-storm schedules to draw");
   cli.add_string("report-json", "", "write a structured JSON campaign report here");
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -609,13 +677,72 @@ int cmd_chaos(int argc, char** argv) {
                 static_cast<unsigned long long>(violation.seed), violation.executor.c_str(),
                 violation.invariant.c_str(), violation.detail.c_str());
   }
-  std::printf("campaign %s\n", report.passed() ? "PASSED" : "FAILED");
+
+  // Arrival-storm axis: overload campaigns against the dynamic manager,
+  // checking the admission identity (admitted + rejected + shed ==
+  // arrivals), no stranded admissions, the queue bound, and repeat-run
+  // determinism. Runs above the sim layer, so it lives here, not in
+  // sim::run_chaos_campaign.
+  bool storm_passed = true;
+  core::ArrivalStormReport storm;
+  const bool run_storm = !cli.get_flag("no-arrival-storm");
+  if (run_storm) {
+    core::ArrivalStormConfig storm_config;
+    storm_config.schedules = static_cast<std::size_t>(cli.get_int("storm-schedules"));
+    storm_config.seed = config.seed;
+    storm = core::run_arrival_storm_campaign(storm_config);
+    storm_passed = storm.passed();
+    std::printf("arrival storm: %zu schedules (%zu accept-all, %zu bounded, %zu rho2), "
+                "%llu arrivals = %llu admitted + %llu rejected + %llu shed\n",
+                storm.schedules_run, storm.schedules_accept_all, storm.schedules_bounded,
+                storm.schedules_rho2,
+                static_cast<unsigned long long>(storm.totals.arrivals),
+                static_cast<unsigned long long>(storm.totals.admitted),
+                static_cast<unsigned long long>(storm.totals.rejected),
+                static_cast<unsigned long long>(storm.totals.shed));
+    for (const core::ArrivalStormViolation& violation : storm.violations) {
+      std::printf("VIOLATION storm schedule %zu (seed %llu, %s): %s — %s\n",
+                  violation.schedule, static_cast<unsigned long long>(violation.seed),
+                  violation.policy.c_str(), violation.invariant.c_str(),
+                  violation.detail.c_str());
+    }
+  }
+
+  const bool passed = report.passed() && storm_passed;
+  std::printf("campaign %s\n", passed ? "PASSED" : "FAILED");
   if (!report_path.empty()) {
-    obs::write_json(obs::make_chaos_report(report, config), report_path);
+    obs::Json doc = obs::make_chaos_report(report, config);
+    if (run_storm) {
+      obs::Json storm_doc = obs::Json::object();
+      storm_doc.set("schedules_run", storm.schedules_run);
+      storm_doc.set("schedules_accept_all", storm.schedules_accept_all);
+      storm_doc.set("schedules_bounded", storm.schedules_bounded);
+      storm_doc.set("schedules_rho2", storm.schedules_rho2);
+      storm_doc.set("arrivals", storm.totals.arrivals);
+      storm_doc.set("admitted", storm.totals.admitted);
+      storm_doc.set("queued", storm.totals.queued);
+      storm_doc.set("rejected", storm.totals.rejected);
+      storm_doc.set("shed", storm.totals.shed);
+      storm_doc.set("identity_holds", storm.totals.identity_holds());
+      storm_doc.set("passed", storm.passed());
+      obs::Json storm_violations = obs::Json::array();
+      for (const core::ArrivalStormViolation& violation : storm.violations) {
+        obs::Json entry = obs::Json::object();
+        entry.set("schedule", violation.schedule);
+        entry.set("seed", violation.seed);
+        entry.set("policy", violation.policy);
+        entry.set("invariant", violation.invariant);
+        entry.set("detail", violation.detail);
+        storm_violations.push_back(std::move(entry));
+      }
+      storm_doc.set("violations", std::move(storm_violations));
+      doc.set("arrival_storm", std::move(storm_doc));
+    }
+    obs::write_json(doc, report_path);
     std::printf("wrote report %s\n", report_path.c_str());
   }
   const int metrics_status = write_metrics_out(cli);
-  return report.passed() ? metrics_status : 1;
+  return passed ? metrics_status : 1;
 }
 
 int cmd_metrics(int argc, char** argv) {

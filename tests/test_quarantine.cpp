@@ -324,6 +324,48 @@ TEST(Integrity, CorruptionWithoutRetransmissionStrandsTheLoop) {
                std::runtime_error);
 }
 
+// ------------------------------------------------ EWMA blind-spot anchor --
+
+TEST(Quarantine, SingleCrawlingChunkIsBelowEwmaRadarButSpeculationCoversIt) {
+  // Regression anchor for a documented blind spot (docs/fault_tolerance.md):
+  // the fail-slow EWMA only updates on ACCEPTED chunks, so a worker that
+  // starts crawling on its very first chunk never delivers the
+  // min_observations the detector needs — quarantine structurally cannot
+  // trip on a single crawling chunk. The covering layer is speculation: the
+  // straggler threshold fires on the IN-FLIGHT chunk, a backup rescues it,
+  // and the deadline is met anyway. If a refactor ever makes quarantine
+  // trip here (or speculation stop covering), this test must be revisited
+  // along with the doc.
+  const workload::Application app = steady_app();
+  const sysmodel::AvailabilitySpec full = test::full_availability(1);
+
+  sim::SimConfig healthy = gray_config();
+  const double healthy_makespan =
+      sim::simulate_loop(app, 0, 4, full, dls::TechniqueId::kFAC, healthy, 11).makespan;
+  const double deadline = 2.0 * healthy_makespan;
+
+  sim::SimConfig blind = gray_config();
+  add_failure(blind, 2, 1.0, sim::SimConfig::FailureKind::kDegrade, 0.02);
+  blind.quarantine.enabled = true;  // defaults: min_observations = 3
+  const sim::RunResult crawling =
+      sim::simulate_loop(app, 0, 4, full, dls::TechniqueId::kFAC, blind, 11);
+  EXPECT_EQ(completed_iterations(crawling), kIterations);
+  // The blind spot: one crawling chunk, zero accepted observations from
+  // that worker before it, no quarantine — and the deadline blown.
+  EXPECT_EQ(crawling.quarantine.fail_slow_trips, 0u);
+  EXPECT_GT(crawling.makespan, deadline);
+
+  sim::SimConfig covered = blind;
+  covered.speculation.enabled = true;
+  covered.speculation.quantile = 2.0;
+  const sim::RunResult rescued =
+      sim::simulate_loop(app, 0, 4, full, dls::TechniqueId::kFAC, covered, 11);
+  EXPECT_EQ(completed_iterations(rescued), kIterations);
+  EXPECT_EQ(rescued.quarantine.fail_slow_trips, 0u);  // still below the radar
+  EXPECT_GE(rescued.speculation.backups_won, 1u);     // but the backup won
+  EXPECT_LE(rescued.makespan, deadline);              // and the deadline held
+}
+
 TEST(Integrity, MpiReplicatedSummaryIsThreadCountInvariant) {
   const workload::Application app = steady_app();
   const sysmodel::AvailabilitySpec full = test::full_availability(1);

@@ -436,6 +436,104 @@ TEST(ScenarioIo, RejectsMalformedQuarantineAndIntegrity) {
                std::invalid_argument);
 }
 
+TEST(ScenarioIo, AdmissionSectionRoundTripsThroughText) {
+  std::string text = kMinimalScenario;
+  text += "\n[admission]\npolicy = rho2\nqueue-capacity = 4\norder = edf\n"
+          "admit-floor = 0.2\nshed-floor = 0.1\nladder = 1\nladder-alpha = 0.4\n"
+          "overload-threshold = 0.7\nrecover-threshold = 0.3\n";
+  const Scenario original = parse_scenario_text(text);
+  EXPECT_EQ(original.admission.policy, AdmissionPolicy::kRho2Aware);
+  EXPECT_EQ(original.admission.queue_capacity, 4u);
+  EXPECT_EQ(original.admission.queue_order, QueueOrder::kEdf);
+  EXPECT_DOUBLE_EQ(original.admission.admit_floor, 0.2);
+  EXPECT_DOUBLE_EQ(original.admission.shed_floor, 0.1);
+  EXPECT_TRUE(original.admission.ladder);
+  EXPECT_DOUBLE_EQ(original.admission.ladder_alpha, 0.4);
+  EXPECT_DOUBLE_EQ(original.admission.overload_threshold, 0.7);
+  EXPECT_DOUBLE_EQ(original.admission.recover_threshold, 0.3);
+  const Scenario reparsed = parse_scenario_text(scenario_to_text(original));
+  EXPECT_EQ(reparsed.admission.policy, original.admission.policy);
+  EXPECT_EQ(reparsed.admission.queue_capacity, original.admission.queue_capacity);
+  EXPECT_EQ(reparsed.admission.queue_order, original.admission.queue_order);
+  EXPECT_DOUBLE_EQ(reparsed.admission.admit_floor, original.admission.admit_floor);
+  EXPECT_DOUBLE_EQ(reparsed.admission.shed_floor, original.admission.shed_floor);
+  EXPECT_EQ(reparsed.admission.ladder, original.admission.ladder);
+  EXPECT_DOUBLE_EQ(reparsed.admission.ladder_alpha, original.admission.ladder_alpha);
+  EXPECT_DOUBLE_EQ(reparsed.admission.overload_threshold,
+                   original.admission.overload_threshold);
+  EXPECT_DOUBLE_EQ(reparsed.admission.recover_threshold,
+                   original.admission.recover_threshold);
+  // Second serialization is a fixed point.
+  EXPECT_EQ(scenario_to_text(original), scenario_to_text(reparsed));
+}
+
+TEST(ScenarioIo, AdmissionSectionAloneDefaultsToBoundedQueue) {
+  // The mere presence of [admission] means "bound the queue": a capacity
+  // without an explicit policy must not silently stay accept-all.
+  const Scenario scenario =
+      parse_scenario_text(std::string(kMinimalScenario) + "\n[admission]\nqueue-capacity = 3\n");
+  EXPECT_EQ(scenario.admission.policy, AdmissionPolicy::kBoundedQueue);
+  EXPECT_EQ(scenario.admission.queue_capacity, 3u);
+  EXPECT_TRUE(scenario.admission.active());
+}
+
+TEST(ScenarioIo, InertAdmissionIsNotSerialized) {
+  const Scenario scenario = parse_scenario_text(kMinimalScenario);
+  EXPECT_FALSE(scenario.admission.active());
+  EXPECT_EQ(scenario_to_text(scenario).find("[admission]"), std::string::npos);
+}
+
+TEST(ScenarioIo, RejectsMalformedAdmission) {
+  const std::string base = kMinimalScenario;
+  // Named section, unknown keys, unknown enum values.
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission a]\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\ncapacity = 4\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\npolicy = open-door\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\norder = lifo\n"),
+               std::runtime_error);
+  // Out-of-range knobs.
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\nqueue-capacity = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\nadmit-floor = 1.5\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\nshed-floor = -0.1\n"),
+      std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\nladder = 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\nladder-alpha = 0\n"),
+      std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\n"
+                                          "overload-threshold = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\nqueue-capacity = 2\n"
+                                          "recover-threshold = 1\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioIo, RejectsContradictoryAdmissionKnobs) {
+  const std::string base = kMinimalScenario;
+  // An explicit accept-all policy with bounded-only machinery armed is a
+  // contradiction (validate_admission), not a parse error.
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\npolicy = accept-all\n"
+                                          "queue-capacity = 4\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario_text(base + "\n[admission]\npolicy = bounded\n"),  // no capacity
+      std::invalid_argument);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\npolicy = bounded\n"
+                                          "queue-capacity = 4\nadmit-floor = 0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario_text(base + "\n[admission]\npolicy = rho2\nqueue-capacity = 4\n"
+                                          "ladder = 1\noverload-threshold = 0.3\n"
+                                          "recover-threshold = 0.5\n"),
+               std::invalid_argument);
+}
+
 // Deterministic malformed-input sweep: every truncation of a scenario that
 // exercises every section, plus a few hundred seeded byte mutations and a
 // set of hand-picked pathological variants. The parser must either accept
@@ -447,7 +545,10 @@ TEST(ScenarioIo, MalformedInputSweepIsMemorySafe) {
           "\n[failure]\nworker = 0\ntime = 80\nkind = silent-corrupt\nprobability = 0.5\n"
           "\n[channel]\ndrop-to-worker = 0.1\nrto = 25\n"
           "\n[quarantine]\nfail-slow = 1\naudit-rate = 0.2\n"
-          "\n[integrity]\ncorrupt-to-master = 0.01\n";
+          "\n[integrity]\ncorrupt-to-master = 0.01\n"
+          "\n[admission]\npolicy = rho2\nqueue-capacity = 4\norder = edf\n"
+          "admit-floor = 0.2\nshed-floor = 0.1\nladder = 1\nladder-alpha = 0.4\n"
+          "overload-threshold = 0.7\nrecover-threshold = 0.3\n";
   auto parse_must_not_crash = [](const std::string& text) {
     try {
       (void)parse_scenario_text(text);
@@ -489,6 +590,10 @@ TEST(ScenarioIo, MalformedInputSweepIsMemorySafe) {
       "\n[quarantine]\naudit-rate = 1e309\n",
       "\n[quarantine]\nmin-observations = 99999999999999999999\n",
       "\n[failure]\nworker = 1\ntime = 50\nkind = degrade\nkind = crash\n",
+      "\n[admission]\npolicy = rho2\npolicy = accept-all\nqueue-capacity = 4\n",
+      "\n[admission]\nqueue-capacity = 99999999999999999999\n",
+      "\n[admission]\norder =\n",
+      "\n[admission]\nladder-alpha = nan\n",
       std::string("\n[quarantine]\naudit-rate = 0.2\0junk\n", 33),
   };
   for (const std::string& extra : variants) {

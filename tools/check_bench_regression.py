@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Recorded-benchmark regression gate for CI (ROADMAP item 2).
+
+Compares a freshly generated benchmark JSON document against the recorded
+baseline committed at the repository root (BENCH_online_overload.json and
+friends). The gated benchmarks are DETERMINISTIC -- fixed seeds, simulated
+time only, medians over seeds -- so every service-level leaf (hit rates,
+shed/reject rates, utilization, queueing-delay medians) must reproduce the
+recorded value up to a tiny relative tolerance that only absorbs
+cross-toolchain floating-point drift. A real behavior change (an admission
+regression, a scheduling change that moves the service-level curve) lands
+far outside the tolerance and fails the gate; the fix is either to repair
+the regression or to consciously re-record the baseline in the same PR
+that changes the behavior.
+
+Usage:
+    python3 tools/check_bench_regression.py RECORDED.json FRESH.json
+
+Only numeric leaves whose key matches GATED_KEY_PATTERN are compared (the
+curve values, not counters or configuration echoes). Exit status 0 when
+every gated leaf matches, 1 on any mismatch, a schema mismatch, or a
+missing/extra gated leaf. Requires only the Python standard library.
+"""
+
+import json
+import re
+import sys
+
+# Leaves that carry the service-level curve; everything else (config echo,
+# schedule counts) is structural and compared for presence only.
+GATED_KEY_PATTERN = re.compile(
+    r"(hit_rate|shed_rate|reject_rate|utilization|queueing_delay|median|mean)"
+)
+REL_TOLERANCE = 1e-6
+ABS_TOLERANCE = 1e-9
+
+
+def numeric_leaves(node, path=""):
+    """Yields (path, value) for every numeric leaf, depth-first."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from numeric_leaves(value, f"{path}[{index}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def gated(leaves):
+    return {path: value for path, value in leaves if GATED_KEY_PATTERN.search(path)}
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    recorded_path, fresh_path = argv[1], argv[2]
+    try:
+        with open(recorded_path, encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_bench_regression: {error}", file=sys.stderr)
+        return 1
+
+    if recorded.get("schema") != fresh.get("schema"):
+        print(f"check_bench_regression: schema mismatch: recorded "
+              f"{recorded.get('schema')!r} vs fresh {fresh.get('schema')!r}",
+              file=sys.stderr)
+        return 1
+
+    recorded_leaves = gated(numeric_leaves(recorded))
+    fresh_leaves = gated(numeric_leaves(fresh))
+    if not recorded_leaves:
+        print(f"check_bench_regression: no gated leaves in {recorded_path}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for path in sorted(recorded_leaves.keys() | fresh_leaves.keys()):
+        if path not in fresh_leaves:
+            print(f"  {path}: missing from fresh run", file=sys.stderr)
+            failed = True
+            continue
+        if path not in recorded_leaves:
+            print(f"  {path}: not in recorded baseline (re-record?)",
+                  file=sys.stderr)
+            failed = True
+            continue
+        want, got = recorded_leaves[path], fresh_leaves[path]
+        scale = max(abs(want), abs(got))
+        if abs(got - want) > max(ABS_TOLERANCE, REL_TOLERANCE * scale):
+            print(f"  {path}: recorded {want!r} vs fresh {got!r}",
+                  file=sys.stderr)
+            failed = True
+
+    if failed:
+        print(f"check_bench_regression: {fresh_path} diverges from the "
+              f"recorded baseline {recorded_path} -- fix the regression or "
+              f"re-record the baseline in the same PR", file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: {len(recorded_leaves)} gated leaves "
+          f"match {recorded_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
