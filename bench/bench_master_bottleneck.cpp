@@ -3,8 +3,14 @@
 // plus master utilization — regenerating the classic scaling argument for
 // chunked self-scheduling: SS's one-request-per-iteration floods the
 // master, factoring-family techniques stay off the critical path.
+// --json writes a cdsf.master_bottleneck/1 document (deterministic:
+// master_utilization is gated by tools/check_bench_regression.py,
+// makespan values are structural).
 #include <cstdio>
+#include <string>
 
+#include "obs/json.hpp"
+#include "obs/report.hpp"
 #include "sim/master_worker.hpp"
 #include "sysmodel/cases.hpp"
 #include "util/cli.hpp"
@@ -17,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_double("latency", 0.05, "one-way message latency");
   cli.add_double("service", 0.05, "master service time per request");
   cli.add_int("seed", 6, "simulation seed");
+  cli.add_string("json", "", "write the cdsf.master_bottleneck/1 document here");
   if (!cli.parse(argc, argv)) return 0;
 
   // A fine-grained loop: 32768 iterations of mean cost 0.25.
@@ -47,21 +54,47 @@ int main(int argc, char** argv) {
                   util::format_fixed(messages.latency, 2) + ", master service " +
                   util::format_fixed(messages.master_service_time, 2) + ")");
 
+  obs::Json techniques_doc = obs::Json::array();
   for (dls::TechniqueId id : techniques) {
     std::vector<std::string> row = {dls::technique_name(id)};
     double last_utilization = 0.0;
+    obs::Json points = obs::Json::array();
     for (std::size_t p : worker_counts) {
       const sim::MpiRunResult result =
           sim::simulate_loop_mpi(app, 0, p, full, id, config, messages, seed);
       row.push_back(util::format_fixed(result.run.makespan, 0));
       last_utilization = result.master.busy_time / result.run.makespan;
+      obs::Json point = obs::Json::object();
+      point.set("workers", p);
+      point.set("makespan", result.run.makespan);
+      point.set("master_utilization", result.master.busy_time / result.run.makespan);
+      points.push_back(std::move(point));
     }
     row.push_back(util::format_percent(last_utilization, 0));
     table.add_row(row);
+    obs::Json technique_doc = obs::Json::object();
+    technique_doc.set("technique", dls::technique_name(id));
+    technique_doc.set("points", std::move(points));
+    techniques_doc.push_back(std::move(technique_doc));
   }
   std::puts(table.render().c_str());
   std::puts("Expected shape: ideal scaling halves the makespan per doubling; SS stops");
   std::puts("scaling once the master saturates (utilization -> 100%), while the batch");
   std::puts("techniques keep near-ideal speedup with single-digit master utilization.");
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "cdsf.master_bottleneck/1");
+    doc.set("_command", "build/bench/bench_master_bottleneck --json " + json_path);
+    obs::Json config_doc = obs::Json::object();
+    config_doc.set("latency", messages.latency);
+    config_doc.set("master_service_time", messages.master_service_time);
+    config_doc.set("seed", seed);
+    doc.set("config", std::move(config_doc));
+    doc.set("techniques", std::move(techniques_doc));
+    obs::write_json(doc, json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,43 @@
+#include "cdsf/solve.hpp"
+
+#include "dls/analysis.hpp"
+
+namespace cdsf::core {
+
+Framework make_framework(const Scenario& scenario, ra::RobustnessConfig robustness) {
+  return Framework(scenario.batch, scenario.platform, scenario.cases.front(), scenario.deadline,
+                   std::move(robustness));
+}
+
+SolveOutcome solve_on(const Framework& framework, const Scenario& scenario,
+                      const SolveOptions& options) {
+  SolveOutcome outcome;
+  outcome.feasible_space = ra::count_feasible(scenario.batch.size(), scenario.platform,
+                                              ra::CountRule::kPowerOfTwo);
+  const ra::ExhaustiveOptimal exhaustive;
+  const ra::BestOfPortfolio portfolio;
+  const ra::Heuristic& heuristic =
+      outcome.feasible_space <= options.exhaustive_space_limit
+          ? static_cast<const ra::Heuristic&>(exhaustive)
+          : static_cast<const ra::Heuristic&>(portfolio);
+
+  StageTwoConfig config;
+  config.replications = options.replications;
+  config.seed = options.seed;
+  config.threads = options.threads;
+  config.sim.failures = scenario.failures;  // [failure] sections from the file
+  config.sim.quarantine = scenario.quarantine;  // [quarantine]: both executors
+  config.sim.cancel = options.cancel;
+  outcome.scenario = framework.run_scenario("cdsf", heuristic, dls::paper_robust_set(),
+                                            scenario.cases, config);
+  outcome.report = framework.robustness_report(outcome.scenario, scenario.cases);
+  return outcome;
+}
+
+SolveOutcome solve_scenario(const Scenario& scenario, const SolveOptions& options) {
+  ra::RobustnessConfig robustness;
+  robustness.cancel = options.cancel;
+  return solve_on(make_framework(scenario, std::move(robustness)), scenario, options);
+}
+
+}  // namespace cdsf::core

@@ -129,6 +129,59 @@ class RngSourceRule final : public Rule {
 // ---------------------------------------------------------------------------
 // wall-clock
 
+/// The wall-clock token scan shared by WallClockRule (sim/dls/cdsf) and
+/// SvcWallClockRule (svc/): one token list, one C-call heuristic, so the
+/// two rules cannot drift apart on what counts as a host-clock read.
+/// `remedy` names where time must come from instead.
+void scan_wall_clock_tokens(const SourceFile& file, std::string_view rule_id,
+                            std::string_view remedy, std::vector<Diagnostic>& out) {
+  const std::string_view text = file.scrubbed();
+  static constexpr std::array<std::string_view, 11> kTokens = {
+      "system_clock", "steady_clock",  "high_resolution_clock", "file_clock",
+      "utc_clock",    "gettimeofday",  "clock_gettime",         "timespec_get",
+      "localtime",    "gmtime",        "strftime"};
+  for (const std::string_view token : kTokens) {
+    for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
+         pos = find_word(text, token, pos + 1)) {
+      out.push_back({file.path(), file.line_of(pos), std::string(rule_id),
+                     std::string(token) + " reads the host clock; " + std::string(remedy),
+                     false});
+    }
+  }
+  // C `time(...)` / `clock(...)` calls: member calls (obj.time(...),
+  // obj->clock(...)) are someone's API, not the libc clock — skip those.
+  static constexpr std::array<std::string_view, 2> kCCalls = {"time", "clock"};
+  for (const std::string_view token : kCCalls) {
+    for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
+         pos = find_word(text, token, pos + 1)) {
+      const std::size_t after = skip_ws(text, pos + token.size());
+      if (after >= text.size() || text[after] != '(') continue;
+      const std::size_t before = prev_non_ws(text, pos);
+      if (before != std::string_view::npos &&
+          (text[before] == '.' ||
+           (text[before] == '>' && before > 0 && text[before - 1] == '-'))) {
+        continue;
+      }
+      // A preceding identifier means a declaration (`long time() const`),
+      // not a call — unless it is a statement keyword (`return time(0)`).
+      if (before != std::string_view::npos && is_ident_char(text[before])) {
+        std::size_t start = before;
+        while (start > 0 && is_ident_char(text[start - 1])) --start;
+        const std::string_view prev_token = text.substr(start, before + 1 - start);
+        static constexpr std::array<std::string_view, 5> kCallKeywords = {
+            "return", "co_return", "co_yield", "throw", "case"};
+        if (std::find(kCallKeywords.begin(), kCallKeywords.end(), prev_token) ==
+            kCallKeywords.end()) {
+          continue;
+        }
+      }
+      out.push_back({file.path(), file.line_of(pos), std::string(rule_id),
+                     std::string(token) + "() reads the host clock; " + std::string(remedy),
+                     false});
+    }
+  }
+}
+
 class WallClockRule final : public Rule {
  public:
   [[nodiscard]] std::string_view id() const override { return "wall-clock"; }
@@ -137,55 +190,32 @@ class WallClockRule final : public Rule {
   }
   void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
     if (!in_deterministic_path(file.path())) return;
-    const std::string_view text = file.scrubbed();
-    static constexpr std::array<std::string_view, 11> kTokens = {
-        "system_clock", "steady_clock",  "high_resolution_clock", "file_clock",
-        "utc_clock",    "gettimeofday",  "clock_gettime",         "timespec_get",
-        "localtime",    "gmtime",        "strftime"};
-    for (const std::string_view token : kTokens) {
-      for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
-           pos = find_word(text, token, pos + 1)) {
-        out.push_back({file.path(), file.line_of(pos), std::string(id()),
-                       std::string(token) +
-                           " reads the host clock; deterministic paths must derive time from "
+    scan_wall_clock_tokens(file, id(),
+                           "deterministic paths must derive time from "
                            "the simulation clock or an explicit parameter",
-                       false});
-      }
-    }
-    // C `time(...)` / `clock(...)` calls: member calls (obj.time(...),
-    // obj->clock(...)) are someone's API, not the libc clock — skip those.
-    static constexpr std::array<std::string_view, 2> kCCalls = {"time", "clock"};
-    for (const std::string_view token : kCCalls) {
-      for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
-           pos = find_word(text, token, pos + 1)) {
-        const std::size_t after = skip_ws(text, pos + token.size());
-        if (after >= text.size() || text[after] != '(') continue;
-        const std::size_t before = prev_non_ws(text, pos);
-        if (before != std::string_view::npos &&
-            (text[before] == '.' ||
-             (text[before] == '>' && before > 0 && text[before - 1] == '-'))) {
-          continue;
-        }
-        // A preceding identifier means a declaration (`long time() const`),
-        // not a call — unless it is a statement keyword (`return time(0)`).
-        if (before != std::string_view::npos && is_ident_char(text[before])) {
-          std::size_t start = before;
-          while (start > 0 && is_ident_char(text[start - 1])) --start;
-          const std::string_view prev_token = text.substr(start, before + 1 - start);
-          static constexpr std::array<std::string_view, 5> kCallKeywords = {
-              "return", "co_return", "co_yield", "throw", "case"};
-          if (std::find(kCallKeywords.begin(), kCallKeywords.end(), prev_token) ==
-              kCallKeywords.end()) {
-            continue;
-          }
-        }
-        out.push_back({file.path(), file.line_of(pos), std::string(id()),
-                       std::string(token) +
-                           "() reads the host clock; deterministic paths must derive time "
-                           "from the simulation clock or an explicit parameter",
-                       false});
-      }
-    }
+                           out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// svc-wall-clock
+
+class SvcWallClockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "svc-wall-clock"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "the scheduling service (svc/) is virtual-time only; host-clock reads belong "
+           "nowhere but svc/virtual_time.hpp";
+  }
+  void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
+    if (!has_segment(file.path(), "svc")) return;
+    // The single sanctioned time source: everything else in svc/ must take
+    // time from the VirtualClock it defines.
+    if (ends_with(normalize(file.path()), "svc/virtual_time.hpp")) return;
+    scan_wall_clock_tokens(file, id(),
+                           "the service replays byte-identically from a journal, so time "
+                           "must come from svc/virtual_time.hpp (VirtualClock)",
+                           out);
   }
 };
 
@@ -484,6 +514,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   std::vector<std::unique_ptr<Rule>> rules;
   rules.push_back(std::make_unique<RngSourceRule>());
   rules.push_back(std::make_unique<WallClockRule>());
+  rules.push_back(std::make_unique<SvcWallClockRule>());
   rules.push_back(std::make_unique<UnorderedIterationRule>());
   rules.push_back(std::make_unique<BareMutexLockRule>());
   rules.push_back(std::make_unique<ReportSchemaTagRule>());

@@ -38,6 +38,10 @@ const char* flight_event_name(FlightEventKind kind) {
     case FlightEventKind::kAdmissionRejected: return "admission_rejected";
     case FlightEventKind::kJobShed: return "job_shed";
     case FlightEventKind::kOverloadTierChanged: return "overload_tier_changed";
+    case FlightEventKind::kRequestAdmitted: return "request_admitted";
+    case FlightEventKind::kSolveHedged: return "solve_hedged";
+    case FlightEventKind::kSolveTimeout: return "solve_timeout";
+    case FlightEventKind::kDrainComplete: return "drain_complete";
   }
   return "unknown";
 }

@@ -74,6 +74,10 @@ enum class FlightEventKind : std::uint8_t {
   kAdmissionRejected,
   kJobShed,
   kOverloadTierChanged,
+  kRequestAdmitted,
+  kSolveHedged,
+  kSolveTimeout,
+  kDrainComplete,
 };
 
 /// Stable lowercase identifier for a kind ("chunk_accepted", ...).

@@ -27,7 +27,8 @@ inline constexpr const char* kRunReportSchema = "cdsf.run_report/1";
 inline constexpr const char* kScenarioReportSchema = "cdsf.scenario_report/1";
 inline constexpr const char* kPlanReportSchema = "cdsf.plan_report/1";
 inline constexpr const char* kDynamicReportSchema = "cdsf.dynamic_report/1";
-inline constexpr const char* kChaosReportSchema = "cdsf.chaos_report/3";
+inline constexpr const char* kChaosReportSchema = "cdsf.chaos_report/4";
+inline constexpr const char* kServiceReportSchema = "cdsf.service_report/1";
 
 // -- building blocks ---------------------------------------------------
 

@@ -6,6 +6,7 @@
 
 #include "pmf/ops.hpp"
 #include "pmf/parallel_time.hpp"
+#include "util/cancel.hpp"
 
 namespace cdsf::ra {
 
@@ -24,6 +25,10 @@ RobustnessEvaluator::RobustnessEvaluator(const workload::Batch& batch,
 }
 
 const pmf::Pmf& RobustnessEvaluator::completion_pmf(std::size_t app, GroupAssignment group) const {
+  // The RA-enumeration checkpoint boundary: every candidate an exhaustive
+  // or heuristic Stage I search scores passes through here, so a cancelled
+  // token unwinds the search within one candidate evaluation.
+  util::throw_if_cancelled(config_.cancel);
   if (app >= batch_->size()) throw std::out_of_range("completion_pmf: bad application index");
   if (group.processor_type >= availability_->type_count()) {
     throw std::invalid_argument("completion_pmf: unknown processor type");

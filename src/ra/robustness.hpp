@@ -11,6 +11,7 @@
 // product of the per-application probabilities.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <unordered_map>
 
@@ -27,6 +28,12 @@ struct RobustnessConfig {
   std::size_t discretization_pulses = 64;
   /// Pulse budget after the availability combine.
   std::size_t max_pulses = 2048;
+  /// Cooperative cancellation hook (util::CancelToken::flag()); polled at
+  /// every RA-enumeration boundary (each candidate completion-PMF
+  /// evaluation), so an exhaustive Stage I search unwinds with
+  /// util::Cancelled shortly after the owning watchdog fires. Null = never
+  /// cancelled. The pointee must outlive the evaluator.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Evaluates completion PMFs and deadline probabilities for one batch under

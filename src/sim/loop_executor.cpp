@@ -13,6 +13,7 @@
 #include "stats/summary.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace cdsf::sim {
@@ -814,6 +815,10 @@ ReplicationSummary simulate_replicated(const workload::Application& application,
   std::vector<SpeculationStats> speculation(replications);
   std::vector<QuarantineStats> quarantine(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
+    // Monte-Carlo checkpoint boundary: a cancelled token aborts the sweep
+    // within one replication (the exception propagates out of
+    // parallel_for_index after all threads join).
+    util::throw_if_cancelled(run_config.cancel);
     const RunResult run = simulate_loop(application, processor_type, processors, availability,
                                         technique, run_config, seeds.child(r));
     samples[r] = run.makespan;

@@ -27,6 +27,7 @@
 // Everything is deterministic given the seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -359,6 +360,13 @@ struct SimConfig {
     double deadline = 0.0;
   };
   Flight flight;
+  /// Cooperative cancellation hook (util::CancelToken::flag()); polled at
+  /// every Monte-Carlo boundary (the start of each replication in
+  /// simulate_replicated / simulate_replicated_mpi), so a long replication
+  /// sweep unwinds with util::Cancelled within one replication of the
+  /// owning watchdog firing. Null = never cancelled; individual runs are
+  /// unaffected. The pointee must outlive the simulation.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Per-worker accounting.

@@ -13,6 +13,7 @@
 #include "sim/engine.hpp"
 #include "sim/sim_common.hpp"
 #include "sim/wal_recovery.hpp"
+#include "util/cancel.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -1744,6 +1745,8 @@ ReplicationSummary simulate_replicated_mpi(const workload::Application& applicat
   std::vector<CheckpointStats> checkpoint(replications);
   std::vector<QuarantineStats> quarantine(replications);
   util::parallel_for_index(replications, threads, [&](std::size_t r) {
+    // Monte-Carlo checkpoint boundary (see simulate_replicated).
+    util::throw_if_cancelled(run_config.cancel);
     const MpiRunResult res =
         simulate_loop_mpi(application, processor_type, processors, availability, technique,
                           run_config, messages, seeds.child(r));

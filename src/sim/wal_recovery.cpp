@@ -58,23 +58,36 @@ bool salvage_counter(std::string_view text, std::string_view key, std::uint64_t&
 }
 
 /// Walks the `"wal": [...]` array of a torn document and appends every
-/// record whose braces closed before the tear. Brace matching tracks JSON
-/// string state, so a tear inside a quoted value can never fake a record
-/// boundary; each balanced {...} substring was emitted whole by the
-/// writer, so it parses — the salvaged log is a prefix by construction.
+/// record whose braces closed before the tear (salvage_object_stream does
+/// the balanced-object scan); each balanced {...} substring was emitted
+/// whole by the writer, so it parses — the salvaged log is a prefix by
+/// construction.
 void salvage_wal_prefix(std::string_view text, std::vector<WalRecord>& wal) {
   std::size_t pos = text.find("\"wal\":");
   if (pos == std::string_view::npos) return;
   pos = text.find('[', pos);
   if (pos == std::string_view::npos) return;
-  ++pos;
+  for (const std::string_view object : salvage_object_stream(text, pos + 1)) {
+    try {
+      wal.push_back(record_from_json(obs::Json::parse(object)));
+    } catch (const std::exception&) {
+      return;  // malformed record: everything after it is untrusted
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string_view> salvage_object_stream(std::string_view text, std::size_t from) {
+  std::vector<std::string_view> objects;
+  std::size_t pos = from;
   while (true) {
     while (pos < text.size() &&
            (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r' ||
             text[pos] == ',')) {
       ++pos;
     }
-    if (pos >= text.size() || text[pos] != '{') return;  // ']' or tear: done
+    if (pos >= text.size() || text[pos] != '{') return objects;  // ']' or tear: done
     const std::size_t open = pos;
     int depth = 0;
     bool in_string = false;
@@ -103,17 +116,11 @@ void salvage_wal_prefix(std::string_view text, std::vector<WalRecord>& wal) {
         }
       }
     }
-    if (close == std::string_view::npos) return;  // record torn mid-object
-    try {
-      wal.push_back(record_from_json(obs::Json::parse(text.substr(open, close - open + 1))));
-    } catch (const std::exception&) {
-      return;  // malformed record: everything after it is untrusted
-    }
+    if (close == std::string_view::npos) return objects;  // object torn mid-write
+    objects.push_back(text.substr(open, close - open + 1));
     pos = close + 1;
   }
 }
-
-}  // namespace
 
 const char* wal_kind_name(WalRecord::Kind kind) {
   switch (kind) {

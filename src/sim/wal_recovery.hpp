@@ -18,10 +18,23 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/loop_executor.hpp"
 
 namespace cdsf::sim {
+
+/// The torn-write salvage primitive shared by checkpoint recovery and the
+/// scheduling service's request journal (svc/journal.*): starting at
+/// `from`, skips whitespace and commas, then collects every balanced
+/// top-level `{...}` object in sequence. Brace matching tracks JSON string
+/// and escape state, so a tear inside a quoted value can never fake an
+/// object boundary. Stops (returning what it has) at the first non-object
+/// byte (e.g. a closing ']'), at a tear that leaves an object unbalanced,
+/// or at end of text — so the returned views are always a PREFIX of the
+/// objects the writer emitted whole. Never throws; the views alias `text`.
+[[nodiscard]] std::vector<std::string_view> salvage_object_stream(std::string_view text,
+                                                                  std::size_t from = 0);
 
 /// Stable identifier of a WAL record kind ("assign", "ack", "complete",
 /// "snapshot", "restart") — the serialization used by the checkpoint JSON.

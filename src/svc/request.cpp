@@ -1,0 +1,76 @@
+#include "svc/request.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cdsf/scenario_io.hpp"
+#include "util/rng.hpp"
+
+namespace cdsf::svc {
+
+const char* request_outcome_name(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kNotArrived:
+      return "not_arrived";
+    case RequestOutcome::kRejected:
+      return "rejected";
+    case RequestOutcome::kUnfinished:
+      return "unfinished";
+    case RequestOutcome::kCompleted:
+      return "completed";
+    case RequestOutcome::kFailed:
+      return "failed";
+    case RequestOutcome::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
+
+RequestOutcome request_outcome_from_name(const std::string& name) {
+  if (name == "not_arrived") return RequestOutcome::kNotArrived;
+  if (name == "rejected") return RequestOutcome::kRejected;
+  if (name == "unfinished") return RequestOutcome::kUnfinished;
+  if (name == "completed") return RequestOutcome::kCompleted;
+  if (name == "failed") return RequestOutcome::kFailed;
+  if (name == "poisoned") return RequestOutcome::kPoisoned;
+  throw std::invalid_argument("request_outcome_from_name: unknown outcome '" + name + "'");
+}
+
+std::vector<ScenarioRequest> make_scripted_stream(const StreamConfig& config) {
+  if (config.requests == 0) {
+    throw std::invalid_argument("make_scripted_stream: requests must be >= 1");
+  }
+  if (!(config.mean_interarrival > 0.0)) {
+    throw std::invalid_argument("make_scripted_stream: mean_interarrival must be > 0");
+  }
+  if (config.poison_fraction < 0.0 || config.poison_fraction > 1.0 ||
+      config.deadline_jitter < 0.0 || config.deadline_jitter > 1.0) {
+    throw std::invalid_argument("make_scripted_stream: fractions must be in [0, 1]");
+  }
+  const core::Scenario base = core::parse_scenario_text(core::paper_scenario_text());
+  const util::SeedSequence seeds(config.seed);
+  std::vector<ScenarioRequest> stream;
+  stream.reserve(config.requests);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    util::RngStream rng = seeds.stream(i);
+    arrival += -config.mean_interarrival * std::log1p(-rng.uniform01());
+    ScenarioRequest request;
+    request.id = static_cast<std::uint64_t>(i + 1);
+    request.arrival = arrival;
+    request.seed = seeds.child(0x5EED0000ULL + i);
+    if (rng.uniform01() < config.poison_fraction) {
+      // Poison: a request body no parser accepts — the service only finds
+      // out when it tries, which is the point of the quarantine machinery.
+      request.scenario_text = "!! poison request " + std::to_string(request.id) + " !!";
+    } else {
+      core::Scenario scenario = base;
+      scenario.deadline *= 1.0 + config.deadline_jitter * (2.0 * rng.uniform01() - 1.0);
+      request.scenario_text = core::scenario_to_text(scenario);
+    }
+    stream.push_back(std::move(request));
+  }
+  return stream;
+}
+
+}  // namespace cdsf::svc

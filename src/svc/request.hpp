@@ -1,0 +1,92 @@
+// Scenario requests: the unit of work the scheduling service accepts.
+//
+// A request carries a scenario file (the same INI dialect `cdsf scenario
+// --file` reads) plus a solve seed and a virtual arrival time. The
+// scripted stream generator below replaces a network frontend: it derives
+// a deterministic request sequence (seeded exponential arrivals, per-
+// request deadline jitter, an optional fraction of poison requests whose
+// scenario text does not parse) from one master seed, so every service
+// run — tests, chaos campaigns, the `cdsf serve` subcommand — is
+// reproducible from a single 64-bit value and never touches a wall clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdsf::svc {
+
+/// One scenario request. `id` is the client-assigned identity the
+/// journal, replay, and exactly-once accounting key on.
+struct ScenarioRequest {
+  std::uint64_t id = 0;
+  /// Virtual arrival time (service seconds).
+  double arrival = 0.0;
+  /// Scenario file text (core::parse_scenario_text dialect). A request
+  /// whose text does not parse is a POISON request: it is admitted (the
+  /// service cannot know before trying), strikes out, and is quarantined.
+  std::string scenario_text;
+  /// Solve seed (Stage II replications).
+  std::uint64_t seed = 1;
+  /// True when this request was recovered from the journal and re-entered
+  /// on restart — it is NOT re-journaled (its accepted record survives).
+  bool replayed = false;
+};
+
+/// Terminal disposition of a request, as reported by one service run.
+enum class RequestOutcome : std::uint8_t {
+  /// The run ended (crash) before this request's arrival was processed.
+  kNotArrived,
+  /// Refused at arrival by the admission policy (or the drain gate).
+  kRejected,
+  /// Accepted and journaled, but the run crashed before a terminal
+  /// outcome — recovery replays it exactly once.
+  kUnfinished,
+  /// Solved; the report was delivered.
+  kCompleted,
+  /// The solve threw (invalid scenario, cancellation); an error report
+  /// was delivered.
+  kFailed,
+  /// Struck out (threw or timed out `poison_strikes` times) and was
+  /// quarantined; an error report was delivered.
+  kPoisoned,
+};
+
+/// Stable lowercase identifier ("not_arrived", "rejected", "unfinished",
+/// "completed", "failed", "poisoned") — used by the journal's completed
+/// records and the service report.
+[[nodiscard]] const char* request_outcome_name(RequestOutcome outcome);
+
+/// Inverse of request_outcome_name. Throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] RequestOutcome request_outcome_from_name(const std::string& name);
+
+/// True for outcomes that delivered a report (completed/failed/poisoned)
+/// — the exactly-once set.
+[[nodiscard]] constexpr bool outcome_delivered(RequestOutcome outcome) noexcept {
+  return outcome == RequestOutcome::kCompleted || outcome == RequestOutcome::kFailed ||
+         outcome == RequestOutcome::kPoisoned;
+}
+
+/// Scripted deterministic request stream.
+struct StreamConfig {
+  std::size_t requests = 12;
+  /// Mean of the exponential interarrival draw (virtual seconds).
+  double mean_interarrival = 4.0;
+  std::uint64_t seed = 1;
+  /// Fraction of requests whose scenario text is deliberately malformed
+  /// (drawn per request from the stream RNG).
+  double poison_fraction = 0.0;
+  /// Relative deadline perturbation: each healthy request's deadline is
+  /// scaled by a factor in [1 - jitter, 1 + jitter].
+  double deadline_jitter = 0.2;
+};
+
+/// Generates the stream: ids 1..requests in arrival order, seeded
+/// exponential arrivals, scenario texts derived from the paper example
+/// with per-request deadline jitter, per-request solve seeds fanned out
+/// from `seed`. Throws std::invalid_argument on requests == 0, a
+/// non-positive mean, or fractions outside [0, 1].
+[[nodiscard]] std::vector<ScenarioRequest> make_scripted_stream(const StreamConfig& config);
+
+}  // namespace cdsf::svc

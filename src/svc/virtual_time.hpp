@@ -1,0 +1,35 @@
+// The service's ONLY time source.
+//
+// The scheduling service (svc/service.hpp) is a daemon-shaped component —
+// arrivals, watchdog deadlines, hedge timers — but it must stay
+// deterministic: the same scripted request stream and seed must produce
+// byte-identical reports on every run, under any thread count, under
+// sanitizers. Wall clocks destroy that, so svc/ runs entirely on VIRTUAL
+// time: a monotone double of "service seconds" advanced by the event
+// loop, never by the host. A cdsf_lint rule (SvcWallClockRule) enforces
+// that no file under src/svc/ other than this one mentions a wall-clock
+// primitive — if the service ever grows a real-time mode, the bridge
+// lives here and nowhere else.
+#pragma once
+
+#include <stdexcept>
+
+namespace cdsf::svc {
+
+/// Monotone virtual clock. Starts at 0; only the event loop advances it.
+class VirtualClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Advances to `t`. Throws std::logic_error on a backwards step — an
+  /// out-of-order event is a bug in the loop, not a condition to absorb.
+  void advance_to(double t) {
+    if (t < now_) throw std::logic_error("VirtualClock: time moved backwards");
+    now_ = t;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace cdsf::svc

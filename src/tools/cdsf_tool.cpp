@@ -10,6 +10,7 @@
 //   cdsf phi1 --deadline 3250            # phi_1 for both Table IV mappings
 //   cdsf dynamic --remap --case 3        # arrival-driven allocation stream
 //   cdsf chaos --schedules 100           # randomized fault-schedule campaign
+//   cdsf serve --requests 8              # crash-safe scheduling service
 //   cdsf metrics                         # OpenMetrics text exposition
 //
 // Observability: every subcommand takes --log-level (the CDSF_LOG
@@ -34,6 +35,7 @@
 #include "cdsf/framework.hpp"
 #include "cdsf/paper_example.hpp"
 #include "cdsf/scenario_io.hpp"
+#include "cdsf/solve.hpp"
 #include "dls/analysis.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -43,6 +45,8 @@
 #include "obs/trace.hpp"
 #include "sim/chaos.hpp"
 #include "sim/gantt.hpp"
+#include "svc/chaos.hpp"
+#include "svc/service.hpp"
 #include "sysmodel/cases.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -176,21 +180,10 @@ int cmd_scenario(int argc, char** argv) {
   const core::Scenario scenario = file.empty()
                                       ? core::parse_scenario_text(core::paper_scenario_text())
                                       : core::load_scenario(file);
-  const core::Framework framework(scenario.batch, scenario.platform, scenario.cases.front(),
-                                  scenario.deadline);
-  const std::size_t space = ra::count_feasible(scenario.batch.size(), scenario.platform,
-                                               ra::CountRule::kPowerOfTwo);
-  const ra::ExhaustiveOptimal exhaustive;
-  const ra::BestOfPortfolio portfolio;
-  const ra::Heuristic& heuristic =
-      space <= 200000 ? static_cast<const ra::Heuristic&>(exhaustive)
-                      : static_cast<const ra::Heuristic&>(portfolio);
-
-  core::StageTwoConfig config;
-  config.replications = static_cast<std::size_t>(cli.get_int("replications"));
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  config.sim.failures = scenario.failures;  // [failure] sections from the file
-  config.sim.quarantine = scenario.quarantine;  // [quarantine]: both executors
+  const core::Framework framework = core::make_framework(scenario);
+  core::SolveOptions options;
+  options.replications = static_cast<std::size_t>(cli.get_int("replications"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   // The scenario pipeline runs on the idealized executors, which have no
   // message channel / master process; say so instead of silently ignoring
   // the sections (the MPI executor — cdsf gantt --mpi, bench_failure_ablation
@@ -202,8 +195,8 @@ int cmd_scenario(int argc, char** argv) {
                   : "note: [channel]/[checkpoint] apply to the MPI executor only; "
                     "ignored by the scenario pipeline");
   }
-  const core::ScenarioResult result = framework.run_scenario(
-      "cdsf", heuristic, dls::paper_robust_set(), scenario.cases, config);
+  const core::SolveOutcome outcome = core::solve_on(framework, scenario, options);
+  const core::ScenarioResult& result = outcome.scenario;
 
   std::printf("Stage I (%s): %s\nphi_1 = %s\n\n", result.stage_one.heuristic_name.c_str(),
               result.stage_one.allocation.to_string(scenario.platform).c_str(),
@@ -214,7 +207,7 @@ int cmd_scenario(int argc, char** argv) {
                 per_case.all_meet_deadline ? "all applications meet the deadline"
                                            : "deadline VIOLATED");
   }
-  const core::RobustnessReport report = framework.robustness_report(result, scenario.cases);
+  const core::RobustnessReport& report = outcome.report;
   std::printf("\n(rho_1, rho_2) = (%s, %s)\n", util::format_percent(report.rho1, 1).c_str(),
               report.rho2 >= 0.0 ? util::format_percent(report.rho2, 2).c_str() : "n/a");
   const core::Framework::ExecutionPlan plan = framework.make_plan(result, 0);
@@ -233,20 +226,22 @@ int cmd_scenario(int argc, char** argv) {
     rho_args.set("rho1", report.rho1);
     rho_args.set("rho2", report.rho2);
     sink.add_framework_event(0.0, "robustness_certificate", std::move(rho_args));
-    sim::SimConfig trace_config = config.sim;
+    sim::SimConfig trace_config;
+    trace_config.failures = scenario.failures;
+    trace_config.quarantine = scenario.quarantine;
     trace_config.collect_trace = true;
     for (std::size_t app = 0; app < scenario.batch.size(); ++app) {
       const ra::GroupAssignment group = plan.allocation.at(app);
       const sim::RunResult run = sim::simulate_loop(
           scenario.batch.at(app), group.processor_type, group.processors,
           scenario.cases.front(), plan.techniques[app], trace_config,
-          config.seed + app);
-      obs::TraceSink::RunOptions options;
-      options.pid = static_cast<int>(app);
-      options.process_name = scenario.batch.at(app).name() + " [" +
-                             dls::technique_name(plan.techniques[app]) + "]";
-      options.epoch_length = trace_config.epoch_length;
-      sink.append_run(run, options);
+          options.seed + app);
+      obs::TraceSink::RunOptions run_options;
+      run_options.pid = static_cast<int>(app);
+      run_options.process_name = scenario.batch.at(app).name() + " [" +
+                                 dls::technique_name(plan.techniques[app]) + "]";
+      run_options.epoch_length = trace_config.epoch_length;
+      sink.append_run(run, run_options);
     }
     sink.write(trace_path);
     std::printf("wrote trace %s (%zu events)\n", trace_path.c_str(), sink.event_count());
@@ -591,6 +586,8 @@ int cmd_chaos(int argc, char** argv) {
   cli.add_flag("no-corruption", "never draw payload-corruption faults");
   cli.add_flag("no-arrival-storm", "skip the dynamic-manager arrival-storm axis");
   cli.add_int("storm-schedules", 12, "arrival-storm schedules to draw");
+  cli.add_flag("no-service", "skip the scheduling-service crash/replay axis");
+  cli.add_int("service-schedules", 2, "service chaos schedules to draw");
   cli.add_string("report-json", "", "write a structured JSON campaign report here");
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -708,7 +705,35 @@ int cmd_chaos(int argc, char** argv) {
     }
   }
 
-  const bool passed = report.passed() && storm_passed;
+  // Service axis: crash/replay campaigns against the scheduling service
+  // (exactly-once reports, zero lost requests, byte-identical repeats).
+  // Sits above cdsf/ and sim/, so it lives in svc/chaos.*.
+  bool service_passed = true;
+  svc::ServiceChaosReport service;
+  const bool run_service = !cli.get_flag("no-service");
+  if (run_service) {
+    svc::ServiceChaosConfig service_config;
+    service_config.schedules = static_cast<std::size_t>(cli.get_int("service-schedules"));
+    service_config.seed = config.seed;
+    service = svc::run_service_chaos_campaign(service_config);
+    service_passed = service.passed();
+    std::printf("service: %zu schedules, %llu delivered, %llu hedges, %llu timeouts, "
+                "%llu poisoned, %llu crashes, %llu replayed after restart\n",
+                service.schedules_run,
+                static_cast<unsigned long long>(service.delivered),
+                static_cast<unsigned long long>(service.hedges),
+                static_cast<unsigned long long>(service.timeouts),
+                static_cast<unsigned long long>(service.poisoned),
+                static_cast<unsigned long long>(service.crashes),
+                static_cast<unsigned long long>(service.replayed));
+    for (const svc::ServiceChaosViolation& violation : service.violations) {
+      std::printf("VIOLATION service schedule %zu (seed %llu): %s — %s\n",
+                  violation.schedule, static_cast<unsigned long long>(violation.seed),
+                  violation.invariant.c_str(), violation.detail.c_str());
+    }
+  }
+
+  const bool passed = report.passed() && storm_passed && service_passed;
   std::printf("campaign %s\n", passed ? "PASSED" : "FAILED");
   if (!report_path.empty()) {
     obs::Json doc = obs::make_chaos_report(report, config);
@@ -738,6 +763,7 @@ int cmd_chaos(int argc, char** argv) {
       storm_doc.set("violations", std::move(storm_violations));
       doc.set("arrival_storm", std::move(storm_doc));
     }
+    if (run_service) doc.set("service", svc::service_chaos_json(service));
     obs::write_json(doc, report_path);
     std::printf("wrote report %s\n", report_path.c_str());
   }
@@ -753,9 +779,11 @@ int cmd_metrics(int argc, char** argv) {
   cli.add_string("from-report", "",
                  "re-export the 'metrics' block of this JSON report instead of running");
   cli.add_string("out", "", "output path (empty = stdout)");
-  add_log_flag(cli);
+  // The shared observability trio rides here too (it used to carry only
+  // --log-level and drift from the other subcommands).
+  add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  apply_log_flag(cli);
+  apply_common_flags(cli);
 
   std::string text;
   const std::string from = cli.get_string("from-report");
@@ -791,7 +819,7 @@ int cmd_metrics(int argc, char** argv) {
   const std::string out_path = cli.get_string("out");
   if (out_path.empty()) {
     std::fputs(text.c_str(), stdout);
-    return 0;
+    return write_metrics_out(cli);
   }
   std::ofstream out(out_path);
   if (!out) {
@@ -800,7 +828,109 @@ int cmd_metrics(int argc, char** argv) {
   }
   out << text;
   std::printf("wrote metrics %s\n", out_path.c_str());
-  return 0;
+  return write_metrics_out(cli);
+}
+
+int cmd_serve(int argc, char** argv) {
+  util::Cli cli(
+      "Crash-safe scheduling service: a scripted deterministic request "
+      "stream solved on a sharded pool with a request journal, watchdog "
+      "cancellation, hedged solves, and graceful drain. Virtual time "
+      "throughout — runs are byte-identical for a given seed.");
+  cli.add_int("requests", 8, "scripted requests to generate");
+  cli.add_int("seed", 1, "stream + service seed");
+  cli.add_int("shards", 2, "solver-pool shards");
+  cli.add_int("threads", 1, "solve threads (reports are byte-identical across values)");
+  cli.add_int("replications", 11, "stage II replications per solve");
+  cli.add_double("mean-interarrival", 4.0, "mean virtual seconds between arrivals");
+  cli.add_double("poison", 0.0, "poison-request fraction of the stream");
+  cli.add_double("hang", 0.0, "injected solver-hang probability per attempt");
+  cli.add_double("watchdog", 60.0, "watchdog timeout (virtual seconds per attempt)");
+  cli.add_double("crash-at", -1.0, "kill the daemon at this virtual time (< 0 = never)");
+  cli.add_string("journal", "service_journal.jsonl",
+                 "request journal path ('off' = no crash safety)");
+  cli.add_flag("resume",
+               "recover the journal and replay its unfinished requests instead of "
+               "generating a stream (restart after --crash-at)");
+  cli.add_string("admission", "accept-all", "admission policy: accept-all|bounded");
+  cli.add_int("queue-capacity", 0, "bounded-admission queue capacity");
+  cli.add_string("report-json", "", "write the cdsf.service_report/1 document here");
+  add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  apply_common_flags(cli);
+  const std::string report_path = cli.get_string("report-json");
+  enable_metrics_if(!report_path.empty());
+
+  svc::ServiceConfig config;
+  config.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  config.solve_threads = static_cast<std::size_t>(cli.get_int("threads"));
+  config.replications = static_cast<std::size_t>(cli.get_int("replications"));
+  config.watchdog_timeout = cli.get_double("watchdog");
+  config.hang_fraction = cli.get_double("hang");
+  config.crash_at = cli.get_double("crash-at");
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.admission.policy = core::admission_policy_from_name(cli.get_string("admission"));
+  config.admission.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-capacity"));
+  const std::string journal = cli.get_string("journal");
+  if (journal != "off") config.journal_path = journal;
+  const bool resume = cli.get_flag("resume");
+  config.journal_truncate = !resume;
+
+  std::vector<svc::ScenarioRequest> stream;
+  if (resume) {
+    if (journal == "off") {
+      std::fprintf(stderr, "cdsf serve: --resume needs a journal\n");
+      return 1;
+    }
+    const svc::RecoveredJournal recovered = svc::load_journal(journal);
+    stream = recovered.unfinished();
+    std::printf("recovered journal: %zu accepted, %zu completed%s, %zu to replay\n",
+                recovered.accepted.size(), recovered.completed.size(),
+                recovered.torn ? " (torn tail discarded)" : "", stream.size());
+  } else {
+    svc::StreamConfig stream_config;
+    stream_config.requests = static_cast<std::size_t>(cli.get_int("requests"));
+    stream_config.mean_interarrival = cli.get_double("mean-interarrival");
+    stream_config.seed = config.seed;
+    stream_config.poison_fraction = cli.get_double("poison");
+    stream = svc::make_scripted_stream(stream_config);
+  }
+
+  svc::SchedulingService service(config);
+  const svc::ServiceRunResult result = service.run(std::move(stream));
+  for (const svc::RequestRecord& record : result.requests) {
+    if (svc::outcome_delivered(record.outcome)) {
+      std::printf("request %llu @%.2f -> %s at %.2f (shard %zu, %zu attempt%s%s)\n",
+                  static_cast<unsigned long long>(record.id), record.arrival,
+                  svc::request_outcome_name(record.outcome), record.delivered_at,
+                  record.shard, record.attempts, record.attempts == 1 ? "" : "s",
+                  record.hedged ? (record.hedge_won ? ", hedge won" : ", hedged") : "");
+    } else {
+      std::printf("request %llu @%.2f -> %s\n",
+                  static_cast<unsigned long long>(record.id), record.arrival,
+                  svc::request_outcome_name(record.outcome));
+    }
+  }
+  std::printf("%llu arrivals = %llu admitted + %llu rejected; %llu delivered "
+              "(%llu hedges, %llu timeouts, %llu poisoned, %llu replayed)\n",
+              static_cast<unsigned long long>(result.admission.arrivals),
+              static_cast<unsigned long long>(result.admission.admitted),
+              static_cast<unsigned long long>(result.admission.rejected),
+              static_cast<unsigned long long>(result.delivered),
+              static_cast<unsigned long long>(result.hedges),
+              static_cast<unsigned long long>(result.timeouts),
+              static_cast<unsigned long long>(result.poisoned),
+              static_cast<unsigned long long>(result.replayed));
+  if (result.crashed) {
+    std::printf("CRASHED at t=%.2f — restart with --resume to replay\n", result.crash_time);
+  } else {
+    std::printf("drained at t=%.2f\n", result.drain_time);
+  }
+  if (!report_path.empty()) {
+    obs::write_json(result.report, report_path);
+    std::printf("wrote report %s\n", report_path.c_str());
+  }
+  return write_metrics_out(cli);
 }
 
 int cmd_phi1(int argc, char** argv) {
@@ -842,6 +972,7 @@ void usage() {
   std::puts("  phi1      makespan-distribution statistics per mapping");
   std::puts("  dynamic   arrival-driven allocation stream (rho_2-aware re-mapping)");
   std::puts("  chaos     randomized fault-schedule campaign with invariant checks");
+  std::puts("  serve     crash-safe scheduling service on a scripted request stream");
   std::puts("  metrics   OpenMetrics text exposition (live or --from-report)");
   std::puts("observability: --log-level / --metrics-out / --postmortem everywhere");
   std::puts("  (CDSF_LOG sets the initial log threshold);");
@@ -869,6 +1000,7 @@ int main(int argc, char** argv) {
     if (command == "phi1") return cmd_phi1(sub_argc, sub_argv);
     if (command == "dynamic") return cmd_dynamic(sub_argc, sub_argv);
     if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     if (command == "metrics") return cmd_metrics(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       usage();

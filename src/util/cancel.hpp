@@ -1,0 +1,61 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is an owner-side switch; the solve-side hook is a plain
+// `const std::atomic<bool>*` so configuration structs that carry one stay
+// trivially copyable and a null hook costs a single branch. Cancellation
+// is COOPERATIVE: the running computation polls the flag at its natural
+// checkpoint boundaries (RA-enumeration candidates in
+// ra::RobustnessEvaluator, Monte-Carlo replication starts in
+// sim::simulate_replicated) and unwinds by throwing Cancelled — so a
+// pathological Stage I instance or a huge replication sweep can be cut
+// without wedging the thread that runs it. The scheduling service's
+// watchdog and hedging loser-cancellation are built on this hook.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace cdsf::util {
+
+/// Thrown from a checkpoint boundary when the owning token was cancelled.
+/// Derives from std::runtime_error so generic catch-and-report paths treat
+/// an aborted solve like any other failed solve.
+struct Cancelled : std::runtime_error {
+  Cancelled() : std::runtime_error("cancelled") {}
+};
+
+/// Owner side of a cooperative cancellation. The token must outlive every
+/// computation holding its flag() pointer. Thread-safe: cancel() may race
+/// with polls from worker threads (relaxed ordering is enough — the flag
+/// carries no data, only the request to stop).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; every subsequent checkpoint poll throws.
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+  /// Re-arms the token for a fresh computation.
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+  /// The hook to place in a config struct (ra::RobustnessConfig::cancel,
+  /// sim::SimConfig::cancel).
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Checkpoint poll: no-op on a null hook, throws Cancelled once the owning
+/// token fired.
+inline void throw_if_cancelled(const std::atomic<bool>* flag) {
+  if (flag != nullptr && flag->load(std::memory_order_relaxed)) throw Cancelled();
+}
+
+}  // namespace cdsf::util

@@ -118,6 +118,26 @@ TEST(LintRules, WallClockOnlyFiresInDeterministicPaths) {
   EXPECT_TRUE(lint_text("bench/x.cpp", text).violations.empty());
 }
 
+TEST(LintRules, SvcWallClockFiresEverywhereInSvcButTheVirtualTimeSource) {
+  const std::string text =
+      "#include <chrono>\n"
+      "auto t = std::chrono::steady_clock::now();\n"
+      "long u = time(nullptr);\n"
+      "long v = clock.now();\n";  // member call: the VirtualClock, not libc
+  const LintResult svc_hit = lint_text("src/svc/service.cpp", text);
+  EXPECT_EQ(rule_lines(svc_hit.violations),
+            (std::vector<std::pair<std::string, std::size_t>>{{"svc-wall-clock", 2},
+                                                              {"svc-wall-clock", 3}}));
+  // The one sanctioned time source is exempt; non-svc paths are not this
+  // rule's business (src/sim etc. are WallClockRule's).
+  EXPECT_TRUE(lint_text("src/svc/virtual_time.hpp", text).violations.empty());
+  EXPECT_TRUE(lint_text("src/obs/x.cpp", text).violations.empty());
+  const LintResult sim_hit = lint_text("src/sim/x.cpp", text);
+  for (const Diagnostic& diagnostic : sim_hit.violations) {
+    EXPECT_EQ(diagnostic.rule, "wall-clock");
+  }
+}
+
 TEST(LintRules, UnorderedIterationFlagsRangeForAndBeginButNotLookup) {
   const std::string text =
       "#include <unordered_map>\n"

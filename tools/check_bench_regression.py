@@ -15,6 +15,18 @@ that changes the behavior.
 
 Usage:
     python3 tools/check_bench_regression.py RECORDED.json FRESH.json
+    python3 tools/check_bench_regression.py --suite \
+        [--manifest tools/bench_baselines.json] \
+        [--bench-dir build/bench] [--baseline-dir .]
+
+The two-argument form compares one pre-generated document. The --suite
+form reads the manifest (tools/bench_baselines.json), re-runs every
+listed bench with its recorded arguments plus `--json` into a temporary
+directory, and gates each fresh document against its committed baseline
+-- this is what the `bench_regression` ctest and the CI release job run,
+so EVERY recorded baseline (speculation, gray failure, online overload,
+service storm) is gated, not just the one wired into the workflow by
+hand.
 
 Only numeric leaves whose key matches GATED_KEY_PATTERN are compared (the
 curve values, not counters or configuration echoes). Exit status 0 when
@@ -22,9 +34,13 @@ every gated leaf matches, 1 on any mismatch, a schema mismatch, or a
 missing/extra gated leaf. Requires only the Python standard library.
 """
 
+import argparse
 import json
+import os
 import re
+import subprocess
 import sys
+import tempfile
 
 # Leaves that carry the service-level curve; everything else (config echo,
 # schedule counts) is structural and compared for presence only.
@@ -51,11 +67,8 @@ def gated(leaves):
     return {path: value for path, value in leaves if GATED_KEY_PATTERN.search(path)}
 
 
-def main(argv: list) -> int:
-    if len(argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 1
-    recorded_path, fresh_path = argv[1], argv[2]
+def compare_files(recorded_path: str, fresh_path: str) -> int:
+    """The original two-file gate; returns a process exit status."""
     try:
         with open(recorded_path, encoding="utf-8") as handle:
             recorded = json.load(handle)
@@ -104,6 +117,73 @@ def main(argv: list) -> int:
     print(f"check_bench_regression: {len(recorded_leaves)} gated leaves "
           f"match {recorded_path}")
     return 0
+
+
+def run_suite(manifest_path: str, bench_dir: str, baseline_dir: str) -> int:
+    """Re-runs every manifest bench and gates it against its baseline."""
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_bench_regression: {error}", file=sys.stderr)
+        return 1
+    if manifest.get("schema") != "cdsf.bench_baselines/1":
+        print(f"check_bench_regression: unexpected manifest schema "
+              f"{manifest.get('schema')!r} in {manifest_path}", file=sys.stderr)
+        return 1
+    entries = manifest.get("baselines", [])
+    if not entries:
+        print(f"check_bench_regression: empty manifest {manifest_path}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="bench_regression_") as scratch:
+        for entry in entries:
+            baseline = os.path.join(baseline_dir, entry["baseline"])
+            bench = os.path.join(bench_dir, entry["bench"])
+            fresh = os.path.join(scratch, "fresh_" + entry["baseline"])
+            command = [bench, *entry.get("args", []), "--json", fresh]
+            print(f"check_bench_regression: {' '.join(command)}")
+            try:
+                completed = subprocess.run(
+                    command, stdout=subprocess.DEVNULL, check=False)
+            except OSError as error:
+                print(f"  {bench}: {error}", file=sys.stderr)
+                failures += 1
+                continue
+            if completed.returncode != 0:
+                print(f"  {bench}: exited {completed.returncode}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            if compare_files(baseline, fresh) != 0:
+                failures += 1
+    if failures:
+        print(f"check_bench_regression: {failures} of {len(entries)} "
+              f"baseline(s) FAILED the gate", file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: all {len(entries)} recorded baselines "
+          f"reproduced")
+    return 0
+
+
+def main(argv: list) -> int:
+    if len(argv) == 3 and not argv[1].startswith("-"):
+        return compare_files(argv[1], argv[2])
+    parser = argparse.ArgumentParser(
+        prog="check_bench_regression.py",
+        description="Recorded-benchmark regression gate")
+    parser.add_argument("--suite", action="store_true",
+                        help="re-run every manifest bench and gate it")
+    parser.add_argument("--manifest", default="tools/bench_baselines.json")
+    parser.add_argument("--bench-dir", default="build/bench")
+    parser.add_argument("--baseline-dir", default=".")
+    options = parser.parse_args(argv[1:])
+    if not options.suite:
+        print(__doc__, file=sys.stderr)
+        return 1
+    return run_suite(options.manifest, options.bench_dir, options.baseline_dir)
 
 
 if __name__ == "__main__":
