@@ -1,5 +1,7 @@
-// Lint engine: runs a rule set over SourceFiles, applies suppressions,
-// validates suppression markers, and renders text / JSON reports.
+// Lint engine: runs the per-file rule set plus the project-wide passes
+// (include-layering, lock-order, determinism-taint, registry-sync) over
+// SourceFiles, applies suppressions, validates suppression markers, and
+// renders text / JSON reports.
 //
 // Exit-code contract (shared with the cdsf_lint CLI and the fixture tests):
 //   0 — clean (suppressed findings allowed)
@@ -17,26 +19,69 @@
 
 namespace cdsf::lint {
 
-/// JSON schema tag stamped on --json reports.
-inline constexpr const char* kLintReportSchema = "cdsf.lint_report/1";
+/// JSON schema tag stamped on --json reports. /2 added per-pass result
+/// blocks and a "pass" field on every diagnostic.
+inline constexpr const char* kLintReportSchema = "cdsf.lint_report/2";
+
+/// Pass id of the per-file rule set (the other pass ids live in the pass
+/// headers: kLayeringPass, kLockOrderPass, kTaintPass, kRegistryPass).
+inline constexpr const char* kRulesPass = "rules";
+
+/// All pass ids in stable execution order.
+[[nodiscard]] const std::vector<std::string>& all_pass_ids();
+
+/// One per-pass block of the report.
+struct PassSummary {
+  std::string name;
+  bool ran = false;
+  std::size_t violation_count = 0;
+  std::size_t suppressed_count = 0;
+  std::vector<std::string> notes;  ///< Pass-specific info (unused allows…).
+};
+
+/// Inputs and pass selection for run_project.
+struct ProjectOptions {
+  /// Passes to run, in any order (executed in canonical order). Empty =
+  /// defaults: rules, lock-order, determinism-taint, plus include-layering
+  /// when `layering_path` is set and registry-sync when `registry_path` or
+  /// `metrics_doc_path` is set.
+  std::vector<std::string> passes;
+  std::string layering_path;     ///< tools/layering.json (enables layering).
+  std::string registry_path;     ///< tools/obs_registry.json.
+  std::string metrics_doc_path;  ///< docs/observability.md.
+  bool want_dot = false;         ///< Produce LintResult::layering_dot.
+};
 
 struct LintResult {
   std::vector<Diagnostic> violations;   ///< Active findings (fail the run).
   std::vector<Diagnostic> suppressed;   ///< Findings silenced by allow(...).
   std::size_t files_scanned = 0;
+  std::vector<PassSummary> passes;      ///< One entry per executed/known pass.
+  std::string layering_dot;             ///< DOT graph when requested.
 
   [[nodiscard]] bool clean() const noexcept { return violations.empty(); }
   /// 0 when clean, 1 otherwise (see exit-code contract above).
   [[nodiscard]] int exit_code() const noexcept { return clean() ? 0 : 1; }
 };
 
-/// Runs every rule over every file. Diagnostics on lines covered by an
-/// `allow(...)` land in `suppressed`; a marker naming an unknown rule id is
-/// itself an active violation (rule id "unknown-suppression") so typos
-/// cannot silently disable enforcement. Output order is deterministic:
-/// files in the order given, diagnostics by line then rule id.
+/// Runs every rule over every file (the "rules" pass only — the original
+/// engine entry point, kept for per-file linting and the fixture tests).
+/// Diagnostics on lines covered by an `allow(...)` land in `suppressed`; a
+/// marker naming an unknown rule or pass id is itself an active violation
+/// (rule id "unknown-suppression") so typos cannot silently disable
+/// enforcement. Output order is deterministic: files in the order given,
+/// diagnostics by line then rule id.
 [[nodiscard]] LintResult run_rules(const std::vector<SourceFile>& files,
                                    const std::vector<std::unique_ptr<Rule>>& rules);
+
+/// Runs the selected passes (see ProjectOptions) over the scan set: the
+/// per-file rules plus the project-wide analyses on a shared ProjectIndex.
+/// Suppression routing is central: a pass diagnostic at file:line honours
+/// `allow(<pass-id>)` exactly like a rule diagnostic. Throws
+/// std::runtime_error on unreadable/malformed manifest or registry inputs.
+[[nodiscard]] LintResult run_project(const std::vector<SourceFile>& files,
+                                     const std::vector<std::unique_ptr<Rule>>& rules,
+                                     const ProjectOptions& options);
 
 /// Recursively collects C++ sources (.hpp/.h/.cpp/.cc) under `path` in
 /// sorted order; a file path is returned as-is. Throws std::runtime_error
@@ -47,7 +92,7 @@ struct LintResult {
 /// listed as notes, and a one-line summary.
 [[nodiscard]] std::string to_text(const LintResult& result);
 
-/// Machine-readable rendering ({schema: cdsf.lint_report/1, ...}).
+/// Machine-readable rendering ({schema: cdsf.lint_report/2, ...}).
 [[nodiscard]] obs::Json to_json(const LintResult& result);
 
 }  // namespace cdsf::lint

@@ -1,0 +1,310 @@
+#include "lint/layering.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "lint/text.hpp"
+#include "obs/json.hpp"
+
+namespace cdsf::lint {
+
+namespace {
+
+bool pattern_matches(std::string_view path, const std::string& pattern) {
+  if (pattern.find('/') == std::string::npos) return has_segment(path, pattern);
+  const std::string normalized = normalize_path(path);
+  if (normalized.rfind(pattern, 0) == 0) return true;
+  std::string infix = "/";
+  infix.append(pattern);
+  return normalized.find(infix) != std::string::npos;
+}
+
+/// Throws when the `allow` graph over the manifest layers has a cycle:
+/// a manifest that permits A→B and B→A orders nothing.
+void require_acyclic(const std::vector<LayerSpec>& layers) {
+  std::map<std::string, std::size_t, std::less<>> by_name;
+  for (std::size_t i = 0; i < layers.size(); ++i) by_name.emplace(layers[i].name, i);
+  // Colors: 0 unvisited, 1 on stack, 2 done.
+  std::vector<int> color(layers.size(), 0);
+  for (std::size_t root = 0; root < layers.size(); ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      const std::vector<std::string>& allow = layers[node].allow;
+      if (edge >= allow.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& target = allow[edge++];
+      if (target == "*") continue;
+      const auto it = by_name.find(target);
+      if (it == by_name.end()) {
+        throw std::runtime_error("layering manifest: layer '" + layers[node].name +
+                                 "' allows unknown layer '" + target + "'");
+      }
+      if (color[it->second] == 1) {
+        throw std::runtime_error("layering manifest: allow cycle through layers '" +
+                                 layers[node].name + "' and '" + target + "'");
+      }
+      if (color[it->second] == 0) {
+        color[it->second] = 1;
+        stack.emplace_back(it->second, 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LayeringManifest LayeringManifest::parse(const std::string& json_text) {
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(json_text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("layering manifest: malformed JSON: ") + e.what());
+  }
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != kLayeringSchema) {
+    throw std::runtime_error(std::string("layering manifest: expected schema ") +
+                             kLayeringSchema);
+  }
+  const obs::Json* layers = doc.find("layers");
+  if (layers == nullptr || layers->type() != obs::Json::Type::kArray || layers->size() == 0) {
+    throw std::runtime_error("layering manifest: 'layers' must be a non-empty array");
+  }
+  LayeringManifest manifest;
+  std::set<std::string, std::less<>> names;
+  for (const obs::Json& entry : layers->items()) {
+    LayerSpec spec;
+    spec.name = entry.at("name").as_string();
+    if (!names.insert(spec.name).second) {
+      throw std::runtime_error("layering manifest: duplicate layer '" + spec.name + "'");
+    }
+    for (const obs::Json& pattern : entry.at("match").items()) {
+      spec.match.push_back(pattern.as_string());
+    }
+    if (spec.match.empty()) {
+      throw std::runtime_error("layering manifest: layer '" + spec.name +
+                               "' has no match patterns");
+    }
+    if (const obs::Json* allow = entry.find("allow"); allow != nullptr) {
+      for (const obs::Json& target : allow->items()) {
+        spec.allow.push_back(target.as_string());
+      }
+    }
+    manifest.layers.push_back(std::move(spec));
+  }
+  require_acyclic(manifest.layers);
+  return manifest;
+}
+
+LayeringManifest LayeringManifest::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read layering manifest: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::size_t LayeringManifest::layer_of(std::string_view path) const {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    for (const std::string& pattern : layers[i].match) {
+      if (pattern_matches(path, pattern)) return i;
+    }
+  }
+  return npos;
+}
+
+namespace {
+
+struct LayerGraph {
+  std::vector<std::size_t> file_layer;  // per scanned file; npos = unmatched
+  // (from-layer, to-layer) → one representative include site.
+  std::map<std::pair<std::size_t, std::size_t>, const IncludeRef*> edges;
+};
+
+LayerGraph build_layer_graph(const ProjectIndex& index, const LayeringManifest& manifest) {
+  LayerGraph graph;
+  graph.file_layer.resize(index.files.size(), LayeringManifest::npos);
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    graph.file_layer[i] = manifest.layer_of(index.files[i]->path());
+  }
+  for (const IncludeRef& ref : index.includes) {
+    if (ref.to_file == ProjectIndex::npos) continue;
+    const std::size_t from = graph.file_layer[ref.from_file];
+    const std::size_t to = graph.file_layer[ref.to_file];
+    if (from == LayeringManifest::npos || to == LayeringManifest::npos) continue;
+    graph.edges.emplace(std::make_pair(from, to), &ref);
+  }
+  return graph;
+}
+
+bool edge_allowed(const LayeringManifest& manifest, std::size_t from, std::size_t to) {
+  if (from == to) return true;
+  const LayerSpec& spec = manifest.layers[from];
+  for (const std::string& target : spec.allow) {
+    if (target == "*" || target == manifest.layers[to].name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LayeringResult check_layering(const ProjectIndex& index, const LayeringManifest& manifest) {
+  LayeringResult result;
+  const LayerGraph graph = build_layer_graph(index, manifest);
+
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    if (graph.file_layer[i] != LayeringManifest::npos) continue;
+    ++result.files_unmatched;
+    result.diagnostics.push_back(
+        {index.files[i]->path(), 1, kLayeringPass,
+         "file matches no layer in the manifest; add it to a layer's match patterns",
+         false, kLayeringPass});
+  }
+
+  // Illegal edges: report every concrete include site, not just one per
+  // layer pair, so a violation pinpoints the exact line to fix.
+  std::set<std::string> used_allows;  // "<from>-><to>" exercised by an edge
+  for (const IncludeRef& ref : index.includes) {
+    if (ref.to_file == ProjectIndex::npos) continue;
+    const std::size_t from = graph.file_layer[ref.from_file];
+    const std::size_t to = graph.file_layer[ref.to_file];
+    if (from == LayeringManifest::npos || to == LayeringManifest::npos) continue;
+    ++result.edges_checked;
+    if (!edge_allowed(manifest, from, to)) {
+      result.diagnostics.push_back(
+          {index.files[ref.from_file]->path(), ref.line, kLayeringPass,
+           "layer '" + manifest.layers[from].name + "' must not include layer '" +
+               manifest.layers[to].name + "' (#include \"" + ref.target +
+               "\"); declare the edge in tools/layering.json or invert the dependency",
+           false, kLayeringPass});
+    } else if (from != to) {
+      used_allows.insert(manifest.layers[from].name + "->" + manifest.layers[to].name);
+    }
+  }
+
+  // Unused allow edges: notes, not violations — the manifest should shrink
+  // when the architecture does, but an over-broad allow is not itself a bug.
+  for (const LayerSpec& spec : manifest.layers) {
+    for (const std::string& target : spec.allow) {
+      if (target == "*") continue;
+      if (used_allows.count(spec.name + "->" + target) == 0) {
+        result.notes.push_back("allow edge " + spec.name + " -> " + target +
+                               " is declared but no include uses it");
+      }
+    }
+  }
+
+  // File-level include cycles (DFS back-edge detection over resolved
+  // edges). A cycle is reported once, anchored at its lexicographically
+  // smallest file, with the full path spelled out.
+  std::vector<std::vector<std::pair<std::size_t, const IncludeRef*>>> adjacency(
+      index.files.size());
+  for (const IncludeRef& ref : index.includes) {
+    if (ref.to_file != ProjectIndex::npos) {
+      adjacency[ref.from_file].emplace_back(ref.to_file, &ref);
+    }
+  }
+  std::vector<int> color(index.files.size(), 0);
+  std::set<std::string> reported_cycles;
+  for (std::size_t root = 0; root < index.files.size(); ++root) {
+    if (color[root] != 0) continue;
+    // Manual DFS: stack of (node, next-edge-index); path mirrors the stack.
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge >= adjacency[node].size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const auto [next, ref] = adjacency[node][edge++];
+      if (color[next] == 1) {
+        // Back edge: the cycle is the stack suffix starting at `next`.
+        std::vector<std::size_t> cycle;
+        bool in_cycle = false;
+        for (const auto& [n, ignored] : stack) {
+          if (n == next) in_cycle = true;
+          if (in_cycle) cycle.push_back(n);
+        }
+        // Canonical form: rotate to start at the smallest path.
+        std::size_t pivot = 0;
+        for (std::size_t k = 1; k < cycle.size(); ++k) {
+          if (index.files[cycle[k]]->path() < index.files[cycle[pivot]]->path()) pivot = k;
+        }
+        std::rotate(cycle.begin(), cycle.begin() + static_cast<std::ptrdiff_t>(pivot),
+                    cycle.end());
+        std::string description;
+        for (const std::size_t n : cycle) {
+          if (!description.empty()) description += " -> ";
+          description += index.files[n]->path();
+        }
+        description += " -> " + index.files[cycle.front()]->path();
+        if (reported_cycles.insert(description).second) {
+          result.diagnostics.push_back({index.files[cycle.front()]->path(), ref->line,
+                                        kLayeringPass, "include cycle: " + description, false,
+                                        kLayeringPass});
+        }
+        continue;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+std::string layering_dot(const ProjectIndex& index, const LayeringManifest& manifest) {
+  const LayerGraph graph = build_layer_graph(index, manifest);
+  std::ostringstream out;
+  out << "digraph layering {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (const LayerSpec& spec : manifest.layers) {
+    out << "  \"" << spec.name << "\";\n";
+  }
+  std::set<std::string> observed;
+  for (const auto& [edge, ref] : graph.edges) {
+    const auto [from, to] = edge;
+    if (from == to) continue;
+    const std::string from_name = manifest.layers[from].name;
+    const std::string to_name = manifest.layers[to].name;
+    observed.insert(from_name + "->" + to_name);
+    const bool legal = edge_allowed(manifest, from, to);
+    out << "  \"" << from_name << "\" -> \"" << to_name << "\"";
+    if (!legal) {
+      out << " [color=red, penwidth=2, label=\"ILLEGAL\"]";
+    }
+    out << ";\n";
+  }
+  for (const LayerSpec& spec : manifest.layers) {
+    for (const std::string& target : spec.allow) {
+      if (target == "*") continue;
+      if (observed.count(spec.name + "->" + target) == 0) {
+        out << "  \"" << spec.name << "\" -> \"" << target
+            << "\" [style=dashed, color=gray, label=\"unused allow\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cdsf::lint

@@ -1,0 +1,81 @@
+// include-layering pass: checks the resolved #include graph against the
+// declared layer manifest (tools/layering.json) and reports illegal edges,
+// unmatched files, and file-level include cycles.
+//
+// Manifest (schema "cdsf.layering/1"):
+//   {
+//     "schema": "cdsf.layering/1",
+//     "layers": [
+//       {"name": "util", "match": ["src/util"], "allow": []},
+//       {"name": "sim",  "match": ["src/sim"],  "allow": ["util", "dls", ...]},
+//       {"name": "harness", "match": ["tests", "bench"], "allow": ["*"]}
+//     ]
+//   }
+//
+// Matching: a file belongs to the first layer (manifest order) with a
+// matching pattern. A pattern containing '/' matches when the normalized
+// path contains "/<pattern>" or starts with "<pattern>"; a bare pattern
+// matches as a whole directory segment anywhere in the path — both work
+// with the absolute paths the build passes to cdsf_lint. Every scanned
+// file must match some layer.
+//
+// Edges: layer L may include itself plus the layers in its `allow` list;
+// "*" allows everything (harness layers). Illegal edges, unmatched files,
+// and include cycles are violations; `allow` entries no observed edge uses
+// are reported as notes so the manifest cannot drift loose over time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+#include "lint/rules.hpp"
+
+namespace cdsf::lint {
+
+/// Pass id used in diagnostics and allow(...) suppressions.
+inline constexpr const char* kLayeringPass = "include-layering";
+/// Schema tag the manifest file must carry.
+inline constexpr const char* kLayeringSchema = "cdsf.layering/1";
+
+struct LayerSpec {
+  std::string name;
+  std::vector<std::string> match;
+  std::vector<std::string> allow;
+};
+
+struct LayeringManifest {
+  std::vector<LayerSpec> layers;
+
+  /// Parses and validates manifest JSON text. Throws std::runtime_error on
+  /// malformed JSON, schema mismatch, duplicate/unknown layer names, or a
+  /// cyclic allow graph (the manifest itself must order the architecture).
+  static LayeringManifest parse(const std::string& json_text);
+  /// Reads `path` and parses it. Throws std::runtime_error when unreadable.
+  static LayeringManifest load(const std::string& path);
+
+  /// Index of the first layer matching `path`, or npos when unmatched.
+  [[nodiscard]] std::size_t layer_of(std::string_view path) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+struct LayeringResult {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<std::string> notes;      ///< e.g. unused allow edges.
+  std::size_t edges_checked = 0;       ///< Resolved in-tree include edges.
+  std::size_t files_unmatched = 0;
+};
+
+/// Checks every resolved include edge and hunts include cycles.
+[[nodiscard]] LayeringResult check_layering(const ProjectIndex& index,
+                                            const LayeringManifest& manifest);
+
+/// Graphviz DOT rendering of the layer-level include graph: one node per
+/// layer, observed edges solid (illegal ones red), declared-but-unused
+/// allow edges dashed gray.
+[[nodiscard]] std::string layering_dot(const ProjectIndex& index,
+                                       const LayeringManifest& manifest);
+
+}  // namespace cdsf::lint

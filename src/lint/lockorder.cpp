@@ -1,0 +1,146 @@
+#include "lint/lockorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/text.hpp"
+
+namespace cdsf::lint {
+
+namespace {
+
+/// Directory part of `path` ("src/obs/metrics.cpp" → "src/obs").
+std::string dir_of(std::string_view path) {
+  const std::string normalized = normalize_path(path);
+  const std::size_t slash = normalized.rfind('/');
+  return slash == std::string::npos ? std::string() : normalized.substr(0, slash);
+}
+
+struct Acquisition {
+  std::string key;      ///< "<dir>:<mutex name>" — the lock's identity.
+  std::string name;     ///< Mutex name as written.
+  const LockSite* site;
+  int depth;            ///< Brace depth at the declaration.
+  bool shared;          ///< shared_lock (re-entrant across readers).
+  bool recursive;       ///< Declared recursive_mutex somewhere.
+};
+
+struct EdgeInfo {
+  const LockSite* held_site;
+  const LockSite* acquired_site;
+  std::string held_name;
+  std::string acquired_name;
+};
+
+}  // namespace
+
+LockOrderResult check_lock_order(const ProjectIndex& index) {
+  LockOrderResult result;
+
+  std::set<std::string, std::less<>> recursive_names;
+  for (const MutexDecl& decl : index.mutexes) {
+    if (decl.recursive) recursive_names.insert(decl.name);
+  }
+
+  // Group sites by function, ordered by offset so the scope replay below
+  // sees acquisitions in textual order.
+  std::map<std::size_t, std::vector<const LockSite*>> by_function;
+  for (const LockSite& site : index.locks) {
+    if (site.function == ProjectIndex::npos) continue;
+    ++result.sites;
+    by_function[site.function].push_back(&site);
+  }
+  for (auto& [function, sites] : by_function) {
+    std::sort(sites.begin(), sites.end(),
+              [](const LockSite* a, const LockSite* b) { return a->offset < b->offset; });
+  }
+
+  // (held-key, acquired-key) → representative edge, collected globally.
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges;
+
+  for (const auto& [function, sites] : by_function) {
+    const FunctionDef& def = index.functions[function];
+    const SourceFile& file = *index.files[def.file];
+    const std::string_view text = file.scrubbed();
+    const std::string dir = dir_of(file.path());
+
+    std::vector<Acquisition> held;
+    std::size_t next_site = 0;
+    int depth = 0;
+    for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+      // Release guards whose block closed before this point.
+      if (text[i] == '{') ++depth;
+      if (text[i] == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      if (next_site >= sites.size() || sites[next_site]->offset != i) continue;
+      const LockSite* site = sites[next_site++];
+      const bool shared = site->guard == "shared_lock";
+      for (const std::string& name : site->mutexes) {
+        const std::string key = dir + ":" + name;
+        // Self-reacquisition: the same lock is already held on this scope
+        // chain and at least one of the two grabs is exclusive.
+        for (const Acquisition& a : held) {
+          if (a.key != key) continue;
+          if (a.recursive) continue;
+          if (a.shared && shared) continue;
+          result.diagnostics.push_back(
+              {file.path(), site->line, kLockOrderPass,
+               "mutex '" + name + "' is re-acquired while already held (first acquired at " +
+                   file.path() + ":" + std::to_string(a.site->line) +
+                   "); this self-deadlocks on a non-recursive mutex",
+               false, kLockOrderPass});
+          break;
+        }
+        // Ordering edges: every currently-held lock precedes this one. A
+        // multi-mutex scoped_lock acquires atomically, so mutexes of one
+        // site never order against each other.
+        for (const Acquisition& a : held) {
+          if (a.key == key || a.site == site) continue;
+          const auto edge_key = std::make_pair(a.key, key);
+          if (edges.count(edge_key) == 0) {
+            edges.emplace(edge_key, EdgeInfo{a.site, site, a.name, name});
+          }
+        }
+        held.push_back({key, name, site, depth, shared,
+                        recursive_names.count(name) != 0});
+      }
+    }
+  }
+  result.edges = edges.size();
+
+  // Inversions: both orientations of a pair present anywhere in the graph.
+  // Report once per unordered pair, anchored at the orientation whose key
+  // pair sorts second (deterministic and independent of map iteration).
+  for (const auto& [edge_key, info] : edges) {
+    const auto reverse_key = std::make_pair(edge_key.second, edge_key.first);
+    if (edge_key < reverse_key) continue;  // handled from the other side
+    const auto reverse = edges.find(reverse_key);
+    if (reverse == edges.end()) continue;
+    const EdgeInfo& first = reverse->second;  // the canonical (smaller) orientation
+    const SourceFile& site_file = *index.files[info.acquired_site->file];
+    const SourceFile& other_file = *index.files[first.acquired_site->file];
+    result.diagnostics.push_back(
+        {site_file.path(), info.acquired_site->line, kLockOrderPass,
+         "lock-order inversion: '" + info.held_name + "' then '" + info.acquired_name +
+             "' here, but '" + first.held_name + "' then '" + first.acquired_name + "' at " +
+             other_file.path() + ":" + std::to_string(first.acquired_site->line) +
+             "; two threads taking both paths can deadlock",
+         false, kLockOrderPass});
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+}  // namespace cdsf::lint

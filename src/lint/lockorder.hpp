@@ -1,0 +1,45 @@
+// lock-order pass: builds the global lock-acquisition graph from the
+// indexed RAII guard sites and flags inconsistent orderings.
+//
+// Within each function body the pass replays brace scopes: a guard is held
+// from its declaration to the end of its enclosing block. Acquiring B
+// while A is held adds the edge A→B to one global graph (merged across
+// every function in the scan set). Two kinds of findings:
+//
+//   - inversion: both A→B and B→A exist anywhere in the project — two
+//     threads taking the two paths can deadlock. Reported once per mutex
+//     pair, anchored at the second ordering's acquisition site, with the
+//     first ordering's site named in the message.
+//   - self-reacquisition: acquiring a non-recursive mutex that is already
+//     held in the same scope chain (shared_lock-over-shared_lock on a
+//     shared mutex is exempt — shared mode is re-entrant across threads).
+//
+// Mutex identity is (directory of the acquisition site, member name):
+// lexical indexing cannot see types, and same-named members in different
+// subsystems (obs/ vs svc/) are distinct locks, while a header/impl pair
+// in one directory is the same lock. The analysis is intra-function per
+// acquisition chain — it does not follow calls made while a lock is held
+// (docs/static_analysis.md states the approximation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+#include "lint/rules.hpp"
+
+namespace cdsf::lint {
+
+/// Pass id used in diagnostics and allow(...) suppressions.
+inline constexpr const char* kLockOrderPass = "lock-order";
+
+struct LockOrderResult {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t sites = 0;  ///< Guard acquisitions attributed to a function.
+  std::size_t edges = 0;  ///< Distinct held→acquired pairs in the graph.
+};
+
+[[nodiscard]] LockOrderResult check_lock_order(const ProjectIndex& index);
+
+}  // namespace cdsf::lint

@@ -4,81 +4,11 @@
 #include <array>
 #include <cctype>
 
+#include "lint/text.hpp"
+
 namespace cdsf::lint {
 
 namespace {
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string normalize(std::string_view path) {
-  std::string out(path);
-  std::replace(out.begin(), out.end(), '\\', '/');
-  return out;
-}
-
-bool has_segment(std::string_view path, std::string_view segment) {
-  const std::string normalized = normalize(path);
-  // append() instead of operator+ (GCC 12 -O3 -Wrestrict false positive).
-  std::string infix = "/";
-  infix.append(segment).append("/");
-  if (normalized.find(infix) != std::string::npos) return true;
-  std::string prefix(segment);
-  prefix.append("/");
-  return normalized.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Offset of the next word-bounded occurrence of `word` in `text` at or
-/// after `from`; npos when absent.
-std::size_t find_word(std::string_view text, std::string_view word, std::size_t from = 0) {
-  std::size_t pos = text.find(word, from);
-  while (pos != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
-    if (left_ok && right_ok) return pos;
-    pos = text.find(word, pos + 1);
-  }
-  return std::string_view::npos;
-}
-
-std::size_t skip_ws(std::string_view text, std::size_t pos) {
-  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
-  return pos;
-}
-
-/// Last non-whitespace offset strictly before `pos`; npos when none.
-std::size_t prev_non_ws(std::string_view text, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) return pos;
-  }
-  return std::string_view::npos;
-}
-
-/// Offset just past the bracket-matched region opened by the bracket at
-/// `open` ('(' / '<' / '{'); npos when unbalanced. '<' matching is a
-/// heuristic good enough for template argument lists in declarations.
-std::size_t match_bracket(std::string_view text, std::size_t open) {
-  const char open_char = text[open];
-  const char close_char = open_char == '(' ? ')' : open_char == '<' ? '>' : '}';
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == open_char) {
-      ++depth;
-    } else if (c == close_char) {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return std::string_view::npos;
-}
 
 // ---------------------------------------------------------------------------
 // rng-source
@@ -90,13 +20,12 @@ class RngSourceRule final : public Rule {
     return "raw C/std random sources outside util/rng.hpp break single-seed reproducibility";
   }
   void check(const SourceFile& file, std::vector<Diagnostic>& out) const override {
-    if (ends_with(normalize(file.path()), "util/rng.hpp")) return;
+    if (ends_with(normalize_path(file.path()), "util/rng.hpp")) return;
     const std::string_view text = file.scrubbed();
     // Call-form tokens: flag only when invoked, so a member or local named
-    // e.g. `rand_limit` never matches.
-    static constexpr std::array<std::string_view, 4> kCalls = {"rand", "srand", "rand_r",
-                                                               "drand48"};
-    for (const std::string_view token : kCalls) {
+    // e.g. `rand_limit` never matches. Token lists live in lint/text.hpp,
+    // shared with the determinism-taint pass.
+    for (const std::string_view token : kRngCallTokens) {
       for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
            pos = find_word(text, token, pos + 1)) {
         const std::size_t after = skip_ws(text, pos + token.size());
@@ -104,23 +33,20 @@ class RngSourceRule final : public Rule {
           out.push_back({file.path(), file.line_of(pos), std::string(id()),
                          std::string(token) +
                              "() is unseeded; draw from util::RngStream (util/rng.hpp) instead",
-                         false});
+                         false, {}});
         }
       }
     }
     // Type tokens: any mention is a violation — constructing a raw engine
     // or an entropy source bypasses the SplitMix64 seed fan-out.
-    static constexpr std::array<std::string_view, 9> kTypes = {
-        "random_device", "mt19937",  "mt19937_64", "minstd_rand", "minstd_rand0",
-        "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
-    for (const std::string_view token : kTypes) {
+    for (const std::string_view token : kRngTypeTokens) {
       for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
            pos = find_word(text, token, pos + 1)) {
         out.push_back({file.path(), file.line_of(pos), std::string(id()),
                        "std::" + std::string(token) +
                            " bypasses the seed fan-out; use util::RngStream / "
                            "util::SeedSequence (util/rng.hpp)",
-                       false});
+                       false, {}});
       }
     }
   }
@@ -136,48 +62,25 @@ class RngSourceRule final : public Rule {
 void scan_wall_clock_tokens(const SourceFile& file, std::string_view rule_id,
                             std::string_view remedy, std::vector<Diagnostic>& out) {
   const std::string_view text = file.scrubbed();
-  static constexpr std::array<std::string_view, 11> kTokens = {
-      "system_clock", "steady_clock",  "high_resolution_clock", "file_clock",
-      "utc_clock",    "gettimeofday",  "clock_gettime",         "timespec_get",
-      "localtime",    "gmtime",        "strftime"};
-  for (const std::string_view token : kTokens) {
+  for (const std::string_view token : kWallClockTokens) {
     for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
          pos = find_word(text, token, pos + 1)) {
       out.push_back({file.path(), file.line_of(pos), std::string(rule_id),
                      std::string(token) + " reads the host clock; " + std::string(remedy),
-                     false});
+                     false, {}});
     }
   }
   // C `time(...)` / `clock(...)` calls: member calls (obj.time(...),
-  // obj->clock(...)) are someone's API, not the libc clock — skip those.
-  static constexpr std::array<std::string_view, 2> kCCalls = {"time", "clock"};
-  for (const std::string_view token : kCCalls) {
+  // obj->clock(...)) are someone's API, not the libc clock, and a preceding
+  // identifier means a declaration — is_c_call_form (lint/text.hpp) owns
+  // the heuristic, shared with the determinism-taint pass.
+  for (const std::string_view token : kWallClockCCalls) {
     for (std::size_t pos = find_word(text, token); pos != std::string_view::npos;
          pos = find_word(text, token, pos + 1)) {
-      const std::size_t after = skip_ws(text, pos + token.size());
-      if (after >= text.size() || text[after] != '(') continue;
-      const std::size_t before = prev_non_ws(text, pos);
-      if (before != std::string_view::npos &&
-          (text[before] == '.' ||
-           (text[before] == '>' && before > 0 && text[before - 1] == '-'))) {
-        continue;
-      }
-      // A preceding identifier means a declaration (`long time() const`),
-      // not a call — unless it is a statement keyword (`return time(0)`).
-      if (before != std::string_view::npos && is_ident_char(text[before])) {
-        std::size_t start = before;
-        while (start > 0 && is_ident_char(text[start - 1])) --start;
-        const std::string_view prev_token = text.substr(start, before + 1 - start);
-        static constexpr std::array<std::string_view, 5> kCallKeywords = {
-            "return", "co_return", "co_yield", "throw", "case"};
-        if (std::find(kCallKeywords.begin(), kCallKeywords.end(), prev_token) ==
-            kCallKeywords.end()) {
-          continue;
-        }
-      }
+      if (!is_c_call_form(text, token, pos)) continue;
       out.push_back({file.path(), file.line_of(pos), std::string(rule_id),
                      std::string(token) + "() reads the host clock; " + std::string(remedy),
-                     false});
+                     false, {}});
     }
   }
 }
@@ -211,7 +114,7 @@ class SvcWallClockRule final : public Rule {
     if (!has_segment(file.path(), "svc")) return;
     // The single sanctioned time source: everything else in svc/ must take
     // time from the VirtualClock it defines.
-    if (ends_with(normalize(file.path()), "svc/virtual_time.hpp")) return;
+    if (ends_with(normalize_path(file.path()), "svc/virtual_time.hpp")) return;
     scan_wall_clock_tokens(file, id(),
                            "the service replays byte-identically from a journal, so time "
                            "must come from svc/virtual_time.hpp (VirtualClock)",
@@ -259,7 +162,7 @@ class UnorderedIterationRule final : public Rule {
                      "iteration over unordered container '" + name +
                          "' is nondeterministic; use std::map/std::set or copy + sort "
                          "before iterating",
-                     false});
+                     false, {}});
     };
     // Pass 2a: range-for whose range expression mentions a tracked name.
     for (std::size_t pos = find_word(text, "for"); pos != std::string_view::npos;
@@ -347,7 +250,7 @@ class BareMutexLockRule final : public Rule {
                        "bare ." + std::string(member) +
                            "() is not exception-safe; hold mutexes through std::scoped_lock, "
                            "std::lock_guard, or std::unique_lock",
-                       false});
+                       false, {}});
       }
     }
     for (const std::string_view fn : {std::string_view("pthread_mutex_lock"),
@@ -356,7 +259,7 @@ class BareMutexLockRule final : public Rule {
            pos = find_word(text, fn, pos + 1)) {
         out.push_back({file.path(), file.line_of(pos), std::string(id()),
                        std::string(fn) + " bypasses RAII; use std::mutex with std::scoped_lock",
-                       false});
+                       false, {}});
       }
     }
   }
@@ -406,7 +309,7 @@ class ReportSchemaTagRule final : public Rule {
                        std::string(name) +
                            " builds a report document without set(\"schema\", ...); consumers "
                            "cannot version-gate it",
-                       false});
+                       false, {}});
       }
     }
   }
@@ -485,7 +388,7 @@ class MetricNameRule final : public Rule {
                    "metric name \"" + std::string(name) +
                        "\" must match ^(sim|cdsf|obs)\\.[a-z0-9_.]+$ (subsystem prefix, "
                        "lowercase dotted path)",
-                   false});
+                   false, {}});
   }
 
   static bool valid_metric_name(std::string_view name) {

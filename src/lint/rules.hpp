@@ -44,6 +44,10 @@ struct Diagnostic {
   std::string rule;
   std::string message;
   bool suppressed = false;
+  /// Analysis pass that produced the finding ("rules" for the per-file
+  /// rule set; project passes stamp their own id). The engine fills this
+  /// in for rule diagnostics, so rules leave it empty.
+  std::string pass;
 };
 
 class Rule {

@@ -70,6 +70,24 @@ void parse_suppressions(std::string_view comment, std::size_t comment_line, bool
   }
 }
 
+/// True when the identifier token ending just before `pos` (the offset of
+/// a quote) is one of the literal encoding prefixes, so `u8"x"`, `LR"(x)"`
+/// etc. enter literal state while `1'000` digit separators and identifiers
+/// like `FOO"bar"` (macro pastes) do not.
+bool literal_prefix_before(const std::string& raw, std::size_t pos,
+                           bool raw_string_prefixes) {
+  std::size_t start = pos;
+  while (start > 0 && is_ident_char(raw[start - 1])) --start;
+  if (start == pos) return false;                       // no prefix at all
+  if (start > 0 && is_ident_char(raw[start - 1])) return false;
+  const std::string_view prefix = std::string_view(raw).substr(start, pos - start);
+  if (raw_string_prefixes) {
+    return prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" ||
+           prefix == "LR";
+  }
+  return prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L";
+}
+
 }  // namespace
 
 SourceFile SourceFile::load(const std::string& path) {
@@ -141,31 +159,39 @@ void SourceFile::scrub() {
           comment_start = i;
           comment_own_line = only_ws_before(i);
           scrubbed_[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_ident_char(raw_[i - 1]))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t paren = i + 2;
+        } else if (c == '"' && literal_prefix_before(raw_, i, /*raw_string_prefixes=*/true)) {
+          // Raw string literal, any encoding prefix: [u8|u|U|L]R"delim(...)delim"
+          std::size_t paren = i + 1;
           while (paren < raw_.size() && raw_[paren] != '(') ++paren;
           // push_back/append instead of operator+ or literal assignment:
           // GCC 12 at -O3 misattributes the temporary-string copies here as
           // overlapping memcpy (-Wrestrict).
           raw_delim.clear();
           raw_delim.push_back(')');
-          raw_delim.append(raw_, i + 2, paren - (i + 2));
+          raw_delim.append(raw_, i + 1, paren - (i + 1));
           raw_delim.push_back('"');
           state = State::kRawString;
           i = paren;  // keep prefix + opening paren visible
         } else if (c == '"') {
           state = State::kString;
-        } else if (c == '\'' && (i == 0 || !is_ident_char(raw_[i - 1]))) {
-          // Ident check keeps digit separators (1'000'000) out of char state.
+        } else if (c == '\'' && (i == 0 || !is_ident_char(raw_[i - 1]) ||
+                                 literal_prefix_before(raw_, i, /*raw_string_prefixes=*/false))) {
+          // Ident check keeps digit separators (1'000'000) out of char
+          // state; the prefix check lets u8'x' / L'x' wide chars in.
           state = State::kChar;
         }
         break;
       case State::kLineComment:
         if (c == '\n') {
-          finish_comment(i);
-          state = State::kCode;
+          // A backslash (optionally with a CR) right before the newline is
+          // a line splice: the comment continues on the next line.
+          const bool spliced =
+              (i >= 1 && raw_[i - 1] == '\\') ||
+              (i >= 2 && raw_[i - 1] == '\r' && raw_[i - 2] == '\\');
+          if (!spliced) {
+            finish_comment(i);
+            state = State::kCode;
+          }
         } else {
           scrubbed_[i] = ' ';
         }

@@ -1,15 +1,22 @@
 // cdsf_lint — CDSF-specific concurrency & determinism lint.
 //
 // Usage:
-//   cdsf_lint [--json] [--rule <id> ...] [--list-rules] <path> [<path> ...]
+//   cdsf_lint [--json] [--rule <id> ...] [--pass <name> ...]
+//             [--layering <manifest>] [--registry <json>]
+//             [--metrics-doc <md>] [--graph-dot <file>]
+//             [--list-rules] [--list-passes] <path> [<path> ...]
 //
 // Paths may be files or directories (directories are scanned recursively
-// for .hpp/.h/.cpp/.cc, in sorted order, so output is stable). The rule
-// set and suppression syntax are documented in docs/static_analysis.md.
+// for .hpp/.h/.cpp/.cc, in sorted order, so output is stable). Beyond the
+// per-file rules, project-wide passes analyze the whole scan set at once:
+// include-layering (needs --layering), lock-order, determinism-taint, and
+// registry-sync (needs --registry and/or --metrics-doc). The rule set,
+// passes, and suppression syntax are documented in docs/static_analysis.md.
 //
 // Exit codes: 0 clean, 1 violations, 2 usage/I-O error.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,16 +28,30 @@
 namespace {
 
 void print_usage(std::ostream& out) {
-  out << "usage: cdsf_lint [--json] [--rule <id> ...] [--list-rules] <path> [<path> ...]\n"
+  out << "usage: cdsf_lint [options] <path> [<path> ...]\n"
          "\n"
-         "CDSF concurrency & determinism lint. Scans C++ sources for rule\n"
-         "violations (unseeded RNG, wall-clock reads in deterministic paths,\n"
-         "unordered-container iteration, bare mutex lock/unlock, untagged\n"
-         "report documents). See docs/static_analysis.md.\n"
+         "CDSF concurrency & determinism lint. Per-file rules (unseeded RNG,\n"
+         "wall-clock reads in deterministic paths, unordered-container\n"
+         "iteration, bare mutex lock/unlock, untagged report documents) plus\n"
+         "project-wide passes (include-layering, lock-order, determinism-taint,\n"
+         "registry-sync). See docs/static_analysis.md.\n"
          "\n"
-         "  --json        machine-readable report on stdout (cdsf.lint_report/1)\n"
-         "  --rule <id>   run only the named rule (repeatable)\n"
-         "  --list-rules  print rule ids + summaries and exit\n";
+         "  --json             machine-readable report on stdout (cdsf.lint_report/2)\n"
+         "  --rule <id>        run only the named rule (repeatable)\n"
+         "  --pass <name>      run only the named pass (repeatable; default:\n"
+         "                     rules, lock-order, determinism-taint, plus\n"
+         "                     include-layering/registry-sync when their\n"
+         "                     inputs are given)\n"
+         "  --layering <file>  layer manifest (tools/layering.json); enables\n"
+         "                     the include-layering pass\n"
+         "  --registry <file>  schema/metric registry (tools/obs_registry.json);\n"
+         "                     enables the registry-sync pass\n"
+         "  --metrics-doc <md> observability doc whose tables registry-sync\n"
+         "                     cross-checks (docs/observability.md)\n"
+         "  --graph-dot <file> write the layer include graph as Graphviz DOT\n"
+         "                     (needs --layering)\n"
+         "  --list-rules       print rule ids + summaries and exit\n"
+         "  --list-passes      print pass names and exit\n";
 }
 
 }  // namespace
@@ -38,20 +59,52 @@ void print_usage(std::ostream& out) {
 int main(int argc, char** argv) {
   bool json = false;
   bool list_rules = false;
+  bool list_passes = false;
   std::vector<std::string> only_rules;
   std::vector<std::string> paths;
+  cdsf::lint::ProjectOptions options;
+  std::string graph_dot_path;
+
+  const auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "cdsf_lint: " << flag << " needs an argument\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--list-passes") {
+      list_passes = true;
     } else if (arg == "--rule") {
-      if (i + 1 >= argc) {
-        std::cerr << "cdsf_lint: --rule needs an argument\n";
-        return 2;
-      }
-      only_rules.emplace_back(argv[++i]);
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return 2;
+      only_rules.emplace_back(value);
+    } else if (arg == "--pass") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return 2;
+      options.passes.emplace_back(value);
+    } else if (arg == "--layering") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return 2;
+      options.layering_path = value;
+    } else if (arg == "--registry") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return 2;
+      options.registry_path = value;
+    } else if (arg == "--metrics-doc") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return 2;
+      options.metrics_doc_path = value;
+    } else if (arg == "--graph-dot") {
+      const char* value = need_value(i, arg);
+      if (value == nullptr) return 2;
+      graph_dot_path = value;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       return 0;
@@ -63,11 +116,18 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  options.want_dot = !graph_dot_path.empty();
 
   auto rules = cdsf::lint::default_rules();
   if (list_rules) {
     for (const auto& rule : rules) {
       std::cout << rule->id() << " — " << rule->summary() << "\n";
+    }
+    return 0;
+  }
+  if (list_passes) {
+    for (const std::string& pass : cdsf::lint::all_pass_ids()) {
+      std::cout << pass << "\n";
     }
     return 0;
   }
@@ -99,7 +159,15 @@ int main(int argc, char** argv) {
         files.push_back(cdsf::lint::SourceFile::load(source));
       }
     }
-    const cdsf::lint::LintResult result = cdsf::lint::run_rules(files, rules);
+    const cdsf::lint::LintResult result = cdsf::lint::run_project(files, rules, options);
+    if (!graph_dot_path.empty()) {
+      std::ofstream dot(graph_dot_path, std::ios::binary);
+      if (!dot) {
+        std::cerr << "cdsf_lint: cannot write " << graph_dot_path << "\n";
+        return 2;
+      }
+      dot << result.layering_dot;
+    }
     if (json) {
       std::cout << cdsf::lint::to_json(result).dump(1) << "\n";
     } else {

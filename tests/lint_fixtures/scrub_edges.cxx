@@ -1,0 +1,17 @@
+// Scrubber edge cases: every rule token below lives inside a literal or a
+// comment, so a correct scrub reports zero findings. Loaded by
+// tests/test_lint.cpp (LintFixtures.ScrubEdgeCasesFileIsClean) with a
+// src/sim/ path so wall-clock rules are armed.
+#include <string>
+
+// Line-spliced comment: rand() on the continuation is still comment. \
+rand(); std::mt19937 spliced; system_clock::now();
+
+const char* kRaw = R"x(rand() and a fake close ")" still inside)x";
+const char* kPrefixed = u8R"json({"clock": "steady_clock::now()"})json";
+const wchar_t* kWide = LR"d!(std::random_device{}())d!";
+const char32_t kChar = U')';
+const wchar_t kQuote = L'"';
+const int kBig = 1'000'000;  // digit separators must not open a literal
+
+int live_after_literals() { return kBig; }

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,43 @@ TEST(LintSource, HandlesRawStringsAndDigitSeparators) {
   EXPECT_EQ(file.scrubbed().find("rand"), std::string::npos);
   // The digit separator must not open a char literal and swallow the rest.
   EXPECT_NE(file.scrubbed().find("int after = 3;"), std::string::npos);
+}
+
+TEST(LintSource, HandlesCustomDelimiterAndPrefixedRawStrings) {
+  const std::string text =
+      "auto a = R\"x(rand() \")\" still inside)x\";\n"
+      "auto b = u8R\"(system_clock)\";\n"
+      "auto c = LR\"d!(mt19937)d!\";\n"
+      "int after = 7;\n";
+  const SourceFile file = SourceFile::from_string("x.cpp", text);
+  EXPECT_EQ(file.scrubbed().find("rand"), std::string::npos);
+  EXPECT_EQ(file.scrubbed().find("system_clock"), std::string::npos);
+  EXPECT_EQ(file.scrubbed().find("mt19937"), std::string::npos);
+  // A custom delimiter means `")` inside the literal must NOT close it.
+  EXPECT_NE(file.scrubbed().find("int after = 7;"), std::string::npos);
+}
+
+TEST(LintSource, HandlesPrefixedCharLiterals) {
+  const std::string text =
+      "char32_t a = U'x';\n"
+      "wchar_t b = L')';\n"
+      "auto c = u8'\"';\n"
+      "int big = 1'000'000;\n"  // digit separators still must not open a literal
+      "int after = 9;\n";
+  const SourceFile file = SourceFile::from_string("x.cpp", text);
+  EXPECT_NE(file.scrubbed().find("int after = 9;"), std::string::npos);
+  // The quote inside L')' is blanked, so it cannot unbalance bracket matching.
+  EXPECT_EQ(file.scrubbed().find("')'"), std::string::npos);
+}
+
+TEST(LintSource, LineCommentContinuesAcrossBackslashSplice) {
+  const std::string text =
+      "// first line \\\n"
+      "rand() still commented\n"
+      "int live = rand_limit;\n";
+  const SourceFile file = SourceFile::from_string("x.cpp", text);
+  EXPECT_EQ(file.scrubbed().find("rand()"), std::string::npos);
+  EXPECT_NE(file.scrubbed().find("int live = rand_limit;"), std::string::npos);
 }
 
 TEST(LintSource, ParsesLineAndFileSuppressions) {
@@ -257,6 +295,22 @@ TEST(LintFixtures, UntaggedReportFixtureTripsSchemaRule) {
       << cdsf::lint::to_text(result);
 }
 
+TEST(LintFixtures, ScrubEdgeCasesFileIsClean) {
+  // Raw strings with custom delimiters and encoding prefixes, a
+  // line-spliced comment, and prefixed char literals — every rule token in
+  // the file is inside a literal or comment. Re-rooted under src/sim/ so
+  // the path-gated wall-clock rule is armed too.
+  std::ifstream in(fixture("scrub_edges.cxx"));
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::from_string("src/sim/scrub_edges.cxx", text));
+  const LintResult result = cdsf::lint::run_rules(files, cdsf::lint::default_rules());
+  EXPECT_TRUE(result.violations.empty()) << cdsf::lint::to_text(result);
+  EXPECT_TRUE(result.suppressed.empty());
+}
+
 TEST(LintFixtures, SuppressedFileIsCleanWithListedSuppressions) {
   const LintResult result = lint_fixture("suppressed.cxx");
   EXPECT_TRUE(result.violations.empty()) << cdsf::lint::to_text(result);
@@ -315,7 +369,7 @@ TEST(LintBinary, JsonOutputParsesAndCountsMatch) {
       run_binary("--json " + fixture("violations.cxx") + " " + fixture("suppressed.cxx"));
   EXPECT_EQ(result.exit_code, 1);
   const cdsf::obs::Json doc = cdsf::obs::Json::parse(result.output);
-  EXPECT_EQ(doc.at("schema").as_string(), "cdsf.lint_report/1");
+  EXPECT_EQ(doc.at("schema").as_string(), "cdsf.lint_report/2");
   EXPECT_EQ(doc.at("files_scanned").as_int(), 2);
   EXPECT_EQ(doc.at("violation_count").as_int(), 6);
   EXPECT_EQ(doc.at("suppression_count").as_int(), 3);
